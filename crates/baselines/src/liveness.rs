@@ -1,0 +1,212 @@
+//! Classic liveness-based dead code elimination.
+//!
+//! An *independent* implementation of the paper's baseline: live-variable
+//! analysis (the complement of Table 1's dead-variable analysis, as a
+//! may-problem with union meet) driving iterated removal of assignments
+//! whose left-hand side is not live afterwards. Kept deliberately
+//! separate from `pdce-core`'s dead analysis so the two can cross-check
+//! each other (`¬LIVE ≡ DEAD`).
+
+use pdce_dfa::{solve, BitProblem, BitVec, Direction, GenKill, Meet};
+use pdce_ir::{CfgView, NodeId, Program, Stmt, Terminator, Var};
+
+/// Live-variable solution.
+#[derive(Debug, Clone)]
+pub struct Liveness {
+    width: usize,
+    solution: pdce_dfa::Solution,
+}
+
+fn stmt_transfer(prog: &Program, stmt: &Stmt, width: usize) -> GenKill {
+    // live_in = USE ∪ (live_out ∖ DEF)
+    let mut gen = BitVec::zeros(width);
+    let mut kill = BitVec::zeros(width);
+    if let Some(m) = stmt.modified() {
+        kill.set(m.index(), true);
+    }
+    if let Some(t) = stmt.used_term() {
+        for &v in prog.terms().vars_of(t) {
+            gen.set(v.index(), true);
+        }
+    }
+    GenKill::new(gen, kill)
+}
+
+fn term_transfer(prog: &Program, term: &Terminator, width: usize) -> GenKill {
+    let mut gen = BitVec::zeros(width);
+    if let Some(c) = term.used_term() {
+        for &v in prog.terms().vars_of(c) {
+            gen.set(v.index(), true);
+        }
+    }
+    GenKill::new(gen, BitVec::zeros(width))
+}
+
+impl Liveness {
+    /// Runs live-variable analysis.
+    pub fn compute(prog: &Program, view: &CfgView) -> Liveness {
+        let width = prog.num_vars();
+        let transfer = prog
+            .node_ids()
+            .map(|n| {
+                let block = prog.block(n);
+                let stmts: Vec<GenKill> = block
+                    .stmts
+                    .iter()
+                    .map(|s| stmt_transfer(prog, s, width))
+                    .collect();
+                let term = term_transfer(prog, &block.term, width);
+                GenKill::compose_backward(width, stmts.iter().chain(std::iter::once(&term)))
+            })
+            .collect();
+        let problem = BitProblem {
+            direction: Direction::Backward,
+            meet: Meet::Union,
+            width,
+            transfer,
+            boundary: BitVec::zeros(width), // nothing live at program end
+        };
+        Liveness {
+            width,
+            solution: solve(view, &problem),
+        }
+    }
+
+    /// Live set at block entry.
+    pub fn at_entry(&self, n: NodeId) -> &BitVec {
+        self.solution.at_entry(n)
+    }
+
+    /// Liveness vectors immediately after each statement of `n`.
+    pub fn after_each_stmt(&self, prog: &Program, n: NodeId) -> Vec<BitVec> {
+        let block = prog.block(n);
+        let mut current =
+            term_transfer(prog, &block.term, self.width).apply(self.solution.at_exit(n));
+        let mut out = vec![BitVec::zeros(0); block.stmts.len()];
+        for (k, stmt) in block.stmts.iter().enumerate().rev() {
+            out[k] = current.clone();
+            current = stmt_transfer(prog, stmt, self.width).apply(&current);
+        }
+        out
+    }
+
+    /// Whether `v` is live immediately after statement `k` of `n`.
+    pub fn live_after(&self, prog: &Program, n: NodeId, k: usize, v: Var) -> bool {
+        self.after_each_stmt(prog, n)[k].get(v.index())
+    }
+}
+
+/// Iterated liveness-based DCE. Returns the number of assignments
+/// removed.
+pub fn liveness_dce(prog: &mut Program) -> u64 {
+    let mut total = 0;
+    loop {
+        let view = CfgView::new(prog);
+        let live = Liveness::compute(prog, &view);
+        let mut removed = 0u64;
+        for n in prog.node_ids().collect::<Vec<_>>() {
+            let after = live.after_each_stmt(prog, n);
+            let keep: Vec<Stmt> = prog
+                .block(n)
+                .stmts
+                .iter()
+                .enumerate()
+                .filter_map(|(k, stmt)| match *stmt {
+                    Stmt::Assign { lhs, .. } if !after[k].get(lhs.index()) => {
+                        removed += 1;
+                        None
+                    }
+                    s => Some(s),
+                })
+                .collect();
+            prog.block_mut(n).stmts = keep;
+        }
+        if removed == 0 {
+            return total;
+        }
+        total += removed;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdce_core::dead::DeadSolution;
+    use pdce_core::driver::{optimize, PdceConfig};
+    use pdce_ir::parser::parse;
+    use pdce_ir::printer::{canonical_string, structural_eq};
+
+    #[test]
+    fn live_is_complement_of_dead() {
+        let p = parse(
+            "prog {
+               block s  { x := a + b; y := x; nondet n1 n2 }
+               block n1 { out(y); goto n3 }
+               block n2 { y := 7; goto n3 }
+               block n3 { out(y); nondet s2 e }
+               block s2 { goto n3 }
+               block e  { halt }
+             }",
+        )
+        .unwrap();
+        let view = CfgView::new(&p);
+        let live = Liveness::compute(&p, &view);
+        let dead = DeadSolution::compute(&p, &view);
+        for n in p.node_ids() {
+            let la = live.after_each_stmt(&p, n);
+            let da = dead.after_each_stmt(&p, n);
+            for k in 0..p.block(n).stmts.len() {
+                for v in 0..p.num_vars() {
+                    assert_ne!(
+                        la[k].get(v),
+                        da[k].get(v),
+                        "live/dead must be complements at {}[{}] var {}",
+                        p.block(n).name,
+                        k,
+                        v
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_with_core_dce() {
+        let src = "prog {
+            block s  { a := c + 1; nondet n3 n4 }
+            block n3 { goto n5 }
+            block n4 { y := a + b; goto n5 }
+            block n5 { y := c + d; out(y); goto e }
+            block e  { halt }
+        }";
+        let mut p1 = parse(src).unwrap();
+        liveness_dce(&mut p1);
+        let mut p2 = parse(src).unwrap();
+        optimize(&mut p2, &PdceConfig::dce_only()).unwrap();
+        assert!(
+            structural_eq(&p1, &p2),
+            "liveness DCE and core dce disagree:\n{}\nvs\n{}",
+            canonical_string(&p1),
+            canonical_string(&p2)
+        );
+    }
+
+    #[test]
+    fn keeps_observable_assignments() {
+        let mut p = parse(
+            "prog { block s { x := 1; out(x); goto e } block e { halt } }",
+        )
+        .unwrap();
+        assert_eq!(liveness_dce(&mut p), 0);
+    }
+
+    #[test]
+    fn removes_cascading_dead_code() {
+        let mut p = parse(
+            "prog { block s { a := 1; b := a + 1; c := b + 1; out(7); goto e } block e { halt } }",
+        )
+        .unwrap();
+        assert_eq!(liveness_dce(&mut p), 3);
+        assert_eq!(p.num_assignments(), 0);
+    }
+}

@@ -1,0 +1,349 @@
+//! Local value numbering.
+//!
+//! The classical basic-block companion to lazy code motion: LCM only
+//! removes *up-exposed* cross-block redundancies and leaves repeated
+//! computations inside one block "for local value numbering" (see
+//! `pdce-lcm`). This pass supplies that: within each block it assigns
+//! value numbers to computed expressions, replaces a recomputation of an
+//! available value with a reference to the variable that holds it, and
+//! folds operations whose operands have constant values.
+//!
+//! The implementation is the standard hash-based LVN over our term IR:
+//!
+//! * a value number per `(op, vn(args))` tuple,
+//! * per-variable current value numbers (invalidated on redefinition),
+//! * a representative variable per value number (for reuse), dropped
+//!   when the representative is overwritten,
+//! * constant tracking per value number (for folding).
+
+use std::collections::HashMap;
+
+use pdce_ir::{Program, Stmt, TermData, TermId, Var};
+
+/// Statistics of one LVN run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LvnStats {
+    /// Right-hand sides replaced by a cheaper equivalent.
+    pub replaced: u64,
+    /// Terms folded to constants.
+    pub folded: u64,
+}
+
+/// A value number.
+type Vn = u32;
+
+/// The symbolic shape of a value.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum ValueKey {
+    Const(i64),
+    /// An opaque input: the value a variable holds at block entry.
+    Input(Var),
+    Unary(pdce_ir::UnOp, Vn),
+    Binary(pdce_ir::BinOp, Vn, Vn),
+}
+
+#[derive(Default)]
+struct Numbering {
+    table: HashMap<ValueKey, Vn>,
+    /// Known constant per value number.
+    consts: HashMap<Vn, i64>,
+    /// Current value number of each variable.
+    var_vn: HashMap<Var, Vn>,
+    /// A variable currently holding each value number.
+    holder: HashMap<Vn, Var>,
+    next: Vn,
+}
+
+impl Numbering {
+    fn vn_of_key(&mut self, key: ValueKey) -> Vn {
+        if let Some(&vn) = self.table.get(&key) {
+            return vn;
+        }
+        let vn = self.next;
+        self.next += 1;
+        if let ValueKey::Const(c) = key {
+            self.consts.insert(vn, c);
+        }
+        self.table.insert(key, vn);
+        vn
+    }
+
+    fn vn_of_var(&mut self, v: Var) -> Vn {
+        if let Some(&vn) = self.var_vn.get(&v) {
+            return vn;
+        }
+        let vn = self.vn_of_key(ValueKey::Input(v));
+        self.var_vn.insert(v, vn);
+        self.holder.entry(vn).or_insert(v);
+        vn
+    }
+
+    /// Records that `v` now holds value number `vn`.
+    fn assign(&mut self, v: Var, vn: Vn) {
+        // If v was the representative of its old value, retire it.
+        if let Some(&old) = self.var_vn.get(&v) {
+            if self.holder.get(&old) == Some(&v) {
+                self.holder.remove(&old);
+            }
+        }
+        self.var_vn.insert(v, vn);
+        self.holder.entry(vn).or_insert(v);
+    }
+}
+
+/// Rebuilds a term bottom-up, folding constant subvalues. Returns the
+/// rewritten term and its value number.
+fn simplify(
+    prog: &mut Program,
+    numbering: &mut Numbering,
+    t: TermId,
+    stats: &mut LvnStats,
+) -> (TermId, Vn) {
+    match prog.terms().data(t) {
+        TermData::Const(c) => (t, numbering.vn_of_key(ValueKey::Const(c))),
+        TermData::Var(v) => {
+            let vn = numbering.vn_of_var(v);
+            // Constant-valued variable: inline the constant.
+            if let Some(&c) = numbering.consts.get(&vn) {
+                stats.folded += 1;
+                return (prog.terms_mut().constant(c), vn);
+            }
+            (t, vn)
+        }
+        TermData::Unary(op, a) => {
+            let (a2, va) = simplify(prog, numbering, a, stats);
+            let vn = numbering.vn_of_key(ValueKey::Unary(op, va));
+            if let Some(&c) = numbering.consts.get(&va) {
+                let folded = match op {
+                    pdce_ir::UnOp::Neg => c.wrapping_neg(),
+                    pdce_ir::UnOp::Not => i64::from(c == 0),
+                };
+                numbering.consts.insert(vn, folded);
+                stats.folded += 1;
+                return (prog.terms_mut().constant(folded), vn);
+            }
+            (prog.terms_mut().unary(op, a2), vn)
+        }
+        TermData::Binary(op, a, b) => {
+            let (a2, va) = simplify(prog, numbering, a, stats);
+            let (b2, vb) = simplify(prog, numbering, b, stats);
+            let vn = numbering.vn_of_key(ValueKey::Binary(op, va, vb));
+            if let (Some(&ca), Some(&cb)) =
+                (numbering.consts.get(&va), numbering.consts.get(&vb))
+            {
+                let ta = prog.terms_mut().constant(ca);
+                let tb = prog.terms_mut().constant(cb);
+                let tt = prog.terms_mut().binary(op, ta, tb);
+                let folded = pdce_ir::interp::eval_term(
+                    prog,
+                    &pdce_ir::interp::Env::zeroed(prog),
+                    tt,
+                );
+                numbering.consts.insert(vn, folded);
+                stats.folded += 1;
+                return (prog.terms_mut().constant(folded), vn);
+            }
+            (prog.terms_mut().binary(op, a2, b2), vn)
+        }
+    }
+}
+
+/// Runs local value numbering over every block. Returns statistics.
+///
+/// # Example
+///
+/// ```
+/// use pdce_baselines::local_value_numbering;
+/// use pdce_ir::parser::parse;
+///
+/// let mut prog = parse(
+///     "prog { block s { x := a + b; y := a + b; out(x + y); goto e }
+///             block e { halt } }",
+/// )?;
+/// let stats = local_value_numbering(&mut prog);
+/// assert_eq!(stats.replaced, 1); // y := x
+/// # Ok::<(), pdce_ir::ParseError>(())
+/// ```
+pub fn local_value_numbering(prog: &mut Program) -> LvnStats {
+    let mut stats = LvnStats::default();
+    for n in prog.node_ids().collect::<Vec<_>>() {
+        let mut numbering = Numbering::default();
+        let block_len = prog.block(n).stmts.len();
+        for k in 0..block_len {
+            let stmt = prog.block(n).stmts[k];
+            match stmt {
+                Stmt::Skip => {}
+                Stmt::Out(t) => {
+                    let (t2, _) = simplify(prog, &mut numbering, t, &mut stats);
+                    if t2 != t {
+                        prog.block_mut(n).stmts[k] = Stmt::Out(t2);
+                    }
+                }
+                Stmt::Assign { lhs, rhs } => {
+                    let (rhs2, vn) = simplify(prog, &mut numbering, rhs, &mut stats);
+                    // An existing holder of the same value makes the
+                    // whole computation a copy.
+                    let new_rhs = match numbering.holder.get(&vn) {
+                        Some(&h) if h != lhs && !is_trivial(prog, rhs2) => {
+                            stats.replaced += 1;
+                            prog.terms_mut().var(h)
+                        }
+                        _ => rhs2,
+                    };
+                    if new_rhs != rhs {
+                        prog.block_mut(n).stmts[k] = Stmt::Assign { lhs, rhs: new_rhs };
+                    }
+                    numbering.assign(lhs, vn);
+                }
+            }
+        }
+        // The branch condition participates too.
+        if let Some(c) = prog.block(n).term.used_term() {
+            let (c2, _) = simplify(prog, &mut numbering, c, &mut stats);
+            if c2 != c {
+                if let pdce_ir::Terminator::Cond { cond, .. } = &mut prog.block_mut(n).term {
+                    *cond = c2;
+                }
+            }
+        }
+    }
+    stats
+}
+
+/// Whether replacing this term with a variable read would not help.
+fn is_trivial(prog: &Program, t: TermId) -> bool {
+    matches!(
+        prog.terms().data(t),
+        TermData::Const(_) | TermData::Var(_)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdce_ir::interp::{run_with, ExecLimits};
+    use pdce_ir::parser::parse;
+    use pdce_ir::printer::{diff, structural_eq};
+
+    fn check(src: &str, expected: &str) {
+        let mut p = parse(src).unwrap();
+        local_value_numbering(&mut p);
+        let want = parse(expected).unwrap();
+        assert!(structural_eq(&p, &want), "{}", diff(&p, &want));
+        // Semantics must hold for a few inputs.
+        let orig = parse(src).unwrap();
+        for a in [-7i64, 0, 13] {
+            let t0 = run_with(&orig, &[("a", a), ("b", 2)], vec![0, 1], ExecLimits::default());
+            let t1 = run_with(&p, &[("a", a), ("b", 2)], vec![0, 1], ExecLimits::default());
+            assert_eq!(t0.outputs, t1.outputs, "a={a}");
+        }
+    }
+
+    #[test]
+    fn redundant_computation_becomes_copy() {
+        check(
+            "prog { block s { x := a + b; y := a + b; out(x + y); goto e } block e { halt } }",
+            "prog { block s { x := a + b; y := x; out(x + y); goto e } block e { halt } }",
+        );
+    }
+
+    #[test]
+    fn redefinition_invalidates() {
+        check(
+            "prog { block s { x := a + b; a := 1; y := a + b; out(y); goto e } block e { halt } }",
+            // a's value changed: a + b now folds differently — a is the
+            // constant 1, but b is unknown, so y := 1 + b (not a copy).
+            "prog { block s { x := a + b; a := 1; y := 1 + b; out(y); goto e } block e { halt } }",
+        );
+    }
+
+    #[test]
+    fn constants_fold_through_chains() {
+        check(
+            "prog { block s { x := 2 + 3; y := x * 2; out(y - 1); goto e } block e { halt } }",
+            "prog { block s { x := 5; y := 10; out(9); goto e } block e { halt } }",
+        );
+    }
+
+    #[test]
+    fn overwritten_holder_is_not_reused() {
+        check(
+            "prog { block s { x := a + b; x := 7; y := a + b; out(x + y); goto e } block e { halt } }",
+            // x no longer holds a+b when y is computed: recompute. The
+            // constant value of x, however, propagates into the out.
+            "prog { block s { x := a + b; x := 7; y := a + b; out(7 + y); goto e } block e { halt } }",
+        );
+    }
+
+    #[test]
+    fn numbering_is_block_local() {
+        check(
+            "prog {
+               block s { x := a + b; nondet l r }
+               block l { y := a + b; out(y); goto e2 }
+               block r { out(x); goto e2 }
+               block e2 { goto e }
+               block e { halt }
+             }",
+            // The recomputation in l is in another block: untouched
+            // (that is LCM's job).
+            "prog {
+               block s { x := a + b; nondet l r }
+               block l { y := a + b; out(y); goto e2 }
+               block r { out(x); goto e2 }
+               block e2 { goto e }
+               block e { halt }
+             }",
+        );
+    }
+
+    #[test]
+    fn conditions_are_simplified() {
+        check(
+            "prog {
+               block s { x := 4; if x < 9 then t else f }
+               block t { out(1); goto e }
+               block f { out(2); goto e }
+               block e { halt }
+             }",
+            "prog {
+               block s { x := 4; if 1 then t else f }
+               block t { out(1); goto e }
+               block f { out(2); goto e }
+               block e { halt }
+             }",
+        );
+    }
+
+    #[test]
+    fn copies_share_value_numbers() {
+        check(
+            "prog { block s { x := a; y := x; z := a + y; w := a + x; out(z + w); goto e } block e { halt } }",
+            // y and x and a share a value number, so a+y ≡ a+x: w := z.
+            "prog { block s { x := a; y := x; z := a + y; w := z; out(z + w); goto e } block e { halt } }",
+        );
+    }
+
+    #[test]
+    fn lcm_plus_lvn_covers_both_redundancy_kinds() {
+        // In-block (second a+b) and cross-block (j's a+b) redundancy.
+        let src = "prog {
+            block s { x := a + b; y := a + b; out(x + y); goto j }
+            block j { z := a + b; out(z); goto e }
+            block e { halt }
+        }";
+        let mut p = parse(src).unwrap();
+        local_value_numbering(&mut p);
+        pdce_lcm::lazy_code_motion(&mut p).unwrap();
+        let printed = pdce_ir::printer::print_program(&p);
+        assert_eq!(
+            printed.matches("a + b").count(),
+            1,
+            "exactly one computation should remain:\n{printed}"
+        );
+        let orig = parse(src).unwrap();
+        let t0 = run_with(&orig, &[("a", 5), ("b", 6)], vec![], ExecLimits::default());
+        let t1 = run_with(&p, &[("a", 5), ("b", 6)], vec![], ExecLimits::default());
+        assert_eq!(t0.outputs, t1.outputs);
+    }
+}

@@ -1,0 +1,50 @@
+//! Ablation: pre-composed block transfer summaries vs. per-instruction
+//! transfer application inside the dead-variable solver (the design
+//! decision called out in DESIGN.md §5).
+//!
+//! With summaries, one solver evaluation costs one gen/kill application;
+//! without, it costs one per instruction — same fixpoint (tested in
+//! `pdce-core`), different constant factors, especially on programs with
+//! long blocks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use pdce_core::DeadSolution;
+use pdce_ir::CfgView;
+use pdce_progen::{structured, GenConfig};
+
+fn workload(stmts_per_block: usize) -> pdce_ir::Program {
+    structured(&GenConfig {
+        seed: 9,
+        target_blocks: 96,
+        num_vars: 10,
+        stmts_per_block: (stmts_per_block, stmts_per_block),
+        out_prob: 0.2,
+        loop_prob: 0.35,
+        max_depth: 8,
+        expr_depth: 2,
+        nondet: true,
+    })
+}
+
+fn bench_summarized_vs_per_instruction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dead_analysis_ablation");
+    for stmts in [2usize, 8, 24] {
+        let prog = workload(stmts);
+        let view = CfgView::new(&prog);
+        group.bench_with_input(
+            BenchmarkId::new("summarized", stmts),
+            &(),
+            |b, ()| b.iter(|| DeadSolution::compute(&prog, &view)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("per_instruction", stmts),
+            &(),
+            |b, ()| b.iter(|| DeadSolution::compute_per_instruction(&prog, &view)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_summarized_vs_per_instruction);
+criterion_main!(benches);

@@ -1,0 +1,113 @@
+//! C1/C2: runtime scaling of pde and pfe (Section 6.4 of the paper).
+//!
+//! Criterion series over structured program sizes; the `report` binary
+//! fits the growth exponents from the same workloads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use pdce_core::driver::{optimize, PdceConfig};
+use pdce_progen::{corridor, diamond_ladder, second_order_tower, structured, GenConfig};
+
+fn structured_of_size(n: usize) -> pdce_ir::Program {
+    structured(&GenConfig {
+        seed: 11,
+        target_blocks: n,
+        num_vars: 8,
+        stmts_per_block: (1, 4),
+        out_prob: 0.2,
+        loop_prob: 0.3,
+        max_depth: 12,
+        expr_depth: 2,
+        nondet: true,
+    })
+}
+
+fn bench_pde_structured(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pde_structured");
+    group.sample_size(10);
+    for n in [32usize, 128, 512] {
+        let prog = structured_of_size(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &prog, |b, prog| {
+            b.iter(|| {
+                let mut clone = prog.clone();
+                optimize(&mut clone, &PdceConfig::pde()).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_pfe_structured(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pfe_structured");
+    group.sample_size(10);
+    for n in [32usize, 128, 512] {
+        let prog = structured_of_size(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &prog, |b, prog| {
+            b.iter(|| {
+                let mut clone = prog.clone();
+                optimize(&mut clone, &PdceConfig::pfe()).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Long-distance sinking is a single delayability solve regardless of
+/// corridor length (contrast with per-round approaches).
+fn bench_corridor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pde_corridor");
+    group.sample_size(10);
+    for n in [64usize, 256, 1024] {
+        let prog = corridor(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &prog, |b, prog| {
+            b.iter(|| {
+                let mut clone = prog.clone();
+                optimize(&mut clone, &PdceConfig::pde()).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The round-count stress case: r grows linearly with the tower height
+/// (C4), so total work is quadratic here — the paper's r·(c_dce + c_ask)
+/// formula in action.
+fn bench_tower(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pde_second_order_tower");
+    group.sample_size(10);
+    for k in [8usize, 32, 128] {
+        let prog = second_order_tower(k);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &prog, |b, prog| {
+            b.iter(|| {
+                let mut clone = prog.clone();
+                optimize(&mut clone, &PdceConfig::pde()).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_ladder(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pde_diamond_ladder");
+    group.sample_size(10);
+    for n in [16usize, 64, 256] {
+        let prog = diamond_ladder(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &prog, |b, prog| {
+            b.iter(|| {
+                let mut clone = prog.clone();
+                optimize(&mut clone, &PdceConfig::pde()).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pde_structured,
+    bench_pfe_structured,
+    bench_corridor,
+    bench_tower,
+    bench_ladder
+);
+criterion_main!(benches);

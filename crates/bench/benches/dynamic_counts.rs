@@ -1,0 +1,85 @@
+//! D1: dynamic cost of optimized programs — interpreter runs of the
+//! original vs. dce / pde / pfe outputs (the "who wins" series), plus
+//! the cost of the full driver at each optimization level.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use pdce_baselines::liveness_dce;
+use pdce_core::driver::{optimize, PdceConfig};
+use pdce_ir::interp::{run, Env, ExecLimits, SeededOracle};
+use pdce_ir::Program;
+use pdce_progen::{structured, GenConfig};
+
+fn workload() -> Program {
+    structured(&GenConfig {
+        seed: 2024,
+        target_blocks: 48,
+        num_vars: 8,
+        stmts_per_block: (1, 4),
+        out_prob: 0.15,
+        loop_prob: 0.4,
+        max_depth: 6,
+        expr_depth: 2,
+        nondet: false, // conditional: deterministic, loop-bounded
+    })
+}
+
+fn execute(prog: &Program) -> u64 {
+    let mut env = Env::with_values(prog, &[("v0", 3), ("v1", -5)]);
+    let mut oracle = SeededOracle::new(1);
+    let t = run(
+        prog,
+        &mut env,
+        &mut oracle,
+        ExecLimits {
+            max_block_visits: 50_000,
+        },
+    );
+    t.executed_assignments
+}
+
+fn bench_execution_by_level(c: &mut Criterion) {
+    let original = workload();
+    let mut dce = original.clone();
+    liveness_dce(&mut dce);
+    let mut pde_p = original.clone();
+    optimize(&mut pde_p, &PdceConfig::pde()).unwrap();
+    let mut pfe_p = original.clone();
+    optimize(&mut pfe_p, &PdceConfig::pfe()).unwrap();
+
+    let mut group = c.benchmark_group("interp_by_opt_level");
+    for (name, prog) in [
+        ("original", &original),
+        ("dce", &dce),
+        ("pde", &pde_p),
+        ("pfe", &pfe_p),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), prog, |b, prog| {
+            b.iter(|| execute(prog))
+        });
+    }
+    group.finish();
+}
+
+fn bench_optimizer_by_level(c: &mut Criterion) {
+    let original = workload();
+    let mut group = c.benchmark_group("optimizer_by_level");
+    group.sample_size(10);
+    for (name, config) in [
+        ("dce_only", PdceConfig::dce_only()),
+        ("fce_only", PdceConfig::fce_only()),
+        ("pde", PdceConfig::pde()),
+        ("pfe", PdceConfig::pfe()),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &config, |b, config| {
+            b.iter(|| {
+                let mut clone = original.clone();
+                optimize(&mut clone, config).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_execution_by_level, bench_optimizer_by_level);
+criterion_main!(benches);

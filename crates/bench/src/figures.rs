@@ -1,0 +1,285 @@
+//! The figure corpus: every worked example of the paper, with the
+//! expected optimized program, shared between the `figures` bench and
+//! the `report` binary (the integration tests in `tests/figures.rs`
+//! carry the same programs with finer-grained assertions).
+
+use pdce_core::driver::{optimize, PdceConfig};
+use pdce_core::elim::Mode;
+use pdce_ir::parser::parse;
+use pdce_ir::printer::structural_eq;
+
+/// One figure reproduction: source, expected pde/pfe result, mode.
+#[derive(Debug, Clone, Copy)]
+pub struct Figure {
+    /// Paper figure id, e.g. `"F1→F2"`.
+    pub id: &'static str,
+    /// What the figure demonstrates.
+    pub claim: &'static str,
+    /// Input program.
+    pub source: &'static str,
+    /// Expected program after the driver runs.
+    pub expected: &'static str,
+    /// Which driver the figure exercises.
+    pub mode: Mode,
+}
+
+/// Returns the full corpus.
+pub fn figure_corpus() -> Vec<Figure> {
+    vec![
+        Figure {
+            id: "F1→F2",
+            claim: "partially dead assignment sunk and eliminated on one arm",
+            source: "prog {
+                block s  { goto n1 }
+                block n1 { y := a + b; nondet n2 n3 }
+                block n2 { y := 4; goto n4 }
+                block n3 { out(y); goto n4 }
+                block n4 { out(y); goto e }
+                block e  { halt }
+            }",
+            expected: "prog {
+                block s  { goto n1 }
+                block n1 { nondet n2 n3 }
+                block n2 { y := 4; goto n4 }
+                block n3 { y := a + b; out(y); goto n4 }
+                block n4 { out(y); goto e }
+                block e  { halt }
+            }",
+            mode: Mode::Dead,
+        },
+        Figure {
+            id: "F3→F4",
+            claim: "second-order: loop-invariant fragment leaves the loop",
+            source: "prog {
+                block s { goto h }
+                block h { y := a + b; c := y - d; nondet hb after }
+                block hb { x := x + 1; goto h }
+                block after { nondet n7 n8 }
+                block n7 { out(c); goto e }
+                block n8 { out(x); goto e }
+                block e { halt }
+            }",
+            expected: "prog {
+                block s { goto h }
+                block h { nondet hb after }
+                block hb { x := x + 1; goto h }
+                block after { nondet n7 n8 }
+                block n7 { y := a + b; c := y - d; out(c); goto e }
+                block n8 { out(x); goto e }
+                block e { halt }
+            }",
+            mode: Mode::Dead,
+        },
+        Figure {
+            id: "F5→F6",
+            claim: "sinking across an irreducible region, never into the loop",
+            source: "prog {
+                block n1 { x := a + b; nondet n2 n3 }
+                block n2 { nondet n3 n4 }
+                block n3 { nondet n2 n4 }
+                block n4 { nondet n5 n6 }
+                block n5 { nondet n7 n8 }
+                block n6 { x := c + 1; out(x); goto n10 }
+                block n7 { y := y + x; goto n9 }
+                block n8 { goto n9 }
+                block n9 { nondet n5 n10 }
+                block n10 { out(y); goto e }
+                block e { halt }
+            }",
+            expected: "prog {
+                block n1 { nondet S_n1_n2 S_n1_n3 }
+                block S_n1_n2 { goto n2 }
+                block S_n1_n3 { goto n3 }
+                block n2 { nondet S_n2_n3 S_n2_n4 }
+                block n3 { nondet S_n3_n2 S_n3_n4 }
+                block S_n2_n3 { goto n3 }
+                block S_n3_n2 { goto n2 }
+                block S_n2_n4 { goto n4 }
+                block S_n3_n4 { goto n4 }
+                block n4 { nondet S_n4_n5 n6 }
+                block S_n4_n5 { x := a + b; goto n5 }
+                block n5 { nondet n7 n8 }
+                block n6 { x := c + 1; out(x); goto n10 }
+                block n7 { y := y + x; goto n9 }
+                block n8 { goto n9 }
+                block n9 { nondet S_n9_n5 S_n9_n10 }
+                block S_n9_n5 { goto n5 }
+                block S_n9_n10 { goto n10 }
+                block n10 { out(y); goto e }
+                block e { halt }
+            }",
+            mode: Mode::Dead,
+        },
+        Figure {
+            id: "F7",
+            claim: "m-to-n sinking: simultaneous treatment of both occurrences",
+            source: "prog {
+                block s  { nondet n1 n2 }
+                block n1 { a := a + 1; goto n3 }
+                block n2 { y := c + d; a := a + 1; goto n3 }
+                block n3 { nondet n4 n5 }
+                block n4 { out(a); goto e }
+                block n5 { out(b); goto e }
+                block e  { halt }
+            }",
+            expected: "prog {
+                block s  { nondet n1 n2 }
+                block n1 { goto n3 }
+                block n2 { goto n3 }
+                block n3 { nondet n4 n5 }
+                block n4 { a := a + 1; out(a); goto e }
+                block n5 { out(b); goto e }
+                block e  { halt }
+            }",
+            mode: Mode::Dead,
+        },
+        Figure {
+            id: "F8",
+            claim: "critical edge split enables the elimination",
+            source: "prog {
+                block s  { goto n1 }
+                block n1 { x := a + b; nondet n2 n3 }
+                block n3 { x := 5; goto n2 }
+                block n2 { out(x); goto e }
+                block e  { halt }
+            }",
+            expected: "prog {
+                block s  { goto n1 }
+                block n1 { nondet S_n1_n2 n3 }
+                block S_n1_n2 { x := a + b; goto n2 }
+                block n3 { x := 5; goto n2 }
+                block n2 { out(x); goto e }
+                block e  { halt }
+            }",
+            mode: Mode::Dead,
+        },
+        Figure {
+            id: "F9",
+            claim: "faint but not dead: removed by pfe only",
+            source: "prog {
+                block s { goto l }
+                block l { x := x + 1; nondet l d }
+                block d { goto e }
+                block e { halt }
+            }",
+            expected: "prog {
+                block s { goto l }
+                block l { nondet S_l_l d }
+                block S_l_l { goto l }
+                block d { goto e }
+                block e { halt }
+            }",
+            mode: Mode::Faint,
+        },
+        Figure {
+            id: "F10",
+            claim: "sinking–sinking: a := c must move before y := a + b can",
+            source: "prog {
+                block s  { goto n1 }
+                block n1 { y := a + b; goto n2 }
+                block n2 { a := c; nondet n3 n4 }
+                block n3 { y := d; goto n5 }
+                block n4 { goto n5 }
+                block n5 { x := a + c; goto n6 }
+                block n6 { out(x + y); goto e }
+                block e  { halt }
+            }",
+            expected: "prog {
+                block s  { goto n1 }
+                block n1 { goto n2 }
+                block n2 { nondet n3 n4 }
+                block n3 { y := d; goto n5 }
+                block n4 { y := a + b; goto n5 }
+                block n5 { goto n6 }
+                block n6 { a := c; x := a + c; out(x + y); goto e }
+                block e  { halt }
+            }",
+            mode: Mode::Dead,
+        },
+        Figure {
+            id: "F11",
+            claim: "elimination–sinking: a dead assignment blocks the sink",
+            source: "prog {
+                block s  { goto n1 }
+                block n1 { y := a + b; z := y + 1; z := 2; nondet n4 n5 }
+                block n4 { y := 0; out(z); goto e }
+                block n5 { out(y); goto e }
+                block e  { halt }
+            }",
+            expected: "prog {
+                block s  { goto n1 }
+                block n1 { nondet n4 n5 }
+                block n4 { z := 2; out(z); goto e }
+                block n5 { y := a + b; out(y); goto e }
+                block e  { halt }
+            }",
+            mode: Mode::Dead,
+        },
+        Figure {
+            id: "F12",
+            claim: "elimination–elimination: first-order under faintness",
+            source: "prog {
+                block s  { a := c + 1; nondet n3 n4 }
+                block n3 { goto n5 }
+                block n4 { y := a + b; goto n5 }
+                block n5 { y := c + d; out(y); goto e }
+                block e  { halt }
+            }",
+            expected: "prog {
+                block s  { nondet n3 n4 }
+                block n3 { goto n5 }
+                block n4 { goto n5 }
+                block n5 { y := c + d; out(y); goto e }
+                block e  { halt }
+            }",
+            mode: Mode::Faint,
+        },
+        Figure {
+            id: "F13",
+            claim: "sinking candidates: only unblocked trailing occurrences move",
+            source: "prog {
+                block s { y := a + b; a := c; x := 3 * y; nondet n1 n2 }
+                block n1 { out(x); goto e }
+                block n2 { out(a); goto e }
+                block e { halt }
+            }",
+            expected: "prog {
+                block s { nondet n1 n2 }
+                block n1 { y := a + b; x := 3 * y; out(x); goto e }
+                block n2 { a := c; out(a); goto e }
+                block e { halt }
+            }",
+            mode: Mode::Dead,
+        },
+    ]
+}
+
+/// Runs the driver on the figure's source and checks the expected
+/// program. Returns `(reproduced, rounds, eliminated)`.
+pub fn verify_figure(figure: &Figure) -> (bool, u64, u64) {
+    let mut prog = parse(figure.source).expect("figure source parses");
+    let config = match figure.mode {
+        Mode::Dead => PdceConfig::pde(),
+        Mode::Faint => PdceConfig::pfe(),
+    };
+    let stats = optimize(&mut prog, &config).expect("driver terminates");
+    let expected = parse(figure.expected).expect("figure expectation parses");
+    (
+        structural_eq(&prog, &expected),
+        stats.rounds,
+        stats.eliminated_assignments,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn whole_corpus_reproduces() {
+        for figure in figure_corpus() {
+            let (ok, _, _) = verify_figure(&figure);
+            assert!(ok, "figure {} failed to reproduce", figure.id);
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Scaling sweeps and slope fitting for the Section 6 complexity
+//! experiments.
+
+use std::time::Instant;
+
+use pdce_core::driver::{optimize, PdceConfig, PdceStats};
+use pdce_ir::Program;
+
+/// One measured point of a sweep.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Nominal problem size (whatever the sweep scales).
+    pub n: usize,
+    /// Blocks of the input program.
+    pub blocks: usize,
+    /// Statements of the input program.
+    pub stmts: usize,
+    /// Wall time of the optimization, in nanoseconds (best of `reps`).
+    pub time_ns: u128,
+    /// Driver statistics.
+    pub stats: PdceStats,
+}
+
+/// Optimizes (a clone of) `prog` `reps` times, keeping the best time.
+pub fn measure(n: usize, prog: &Program, config: &PdceConfig, reps: usize) -> Measurement {
+    let blocks = prog.num_blocks();
+    let stmts = prog.num_stmts();
+    let mut best: Option<(u128, PdceStats)> = None;
+    for _ in 0..reps.max(1) {
+        let mut clone = prog.clone();
+        let start = Instant::now();
+        let stats = optimize(&mut clone, config).expect("driver terminates");
+        let elapsed = start.elapsed().as_nanos();
+        if best.as_ref().is_none_or(|(t, _)| elapsed < *t) {
+            best = Some((elapsed, stats));
+        }
+    }
+    let (time_ns, stats) = best.expect("reps >= 1");
+    Measurement {
+        n,
+        blocks,
+        stmts,
+        time_ns,
+        stats,
+    }
+}
+
+/// Least-squares slope of `ln(y)` against `ln(x)` — the growth exponent
+/// of a power law. Requires at least two distinct positive points.
+pub fn fit_loglog_slope(points: &[(f64, f64)]) -> f64 {
+    let logs: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|(x, y)| *x > 0.0 && *y > 0.0)
+        .map(|(x, y)| (x.ln(), y.ln()))
+        .collect();
+    let n = logs.len() as f64;
+    assert!(n >= 2.0, "need at least two positive points");
+    let sx: f64 = logs.iter().map(|(x, _)| x).sum();
+    let sy: f64 = logs.iter().map(|(_, y)| y).sum();
+    let sxx: f64 = logs.iter().map(|(x, _)| x * x).sum();
+    let sxy: f64 = logs.iter().map(|(x, y)| x * y).sum();
+    let denom = n * sxx - sx * sx;
+    assert!(denom.abs() > f64::EPSILON, "x values must differ");
+    (n * sxy - sx * sy) / denom
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdce_progen::{structured, GenConfig};
+
+    #[test]
+    fn slope_of_exact_power_laws() {
+        let quad: Vec<(f64, f64)> = (1..=6).map(|i| (i as f64, (i * i) as f64)).collect();
+        assert!((fit_loglog_slope(&quad) - 2.0).abs() < 1e-9);
+        let lin: Vec<(f64, f64)> = (1..=6).map(|i| (i as f64, 3.0 * i as f64)).collect();
+        assert!((fit_loglog_slope(&lin) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn slope_needs_points() {
+        fit_loglog_slope(&[(1.0, 1.0)]);
+    }
+
+    #[test]
+    fn measure_reports_consistent_sizes() {
+        let p = structured(&GenConfig {
+            seed: 1,
+            nondet: true,
+            ..GenConfig::default()
+        });
+        let m = measure(7, &p, &PdceConfig::pde(), 2);
+        assert_eq!(m.n, 7);
+        assert_eq!(m.blocks, p.num_blocks());
+        assert_eq!(m.stmts, p.num_stmts());
+        assert!(m.time_ns > 0);
+    }
+}

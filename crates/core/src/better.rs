@@ -1,0 +1,251 @@
+//! The `better` relation of Definition 3.6.
+//!
+//! `G' ⊑ G''` ("G' is better than G''") iff for every path `p ∈ P[s, e]`
+//! and every assignment pattern `α`, the number of occurrences of `α` on
+//! `p` in `G'` is at most that in `G''`. Both programs must share the
+//! branching structure (optimization preserves it), so paths are compared
+//! as node sequences translated by block name.
+//!
+//! For acyclic graphs the check is exact (every path is enumerated); for
+//! cyclic graphs it samples seeded random walks. Theorem 5.2 asserts
+//! `pde(G) ⊑ G''` for every `G''` in the PDE universe — in particular
+//! `pde(G) ⊑ G` itself, which is the "never impairs an execution"
+//! guarantee the tests verify.
+
+use pdce_ir::edgesplit::split_critical_edges;
+use pdce_ir::paths::{enumerate_bounded_paths, enumerate_paths, sample_paths, translate_path};
+use pdce_ir::pattern::{counts_dominated, path_pattern_counts};
+use pdce_ir::{PatternKey, Program};
+
+/// Options for dominance checking.
+#[derive(Debug, Clone)]
+pub struct BetterOptions {
+    /// Maximum number of enumerated paths before falling back to
+    /// sampling.
+    pub max_paths: usize,
+    /// Number of sampled walks for cyclic graphs.
+    pub samples: usize,
+    /// Seed for sampling.
+    pub seed: u64,
+    /// Walk length cut-off for sampling.
+    pub max_len: usize,
+    /// For cyclic graphs, first try exact enumeration of all paths with
+    /// at most this many visits per node (covering every execution with
+    /// `visit_cap - 1` loop re-entries) before falling back to sampling.
+    /// `0` disables the bounded pass.
+    pub visit_cap: usize,
+}
+
+impl Default for BetterOptions {
+    fn default() -> BetterOptions {
+        BetterOptions {
+            max_paths: 4096,
+            samples: 256,
+            seed: 0x5eed,
+            max_len: 256,
+            visit_cap: 3,
+        }
+    }
+}
+
+/// One path on which dominance failed.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// The path, as block names of the reference program.
+    pub path: Vec<String>,
+    /// Pattern counts of the candidate on this path.
+    pub candidate_counts: Vec<(PatternKey, u64)>,
+    /// Pattern counts of the reference on this path.
+    pub reference_counts: Vec<(PatternKey, u64)>,
+}
+
+/// Outcome of a dominance check.
+#[derive(Debug, Clone)]
+pub struct DominanceReport {
+    /// Number of paths compared.
+    pub paths_checked: usize,
+    /// Whether the check covered *all* paths (acyclic enumeration).
+    pub exact: bool,
+    /// Paths on which the candidate was worse, empty when dominated.
+    pub violations: Vec<Violation>,
+}
+
+impl DominanceReport {
+    /// Whether the candidate dominated the reference on every checked
+    /// path.
+    pub fn holds(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Checks `candidate ⊑ reference` on paths of `reference`.
+///
+/// Both programs must contain the same blocks (by name) connected by the
+/// same edges; paths are generated on `reference` and translated by name.
+///
+/// # Panics
+///
+/// Panics if a reference path has no counterpart in the candidate, which
+/// means the branching structures differ.
+pub fn is_better(
+    candidate: &Program,
+    reference: &Program,
+    opts: &BetterOptions,
+) -> DominanceReport {
+    let (paths, exact) = match enumerate_paths(reference, opts.max_paths) {
+        Some(paths) => (paths, true),
+        None => {
+            // Cyclic: try exact-up-to-bound enumeration first.
+            let bounded = if opts.visit_cap > 0 {
+                enumerate_bounded_paths(reference, opts.visit_cap, opts.max_paths)
+            } else {
+                None
+            };
+            match bounded {
+                Some(paths) if !paths.is_empty() => (paths, false),
+                _ => (
+                    sample_paths(reference, opts.seed, opts.samples, opts.max_len),
+                    false,
+                ),
+            }
+        }
+    };
+    let mut violations = Vec::new();
+    for path in &paths {
+        let translated = translate_path(reference, candidate, path)
+            .expect("candidate and reference must share the branching structure");
+        let cand = path_pattern_counts(candidate, &translated);
+        let refc = path_pattern_counts(reference, path);
+        if !counts_dominated(&cand, &refc) {
+            violations.push(Violation {
+                path: path
+                    .iter()
+                    .map(|&n| reference.block(n).name.clone())
+                    .collect(),
+                candidate_counts: sorted(cand),
+                reference_counts: sorted(refc),
+            });
+        }
+    }
+    DominanceReport {
+        paths_checked: paths.len(),
+        exact,
+        violations,
+    }
+}
+
+fn sorted(m: std::collections::HashMap<PatternKey, u64>) -> Vec<(PatternKey, u64)> {
+    let mut v: Vec<(PatternKey, u64)> = m.into_iter().collect();
+    v.sort();
+    v
+}
+
+/// Checks that `optimized` (the output of the driver on `original`) is
+/// better than `original` in the sense of Definition 3.6.
+///
+/// Drivers with sinking enabled split critical edges, so the reference
+/// is split the same way before comparing (synthetic blocks are empty
+/// and do not affect counts); elimination-only drivers leave the graph
+/// untouched, in which case the unsplit original is the right reference.
+/// The choice is made by inspecting the candidate's block set.
+pub fn check_improvement(
+    original: &Program,
+    optimized: &Program,
+    opts: &BetterOptions,
+) -> DominanceReport {
+    let mut split = original.clone();
+    split_critical_edges(&mut split);
+    let candidate_has_all_synthetic = split
+        .node_ids()
+        .all(|n| optimized.block_by_name(&split.block(n).name).is_some());
+    if candidate_has_all_synthetic {
+        is_better(optimized, &split, opts)
+    } else {
+        is_better(optimized, original, opts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{optimize, PdceConfig};
+    use pdce_ir::parser::parse;
+
+    const FIG1: &str = "prog {
+        block s  { goto n1 }
+        block n1 { y := a + b; nondet n2 n3 }
+        block n2 { out(y); goto n4 }
+        block n3 { y := 4; goto n4 }
+        block n4 { out(y); goto e }
+        block e  { halt }
+    }";
+
+    #[test]
+    fn pde_output_dominates_input_exactly() {
+        let original = parse(FIG1).unwrap();
+        let mut optimized = original.clone();
+        optimize(&mut optimized, &PdceConfig::pde()).unwrap();
+        let report = check_improvement(&original, &optimized, &BetterOptions::default());
+        assert!(report.exact);
+        assert_eq!(report.paths_checked, 2);
+        assert!(report.holds(), "violations: {:#?}", report.violations);
+    }
+
+    #[test]
+    fn reflexivity() {
+        let p = parse(FIG1).unwrap();
+        let report = is_better(&p, &p, &BetterOptions::default());
+        assert!(report.holds());
+    }
+
+    #[test]
+    fn detects_regression() {
+        let better_prog = parse(
+            "prog { block s { out(y); goto e } block e { halt } }",
+        )
+        .unwrap();
+        let worse_prog = parse(
+            "prog { block s { y := a + b; out(y); goto e } block e { halt } }",
+        )
+        .unwrap();
+        // worse ⊑ better fails…
+        let report = is_better(&worse_prog, &better_prog, &BetterOptions::default());
+        assert!(!report.holds());
+        assert_eq!(report.violations.len(), 1);
+        // …while better ⊑ worse holds.
+        assert!(is_better(&better_prog, &worse_prog, &BetterOptions::default()).holds());
+    }
+
+    #[test]
+    fn cyclic_graphs_fall_back_to_sampling() {
+        let original = parse(
+            "prog {
+               block s { goto h }
+               block h { x := a + b; nondet h after }
+               block after { out(x); goto e }
+               block e { halt }
+             }",
+        )
+        .unwrap();
+        let mut optimized = original.clone();
+        optimize(&mut optimized, &PdceConfig::pde()).unwrap();
+        let report = check_improvement(&original, &optimized, &BetterOptions::default());
+        assert!(!report.exact);
+        assert!(report.paths_checked > 0);
+        assert!(report.holds(), "violations: {:#?}", report.violations);
+    }
+
+    #[test]
+    fn incomparable_programs_fail_both_ways() {
+        let p1 = parse(
+            "prog { block s { x := 1; goto e } block e { halt } }",
+        )
+        .unwrap();
+        let p2 = parse(
+            "prog { block s { y := 2; goto e } block e { halt } }",
+        )
+        .unwrap();
+        assert!(!is_better(&p1, &p2, &BetterOptions::default()).holds());
+        assert!(!is_better(&p2, &p1, &BetterOptions::default()).holds());
+    }
+}

@@ -1,0 +1,295 @@
+//! Dead-variable analysis (Table 1 of the paper).
+//!
+//! A variable `x` is *dead* at a program point if on every path from
+//! there to the end node every right-hand-side occurrence of `x` is
+//! preceded by a modification of `x`. The paper's equations, per
+//! instruction `ι`:
+//!
+//! ```text
+//! N-DEAD_ι = ¬USED_ι ∧ (X-DEAD_ι ∨ MOD_ι)
+//! X-DEAD_ι = ∧_{ι' ∈ succ(ι)} N-DEAD_ι'
+//! ```
+//!
+//! This is a backward all-paths bit-vector problem (greatest fixpoint,
+//! everything dead at the end node). Each instruction's transfer is a
+//! gen/kill pair (`gen = MOD ∖ USED`, `kill = USED`), so the solver can
+//! run block-at-a-time on composed transfers; per-instruction values are
+//! recovered by a linear backward walk inside a block.
+
+use pdce_dfa::{solve, BitProblem, BitVec, Direction, GenKill, Meet, Solution};
+use pdce_ir::{CfgView, NodeId, Program, Stmt, Terminator, Var};
+
+/// Result of the dead-variable analysis.
+#[derive(Debug, Clone)]
+pub struct DeadSolution {
+    width: usize,
+    solution: Solution,
+}
+
+/// Transfer of a single statement for deadness.
+pub(crate) fn stmt_transfer(prog: &Program, stmt: &Stmt, width: usize) -> GenKill {
+    let mut gen = BitVec::zeros(width);
+    let mut kill = BitVec::zeros(width);
+    if let Some(t) = stmt.used_term() {
+        for &v in prog.terms().vars_of(t) {
+            kill.set(v.index(), true);
+        }
+    }
+    if let Some(m) = stmt.modified() {
+        // gen = MOD ∖ USED: `x := x + 1` keeps x live.
+        if !stmt.uses(prog.terms(), m) {
+            gen.set(m.index(), true);
+        }
+    }
+    GenKill::new(gen, kill)
+}
+
+/// Transfer of a terminator: a conditional branch is a relevant use of
+/// its condition variables (paper footnote 2).
+pub(crate) fn term_transfer(prog: &Program, term: &Terminator, width: usize) -> GenKill {
+    let mut kill = BitVec::zeros(width);
+    if let Some(c) = term.used_term() {
+        for &v in prog.terms().vars_of(c) {
+            kill.set(v.index(), true);
+        }
+    }
+    GenKill::new(BitVec::zeros(width), kill)
+}
+
+impl DeadSolution {
+    /// Runs the analysis over `prog`.
+    pub fn compute(prog: &Program, view: &CfgView) -> DeadSolution {
+        let width = prog.num_vars();
+        let transfer: Vec<GenKill> = prog
+            .node_ids()
+            .map(|n| {
+                let block = prog.block(n);
+                let stmts: Vec<GenKill> = block
+                    .stmts
+                    .iter()
+                    .map(|s| stmt_transfer(prog, s, width))
+                    .collect();
+                let term = term_transfer(prog, &block.term, width);
+                GenKill::compose_backward(width, stmts.iter().chain(std::iter::once(&term)))
+            })
+            .collect();
+        let problem = BitProblem {
+            direction: Direction::Backward,
+            meet: Meet::Intersection,
+            width,
+            transfer,
+            // Everything is dead at the end of the program.
+            boundary: BitVec::ones(width),
+        };
+        let solution = solve(view, &problem);
+        DeadSolution { width, solution }
+    }
+
+    /// Runs the analysis *without* pre-composing block transfers: every
+    /// solver evaluation applies the instruction transfers one by one.
+    ///
+    /// Semantically identical to [`DeadSolution::compute`] (tested), but
+    /// each evaluation costs `O(block length)` bit-vector operations
+    /// instead of one — the ablation for the "block summaries" design
+    /// decision of DESIGN.md, benchmarked in `pdce-bench`.
+    pub fn compute_per_instruction(prog: &Program, view: &CfgView) -> DeadSolution {
+        let width = prog.num_vars();
+        let solution = pdce_dfa::solve_fn(
+            view,
+            Direction::Backward,
+            Meet::Intersection,
+            width,
+            &BitVec::ones(width),
+            |node, exit_val| {
+                let block = prog.block(node);
+                let mut current = term_transfer(prog, &block.term, width).apply(exit_val);
+                for stmt in block.stmts.iter().rev() {
+                    current = stmt_transfer(prog, stmt, width).apply(&current);
+                }
+                current
+            },
+        );
+        DeadSolution { width, solution }
+    }
+
+    /// Deadness vector at the entry of block `n`.
+    pub fn at_entry(&self, n: NodeId) -> &BitVec {
+        self.solution.at_entry(n)
+    }
+
+    /// Deadness vector after the terminator of block `n` (the meet over
+    /// successor entries).
+    pub fn at_exit(&self, n: NodeId) -> &BitVec {
+        self.solution.at_exit(n)
+    }
+
+    /// Deadness vectors *immediately after* each statement of block `n`
+    /// (`X-DEAD` of every statement instruction, index-aligned with
+    /// `block.stmts`).
+    pub fn after_each_stmt(&self, prog: &Program, n: NodeId) -> Vec<BitVec> {
+        let block = prog.block(n);
+        let mut current = term_transfer(prog, &block.term, self.width).apply(self.at_exit(n));
+        let mut out = vec![BitVec::zeros(0); block.stmts.len()];
+        for (k, stmt) in block.stmts.iter().enumerate().rev() {
+            out[k] = current.clone();
+            current = stmt_transfer(prog, stmt, self.width).apply(&current);
+        }
+        debug_assert_eq!(&current, self.at_entry(n));
+        out
+    }
+
+    /// Whether `v` is dead immediately after statement `k` of block `n`.
+    pub fn dead_after(&self, prog: &Program, n: NodeId, k: usize, v: Var) -> bool {
+        self.after_each_stmt(prog, n)[k].get(v.index())
+    }
+
+    /// Number of node evaluations the solver performed.
+    pub fn evaluations(&self) -> u64 {
+        self.solution.evaluations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdce_ir::parser::parse;
+
+    fn solve_src(src: &str) -> (pdce_ir::Program, DeadSolution) {
+        let p = parse(src).unwrap();
+        let view = CfgView::new(&p);
+        let d = DeadSolution::compute(&p, &view);
+        (p, d)
+    }
+
+    fn var(p: &pdce_ir::Program, name: &str) -> Var {
+        p.vars().lookup(name).unwrap()
+    }
+
+    #[test]
+    fn unused_assignment_is_dead() {
+        let (p, d) = solve_src(
+            "prog { block s { x := 1; y := 2; out(y); goto e } block e { halt } }",
+        );
+        let s = p.entry();
+        let after = d.after_each_stmt(&p, s);
+        assert!(after[0].get(var(&p, "x").index()), "x dead after x := 1");
+        assert!(!after[1].get(var(&p, "y").index()), "y live before out(y)");
+        assert!(after[2].get(var(&p, "y").index()), "y dead after out(y)");
+    }
+
+    #[test]
+    fn redefinition_makes_earlier_value_dead() {
+        let (p, d) = solve_src(
+            "prog { block s { y := 1; y := 2; out(y); goto e } block e { halt } }",
+        );
+        let after = d.after_each_stmt(&p, p.entry());
+        assert!(after[0].get(var(&p, "y").index()), "first y := 1 is dead");
+        assert!(!after[1].get(var(&p, "y").index()));
+    }
+
+    #[test]
+    fn partially_dead_is_not_dead() {
+        // Figure 1: y := a+b is live on the right branch (out(y) before
+        // redefinition) and dead on the left: hence NOT dead overall.
+        let (p, d) = solve_src(
+            "prog {
+               block s  { goto n1 }
+               block n1 { y := a + b; nondet n2 n3 }
+               block n2 { y := 4; goto n4 }
+               block n3 { out(y); goto n4 }
+               block n4 { out(y); goto e }
+               block e  { halt }
+             }",
+        );
+        let n1 = p.block_by_name("n1").unwrap();
+        assert!(!d.dead_after(&p, n1, 0, var(&p, "y")));
+    }
+
+    #[test]
+    fn self_increment_in_loop_is_not_dead_but_unused_after() {
+        // Figure 9: x := x + 1 in a loop, never observed. x is used by
+        // its own right-hand side on the loop path, so it is NOT dead
+        // (it is faint — see faint.rs).
+        let (p, d) = solve_src(
+            "prog {
+               block s { goto l }
+               block l { x := x + 1; nondet l x2 }
+               block x2 { goto e }
+               block e { halt }
+             }",
+        );
+        let l = p.block_by_name("l").unwrap();
+        assert!(!d.dead_after(&p, l, 0, var(&p, "x")));
+    }
+
+    #[test]
+    fn branch_condition_keeps_variable_live() {
+        let (p, d) = solve_src(
+            "prog {
+               block s { x := a; if x < 3 then t else e }
+               block t { goto e }
+               block e { halt }
+             }",
+        );
+        assert!(!d.dead_after(&p, p.entry(), 0, var(&p, "x")));
+    }
+
+    #[test]
+    fn everything_dead_at_program_end() {
+        let (p, d) = solve_src(
+            "prog { block s { x := 1; goto e } block e { halt } }",
+        );
+        assert_eq!(d.at_exit(p.exit()).count_ones(), p.num_vars());
+        assert!(d.dead_after(&p, p.entry(), 0, var(&p, "x")));
+    }
+
+    #[test]
+    fn loop_carried_use_keeps_live() {
+        // y is used by out(y) after the loop on every exit path, so the
+        // assignment inside the loop is live.
+        let (p, d) = solve_src(
+            "prog {
+               block s { goto h }
+               block h { y := y + 1; nondet h x2 }
+               block x2 { out(y); goto e }
+               block e { halt }
+             }",
+        );
+        let h = p.block_by_name("h").unwrap();
+        assert!(!d.dead_after(&p, h, 0, var(&p, "y")));
+    }
+
+    #[test]
+    fn per_instruction_variant_agrees_with_summarized() {
+        let p = parse(
+            "prog {
+               block s  { x := a + b; y := x; nondet n1 n2 }
+               block n1 { out(y); goto n3 }
+               block n2 { y := 7; x := y; goto n3 }
+               block n3 { out(y); nondet s2 e }
+               block s2 { goto n3 }
+               block e  { halt }
+             }",
+        )
+        .unwrap();
+        let view = CfgView::new(&p);
+        let a = DeadSolution::compute(&p, &view);
+        let b = DeadSolution::compute_per_instruction(&p, &view);
+        for n in p.node_ids() {
+            assert_eq!(a.at_entry(n), b.at_entry(n), "{}", p.block(n).name);
+            assert_eq!(a.at_exit(n), b.at_exit(n), "{}", p.block(n).name);
+        }
+    }
+
+    #[test]
+    fn table1_gen_kill_shapes() {
+        let p = parse(
+            "prog { block s { x := x + y; goto e } block e { halt } }",
+        )
+        .unwrap();
+        let t = stmt_transfer(&p, &p.block(p.entry()).stmts[0], p.num_vars());
+        // x := x + y: USED = {x, y} (kill), MOD ∖ USED = ∅ (gen).
+        assert!(t.gen.none());
+        assert_eq!(t.kill.count_ones(), 2);
+    }
+}

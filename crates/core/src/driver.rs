@@ -1,0 +1,483 @@
+//! The global algorithm (Section 5.1): repeat dead/faint code
+//! elimination and assignment sinking until the program stabilizes.
+//!
+//! * `pde` = `{dce, ask}` exhaustively (Theorem 5.2.1: optimal in
+//!   `G_PDE`),
+//! * `pfe` = `{fce, ask}` exhaustively (Theorem 5.2.2: optimal in
+//!   `G_PFE`).
+//!
+//! Critical edges are split up front (Section 2.1). Each global round
+//! first drives the elimination step to its own fixpoint (capturing the
+//! elimination–elimination effects of Figure 12) and then applies one
+//! sinking pass; the loop ends when a full round leaves the program
+//! structurally unchanged. Termination is guaranteed by the paper's
+//! fixpoint argument (Theorem 3.7); a defensive round cap derived from
+//! the Section 6.3 bound (`r ≤ i·b`) turns any implementation bug into an
+//! error instead of an endless loop.
+
+use std::error::Error;
+use std::fmt;
+
+use pdce_ir::edgesplit::split_critical_edges;
+use pdce_ir::printer::canonical_string;
+use pdce_ir::Program;
+
+use crate::elim::{eliminate_fixpoint_in, Mode};
+use crate::sink::{sink_assignments_in, CriticalEdgeError};
+
+/// What to do when the global round cap is reached (the paper's
+/// Section 7 suggests "simply cutting the global iteration process
+/// after ... a fixed number of iterations" as a practical heuristic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LimitBehavior {
+    /// Treat hitting the cap as a bug (the default: Theorem 3.7 proves
+    /// termination, so a correct implementation never needs the cap).
+    Error,
+    /// Stop gracefully and return the partial result, which is still
+    /// semantics-preserving and better than the input (every
+    /// intermediate program of the iteration is).
+    Truncate,
+}
+
+/// Configuration of the optimizer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PdceConfig {
+    /// Elimination mode: dead (`pde`) or faint (`pfe`).
+    pub mode: Mode,
+    /// Whether assignment sinking runs at all. With sinking disabled the
+    /// driver degenerates to classic (iterated) dead/faint code
+    /// elimination — the paper's baseline.
+    pub sinking: bool,
+    /// Override for the global round cap; `None` uses `4 + i·b` from the
+    /// paper's Section 6.3 estimate.
+    pub max_rounds: Option<usize>,
+    /// Behaviour at the round cap.
+    pub on_limit: LimitBehavior,
+    /// Section 7's "hot areas" heuristic: restrict candidate collection
+    /// and elimination to the named blocks (by block name, so a config
+    /// is program-independent). Insertions may land at region-boundary
+    /// entries; blocks outside the region are otherwise untouched.
+    pub region: Option<std::collections::BTreeSet<String>>,
+}
+
+impl PdceConfig {
+    /// Restricts optimization effort to the named blocks.
+    pub fn with_region<I, S>(mut self, blocks: I) -> PdceConfig
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.region = Some(blocks.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Caps the global iteration at `rounds`, truncating gracefully.
+    pub fn truncating_after(mut self, rounds: usize) -> PdceConfig {
+        self.max_rounds = Some(rounds);
+        self.on_limit = LimitBehavior::Truncate;
+        self
+    }
+}
+
+impl PdceConfig {
+    /// Partial dead code elimination (the paper's `pde`).
+    pub fn pde() -> PdceConfig {
+        PdceConfig {
+            mode: Mode::Dead,
+            sinking: true,
+            max_rounds: None,
+            on_limit: LimitBehavior::Error,
+            region: None,
+        }
+    }
+
+    /// Partial faint code elimination (the paper's `pfe`).
+    pub fn pfe() -> PdceConfig {
+        PdceConfig {
+            mode: Mode::Faint,
+            sinking: true,
+            max_rounds: None,
+            on_limit: LimitBehavior::Error,
+            region: None,
+        }
+    }
+
+    /// Plain iterated dead code elimination (no sinking).
+    pub fn dce_only() -> PdceConfig {
+        PdceConfig {
+            mode: Mode::Dead,
+            sinking: false,
+            max_rounds: None,
+            on_limit: LimitBehavior::Error,
+            region: None,
+        }
+    }
+
+    /// Plain iterated faint code elimination (no sinking).
+    pub fn fce_only() -> PdceConfig {
+        PdceConfig {
+            mode: Mode::Faint,
+            sinking: false,
+            max_rounds: None,
+            on_limit: LimitBehavior::Error,
+            region: None,
+        }
+    }
+}
+
+/// Statistics of one optimizer run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PdceStats {
+    /// Global rounds executed (the paper's `r`), including the final
+    /// no-change round that certifies stability.
+    pub rounds: u64,
+    /// Elimination passes that removed at least one assignment.
+    pub elimination_passes: u64,
+    /// Assignments removed by dead/faint code elimination.
+    pub eliminated_assignments: u64,
+    /// Sinking candidates removed by `ask`.
+    pub sunk_assignments: u64,
+    /// Pattern instances inserted by `ask`.
+    pub inserted_assignments: u64,
+    /// Synthetic blocks added by critical-edge splitting.
+    pub synthetic_blocks: u64,
+    /// Statement count before optimization (after edge splitting).
+    pub initial_stmts: u64,
+    /// Statement count after optimization.
+    pub final_stmts: u64,
+    /// Peak statement count during optimization (the paper's code-growth
+    /// factor `ω` is `max_stmts / initial_stmts`).
+    pub max_stmts: u64,
+    /// Whether the run stopped at the round cap (only with
+    /// [`LimitBehavior::Truncate`]).
+    pub truncated: bool,
+}
+
+impl PdceStats {
+    /// The code growth factor `ω` (Section 6.2): peak size over initial
+    /// size. `1.0` for empty programs.
+    pub fn growth_factor(&self) -> f64 {
+        if self.initial_stmts == 0 {
+            1.0
+        } else {
+            self.max_stmts as f64 / self.initial_stmts as f64
+        }
+    }
+}
+
+/// Optimization failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PdceError {
+    /// The global loop exceeded its round cap — would indicate an
+    /// implementation bug, since the paper proves termination.
+    RoundLimitExceeded {
+        /// Rounds executed before giving up.
+        rounds: u64,
+    },
+}
+
+impl fmt::Display for PdceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PdceError::RoundLimitExceeded { rounds } => {
+                write!(f, "optimizer did not stabilize within {rounds} rounds")
+            }
+        }
+    }
+}
+
+impl Error for PdceError {}
+
+impl From<CriticalEdgeError> for PdceError {
+    fn from(_: CriticalEdgeError) -> PdceError {
+        // Unreachable: the driver splits critical edges before sinking.
+        PdceError::RoundLimitExceeded { rounds: 0 }
+    }
+}
+
+/// Runs the configured optimizer on `prog` in place.
+///
+/// Critical edges are split first (when sinking is enabled), so the
+/// block set of the result is the block set of the *split* program.
+///
+/// # Errors
+///
+/// [`PdceError::RoundLimitExceeded`] if the program fails to stabilize
+/// within the round cap (which the paper's Theorem 3.7 rules out for a
+/// correct implementation).
+pub fn optimize(prog: &mut Program, config: &PdceConfig) -> Result<PdceStats, PdceError> {
+    let mut stats = PdceStats::default();
+    if config.sinking {
+        stats.synthetic_blocks = split_critical_edges(prog).len() as u64;
+    }
+    stats.initial_stmts = prog.num_stmts() as u64;
+    stats.max_stmts = stats.initial_stmts;
+
+    let cap = config.max_rounds.unwrap_or_else(|| {
+        4 + prog.num_stmts().max(1) * prog.num_blocks().max(1) // r ≤ i·b (§6.3)
+    });
+
+    // Resolve the hot region (if any) to a dense block mask.
+    let region_mask: Option<Vec<bool>> = config.region.as_ref().map(|names| {
+        prog.node_ids()
+            .map(|n| names.contains(&prog.block(n).name))
+            .collect()
+    });
+    let region = region_mask.as_deref();
+
+    loop {
+        stats.rounds += 1;
+        if stats.rounds as usize > cap {
+            match config.on_limit {
+                LimitBehavior::Error => {
+                    return Err(PdceError::RoundLimitExceeded {
+                        rounds: stats.rounds,
+                    });
+                }
+                LimitBehavior::Truncate => {
+                    stats.rounds -= 1;
+                    stats.truncated = true;
+                    break;
+                }
+            }
+        }
+        let before = canonical_string(prog);
+
+        let (removed, passes) = eliminate_fixpoint_in(prog, config.mode, region);
+        stats.eliminated_assignments += removed;
+        stats.elimination_passes += passes;
+
+        if config.sinking {
+            let outcome = sink_assignments_in(prog, region)?;
+            stats.sunk_assignments += outcome.removed;
+            stats.inserted_assignments += outcome.inserted;
+            stats.max_stmts = stats.max_stmts.max(prog.num_stmts() as u64);
+        }
+
+        if canonical_string(prog) == before {
+            break;
+        }
+    }
+    stats.final_stmts = prog.num_stmts() as u64;
+    Ok(stats)
+}
+
+/// Convenience: partial dead code elimination in place.
+///
+/// # Errors
+///
+/// See [`optimize`].
+pub fn pde(prog: &mut Program) -> Result<PdceStats, PdceError> {
+    optimize(prog, &PdceConfig::pde())
+}
+
+/// Convenience: partial faint code elimination in place.
+///
+/// # Errors
+///
+/// See [`optimize`].
+pub fn pfe(prog: &mut Program) -> Result<PdceStats, PdceError> {
+    optimize(prog, &PdceConfig::pfe())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdce_ir::parser::parse;
+    use pdce_ir::printer::{diff, structural_eq};
+
+    fn run(config: &PdceConfig, src: &str) -> (Program, PdceStats) {
+        let mut p = parse(src).unwrap();
+        let stats = optimize(&mut p, config).unwrap();
+        (p, stats)
+    }
+
+    fn expect(got: &Program, want_src: &str) {
+        let want = parse(want_src).unwrap();
+        assert!(
+            structural_eq(got, &want),
+            "mismatch:\n{}",
+            diff(got, &want)
+        );
+    }
+
+    /// Figures 1 → 2: the motivating example end to end.
+    #[test]
+    fn fig1_to_fig2() {
+        let (got, stats) = run(
+            &PdceConfig::pde(),
+            "prog {
+               block s  { goto n1 }
+               block n1 { y := a + b; nondet n2 n3 }
+               block n2 { out(y); goto n4 }
+               block n3 { y := 4; goto n4 }
+               block n4 { out(y); goto e }
+               block e  { halt }
+             }",
+        );
+        expect(
+            &got,
+            "prog {
+               block s  { goto n1 }
+               block n1 { nondet n2 n3 }
+               block n2 { y := a + b; out(y); goto n4 }
+               block n3 { y := 4; goto n4 }
+               block n4 { out(y); goto e }
+               block e  { halt }
+             }",
+        );
+        assert_eq!(stats.eliminated_assignments, 1); // the copy at n3
+        assert!(stats.sunk_assignments >= 1);
+        assert_eq!(stats.synthetic_blocks, 0);
+    }
+
+    /// The loop case completed: sinking moves the header assignment to
+    /// the synthetic repeat block and the exit; dce then removes the
+    /// repeat-block copy (it is dead — x is recomputed at the exit).
+    #[test]
+    fn loop_invariant_assignment_fully_leaves_loop() {
+        let (got, _stats) = run(
+            &PdceConfig::pde(),
+            "prog {
+               block s { goto h }
+               block h { x := a + b; nondet h after }
+               block after { out(x); goto e }
+               block e { halt }
+             }",
+        );
+        expect(
+            &got,
+            "prog {
+               block s { goto h }
+               block h { nondet S_h_h after }
+               block S_h_h { goto h }
+               block after { x := a + b; out(x); goto e }
+               block e { halt }
+             }",
+        );
+    }
+
+    /// dce-only (no sinking) cannot touch the partially dead assignment.
+    #[test]
+    fn dce_only_is_strictly_weaker() {
+        let src = "prog {
+            block s  { goto n1 }
+            block n1 { y := a + b; nondet n2 n3 }
+            block n2 { out(y); goto n4 }
+            block n3 { y := 4; goto n4 }
+            block n4 { out(y); goto e }
+            block e  { halt }
+        }";
+        let (got, stats) = run(&PdceConfig::dce_only(), src);
+        expect(&got, src);
+        assert_eq!(stats.eliminated_assignments, 0);
+    }
+
+    /// pfe subsumes pde: on Figure 9 the faint loop increment disappears.
+    #[test]
+    fn pfe_removes_faint_loop_increment() {
+        let src = "prog {
+            block s { goto l }
+            block l { x := x + 1; nondet l d }
+            block d { goto e }
+            block e { halt }
+        }";
+        let (got_pde, _) = run(&PdceConfig::pde(), src);
+        assert_eq!(got_pde.num_assignments(), 1, "pde cannot remove it");
+        let (got_pfe, stats) = run(&PdceConfig::pfe(), src);
+        assert_eq!(got_pfe.num_assignments(), 0);
+        assert_eq!(stats.eliminated_assignments, 1);
+    }
+
+    /// Idempotence: running pde on its own output changes nothing.
+    #[test]
+    fn pde_is_idempotent() {
+        let src = "prog {
+            block s  { goto n1 }
+            block n1 { y := a + b; x := y + 1; nondet n2 n3 }
+            block n2 { out(x); goto n4 }
+            block n3 { y := 4; out(y); goto n4 }
+            block n4 { nondet n1 e }
+            block e  { halt }
+        }";
+        let mut p = parse(src).unwrap();
+        optimize(&mut p, &PdceConfig::pde()).unwrap();
+        let once = pdce_ir::printer::canonical_string(&p);
+        let stats = optimize(&mut p, &PdceConfig::pde()).unwrap();
+        assert_eq!(pdce_ir::printer::canonical_string(&p), once);
+        assert_eq!(stats.eliminated_assignments, 0);
+        assert_eq!(stats.rounds, 1);
+    }
+
+    #[test]
+    fn stats_track_sizes_and_growth() {
+        let (_got, stats) = run(
+            &PdceConfig::pde(),
+            "prog {
+               block s  { goto n1 }
+               block n1 { y := a + b; nondet n2 n3 }
+               block n2 { out(y); goto n4 }
+               block n3 { y := 4; goto n4 }
+               block n4 { out(y); goto e }
+               block e  { halt }
+             }",
+        );
+        assert_eq!(stats.initial_stmts, 4);
+        // After sinking, copies exist on both arms (5 statements) before
+        // dce removes the dead one: ω = 5/4 transiently.
+        assert_eq!(stats.max_stmts, 5);
+        assert!(stats.growth_factor() > 1.0);
+        assert_eq!(stats.final_stmts, 4);
+    }
+
+    #[test]
+    fn trivial_program_one_round() {
+        let (got, stats) = run(
+            &PdceConfig::pde(),
+            "prog { block s { out(1); goto e } block e { halt } }",
+        );
+        assert_eq!(stats.rounds, 1);
+        assert_eq!(got.num_stmts(), 1);
+    }
+
+    /// Regression: a prior pass (e.g. SCCP branch folding) can leave
+    /// unreachable blocks before simplify_cfg runs. The solvers never
+    /// evaluate such blocks, so their optimistic initial state must not
+    /// feed the transformations — this used to diverge (the program grew
+    /// by two statements per round inside the unreachable block).
+    #[test]
+    fn unreachable_blocks_do_not_diverge() {
+        let mut p = pdce_ir::parser::parse_unvalidated(
+            "prog {
+               block s { goto a }
+               block a { out(v); goto e }
+               block zombie { x := v * 2; v := 5 * x; goto a }
+               block e { halt }
+             }",
+        )
+        .unwrap();
+        let stats = optimize(&mut p, &PdceConfig::pfe()).unwrap();
+        assert!(stats.rounds <= 2, "diverged: {} rounds", stats.rounds);
+        // The unreachable block is left untouched.
+        let zombie = p.block_by_name("zombie").unwrap();
+        assert_eq!(p.block(zombie).stmts.len(), 2);
+    }
+
+    #[test]
+    fn round_cap_is_respected() {
+        let mut p = parse(
+            "prog { block s { x := 1; out(x); goto e } block e { halt } }",
+        )
+        .unwrap();
+        // Cap of zero rounds: the very first round exceeds it.
+        let err = optimize(
+            &mut p,
+            &PdceConfig {
+                max_rounds: Some(0),
+                ..PdceConfig::pde()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, PdceError::RoundLimitExceeded { .. }));
+    }
+}

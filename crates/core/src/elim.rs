@@ -1,0 +1,256 @@
+//! The elimination step (Section 5.2).
+//!
+//! "Process every basic block by successively eliminating all assignments
+//! whose left-hand side variables are dead (faint) immediately after
+//! them." One pass over a fixed analysis solution is sound: removing a
+//! dead assignment never makes anything *less* dead. Second-order
+//! elimination–elimination effects (Figure 12) are handled by iterating
+//! the pass to a fixpoint in the driver.
+
+use pdce_ir::{CfgView, Program, Stmt};
+
+use crate::dead::DeadSolution;
+use crate::faint::FaintSolution;
+
+/// Which notion of uselessness drives eliminations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Dead variables (bit-vector analysis; `pde`/`dce`).
+    Dead,
+    /// Faint variables (slotwise analysis; `pfe`/`fce`).
+    Faint,
+}
+
+/// Runs one elimination pass, removing every assignment whose left-hand
+/// side is dead (faint) immediately after it. Returns the number of
+/// removed assignments.
+pub fn eliminate_once(prog: &mut Program, mode: Mode) -> u64 {
+    eliminate_once_in(prog, mode, None)
+}
+
+/// [`eliminate_once`] restricted to a hot region (Section 7's
+/// localization heuristic): assignments are only removed from blocks
+/// whose index is allowed. The analyses remain global, so region
+/// results are always sound — just less aggressive.
+pub fn eliminate_once_in(prog: &mut Program, mode: Mode, region: Option<&[bool]>) -> u64 {
+    let view = CfgView::new(prog);
+    // Skip unreachable blocks: the solvers never evaluate them, so their
+    // optimistic initial state would claim everything dead there.
+    let in_region = |n: pdce_ir::NodeId| {
+        region.is_none_or(|r| r[n.index()]) && view.rpo_index(n) != usize::MAX
+    };
+    let mut removed = 0u64;
+    match mode {
+        Mode::Dead => {
+            let sol = DeadSolution::compute(prog, &view);
+            let plans: Vec<(pdce_ir::NodeId, Vec<usize>)> = prog
+                .node_ids()
+                .filter(|&n| in_region(n))
+                .map(|n| {
+                    let after = sol.after_each_stmt(prog, n);
+                    let doomed = prog
+                        .block(n)
+                        .stmts
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(k, stmt)| match *stmt {
+                            Stmt::Assign { lhs, .. } if after[k].get(lhs.index()) => Some(k),
+                            _ => None,
+                        })
+                        .collect();
+                    (n, doomed)
+                })
+                .collect();
+            removed += apply_removals(prog, &plans);
+        }
+        Mode::Faint => {
+            let sol = FaintSolution::compute(prog);
+            let plans: Vec<(pdce_ir::NodeId, Vec<usize>)> = prog
+                .node_ids()
+                .filter(|&n| in_region(n))
+                .map(|n| {
+                    let doomed = prog
+                        .block(n)
+                        .stmts
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(k, stmt)| match *stmt {
+                            Stmt::Assign { lhs, .. } if sol.faint_after(n, k, lhs) => Some(k),
+                            _ => None,
+                        })
+                        .collect();
+                    (n, doomed)
+                })
+                .collect();
+            removed += apply_removals(prog, &plans);
+        }
+    }
+    removed
+}
+
+/// Iterates [`eliminate_once`] until no assignment is removable, which
+/// captures elimination–elimination second-order effects (Figure 12) for
+/// the dead mode. Returns `(total removed, passes that removed something)`.
+pub fn eliminate_fixpoint(prog: &mut Program, mode: Mode) -> (u64, u64) {
+    eliminate_fixpoint_in(prog, mode, None)
+}
+
+/// [`eliminate_fixpoint`] restricted to a hot region.
+pub fn eliminate_fixpoint_in(
+    prog: &mut Program,
+    mode: Mode,
+    region: Option<&[bool]>,
+) -> (u64, u64) {
+    let mut total = 0u64;
+    let mut passes = 0u64;
+    loop {
+        let removed = eliminate_once_in(prog, mode, region);
+        if removed == 0 {
+            return (total, passes);
+        }
+        total += removed;
+        passes += 1;
+    }
+}
+
+fn apply_removals(prog: &mut Program, plans: &[(pdce_ir::NodeId, Vec<usize>)]) -> u64 {
+    let mut removed = 0u64;
+    for (n, doomed) in plans {
+        if doomed.is_empty() {
+            continue;
+        }
+        let block = prog.block_mut(*n);
+        let mut keep = Vec::with_capacity(block.stmts.len() - doomed.len());
+        let mut d = doomed.iter().peekable();
+        for (k, stmt) in block.stmts.iter().enumerate() {
+            if d.peek() == Some(&&k) {
+                d.next();
+                removed += 1;
+            } else {
+                keep.push(*stmt);
+            }
+        }
+        block.stmts = keep;
+    }
+    removed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdce_ir::parser::parse;
+    use pdce_ir::printer::{diff, structural_eq};
+
+    fn check(mode: Mode, src: &str, expected: &str) {
+        let mut p = parse(src).unwrap();
+        eliminate_fixpoint(&mut p, mode);
+        let want = parse(expected).unwrap();
+        assert!(
+            structural_eq(&p, &want),
+            "mismatch after elimination:\n{}",
+            diff(&p, &want)
+        );
+    }
+
+    #[test]
+    fn removes_totally_dead_assignment() {
+        check(
+            Mode::Dead,
+            "prog { block s { x := 1; y := 2; out(y); goto e } block e { halt } }",
+            "prog { block s { y := 2; out(y); goto e } block e { halt } }",
+        );
+    }
+
+    #[test]
+    fn keeps_partially_dead_assignment() {
+        let src = "prog {
+            block s  { y := a + b; nondet n2 n3 }
+            block n2 { y := 4; goto n4 }
+            block n3 { goto n4 }
+            block n4 { out(y); goto e }
+            block e  { halt }
+        }";
+        check(Mode::Dead, src, src);
+    }
+
+    /// Figure 12: `y := a + b` at node 4 is dead (y is redefined at node
+    /// 5 before use); its removal makes `a := c + 1` dead too. Two passes
+    /// of dead elimination; one pass of faint elimination.
+    #[test]
+    fn fig12_elimination_elimination_effect() {
+        let src = "prog {
+            block s  { a := c + 1; nondet n3 n4 }
+            block n3 { goto n5 }
+            block n4 { y := a + b; goto n5 }
+            block n5 { y := c + d; out(y); goto e }
+            block e  { halt }
+        }";
+        let expected = "prog {
+            block s  { nondet n3 n4 }
+            block n3 { goto n5 }
+            block n4 { goto n5 }
+            block n5 { y := c + d; out(y); goto e }
+            block e  { halt }
+        }";
+        // Dead mode needs two passes.
+        let mut p = parse(src).unwrap();
+        assert_eq!(eliminate_once(&mut p, Mode::Dead), 1);
+        assert_eq!(eliminate_once(&mut p, Mode::Dead), 1);
+        assert_eq!(eliminate_once(&mut p, Mode::Dead), 0);
+        assert!(structural_eq(&p, &parse(expected).unwrap()));
+        // Faint mode removes both in a single pass (first-order for PFE).
+        let mut p = parse(src).unwrap();
+        assert_eq!(eliminate_once(&mut p, Mode::Faint), 2);
+        assert!(structural_eq(&p, &parse(expected).unwrap()));
+    }
+
+    /// Figure 9: the faint self-increment is removed by fce, not by dce.
+    #[test]
+    fn fig9_faint_not_dead() {
+        let src = "prog {
+            block s { goto l }
+            block l { x := x + 1; nondet l d }
+            block d { goto e }
+            block e { halt }
+        }";
+        let mut p = parse(src).unwrap();
+        assert_eq!(eliminate_fixpoint(&mut p, Mode::Dead).0, 0);
+        let mut p = parse(src).unwrap();
+        assert_eq!(eliminate_fixpoint(&mut p, Mode::Faint).0, 1);
+    }
+
+    #[test]
+    fn within_block_chain_removed_in_one_faint_pass() {
+        check(
+            Mode::Faint,
+            "prog { block s { a := 1; b := a + 1; c := b + 1; out(9); goto e } block e { halt } }",
+            "prog { block s { out(9); goto e } block e { halt } }",
+        );
+    }
+
+    #[test]
+    fn multiple_blocks_processed_in_one_pass() {
+        check(
+            Mode::Dead,
+            "prog {
+               block s { x := 1; goto m }
+               block m { y := 2; goto e }
+               block e { halt }
+             }",
+            "prog {
+               block s { goto m }
+               block m { goto e }
+               block e { halt }
+             }",
+        );
+    }
+
+    #[test]
+    fn out_and_skip_are_never_removed() {
+        check(
+            Mode::Faint,
+            "prog { block s { skip; out(1); skip; goto e } block e { halt } }",
+            "prog { block s { skip; out(1); skip; goto e } block e { halt } }",
+        );
+    }
+}

@@ -1,0 +1,366 @@
+//! Faint-variable analysis (Table 1 of the paper).
+//!
+//! A variable `x` is *faint* at a point if on every path to the end node
+//! every right-hand-side occurrence of `x` is either preceded by a
+//! modification of `x` or occurs in an assignment whose left-hand-side
+//! variable is itself faint. Faintness subsumes deadness (Figure 9 shows
+//! a faint-but-not-dead assignment) but is **not** a bit-vector problem:
+//! the equation for slot `(ι, x)` of an assignment `ι` reads the slot of
+//! a *different* variable, `(ι, lhs_ι)`:
+//!
+//! ```text
+//! N-FAINT_ι(x) = ¬RELV-USED_ι(x) ∧ (X-FAINT_ι(x) ∨ MOD_ι(x))
+//!                               ∧ (X-FAINT_ι(lhs_ι) ∨ ¬ASS-USED_ι(x))
+//! X-FAINT_ι(x) = ∧_{ι' ∈ succ(ι)} N-FAINT_ι'(x)
+//! ```
+//!
+//! Following Section 5.2 we solve it with a slotwise worklist algorithm
+//! (the greatest-fixpoint boolean-network solver of `pdce-dfa`), with the
+//! paper's subtlety: whenever slot `(ι, lhs_ι)` drops, the slots `(ι, z)`
+//! of all right-hand-side variables `z` of `ι` are re-queued.
+
+use pdce_dfa::network::{solve_greatest, NetworkSolution};
+use pdce_ir::{NodeId, Program, Stmt, Var};
+
+/// One analysed instruction: statements plus one terminator pseudo-
+/// instruction per block (the paper's footnote b to Table 1 notes the
+/// faint analysis must work at the instruction level).
+#[derive(Debug, Clone)]
+enum InstrInfo {
+    /// No effect (skip, goto, nondet, halt).
+    Neutral,
+    /// `lhs := rhs` with the right-hand-side variable set.
+    Assign { lhs: Var, rhs_vars: Vec<Var> },
+    /// Relevant use of variables (out statements and branch conditions).
+    Relevant { used: Vec<Var> },
+}
+
+/// Result of the faint-variable analysis.
+#[derive(Debug)]
+pub struct FaintSolution {
+    num_vars: usize,
+    /// First instruction index of each block.
+    offsets: Vec<usize>,
+    /// `N-FAINT` value of every `(instruction, variable)` slot.
+    values: pdce_dfa::BitVec,
+    /// Successor instruction indices of every instruction.
+    next: Vec<Vec<u32>>,
+    evaluations: u64,
+}
+
+impl FaintSolution {
+    /// Runs the analysis over `prog`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use pdce_core::FaintSolution;
+    /// use pdce_ir::parser::parse;
+    ///
+    /// // Figure 9: the self-increment is faint (though not dead).
+    /// let prog = parse(
+    ///     "prog { block s { goto l } block l { x := x + 1; nondet l d }
+    ///             block d { goto e } block e { halt } }",
+    /// )?;
+    /// let faint = FaintSolution::compute(&prog);
+    /// let l = prog.block_by_name("l").unwrap();
+    /// let x = prog.vars().lookup("x").unwrap();
+    /// assert!(faint.faint_after(l, 0, x));
+    /// # Ok::<(), pdce_ir::ParseError>(())
+    /// ```
+    pub fn compute(prog: &Program) -> FaintSolution {
+        let num_vars = prog.num_vars();
+        let nblocks = prog.num_blocks();
+
+        // Lay instructions out block-contiguously: stmts then terminator.
+        let mut offsets = Vec::with_capacity(nblocks);
+        let mut num_instrs = 0usize;
+        for n in prog.node_ids() {
+            offsets.push(num_instrs);
+            num_instrs += prog.block(n).stmts.len() + 1;
+        }
+
+        let mut infos: Vec<InstrInfo> = Vec::with_capacity(num_instrs);
+        let mut next: Vec<Vec<u32>> = Vec::with_capacity(num_instrs);
+        for n in prog.node_ids() {
+            let block = prog.block(n);
+            let base = offsets[n.index()];
+            for (k, stmt) in block.stmts.iter().enumerate() {
+                infos.push(match *stmt {
+                    Stmt::Skip => InstrInfo::Neutral,
+                    Stmt::Assign { lhs, rhs } => InstrInfo::Assign {
+                        lhs,
+                        rhs_vars: prog.terms().vars_of(rhs).to_vec(),
+                    },
+                    Stmt::Out(t) => InstrInfo::Relevant {
+                        used: prog.terms().vars_of(t).to_vec(),
+                    },
+                });
+                next.push(vec![(base + k + 1) as u32]);
+            }
+            // Terminator pseudo-instruction.
+            infos.push(match block.term.used_term() {
+                Some(c) => InstrInfo::Relevant {
+                    used: prog.terms().vars_of(c).to_vec(),
+                },
+                None => InstrInfo::Neutral,
+            });
+            next.push(
+                prog.successors(n)
+                    .iter()
+                    .map(|m| offsets[m.index()] as u32)
+                    .collect(),
+            );
+        }
+
+        let num_slots = num_instrs * num_vars;
+        let slot = |instr: usize, v: Var| instr * num_vars + v.index();
+
+        // Dependency edges: slot (ν, y) is read by (ι, y) whenever
+        // ν ∈ next(ι); additionally, for assignments, (ν, lhs) is read by
+        // (ι, z) for every right-hand-side variable z.
+        let mut dependents: Vec<Vec<u32>> = vec![Vec::new(); num_slots];
+        for (i, info) in infos.iter().enumerate() {
+            for &nu in &next[i] {
+                let nu = nu as usize;
+                for v in 0..num_vars {
+                    dependents[nu * num_vars + v].push((i * num_vars + v) as u32);
+                }
+                if let InstrInfo::Assign { lhs, rhs_vars } = info {
+                    for &z in rhs_vars {
+                        if z != *lhs {
+                            dependents[slot(nu, *lhs)].push(slot(i, z) as u32);
+                        }
+                    }
+                }
+            }
+        }
+
+        let x_faint = |values: &pdce_dfa::BitVec, instr: usize, v: Var| -> bool {
+            next[instr]
+                .iter()
+                .all(|&nu| values.get(nu as usize * num_vars + v.index()))
+        };
+
+        let NetworkSolution {
+            values,
+            evaluations,
+        } = solve_greatest(num_slots, &dependents, |s, values| {
+            let instr = s / num_vars;
+            let x = Var::from_index(s % num_vars);
+            match &infos[instr] {
+                InstrInfo::Neutral => x_faint(values, instr, x),
+                InstrInfo::Relevant { used } => {
+                    !used.contains(&x) && x_faint(values, instr, x)
+                }
+                InstrInfo::Assign { lhs, rhs_vars } => {
+                    (x_faint(values, instr, x) || x == *lhs)
+                        && (x_faint(values, instr, *lhs) || !rhs_vars.contains(&x))
+                }
+            }
+        });
+
+        FaintSolution {
+            num_vars,
+            offsets,
+            values,
+            next,
+            evaluations,
+        }
+    }
+
+    fn instr_index(&self, n: NodeId, stmt_idx: usize) -> usize {
+        self.offsets[n.index()] + stmt_idx
+    }
+
+    /// `N-FAINT` of variable `v` at statement `k` of block `n` (the
+    /// terminator is statement index `block.stmts.len()`).
+    pub fn faint_before(&self, n: NodeId, k: usize, v: Var) -> bool {
+        self.values
+            .get(self.instr_index(n, k) * self.num_vars + v.index())
+    }
+
+    /// `X-FAINT` of variable `v` immediately after statement `k` of
+    /// block `n`.
+    pub fn faint_after(&self, n: NodeId, k: usize, v: Var) -> bool {
+        let instr = self.instr_index(n, k);
+        self.next[instr]
+            .iter()
+            .all(|&nu| self.values.get(nu as usize * self.num_vars + v.index()))
+    }
+
+    /// `N-FAINT` of `v` at the entry of block `n`.
+    pub fn faint_at_entry(&self, n: NodeId, v: Var) -> bool {
+        self.faint_before(n, 0, v)
+    }
+
+    /// Number of slot evaluations (for the Section 6.1.2 experiments).
+    pub fn evaluations(&self) -> u64 {
+        self.evaluations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdce_ir::parser::parse;
+
+    fn var(p: &Program, name: &str) -> Var {
+        p.vars().lookup(name).unwrap()
+    }
+
+    /// Figure 9: `x := x + 1` inside a loop, never observed: faint
+    /// (though not dead, cf. dead.rs tests).
+    #[test]
+    fn fig9_self_increment_is_faint() {
+        let p = parse(
+            "prog {
+               block s { goto l }
+               block l { x := x + 1; nondet l x2 }
+               block x2 { goto e }
+               block e { halt }
+             }",
+        )
+        .unwrap();
+        let f = FaintSolution::compute(&p);
+        let l = p.block_by_name("l").unwrap();
+        assert!(f.faint_after(l, 0, var(&p, "x")));
+        assert!(f.faint_at_entry(l, var(&p, "x")));
+    }
+
+    /// The Horwitz/Demers/Teitelbaum-style chain: `y := x` where y is
+    /// itself unused — both x's definition and the copy are faint.
+    #[test]
+    fn faint_chains_propagate() {
+        let p = parse(
+            "prog {
+               block s { x := 1; y := x; goto e }
+               block e { halt }
+             }",
+        )
+        .unwrap();
+        let f = FaintSolution::compute(&p);
+        let s = p.entry();
+        assert!(f.faint_after(s, 0, var(&p, "x")), "x only feeds faint y");
+        assert!(f.faint_after(s, 1, var(&p, "y")));
+    }
+
+    #[test]
+    fn relevant_use_defeats_faintness() {
+        let p = parse(
+            "prog {
+               block s { x := 1; y := x; out(y); goto e }
+               block e { halt }
+             }",
+        )
+        .unwrap();
+        let f = FaintSolution::compute(&p);
+        let s = p.entry();
+        assert!(!f.faint_after(s, 0, var(&p, "x")));
+        assert!(!f.faint_after(s, 1, var(&p, "y")));
+        assert!(f.faint_after(s, 2, var(&p, "y")), "after out(y), y is faint");
+    }
+
+    #[test]
+    fn branch_condition_is_relevant() {
+        let p = parse(
+            "prog {
+               block s { x := 1; if x < 2 then t else e }
+               block t { goto e }
+               block e { halt }
+             }",
+        )
+        .unwrap();
+        let f = FaintSolution::compute(&p);
+        assert!(!f.faint_after(p.entry(), 0, var(&p, "x")));
+    }
+
+    #[test]
+    fn dead_implies_faint_on_example() {
+        use crate::dead::DeadSolution;
+        use pdce_ir::CfgView;
+        let p = parse(
+            "prog {
+               block s { a := 1; b := a + 2; out(b); nondet l e }
+               block l { c := c + b; nondet l e }
+               block e { halt }
+             }",
+        )
+        .unwrap();
+        let view = CfgView::new(&p);
+        let d = DeadSolution::compute(&p, &view);
+        let f = FaintSolution::compute(&p);
+        for n in p.node_ids() {
+            for (k, stmt) in p.block(n).stmts.iter().enumerate() {
+                if let Some(lhs) = stmt.modified() {
+                    if d.dead_after(&p, n, k, lhs) {
+                        assert!(
+                            f.faint_after(n, k, lhs),
+                            "dead ⟹ faint violated at {}[{}]",
+                            p.block(n).name,
+                            k
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Figure 12 seen through faintness: both `a := ...` (used only by a
+    /// dead assignment) and the dead `y := a+b` are faint simultaneously
+    /// — a first-order effect for PFE (Section 4.4).
+    #[test]
+    fn fig12_both_assignments_faint_simultaneously() {
+        let p = parse(
+            "prog {
+               block s  { a := c + 1; nondet n3 n4 }
+               block n3 { goto n5 }
+               block n4 { y := a + b; goto n5 }
+               block n5 { y := c + d; out(y); goto e }
+               block e  { halt }
+             }",
+        )
+        .unwrap();
+        let f = FaintSolution::compute(&p);
+        let s = p.entry();
+        let n4 = p.block_by_name("n4").unwrap();
+        assert!(f.faint_after(s, 0, var(&p, "a")));
+        assert!(f.faint_after(n4, 0, var(&p, "y")));
+    }
+
+    #[test]
+    fn mutual_recursion_between_faint_variables() {
+        // x feeds y, y feeds x, neither observed: both faint (greatest
+        // fixpoint keeps the self-supporting cycle).
+        let p = parse(
+            "prog {
+               block s { goto l }
+               block l { x := y + 1; y := x + 1; nondet l d }
+               block d { goto e }
+               block e { halt }
+             }",
+        )
+        .unwrap();
+        let f = FaintSolution::compute(&p);
+        let l = p.block_by_name("l").unwrap();
+        assert!(f.faint_after(l, 0, var(&p, "x")));
+        assert!(f.faint_after(l, 1, var(&p, "y")));
+    }
+
+    #[test]
+    fn observed_cycle_is_not_faint() {
+        let p = parse(
+            "prog {
+               block s { goto l }
+               block l { x := y + 1; y := x + 1; nondet l d }
+               block d { out(y); goto e }
+               block e { halt }
+             }",
+        )
+        .unwrap();
+        let f = FaintSolution::compute(&p);
+        let l = p.block_by_name("l").unwrap();
+        assert!(!f.faint_after(l, 0, var(&p, "x")));
+        assert!(!f.faint_after(l, 1, var(&p, "y")));
+    }
+}

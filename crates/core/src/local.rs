@@ -1,0 +1,232 @@
+//! Local predicates of the delayability analysis (Table 2) and sinking
+//! candidates (Figure 13).
+//!
+//! A *sinking candidate* of pattern `α ≡ x := t` in block `n` is an
+//! occurrence of `α` that is not followed (within `n`, terminator
+//! included) by any instruction blocking `α`: no modification of an
+//! operand of `t`, no use of `x`, no modification of `x`. Among several
+//! occurrences of the same pattern at most the *last* one can be a
+//! candidate, since every occurrence blocks its predecessors (it modifies
+//! `x`).
+
+use pdce_dfa::BitVec;
+use pdce_ir::{NodeId, Program};
+
+use crate::patterns::PatternTable;
+
+/// Per-block local information feeding Table 2.
+#[derive(Debug, Clone)]
+pub struct LocalInfo {
+    /// `LOCDELAYED_n(α)`: block `n` contains a sinking candidate of `α`.
+    pub locdelayed: Vec<BitVec>,
+    /// `LOCBLOCKED_n(α)`: some instruction of `n` blocks `α`.
+    pub locblocked: Vec<BitVec>,
+    /// For each block, the `(stmt index, pattern index)` pairs of its
+    /// sinking candidates, in statement order.
+    pub candidates: Vec<Vec<(usize, usize)>>,
+}
+
+impl LocalInfo {
+    /// Computes the local predicates for every block of `prog`.
+    #[allow(clippy::needless_range_loop)] // p is a pattern index, not just a subscript
+    pub fn compute(prog: &Program, table: &PatternTable) -> LocalInfo {
+        let nblocks = prog.num_blocks();
+        let width = table.len();
+        let mut locdelayed = vec![BitVec::zeros(width); nblocks];
+        let mut locblocked = vec![BitVec::zeros(width); nblocks];
+        let mut candidates = vec![Vec::new(); nblocks];
+
+        for n in prog.node_ids() {
+            let block = prog.block(n);
+            // `open[p]` holds the statement index of the most recent
+            // occurrence of pattern p not yet blocked by anything after it.
+            let mut open: Vec<Option<usize>> = vec![None; width];
+            for (k, stmt) in block.stmts.iter().enumerate() {
+                // A new instruction first blocks open occurrences...
+                for p in 0..width {
+                    if table.stmt_blocks(prog, p, stmt) {
+                        locblocked[n.index()].set(p, true);
+                        open[p] = None;
+                    }
+                }
+                // ...then may itself open a fresh occurrence. (Order
+                // matters: an occurrence of α blocks *earlier* instances
+                // but is itself a live candidate afterwards.)
+                if let Some(p) = table.index_of_stmt(stmt) {
+                    open[p] = Some(k);
+                }
+            }
+            // The terminator can still block trailing occurrences.
+            for p in 0..width {
+                if table.terminator_blocks(prog, p, &block.term) {
+                    locblocked[n.index()].set(p, true);
+                    open[p] = None;
+                }
+            }
+            let mut cands: Vec<(usize, usize)> = open
+                .iter()
+                .enumerate()
+                .filter_map(|(p, k)| k.map(|k| (k, p)))
+                .collect();
+            cands.sort_unstable();
+            for &(_, p) in &cands {
+                locdelayed[n.index()].set(p, true);
+            }
+            candidates[n.index()] = cands;
+        }
+
+        LocalInfo {
+            locdelayed,
+            locblocked,
+            candidates,
+        }
+    }
+
+    /// Sinking candidates of block `n` as `(stmt index, pattern index)`.
+    pub fn candidates_of(&self, n: NodeId) -> &[(usize, usize)] {
+        &self.candidates[n.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdce_ir::parser::parse;
+
+    fn info(src: &str) -> (pdce_ir::Program, PatternTable, LocalInfo) {
+        let p = parse(src).unwrap();
+        let t = PatternTable::build(&p);
+        let i = LocalInfo::compute(&p, &t);
+        (p, t, i)
+    }
+
+    /// Figure 13 (left block): `y := a+b; a := c; x := 3*y` — the
+    /// occurrence of `y := a+b` is followed by `a := c` (modifies operand
+    /// `a`), so it is *not* a candidate.
+    #[test]
+    fn fig13_first_block_has_no_y_ab_candidate() {
+        let (p, t, i) = info(
+            "prog {
+               block s { y := a + b; a := c; x := 3 * y; goto e }
+               block e { halt }
+             }",
+        );
+        let y_ab = (0..t.len())
+            .find(|&k| t.key(k).as_str() == "y := a + b")
+            .unwrap();
+        assert!(!i.locdelayed[p.entry().index()].get(y_ab));
+        assert!(i.locblocked[p.entry().index()].get(y_ab));
+        // `x := 3*y` is a candidate: nothing after it blocks it.
+        let x_3y = (0..t.len())
+            .find(|&k| t.key(k).as_str() == "x := 3 * y")
+            .unwrap();
+        assert!(i.locdelayed[p.entry().index()].get(x_3y));
+    }
+
+    /// Figure 13 (right block): with a second occurrence
+    /// `y := a+b; a := c; x := 3*y; y := a+b; a := d`, the trailing
+    /// `a := d` modifies operand `a`, blocking even the last occurrence.
+    #[test]
+    fn fig13_second_block_trailing_mod_blocks_last_occurrence() {
+        let (p, t, i) = info(
+            "prog {
+               block s { y := a + b; a := c; x := 3 * y; y := a + b; a := d; goto e }
+               block e { halt }
+             }",
+        );
+        let y_ab = (0..t.len())
+            .find(|&k| t.key(k).as_str() == "y := a + b")
+            .unwrap();
+        assert!(!i.locdelayed[p.entry().index()].get(y_ab));
+        // `a := d` itself is a trailing candidate.
+        let a_d = (0..t.len())
+            .find(|&k| t.key(k).as_str() == "a := d")
+            .unwrap();
+        assert!(i.locdelayed[p.entry().index()].get(a_d));
+        assert_eq!(
+            i.candidates_of(p.entry())
+                .iter()
+                .map(|&(k, _)| k)
+                .collect::<Vec<_>>(),
+            vec![4]
+        );
+    }
+
+    /// Without the trailing modification the last occurrence is the
+    /// candidate — "at most the last one" (Figure 13's point).
+    #[test]
+    fn only_last_occurrence_is_candidate() {
+        let (p, t, i) = info(
+            "prog {
+               block s { y := a + b; skip; y := a + b; goto e }
+               block e { halt }
+             }",
+        );
+        let y_ab = (0..t.len())
+            .find(|&k| t.key(k).as_str() == "y := a + b")
+            .unwrap();
+        assert!(i.locdelayed[p.entry().index()].get(y_ab));
+        assert_eq!(i.candidates_of(p.entry()), &[(2, y_ab)]);
+        // The pattern is also locally blocked (the second occurrence
+        // blocks the first by modifying y).
+        assert!(i.locblocked[p.entry().index()].get(y_ab));
+    }
+
+    #[test]
+    fn terminator_condition_blocks_candidates() {
+        let (p, _t, i) = info(
+            "prog {
+               block s { x := a + b; if x < 3 then t else e }
+               block t { goto e }
+               block e { halt }
+             }",
+        );
+        assert!(!i.locdelayed[p.entry().index()].get(0));
+        assert!(i.locblocked[p.entry().index()].get(0));
+        assert!(i.candidates_of(p.entry()).is_empty());
+    }
+
+    #[test]
+    fn relevant_statement_blocks() {
+        let (p, _t, i) = info(
+            "prog { block s { x := a; out(x); goto e } block e { halt } }",
+        );
+        assert!(!i.locdelayed[p.entry().index()].get(0));
+        assert!(i.locblocked[p.entry().index()].get(0));
+    }
+
+    #[test]
+    fn independent_patterns_are_both_candidates() {
+        let (p, t, i) = info(
+            "prog {
+               block s { x := a + 1; y := b + 2; goto e }
+               block e { halt }
+             }",
+        );
+        assert_eq!(i.candidates_of(p.entry()).len(), 2);
+        assert_eq!(i.locdelayed[p.entry().index()].count_ones(), 2);
+        // Neither blocks the other, but each occurrence blocks its own
+        // pattern (it modifies its left-hand side).
+        assert_eq!(i.locblocked[p.entry().index()].count_ones(), 2);
+        let _ = t;
+    }
+
+    #[test]
+    fn empty_blocks_have_no_predicates() {
+        let (p, _t, i) = info(
+            "prog { block s { goto m } block m { x := 1; goto e } block e { halt } }",
+        );
+        assert!(i.locdelayed[p.entry().index()].none());
+        assert!(i.locblocked[p.entry().index()].none());
+        assert!(i.candidates_of(p.entry()).is_empty());
+    }
+
+    #[test]
+    fn self_referential_assignment_is_candidate_when_unblocked() {
+        // x := x + 1 at the end of a block: candidate (nothing follows).
+        let (p, _t, i) = info(
+            "prog { block s { x := x + 1; goto e } block e { halt } }",
+        );
+        assert_eq!(i.candidates_of(p.entry()), &[(0, 0)]);
+    }
+}

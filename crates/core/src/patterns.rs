@@ -1,0 +1,198 @@
+//! Dense indexing of the assignment patterns `AP` of a program.
+//!
+//! The delayability analysis of Table 2 works on "bit-vectors of sinking
+//! candidates", one bit per assignment pattern occurring in the program.
+//! [`PatternTable`] assigns each distinct pattern `x := t` a dense index
+//! (stable for the lifetime of one analysis round) and answers the
+//! blocking queries that the local predicates are built from.
+
+use std::collections::HashMap;
+
+use pdce_ir::{PatternKey, Program, Stmt, TermId, Terminator, Var};
+
+/// Dense table of the assignment patterns occurring in a program.
+#[derive(Debug, Clone)]
+pub struct PatternTable {
+    patterns: Vec<(Var, TermId)>,
+    keys: Vec<PatternKey>,
+    index: HashMap<(Var, TermId), usize>,
+}
+
+impl PatternTable {
+    /// Collects all assignment patterns of `prog`, in canonical-key order
+    /// so that indices (and hence insertion order during sinking) are
+    /// deterministic.
+    pub fn build(prog: &Program) -> PatternTable {
+        let mut pairs: Vec<(Var, TermId)> = Vec::new();
+        let mut seen: HashMap<(Var, TermId), ()> = HashMap::new();
+        for n in prog.node_ids() {
+            for stmt in &prog.block(n).stmts {
+                if let Stmt::Assign { lhs, rhs } = *stmt {
+                    if seen.insert((lhs, rhs), ()).is_none() {
+                        pairs.push((lhs, rhs));
+                    }
+                }
+            }
+        }
+        let mut keyed: Vec<(PatternKey, (Var, TermId))> = pairs
+            .into_iter()
+            .map(|(v, t)| (PatternKey::of(prog, v, t), (v, t)))
+            .collect();
+        keyed.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut patterns = Vec::with_capacity(keyed.len());
+        let mut keys = Vec::with_capacity(keyed.len());
+        let mut index = HashMap::with_capacity(keyed.len());
+        for (i, (key, pat)) in keyed.into_iter().enumerate() {
+            index.insert(pat, i);
+            patterns.push(pat);
+            keys.push(key);
+        }
+        PatternTable {
+            patterns,
+            keys,
+            index,
+        }
+    }
+
+    /// Number of distinct patterns (the paper's `a`).
+    pub fn len(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// Whether the program has no assignments.
+    pub fn is_empty(&self) -> bool {
+        self.patterns.is_empty()
+    }
+
+    /// The pattern `(lhs, rhs)` at `index`.
+    pub fn pattern(&self, index: usize) -> (Var, TermId) {
+        self.patterns[index]
+    }
+
+    /// The canonical key of the pattern at `index`.
+    pub fn key(&self, index: usize) -> &PatternKey {
+        &self.keys[index]
+    }
+
+    /// Index of the pattern of an assignment statement, if it is one.
+    pub fn index_of_stmt(&self, stmt: &Stmt) -> Option<usize> {
+        match *stmt {
+            Stmt::Assign { lhs, rhs } => self.index.get(&(lhs, rhs)).copied(),
+            _ => None,
+        }
+    }
+
+    /// Index of a pattern by parts.
+    pub fn index_of(&self, lhs: Var, rhs: TermId) -> Option<usize> {
+        self.index.get(&(lhs, rhs)).copied()
+    }
+
+    /// Whether statement `stmt` *blocks* the sinking of pattern `p`
+    /// (Definition 3.1 discussion): it modifies an operand of `t`, uses
+    /// `x`, or modifies `x`.
+    pub fn stmt_blocks(&self, prog: &Program, p: usize, stmt: &Stmt) -> bool {
+        let (x, t) = self.patterns[p];
+        if stmt.uses(prog.terms(), x) {
+            return true;
+        }
+        match stmt.modified() {
+            Some(m) => m == x || prog.terms().term_uses(t, m),
+            None => false,
+        }
+    }
+
+    /// Whether the terminator blocks pattern `p`. Only conditional
+    /// branches read variables (the condition is a relevant use); no
+    /// terminator modifies anything.
+    pub fn terminator_blocks(&self, prog: &Program, p: usize, term: &Terminator) -> bool {
+        let (x, _) = self.patterns[p];
+        term.used_term()
+            .is_some_and(|c| prog.terms().term_uses(c, x))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdce_ir::parser::parse;
+
+    #[test]
+    fn builds_deterministic_dense_indices() {
+        let p = parse(
+            "prog {
+               block s { y := a + b; x := a; y := a + b; goto e }
+               block e { halt }
+             }",
+        )
+        .unwrap();
+        let table = PatternTable::build(&p);
+        assert_eq!(table.len(), 2);
+        // Canonical order: "x := a" < "y := a + b".
+        assert_eq!(table.key(0).as_str(), "x := a");
+        assert_eq!(table.key(1).as_str(), "y := a + b");
+        let s0 = &p.block(p.entry()).stmts[0];
+        assert_eq!(table.index_of_stmt(s0), Some(1));
+        assert_eq!(table.index_of_stmt(&Stmt::Skip), None);
+    }
+
+    #[test]
+    fn blocking_rules() {
+        let p = parse(
+            "prog {
+               block s { y := a + b; a := 1; z := y; y := 2; skip; out(c); goto e }
+               block e { halt }
+             }",
+        )
+        .unwrap();
+        let table = PatternTable::build(&p);
+        let y_ab = table
+            .index_of(p.vars().lookup("y").unwrap(), {
+                let Stmt::Assign { rhs, .. } = p.block(p.entry()).stmts[0] else {
+                    unreachable!()
+                };
+                rhs
+            })
+            .unwrap();
+        let stmts = &p.block(p.entry()).stmts;
+        // a := 1 modifies an operand of a+b.
+        assert!(table.stmt_blocks(&p, y_ab, &stmts[1]));
+        // z := y uses y.
+        assert!(table.stmt_blocks(&p, y_ab, &stmts[2]));
+        // y := 2 modifies y.
+        assert!(table.stmt_blocks(&p, y_ab, &stmts[3]));
+        // skip blocks nothing.
+        assert!(!table.stmt_blocks(&p, y_ab, &stmts[4]));
+        // out(c) does not touch y, a, b.
+        assert!(!table.stmt_blocks(&p, y_ab, &stmts[5]));
+        // The occurrence itself blocks the pattern (modifies y).
+        assert!(table.stmt_blocks(&p, y_ab, &stmts[0]));
+    }
+
+    #[test]
+    fn terminator_blocking() {
+        let p = parse(
+            "prog {
+               block s { x := a + b; if x < 3 then t else e }
+               block t { goto e }
+               block e { halt }
+             }",
+        )
+        .unwrap();
+        let table = PatternTable::build(&p);
+        let term = &p.block(p.entry()).term;
+        assert!(table.terminator_blocks(&p, 0, term));
+        let goto = &p.block(p.block_by_name("t").unwrap()).term;
+        assert!(!table.terminator_blocks(&p, 0, goto));
+    }
+
+    #[test]
+    fn out_relevant_statement_blocks_pattern_variable() {
+        let p = parse(
+            "prog { block s { x := a; out(x + 1); goto e } block e { halt } }",
+        )
+        .unwrap();
+        let table = PatternTable::build(&p);
+        let out = &p.block(p.entry()).stmts[1];
+        assert!(table.stmt_blocks(&p, 0, out));
+    }
+}

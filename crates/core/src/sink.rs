@@ -1,0 +1,448 @@
+//! The assignment-sinking transformation `ask` (Section 5.3).
+//!
+//! One pass: compute sinking candidates and the delayability solution,
+//! then
+//!
+//! 1. remove every sinking candidate, and
+//! 2. insert an instance of every pattern `α` at the entry of each block
+//!    with `N-INSERT_n(α)` and at the exit of each block with
+//!    `X-INSERT_n(α)`.
+//!
+//! Patterns inserted at the same point are independent (the paper's
+//! observation before "The Insertion Step"), so they are placed in
+//! pattern-index order for determinism. The program must be free of
+//! critical edges; otherwise `X-INSERT` could demand an insertion at the
+//! exit of a branching node, which is unsound (Figure 8).
+
+use std::error::Error;
+use std::fmt;
+
+use pdce_ir::edgesplit::has_critical_edges;
+use pdce_ir::{CfgView, Program, Stmt};
+
+use crate::delay::DelayInfo;
+use crate::local::LocalInfo;
+use crate::patterns::PatternTable;
+
+/// Outcome of one `ask` pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SinkOutcome {
+    /// Sinking candidates removed.
+    pub removed: u64,
+    /// Pattern instances inserted.
+    pub inserted: u64,
+    /// Whether any block's statement list changed structurally.
+    pub changed: bool,
+}
+
+/// `ask` was called on a program that still has critical edges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CriticalEdgeError;
+
+impl fmt::Display for CriticalEdgeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "assignment sinking requires critical edges to be split first"
+        )
+    }
+}
+
+impl Error for CriticalEdgeError {}
+
+/// Runs one assignment-sinking pass over `prog`.
+///
+/// # Errors
+///
+/// Returns [`CriticalEdgeError`] if the program has critical edges; call
+/// [`pdce_ir::edgesplit::split_critical_edges`] first (the driver does).
+///
+/// # Example
+///
+/// ```
+/// use pdce_core::sink_assignments;
+/// use pdce_ir::parser::parse;
+///
+/// // The assignment sinks to its use.
+/// let mut prog = parse(
+///     "prog { block s { x := a + 1; goto m } block m { out(x); goto e }
+///             block e { halt } }",
+/// )?;
+/// let outcome = sink_assignments(&mut prog)?;
+/// assert_eq!(outcome.removed, 1);
+/// assert!(prog.block(prog.entry()).stmts.is_empty());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn sink_assignments(prog: &mut Program) -> Result<SinkOutcome, CriticalEdgeError> {
+    sink_assignments_in(prog, None)
+}
+
+/// Runs one sinking pass restricted to a *hot region* (Section 7's
+/// localization heuristic): only blocks whose index is allowed (or all
+/// blocks, when `region` is `None`) contribute sinking candidates, and
+/// disallowed blocks are treated as fully blocking, so no instance
+/// moves through, out of, or originates in them. Insertions may land at
+/// the entry of a boundary block, which is sound (the instance simply
+/// stops at the region border).
+///
+/// # Errors
+///
+/// Returns [`CriticalEdgeError`] if the program has critical edges.
+pub fn sink_assignments_in(
+    prog: &mut Program,
+    region: Option<&[bool]>,
+) -> Result<SinkOutcome, CriticalEdgeError> {
+    if has_critical_edges(prog) {
+        return Err(CriticalEdgeError);
+    }
+    let view = CfgView::new(prog);
+    let table = PatternTable::build(prog);
+    if table.is_empty() {
+        return Ok(SinkOutcome::default());
+    }
+    let mut local = LocalInfo::compute(prog, &table);
+    if let Some(allowed) = region {
+        assert_eq!(allowed.len(), prog.num_blocks(), "region mask length");
+        for n in prog.node_ids() {
+            if !allowed[n.index()] {
+                local.locdelayed[n.index()].fill(false);
+                local.locblocked[n.index()].fill(true);
+                local.candidates[n.index()].clear();
+            }
+        }
+    }
+    let delay = DelayInfo::compute(prog, &view, &table, &local);
+
+    let mut outcome = SinkOutcome::default();
+    for n in prog.node_ids() {
+        // Unreachable blocks (possible when a prior pass folded a branch
+        // and simplify_cfg has not run yet) are outside the paper's
+        // program model; the solver never evaluates them, so their
+        // optimistic all-ones state must not drive transformations.
+        if view.rpo_index(n) == usize::MAX {
+            continue;
+        }
+        let entry_ins = delay.entry_insertions(n);
+        let exit_ins = delay.exit_insertions(n);
+        let candidates = local.candidates_of(n);
+        if entry_ins.is_empty() && exit_ins.is_empty() && candidates.is_empty() {
+            continue;
+        }
+        debug_assert!(
+            exit_ins.is_empty() || view.succs(n).len() <= 1,
+            "X-INSERT at branching node {} — critical edge left unsplit?",
+            prog.block(n).name
+        );
+
+        let make = |p: usize| {
+            let (lhs, rhs) = table.pattern(p);
+            Stmt::Assign { lhs, rhs }
+        };
+        let old = std::mem::take(&mut prog.block_mut(n).stmts);
+        let mut new_stmts =
+            Vec::with_capacity(old.len() + entry_ins.len() + exit_ins.len());
+        new_stmts.extend(entry_ins.iter().map(|&p| make(p)));
+        let mut doomed = candidates.iter().map(|&(k, _)| k).peekable();
+        for (k, stmt) in old.iter().enumerate() {
+            if doomed.peek() == Some(&k) {
+                doomed.next();
+                outcome.removed += 1;
+            } else {
+                new_stmts.push(*stmt);
+            }
+        }
+        new_stmts.extend(exit_ins.iter().map(|&p| make(p)));
+        outcome.inserted += (entry_ins.len() + exit_ins.len()) as u64;
+        if new_stmts != old {
+            outcome.changed = true;
+        }
+        prog.block_mut(n).stmts = new_stmts;
+    }
+    Ok(outcome)
+}
+
+/// Whether a further `ask` pass would leave the program invariant
+/// (Section 5.4's termination condition): every block `n` satisfies
+/// `N-INSERT_n = false` and `X-INSERT_n = LOCDELAYED_n`.
+pub fn sinking_is_stable(prog: &Program) -> bool {
+    let view = CfgView::new(prog);
+    let table = PatternTable::build(prog);
+    if table.is_empty() {
+        return true;
+    }
+    let local = LocalInfo::compute(prog, &table);
+    let delay = DelayInfo::compute(prog, &view, &table, &local);
+    prog.node_ids().all(|n| {
+        delay.n_insert[n.index()].none()
+            && delay.x_insert[n.index()] == local.locdelayed[n.index()]
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdce_ir::parser::parse;
+    use pdce_ir::printer::{diff, structural_eq};
+
+    fn sink(src: &str) -> Program {
+        let mut p = parse(src).unwrap();
+        sink_assignments(&mut p).unwrap();
+        p
+    }
+
+    fn expect(got: &Program, want_src: &str) {
+        let want = parse(want_src).unwrap();
+        assert!(
+            structural_eq(got, &want),
+            "mismatch after sinking:\n{}",
+            diff(got, &want)
+        );
+    }
+
+    /// Figure 1 → Figure 2's sinking half: `y := a+b` moves from n1 to
+    /// the entries of n2 and n3 (the elimination of the dead copy at n3
+    /// is dce's job).
+    #[test]
+    fn fig1_sinks_into_both_successors() {
+        let got = sink(
+            "prog {
+               block s  { goto n1 }
+               block n1 { y := a + b; nondet n2 n3 }
+               block n2 { out(y); goto n4 }
+               block n3 { y := 4; goto n4 }
+               block n4 { out(y); goto e }
+               block e  { halt }
+             }",
+        );
+        expect(
+            &got,
+            "prog {
+               block s  { goto n1 }
+               block n1 { nondet n2 n3 }
+               block n2 { y := a + b; out(y); goto n4 }
+               block n3 { y := a + b; y := 4; goto n4 }
+               block n4 { out(y); goto e }
+               block e  { halt }
+             }",
+        );
+    }
+
+    #[test]
+    fn one_sided_join_inserts_at_exit() {
+        let got = sink(
+            "prog {
+               block s  { nondet l r }
+               block l  { x := a + 1; skip; goto j }
+               block r  { goto j }
+               block j  { out(x); goto e }
+               block e  { halt }
+             }",
+        );
+        expect(
+            &got,
+            "prog {
+               block s  { nondet l r }
+               block l  { skip; x := a + 1; goto j }
+               block r  { goto j }
+               block j  { out(x); goto e }
+               block e  { halt }
+             }",
+        );
+    }
+
+    /// Sinking towards loop exits: after splitting the critical back
+    /// edge, one `ask` pass moves the loop-header assignment into the
+    /// synthetic repeat block `S_h_h` and the exit block. (A subsequent
+    /// dce pass removes the `S_h_h` copy, completing the loop removal —
+    /// tested with the driver.)
+    #[test]
+    fn sinks_toward_loop_exits() {
+        let mut p = parse(
+            "prog {
+               block s { goto h }
+               block h { x := a + b; nondet h after }
+               block after { out(x); goto e }
+               block e { halt }
+             }",
+        )
+        .unwrap();
+        pdce_ir::edgesplit::split_critical_edges(&mut p);
+        sink_assignments(&mut p).unwrap();
+        expect(
+            &p,
+            "prog {
+               block s { goto h }
+               block h { nondet S_h_h after }
+               block S_h_h { x := a + b; goto h }
+               block after { x := a + b; out(x); goto e }
+               block e { halt }
+             }",
+        );
+    }
+
+    /// An assignment used by the loop body must stay.
+    #[test]
+    fn does_not_sink_used_assignment_out_of_loop() {
+        let mut p = parse(
+            "prog {
+               block s { goto h }
+               block h { x := a + b; out(x); nondet h after }
+               block after { goto e }
+               block e { halt }
+             }",
+        )
+        .unwrap();
+        pdce_ir::edgesplit::split_critical_edges(&mut p);
+        let before = pdce_ir::printer::canonical_string(&p);
+        let out = sink_assignments(&mut p).unwrap();
+        assert!(!out.changed);
+        assert_eq!(pdce_ir::printer::canonical_string(&p), before);
+    }
+
+    /// Pattern delayable to the exit node dissolves (it would be dead).
+    #[test]
+    fn unneeded_assignment_sinks_off_the_end() {
+        let got = sink(
+            "prog { block s { x := 1; out(2); goto e } block e { halt } }",
+        );
+        // x := 1 is a candidate (out(2) doesn't block it), delayable to e
+        // with no insertion point: removed entirely.
+        expect(
+            &got,
+            "prog { block s { out(2); goto e } block e { halt } }",
+        );
+    }
+
+    #[test]
+    fn critical_edges_are_rejected() {
+        let mut p = parse(
+            "prog {
+               block s  { x := 1; nondet a j }
+               block a  { goto j }
+               block j  { out(x); goto e }
+               block e  { halt }
+             }",
+        )
+        .unwrap();
+        assert_eq!(sink_assignments(&mut p), Err(CriticalEdgeError));
+    }
+
+    /// Figure 7 (m-to-n sinking): occurrences of `a := a+1` on both arms
+    /// merge at the join and sink together past it — the bit-vector
+    /// treatment is inherently simultaneous.
+    #[test]
+    fn fig7_m_to_n_simultaneous_sinking() {
+        let got = sink(
+            "prog {
+               block s  { nondet n1 n2 }
+               block n1 { a := a + 1; goto n3 }
+               block n2 { a := a + 1; y := a + b; out(x + y); goto n3 }
+               block n3 { nondet n4 n5 }
+               block n4 { out(a); goto e }
+               block n5 { out(a + b); goto e }
+               block e  { halt }
+             }",
+        );
+        // From n1 the pattern sinks freely. In n2 it is blocked (y := a+b
+        // uses a) — the candidate there is only y := a+b? No: the last
+        // occurrence of a := a+1 in n2 is followed by a use of a, so n2
+        // has no candidate for it and X-DELAYED_n2(a+1) is false. Hence
+        // N-DELAYED_n3 is false and n1 must re-insert at its own exit:
+        // nothing moves across the join unless *both* arms delay it.
+        expect(
+            &got,
+            "prog {
+               block s  { nondet n1 n2 }
+               block n1 { a := a + 1; goto n3 }
+               block n2 { a := a + 1; y := a + b; out(x + y); goto n3 }
+               block n3 { nondet n4 n5 }
+               block n4 { out(a); goto e }
+               block n5 { out(a + b); goto e }
+               block e  { halt }
+             }",
+        );
+    }
+
+    #[test]
+    fn fig7_both_arms_delay_then_join_sinks() {
+        // Variant where both arms end with the candidate: it crosses the
+        // join simultaneously (the real Figure 7 effect) and lands at the
+        // entries of both final blocks.
+        let got = sink(
+            "prog {
+               block s  { nondet n1 n2 }
+               block n1 { a := a + 1; goto n3 }
+               block n2 { y := c + d; a := a + 1; goto n3 }
+               block n3 { nondet n4 n5 }
+               block n4 { out(a); goto e }
+               block n5 { out(a + b); goto e }
+               block e  { halt }
+             }",
+        );
+        expect(
+            &got,
+            "prog {
+               block s  { nondet n1 n2 }
+               block n1 { goto n3 }
+               block n2 { y := c + d; goto n3 }
+               block n3 { nondet n4 n5 }
+               block n4 { a := a + 1; out(a); goto e }
+               block n5 { a := a + 1; out(a + b); goto e }
+               block e  { halt }
+             }",
+        );
+    }
+
+    #[test]
+    fn stability_predicate() {
+        let mut p = parse(
+            "prog {
+               block s  { goto n1 }
+               block n1 { y := a + b; nondet n2 n3 }
+               block n2 { out(y); goto n4 }
+               block n3 { y := 4; goto n4 }
+               block n4 { out(y); goto e }
+               block e  { halt }
+             }",
+        )
+        .unwrap();
+        assert!(!sinking_is_stable(&p));
+        sink_assignments(&mut p).unwrap();
+        assert!(sinking_is_stable(&p));
+        // A second pass leaves the program unchanged.
+        let before = pdce_ir::printer::canonical_string(&p);
+        let out = sink_assignments(&mut p).unwrap();
+        assert!(!out.changed);
+        assert_eq!(pdce_ir::printer::canonical_string(&p), before);
+    }
+
+    /// A pattern can sink into the exit block itself when the blocking
+    /// use lives there (the paper's e is skip-only, but nothing in the
+    /// equations requires that).
+    #[test]
+    fn sinks_into_exit_block() {
+        let got = sink(
+            "prog {
+               block s { x := a + b; goto m }
+               block m { goto e }
+               block e { out(x); halt }
+             }",
+        );
+        expect(
+            &got,
+            "prog {
+               block s { goto m }
+               block m { goto e }
+               block e { x := a + b; out(x); halt }
+             }",
+        );
+    }
+
+    #[test]
+    fn empty_program_is_stable() {
+        let mut p = parse("prog { block s { goto e } block e { halt } }").unwrap();
+        assert!(sinking_is_stable(&p));
+        let out = sink_assignments(&mut p).unwrap();
+        assert_eq!(out, SinkOutcome::default());
+    }
+}

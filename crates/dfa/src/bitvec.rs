@@ -1,0 +1,358 @@
+//! Dense fixed-width bit vectors.
+//!
+//! The data-flow analyses of the paper are bit-vector problems (Tables 1
+//! and 2); this module provides the underlying representation: a dense
+//! `u64`-block vector with the set-algebra operations the solvers need,
+//! plus change-reporting variants (`*_changed`) for worklist convergence
+//! checks.
+
+use std::fmt;
+
+/// A fixed-length vector of bits.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitVec {
+    blocks: Vec<u64>,
+    len: usize,
+}
+
+const BITS: usize = 64;
+
+impl BitVec {
+    /// Creates a vector of `len` bits, all set to `value`.
+    pub fn new(len: usize, value: bool) -> BitVec {
+        let nblocks = len.div_ceil(BITS);
+        let mut v = BitVec {
+            blocks: vec![if value { !0u64 } else { 0 }; nblocks],
+            len,
+        };
+        v.mask_tail();
+        v
+    }
+
+    /// Creates an all-zero vector of `len` bits.
+    pub fn zeros(len: usize) -> BitVec {
+        BitVec::new(len, false)
+    }
+
+    /// Creates an all-one vector of `len` bits.
+    pub fn ones(len: usize) -> BitVec {
+        BitVec::new(len, true)
+    }
+
+    fn mask_tail(&mut self) {
+        let rem = self.len % BITS;
+        if rem != 0 {
+            if let Some(last) = self.blocks.last_mut() {
+                *last &= (1u64 << rem) - 1;
+            }
+        }
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector has zero length.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        (self.blocks[i / BITS] >> (i % BITS)) & 1 == 1
+    }
+
+    /// Writes bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        let mask = 1u64 << (i % BITS);
+        if value {
+            self.blocks[i / BITS] |= mask;
+        } else {
+            self.blocks[i / BITS] &= !mask;
+        }
+    }
+
+    /// Sets all bits to `value`.
+    pub fn fill(&mut self, value: bool) {
+        for b in &mut self.blocks {
+            *b = if value { !0 } else { 0 };
+        }
+        self.mask_tail();
+    }
+
+    /// Whether no bit is set.
+    pub fn none(&self) -> bool {
+        self.blocks.iter().all(|&b| b == 0)
+    }
+
+    /// Whether at least one bit is set.
+    pub fn any(&self) -> bool {
+        !self.none()
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.blocks.iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    /// `self |= other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn union_with(&mut self, other: &BitVec) {
+        self.check_len(other);
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a |= b;
+        }
+    }
+
+    /// `self &= other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn intersect_with(&mut self, other: &BitVec) {
+        self.check_len(other);
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a &= b;
+        }
+    }
+
+    /// `self &= !other` (set difference).
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn difference_with(&mut self, other: &BitVec) {
+        self.check_len(other);
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a &= !b;
+        }
+    }
+
+    /// `self |= other`, reporting whether any bit changed.
+    pub fn union_with_changed(&mut self, other: &BitVec) -> bool {
+        self.check_len(other);
+        let mut changed = false;
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            let new = *a | b;
+            changed |= new != *a;
+            *a = new;
+        }
+        changed
+    }
+
+    /// `self &= other`, reporting whether any bit changed.
+    pub fn intersect_with_changed(&mut self, other: &BitVec) -> bool {
+        self.check_len(other);
+        let mut changed = false;
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            let new = *a & b;
+            changed |= new != *a;
+            *a = new;
+        }
+        changed
+    }
+
+    /// Flips every bit in place.
+    pub fn negate(&mut self) {
+        for b in &mut self.blocks {
+            *b = !*b;
+        }
+        self.mask_tail();
+    }
+
+    /// Whether `self ⊆ other`.
+    pub fn is_subset_of(&self, other: &BitVec) -> bool {
+        self.check_len(other);
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    /// Iterates over indices of set bits, ascending.
+    pub fn iter_ones(&self) -> IterOnes<'_> {
+        IterOnes {
+            vec: self,
+            block_idx: 0,
+            current: self.blocks.first().copied().unwrap_or(0),
+        }
+    }
+
+    fn check_len(&self, other: &BitVec) {
+        assert_eq!(
+            self.len, other.len,
+            "bit vector length mismatch: {} vs {}",
+            self.len, other.len
+        );
+    }
+}
+
+impl fmt::Debug for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitVec[{}]{{", self.len)?;
+        let mut first = true;
+        for i in self.iter_ones() {
+            if !first {
+                write!(f, ",")?;
+            }
+            write!(f, "{i}")?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Iterator over the set bits of a [`BitVec`], produced by
+/// [`BitVec::iter_ones`].
+pub struct IterOnes<'a> {
+    vec: &'a BitVec,
+    block_idx: usize,
+    current: u64,
+}
+
+impl Iterator for IterOnes<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some(self.block_idx * BITS + bit);
+            }
+            self.block_idx += 1;
+            if self.block_idx >= self.vec.blocks.len() {
+                return None;
+            }
+            self.current = self.vec.blocks[self.block_idx];
+        }
+    }
+}
+
+impl FromIterator<usize> for BitVec {
+    /// Collects set-bit indices; the length is one past the maximum index.
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> BitVec {
+        let indices: Vec<usize> = iter.into_iter().collect();
+        let len = indices.iter().max().map_or(0, |m| m + 1);
+        let mut v = BitVec::zeros(len);
+        for i in indices {
+            v.set(i, true);
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_masking() {
+        let v = BitVec::ones(70);
+        assert_eq!(v.len(), 70);
+        assert_eq!(v.count_ones(), 70);
+        assert!(v.get(69));
+        let z = BitVec::zeros(70);
+        assert!(z.none());
+        assert!(!z.any());
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut v = BitVec::zeros(130);
+        for i in [0, 1, 63, 64, 65, 127, 128, 129] {
+            v.set(i, true);
+            assert!(v.get(i));
+        }
+        assert_eq!(v.count_ones(), 8);
+        v.set(64, false);
+        assert!(!v.get(64));
+        assert_eq!(v.count_ones(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_get_panics() {
+        BitVec::zeros(10).get(10);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a: BitVec = [1usize, 3, 5].into_iter().collect();
+        let mut b: BitVec = [3usize, 4, 5].into_iter().collect();
+        // lengths: a has len 6, b has len 6
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.iter_ones().collect::<Vec<_>>(), vec![1, 3, 4, 5]);
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        assert_eq!(i.iter_ones().collect::<Vec<_>>(), vec![3, 5]);
+        let mut d = a.clone();
+        d.difference_with(&b);
+        assert_eq!(d.iter_ones().collect::<Vec<_>>(), vec![1]);
+        assert!(i.is_subset_of(&a));
+        assert!(!a.is_subset_of(&b));
+        b.negate();
+        assert_eq!(b.iter_ones().collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn changed_variants_report_accurately() {
+        let mut a: BitVec = [1usize, 2].into_iter().collect();
+        let same = a.clone();
+        assert!(!a.union_with_changed(&same));
+        let mut more = BitVec::zeros(3);
+        more.set(0, true);
+        assert!(a.union_with_changed(&more));
+        assert!(a.get(0));
+        let mut b = BitVec::ones(3);
+        assert!(b.intersect_with_changed(&a) || b == a);
+    }
+
+    #[test]
+    fn iter_ones_across_blocks() {
+        let v: BitVec = [0usize, 63, 64, 128].into_iter().collect();
+        assert_eq!(v.iter_ones().collect::<Vec<_>>(), vec![0, 63, 64, 128]);
+    }
+
+    #[test]
+    fn negate_respects_tail_mask() {
+        let mut v = BitVec::zeros(65);
+        v.negate();
+        assert_eq!(v.count_ones(), 65);
+        v.negate();
+        assert!(v.none());
+    }
+
+    #[test]
+    fn fill_and_empty() {
+        let mut v = BitVec::zeros(0);
+        assert!(v.is_empty());
+        assert!(v.none());
+        v.fill(true);
+        assert_eq!(v.count_ones(), 0);
+        let mut w = BitVec::zeros(9);
+        w.fill(true);
+        assert_eq!(w.count_ones(), 9);
+    }
+
+    #[test]
+    fn debug_format_lists_ones() {
+        let v: BitVec = [2usize, 4].into_iter().collect();
+        assert_eq!(format!("{v:?}"), "BitVec[5]{2,4}");
+    }
+}

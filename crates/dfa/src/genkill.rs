@@ -1,0 +1,152 @@
+//! Gen/kill transfer functions.
+//!
+//! Every bit-vector analysis of the paper has transfer functions of the
+//! form `f(X) = GEN ∪ (X ∖ KILL)`. These compose, which lets the solver
+//! work block-at-a-time even though the underlying equations (Table 1)
+//! are formulated per instruction: a block's transfer is the composition
+//! of its instructions' transfers.
+
+use crate::bitvec::BitVec;
+
+/// A transfer function `f(X) = gen ∪ (X ∖ kill)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GenKill {
+    /// Bits forced to one.
+    pub gen: BitVec,
+    /// Bits forced to zero (unless in `gen`).
+    pub kill: BitVec,
+}
+
+impl GenKill {
+    /// The identity transfer over `width` bits.
+    pub fn identity(width: usize) -> GenKill {
+        GenKill {
+            gen: BitVec::zeros(width),
+            kill: BitVec::zeros(width),
+        }
+    }
+
+    /// Creates a transfer from parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gen` and `kill` have different lengths.
+    pub fn new(gen: BitVec, kill: BitVec) -> GenKill {
+        assert_eq!(gen.len(), kill.len(), "gen/kill width mismatch");
+        GenKill { gen, kill }
+    }
+
+    /// Bit width of the transfer.
+    pub fn width(&self) -> usize {
+        self.gen.len()
+    }
+
+    /// Applies the transfer to `input`.
+    pub fn apply(&self, input: &BitVec) -> BitVec {
+        let mut out = input.clone();
+        out.difference_with(&self.kill);
+        out.union_with(&self.gen);
+        out
+    }
+
+    /// Returns `h` with `h(X) = self(inner(X))` — `inner` runs first.
+    ///
+    /// For a *forward* analysis over a statement sequence `s₁; s₂`,
+    /// the block transfer is `f₂.compose_after(f₁)`; for a *backward*
+    /// analysis it is `f₁.compose_after(f₂)`.
+    pub fn compose_after(&self, inner: &GenKill) -> GenKill {
+        // self(inner(x)) = self.gen ∪ ((inner.gen ∪ (x ∖ inner.kill)) ∖ self.kill)
+        //                = (self.gen ∪ (inner.gen ∖ self.kill)) ∪ (x ∖ (inner.kill ∪ self.kill))
+        let mut gen = inner.gen.clone();
+        gen.difference_with(&self.kill);
+        gen.union_with(&self.gen);
+        let mut kill = inner.kill.clone();
+        kill.union_with(&self.kill);
+        GenKill { gen, kill }
+    }
+
+    /// Folds a sequence of transfers (in execution order) into one,
+    /// for a forward analysis.
+    pub fn compose_forward<'a>(width: usize, seq: impl Iterator<Item = &'a GenKill>) -> GenKill {
+        let mut acc = GenKill::identity(width);
+        for f in seq {
+            acc = f.compose_after(&acc);
+        }
+        acc
+    }
+
+    /// Folds a sequence of transfers (in execution order) into one,
+    /// for a backward analysis (information flows from the last statement
+    /// to the first).
+    pub fn compose_backward<'a>(width: usize, seq: impl Iterator<Item = &'a GenKill>) -> GenKill {
+        let mut acc = GenKill::identity(width);
+        for f in seq {
+            acc = acc.compose_after(f);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gk(width: usize, gen: &[usize], kill: &[usize]) -> GenKill {
+        let mut g = BitVec::zeros(width);
+        let mut k = BitVec::zeros(width);
+        for &i in gen {
+            g.set(i, true);
+        }
+        for &i in kill {
+            k.set(i, true);
+        }
+        GenKill::new(g, k)
+    }
+
+    #[test]
+    fn apply_gen_wins_over_kill() {
+        let f = gk(4, &[0, 1], &[1, 2]);
+        let input: BitVec = [2usize, 3].into_iter().collect::<BitVec>();
+        let mut input4 = BitVec::zeros(4);
+        for i in input.iter_ones() {
+            input4.set(i, true);
+        }
+        let out = f.apply(&input4);
+        assert_eq!(out.iter_ones().collect::<Vec<_>>(), vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn composition_equals_sequential_application() {
+        let f1 = gk(5, &[0], &[1, 3]);
+        let f2 = gk(5, &[1], &[0, 4]);
+        let composed = f2.compose_after(&f1);
+        for trial in 0..32u32 {
+            let mut x = BitVec::zeros(5);
+            for b in 0..5 {
+                x.set(b, trial >> b & 1 == 1);
+            }
+            assert_eq!(composed.apply(&x), f2.apply(&f1.apply(&x)), "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn forward_and_backward_folds() {
+        let s1 = gk(3, &[0], &[]);
+        let s2 = gk(3, &[], &[0]);
+        // forward: s1 then s2 → bit 0 killed at exit.
+        let fwd = GenKill::compose_forward(3, [&s1, &s2].into_iter());
+        assert!(!fwd.apply(&BitVec::zeros(3)).get(0));
+        // backward: information passes s2 first, then s1 → bit 0 generated
+        // at entry.
+        let bwd = GenKill::compose_backward(3, [&s1, &s2].into_iter());
+        assert!(bwd.apply(&BitVec::zeros(3)).get(0));
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let f = gk(4, &[2], &[3]);
+        let id = GenKill::identity(4);
+        assert_eq!(f.compose_after(&id), f);
+        assert_eq!(id.compose_after(&f), f);
+    }
+}

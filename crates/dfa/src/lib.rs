@@ -1,0 +1,34 @@
+//! Bit-vector data-flow analysis framework for the PDCE reproduction.
+//!
+//! Three layers:
+//!
+//! * [`bitvec`] — dense fixed-width bit vectors;
+//! * [`genkill`] + [`solve`](mod@solve) — block-level gen/kill problems solved by a
+//!   worklist algorithm, covering the dead-variable (Table 1) and
+//!   delayability (Table 2) analyses of the paper plus the baseline
+//!   analyses (liveness, reaching definitions/copies, availability,
+//!   anticipability);
+//! * [`network`] — a slotwise greatest-fixpoint solver for monotone
+//!   boolean networks, needed for the faint-variable analysis which is
+//!   not expressible as a bit-vector problem (Section 5.2/6.1.2).
+//!
+//! # Example
+//!
+//! ```
+//! use pdce_dfa::{BitVec, GenKill};
+//!
+//! let mut gen = BitVec::zeros(4);
+//! gen.set(1, true);
+//! let f = GenKill::new(gen, BitVec::zeros(4));
+//! assert!(f.apply(&BitVec::zeros(4)).get(1));
+//! ```
+
+pub mod bitvec;
+pub mod genkill;
+pub mod network;
+pub mod solve;
+
+pub use bitvec::BitVec;
+pub use genkill::GenKill;
+pub use network::{solve_greatest, NetworkSolution};
+pub use solve::{solve, solve_fn, BitProblem, Direction, Meet, Solution};

@@ -1,0 +1,154 @@
+//! Greatest-fixpoint solver for monotone boolean networks.
+//!
+//! The faint-variable analysis (Table 1 of the paper) is *not* a
+//! bit-vector problem: the equation for a slot `(ι, x)` reads the slot
+//! `(ι, lhs_ι)` of a *different variable*. The paper solves it with an
+//! "iterative worklist algorithm operating slotwise on bit-vectors"
+//! (citing Dhamdhere/Rosen/Zadeck). This module provides the general
+//! machinery: a network of boolean slots, each with a *monotone*
+//! (non-increasing in the greatest-fixpoint iteration) evaluation
+//! function and an explicit dependency structure.
+//!
+//! Starting from all-true, a slot can only flip to false; each flip
+//! enqueues its dependents. Total work is `O(#slots + #dependency edges)`
+//! slot evaluations times evaluation cost — exactly the bound used in the
+//! paper's Section 6.1.2 complexity argument.
+
+use std::collections::VecDeque;
+
+use crate::bitvec::BitVec;
+
+/// Result of solving a boolean network.
+#[derive(Debug, Clone)]
+pub struct NetworkSolution {
+    /// Final slot values (greatest fixpoint).
+    pub values: BitVec,
+    /// Number of slot evaluations performed.
+    pub evaluations: u64,
+}
+
+/// Computes the greatest fixpoint of a monotone boolean network.
+///
+/// * `num_slots` — number of boolean unknowns.
+/// * `dependents[s]` — slots whose equations read slot `s` (i.e. must be
+///   re-evaluated when `s` drops to false).
+/// * `eval(s, values)` — the right-hand side of slot `s`'s equation over
+///   the current values. It must be monotone: flipping any input from
+///   true to false may only flip the output from true to false.
+///
+/// # Panics
+///
+/// Panics if `dependents.len() != num_slots`.
+pub fn solve_greatest(
+    num_slots: usize,
+    dependents: &[Vec<u32>],
+    mut eval: impl FnMut(usize, &BitVec) -> bool,
+) -> NetworkSolution {
+    assert_eq!(dependents.len(), num_slots, "one dependent list per slot");
+    let mut values = BitVec::ones(num_slots);
+    let mut queue: VecDeque<u32> = (0..num_slots as u32).collect();
+    let mut queued = BitVec::ones(num_slots);
+    let mut evaluations: u64 = 0;
+
+    while let Some(slot) = queue.pop_front() {
+        let s = slot as usize;
+        queued.set(s, false);
+        if !values.get(s) {
+            continue; // already false; false is final.
+        }
+        evaluations += 1;
+        if !eval(s, &values) {
+            values.set(s, false);
+            for &d in &dependents[s] {
+                let d = d as usize;
+                if values.get(d) && !queued.get(d) {
+                    queued.set(d, true);
+                    queue.push_back(d as u32);
+                }
+            }
+        }
+    }
+    NetworkSolution {
+        values,
+        evaluations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Chain: slot i is true iff slot i+1 is true; the last slot is false.
+    /// Greatest fixpoint: everything false.
+    #[test]
+    fn falsity_propagates_along_chain() {
+        let n = 10;
+        let mut dependents = vec![Vec::new(); n];
+        for i in 0..n - 1 {
+            dependents[i + 1].push(i as u32); // slot i reads slot i+1
+        }
+        let sol = solve_greatest(n, &dependents, |s, vals| {
+            if s == n - 1 {
+                false
+            } else {
+                vals.get(s + 1)
+            }
+        });
+        assert!(sol.values.none());
+    }
+
+    /// A cycle of mutually supporting slots stays true (greatest fixpoint),
+    /// which is exactly what the faint analysis needs for cyclic uses.
+    #[test]
+    fn self_supporting_cycle_stays_true() {
+        let n = 3;
+        let mut dependents = vec![Vec::new(); n];
+        for i in 0..n {
+            dependents[(i + 1) % n].push(i as u32); // slot i reads slot i+1 mod n
+        }
+        let sol = solve_greatest(n, &dependents, |s, vals| vals.get((s + 1) % n));
+        assert_eq!(sol.values.count_ones(), 3);
+    }
+
+    /// Conjunction over two inputs: false wins through either side.
+    #[test]
+    fn conjunction_network() {
+        // slot 0 = slot 1 && slot 2; slot 1 = true; slot 2 = false.
+        let dependents = vec![vec![], vec![0u32], vec![0u32]];
+        let sol = solve_greatest(3, &dependents, |s, vals| match s {
+            0 => vals.get(1) && vals.get(2),
+            1 => true,
+            2 => false,
+            _ => unreachable!(),
+        });
+        assert!(!sol.values.get(0));
+        assert!(sol.values.get(1));
+        assert!(!sol.values.get(2));
+    }
+
+    #[test]
+    fn evaluation_count_is_bounded() {
+        // Every slot is evaluated at least once; flips cause bounded
+        // re-evaluations (≤ 1 + #incoming dependency edges per slot).
+        let n = 100;
+        let mut dependents = vec![Vec::new(); n];
+        for i in 0..n - 1 {
+            dependents[i + 1].push(i as u32);
+        }
+        let sol = solve_greatest(n, &dependents, |s, vals| {
+            if s == n - 1 {
+                false
+            } else {
+                vals.get(s + 1)
+            }
+        });
+        assert!(sol.evaluations <= 2 * n as u64);
+    }
+
+    #[test]
+    fn empty_network() {
+        let sol = solve_greatest(0, &[], |_, _| unreachable!());
+        assert_eq!(sol.values.len(), 0);
+        assert_eq!(sol.evaluations, 0);
+    }
+}

@@ -1,0 +1,104 @@
+//! Model-based property tests: `BitVec` against a `Vec<bool>` oracle.
+
+use pdce_dfa::BitVec;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Model {
+    bits: Vec<bool>,
+}
+
+impl Model {
+    fn to_bitvec(&self) -> BitVec {
+        let mut v = BitVec::zeros(self.bits.len());
+        for (i, &b) in self.bits.iter().enumerate() {
+            v.set(i, b);
+        }
+        v
+    }
+}
+
+fn model(len: usize) -> impl Strategy<Value = Model> {
+    proptest::collection::vec(any::<bool>(), len).prop_map(|bits| Model { bits })
+}
+
+fn pair() -> impl Strategy<Value = (Model, Model)> {
+    (1usize..200).prop_flat_map(|len| (model(len), model(len)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn union_matches_model((a, b) in pair()) {
+        let mut v = a.to_bitvec();
+        v.union_with(&b.to_bitvec());
+        for i in 0..a.bits.len() {
+            prop_assert_eq!(v.get(i), a.bits[i] || b.bits[i]);
+        }
+    }
+
+    #[test]
+    fn intersect_matches_model((a, b) in pair()) {
+        let mut v = a.to_bitvec();
+        v.intersect_with(&b.to_bitvec());
+        for i in 0..a.bits.len() {
+            prop_assert_eq!(v.get(i), a.bits[i] && b.bits[i]);
+        }
+    }
+
+    #[test]
+    fn difference_matches_model((a, b) in pair()) {
+        let mut v = a.to_bitvec();
+        v.difference_with(&b.to_bitvec());
+        for i in 0..a.bits.len() {
+            prop_assert_eq!(v.get(i), a.bits[i] && !b.bits[i]);
+        }
+    }
+
+    #[test]
+    fn negate_matches_model(a in (1usize..200).prop_flat_map(model)) {
+        let mut v = a.to_bitvec();
+        v.negate();
+        for i in 0..a.bits.len() {
+            prop_assert_eq!(v.get(i), !a.bits[i]);
+        }
+        prop_assert_eq!(v.count_ones(), a.bits.iter().filter(|b| !**b).count());
+    }
+
+    #[test]
+    fn iter_ones_matches_model(a in (1usize..200).prop_flat_map(model)) {
+        let v = a.to_bitvec();
+        let expected: Vec<usize> = a
+            .bits
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &b)| b.then_some(i))
+            .collect();
+        prop_assert_eq!(v.iter_ones().collect::<Vec<_>>(), expected);
+        prop_assert_eq!(v.count_ones(), v.iter_ones().count());
+        prop_assert_eq!(v.none(), v.count_ones() == 0);
+    }
+
+    #[test]
+    fn subset_matches_model((a, b) in pair()) {
+        let va = a.to_bitvec();
+        let vb = b.to_bitvec();
+        let model_subset = a
+            .bits
+            .iter()
+            .zip(&b.bits)
+            .all(|(x, y)| !x || *y);
+        prop_assert_eq!(va.is_subset_of(&vb), model_subset);
+    }
+
+    #[test]
+    fn changed_flags_are_accurate((a, b) in pair()) {
+        let mut v = a.to_bitvec();
+        let changed = v.union_with_changed(&b.to_bitvec());
+        prop_assert_eq!(changed, v != a.to_bitvec());
+        let mut w = a.to_bitvec();
+        let changed = w.intersect_with_changed(&b.to_bitvec());
+        prop_assert_eq!(changed, w != a.to_bitvec());
+    }
+}

@@ -1,0 +1,329 @@
+//! Fluent programmatic construction of programs.
+//!
+//! The builder complements the [parser](crate::parser) when programs are
+//! assembled by code (e.g. the random program generator). Right-hand
+//! sides are written as expression source text:
+//!
+//! ```
+//! use pdce_ir::ProgramBuilder;
+//!
+//! let mut b = ProgramBuilder::new();
+//! b.block("s").goto("n1");
+//! b.block("n1").assign("y", "a + b")?.nondet(&["n2", "n3"]);
+//! b.block("n2").goto("n4");
+//! b.block("n3").assign("y", "4")?.goto("n4");
+//! b.block("n4").out("y")?.goto("e");
+//! b.block("e").halt();
+//! let prog = b.finish()?;
+//! assert_eq!(prog.num_blocks(), 6);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use std::collections::HashMap;
+
+use crate::error::ParseError;
+use crate::parser::parse_expr_into;
+use crate::program::{Block, NodeId, Program, Terminator};
+use crate::stmt::Stmt;
+use crate::term::{TermArena, TermId};
+use crate::validate::validate;
+use crate::var::{Var, VarPool};
+
+#[derive(Debug)]
+enum PendingTerm {
+    Unset,
+    Goto(String),
+    Cond {
+        cond: TermId,
+        then_to: String,
+        else_to: String,
+    },
+    Nondet(Vec<String>),
+    Halt,
+}
+
+#[derive(Debug)]
+struct PendingBlock {
+    name: String,
+    stmts: Vec<Stmt>,
+    term: PendingTerm,
+}
+
+/// Incrementally constructs a [`Program`].
+///
+/// The first declared block becomes the entry; the unique block
+/// terminated with [`BlockBuilder::halt`] becomes the exit.
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    vars: VarPool,
+    terms: TermArena,
+    blocks: Vec<PendingBlock>,
+    by_name: HashMap<String, usize>,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> ProgramBuilder {
+        ProgramBuilder::default()
+    }
+
+    /// Starts (or re-opens) the block named `name`.
+    ///
+    /// Re-opening an existing block appends to its statements, which lets
+    /// construction interleave with control-flow declarations.
+    pub fn block(&mut self, name: &str) -> BlockBuilder<'_> {
+        let idx = match self.by_name.get(name) {
+            Some(&i) => i,
+            None => {
+                let i = self.blocks.len();
+                self.blocks.push(PendingBlock {
+                    name: name.to_owned(),
+                    stmts: Vec::new(),
+                    term: PendingTerm::Unset,
+                });
+                self.by_name.insert(name.to_owned(), i);
+                i
+            }
+        };
+        BlockBuilder { builder: self, idx }
+    }
+
+    /// Interns a variable by name.
+    pub fn var(&mut self, name: &str) -> Var {
+        self.vars.intern(name)
+    }
+
+    /// Parses an expression into this builder's pools.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] if `src` is not a valid expression.
+    pub fn expr(&mut self, src: &str) -> Result<TermId, ParseError> {
+        parse_expr_into(src, &mut self.vars, &mut self.terms)
+    }
+
+    /// Finalizes and validates the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] if a block lacks a terminator, a jump
+    /// target is unknown, there is not exactly one `halt` block, or graph
+    /// validation fails.
+    pub fn finish(self) -> Result<Program, ParseError> {
+        if self.blocks.is_empty() {
+            return Err(ParseError::new(0, 0, "builder has no blocks"));
+        }
+        let resolve = |name: &str| -> Result<NodeId, ParseError> {
+            self.by_name
+                .get(name)
+                .map(|&i| NodeId::from_index(i))
+                .ok_or_else(|| ParseError::new(0, 0, format!("unknown block `{name}`")))
+        };
+        let mut exit = None;
+        let mut blocks = Vec::with_capacity(self.blocks.len());
+        for (i, pb) in self.blocks.iter().enumerate() {
+            let term = match &pb.term {
+                PendingTerm::Unset => {
+                    return Err(ParseError::new(
+                        0,
+                        0,
+                        format!("block `{}` has no terminator", pb.name),
+                    ));
+                }
+                PendingTerm::Goto(t) => Terminator::Goto(resolve(t)?),
+                PendingTerm::Cond {
+                    cond,
+                    then_to,
+                    else_to,
+                } => Terminator::Cond {
+                    cond: *cond,
+                    then_to: resolve(then_to)?,
+                    else_to: resolve(else_to)?,
+                },
+                PendingTerm::Nondet(ts) => {
+                    let ids: Result<Vec<NodeId>, ParseError> =
+                        ts.iter().map(|t| resolve(t)).collect();
+                    Terminator::Nondet(ids?)
+                }
+                PendingTerm::Halt => {
+                    if exit.is_some() {
+                        return Err(ParseError::new(0, 0, "multiple `halt` blocks"));
+                    }
+                    exit = Some(NodeId::from_index(i));
+                    Terminator::Halt
+                }
+            };
+            blocks.push(Block {
+                name: pb.name.clone(),
+                stmts: pb.stmts.clone(),
+                term,
+                split_of: None,
+            });
+        }
+        let exit = exit.ok_or_else(|| ParseError::new(0, 0, "no `halt` block"))?;
+        let prog = Program::from_parts(self.vars, self.terms, blocks, NodeId::from_index(0), exit);
+        validate(&prog)?;
+        Ok(prog)
+    }
+}
+
+/// Handle for filling in one block; obtained from [`ProgramBuilder::block`].
+#[derive(Debug)]
+pub struct BlockBuilder<'a> {
+    builder: &'a mut ProgramBuilder,
+    idx: usize,
+}
+
+impl BlockBuilder<'_> {
+    /// Appends `lhs := rhs` where `rhs` is expression source text.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] if `rhs` is not a valid expression.
+    pub fn assign(self, lhs: &str, rhs: &str) -> Result<Self, ParseError> {
+        let rhs = self.builder.expr(rhs)?;
+        let lhs = self.builder.vars.intern(lhs);
+        self.builder.blocks[self.idx]
+            .stmts
+            .push(Stmt::Assign { lhs, rhs });
+        Ok(self)
+    }
+
+    /// Appends `out(expr)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] if `expr` is not a valid expression.
+    pub fn out(self, expr: &str) -> Result<Self, ParseError> {
+        let t = self.builder.expr(expr)?;
+        self.builder.blocks[self.idx].stmts.push(Stmt::Out(t));
+        Ok(self)
+    }
+
+    /// Appends `skip`.
+    pub fn skip(self) -> Self {
+        self.builder.blocks[self.idx].stmts.push(Stmt::Skip);
+        self
+    }
+
+    /// Appends an already-interned statement.
+    pub fn stmt(self, stmt: Stmt) -> Self {
+        self.builder.blocks[self.idx].stmts.push(stmt);
+        self
+    }
+
+    /// Terminates the block with `goto target`.
+    pub fn goto(self, target: &str) {
+        self.builder.blocks[self.idx].term = PendingTerm::Goto(target.to_owned());
+    }
+
+    /// Terminates the block with `if cond then t else f`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] if `cond` is not a valid expression.
+    pub fn cond(self, cond: &str, then_to: &str, else_to: &str) -> Result<(), ParseError> {
+        let cond = self.builder.expr(cond)?;
+        self.builder.blocks[self.idx].term = PendingTerm::Cond {
+            cond,
+            then_to: then_to.to_owned(),
+            else_to: else_to.to_owned(),
+        };
+        Ok(())
+    }
+
+    /// Terminates the block with a nondeterministic branch.
+    pub fn nondet(self, targets: &[&str]) {
+        self.builder.blocks[self.idx].term =
+            PendingTerm::Nondet(targets.iter().map(|s| (*s).to_owned()).collect());
+    }
+
+    /// Terminates the block with `halt`, marking it as the exit node.
+    pub fn halt(self) {
+        self.builder.blocks[self.idx].term = PendingTerm::Halt;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::printer::structural_eq;
+
+    #[test]
+    fn builder_matches_parser() {
+        let mut b = ProgramBuilder::new();
+        b.block("s").goto("n1");
+        b.block("n1").assign("y", "a + b").unwrap().nondet(&["n2", "n3"]);
+        b.block("n2").goto("n4");
+        b.block("n3").assign("y", "4").unwrap().goto("n4");
+        b.block("n4").out("y").unwrap().goto("e");
+        b.block("e").halt();
+        let built = b.finish().unwrap();
+
+        let parsed = parse(
+            "prog {
+               block s  { goto n1 }
+               block n1 { y := a + b; nondet n2 n3 }
+               block n2 { goto n4 }
+               block n3 { y := 4; goto n4 }
+               block n4 { out(y); goto e }
+               block e  { halt }
+             }",
+        )
+        .unwrap();
+        assert!(structural_eq(&built, &parsed));
+    }
+
+    #[test]
+    fn missing_terminator_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        b.block("s").skip();
+        b.block("e").halt();
+        let err = b.finish().unwrap_err();
+        assert!(err.message.contains("no terminator"));
+    }
+
+    #[test]
+    fn unknown_target_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        b.block("s").goto("nowhere");
+        b.block("e").halt();
+        let err = b.finish().unwrap_err();
+        assert!(err.message.contains("unknown block"));
+    }
+
+    #[test]
+    fn bad_expression_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        let err = b.block("s").assign("x", "1 +").unwrap_err();
+        assert!(err.message.contains("expected expression"));
+    }
+
+    #[test]
+    fn trailing_expression_garbage_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        let err = b.block("s").assign("x", "1 2").unwrap_err();
+        assert!(err.message.contains("trailing input"));
+    }
+
+    #[test]
+    fn reopening_blocks_appends() {
+        let mut b = ProgramBuilder::new();
+        b.block("s").assign("x", "1").unwrap().goto("e");
+        b.block("s").assign("y", "2").unwrap().goto("e");
+        b.block("e").halt();
+        let prog = b.finish().unwrap();
+        assert_eq!(prog.block(prog.entry()).stmts.len(), 2);
+    }
+
+    #[test]
+    fn cond_terminator() {
+        let mut b = ProgramBuilder::new();
+        b.block("s").cond("x < 3", "t", "e").unwrap();
+        b.block("t").goto("e");
+        b.block("e").halt();
+        let prog = b.finish().unwrap();
+        assert_eq!(prog.successors(prog.entry()).len(), 2);
+    }
+}

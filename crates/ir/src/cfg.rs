@@ -1,0 +1,387 @@
+//! Control-flow-graph utilities: cached predecessor/successor lists,
+//! orderings, dominators, loop and irreducibility detection.
+
+use crate::program::{NodeId, Program};
+
+/// An immutable snapshot of a program's control-flow structure.
+///
+/// Analyses take a `CfgView` so predecessors, successors, and orders are
+/// computed once per solve. The view is invalidated by any mutation of the
+/// program's terminators or block set; rebuild it after transforming.
+#[derive(Debug, Clone)]
+pub struct CfgView {
+    preds: Vec<Vec<NodeId>>,
+    succs: Vec<Vec<NodeId>>,
+    rpo: Vec<NodeId>,
+    rpo_index: Vec<usize>,
+    entry: NodeId,
+    exit: NodeId,
+}
+
+impl CfgView {
+    /// Builds the view for `prog`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use pdce_ir::{parser::parse, CfgView};
+    ///
+    /// let prog = parse(
+    ///     "prog { block s { nondet a b } block a { goto e }
+    ///             block b { goto e } block e { halt } }",
+    /// )?;
+    /// let view = CfgView::new(&prog);
+    /// assert_eq!(view.succs(prog.entry()).len(), 2);
+    /// assert_eq!(view.preds(prog.exit()).len(), 2);
+    /// assert!(view.is_acyclic());
+    /// # Ok::<(), pdce_ir::ParseError>(())
+    /// ```
+    pub fn new(prog: &Program) -> CfgView {
+        let n = prog.num_blocks();
+        let mut succs = vec![Vec::new(); n];
+        let mut preds = vec![Vec::new(); n];
+        for id in prog.node_ids() {
+            let ss = prog.successors(id);
+            for &m in &ss {
+                preds[m.index()].push(id);
+            }
+            succs[id.index()] = ss;
+        }
+        // Iterative DFS postorder from the entry.
+        let mut post = Vec::with_capacity(n);
+        let mut state = vec![0u8; n]; // 0 unseen, 1 on stack, 2 done
+        let mut stack: Vec<(NodeId, usize)> = vec![(prog.entry(), 0)];
+        state[prog.entry().index()] = 1;
+        while let Some(&mut (node, ref mut child)) = stack.last_mut() {
+            let ss = &succs[node.index()];
+            if *child < ss.len() {
+                let next = ss[*child];
+                *child += 1;
+                if state[next.index()] == 0 {
+                    state[next.index()] = 1;
+                    stack.push((next, 0));
+                }
+            } else {
+                state[node.index()] = 2;
+                post.push(node);
+                stack.pop();
+            }
+        }
+        let mut rpo: Vec<NodeId> = post;
+        rpo.reverse();
+        let mut rpo_index = vec![usize::MAX; n];
+        for (i, &id) in rpo.iter().enumerate() {
+            rpo_index[id.index()] = i;
+        }
+        CfgView {
+            preds,
+            succs,
+            rpo,
+            rpo_index,
+            entry: prog.entry(),
+            exit: prog.exit(),
+        }
+    }
+
+    /// Number of nodes covered by the view.
+    pub fn num_nodes(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// The entry node.
+    pub fn entry(&self) -> NodeId {
+        self.entry
+    }
+
+    /// The exit node.
+    pub fn exit(&self) -> NodeId {
+        self.exit
+    }
+
+    /// Predecessors of `n`.
+    pub fn preds(&self, n: NodeId) -> &[NodeId] {
+        &self.preds[n.index()]
+    }
+
+    /// Successors of `n`.
+    pub fn succs(&self, n: NodeId) -> &[NodeId] {
+        &self.succs[n.index()]
+    }
+
+    /// Reverse postorder over nodes reachable from the entry.
+    pub fn rpo(&self) -> &[NodeId] {
+        &self.rpo
+    }
+
+    /// Position of `n` in reverse postorder (`usize::MAX` if unreachable).
+    pub fn rpo_index(&self, n: NodeId) -> usize {
+        self.rpo_index[n.index()]
+    }
+
+    /// Postorder (reverse of [`CfgView::rpo`]), the natural iteration
+    /// order for backward analyses.
+    pub fn postorder(&self) -> Vec<NodeId> {
+        let mut po = self.rpo.clone();
+        po.reverse();
+        po
+    }
+
+    /// All edges `(m, n)` of the graph.
+    pub fn edges(&self) -> Vec<(NodeId, NodeId)> {
+        let mut out = Vec::new();
+        for (i, ss) in self.succs.iter().enumerate() {
+            for &m in ss {
+                out.push((NodeId::from_index(i), m));
+            }
+        }
+        out
+    }
+
+    /// Critical edges: from a node with several successors to a node with
+    /// several predecessors (Section 2.1 of the paper).
+    pub fn critical_edges(&self) -> Vec<(NodeId, NodeId)> {
+        self.edges()
+            .into_iter()
+            .filter(|&(m, n)| self.succs(m).len() > 1 && self.preds(n).len() > 1)
+            .collect()
+    }
+
+    /// Immediate dominators, computed with the Cooper–Harvey–Kennedy
+    /// iterative algorithm. `idom[entry] == entry`; unreachable nodes map
+    /// to `None`.
+    pub fn immediate_dominators(&self) -> Vec<Option<NodeId>> {
+        let n = self.num_nodes();
+        let mut idom: Vec<Option<NodeId>> = vec![None; n];
+        idom[self.entry.index()] = Some(self.entry);
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in &self.rpo {
+                if b == self.entry {
+                    continue;
+                }
+                let mut new_idom: Option<NodeId> = None;
+                for &p in self.preds(b) {
+                    if idom[p.index()].is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => self.intersect(&idom, p, cur),
+                    });
+                }
+                if new_idom.is_some() && idom[b.index()] != new_idom {
+                    idom[b.index()] = new_idom;
+                    changed = true;
+                }
+            }
+        }
+        idom
+    }
+
+    fn intersect(&self, idom: &[Option<NodeId>], mut a: NodeId, mut b: NodeId) -> NodeId {
+        while a != b {
+            while self.rpo_index(a) > self.rpo_index(b) {
+                a = idom[a.index()].expect("dominator chain broken");
+            }
+            while self.rpo_index(b) > self.rpo_index(a) {
+                b = idom[b.index()].expect("dominator chain broken");
+            }
+        }
+        a
+    }
+
+    /// Whether `a` dominates `b` (reflexive).
+    pub fn dominates(&self, idom: &[Option<NodeId>], a: NodeId, b: NodeId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match idom[cur.index()] {
+                Some(d) if d != cur => cur = d,
+                _ => return false,
+            }
+        }
+    }
+
+    /// Back edges `(tail, head)` where `head` dominates `tail` — the
+    /// retreating edges of *natural* loops.
+    pub fn natural_back_edges(&self) -> Vec<(NodeId, NodeId)> {
+        let idom = self.immediate_dominators();
+        self.edges()
+            .into_iter()
+            .filter(|&(m, n)| self.dominates(&idom, n, m))
+            .collect()
+    }
+
+    /// Whether the graph is reducible: every retreating edge (w.r.t. a DFS)
+    /// is a natural back edge. Detected by checking that removing natural
+    /// back edges leaves an acyclic graph.
+    pub fn is_reducible(&self) -> bool {
+        let back: std::collections::HashSet<(NodeId, NodeId)> =
+            self.natural_back_edges().into_iter().collect();
+        // Kahn's algorithm over the remaining edges.
+        let n = self.num_nodes();
+        let mut indeg = vec![0usize; n];
+        for (m, t) in self.edges() {
+            if !back.contains(&(m, t)) {
+                indeg[t.index()] += 1;
+            }
+        }
+        let mut queue: Vec<NodeId> = (0..n)
+            .map(NodeId::from_index)
+            .filter(|x| indeg[x.index()] == 0)
+            .collect();
+        let mut seen = 0;
+        while let Some(x) = queue.pop() {
+            seen += 1;
+            for &m in self.succs(x) {
+                if back.contains(&(x, m)) {
+                    continue;
+                }
+                indeg[m.index()] -= 1;
+                if indeg[m.index()] == 0 {
+                    queue.push(m);
+                }
+            }
+        }
+        seen == n
+    }
+
+    /// Whether the graph contains any cycle.
+    pub fn is_acyclic(&self) -> bool {
+        let n = self.num_nodes();
+        let mut indeg = vec![0usize; n];
+        for (_, t) in self.edges() {
+            indeg[t.index()] += 1;
+        }
+        let mut queue: Vec<NodeId> = (0..n)
+            .map(NodeId::from_index)
+            .filter(|x| indeg[x.index()] == 0)
+            .collect();
+        let mut seen = 0;
+        while let Some(x) = queue.pop() {
+            seen += 1;
+            for &m in self.succs(x) {
+                indeg[m.index()] -= 1;
+                if indeg[m.index()] == 0 {
+                    queue.push(m);
+                }
+            }
+        }
+        seen == n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn diamond() -> Program {
+        parse(
+            "prog {
+               block s { nondet a b }
+               block a { goto j }
+               block b { goto j }
+               block j { goto e }
+               block e { halt }
+             }",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn preds_and_succs() {
+        let p = diamond();
+        let v = CfgView::new(&p);
+        let j = p.block_by_name("j").unwrap();
+        let a = p.block_by_name("a").unwrap();
+        let b = p.block_by_name("b").unwrap();
+        assert_eq!(v.preds(j), &[a, b]);
+        assert_eq!(v.succs(p.entry()), &[a, b]);
+        assert_eq!(v.preds(p.entry()), &[] as &[NodeId]);
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_and_respects_order() {
+        let p = diamond();
+        let v = CfgView::new(&p);
+        assert_eq!(v.rpo()[0], p.entry());
+        let j = p.block_by_name("j").unwrap();
+        assert!(v.rpo_index(p.entry()) < v.rpo_index(j));
+        assert!(v.rpo_index(j) < v.rpo_index(p.exit()));
+        assert_eq!(v.rpo().len(), 5);
+    }
+
+    #[test]
+    fn dominators_of_diamond() {
+        let p = diamond();
+        let v = CfgView::new(&p);
+        let idom = v.immediate_dominators();
+        let j = p.block_by_name("j").unwrap();
+        let a = p.block_by_name("a").unwrap();
+        assert_eq!(idom[j.index()], Some(p.entry()));
+        assert_eq!(idom[a.index()], Some(p.entry()));
+        assert!(v.dominates(&idom, p.entry(), j));
+        assert!(!v.dominates(&idom, a, j));
+        assert!(v.dominates(&idom, j, j));
+    }
+
+    #[test]
+    fn critical_edge_detection() {
+        let p = parse(
+            "prog {
+               block s { nondet a j }
+               block a { goto j }
+               block j { goto e }
+               block e { halt }
+             }",
+        )
+        .unwrap();
+        let v = CfgView::new(&p);
+        let j = p.block_by_name("j").unwrap();
+        assert_eq!(v.critical_edges(), vec![(p.entry(), j)]);
+    }
+
+    #[test]
+    fn loop_and_reducibility_detection() {
+        let looped = parse(
+            "prog {
+               block s { goto h }
+               block h { nondet body e }
+               block body { goto h }
+               block e { halt }
+             }",
+        )
+        .unwrap();
+        let v = CfgView::new(&looped);
+        assert!(!v.is_acyclic());
+        assert!(v.is_reducible());
+        let h = looped.block_by_name("h").unwrap();
+        let body = looped.block_by_name("body").unwrap();
+        assert_eq!(v.natural_back_edges(), vec![(body, h)]);
+
+        // Two-entry loop {a, b}: the classic irreducible shape.
+        let irred = parse(
+            "prog {
+               block s { nondet a b }
+               block a { nondet b e }
+               block b { goto a }
+               block e { halt }
+             }",
+        )
+        .unwrap();
+        let v = CfgView::new(&irred);
+        assert!(!v.is_acyclic());
+        assert!(!v.is_reducible());
+        assert!(v.natural_back_edges().is_empty());
+    }
+
+    #[test]
+    fn acyclic_detection() {
+        let p = diamond();
+        assert!(CfgView::new(&p).is_acyclic());
+    }
+}

@@ -1,0 +1,107 @@
+//! Graphviz DOT export for flow graphs.
+
+use std::fmt::Write as _;
+
+use crate::printer::{print_stmt, print_term};
+use crate::program::{Program, Terminator};
+
+/// Renders the program as a Graphviz `digraph`.
+///
+/// Each block becomes a rectangular node labelled with its statements;
+/// synthetic blocks (from edge splitting) are drawn dashed; conditional
+/// edges are labelled `T`/`F`.
+pub fn to_dot(prog: &Program, graph_name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {graph_name} {{");
+    let _ = writeln!(out, "  node [shape=box, fontname=\"monospace\"];");
+    for n in prog.node_ids() {
+        let b = prog.block(n);
+        let mut label = format!("{}\\n", escape(&b.name));
+        for s in &b.stmts {
+            let _ = write!(label, "{}\\l", escape(&print_stmt(prog, s)));
+        }
+        let style = if b.is_synthetic() {
+            ", style=dashed"
+        } else if n == prog.entry() || n == prog.exit() {
+            ", style=bold"
+        } else {
+            ""
+        };
+        let _ = writeln!(out, "  {} [label=\"{label}\"{style}];", n.index());
+    }
+    for n in prog.node_ids() {
+        match &prog.block(n).term {
+            Terminator::Goto(m) => {
+                let _ = writeln!(out, "  {} -> {};", n.index(), m.index());
+            }
+            Terminator::Cond {
+                cond,
+                then_to,
+                else_to,
+            } => {
+                let c = escape(&print_term(prog, *cond));
+                let _ = writeln!(
+                    out,
+                    "  {} -> {} [label=\"{c}: T\"];",
+                    n.index(),
+                    then_to.index()
+                );
+                let _ = writeln!(
+                    out,
+                    "  {} -> {} [label=\"{c}: F\"];",
+                    n.index(),
+                    else_to.index()
+                );
+            }
+            Terminator::Nondet(ms) => {
+                for m in ms {
+                    let _ = writeln!(out, "  {} -> {} [style=dotted];", n.index(), m.index());
+                }
+            }
+            Terminator::Halt => {}
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let p = parse(
+            "prog {
+               block s { x := a + b; if x < 3 then a1 else b1 }
+               block a1 { goto e }
+               block b1 { nondet a1 e }
+               block e { halt }
+             }",
+        )
+        .unwrap();
+        let dot = to_dot(&p, "g");
+        assert!(dot.starts_with("digraph g {"));
+        assert!(dot.contains("x := a + b"));
+        assert!(dot.contains("0 -> 1 [label=\"x < 3: T\"]"));
+        assert!(dot.contains("0 -> 2 [label=\"x < 3: F\"]"));
+        assert!(dot.contains("2 -> 1 [style=dotted]"));
+        assert!(dot.contains("2 -> 3 [style=dotted]"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn synthetic_blocks_are_dashed() {
+        let mut p = parse("prog { block s { goto e } block e { halt } }").unwrap();
+        let entry = p.entry();
+        let exit = p.exit();
+        p.split_edge(entry, exit);
+        let dot = to_dot(&p, "g");
+        assert!(dot.contains("style=dashed"));
+    }
+}

@@ -1,0 +1,111 @@
+//! Error types of the IR crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while constructing or validating a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IrError {
+    /// A block name was used twice.
+    DuplicateBlock(String),
+    /// A terminator targets a block that does not exist.
+    UnknownTarget {
+        /// Block containing the bad terminator.
+        block: String,
+        /// The missing target name.
+        target: String,
+    },
+    /// The entry node has predecessors.
+    EntryHasPredecessors,
+    /// The exit node has successors or is not terminated by `halt`.
+    BadExit,
+    /// No block carries the `halt` terminator, or more than one does.
+    ExitCount(usize),
+    /// A node is not reachable from the entry.
+    Unreachable(String),
+    /// A node cannot reach the exit.
+    CannotReachExit(String),
+    /// A `nondet` terminator with no targets.
+    EmptyNondet(String),
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::DuplicateBlock(name) => write!(f, "duplicate block name `{name}`"),
+            IrError::UnknownTarget { block, target } => {
+                write!(f, "block `{block}` jumps to unknown block `{target}`")
+            }
+            IrError::EntryHasPredecessors => write!(f, "entry node has predecessors"),
+            IrError::BadExit => write!(f, "exit node has successors or lacks `halt`"),
+            IrError::ExitCount(n) => write!(f, "expected exactly one `halt` block, found {n}"),
+            IrError::Unreachable(name) => {
+                write!(f, "block `{name}` is unreachable from the entry")
+            }
+            IrError::CannotReachExit(name) => {
+                write!(f, "block `{name}` cannot reach the exit")
+            }
+            IrError::EmptyNondet(name) => {
+                write!(f, "block `{name}` has a `nondet` terminator with no targets")
+            }
+        }
+    }
+}
+
+impl Error for IrError {}
+
+/// A parse error with position information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line of the offending token.
+    pub line: u32,
+    /// 1-based column of the offending token.
+    pub col: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl ParseError {
+    /// Creates a parse error at the given position.
+    pub fn new(line: u32, col: u32, message: impl Into<String>) -> ParseError {
+        ParseError {
+            line,
+            col,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+impl From<IrError> for ParseError {
+    fn from(err: IrError) -> ParseError {
+        ParseError::new(0, 0, err.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_concise() {
+        let e = IrError::DuplicateBlock("b1".into());
+        assert_eq!(e.to_string(), "duplicate block name `b1`");
+        let p = ParseError::new(3, 7, "expected `:=`");
+        assert_eq!(p.to_string(), "parse error at 3:7: expected `:=`");
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<IrError>();
+        assert_send_sync::<ParseError>();
+    }
+}

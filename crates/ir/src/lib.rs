@@ -1,0 +1,69 @@
+//! Flow-graph intermediate representation for the PDCE reproduction.
+//!
+//! This crate implements the program model of Knoop, Rüthing & Steffen,
+//! *Partial Dead Code Elimination* (PLDI 1994), Section 2: directed flow
+//! graphs `G = (N, E, s, e)` whose nodes are basic blocks of statements.
+//! Statements are assignments `x := t`, the empty statement `skip`, and
+//! *relevant* statements `out(t)` which force all their operands to be live.
+//! Branching is either nondeterministic (as in the paper) or conditional
+//! (conditions are treated as relevant uses, cf. the paper's footnote 2).
+//!
+//! Besides the core data types, the crate provides:
+//!
+//! * a textual language with a [lexer] and [parser], and a
+//!   [pretty-printer](printer) plus [DOT export](dot),
+//! * [critical-edge splitting](edgesplit) (Section 2.1 of the paper) and
+//!   the inverse [CFG simplification](simplify) cleanup pass,
+//! * CFG utilities ([`CfgView`], reverse postorder, dominators, loops),
+//! * a deterministic [interpreter](interp) with output traces and executed
+//!   statement counters, used to check semantics preservation,
+//! * [path enumeration and sampling](paths) together with per-path
+//!   assignment-pattern counting, the basis of the paper's `better`
+//!   relation (Definition 3.6).
+//!
+//! # Example
+//!
+//! ```
+//! use pdce_ir::parser::parse;
+//!
+//! let prog = parse(
+//!     "prog {
+//!        block s { goto n1 }
+//!        block n1 { y := a + b; nondet n2 n3 }
+//!        block n2 { y := 4; goto n4 }
+//!        block n3 { out(y); goto n4 }
+//!        block n4 { out(y); goto e }
+//!        block e { halt }
+//!      }",
+//! )?;
+//! assert_eq!(prog.num_blocks(), 6);
+//! # Ok::<(), pdce_ir::error::ParseError>(())
+//! ```
+
+pub mod builder;
+pub mod cfg;
+pub mod dot;
+pub mod edgesplit;
+pub mod error;
+pub mod interp;
+pub mod lexer;
+pub mod parser;
+pub mod paths;
+pub mod pattern;
+pub mod printer;
+pub mod program;
+pub mod simplify;
+pub mod stmt;
+pub mod term;
+pub mod validate;
+pub mod var;
+
+pub use builder::ProgramBuilder;
+pub use cfg::CfgView;
+pub use error::{IrError, ParseError};
+pub use pattern::PatternKey;
+pub use simplify::{simplify_cfg, SimplifyStats};
+pub use program::{Block, NodeId, Program, Terminator};
+pub use stmt::Stmt;
+pub use term::{BinOp, TermData, TermId, UnOp};
+pub use var::Var;

@@ -1,0 +1,335 @@
+//! Path enumeration and sampling.
+//!
+//! The paper's `better` relation (Definition 3.6) quantifies over all
+//! finite paths `p ∈ P[s, e]`. For acyclic graphs we enumerate those
+//! paths exactly; for cyclic graphs we sample finite walks with a seeded
+//! oracle. Because optimization keeps the branching structure intact, a
+//! node sequence that is a path of the original graph is also a path of
+//! the optimized graph, which is what makes per-path comparisons direct.
+
+use crate::cfg::CfgView;
+use crate::interp::{DecisionOracle, SeededOracle};
+use crate::program::{NodeId, Program, Terminator};
+
+/// Enumerates every path from entry to exit of an acyclic program.
+///
+/// Returns `None` if the graph is cyclic or the number of paths exceeds
+/// `max_paths` (paths are exponential in the worst case).
+pub fn enumerate_paths(prog: &Program, max_paths: usize) -> Option<Vec<Vec<NodeId>>> {
+    let view = CfgView::new(prog);
+    if !view.is_acyclic() {
+        return None;
+    }
+    let mut result = Vec::new();
+    let mut current = vec![prog.entry()];
+    if !extend(prog, &mut current, &mut result, max_paths) {
+        return None;
+    }
+    Some(result)
+}
+
+fn extend(
+    prog: &Program,
+    current: &mut Vec<NodeId>,
+    result: &mut Vec<Vec<NodeId>>,
+    max_paths: usize,
+) -> bool {
+    let last = *current.last().expect("path is nonempty");
+    if last == prog.exit() {
+        if result.len() >= max_paths {
+            return false;
+        }
+        result.push(current.clone());
+        return true;
+    }
+    for succ in prog.successors(last) {
+        current.push(succ);
+        let ok = extend(prog, current, result, max_paths);
+        current.pop();
+        if !ok {
+            return false;
+        }
+    }
+    true
+}
+
+/// Enumerates every entry→exit path in which no node is visited more
+/// than `visit_cap` times — exact coverage of all executions with at
+/// most `visit_cap - 1` re-entries per loop head. Returns `None` if more
+/// than `max_paths` such paths exist.
+///
+/// For acyclic graphs and any `visit_cap ≥ 1` this coincides with
+/// [`enumerate_paths`]. For cyclic graphs it makes per-path comparisons
+/// (the paper's Definition 3.6) *exact up to the bound* instead of
+/// sampled.
+pub fn enumerate_bounded_paths(
+    prog: &Program,
+    visit_cap: usize,
+    max_paths: usize,
+) -> Option<Vec<Vec<NodeId>>> {
+    let mut result = Vec::new();
+    let mut current = vec![prog.entry()];
+    let mut visits = vec![0usize; prog.num_blocks()];
+    visits[prog.entry().index()] = 1;
+    if !extend_bounded(prog, &mut current, &mut visits, visit_cap, &mut result, max_paths) {
+        return None;
+    }
+    Some(result)
+}
+
+fn extend_bounded(
+    prog: &Program,
+    current: &mut Vec<NodeId>,
+    visits: &mut Vec<usize>,
+    visit_cap: usize,
+    result: &mut Vec<Vec<NodeId>>,
+    max_paths: usize,
+) -> bool {
+    let last = *current.last().expect("path is nonempty");
+    if last == prog.exit() {
+        if result.len() >= max_paths {
+            return false;
+        }
+        result.push(current.clone());
+        return true;
+    }
+    for succ in prog.successors(last) {
+        if visits[succ.index()] >= visit_cap {
+            continue;
+        }
+        visits[succ.index()] += 1;
+        current.push(succ);
+        let ok = extend_bounded(prog, current, visits, visit_cap, result, max_paths);
+        current.pop();
+        visits[succ.index()] -= 1;
+        if !ok {
+            return false;
+        }
+    }
+    true
+}
+
+/// One random walk from entry towards exit, cut off after `max_len` nodes.
+///
+/// Conditional branches are resolved *structurally* (by the oracle, like
+/// `nondet`), because path counting is a syntactic notion: Definition 3.6
+/// ranges over all graph paths, not only executable ones.
+pub fn sample_path(prog: &Program, oracle: &mut dyn DecisionOracle, max_len: usize) -> Vec<NodeId> {
+    let mut path = vec![prog.entry()];
+    let mut node = prog.entry();
+    while node != prog.exit() && path.len() < max_len {
+        let succs = prog.successors(node);
+        debug_assert!(!succs.is_empty(), "non-exit node without successors");
+        let idx = if succs.len() == 1 {
+            0
+        } else {
+            oracle.choose(node, succs.len()).min(succs.len() - 1)
+        };
+        node = succs[idx];
+        path.push(node);
+    }
+    path
+}
+
+/// Samples `count` walks with a seeded oracle (deterministic per seed).
+pub fn sample_paths(prog: &Program, seed: u64, count: usize, max_len: usize) -> Vec<Vec<NodeId>> {
+    let mut oracle = SeededOracle::new(seed);
+    (0..count)
+        .map(|_| sample_path(prog, &mut oracle, max_len))
+        .collect()
+}
+
+/// Checks that `path` is a well-formed node sequence of `prog`: starts at
+/// the entry and each step follows an edge. (It need not reach the exit.)
+pub fn is_path_of(prog: &Program, path: &[NodeId]) -> bool {
+    if path.first() != Some(&prog.entry()) {
+        return false;
+    }
+    path.windows(2).all(|w| {
+        w[0].index() < prog.num_blocks() && prog.successors(w[0]).contains(&w[1])
+    })
+}
+
+/// Translates a node-sequence path from one program to another via block
+/// names, returning `None` if some block or edge is missing.
+///
+/// Used when the compared programs were built separately (e.g. a
+/// hand-written expected result) and node ids do not line up.
+pub fn translate_path(from: &Program, to: &Program, path: &[NodeId]) -> Option<Vec<NodeId>> {
+    let mapped: Option<Vec<NodeId>> = path
+        .iter()
+        .map(|&n| to.block_by_name(&from.block(n).name))
+        .collect();
+    let mapped = mapped?;
+    is_path_of(to, &mapped).then_some(mapped)
+}
+
+/// Decision sequence (successor indices at branching nodes) that produces
+/// `path`; `None` if `path` is not a path of `prog`.
+pub fn decisions_of_path(prog: &Program, path: &[NodeId]) -> Option<Vec<usize>> {
+    if !is_path_of(prog, path) {
+        return None;
+    }
+    let mut decisions = Vec::new();
+    for w in path.windows(2) {
+        let block = prog.block(w[0]);
+        if let Terminator::Nondet(succs) = &block.term {
+            if succs.len() > 1 {
+                decisions.push(succs.iter().position(|&m| m == w[1])?);
+            }
+        }
+    }
+    Some(decisions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn diamond() -> Program {
+        parse(
+            "prog {
+               block s { nondet a b }
+               block a { goto j }
+               block b { goto j }
+               block j { goto e }
+               block e { halt }
+             }",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn enumerates_diamond_paths() {
+        let p = diamond();
+        let paths = enumerate_paths(&p, 100).unwrap();
+        assert_eq!(paths.len(), 2);
+        for path in &paths {
+            assert_eq!(path.first(), Some(&p.entry()));
+            assert_eq!(path.last(), Some(&p.exit()));
+            assert!(is_path_of(&p, path));
+        }
+    }
+
+    #[test]
+    fn cyclic_graph_yields_none() {
+        let p = parse(
+            "prog {
+               block s { goto h }
+               block h { nondet h e }
+               block e { halt }
+             }",
+        )
+        .unwrap();
+        assert!(enumerate_paths(&p, 100).is_none());
+    }
+
+    #[test]
+    fn path_cap_yields_none() {
+        let p = diamond();
+        assert!(enumerate_paths(&p, 1).is_none());
+    }
+
+    #[test]
+    fn bounded_enumeration_covers_loop_unrollings() {
+        let p = parse(
+            "prog {
+               block s { goto h }
+               block h { nondet body x }
+               block body { goto h }
+               block x { goto e }
+               block e { halt }
+             }",
+        )
+        .unwrap();
+        // visit_cap = 1: only the straight-through path.
+        let one = enumerate_bounded_paths(&p, 1, 100).unwrap();
+        assert_eq!(one.len(), 1);
+        // visit_cap = 3: zero, one, or two loop iterations.
+        let three = enumerate_bounded_paths(&p, 3, 100).unwrap();
+        assert_eq!(three.len(), 3);
+        for path in &three {
+            assert!(is_path_of(&p, path));
+            assert_eq!(path.last(), Some(&p.exit()));
+        }
+    }
+
+    #[test]
+    fn bounded_matches_full_on_acyclic() {
+        let p = diamond();
+        let full = enumerate_paths(&p, 100).unwrap();
+        let bounded = enumerate_bounded_paths(&p, 1, 100).unwrap();
+        assert_eq!(full, bounded);
+    }
+
+    #[test]
+    fn bounded_respects_path_cap() {
+        let p = parse(
+            "prog {
+               block s { goto h }
+               block h { nondet body x }
+               block body { goto h }
+               block x { goto e }
+               block e { halt }
+             }",
+        )
+        .unwrap();
+        assert!(enumerate_bounded_paths(&p, 5, 2).is_none());
+    }
+
+    #[test]
+    fn sampled_walks_are_paths() {
+        let p = parse(
+            "prog {
+               block s { goto h }
+               block h { nondet body x }
+               block body { goto h }
+               block x { goto e }
+               block e { halt }
+             }",
+        )
+        .unwrap();
+        for path in sample_paths(&p, 42, 20, 50) {
+            assert!(is_path_of(&p, path.as_slice()));
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let p = diamond();
+        assert_eq!(sample_paths(&p, 5, 10, 10), sample_paths(&p, 5, 10, 10));
+    }
+
+    #[test]
+    fn decisions_round_trip() {
+        let p = diamond();
+        let paths = enumerate_paths(&p, 10).unwrap();
+        for path in paths {
+            let ds = decisions_of_path(&p, &path).unwrap();
+            assert_eq!(ds.len(), 1);
+            let b = p.successors(p.entry())[ds[0]];
+            assert_eq!(path[1], b);
+        }
+    }
+
+    #[test]
+    fn translate_by_names() {
+        let p1 = diamond();
+        let p2 = diamond();
+        let paths = enumerate_paths(&p1, 10).unwrap();
+        for path in paths {
+            let t = translate_path(&p1, &p2, &path).unwrap();
+            assert_eq!(t.len(), path.len());
+        }
+    }
+
+    #[test]
+    fn is_path_of_rejects_non_edges() {
+        let p = diamond();
+        let a = p.block_by_name("a").unwrap();
+        let b = p.block_by_name("b").unwrap();
+        assert!(!is_path_of(&p, &[p.entry(), a, b]));
+        assert!(!is_path_of(&p, &[a]));
+    }
+}

@@ -1,0 +1,171 @@
+//! Assignment patterns `α ≡ x := t` (Section 2 of the paper).
+//!
+//! A pattern is identified by its left-hand-side variable and the
+//! *structure* of its right-hand-side term. [`PatternKey`] is an
+//! arena-independent canonical form, so occurrence counts of the same
+//! pattern can be compared across different programs (as the `better`
+//! relation of Definition 3.6 requires).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::printer::print_term;
+use crate::program::{NodeId, Program};
+use crate::stmt::Stmt;
+use crate::term::TermId;
+use crate::var::Var;
+
+/// Canonical, program-independent identity of an assignment pattern.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PatternKey(String);
+
+impl PatternKey {
+    /// Builds the key for `lhs := rhs` in `prog`.
+    pub fn of(prog: &Program, lhs: Var, rhs: TermId) -> PatternKey {
+        PatternKey(format!(
+            "{} := {}",
+            prog.vars().name(lhs),
+            print_term(prog, rhs)
+        ))
+    }
+
+    /// Builds the key of an assignment statement; `None` for other
+    /// statement kinds.
+    pub fn of_stmt(prog: &Program, stmt: &Stmt) -> Option<PatternKey> {
+        match *stmt {
+            Stmt::Assign { lhs, rhs } => Some(PatternKey::of(prog, lhs, rhs)),
+            _ => None,
+        }
+    }
+
+    /// The canonical rendering, e.g. `"y := a + b"`.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for PatternKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Counts occurrences of every assignment pattern in one block.
+pub fn block_pattern_counts(prog: &Program, n: NodeId) -> HashMap<PatternKey, u64> {
+    let mut counts = HashMap::new();
+    for stmt in &prog.block(n).stmts {
+        if let Some(key) = PatternKey::of_stmt(prog, stmt) {
+            *counts.entry(key).or_insert(0) += 1;
+        }
+    }
+    counts
+}
+
+/// Counts occurrences of every assignment pattern along a node sequence
+/// (the `α#(p)` of Definition 3.6).
+pub fn path_pattern_counts(prog: &Program, path: &[NodeId]) -> HashMap<PatternKey, u64> {
+    let mut counts: HashMap<PatternKey, u64> = HashMap::new();
+    for &n in path {
+        for stmt in &prog.block(n).stmts {
+            if let Some(key) = PatternKey::of_stmt(prog, stmt) {
+                *counts.entry(key).or_insert(0) += 1;
+            }
+        }
+    }
+    counts
+}
+
+/// Whether count map `a` is pointwise ≤ `b` (missing entries count 0).
+pub fn counts_dominated(a: &HashMap<PatternKey, u64>, b: &HashMap<PatternKey, u64>) -> bool {
+    a.iter().all(|(k, &va)| va <= b.get(k).copied().unwrap_or(0))
+}
+
+/// All distinct assignment patterns occurring in the program (`AP`),
+/// sorted by canonical key for determinism.
+pub fn all_patterns(prog: &Program) -> Vec<PatternKey> {
+    let mut set: Vec<PatternKey> = prog
+        .node_ids()
+        .flat_map(|n| {
+            prog.block(n)
+                .stmts
+                .iter()
+                .filter_map(|s| PatternKey::of_stmt(prog, s))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    set.sort();
+    set.dedup();
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn keys_are_structural() {
+        let p = parse(
+            "prog {
+               block s { y := a + b; x := a + b; y := a + b; goto e }
+               block e { halt }
+             }",
+        )
+        .unwrap();
+        let ap = all_patterns(&p);
+        assert_eq!(ap.len(), 2);
+        assert_eq!(ap[0].as_str(), "x := a + b");
+        assert_eq!(ap[1].as_str(), "y := a + b");
+    }
+
+    #[test]
+    fn block_counts() {
+        let p = parse(
+            "prog {
+               block s { y := a + b; skip; y := a + b; out(y); goto e }
+               block e { halt }
+             }",
+        )
+        .unwrap();
+        let counts = block_pattern_counts(&p, p.entry());
+        let key = all_patterns(&p).remove(0);
+        assert_eq!(counts.get(&key), Some(&2));
+    }
+
+    #[test]
+    fn path_counts_accumulate_over_nodes() {
+        let p = parse(
+            "prog {
+               block s { y := a + b; goto m }
+               block m { y := a + b; goto e }
+               block e { halt }
+             }",
+        )
+        .unwrap();
+        let path = vec![p.entry(), p.block_by_name("m").unwrap(), p.exit()];
+        let counts = path_pattern_counts(&p, &path);
+        assert_eq!(counts.values().sum::<u64>(), 2);
+    }
+
+    #[test]
+    fn domination_is_pointwise() {
+        let p1 = parse("prog { block s { y := a; goto e } block e { halt } }").unwrap();
+        let p2 = parse(
+            "prog { block s { y := a; y := a; x := b; goto e } block e { halt } }",
+        )
+        .unwrap();
+        let c1 = path_pattern_counts(&p1, &[p1.entry()]);
+        let c2 = path_pattern_counts(&p2, &[p2.entry()]);
+        assert!(counts_dominated(&c1, &c2));
+        assert!(!counts_dominated(&c2, &c1));
+    }
+
+    #[test]
+    fn keys_compare_across_programs() {
+        let p1 = parse("prog { block s { y := a + b; goto e } block e { halt } }").unwrap();
+        let p2 = parse("prog { block z { y := a + b; goto q } block q { halt } }").unwrap();
+        let k1 = all_patterns(&p1).remove(0);
+        let k2 = all_patterns(&p2).remove(0);
+        assert_eq!(k1, k2);
+    }
+}

@@ -1,0 +1,437 @@
+//! The flow graph `G = (N, E, s, e)`: basic blocks, terminators, and the
+//! owning [`Program`] container.
+
+use std::fmt;
+
+use crate::error::IrError;
+use crate::stmt::Stmt;
+use crate::term::{TermArena, TermData, TermId};
+use crate::var::{Var, VarPool};
+
+/// Identifier of a basic block (a node of the flow graph).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// Dense index of the node.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a node id from a dense index.
+    pub fn from_index(index: usize) -> NodeId {
+        NodeId(u32::try_from(index).expect("node index overflow"))
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// How control leaves a basic block.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Terminator {
+    /// Unconditional jump.
+    Goto(NodeId),
+    /// Two-way conditional branch. The condition term is treated as a
+    /// *relevant* use (paper footnote 2: branch conditions must be
+    /// considered relevant).
+    Cond {
+        /// Branch condition; nonzero takes `then_to`.
+        cond: TermId,
+        /// Successor on a truthy condition.
+        then_to: NodeId,
+        /// Successor on a falsy condition.
+        else_to: NodeId,
+    },
+    /// Nondeterministic branch, exactly as in the paper's program model.
+    Nondet(Vec<NodeId>),
+    /// Program end; only the exit node carries this.
+    Halt,
+}
+
+impl Terminator {
+    /// Successor nodes in branch order.
+    pub fn successors(&self) -> Vec<NodeId> {
+        match self {
+            Terminator::Goto(n) => vec![*n],
+            Terminator::Cond {
+                then_to, else_to, ..
+            } => vec![*then_to, *else_to],
+            Terminator::Nondet(ns) => ns.clone(),
+            Terminator::Halt => Vec::new(),
+        }
+    }
+
+    /// Number of successors.
+    pub fn successor_count(&self) -> usize {
+        match self {
+            Terminator::Goto(_) => 1,
+            Terminator::Cond { .. } => 2,
+            Terminator::Nondet(ns) => ns.len(),
+            Terminator::Halt => 0,
+        }
+    }
+
+    /// The term read by the terminator, if any (only `Cond`).
+    pub fn used_term(&self) -> Option<TermId> {
+        match self {
+            Terminator::Cond { cond, .. } => Some(*cond),
+            _ => None,
+        }
+    }
+
+    /// Rewrites every successor equal to `from` into `to`.
+    pub fn retarget(&mut self, from: NodeId, to: NodeId) {
+        match self {
+            Terminator::Goto(n) => {
+                if *n == from {
+                    *n = to;
+                }
+            }
+            Terminator::Cond {
+                then_to, else_to, ..
+            } => {
+                if *then_to == from {
+                    *then_to = to;
+                }
+                if *else_to == from {
+                    *else_to = to;
+                }
+            }
+            Terminator::Nondet(ns) => {
+                for n in ns {
+                    if *n == from {
+                        *n = to;
+                    }
+                }
+            }
+            Terminator::Halt => {}
+        }
+    }
+}
+
+/// A basic block: a named node holding a statement list and a terminator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    /// Human-readable name (unique within a program).
+    pub name: String,
+    /// Straight-line statements executed in order.
+    pub stmts: Vec<Stmt>,
+    /// Control transfer at the end of the block.
+    pub term: Terminator,
+    /// If the block was synthesized by critical-edge splitting, the
+    /// original edge `(from, to)` it was inserted into.
+    pub split_of: Option<(NodeId, NodeId)>,
+}
+
+impl Block {
+    /// Creates a block with no statements and the given terminator.
+    pub fn new(name: impl Into<String>, term: Terminator) -> Block {
+        Block {
+            name: name.into(),
+            stmts: Vec::new(),
+            term,
+            split_of: None,
+        }
+    }
+
+    /// Whether this block was synthesized by edge splitting.
+    pub fn is_synthetic(&self) -> bool {
+        self.split_of.is_some()
+    }
+}
+
+/// A whole program: variable pool, term arena, and the flow graph.
+///
+/// Blocks are stored densely and addressed by [`NodeId`]; transformations
+/// mutate blocks in place, so node identity is stable across optimization
+/// (which is what makes the paper's per-path comparisons meaningful).
+#[derive(Debug, Clone)]
+pub struct Program {
+    vars: VarPool,
+    terms: TermArena,
+    blocks: Vec<Block>,
+    entry: NodeId,
+    exit: NodeId,
+}
+
+impl Program {
+    /// Creates a program containing only an entry and an exit block.
+    ///
+    /// The entry is named `s`, falls through to the exit named `e`,
+    /// matching the paper's convention of `skip`-only start and end nodes.
+    pub fn new() -> Program {
+        let entry = NodeId(0);
+        let exit = NodeId(1);
+        Program {
+            vars: VarPool::new(),
+            terms: TermArena::new(),
+            blocks: vec![
+                Block::new("s", Terminator::Goto(exit)),
+                Block::new("e", Terminator::Halt),
+            ],
+            entry,
+            exit,
+        }
+    }
+
+    /// Builds a program from parts. Used by the builder and parser.
+    pub(crate) fn from_parts(
+        vars: VarPool,
+        terms: TermArena,
+        blocks: Vec<Block>,
+        entry: NodeId,
+        exit: NodeId,
+    ) -> Program {
+        Program {
+            vars,
+            terms,
+            blocks,
+            entry,
+            exit,
+        }
+    }
+
+    /// The entry node `s`.
+    pub fn entry(&self) -> NodeId {
+        self.entry
+    }
+
+    /// The exit node `e`.
+    pub fn exit(&self) -> NodeId {
+        self.exit
+    }
+
+    /// Number of basic blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Number of distinct variables.
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Total number of statements over all blocks (the paper's `i`).
+    pub fn num_stmts(&self) -> usize {
+        self.blocks.iter().map(|b| b.stmts.len()).sum()
+    }
+
+    /// Total number of *assignment* statements.
+    pub fn num_assignments(&self) -> usize {
+        self.blocks
+            .iter()
+            .flat_map(|b| &b.stmts)
+            .filter(|s| s.is_assignment())
+            .count()
+    }
+
+    /// Iterates over all node ids in index order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.blocks.len() as u32).map(NodeId)
+    }
+
+    /// Shared access to a block.
+    pub fn block(&self, n: NodeId) -> &Block {
+        &self.blocks[n.index()]
+    }
+
+    /// Mutable access to a block.
+    pub fn block_mut(&mut self, n: NodeId) -> &mut Block {
+        &mut self.blocks[n.index()]
+    }
+
+    /// Looks a block up by name.
+    pub fn block_by_name(&self, name: &str) -> Option<NodeId> {
+        self.node_ids().find(|&n| self.block(n).name == name)
+    }
+
+    /// Successors of `n` in branch order.
+    pub fn successors(&self, n: NodeId) -> Vec<NodeId> {
+        self.block(n).term.successors()
+    }
+
+    /// Predecessor lists for all nodes, indexed by node index.
+    pub fn predecessors(&self) -> Vec<Vec<NodeId>> {
+        let mut preds = vec![Vec::new(); self.blocks.len()];
+        for n in self.node_ids() {
+            for m in self.successors(n) {
+                preds[m.index()].push(n);
+            }
+        }
+        preds
+    }
+
+    /// Shared access to the variable pool.
+    pub fn vars(&self) -> &VarPool {
+        &self.vars
+    }
+
+    /// Mutable access to the variable pool.
+    pub fn vars_mut(&mut self) -> &mut VarPool {
+        &mut self.vars
+    }
+
+    /// Shared access to the term arena.
+    pub fn terms(&self) -> &TermArena {
+        &self.terms
+    }
+
+    /// Mutable access to the term arena.
+    pub fn terms_mut(&mut self) -> &mut TermArena {
+        &mut self.terms
+    }
+
+    /// Interns a variable by name.
+    pub fn var(&mut self, name: &str) -> Var {
+        self.vars.intern(name)
+    }
+
+    /// Interns a term.
+    pub fn term(&mut self, data: TermData) -> TermId {
+        self.terms.intern(data)
+    }
+
+    /// Appends a fresh block and returns its id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::DuplicateBlock`] if the name is taken.
+    pub fn add_block(&mut self, block: Block) -> Result<NodeId, IrError> {
+        if self.block_by_name(&block.name).is_some() {
+            return Err(IrError::DuplicateBlock(block.name));
+        }
+        let id = NodeId(u32::try_from(self.blocks.len()).expect("too many blocks"));
+        self.blocks.push(block);
+        Ok(id)
+    }
+
+    /// Inserts a synthetic block on the edge `(from, to)` and returns it.
+    ///
+    /// The new block is named `S_<from>_<to>` (after the paper's
+    /// `S_{m,n}` notation), contains no statements, jumps to `to`, and
+    /// `from`'s terminator is retargeted. Used by critical-edge splitting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(from, to)` is not an edge of the graph.
+    pub fn split_edge(&mut self, from: NodeId, to: NodeId) -> NodeId {
+        assert!(
+            self.successors(from).contains(&to),
+            "({from}, {to}) is not an edge"
+        );
+        let mut name = format!("S_{}_{}", self.block(from).name, self.block(to).name);
+        // Guard against pathological user-chosen names colliding.
+        while self.block_by_name(&name).is_some() {
+            name.push('_');
+        }
+        let mut block = Block::new(name, Terminator::Goto(to));
+        block.split_of = Some((from, to));
+        let id = NodeId(u32::try_from(self.blocks.len()).expect("too many blocks"));
+        self.blocks.push(block);
+        self.block_mut(from).term.retarget(to, id);
+        id
+    }
+
+    /// The size `max(#stmts over blocks)` useful for growth statistics.
+    pub fn max_block_len(&self) -> usize {
+        self.blocks.iter().map(|b| b.stmts.len()).max().unwrap_or(0)
+    }
+
+    /// Replaces the entire block set (used by CFG simplification when
+    /// compacting node indices). The variable pool and term arena are
+    /// kept — term ids inside `blocks` stay valid.
+    pub(crate) fn replace_graph(&mut self, blocks: Vec<Block>, entry: NodeId, exit: NodeId) {
+        assert!(entry.index() < blocks.len() && exit.index() < blocks.len());
+        self.blocks = blocks;
+        self.entry = entry;
+        self.exit = exit;
+    }
+}
+
+impl Default for Program {
+    fn default() -> Program {
+        Program::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_program_has_entry_and_exit() {
+        let p = Program::new();
+        assert_eq!(p.num_blocks(), 2);
+        assert_eq!(p.block(p.entry()).name, "s");
+        assert_eq!(p.block(p.exit()).name, "e");
+        assert_eq!(p.successors(p.entry()), vec![p.exit()]);
+        assert_eq!(p.successors(p.exit()), vec![]);
+    }
+
+    #[test]
+    fn predecessors_mirror_successors() {
+        let mut p = Program::new();
+        let exit = p.exit();
+        let b = p
+            .add_block(Block::new("n1", Terminator::Goto(exit)))
+            .unwrap();
+        p.block_mut(p.entry()).term = Terminator::Nondet(vec![b, exit]);
+        let preds = p.predecessors();
+        assert_eq!(preds[exit.index()], vec![p.entry(), b]);
+        assert_eq!(preds[b.index()], vec![p.entry()]);
+        assert!(preds[p.entry().index()].is_empty());
+    }
+
+    #[test]
+    fn duplicate_block_names_rejected() {
+        let mut p = Program::new();
+        let exit = p.exit();
+        let err = p.add_block(Block::new("s", Terminator::Goto(exit)));
+        assert!(matches!(err, Err(IrError::DuplicateBlock(_))));
+    }
+
+    #[test]
+    fn split_edge_rewires_terminator() {
+        let mut p = Program::new();
+        let exit = p.exit();
+        let entry = p.entry();
+        let s = p.split_edge(entry, exit);
+        assert_eq!(p.successors(entry), vec![s]);
+        assert_eq!(p.successors(s), vec![exit]);
+        assert!(p.block(s).is_synthetic());
+        assert_eq!(p.block(s).split_of, Some((entry, exit)));
+        assert_eq!(p.block(s).name, "S_s_e");
+    }
+
+    #[test]
+    fn retarget_rewrites_all_matching_successors() {
+        let a = NodeId(5);
+        let b = NodeId(7);
+        let mut t = Terminator::Nondet(vec![a, b, a]);
+        t.retarget(a, b);
+        assert_eq!(t.successors(), vec![b, b, b]);
+    }
+
+    #[test]
+    fn counting_helpers() {
+        let mut p = Program::new();
+        let exit = p.exit();
+        let x = p.var("x");
+        let one = p.terms_mut().constant(1);
+        let mut blk = Block::new("n1", Terminator::Goto(exit));
+        blk.stmts.push(Stmt::Assign { lhs: x, rhs: one });
+        blk.stmts.push(Stmt::Skip);
+        blk.stmts.push(Stmt::Out(one));
+        let b = p.add_block(blk).unwrap();
+        p.block_mut(p.entry()).term = Terminator::Goto(b);
+        assert_eq!(p.num_stmts(), 3);
+        assert_eq!(p.num_assignments(), 1);
+        assert_eq!(p.max_block_len(), 3);
+        assert_eq!(p.block_by_name("n1"), Some(b));
+        assert_eq!(p.block_by_name("nope"), None);
+    }
+}

@@ -1,0 +1,336 @@
+//! CFG simplification: undo the scaffolding optimization leaves behind.
+//!
+//! Critical-edge splitting inserts synthetic blocks; sinking may leave
+//! them (and other blocks) empty. This pass cleans up, preserving
+//! semantics and per-path assignment counts:
+//!
+//! 1. **Forwarding removal** — an empty block with a `goto` terminator
+//!    is bypassed (predecessors jump directly to its target).
+//! 2. **Chain merging** — a block with a unique successor whose unique
+//!    predecessor it is absorbs that successor's statements and
+//!    terminator.
+//! 3. **Unreachable removal** — blocks no longer reachable from the
+//!    entry are deleted (indices are compacted).
+//!
+//! The entry and exit nodes are never removed. Note that re-running the
+//! optimizer after simplification may re-split edges that became
+//! critical again; the two passes are intentionally separate phases.
+
+use std::collections::HashMap;
+
+use crate::program::{NodeId, Program, Terminator};
+use crate::validate::reachable_from;
+
+/// Statistics of one simplification run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimplifyStats {
+    /// Empty `goto` blocks bypassed.
+    pub forwarded: usize,
+    /// Straight-line chains merged.
+    pub merged: usize,
+    /// Unreachable blocks deleted.
+    pub removed: usize,
+}
+
+/// Simplifies the control-flow graph of `prog` in place.
+///
+/// # Example
+///
+/// ```
+/// use pdce_ir::{parser::parse, simplify_cfg};
+///
+/// let mut prog = parse(
+///     "prog { block s { goto fwd } block fwd { goto e } block e { halt } }",
+/// )?;
+/// let stats = simplify_cfg(&mut prog);
+/// assert_eq!(stats.forwarded, 1);
+/// assert_eq!(prog.num_blocks(), 2);
+/// # Ok::<(), pdce_ir::ParseError>(())
+/// ```
+pub fn simplify_cfg(prog: &mut Program) -> SimplifyStats {
+    let mut stats = SimplifyStats::default();
+    loop {
+        let forwarded = bypass_forwarders(prog);
+        let merged = merge_chains(prog);
+        stats.forwarded += forwarded;
+        stats.merged += merged;
+        if forwarded == 0 && merged == 0 {
+            break;
+        }
+    }
+    stats.removed = drop_unreachable(prog);
+    stats
+}
+
+/// Redirects edges around empty `goto` blocks. Returns how many blocks
+/// were bypassed.
+fn bypass_forwarders(prog: &mut Program) -> usize {
+    let mut count = 0;
+    loop {
+        let mut changed = false;
+        for n in prog.node_ids().collect::<Vec<_>>() {
+            if n == prog.entry() || n == prog.exit() {
+                continue;
+            }
+            let block = prog.block(n);
+            if !block.stmts.is_empty() {
+                continue;
+            }
+            let Terminator::Goto(target) = block.term else {
+                continue;
+            };
+            if target == n {
+                continue; // degenerate self-loop
+            }
+            // Retarget every predecessor of n to the target — except when
+            // that would create a new critical-path semantics change:
+            // retargeting is always sound here because n is empty.
+            let preds: Vec<NodeId> = prog
+                .node_ids()
+                .filter(|&m| prog.successors(m).contains(&n))
+                .collect();
+            if preds.is_empty() {
+                continue; // unreachable; dropped later
+            }
+            for m in preds {
+                prog.block_mut(m).term.retarget(n, target);
+            }
+            count += 1;
+            changed = true;
+        }
+        if !changed {
+            return count;
+        }
+    }
+}
+
+/// Merges `a → b` when `b` is `a`'s only successor and `a` is `b`'s only
+/// predecessor. Returns the number of merges.
+fn merge_chains(prog: &mut Program) -> usize {
+    let mut count = 0;
+    loop {
+        let preds = prog.predecessors();
+        let mut merged_one = false;
+        for a in prog.node_ids().collect::<Vec<_>>() {
+            let Terminator::Goto(b) = prog.block(a).term else {
+                continue;
+            };
+            if b == a || b == prog.entry() || a == prog.exit() {
+                continue;
+            }
+            if preds[b.index()].len() != 1 {
+                continue;
+            }
+            // Keep the designated exit block intact unless `a` can take
+            // over its role... simplest: never absorb the exit.
+            if b == prog.exit() {
+                continue;
+            }
+            let stmts = std::mem::take(&mut prog.block_mut(b).stmts);
+            let term = std::mem::replace(&mut prog.block_mut(b).term, Terminator::Goto(b));
+            let a_block = prog.block_mut(a);
+            a_block.stmts.extend(stmts);
+            a_block.term = term;
+            count += 1;
+            merged_one = true;
+            break; // predecessor lists are stale; recompute
+        }
+        if !merged_one {
+            return count;
+        }
+    }
+}
+
+/// Deletes unreachable blocks and compacts indices.
+fn drop_unreachable(prog: &mut Program) -> usize {
+    let reachable = reachable_from(prog, prog.entry());
+    let dead: Vec<NodeId> = prog
+        .node_ids()
+        .filter(|&n| !reachable[n.index()] && n != prog.exit())
+        .collect();
+    if dead.is_empty() {
+        return 0;
+    }
+    // Build the compaction map.
+    let mut remap: HashMap<NodeId, NodeId> = HashMap::new();
+    let mut kept = Vec::new();
+    for n in prog.node_ids() {
+        if reachable[n.index()] || n == prog.exit() {
+            remap.insert(n, NodeId::from_index(kept.len()));
+            kept.push(prog.block(n).clone());
+        }
+    }
+    for block in &mut kept {
+        match &mut block.term {
+            Terminator::Goto(t) => *t = remap[t],
+            Terminator::Cond {
+                then_to, else_to, ..
+            } => {
+                *then_to = remap[then_to];
+                *else_to = remap[else_to];
+            }
+            Terminator::Nondet(ts) => {
+                for t in ts {
+                    *t = remap[t];
+                }
+            }
+            Terminator::Halt => {}
+        }
+        if let Some((a, b)) = block.split_of {
+            block.split_of = match (remap.get(&a), remap.get(&b)) {
+                (Some(&a), Some(&b)) => Some((a, b)),
+                _ => None,
+            };
+        }
+    }
+    let removed = prog.num_blocks() - kept.len();
+    let entry = remap[&prog.entry()];
+    let exit = remap[&prog.exit()];
+    prog.replace_graph(kept, entry, exit);
+    removed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{run_with, ExecLimits};
+    use crate::parser::parse;
+    use crate::validate::validate;
+
+    #[test]
+    fn bypasses_empty_forwarders() {
+        let mut p = parse(
+            "prog {
+               block s { goto f1 }
+               block f1 { goto f2 }
+               block f2 { goto target }
+               block target { out(1); goto e }
+               block e { halt }
+             }",
+        )
+        .unwrap();
+        let stats = simplify_cfg(&mut p);
+        assert!(stats.forwarded >= 2);
+        assert!(stats.removed >= 1);
+        assert_eq!(validate(&p), Ok(()));
+        let t = run_with(&p, &[], vec![], ExecLimits::default());
+        assert_eq!(t.outputs, vec![1]);
+    }
+
+    #[test]
+    fn merges_straight_line_chains() {
+        let mut p = parse(
+            "prog {
+               block s { goto a }
+               block a { x := 1; goto b }
+               block b { y := x + 1; goto c }
+               block c { out(y); goto e }
+               block e { halt }
+             }",
+        )
+        .unwrap();
+        let before = run_with(&p, &[], vec![], ExecLimits::default());
+        let stats = simplify_cfg(&mut p);
+        assert!(stats.merged >= 2);
+        assert_eq!(validate(&p), Ok(()));
+        let after = run_with(&p, &[], vec![], ExecLimits::default());
+        assert_eq!(before.outputs, after.outputs);
+        // All three statements now live in one block.
+        assert_eq!(p.max_block_len(), 3);
+    }
+
+    #[test]
+    fn keeps_branch_structure() {
+        let src = "prog {
+            block s { nondet l r }
+            block l { out(1); goto j }
+            block r { out(2); goto j }
+            block j { goto e }
+            block e { halt }
+        }";
+        let mut p = parse(src).unwrap();
+        simplify_cfg(&mut p);
+        assert_eq!(validate(&p), Ok(()));
+        // The diamond survives; only j may merge into nothing (it has
+        // two predecessors, so it stays).
+        assert_eq!(p.successors(p.entry()).len(), 2);
+        for d in [vec![0], vec![1]] {
+            let t0 = run_with(&parse(src).unwrap(), &[], d.clone(), ExecLimits::default());
+            let t1 = run_with(&p, &[], d, ExecLimits::default());
+            assert_eq!(t0.outputs, t1.outputs);
+        }
+    }
+
+    #[test]
+    fn cleans_up_after_pde_style_splitting() {
+        // Split a critical edge, then "optimize away" the reason for the
+        // split; simplify removes the leftover synthetic node.
+        let mut p = parse(
+            "prog {
+               block s { nondet a j }
+               block a { goto j }
+               block j { out(1); goto e }
+               block e { halt }
+             }",
+        )
+        .unwrap();
+        crate::edgesplit::split_critical_edges(&mut p);
+        assert!(p.block_by_name("S_s_j").is_some());
+        let stats = simplify_cfg(&mut p);
+        assert!(stats.forwarded >= 1);
+        assert!(p.block_by_name("S_s_j").is_none());
+        assert_eq!(validate(&p), Ok(()));
+    }
+
+    #[test]
+    fn self_loops_survive() {
+        let src = "prog {
+            block s { goto l }
+            block l { x := x + 1; nondet l d }
+            block d { out(x); goto e }
+            block e { halt }
+        }";
+        let mut p = parse(src).unwrap();
+        simplify_cfg(&mut p);
+        assert_eq!(validate(&p), Ok(()));
+        let l = p.block_by_name("l").unwrap();
+        assert!(p.successors(l).contains(&l));
+    }
+
+    #[test]
+    fn empty_program_collapses_to_two_blocks() {
+        let mut p = parse(
+            "prog {
+               block s { goto a }
+               block a { goto b }
+               block b { goto e }
+               block e { halt }
+             }",
+        )
+        .unwrap();
+        simplify_cfg(&mut p);
+        assert_eq!(validate(&p), Ok(()));
+        assert_eq!(p.num_blocks(), 2);
+    }
+
+    #[test]
+    fn idempotent() {
+        let mut p = parse(
+            "prog {
+               block s { goto a }
+               block a { x := 1; goto b }
+               block b { out(x); nondet a2 e2 }
+               block a2 { goto b2 }
+               block b2 { goto e2 }
+               block e2 { goto e }
+               block e { halt }
+             }",
+        )
+        .unwrap();
+        simplify_cfg(&mut p);
+        let first = crate::printer::canonical_string(&p);
+        let stats = simplify_cfg(&mut p);
+        assert_eq!(stats, SimplifyStats::default());
+        assert_eq!(crate::printer::canonical_string(&p), first);
+    }
+}

@@ -1,0 +1,114 @@
+//! Statements: assignments, `skip`, and relevant statements (`out`).
+//!
+//! This is exactly the statement classification of Section 2 of the paper:
+//! assignment statements `v := t`, the empty statement `skip`, and relevant
+//! statements `out(t)` that force all their operands to be live.
+
+use crate::term::{TermArena, TermId};
+use crate::var::Var;
+
+/// A single statement inside a basic block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stmt {
+    /// The empty statement.
+    Skip,
+    /// Assignment `lhs := rhs`.
+    Assign {
+        /// Left-hand-side variable (written).
+        lhs: Var,
+        /// Right-hand-side term (read).
+        rhs: TermId,
+    },
+    /// Relevant statement `out(t)`: observable output of `t`'s value.
+    Out(TermId),
+}
+
+impl Stmt {
+    /// The variable this statement modifies, if any (`MOD` of Table 1).
+    pub fn modified(&self) -> Option<Var> {
+        match *self {
+            Stmt::Assign { lhs, .. } => Some(lhs),
+            Stmt::Skip | Stmt::Out(_) => None,
+        }
+    }
+
+    /// The term this statement reads, if any.
+    pub fn used_term(&self) -> Option<TermId> {
+        match *self {
+            Stmt::Assign { rhs, .. } => Some(rhs),
+            Stmt::Out(t) => Some(t),
+            Stmt::Skip => None,
+        }
+    }
+
+    /// Whether `v` occurs on the right-hand side (`USED` of Table 1).
+    pub fn uses(&self, arena: &TermArena, v: Var) -> bool {
+        self.used_term().is_some_and(|t| arena.term_uses(t, v))
+    }
+
+    /// Whether `v` is used by a *relevant* statement here (`RELV-USED`).
+    pub fn relv_uses(&self, arena: &TermArena, v: Var) -> bool {
+        match *self {
+            Stmt::Out(t) => arena.term_uses(t, v),
+            _ => false,
+        }
+    }
+
+    /// Whether `v` is a right-hand-side variable of an *assignment*
+    /// (`ASS-USED` of Table 1).
+    pub fn ass_uses(&self, arena: &TermArena, v: Var) -> bool {
+        match *self {
+            Stmt::Assign { rhs, .. } => arena.term_uses(rhs, v),
+            _ => false,
+        }
+    }
+
+    /// Whether this statement is an assignment.
+    pub fn is_assignment(&self) -> bool {
+        matches!(self, Stmt::Assign { .. })
+    }
+
+    /// Whether this statement is relevant (observable).
+    pub fn is_relevant(&self) -> bool {
+        matches!(self, Stmt::Out(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::BinOp;
+    use crate::var::VarPool;
+
+    #[test]
+    fn classification_predicates() {
+        let mut vars = VarPool::new();
+        let mut arena = TermArena::new();
+        let x = vars.intern("x");
+        let a = vars.intern("a");
+        let ta = arena.var(a);
+        let one = arena.constant(1);
+        let rhs = arena.binary(BinOp::Add, ta, one);
+
+        let assign = Stmt::Assign { lhs: x, rhs };
+        assert_eq!(assign.modified(), Some(x));
+        assert!(assign.uses(&arena, a));
+        assert!(!assign.uses(&arena, x));
+        assert!(assign.ass_uses(&arena, a));
+        assert!(!assign.relv_uses(&arena, a));
+        assert!(assign.is_assignment());
+        assert!(!assign.is_relevant());
+
+        let out = Stmt::Out(rhs);
+        assert_eq!(out.modified(), None);
+        assert!(out.uses(&arena, a));
+        assert!(out.relv_uses(&arena, a));
+        assert!(!out.ass_uses(&arena, a));
+        assert!(out.is_relevant());
+
+        let skip = Stmt::Skip;
+        assert_eq!(skip.modified(), None);
+        assert_eq!(skip.used_term(), None);
+        assert!(!skip.uses(&arena, a));
+    }
+}

@@ -1,0 +1,119 @@
+//! Program variables and the per-program variable pool.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A program variable, represented as a dense index into a [`VarPool`].
+///
+/// Dense indices let analyses use bit-vectors over variables directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(pub(crate) u32);
+
+impl Var {
+    /// Returns the dense index of this variable.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a variable from a dense index.
+    ///
+    /// Meaningful only together with the [`VarPool`] that assigned the index.
+    pub fn from_index(index: usize) -> Var {
+        Var(u32::try_from(index).expect("variable index overflow"))
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Interner mapping variable names to dense [`Var`] indices.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VarPool {
+    names: Vec<String>,
+    index: HashMap<String, Var>,
+}
+
+impl VarPool {
+    /// Creates an empty pool.
+    pub fn new() -> VarPool {
+        VarPool::default()
+    }
+
+    /// Interns `name`, returning the existing variable if already present.
+    pub fn intern(&mut self, name: &str) -> Var {
+        if let Some(&v) = self.index.get(name) {
+            return v;
+        }
+        let v = Var(u32::try_from(self.names.len()).expect("too many variables"));
+        self.names.push(name.to_owned());
+        self.index.insert(name.to_owned(), v);
+        v
+    }
+
+    /// Looks up a variable by name without interning.
+    pub fn lookup(&self, name: &str) -> Option<Var> {
+        self.index.get(name).copied()
+    }
+
+    /// Returns the name of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` was not created by this pool.
+    pub fn name(&self, v: Var) -> &str {
+        &self.names[v.index()]
+    }
+
+    /// Number of distinct variables interned so far.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no variable has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over all variables in index order.
+    pub fn iter(&self) -> impl Iterator<Item = Var> + '_ {
+        (0..self.names.len()).map(|i| Var(i as u32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut pool = VarPool::new();
+        let a = pool.intern("a");
+        let b = pool.intern("b");
+        assert_ne!(a, b);
+        assert_eq!(pool.intern("a"), a);
+        assert_eq!(pool.len(), 2);
+        assert_eq!(pool.name(a), "a");
+        assert_eq!(pool.lookup("b"), Some(b));
+        assert_eq!(pool.lookup("zz"), None);
+    }
+
+    #[test]
+    fn iter_yields_in_index_order() {
+        let mut pool = VarPool::new();
+        let vars: Vec<Var> = ["x", "y", "z"].iter().map(|n| pool.intern(n)).collect();
+        assert_eq!(pool.iter().collect::<Vec<_>>(), vars);
+    }
+
+    #[test]
+    fn indices_are_dense() {
+        let mut pool = VarPool::new();
+        for i in 0..100 {
+            let v = pool.intern(&format!("v{i}"));
+            assert_eq!(v.index(), i);
+            assert_eq!(Var::from_index(i), v);
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Property tests: random term trees survive print → parse unchanged,
+//! and the parser/lexer never panic on arbitrary input.
+
+use pdce_ir::printer::print_stmt;
+use pdce_ir::{parser, Program, Stmt, TermData};
+use proptest::prelude::*;
+
+/// A recipe for building a random term in a fresh program.
+#[derive(Debug, Clone)]
+enum TermRecipe {
+    Const(i64),
+    Var(u8),
+    Unary(pdce_ir::UnOp, Box<TermRecipe>),
+    Binary(pdce_ir::BinOp, Box<TermRecipe>, Box<TermRecipe>),
+}
+
+fn recipe() -> impl Strategy<Value = TermRecipe> {
+    let leaf = prop_oneof![
+        (-50i64..50).prop_map(TermRecipe::Const),
+        (0u8..5).prop_map(TermRecipe::Var),
+    ];
+    leaf.prop_recursive(5, 64, 2, |inner| {
+        prop_oneof![
+            (unop(), inner.clone()).prop_map(|(op, a)| TermRecipe::Unary(op, Box::new(a))),
+            (binop(), inner.clone(), inner)
+                .prop_map(|(op, a, b)| TermRecipe::Binary(op, Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn unop() -> impl Strategy<Value = pdce_ir::UnOp> {
+    prop_oneof![Just(pdce_ir::UnOp::Neg), Just(pdce_ir::UnOp::Not)]
+}
+
+fn binop() -> impl Strategy<Value = pdce_ir::BinOp> {
+    use pdce_ir::BinOp::*;
+    prop_oneof![
+        Just(Add),
+        Just(Sub),
+        Just(Mul),
+        Just(Div),
+        Just(Mod),
+        Just(Lt),
+        Just(Le),
+        Just(Gt),
+        Just(Ge),
+        Just(Eq),
+        Just(Ne),
+        Just(And),
+        Just(Or),
+    ]
+}
+
+fn build(prog: &mut Program, r: &TermRecipe) -> pdce_ir::TermId {
+    match r {
+        TermRecipe::Const(c) => prog.terms_mut().constant(*c),
+        TermRecipe::Var(i) => {
+            let v = prog.var(&format!("v{i}"));
+            prog.terms_mut().var(v)
+        }
+        TermRecipe::Unary(op, a) => {
+            let a = build(prog, a);
+            prog.terms_mut().unary(*op, a)
+        }
+        TermRecipe::Binary(op, a, b) => {
+            let a = build(prog, a);
+            let b = build(prog, b);
+            prog.terms_mut().binary(*op, a, b)
+        }
+    }
+}
+
+fn terms_equal(pa: &Program, ta: pdce_ir::TermId, pb: &Program, tb: pdce_ir::TermId) -> bool {
+    match (pa.terms().data(ta), pb.terms().data(tb)) {
+        (TermData::Const(x), TermData::Const(y)) => x == y,
+        (TermData::Var(x), TermData::Var(y)) => pa.vars().name(x) == pb.vars().name(y),
+        (TermData::Unary(opa, a), TermData::Unary(opb, b)) => {
+            opa == opb && terms_equal(pa, a, pb, b)
+        }
+        (TermData::Binary(opa, a1, a2), TermData::Binary(opb, b1, b2)) => {
+            opa == opb && terms_equal(pa, a1, pb, b1) && terms_equal(pa, a2, pb, b2)
+        }
+        _ => false,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The printer's minimal parenthesization must reparse to the same
+    /// tree (precedence and associativity handled exactly).
+    #[test]
+    fn printed_terms_reparse_identically(r in recipe()) {
+        let mut prog = Program::new();
+        let t = build(&mut prog, &r);
+        let x = prog.var("roundtrip_lhs");
+        let stmt = Stmt::Assign { lhs: x, rhs: t };
+        let printed = print_stmt(&prog, &stmt);
+
+        let src = format!(
+            "prog {{ block s {{ {printed}; goto e }} block e {{ halt }} }}"
+        );
+        let reparsed = parser::parse(&src).unwrap();
+        let Stmt::Assign { rhs, .. } = reparsed.block(reparsed.entry()).stmts[0] else {
+            panic!("expected assignment");
+        };
+        prop_assert!(
+            terms_equal(&prog, t, &reparsed, rhs),
+            "printed `{printed}` reparsed differently"
+        );
+    }
+
+    /// Parsing arbitrary garbage never panics.
+    #[test]
+    fn parser_never_panics(input in "\\PC{0,120}") {
+        let _ = parser::parse(&input);
+    }
+
+    /// Lexing arbitrary ASCII never panics.
+    #[test]
+    fn lexer_never_panics(input in "[ -~]{0,200}") {
+        let _ = pdce_ir::lexer::lex(&input);
+    }
+}

@@ -1,0 +1,23 @@
+//! Random and parametric program generators for the PDCE reproduction.
+//!
+//! * [`structured`](mod@structured) — seeded random structured programs (sequences,
+//!   diamonds, bounded loops) for property tests and scaling sweeps;
+//! * [`irreducible`] — tangled variants with extra edges (multi-entry
+//!   loops, critical edges), exercising the "arbitrary control flow"
+//!   claim;
+//! * [`shapes`] — deterministic workload families tied to specific
+//!   claims: the diamond ladder (structured-scaling), the faint chain
+//!   (dce-pass vs fce-pass counts), the second-order tower (round count
+//!   `r`), the corridor (long-distance sinking in one round), and the
+//!   Figure 5 irreducible shape.
+
+pub mod irreducible;
+pub mod shapes;
+pub mod structured;
+
+pub use irreducible::tangled;
+pub use shapes::{
+    corridor, diamond_ladder, faint_chain, irreducible_fig5, many_defs_many_uses,
+    second_order_tower,
+};
+pub use structured::{structured, GenConfig};

@@ -1,0 +1,260 @@
+//! Deterministic workload families for the complexity experiments
+//! (Section 6 of the paper) and the dynamic-count benchmarks.
+
+use pdce_ir::{Block, NodeId, Program, Stmt, Terminator};
+
+/// A ladder of `n` diamonds; the `k`-th diamond carries a partially dead
+//  assignment that pde must sink into one arm.
+/// Every diamond looks like Figure 1, so the sinking workload grows
+/// linearly with `n` while the CFG stays shallow — the paper's
+/// "realistic structured program" regime where pde should behave
+/// quadratically or better.
+pub fn diamond_ladder(n: usize) -> Program {
+    let mut p = Program::new();
+    let exit = p.exit();
+    let mut blocks: Vec<NodeId> = Vec::new();
+    for k in 0..n {
+        let a = p.var("a");
+        let b = p.var("b");
+        let y = p.var(&format!("y{k}"));
+        let ta = p.terms_mut().var(a);
+        let tb = p.terms_mut().var(b);
+        let sum = p.terms_mut().binary(pdce_ir::BinOp::Add, ta, tb);
+        let four = p.terms_mut().constant(4 + k as i64);
+        let ty = p.terms_mut().var(y);
+
+        let join = p
+            .add_block(Block::new(format!("j{k}"), Terminator::Goto(exit)))
+            .expect("unique");
+        p.block_mut(join).stmts = vec![Stmt::Out(ty)];
+        let left = p
+            .add_block(Block::new(format!("l{k}"), Terminator::Goto(join)))
+            .expect("unique");
+        p.block_mut(left).stmts = vec![Stmt::Assign { lhs: y, rhs: four }];
+        let right = p
+            .add_block(Block::new(format!("r{k}"), Terminator::Goto(join)))
+            .expect("unique");
+        let head = p
+            .add_block(Block::new(
+                format!("h{k}"),
+                Terminator::Nondet(vec![left, right]),
+            ))
+            .expect("unique");
+        p.block_mut(head).stmts = vec![Stmt::Assign { lhs: y, rhs: sum }];
+        blocks.push(head);
+        blocks.push(join);
+    }
+    // Chain the diamonds: j{k} -> h{k+1}.
+    for w in blocks.chunks(2).collect::<Vec<_>>().windows(2) {
+        let join = w[0][1];
+        let next_head = w[1][0];
+        p.block_mut(join).term = Terminator::Goto(next_head);
+    }
+    let first = blocks.first().copied().unwrap_or(exit);
+    p.block_mut(p.entry()).term = Terminator::Goto(first);
+    if let Some(chunk) = blocks.chunks(2).last() {
+        p.block_mut(chunk[1]).term = Terminator::Goto(exit);
+    }
+    p
+}
+
+/// A straight-line *faint chain*: `x1 := x0 + 1; …; xn := x(n-1) + 1`
+/// with nothing observed. Dead-code elimination needs `n` passes (each
+/// pass kills only the last link), faint-code elimination one — the
+/// pass-count experiment for Section 5.2/6.
+pub fn faint_chain(n: usize) -> Program {
+    let mut p = Program::new();
+    let exit = p.exit();
+    let b = p
+        .add_block(Block::new("chain", Terminator::Goto(exit)))
+        .expect("unique");
+    let mut stmts = Vec::with_capacity(n + 1);
+    for k in 1..=n {
+        let prev = p.var(&format!("x{}", k - 1));
+        let cur = p.var(&format!("x{k}"));
+        let tp = p.terms_mut().var(prev);
+        let one = p.terms_mut().constant(1);
+        let rhs = p.terms_mut().binary(pdce_ir::BinOp::Add, tp, one);
+        stmts.push(Stmt::Assign { lhs: cur, rhs });
+    }
+    let seven = p.terms_mut().constant(7);
+    stmts.push(Stmt::Out(seven));
+    p.block_mut(b).stmts = stmts;
+    p.block_mut(p.entry()).term = Terminator::Goto(b);
+    p
+}
+
+/// The second-order tower: one block holding the chain
+/// `y1 := y2 + 1; y2 := y3 + 1; …; yn := 1`, branching to an arm that
+/// observes every `y` and an arm that observes nothing. Each global
+/// pde round can only sink the *last* (unblocked) link, so the round
+/// count `r` grows linearly with `n` — the Section 6.3 experiment for
+/// the paper's conjecture that `r` is linear in the instruction count.
+pub fn second_order_tower(n: usize) -> Program {
+    let mut p = Program::new();
+    let exit = p.exit();
+
+    // Observing arm: out(y1 + y2 + ... + yn).
+    let mut sum = p.terms_mut().constant(0);
+    for k in 1..=n {
+        let y = p.var(&format!("y{k}"));
+        let ty = p.terms_mut().var(y);
+        sum = p.terms_mut().binary(pdce_ir::BinOp::Add, sum, ty);
+    }
+    let obs = p
+        .add_block(Block::new("obs", Terminator::Goto(exit)))
+        .expect("unique");
+    p.block_mut(obs).stmts = vec![Stmt::Out(sum)];
+    let silent = p
+        .add_block(Block::new("silent", Terminator::Goto(exit)))
+        .expect("unique");
+    let zero = p.terms_mut().constant(0);
+    p.block_mut(silent).stmts = vec![Stmt::Out(zero)];
+
+    let chain = p
+        .add_block(Block::new("chain", Terminator::Nondet(vec![obs, silent])))
+        .expect("unique");
+    let mut stmts = Vec::with_capacity(n);
+    for k in 1..=n {
+        let cur = p.var(&format!("y{k}"));
+        let rhs = if k == n {
+            p.terms_mut().constant(1)
+        } else {
+            let next = p.var(&format!("y{}", k + 1));
+            let tn = p.terms_mut().var(next);
+            let one = p.terms_mut().constant(1);
+            p.terms_mut().binary(pdce_ir::BinOp::Add, tn, one)
+        };
+        stmts.push(Stmt::Assign { lhs: cur, rhs });
+    }
+    p.block_mut(chain).stmts = stmts;
+    p.block_mut(p.entry()).term = Terminator::Goto(chain);
+    p
+}
+
+/// A long transparent corridor: an assignment at the top, `n` empty
+/// blocks, one use at the bottom. One `ask` pass must carry the
+/// assignment the whole way (long-distance sinking is a single
+/// delayability solve, not `n` rounds).
+pub fn corridor(n: usize) -> Program {
+    let mut p = Program::new();
+    let exit = p.exit();
+    let x = p.var("x");
+    let a = p.var("a");
+    let ta = p.terms_mut().var(a);
+    let one = p.terms_mut().constant(1);
+    let rhs = p.terms_mut().binary(pdce_ir::BinOp::Add, ta, one);
+    let tx = p.terms_mut().var(x);
+
+    let last = p
+        .add_block(Block::new("use", Terminator::Goto(exit)))
+        .expect("unique");
+    p.block_mut(last).stmts = vec![Stmt::Out(tx)];
+    let mut next = last;
+    for k in (0..n).rev() {
+        next = p
+            .add_block(Block::new(format!("c{k}"), Terminator::Goto(next)))
+            .expect("unique");
+    }
+    let top = p
+        .add_block(Block::new("top", Terminator::Goto(next)))
+        .expect("unique");
+    p.block_mut(top).stmts = vec![Stmt::Assign { lhs: x, rhs }];
+    p.block_mut(p.entry()).term = Terminator::Goto(top);
+    p
+}
+
+/// The def-use-graph worst case of Section 5.2: `k` definitions of the
+/// same variable on `k` branches, merged, followed by `k` uses — the
+/// du-graph has `Θ(k²)` edges while the program has `Θ(k)` instructions.
+pub fn many_defs_many_uses(k: usize) -> Program {
+    let mut p = Program::new();
+    let exit = p.exit();
+    let x = p.var("x");
+    let tx = p.terms_mut().var(x);
+
+    let uses = p
+        .add_block(Block::new("uses", Terminator::Goto(exit)))
+        .expect("unique");
+    p.block_mut(uses).stmts = (0..k).map(|_| Stmt::Out(tx)).collect();
+
+    let mut arms = Vec::with_capacity(k);
+    for i in 0..k {
+        let arm = p
+            .add_block(Block::new(format!("d{i}"), Terminator::Goto(uses)))
+            .expect("unique");
+        let c = p.terms_mut().constant(i as i64);
+        p.block_mut(arm).stmts = vec![Stmt::Assign { lhs: x, rhs: c }];
+        arms.push(arm);
+    }
+    p.block_mut(p.entry()).term = Terminator::Nondet(arms);
+    p
+}
+
+/// The Figure 5/6 irreducible shape, parameterized: an assignment before
+/// an irreducible two-entry region, followed by a loop that uses the
+/// variable on one arm.
+pub fn irreducible_fig5() -> Program {
+    pdce_ir::parser::parse(
+        "prog {
+           block n1 { x := a + b; nondet n2 n3 }
+           block n2 { nondet n3 n4x }
+           block n3 { nondet n2 n4x }
+           block n4x { goto n4 }
+           block n4 { nondet n5 n6 }
+           block n6 { x := c + 1; out(x); goto n10 }
+           block n5 { goto n7 }
+           block n7 { y := y + x; nondet n7x n9 }
+           block n7x { goto n7 }
+           block n9 { out(y); goto n10 }
+           block n10 { goto e }
+           block e { halt }
+         }",
+    )
+    .expect("static shape parses")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdce_ir::validate::validate;
+    use pdce_ir::CfgView;
+
+    #[test]
+    fn ladder_is_valid_and_sized() {
+        for n in [1, 3, 10] {
+            let p = diamond_ladder(n);
+            assert_eq!(validate(&p), Ok(()), "n={n}");
+            assert_eq!(p.num_blocks(), 2 + 4 * n);
+            assert_eq!(p.num_assignments(), 2 * n);
+        }
+    }
+
+    #[test]
+    fn faint_chain_shape() {
+        let p = faint_chain(5);
+        assert_eq!(validate(&p), Ok(()));
+        assert_eq!(p.num_assignments(), 5);
+    }
+
+    #[test]
+    fn tower_shape() {
+        let p = second_order_tower(4);
+        assert_eq!(validate(&p), Ok(()));
+        assert_eq!(p.num_assignments(), 4);
+    }
+
+    #[test]
+    fn corridor_shape() {
+        let p = corridor(10);
+        assert_eq!(validate(&p), Ok(()));
+        assert_eq!(p.num_blocks(), 14);
+    }
+
+    #[test]
+    fn fig5_is_irreducible() {
+        let p = irreducible_fig5();
+        assert_eq!(validate(&p), Ok(()));
+        assert!(!CfgView::new(&p).is_reducible());
+    }
+}

@@ -1,0 +1,211 @@
+//! Dominance frontiers (Cytron, Ferrante, Rosen, Wegman & Zadeck 1991).
+//!
+//! `DF(n)` is the set of blocks `m` such that `n` dominates a
+//! predecessor of `m` but does not strictly dominate `m` — exactly the
+//! places where a definition in `n` needs a φ-function. Computed with
+//! the classic two-runner walk: for every join block, run each
+//! predecessor up the dominator tree until the block's immediate
+//! dominator, adding the join to every frontier on the way.
+
+use pdce_ir::{CfgView, NodeId};
+
+/// Dominator tree plus dominance frontiers.
+#[derive(Debug, Clone)]
+pub struct DomInfo {
+    /// Immediate dominator of each node (`None` for unreachable nodes;
+    /// the entry maps to itself).
+    pub idom: Vec<Option<NodeId>>,
+    /// Children lists of the dominator tree.
+    pub children: Vec<Vec<NodeId>>,
+    /// Dominance frontier of each node.
+    pub frontier: Vec<Vec<NodeId>>,
+}
+
+impl DomInfo {
+    /// Computes dominators and frontiers for the graph `view`.
+    #[allow(clippy::needless_range_loop)] // i doubles as the NodeId index
+    pub fn compute(view: &CfgView) -> DomInfo {
+        let n = view.num_nodes();
+        let idom = view.immediate_dominators();
+
+        let mut children = vec![Vec::new(); n];
+        for i in 0..n {
+            let node = NodeId::from_index(i);
+            if node == view.entry() {
+                continue;
+            }
+            if let Some(d) = idom[i] {
+                children[d.index()].push(node);
+            }
+        }
+
+        let mut frontier = vec![Vec::new(); n];
+        for i in 0..n {
+            let b = NodeId::from_index(i);
+            let preds = view.preds(b);
+            if preds.len() < 2 {
+                continue;
+            }
+            let Some(dom_b) = idom[i] else { continue };
+            for &p in preds {
+                if idom[p.index()].is_none() {
+                    continue; // unreachable predecessor
+                }
+                let mut runner = p;
+                while runner != dom_b {
+                    if !frontier[runner.index()].contains(&b) {
+                        frontier[runner.index()].push(b);
+                    }
+                    match idom[runner.index()] {
+                        Some(d) if d != runner => runner = d,
+                        _ => break,
+                    }
+                }
+            }
+        }
+        DomInfo {
+            idom,
+            children,
+            frontier,
+        }
+    }
+
+    /// Iterated dominance frontier of a set of nodes — the φ-placement
+    /// set of Cytron et al.
+    pub fn iterated_frontier(&self, seeds: &[NodeId]) -> Vec<NodeId> {
+        let mut result: Vec<NodeId> = Vec::new();
+        let mut work: Vec<NodeId> = seeds.to_vec();
+        let mut on_result = vec![false; self.frontier.len()];
+        let mut queued = vec![false; self.frontier.len()];
+        for &s in seeds {
+            queued[s.index()] = true;
+        }
+        while let Some(x) = work.pop() {
+            for &y in &self.frontier[x.index()] {
+                if !on_result[y.index()] {
+                    on_result[y.index()] = true;
+                    result.push(y);
+                    if !queued[y.index()] {
+                        queued[y.index()] = true;
+                        work.push(y);
+                    }
+                }
+            }
+        }
+        result.sort_unstable();
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdce_ir::parser::parse;
+
+    fn info(src: &str) -> (pdce_ir::Program, DomInfo) {
+        let p = parse(src).unwrap();
+        let view = CfgView::new(&p);
+        let d = DomInfo::compute(&view);
+        (p, d)
+    }
+
+    #[test]
+    fn diamond_frontier_is_the_join() {
+        let (p, d) = info(
+            "prog {
+               block s { nondet a b }
+               block a { goto j }
+               block b { goto j }
+               block j { goto e }
+               block e { halt }
+             }",
+        );
+        let a = p.block_by_name("a").unwrap();
+        let b = p.block_by_name("b").unwrap();
+        let j = p.block_by_name("j").unwrap();
+        assert_eq!(d.frontier[a.index()], vec![j]);
+        assert_eq!(d.frontier[b.index()], vec![j]);
+        assert!(d.frontier[p.entry().index()].is_empty());
+        assert!(d.frontier[j.index()].is_empty());
+        // Dominator-tree children of s include a, b, j.
+        let mut kids = d.children[p.entry().index()].clone();
+        kids.sort();
+        assert_eq!(kids, vec![a, b, j]);
+    }
+
+    #[test]
+    fn loop_header_is_its_own_frontier() {
+        let (p, d) = info(
+            "prog {
+               block s { goto h }
+               block h { nondet body x }
+               block body { goto h }
+               block x { goto e }
+               block e { halt }
+             }",
+        );
+        let h = p.block_by_name("h").unwrap();
+        let body = p.block_by_name("body").unwrap();
+        // A definition in the body (or header) meets itself at the header.
+        assert_eq!(d.frontier[body.index()], vec![h]);
+        assert_eq!(d.frontier[h.index()], vec![h]);
+    }
+
+    #[test]
+    fn dominated_join_needs_no_phi() {
+        // j1 dominates j2, so a φ at j1 covers j2: DF(j1) = ∅ and the
+        // iterated frontier of a def in `a` stops at j1.
+        let (p, d) = info(
+            "prog {
+               block s { nondet a b }
+               block a { goto j1 }
+               block b { goto j1 }
+               block j1 { nondet c j2 }
+               block c { goto j2 }
+               block j2 { goto e }
+               block e { halt }
+             }",
+        );
+        let a = p.block_by_name("a").unwrap();
+        let j1 = p.block_by_name("j1").unwrap();
+        assert_eq!(d.iterated_frontier(&[a]), vec![j1]);
+    }
+
+    #[test]
+    fn iterated_frontier_cascades() {
+        // j2 has a predecessor that bypasses j1, so the φ at j1 is
+        // itself a def whose frontier adds j2: the cascade.
+        let (p, d) = info(
+            "prog {
+               block s { nondet a b d }
+               block a { goto j1 }
+               block b { goto j1 }
+               block d { goto j2 }
+               block j1 { goto j2 }
+               block j2 { goto e }
+               block e { halt }
+             }",
+        );
+        let a = p.block_by_name("a").unwrap();
+        let j1 = p.block_by_name("j1").unwrap();
+        let j2 = p.block_by_name("j2").unwrap();
+        assert_eq!(d.iterated_frontier(&[a]), vec![j1, j2]);
+    }
+
+    #[test]
+    fn irreducible_graphs_have_frontiers_too() {
+        let (p, d) = info(
+            "prog {
+               block s { nondet a b }
+               block a { nondet b e }
+               block b { goto a }
+               block e { halt }
+             }",
+        );
+        let a = p.block_by_name("a").unwrap();
+        let b = p.block_by_name("b").unwrap();
+        // Both loop blocks are join points dominated only by s.
+        assert!(d.frontier[a.index()].contains(&b));
+        assert!(d.frontier[b.index()].contains(&a));
+    }
+}

@@ -1,0 +1,625 @@
+//! Sparse conditional constant propagation — Wegman & Zadeck, the
+//! paper's reference \[30\].
+//!
+//! SCCP runs two coupled worklists over the SSA web: a *flow* worklist
+//! of CFG edges (tracking which blocks and edges can execute) and an
+//! *SSA* worklist of definitions whose lattice value changed. Because
+//! branch conditions with known constant values enable only one
+//! outgoing edge, constants propagate through joins that a
+//! non-conditional analysis would have to treat pessimistically.
+//!
+//! Lattice: `Top` (unevaluated) ⊒ `Const(c)` ⊒ `Bottom` (varying).
+//! Implicit entry definitions are `Bottom` — program variables are
+//! inputs in our semantics, not known zeros.
+//!
+//! The transformation substitutes known-constant variables into
+//! assignment right-hand sides, `out` arguments and branch conditions,
+//! and rewrites conditions that folded to a constant into `goto`s
+//! (making the dead arm unreachable; `pdce_ir::simplify_cfg` then
+//! removes it).
+
+use std::collections::HashMap;
+
+use pdce_ir::interp::{eval_term, Env};
+use pdce_ir::{CfgView, NodeId, Program, Stmt, TermData, TermId, Terminator, Var};
+
+use crate::web::{Consumer, DefSite, SsaWeb, UseRecord};
+
+/// The constant lattice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Value {
+    /// Not yet evaluated (optimistic initial state).
+    Top,
+    /// Known to be this constant on every execution.
+    Const(i64),
+    /// Varies between executions.
+    Bottom,
+}
+
+impl Value {
+    fn meet(self, other: Value) -> Value {
+        match (self, other) {
+            (Value::Top, x) | (x, Value::Top) => x,
+            (Value::Const(a), Value::Const(b)) if a == b => Value::Const(a),
+            _ => Value::Bottom,
+        }
+    }
+}
+
+/// Result of the SCCP analysis.
+#[derive(Debug)]
+pub struct SccpSolution {
+    /// Lattice value of every SSA definition.
+    pub values: Vec<Value>,
+    /// Which blocks can execute.
+    pub executable: Vec<bool>,
+}
+
+/// Statistics of the SCCP transformation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SccpStats {
+    /// Definitions proven constant.
+    pub constant_defs: usize,
+    /// Terms rewritten (in assignments, outs, or conditions).
+    pub folded_terms: u64,
+    /// Conditional branches rewritten into unconditional jumps.
+    pub folded_branches: u64,
+    /// Blocks proven unreachable by the analysis.
+    pub unreachable_blocks: usize,
+}
+
+/// Runs the SCCP analysis over a prebuilt SSA web.
+pub fn analyze(prog: &Program, _view: &CfgView, web: &SsaWeb) -> SccpSolution {
+    let ndefs = web.defs.len();
+    let mut values = vec![Value::Top; ndefs];
+    // Entry definitions model the program inputs: varying.
+    for (i, d) in web.defs.iter().enumerate() {
+        if matches!(d, DefSite::Entry { .. }) {
+            values[i] = Value::Bottom;
+        }
+    }
+
+    // users[d] = consumers reading definition d.
+    let mut users: Vec<Vec<Consumer>> = vec![Vec::new(); ndefs];
+    for u in &web.uses {
+        users[u.def as usize].push(u.consumer);
+    }
+    // Per-assignment-def and per-cond var→def maps, from the journal.
+    let mut rhs_env: HashMap<u32, Vec<(Var, u32)>> = HashMap::new();
+    let mut cond_env: HashMap<usize, Vec<(Var, u32)>> = HashMap::new();
+    for u in &web.uses {
+        match u.consumer {
+            Consumer::AssignRhs { def } => rhs_env.entry(def).or_default().push((u.var, u.def)),
+            Consumer::Cond { block } => cond_env
+                .entry(block.index())
+                .or_default()
+                .push((u.var, u.def)),
+            _ => {}
+        }
+    }
+    // φ arguments with their incoming edges.
+    let mut phi_args: HashMap<u32, Vec<(NodeId, u32)>> = HashMap::new();
+    for u in &web.uses {
+        if let Consumer::PhiArg { phi, pred } = u.consumer {
+            phi_args.entry(phi).or_default().push((pred, u.def));
+        }
+    }
+    // φs per block for re-evaluation on edge additions.
+    let mut phis_of_block: Vec<Vec<u32>> = vec![Vec::new(); prog.num_blocks()];
+    let mut assigns_of_block: Vec<Vec<u32>> = vec![Vec::new(); prog.num_blocks()];
+    for (i, d) in web.defs.iter().enumerate() {
+        match *d {
+            DefSite::Phi { block, .. } => phis_of_block[block.index()].push(i as u32),
+            DefSite::Assign { block, .. } => assigns_of_block[block.index()].push(i as u32),
+            DefSite::Entry { .. } => {}
+        }
+    }
+
+    let mut executable = vec![false; prog.num_blocks()];
+    let mut edge_executable: HashMap<(NodeId, NodeId), bool> = HashMap::new();
+    let mut flow_work: Vec<(Option<NodeId>, NodeId)> = vec![(None, prog.entry())];
+    let mut ssa_work: Vec<u32> = Vec::new();
+
+    // Evaluates a term over a var→def environment.
+    let eval_in = |prog: &Program, values: &[Value], t: TermId, env: &[(Var, u32)]| -> Value {
+        let mut concrete = Env::zeroed(prog);
+        let mut any_top = false;
+        for &(var, def) in env {
+            match values[def as usize] {
+                Value::Bottom => return Value::Bottom,
+                Value::Top => any_top = true,
+                Value::Const(c) => concrete.set(var, c),
+            }
+        }
+        if any_top {
+            return Value::Top;
+        }
+        Value::Const(eval_term(prog, &concrete, t))
+    };
+
+    // Lowers a def's value; queues users on change.
+    macro_rules! set_value {
+        ($values:ident, $ssa_work:ident, $d:expr, $v:expr) => {{
+            let d = $d as usize;
+            let new = $values[d].meet($v);
+            if new != $values[d] {
+                $values[d] = new;
+                $ssa_work.push($d);
+            }
+        }};
+    }
+
+    let eval_phi = |values: &[Value],
+                    edge_executable: &HashMap<(NodeId, NodeId), bool>,
+                    phi: u32,
+                    block: NodeId,
+                    phi_args: &HashMap<u32, Vec<(NodeId, u32)>>|
+     -> Value {
+        let mut acc = Value::Top;
+        if let Some(args) = phi_args.get(&phi) {
+            for &(pred, def) in args {
+                if edge_executable
+                    .get(&(pred, block))
+                    .copied()
+                    .unwrap_or(false)
+                {
+                    acc = acc.meet(values[def as usize]);
+                }
+            }
+        }
+        acc
+    };
+
+    let eval_assign = |prog: &Program, values: &[Value], def: u32, rhs: TermId| -> Value {
+        let env = rhs_env.get(&def).map(Vec::as_slice).unwrap_or(&[]);
+        eval_in(prog, values, rhs, env)
+    };
+
+    // Adds the outgoing flow of a block given current knowledge.
+    let branch_targets = |prog: &Program, values: &[Value], n: NodeId| -> Vec<NodeId> {
+        match &prog.block(n).term {
+            Terminator::Goto(m) => vec![*m],
+            Terminator::Nondet(ms) => ms.clone(),
+            Terminator::Halt => vec![],
+            Terminator::Cond {
+                cond,
+                then_to,
+                else_to,
+            } => {
+                let env = cond_env
+                    .get(&n.index())
+                    .map(Vec::as_slice)
+                    .unwrap_or(&[]);
+                match eval_in(prog, values, *cond, env) {
+                    Value::Const(c) => vec![if c != 0 { *then_to } else { *else_to }],
+                    Value::Top => vec![], // not yet known; revisited later
+                    Value::Bottom => vec![*then_to, *else_to],
+                }
+            }
+        }
+    };
+
+    while !flow_work.is_empty() || !ssa_work.is_empty() {
+        while let Some((from, to)) = flow_work.pop() {
+            if let Some(f) = from {
+                if edge_executable.insert((f, to), true) == Some(true) {
+                    continue;
+                }
+            }
+            let first_visit = !executable[to.index()];
+            executable[to.index()] = true;
+            // (Re-)evaluate φs of `to`.
+            for &phi in &phis_of_block[to.index()] {
+                let DefSite::Phi { block, .. } = web.defs[phi as usize] else {
+                    unreachable!()
+                };
+                let v = eval_phi(&values, &edge_executable, phi, block, &phi_args);
+                set_value!(values, ssa_work, phi, v);
+            }
+            if first_visit {
+                for &a in &assigns_of_block[to.index()] {
+                    let DefSite::Assign { block, stmt, .. } = web.defs[a as usize] else {
+                        unreachable!()
+                    };
+                    let Stmt::Assign { rhs, .. } = prog.block(block).stmts[stmt] else {
+                        unreachable!()
+                    };
+                    let v = eval_assign(prog, &values, a, rhs);
+                    set_value!(values, ssa_work, a, v);
+                }
+                for m in branch_targets(prog, &values, to) {
+                    flow_work.push((Some(to), m));
+                }
+            }
+        }
+        while let Some(d) = ssa_work.pop() {
+            for &consumer in &users[d as usize] {
+                match consumer {
+                    Consumer::AssignRhs { def } => {
+                        let DefSite::Assign { block, stmt, .. } = web.defs[def as usize] else {
+                            unreachable!()
+                        };
+                        if !executable[block.index()] {
+                            continue;
+                        }
+                        let Stmt::Assign { rhs, .. } = prog.block(block).stmts[stmt] else {
+                            unreachable!()
+                        };
+                        let v = eval_assign(prog, &values, def, rhs);
+                        set_value!(values, ssa_work, def, v);
+                    }
+                    Consumer::PhiArg { phi, .. } => {
+                        let DefSite::Phi { block, .. } = web.defs[phi as usize] else {
+                            unreachable!()
+                        };
+                        if !executable[block.index()] {
+                            continue;
+                        }
+                        let v = eval_phi(&values, &edge_executable, phi, block, &phi_args);
+                        set_value!(values, ssa_work, phi, v);
+                    }
+                    Consumer::Cond { block } => {
+                        if !executable[block.index()] {
+                            continue;
+                        }
+                        for m in branch_targets(prog, &values, block) {
+                            flow_work.push((Some(block), m));
+                        }
+                    }
+                    Consumer::Out { .. } => {}
+                }
+            }
+        }
+    }
+
+    SccpSolution { values, executable }
+}
+
+/// Runs SCCP and applies the transformation. Returns statistics.
+///
+/// # Example
+///
+/// ```
+/// use pdce_ir::parser::parse;
+/// use pdce_ssa::sccp;
+///
+/// // The branch on a known constant folds; y stays constant through
+/// // the join because the dead arm never executes.
+/// let mut prog = parse(
+///     "prog { block s { x := 1; if x == 1 then t else f }
+///             block t { y := 1; goto j } block f { y := 2; goto j }
+///             block j { out(y); goto e } block e { halt } }",
+/// )?;
+/// let stats = sccp(&mut prog);
+/// assert_eq!(stats.folded_branches, 1);
+/// assert_eq!(stats.unreachable_blocks, 1);
+/// # Ok::<(), pdce_ir::ParseError>(())
+/// ```
+pub fn sccp(prog: &mut Program) -> SccpStats {
+    let view = CfgView::new(prog);
+    let web = SsaWeb::build(prog, &view);
+    let sol = analyze(prog, &view, &web);
+
+    let mut stats = SccpStats {
+        constant_defs: sol
+            .values
+            .iter()
+            .zip(&web.defs)
+            .filter(|(v, d)| {
+                matches!(v, Value::Const(_)) && matches!(d, DefSite::Assign { .. })
+            })
+            .count(),
+        unreachable_blocks: sol.executable.iter().filter(|e| !**e).count(),
+        ..SccpStats::default()
+    };
+
+    // Substitution maps per consumer, from the journal: only uses whose
+    // supplying def is Const participate.
+    let mut assign_subst: HashMap<(usize, usize), HashMap<Var, i64>> = HashMap::new();
+    let mut out_subst: HashMap<(usize, usize), HashMap<Var, i64>> = HashMap::new();
+    let mut cond_subst: HashMap<usize, HashMap<Var, i64>> = HashMap::new();
+    for &UseRecord { def, consumer, var } in &web.uses {
+        let Value::Const(c) = sol.values[def as usize] else {
+            continue;
+        };
+        match consumer {
+            Consumer::AssignRhs { def: user } => {
+                let DefSite::Assign { block, stmt, .. } = web.defs[user as usize] else {
+                    unreachable!()
+                };
+                assign_subst
+                    .entry((block.index(), stmt))
+                    .or_default()
+                    .insert(var, c);
+            }
+            Consumer::Out { block, stmt } => {
+                out_subst
+                    .entry((block.index(), stmt))
+                    .or_default()
+                    .insert(var, c);
+            }
+            Consumer::Cond { block } => {
+                cond_subst.entry(block.index()).or_default().insert(var, c);
+            }
+            Consumer::PhiArg { .. } => {}
+        }
+    }
+
+    for n in prog.node_ids().collect::<Vec<_>>() {
+        if !sol.executable[n.index()] {
+            continue;
+        }
+        let block_len = prog.block(n).stmts.len();
+        for k in 0..block_len {
+            let stmt = prog.block(n).stmts[k];
+            match stmt {
+                Stmt::Assign { lhs, rhs } => {
+                    if let Some(map) = assign_subst.get(&(n.index(), k)) {
+                        let (t2, c) = substitute_consts(prog, rhs, map);
+                        if c > 0 {
+                            stats.folded_terms += c;
+                            prog.block_mut(n).stmts[k] = Stmt::Assign { lhs, rhs: t2 };
+                        }
+                    }
+                }
+                Stmt::Out(t) => {
+                    if let Some(map) = out_subst.get(&(n.index(), k)) {
+                        let (t2, c) = substitute_consts(prog, t, map);
+                        if c > 0 {
+                            stats.folded_terms += c;
+                            prog.block_mut(n).stmts[k] = Stmt::Out(t2);
+                        }
+                    }
+                }
+                Stmt::Skip => {}
+            }
+        }
+        // Fold the condition; rewrite to goto when fully constant.
+        if let Terminator::Cond {
+            cond,
+            then_to,
+            else_to,
+        } = prog.block(n).term
+        {
+            let map = cond_subst.get(&n.index()).cloned().unwrap_or_default();
+            let (c2, folded) = substitute_consts(prog, cond, &map);
+            if folded > 0 {
+                stats.folded_terms += folded;
+            }
+            if let TermData::Const(c) = prog.terms().data(c2) {
+                stats.folded_branches += 1;
+                prog.block_mut(n).term =
+                    Terminator::Goto(if c != 0 { then_to } else { else_to });
+            } else if folded > 0 {
+                if let Terminator::Cond { cond, .. } = &mut prog.block_mut(n).term {
+                    *cond = c2;
+                }
+            }
+        }
+    }
+    stats
+}
+
+/// Substitutes constants for variables and folds constant subterms.
+/// Returns the rewritten term and the number of substitutions.
+fn substitute_consts(
+    prog: &mut Program,
+    t: TermId,
+    map: &HashMap<Var, i64>,
+) -> (TermId, u64) {
+    match prog.terms().data(t) {
+        TermData::Const(_) => (t, 0),
+        TermData::Var(v) => match map.get(&v) {
+            Some(&c) => (prog.terms_mut().constant(c), 1),
+            None => (t, 0),
+        },
+        TermData::Unary(op, a) => {
+            let (a2, c) = substitute_consts(prog, a, map);
+            if c == 0 {
+                return (t, 0);
+            }
+            let t2 = fold1(prog, op, a2);
+            (t2, c)
+        }
+        TermData::Binary(op, a, b) => {
+            let (a2, ca) = substitute_consts(prog, a, map);
+            let (b2, cb) = substitute_consts(prog, b, map);
+            if ca + cb == 0 {
+                return (t, 0);
+            }
+            let t2 = fold2(prog, op, a2, b2);
+            (t2, ca + cb)
+        }
+    }
+}
+
+fn fold1(prog: &mut Program, op: pdce_ir::UnOp, a: TermId) -> TermId {
+    if let TermData::Const(_) = prog.terms().data(a) {
+        let t = prog.terms_mut().unary(op, a);
+        let v = eval_term(prog, &Env::zeroed(prog), t);
+        return prog.terms_mut().constant(v);
+    }
+    prog.terms_mut().unary(op, a)
+}
+
+fn fold2(prog: &mut Program, op: pdce_ir::BinOp, a: TermId, b: TermId) -> TermId {
+    if let (TermData::Const(_), TermData::Const(_)) =
+        (prog.terms().data(a), prog.terms().data(b))
+    {
+        let t = prog.terms_mut().binary(op, a, b);
+        let v = eval_term(prog, &Env::zeroed(prog), t);
+        return prog.terms_mut().constant(v);
+    }
+    prog.terms_mut().binary(op, a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdce_ir::parser::parse;
+    use pdce_ir::printer::{diff, structural_eq};
+
+    fn check(src: &str, expected: &str) {
+        let mut p = parse(src).unwrap();
+        sccp(&mut p);
+        // Branch folding can leave unreachable arms (simplify_cfg's job),
+        // so the expectation is parsed without reachability validation.
+        let want = pdce_ir::parser::parse_unvalidated(expected).unwrap();
+        assert!(
+            structural_eq(&p, &want),
+            "sccp mismatch:\n{}",
+            diff(&p, &want)
+        );
+    }
+
+    #[test]
+    fn straight_line_folding() {
+        check(
+            "prog { block s { x := 2; y := x + 3; out(y * x); goto e } block e { halt } }",
+            "prog { block s { x := 2; y := 5; out(10); goto e } block e { halt } }",
+        );
+    }
+
+    #[test]
+    fn inputs_are_not_constants() {
+        check(
+            "prog { block s { y := a + 1; out(y); goto e } block e { halt } }",
+            "prog { block s { y := a + 1; out(y); goto e } block e { halt } }",
+        );
+    }
+
+    /// The *conditional* part: with x := 1 the branch folds, the dead
+    /// arm never executes, and y stays constant through the join — a
+    /// plain constant propagation would give up at the φ.
+    #[test]
+    fn constant_branch_keeps_join_constant() {
+        check(
+            "prog {
+               block s { x := 1; if x == 1 then t else f }
+               block t { y := 1; goto j }
+               block f { y := 2; goto j }
+               block j { out(y); goto e }
+               block e { halt }
+             }",
+            "prog {
+               block s { x := 1; goto t }
+               block t { y := 1; goto j }
+               block f { y := 2; goto j }
+               block j { out(1); goto e }
+               block e { halt }
+             }",
+        );
+    }
+
+    #[test]
+    fn diverging_join_is_bottom() {
+        check(
+            "prog {
+               block s { nondet t f }
+               block t { y := 1; goto j }
+               block f { y := 2; goto j }
+               block j { out(y); goto e }
+               block e { halt }
+             }",
+            "prog {
+               block s { nondet t f }
+               block t { y := 1; goto j }
+               block f { y := 2; goto j }
+               block j { out(y); goto e }
+               block e { halt }
+             }",
+        );
+    }
+
+    #[test]
+    fn constant_survives_loop_without_redefinition() {
+        check(
+            "prog {
+               block s { c := 7; goto h }
+               block h { out(c); nondet h2 d }
+               block h2 { goto h }
+               block d { goto e }
+               block e { halt }
+             }",
+            "prog {
+               block s { c := 7; goto h }
+               block h { out(7); nondet h2 d }
+               block h2 { goto h }
+               block d { goto e }
+               block e { halt }
+             }",
+        );
+    }
+
+    #[test]
+    fn loop_carried_increment_is_bottom() {
+        check(
+            "prog {
+               block s { i := 0; goto h }
+               block h { out(i); i := i + 1; nondet h2 d }
+               block h2 { goto h }
+               block d { goto e }
+               block e { halt }
+             }",
+            "prog {
+               block s { i := 0; goto h }
+               block h { out(i); i := i + 1; nondet h2 d }
+               block h2 { goto h }
+               block d { goto e }
+               block e { halt }
+             }",
+        );
+    }
+
+    #[test]
+    fn partial_substitution_into_mixed_terms() {
+        check(
+            "prog { block s { k := 4; out(a + k * 2); goto e } block e { halt } }",
+            "prog { block s { k := 4; out(a + 8); goto e } block e { halt } }",
+        );
+    }
+
+    #[test]
+    fn same_constant_on_both_arms_survives_the_join() {
+        check(
+            "prog {
+               block s { nondet t f }
+               block t { y := 3; goto j }
+               block f { y := 3; goto j }
+               block j { out(y + 1); goto e }
+               block e { halt }
+             }",
+            "prog {
+               block s { nondet t f }
+               block t { y := 3; goto j }
+               block f { y := 3; goto j }
+               block j { out(4); goto e }
+               block e { halt }
+             }",
+        );
+    }
+
+    #[test]
+    fn semantics_preserved_with_simplify() {
+        use pdce_ir::interp::{run_with, ExecLimits};
+        let src = "prog {
+            block s { x := 5; if x < 3 then t else f }
+            block t { out(a); goto j }
+            block f { out(a + x); goto j }
+            block j { out(9); goto e }
+            block e { halt }
+        }";
+        let orig = parse(src).unwrap();
+        let mut p = parse(src).unwrap();
+        let stats = sccp(&mut p);
+        assert_eq!(stats.folded_branches, 1);
+        assert_eq!(stats.unreachable_blocks, 1); // block t
+        pdce_ir::simplify_cfg(&mut p);
+        assert!(p.block_by_name("t").is_none(), "dead arm removed");
+        for a in [0i64, -4, 11] {
+            let t0 = run_with(&orig, &[("a", a)], vec![], ExecLimits::default());
+            let t1 = run_with(&p, &[("a", a)], vec![], ExecLimits::default());
+            assert_eq!(t0.outputs, t1.outputs, "a={a}");
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Tour of the hand-written corpus: run every `corpus/*.pdce` program
+//! through the optimization levels and print a size/cost table.
+//!
+//! Run with: `cargo run --example corpus_tour`
+
+use pdce::core::driver::{optimize, PdceConfig};
+use pdce::ir::interp::{run, Env, ExecLimits, ReplayOracle, SeededOracle};
+use pdce::ir::parser::parse;
+use pdce::ir::{simplify_cfg, Program};
+
+fn dynamic_cost(prog: &Program, decisions: Vec<usize>) -> u64 {
+    let inputs: [(&str, i64); 4] = [("a", 54), ("b", 24), ("frame", 3), ("input", 7)];
+    let mut env = Env::with_values(prog, &inputs);
+    let mut oracle = ReplayOracle::new(decisions);
+    run(
+        prog,
+        &mut env,
+        &mut oracle,
+        ExecLimits {
+            max_block_visits: 10_000,
+        },
+    )
+    .executed_assignments
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/corpus");
+    let mut files: Vec<_> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().and_then(|x| x.to_str()) == Some("pdce"))
+        .collect();
+    files.sort();
+
+    println!(
+        "{:<24} {:>6} {:>9} {:>9} {:>10} {:>10}",
+        "program", "stmts", "pde-stmts", "pfe-stmts", "dyn-orig", "dyn-pfe"
+    );
+    for path in files {
+        let src = std::fs::read_to_string(&path)?;
+        let original = parse(&src)?;
+
+        // Record a run for cost comparison.
+        let inputs: [(&str, i64); 4] = [("a", 54), ("b", 24), ("frame", 3), ("input", 7)];
+        let mut env = Env::with_values(&original, &inputs);
+        let mut oracle = SeededOracle::new(11);
+        let reference = run(
+            &original,
+            &mut env,
+            &mut oracle,
+            ExecLimits {
+                max_block_visits: 10_000,
+            },
+        );
+
+        let mut with_pde = original.clone();
+        optimize(&mut with_pde, &PdceConfig::pde())?;
+        let mut with_pfe = original.clone();
+        optimize(&mut with_pfe, &PdceConfig::pfe())?;
+        simplify_cfg(&mut with_pfe);
+
+        println!(
+            "{:<24} {:>6} {:>9} {:>9} {:>10} {:>10}",
+            path.file_name().unwrap().to_string_lossy(),
+            original.num_stmts(),
+            with_pde.num_stmts(),
+            with_pfe.num_stmts(),
+            reference.executed_assignments,
+            dynamic_cost(&with_pfe, reference.decisions.clone()),
+        );
+    }
+    println!("\n(dyn = executed assignments on the same decision sequence)");
+    Ok(())
+}

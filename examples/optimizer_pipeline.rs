@@ -1,0 +1,106 @@
+//! A realistic mini-backend: random "compiler output" run through the
+//! full optimization stack — copy propagation, lazy code motion, and
+//! partial faint code elimination — with a dynamic cost report
+//! comparing every optimization level.
+//!
+//! Run with: `cargo run --example optimizer_pipeline [seed]`
+
+use pdce::baselines::{copy_propagate, liveness_dce};
+use pdce::core::driver::{optimize, PdceConfig};
+use pdce::ir::edgesplit::split_critical_edges;
+use pdce::ir::interp::{run, Env, ExecLimits, ReplayOracle, SeededOracle};
+use pdce::ir::printer::print_program;
+use pdce::ir::Program;
+use pdce::lcm::lazy_code_motion;
+use pdce::progen::{structured, GenConfig};
+
+struct Level {
+    name: &'static str,
+    build: fn(&Program) -> Program,
+}
+
+fn level_original(p: &Program) -> Program {
+    p.clone()
+}
+
+fn level_dce(p: &Program) -> Program {
+    let mut q = p.clone();
+    liveness_dce(&mut q);
+    q
+}
+
+fn level_pde(p: &Program) -> Program {
+    let mut q = p.clone();
+    optimize(&mut q, &PdceConfig::pde()).expect("pde terminates");
+    q
+}
+
+fn level_pfe(p: &Program) -> Program {
+    let mut q = p.clone();
+    optimize(&mut q, &PdceConfig::pfe()).expect("pfe terminates");
+    q
+}
+
+fn level_full(p: &Program) -> Program {
+    let mut q = p.clone();
+    split_critical_edges(&mut q);
+    pdce::ssa::sccp(&mut q); // constants + branch folding (Wegman–Zadeck)
+    pdce::baselines::local_value_numbering(&mut q);
+    copy_propagate(&mut q);
+    lazy_code_motion(&mut q).expect("edges split");
+    optimize(&mut q, &PdceConfig::pfe()).expect("pfe terminates");
+    pdce::ir::simplify_cfg(&mut q);
+    q
+}
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2024u64);
+    let prog = structured(&GenConfig {
+        seed,
+        target_blocks: 28,
+        num_vars: 6,
+        out_prob: 0.15,
+        ..GenConfig::default()
+    });
+    println!("=== generated program (seed {seed}) ===");
+    println!("{}", print_program(&prog));
+
+    let levels = [
+        Level { name: "original", build: level_original },
+        Level { name: "dce", build: level_dce },
+        Level { name: "pde", build: level_pde },
+        Level { name: "pfe", build: level_pfe },
+        Level { name: "full-stack", build: level_full },
+    ];
+
+    // Reference run to record branch decisions (conditional programs
+    // ignore them, nondet ones replay them).
+    let inputs: [(&str, i64); 3] = [("v0", 5), ("v1", -2), ("v2", 9)];
+    let mut env = Env::with_values(&prog, &inputs);
+    let mut oracle = SeededOracle::new(7);
+    let reference = run(&prog, &mut env, &mut oracle, ExecLimits::default());
+
+    println!(
+        "{:<12} {:>8} {:>8} {:>12} {:>9} {:>10}",
+        "level", "blocks", "stmts", "dyn-assigns", "dyn-ops", "outputs-ok"
+    );
+    for level in &levels {
+        let q = (level.build)(&prog);
+        let mut env = Env::with_values(&q, &inputs);
+        let mut oracle = ReplayOracle::new(reference.decisions.clone());
+        let t = run(&q, &mut env, &mut oracle, ExecLimits::default());
+        println!(
+            "{:<12} {:>8} {:>8} {:>12} {:>9} {:>10}",
+            level.name,
+            q.num_blocks(),
+            q.num_stmts(),
+            t.executed_assignments,
+            t.executed_operations,
+            t.outputs == reference.outputs
+        );
+        assert_eq!(t.outputs, reference.outputs, "{} broke semantics", level.name);
+    }
+}

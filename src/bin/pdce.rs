@@ -1,0 +1,397 @@
+//! The `pdce` command-line tool.
+//!
+//! ```text
+//! pdce opt     [--mode pde|pfe|dce|fce] [--region a,b,c]
+//!              [--max-rounds N] [--stats] [FILE]   optimize a program
+//! pdce run     [--in name=value]... [--seed N] [--fuel N] [FILE]
+//!                                                  interpret a program
+//! pdce analyze [FILE]                              per-block analysis facts
+//! pdce dot     [FILE]                              Graphviz export
+//! pdce check   [FILE]                              parse + validate only
+//! ```
+//!
+//! `FILE` defaults to standard input. Programs use the textual language
+//! of `pdce::ir::parser` (see the repository README).
+
+use std::io::Read;
+use std::process::ExitCode;
+
+use pdce::core::better::{check_improvement, BetterOptions};
+use pdce::core::driver::{optimize, PdceConfig};
+use pdce::ir::interp::{run, Env, ExecLimits, SeededOracle};
+use pdce::ir::parser::parse;
+use pdce::ir::printer::{print_program, print_stmt};
+use pdce::ir::{CfgView, Program};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match dispatch(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(CliError::Usage(msg)) => {
+            eprintln!("error: {msg}");
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+        Err(CliError::Failed(msg)) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  pdce opt     [--mode pde|pfe|dce|fce] [--region a,b,c] [--max-rounds N]
+               [--simplify] [--stats] [--verify] [FILE]
+  pdce run     [--in name=value]... [--seed N] [--fuel N] [FILE]
+  pdce analyze [FILE]
+  pdce universe [--mode pde|pfe] [--max N] [FILE]
+  pdce dot     [FILE]
+  pdce check   [FILE]";
+
+enum CliError {
+    Usage(String),
+    Failed(String),
+}
+
+fn usage(msg: impl Into<String>) -> CliError {
+    CliError::Usage(msg.into())
+}
+
+fn failed(msg: impl std::fmt::Display) -> CliError {
+    CliError::Failed(msg.to_string())
+}
+
+fn dispatch(args: &[String]) -> Result<(), CliError> {
+    let Some(cmd) = args.first() else {
+        return Err(usage("missing subcommand"));
+    };
+    let rest = &args[1..];
+    match cmd.as_str() {
+        "opt" => cmd_opt(rest),
+        "run" => cmd_run(rest),
+        "analyze" => cmd_analyze(rest),
+        "universe" => cmd_universe(rest),
+        "dot" => cmd_dot(rest),
+        "check" => cmd_check(rest),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(usage(format!("unknown subcommand `{other}`"))),
+    }
+}
+
+/// Splits flags (and their values) from the optional trailing file path.
+struct Parsed {
+    flags: Vec<(String, String)>,
+    file: Option<String>,
+}
+
+fn parse_args(args: &[String], flags_with_value: &[&str], bare_flags: &[&str]) -> Result<Parsed, CliError> {
+    let mut flags = Vec::new();
+    let mut file = None;
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if let Some(name) = a.strip_prefix("--") {
+            if bare_flags.contains(&name) {
+                flags.push((name.to_owned(), String::new()));
+            } else if flags_with_value.contains(&name) {
+                i += 1;
+                let v = args
+                    .get(i)
+                    .ok_or_else(|| usage(format!("--{name} needs a value")))?;
+                flags.push((name.to_owned(), v.clone()));
+            } else {
+                return Err(usage(format!("unknown flag --{name}")));
+            }
+        } else if file.is_none() {
+            file = Some(a.clone());
+        } else {
+            return Err(usage(format!("unexpected argument `{a}`")));
+        }
+        i += 1;
+    }
+    Ok(Parsed { flags, file })
+}
+
+fn load(file: Option<&str>) -> Result<Program, CliError> {
+    let source = match file {
+        Some(path) => std::fs::read_to_string(path)
+            .map_err(|e| failed(format!("cannot read `{path}`: {e}")))?,
+        None => {
+            let mut buf = String::new();
+            std::io::stdin()
+                .read_to_string(&mut buf)
+                .map_err(|e| failed(format!("cannot read stdin: {e}")))?;
+            buf
+        }
+    };
+    parse(&source).map_err(failed)
+}
+
+fn cmd_opt(args: &[String]) -> Result<(), CliError> {
+    let parsed = parse_args(
+        args,
+        &["mode", "region", "max-rounds"],
+        &["stats", "verify", "simplify"],
+    )?;
+    let mut config = PdceConfig::pde();
+    let mut want_stats = false;
+    let mut want_verify = false;
+    let mut want_simplify = false;
+    for (name, value) in &parsed.flags {
+        match name.as_str() {
+            "mode" => {
+                config = match value.as_str() {
+                    "pde" => PdceConfig::pde(),
+                    "pfe" => PdceConfig::pfe(),
+                    "dce" => PdceConfig::dce_only(),
+                    "fce" => PdceConfig::fce_only(),
+                    other => return Err(usage(format!("unknown mode `{other}`"))),
+                };
+            }
+            "region" => {
+                config = config.with_region(value.split(',').map(str::trim));
+            }
+            "max-rounds" => {
+                let n: usize = value
+                    .parse()
+                    .map_err(|_| usage(format!("bad --max-rounds `{value}`")))?;
+                config = config.truncating_after(n);
+            }
+            "stats" => want_stats = true,
+            "verify" => want_verify = true,
+            "simplify" => want_simplify = true,
+            _ => unreachable!(),
+        }
+    }
+    let original = load(parsed.file.as_deref())?;
+    let mut prog = original.clone();
+    let stats = optimize(&mut prog, &config).map_err(failed)?;
+    if want_simplify {
+        let s = pdce::ir::simplify_cfg(&mut prog);
+        if want_stats {
+            eprintln!(
+                "simplify:    {} forwarded, {} merged, {} removed",
+                s.forwarded, s.merged, s.removed
+            );
+        }
+    }
+    print!("{}", print_program(&prog));
+    if want_stats {
+        eprintln!("rounds:      {}", stats.rounds);
+        eprintln!("eliminated:  {}", stats.eliminated_assignments);
+        eprintln!("sunk:        {}", stats.sunk_assignments);
+        eprintln!("inserted:    {}", stats.inserted_assignments);
+        eprintln!("synthetic:   {}", stats.synthetic_blocks);
+        eprintln!("growth ω:    {:.2}", stats.growth_factor());
+        if stats.truncated {
+            eprintln!("truncated:   yes");
+        }
+    }
+    if want_verify {
+        let report = check_improvement(&original, &prog, &BetterOptions::default());
+        if !report.holds() {
+            return Err(failed("internal error: result does not dominate the input"));
+        }
+        eprintln!(
+            "verified: dominates the input on {} path(s) ({})",
+            report.paths_checked,
+            if report.exact { "exact" } else { "sampled" }
+        );
+    }
+    Ok(())
+}
+
+fn cmd_run(args: &[String]) -> Result<(), CliError> {
+    let parsed = parse_args(args, &["in", "seed", "fuel"], &[])?;
+    let prog = load(parsed.file.as_deref())?;
+    let mut env = Env::zeroed(&prog);
+    let mut seed = 0u64;
+    let mut fuel = 100_000u64;
+    for (name, value) in &parsed.flags {
+        match name.as_str() {
+            "in" => {
+                let (var, val) = value
+                    .split_once('=')
+                    .ok_or_else(|| usage(format!("--in wants name=value, got `{value}`")))?;
+                let val: i64 = val
+                    .parse()
+                    .map_err(|_| usage(format!("bad value in `--in {value}`")))?;
+                match prog.vars().lookup(var) {
+                    Some(v) => env.set(v, val),
+                    None => eprintln!("warning: variable `{var}` does not occur; ignored"),
+                }
+            }
+            "seed" => {
+                seed = value
+                    .parse()
+                    .map_err(|_| usage(format!("bad --seed `{value}`")))?;
+            }
+            "fuel" => {
+                fuel = value
+                    .parse()
+                    .map_err(|_| usage(format!("bad --fuel `{value}`")))?;
+            }
+            _ => unreachable!(),
+        }
+    }
+    let mut oracle = SeededOracle::new(seed);
+    let trace = run(
+        &prog,
+        &mut env,
+        &mut oracle,
+        ExecLimits {
+            max_block_visits: fuel,
+        },
+    );
+    for value in &trace.outputs {
+        println!("{value}");
+    }
+    eprintln!(
+        "executed {} statement(s), {} assignment(s); {}",
+        trace.executed_stmts,
+        trace.executed_assignments,
+        if trace.completed { "halted" } else { "fuel exhausted" }
+    );
+    Ok(())
+}
+
+fn cmd_analyze(args: &[String]) -> Result<(), CliError> {
+    let parsed = parse_args(args, &[], &[])?;
+    let prog = load(parsed.file.as_deref())?;
+    let view = CfgView::new(&prog);
+    let dead = pdce::core::DeadSolution::compute(&prog, &view);
+    let faint = pdce::core::FaintSolution::compute(&prog);
+    let table = pdce::core::PatternTable::build(&prog);
+    let local = pdce::core::LocalInfo::compute(&prog, &table);
+    let delay = pdce::core::DelayInfo::compute(&prog, &view, &table, &local);
+
+    println!("patterns:");
+    for i in 0..table.len() {
+        println!("  [{i}] {}", table.key(i));
+    }
+    for n in prog.node_ids() {
+        let block = prog.block(n);
+        println!("\nblock {}:", block.name);
+        let dead_after = dead.after_each_stmt(&prog, n);
+        for (k, stmt) in block.stmts.iter().enumerate() {
+            let mut facts = Vec::new();
+            if let Some(lhs) = stmt.modified() {
+                if dead_after[k].get(lhs.index()) {
+                    facts.push("lhs dead after");
+                } else if faint.faint_after(n, k, lhs) {
+                    facts.push("lhs faint after");
+                }
+            }
+            if local.candidates_of(n).iter().any(|&(ck, _)| ck == k) {
+                facts.push("sinking candidate");
+            }
+            let suffix = if facts.is_empty() {
+                String::new()
+            } else {
+                format!("   ; {}", facts.join(", "))
+            };
+            println!("  {}{}", print_stmt(&prog, stmt), suffix);
+        }
+        let fmt_bits = |bits: &pdce::dfa::BitVec| -> String {
+            let names: Vec<String> = bits
+                .iter_ones()
+                .map(|i| table.key(i).to_string())
+                .collect();
+            if names.is_empty() {
+                "∅".to_owned()
+            } else {
+                names.join(" | ")
+            }
+        };
+        println!("  N-DELAYED: {}", fmt_bits(&delay.n_delayed[n.index()]));
+        println!("  X-DELAYED: {}", fmt_bits(&delay.x_delayed[n.index()]));
+        println!("  N-INSERT:  {}", fmt_bits(&delay.n_insert[n.index()]));
+        println!("  X-INSERT:  {}", fmt_bits(&delay.x_insert[n.index()]));
+    }
+    Ok(())
+}
+
+/// Theorem 5.2 on demand: enumerate the bounded transformation universe
+/// of the (split) input and verify the driver's output dominates every
+/// member.
+fn cmd_universe(args: &[String]) -> Result<(), CliError> {
+    use pdce::core::universe::{assert_optimal_on_universe, UniverseOptions};
+    let parsed = parse_args(args, &["mode", "max"], &[])?;
+    let mut mode = pdce::core::Mode::Dead;
+    let mut max_programs = 2000usize;
+    for (name, value) in &parsed.flags {
+        match name.as_str() {
+            "mode" => {
+                mode = match value.as_str() {
+                    "pde" => pdce::core::Mode::Dead,
+                    "pfe" => pdce::core::Mode::Faint,
+                    other => return Err(usage(format!("unknown mode `{other}`"))),
+                };
+            }
+            "max" => {
+                max_programs = value
+                    .parse()
+                    .map_err(|_| usage(format!("bad --max `{value}`")))?;
+            }
+            _ => unreachable!(),
+        }
+    }
+    let mut start = load(parsed.file.as_deref())?;
+    pdce::ir::edgesplit::split_critical_edges(&mut start);
+    let mut optimized = start.clone();
+    let config = match mode {
+        pdce::core::Mode::Dead => PdceConfig::pde(),
+        pdce::core::Mode::Faint => PdceConfig::pfe(),
+    };
+    optimize(&mut optimized, &config).map_err(failed)?;
+    let opts = UniverseOptions {
+        mode,
+        max_programs,
+        better: BetterOptions::default(),
+    };
+    match assert_optimal_on_universe(&start, &optimized, &opts) {
+        Ok(check) => {
+            println!(
+                "optimal: dominates all {} reachable program(s){}",
+                check.programs_checked,
+                if check.truncated {
+                    " (exploration truncated at --max)"
+                } else {
+                    ""
+                }
+            );
+            Ok(())
+        }
+        Err(v) => Err(failed(format!(
+            "NOT optimal — beaten by:\n{}",
+            v.competitor
+        ))),
+    }
+}
+
+fn cmd_dot(args: &[String]) -> Result<(), CliError> {
+    let parsed = parse_args(args, &[], &[])?;
+    let prog = load(parsed.file.as_deref())?;
+    print!("{}", pdce::ir::dot::to_dot(&prog, "pdce"));
+    Ok(())
+}
+
+fn cmd_check(args: &[String]) -> Result<(), CliError> {
+    let parsed = parse_args(args, &[], &[])?;
+    let prog = load(parsed.file.as_deref())?;
+    println!(
+        "ok: {} block(s), {} statement(s), {} variable(s), {}",
+        prog.num_blocks(),
+        prog.num_stmts(),
+        prog.num_vars(),
+        if CfgView::new(&prog).is_reducible() {
+            "reducible"
+        } else {
+            "irreducible"
+        }
+    );
+    Ok(())
+}

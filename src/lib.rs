@@ -1,0 +1,41 @@
+//! Facade crate for the PDCE reproduction workspace.
+//!
+//! Re-exports the public API of every subsystem so examples and
+//! integration tests can use a single dependency:
+//!
+//! * [`ir`] — flow-graph IR, parser, printer, interpreter, paths
+//! * [`dfa`] — bit-vector data-flow framework
+//! * [`core`] — partial dead/faint code elimination (the paper's algorithm)
+//! * [`baselines`] — DCE variants, naive sinking, copy propagation
+//! * [`lcm`] — lazy code motion (partial redundancy elimination)
+//! * [`ssa`] — SSA form (Cytron et al.) and sparse SSA-based DCE
+//! * [`progen`] — random program generators
+//!
+//! # Quickstart
+//!
+//! ```
+//! use pdce::ir::parser::parse;
+//! use pdce::core::driver::{optimize, PdceConfig};
+//!
+//! let mut prog = parse(
+//!     "prog {
+//!        block s  { goto n1 }
+//!        block n1 { y := a + b; nondet n2 n3 }
+//!        block n2 { y := 4; goto n4 }
+//!        block n3 { goto n4 }
+//!        block n4 { out(y); goto e }
+//!        block e  { halt }
+//!      }",
+//! )?;
+//! let stats = optimize(&mut prog, &PdceConfig::pde())?;
+//! assert!(stats.eliminated_assignments > 0 || stats.sunk_assignments > 0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub use pdce_baselines as baselines;
+pub use pdce_core as core;
+pub use pdce_dfa as dfa;
+pub use pdce_ir as ir;
+pub use pdce_lcm as lcm;
+pub use pdce_progen as progen;
+pub use pdce_ssa as ssa;

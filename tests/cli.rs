@@ -1,0 +1,152 @@
+//! End-to-end tests of the `pdce` command-line tool.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+const FIG1: &str = "prog {
+    block s  { goto n1 }
+    block n1 { y := a + b; nondet n2 n3 }
+    block n2 { y := 4; goto n4 }
+    block n3 { out(y); goto n4 }
+    block n4 { out(y); goto e }
+    block e  { halt }
+}";
+
+fn pdce(args: &[&str], stdin: &str) -> (String, String, bool) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_pdce"))
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary spawns");
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin piped")
+        .write_all(stdin.as_bytes())
+        .expect("stdin writes");
+    let out = child.wait_with_output().expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn opt_optimizes_fig1() {
+    let (stdout, stderr, ok) = pdce(&["opt", "--stats", "--verify"], FIG1);
+    assert!(ok, "stderr: {stderr}");
+    // The sunk assignment now sits in n3, not n1.
+    let reparsed = pdce::ir::parser::parse(&stdout).expect("output parses");
+    let n1 = reparsed.block_by_name("n1").unwrap();
+    assert!(reparsed.block(n1).stmts.is_empty());
+    assert!(stderr.contains("eliminated:  1"));
+    assert!(stderr.contains("verified: dominates the input"));
+}
+
+#[test]
+fn opt_modes_differ_on_faint_code() {
+    let faint_loop = "prog {
+        block s { goto l }
+        block l { x := x + 1; nondet l d }
+        block d { goto e }
+        block e { halt }
+    }";
+    let (with_pde, _, ok) = pdce(&["opt", "--mode", "pde"], faint_loop);
+    assert!(ok);
+    assert!(with_pde.contains("x := x + 1"));
+    let (with_pfe, _, ok) = pdce(&["opt", "--mode", "pfe"], faint_loop);
+    assert!(ok);
+    assert!(!with_pfe.contains("x := x + 1"));
+}
+
+#[test]
+fn opt_respects_region_and_rounds() {
+    let (stdout, _, ok) = pdce(&["opt", "--region", "n2,n3", "--stats"], FIG1);
+    assert!(ok);
+    assert!(stdout.contains("y := a + b"), "nothing may leave n1");
+    let (_, stderr, ok) = pdce(&["opt", "--max-rounds", "1", "--stats"], FIG1);
+    assert!(ok);
+    assert!(stderr.contains("rounds:      1"));
+}
+
+#[test]
+fn run_executes_and_prints_outputs() {
+    let (stdout, stderr, ok) = pdce(
+        &["run", "--in", "a=2", "--in", "b=3", "--seed", "1"],
+        FIG1,
+    );
+    assert!(ok, "stderr: {stderr}");
+    // Whatever branch the seed picks, the final out(y) prints something.
+    assert!(!stdout.trim().is_empty());
+    assert!(stderr.contains("halted"));
+}
+
+#[test]
+fn run_warns_on_unknown_input() {
+    let (_, stderr, ok) = pdce(&["run", "--in", "zz=1"], FIG1);
+    assert!(ok);
+    assert!(stderr.contains("warning"));
+}
+
+#[test]
+fn analyze_reports_facts() {
+    let (stdout, _, ok) = pdce(&["analyze"], FIG1);
+    assert!(ok);
+    assert!(stdout.contains("patterns:"));
+    assert!(stdout.contains("sinking candidate"));
+    assert!(stdout.contains("N-INSERT"));
+}
+
+#[test]
+fn dot_exports_graph() {
+    let (stdout, _, ok) = pdce(&["dot"], FIG1);
+    assert!(ok);
+    assert!(stdout.starts_with("digraph pdce"));
+}
+
+#[test]
+fn check_validates() {
+    let (stdout, _, ok) = pdce(&["check"], FIG1);
+    assert!(ok);
+    assert!(stdout.contains("ok: 6 block(s)"));
+    let (_, stderr, ok) = pdce(&["check"], "prog { block s { goto nowhere } }");
+    assert!(!ok);
+    assert!(stderr.contains("error"));
+}
+
+#[test]
+fn usage_errors_exit_2() {
+    let (_, stderr, ok) = pdce(&["frobnicate"], "");
+    assert!(!ok);
+    assert!(stderr.contains("unknown subcommand"));
+    let (_, stderr, ok) = pdce(&["opt", "--mode"], "");
+    assert!(!ok);
+    assert!(stderr.contains("needs a value"));
+    let (_, stderr, ok) = pdce(&["opt", "--mode", "zap"], FIG1);
+    assert!(!ok);
+    assert!(stderr.contains("unknown mode"));
+}
+
+#[test]
+fn universe_confirms_optimality() {
+    let (stdout, stderr, ok) = pdce(&["universe", "--max", "500"], FIG1);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("optimal: dominates all"), "{stdout}");
+}
+
+#[test]
+fn missing_file_is_a_clean_error() {
+    let (_, stderr, ok) = pdce(&["opt", "/nonexistent/path.pdce"], "");
+    assert!(!ok);
+    assert!(stderr.contains("cannot read"));
+}
+
+#[test]
+fn help_prints_usage() {
+    let (stdout, _, ok) = pdce(&["help"], "");
+    assert!(ok);
+    assert!(stdout.contains("usage:"));
+}

@@ -1,0 +1,189 @@
+//! The Section 7 heuristics: truncated iteration and hot-area
+//! localization. Both must stay semantics-preserving and never impair
+//! an execution — every intermediate program of the exhaustive
+//! iteration already has those properties, so cutting early or
+//! restricting scope only costs optimality, never correctness.
+
+use pdce::core::better::{check_improvement, BetterOptions};
+use pdce::core::driver::{optimize, PdceConfig};
+use pdce::ir::interp::{run, Env, ExecLimits, ReplayOracle, SeededOracle};
+use pdce::ir::parser::parse;
+use pdce::ir::printer::{canonical_string, structural_eq};
+use pdce::progen::{second_order_tower, structured, GenConfig};
+
+#[test]
+fn truncation_stops_early_but_stays_sound() {
+    let tower = second_order_tower(16);
+
+    let mut full = tower.clone();
+    let full_stats = optimize(&mut full, &PdceConfig::pde()).unwrap();
+    assert!(full_stats.rounds > 10);
+    assert!(!full_stats.truncated);
+
+    let mut cut = tower.clone();
+    let cut_stats = optimize(&mut cut, &PdceConfig::pde().truncating_after(3)).unwrap();
+    assert!(cut_stats.truncated);
+    assert_eq!(cut_stats.rounds, 3);
+    // Less was achieved...
+    assert!(cut_stats.eliminated_assignments < full_stats.eliminated_assignments);
+    // ...but the partial result still dominates the input per path.
+    let report = check_improvement(&tower, &cut, &BetterOptions::default());
+    assert!(report.holds(), "{:#?}", report.violations);
+    // And semantics are intact.
+    let inputs = [("c", 9i64)];
+    let mut env = Env::with_values(&tower, &inputs);
+    let mut oracle = SeededOracle::new(3);
+    let t0 = run(&tower, &mut env, &mut oracle, ExecLimits::default());
+    let mut env = Env::with_values(&cut, &inputs);
+    let mut oracle = ReplayOracle::new(t0.decisions.clone());
+    let t1 = run(&cut, &mut env, &mut oracle, ExecLimits::default());
+    assert_eq!(t0.outputs, t1.outputs);
+    assert!(t1.executed_assignments <= t0.executed_assignments);
+}
+
+#[test]
+fn full_region_equals_unrestricted() {
+    let src = "prog {
+        block s  { goto n1 }
+        block n1 { y := a + b; nondet n2 n3 }
+        block n2 { y := 4; goto n4 }
+        block n3 { out(y); goto n4 }
+        block n4 { out(y); goto e }
+        block e  { halt }
+    }";
+    let all_blocks = ["s", "n1", "n2", "n3", "n4", "e"];
+    let mut restricted = parse(src).unwrap();
+    optimize(
+        &mut restricted,
+        &PdceConfig::pde().with_region(all_blocks),
+    )
+    .unwrap();
+    let mut unrestricted = parse(src).unwrap();
+    optimize(&mut unrestricted, &PdceConfig::pde()).unwrap();
+    assert!(structural_eq(&restricted, &unrestricted));
+}
+
+#[test]
+fn cold_region_leaves_hot_code_alone() {
+    let src = "prog {
+        block s  { goto n1 }
+        block n1 { y := a + b; nondet n2 n3 }
+        block n2 { y := 4; goto n4 }
+        block n3 { out(y); goto n4 }
+        block n4 { out(y); goto e }
+        block e  { halt }
+    }";
+    // Region excludes n1 (where the only candidate lives): nothing moves.
+    let mut p = parse(src).unwrap();
+    let stats = optimize(
+        &mut p,
+        &PdceConfig::pde().with_region(["n2", "n3", "n4"]),
+    )
+    .unwrap();
+    assert_eq!(stats.eliminated_assignments, 0);
+    // (y := 4 is re-inserted at its own block exit — an in-place no-op
+    // that still counts as one removal/insertion pair.)
+    assert!(structural_eq(&p, &parse(src).unwrap()));
+}
+
+#[test]
+fn partial_region_gets_partial_benefit() {
+    // Two independent Figure-1 gadgets; the region covers only the first.
+    let src = "prog {
+        block s  { goto a1 }
+        block a1 { y := a + b; nondet a2 a3 }
+        block a2 { y := 4; goto b1 }
+        block a3 { out(y); goto b1 }
+        block b1 { z := c + d; nondet b2 b3 }
+        block b2 { z := 7; goto b4 }
+        block b3 { out(z); goto b4 }
+        block b4 { goto e }
+        block e  { halt }
+    }";
+    let mut p = parse(src).unwrap();
+    let stats = optimize(
+        &mut p,
+        &PdceConfig::pde().with_region(["a1", "a2", "a3"]),
+    )
+    .unwrap();
+    // The first gadget is optimized...
+    let a1 = p.block_by_name("a1").unwrap();
+    assert!(p.block(a1).stmts.is_empty(), "y := a+b sunk out of a1");
+    assert!(stats.eliminated_assignments >= 1);
+    // ...the second is untouched.
+    let b1 = p.block_by_name("b1").unwrap();
+    assert_eq!(p.block(b1).stmts.len(), 1, "z := c+d stays in b1");
+}
+
+#[test]
+fn region_restriction_is_sound_on_random_programs() {
+    for seed in 0..20u64 {
+        let prog = structured(&GenConfig {
+            seed,
+            target_blocks: 20,
+            nondet: true,
+            ..GenConfig::default()
+        });
+        // Pick an arbitrary half of the blocks as the "hot" region.
+        let region: Vec<String> = prog
+            .node_ids()
+            .filter(|n| n.index() % 2 == 0)
+            .map(|n| prog.block(n).name.clone())
+            .collect();
+        let mut restricted = prog.clone();
+        let stats = optimize(
+            &mut restricted,
+            &PdceConfig::pde().with_region(region),
+        )
+        .unwrap();
+        assert!(!stats.truncated);
+        // Sound: dominated per path and trace-equal.
+        let report = check_improvement(&prog, &restricted, &BetterOptions::default());
+        assert!(report.holds(), "seed {seed}: {:#?}", report.violations);
+        let mut env = Env::with_values(&prog, &[("v0", 2)]);
+        let mut oracle = SeededOracle::new(11);
+        let t0 = run(&prog, &mut env, &mut oracle, ExecLimits::default());
+        let mut env = Env::with_values(&restricted, &[("v0", 2)]);
+        let mut oracle = ReplayOracle::new(t0.decisions.clone());
+        let t1 = run(&restricted, &mut env, &mut oracle, ExecLimits::default());
+        assert_eq!(t0.outputs, t1.outputs, "seed {seed}");
+        assert!(t1.executed_assignments <= t0.executed_assignments);
+    }
+}
+
+/// The ⊑ chain original ⊒ truncated ⊒ full demonstrates transitivity of
+/// Definition 3.6's pre-order on real optimizer outputs.
+#[test]
+fn better_relation_chains_through_truncation() {
+    use pdce::core::better::is_better;
+    let tower = second_order_tower(10);
+    let mut split = tower.clone();
+    pdce::ir::edgesplit::split_critical_edges(&mut split);
+    let mut cut = split.clone();
+    optimize(&mut cut, &PdceConfig::pde().truncating_after(3)).unwrap();
+    let mut full = split.clone();
+    optimize(&mut full, &PdceConfig::pde()).unwrap();
+    let opts = BetterOptions::default();
+    assert!(is_better(&cut, &split, &opts).holds(), "cut ⊑ original");
+    assert!(is_better(&full, &cut, &opts).holds(), "full ⊑ cut");
+    assert!(is_better(&full, &split, &opts).holds(), "transitively full ⊑ original");
+}
+
+#[test]
+fn truncated_run_is_resumable() {
+    // Running the truncated config repeatedly eventually reaches the
+    // full fixpoint — the iteration is cut, not broken.
+    let tower = second_order_tower(8);
+    let mut full = tower.clone();
+    optimize(&mut full, &PdceConfig::pde()).unwrap();
+
+    let mut step = tower.clone();
+    let config = PdceConfig::pde().truncating_after(2);
+    for _ in 0..40 {
+        let stats = optimize(&mut step, &config).unwrap();
+        if !stats.truncated {
+            break;
+        }
+    }
+    assert_eq!(canonical_string(&step), canonical_string(&full));
+}

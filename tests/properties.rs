@@ -1,0 +1,324 @@
+//! Property-based tests over randomly generated programs.
+//!
+//! These check the paper's semantic guarantees on the whole generator
+//! distribution:
+//!
+//! * **Semantics preservation** (Definitions 3.2/3.4): output traces are
+//!   unchanged by pde/pfe/dce/fce, copy propagation, and LCM.
+//! * **No impairment** (Section 1, Figure 5/6 discussion): the number of
+//!   executed assignments never increases under pde/pfe.
+//! * **Per-path dominance** (Definition 3.6): occurrence counts never
+//!   increase on any corresponding path.
+//! * **Idempotence**: the drivers are fixpoints of themselves.
+//! * **dead ⟹ faint** (Section 3).
+
+use proptest::prelude::*;
+
+use pdce::baselines::copy_propagate;
+use pdce::core::better::{check_improvement, BetterOptions};
+use pdce::core::driver::{optimize, PdceConfig};
+use pdce::ir::interp::{run, Env, ExecLimits, ReplayOracle, SeededOracle};
+use pdce::ir::printer::canonical_string;
+use pdce::ir::Program;
+use pdce::lcm::lazy_code_motion;
+use pdce::progen::{structured, tangled, GenConfig};
+
+fn small_config(seed: u64, nondet: bool) -> GenConfig {
+    GenConfig {
+        seed,
+        target_blocks: 18,
+        num_vars: 5,
+        stmts_per_block: (1, 3),
+        out_prob: 0.25,
+        loop_prob: 0.3,
+        max_depth: 3,
+        expr_depth: 2,
+        nondet,
+    }
+}
+
+/// Runs `prog` with a recorded/replayed decision stream and fixed inputs.
+fn trace_of(prog: &Program, inputs: &[(&str, i64)], decisions: Vec<usize>) -> pdce::ir::interp::Trace {
+    let mut env = Env::with_values(prog, inputs);
+    let mut oracle = ReplayOracle::new(decisions);
+    run(
+        prog,
+        &mut env,
+        &mut oracle,
+        ExecLimits {
+            max_block_visits: 20_000,
+        },
+    )
+}
+
+fn record_run(prog: &Program, inputs: &[(&str, i64)], seed: u64) -> pdce::ir::interp::Trace {
+    let mut env = Env::with_values(prog, inputs);
+    let mut oracle = SeededOracle::new(seed);
+    run(
+        prog,
+        &mut env,
+        &mut oracle,
+        ExecLimits {
+            max_block_visits: 20_000,
+        },
+    )
+}
+
+fn check_preserves_and_no_impairment(
+    src_prog: &Program,
+    config: &PdceConfig,
+) -> Result<(), TestCaseError> {
+    let mut optimized = src_prog.clone();
+    optimize(&mut optimized, config).unwrap();
+    let inputs: [(&str, i64); 3] = [("v0", 3), ("v1", -2), ("v2", 7)];
+    for run_seed in [1u64, 42, 993] {
+        let orig = record_run(src_prog, &inputs, run_seed);
+        let opt = trace_of(&optimized, &inputs, orig.decisions.clone());
+        prop_assert_eq!(&orig.outputs, &opt.outputs, "outputs diverged");
+        prop_assert!(
+            opt.executed_assignments <= orig.executed_assignments,
+            "impairment: {} > {} assignments executed",
+            opt.executed_assignments,
+            orig.executed_assignments
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn pde_preserves_semantics_and_never_impairs(seed in any::<u64>()) {
+        let p = structured(&small_config(seed, false));
+        check_preserves_and_no_impairment(&p, &PdceConfig::pde())?;
+    }
+
+    #[test]
+    fn pfe_preserves_semantics_and_never_impairs(seed in any::<u64>()) {
+        let p = structured(&small_config(seed, false));
+        check_preserves_and_no_impairment(&p, &PdceConfig::pfe())?;
+    }
+
+    #[test]
+    fn pde_on_nondet_programs(seed in any::<u64>()) {
+        let p = structured(&small_config(seed, true));
+        check_preserves_and_no_impairment(&p, &PdceConfig::pde())?;
+    }
+
+    #[test]
+    fn pde_on_tangled_irreducible_programs(seed in any::<u64>()) {
+        let p = tangled(&small_config(seed, true), 6);
+        check_preserves_and_no_impairment(&p, &PdceConfig::pde())?;
+        check_preserves_and_no_impairment(&p, &PdceConfig::pfe())?;
+    }
+
+    #[test]
+    fn per_path_dominance_holds(seed in any::<u64>()) {
+        let p = structured(&small_config(seed, true));
+        for config in [PdceConfig::pde(), PdceConfig::pfe()] {
+            let mut optimized = p.clone();
+            optimize(&mut optimized, &config).unwrap();
+            let report = check_improvement(&p, &optimized, &BetterOptions {
+                samples: 64,
+                ..BetterOptions::default()
+            });
+            prop_assert!(report.holds(), "violations: {:#?}", report.violations);
+        }
+    }
+
+    #[test]
+    fn drivers_are_idempotent(seed in any::<u64>()) {
+        let p = structured(&small_config(seed, true));
+        for config in [PdceConfig::pde(), PdceConfig::pfe()] {
+            let mut once = p.clone();
+            optimize(&mut once, &config).unwrap();
+            let first = canonical_string(&once);
+            let stats = optimize(&mut once, &config).unwrap();
+            prop_assert_eq!(canonical_string(&once), first);
+            prop_assert_eq!(stats.eliminated_assignments, 0);
+            prop_assert_eq!(stats.rounds, 1);
+        }
+    }
+
+    #[test]
+    fn pfe_subsumes_pde(seed in any::<u64>()) {
+        let p = structured(&small_config(seed, true));
+        let mut with_pde = p.clone();
+        optimize(&mut with_pde, &PdceConfig::pde()).unwrap();
+        let mut with_pfe = p.clone();
+        optimize(&mut with_pfe, &PdceConfig::pfe()).unwrap();
+        prop_assert!(with_pfe.num_assignments() <= with_pde.num_assignments());
+        // And pfe's output dominates pde's per path.
+        let report = check_improvement(&with_pde, &with_pfe, &BetterOptions {
+            samples: 64,
+            ..BetterOptions::default()
+        });
+        prop_assert!(report.holds(), "violations: {:#?}", report.violations);
+    }
+
+    #[test]
+    fn dead_implies_faint(seed in any::<u64>()) {
+        use pdce::core::{DeadSolution, FaintSolution};
+        use pdce::ir::CfgView;
+        let p = structured(&small_config(seed, true));
+        let view = CfgView::new(&p);
+        let dead = DeadSolution::compute(&p, &view);
+        let faint = FaintSolution::compute(&p);
+        for n in p.node_ids() {
+            let after = dead.after_each_stmt(&p, n);
+            for (k, after_k) in after.iter().enumerate() {
+                for v in 0..p.num_vars() {
+                    if after_k.get(v) {
+                        prop_assert!(
+                            faint.faint_after(n, k, pdce::ir::Var::from_index(v)),
+                            "dead but not faint at {}[{}] var v{}",
+                            p.block(n).name, k, v
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn copy_propagation_preserves_semantics(seed in any::<u64>()) {
+        let p = structured(&small_config(seed, false));
+        let mut q = p.clone();
+        copy_propagate(&mut q);
+        let inputs: [(&str, i64); 2] = [("v0", 5), ("v3", -1)];
+        let t0 = record_run(&p, &inputs, 7);
+        let t1 = trace_of(&q, &inputs, t0.decisions.clone());
+        prop_assert_eq!(t0.outputs, t1.outputs);
+    }
+
+    #[test]
+    fn lcm_preserves_semantics(seed in any::<u64>()) {
+        let mut p = structured(&small_config(seed, false));
+        pdce::ir::edgesplit::split_critical_edges(&mut p);
+        let mut q = p.clone();
+        lazy_code_motion(&mut q).unwrap();
+        let inputs: [(&str, i64); 2] = [("v1", 9), ("v2", 2)];
+        let t0 = record_run(&p, &inputs, 3);
+        let t1 = trace_of(&q, &inputs, t0.decisions.clone());
+        prop_assert_eq!(t0.outputs, t1.outputs);
+    }
+
+    #[test]
+    fn hoisting_preserves_semantics(seed in any::<u64>()) {
+        use pdce::baselines::hoist_assignments;
+        let mut p = structured(&small_config(seed, false));
+        pdce::ir::edgesplit::split_critical_edges(&mut p);
+        let mut q = p.clone();
+        // Iterate to the hoisting fixpoint, bounded.
+        for _ in 0..10 {
+            let before = canonical_string(&q);
+            hoist_assignments(&mut q).unwrap();
+            if canonical_string(&q) == before {
+                break;
+            }
+        }
+        let inputs: [(&str, i64); 2] = [("v0", 4), ("v2", -6)];
+        let t0 = record_run(&p, &inputs, 13);
+        let t1 = trace_of(&q, &inputs, t0.decisions.clone());
+        prop_assert_eq!(&t0.outputs, &t1.outputs);
+        // Hoisting never *increases* executed assignments on a path: a
+        // merge keeps exactly one occurrence per path, and hoisting a
+        // loop-invariant occurrence above its loop can only reduce the
+        // count.
+        prop_assert!(t1.executed_assignments <= t0.executed_assignments);
+    }
+
+    #[test]
+    fn hoisting_on_nondet_programs_preserves_semantics(seed in any::<u64>()) {
+        use pdce::baselines::hoist_assignments;
+        let mut p = structured(&small_config(seed, true));
+        pdce::ir::edgesplit::split_critical_edges(&mut p);
+        let mut q = p.clone();
+        hoist_assignments(&mut q).unwrap();
+        let inputs: [(&str, i64); 2] = [("v1", 8), ("v3", 1)];
+        let t0 = record_run(&p, &inputs, 29);
+        let t1 = trace_of(&q, &inputs, t0.decisions.clone());
+        prop_assert_eq!(&t0.outputs, &t1.outputs);
+    }
+
+    #[test]
+    fn printer_parser_roundtrip(seed in any::<u64>()) {
+        let p = structured(&small_config(seed, true));
+        let printed = pdce::ir::printer::print_program(&p);
+        let reparsed = pdce::ir::parser::parse(&printed).unwrap();
+        prop_assert_eq!(canonical_string(&p), canonical_string(&reparsed));
+    }
+
+    #[test]
+    fn lvn_preserves_semantics(seed in any::<u64>()) {
+        use pdce::baselines::local_value_numbering;
+        let p = structured(&small_config(seed, true));
+        let mut q = p.clone();
+        local_value_numbering(&mut q);
+        let inputs: [(&str, i64); 3] = [("v0", 3), ("v1", -8), ("v2", 2)];
+        for run_seed in [9u64, 44] {
+            let t0 = record_run(&p, &inputs, run_seed);
+            let t1 = trace_of(&q, &inputs, t0.decisions.clone());
+            prop_assert_eq!(&t0.outputs, &t1.outputs);
+            // Value numbering only removes work.
+            prop_assert!(t1.executed_operations <= t0.executed_operations);
+        }
+    }
+
+    #[test]
+    fn sccp_preserves_semantics(seed in any::<u64>()) {
+        let p = structured(&small_config(seed, true));
+        let mut q = p.clone();
+        pdce::ssa::sccp(&mut q);
+        pdce::ir::simplify_cfg(&mut q);
+        pdce::ir::validate::validate(&q).unwrap();
+        let inputs: [(&str, i64); 3] = [("v0", 6), ("v1", -1), ("v3", 100)];
+        for run_seed in [2u64, 71] {
+            let t0 = record_run(&p, &inputs, run_seed);
+            let t1 = trace_of(&q, &inputs, t0.decisions.clone());
+            prop_assert_eq!(&t0.outputs, &t1.outputs);
+        }
+    }
+
+    #[test]
+    fn sccp_then_pfe_preserves_semantics(seed in any::<u64>()) {
+        let p = structured(&small_config(seed, false));
+        let mut q = p.clone();
+        pdce::ssa::sccp(&mut q);
+        optimize(&mut q, &PdceConfig::pfe()).unwrap();
+        pdce::ir::simplify_cfg(&mut q);
+        let inputs: [(&str, i64); 2] = [("v2", 13), ("v4", -2)];
+        let t0 = record_run(&p, &inputs, 5);
+        let t1 = trace_of(&q, &inputs, t0.decisions.clone());
+        prop_assert_eq!(&t0.outputs, &t1.outputs);
+    }
+
+    #[test]
+    fn pde_plus_simplify_preserves_semantics(seed in any::<u64>()) {
+        let p = structured(&small_config(seed, true));
+        let mut q = p.clone();
+        optimize(&mut q, &PdceConfig::pde()).unwrap();
+        pdce::ir::simplify_cfg(&mut q);
+        pdce::ir::validate::validate(&q).unwrap();
+        let inputs: [(&str, i64); 2] = [("v0", 1), ("v4", -9)];
+        let t0 = record_run(&p, &inputs, 21);
+        // Simplification can remove nondet *forwarding* blocks but keeps
+        // every branching node, so decision replay still lines up.
+        let t1 = trace_of(&q, &inputs, t0.decisions.clone());
+        prop_assert_eq!(&t0.outputs, &t1.outputs);
+        prop_assert!(t1.executed_assignments <= t0.executed_assignments);
+    }
+
+    #[test]
+    fn stats_are_consistent(seed in any::<u64>()) {
+        let p = structured(&small_config(seed, true));
+        let mut q = p.clone();
+        let stats = optimize(&mut q, &PdceConfig::pde()).unwrap();
+        prop_assert_eq!(stats.final_stmts, q.num_stmts() as u64);
+        prop_assert!(stats.max_stmts >= stats.initial_stmts);
+        prop_assert!(stats.max_stmts >= stats.final_stmts);
+        prop_assert!(stats.growth_factor() >= 1.0);
+        prop_assert!(stats.rounds >= 1);
+    }
+}

@@ -1,0 +1,110 @@
+//! SSA-substrate integration: SCCP and PDE reinforcing each other, and
+//! the sparse web on hostile control flow.
+
+use pdce::core::driver::{optimize, PdceConfig};
+use pdce::ir::parser::parse;
+use pdce::ir::{simplify_cfg, CfgView};
+use pdce::progen::{tangled, GenConfig};
+use pdce::ssa::{sccp, ssa_dce, SsaWeb};
+
+/// SCCP folds the branch, simplification removes the dead arm, and pde
+/// then eliminates an assignment that was only "live" because of the
+/// unreachable path — neither pass alone gets there.
+#[test]
+fn sccp_unlocks_pde_opportunities() {
+    // y is assigned before a branch whose condition SCCP can decide, and
+    // observed only on the statically-dead arm.
+    let src = "prog {
+        block s  { k := 1; y := a + b; if k == 1 then t else f }
+        block t  { out(a); goto e }
+        block f  { out(y); goto e }
+        block e  { halt }
+    }";
+    // pde alone keeps y := a + b: the f path (statically present)
+    // observes it.
+    let mut pde_only = parse(src).unwrap();
+    optimize(&mut pde_only, &PdceConfig::pde()).unwrap();
+    assert!(
+        pdce::ir::printer::print_program(&pde_only).contains("a + b"),
+        "pde alone must keep the assignment"
+    );
+
+    // SCCP proves the f arm unreachable; after simplification pde drops
+    // the assignment entirely.
+    let mut combined = parse(src).unwrap();
+    sccp(&mut combined);
+    simplify_cfg(&mut combined);
+    optimize(&mut combined, &PdceConfig::pde()).unwrap();
+    assert!(
+        !pdce::ir::printer::print_program(&combined).contains("a + b"),
+        "sccp + simplify + pde must remove it:\n{}",
+        pdce::ir::printer::print_program(&combined)
+    );
+}
+
+/// The SSA web stays sparse on tangled, irreducible graphs: edges grow
+/// linearly with statements (φs included), never quadratically.
+#[test]
+fn web_stays_sparse_on_irreducible_graphs() {
+    for seed in 0..10u64 {
+        let p = tangled(
+            &GenConfig {
+                seed,
+                target_blocks: 40,
+                num_vars: 6,
+                nondet: true,
+                ..GenConfig::default()
+            },
+            10,
+        );
+        let view = CfgView::new(&p);
+        let web = SsaWeb::build(&p, &view);
+        let i = p.num_stmts().max(1) as u64;
+        let v = p.num_vars() as u64;
+        assert!(
+            web.edges <= 20 * i * v,
+            "seed {seed}: {} edges for i={i}, v={v}",
+            web.edges
+        );
+    }
+}
+
+/// ssa_dce after pde is a no-op: pde's internal dce already removed all
+/// dead code, and sinking never introduces faint assignments... except
+/// where sinking *creates* new total deadness that dce already caught.
+/// (pfe ≥ ssa_dce in power, so running ssa_dce after pfe removes 0.)
+#[test]
+fn ssa_dce_finds_nothing_after_pfe() {
+    for seed in 0..20u64 {
+        let mut p = pdce::progen::structured(&GenConfig {
+            seed,
+            target_blocks: 20,
+            nondet: true,
+            ..GenConfig::default()
+        });
+        optimize(&mut p, &PdceConfig::pfe()).unwrap();
+        assert_eq!(ssa_dce(&mut p), 0, "seed {seed}");
+    }
+}
+
+/// Branch folding composes with the paper's Figure 1: a constant branch
+/// in front of the figure changes nothing about the pde result shape.
+#[test]
+fn constant_guard_before_fig1() {
+    let src = "prog {
+        block g  { mode := 2; if mode == 2 then n1 else dead }
+        block dead { out(999); goto n1 }
+        block n1 { y := a + b; nondet n2 n3 }
+        block n2 { y := 4; goto n4 }
+        block n3 { out(y); goto n4 }
+        block n4 { out(y); goto e }
+        block e  { halt }
+    }";
+    let mut p = parse(src).unwrap();
+    sccp(&mut p);
+    simplify_cfg(&mut p);
+    optimize(&mut p, &PdceConfig::pde()).unwrap();
+    assert!(p.block_by_name("dead").is_none());
+    let n1 = p.block_by_name("n1").unwrap();
+    assert!(p.block(n1).stmts.is_empty(), "figure-1 sinking still fires");
+}
