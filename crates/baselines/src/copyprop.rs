@@ -169,7 +169,10 @@ fn substitute(prog: &mut Program, t: TermId, subst: &HashMap<Var, Var>) -> (Term
             if ca + cb == 0 {
                 (t, 0)
             } else {
-                (prog.terms_mut().intern(TermData::Binary(op, a2, b2)), ca + cb)
+                (
+                    prog.terms_mut().intern(TermData::Binary(op, a2, b2)),
+                    ca + cb,
+                )
             }
         }
     }
@@ -278,10 +281,7 @@ mod tests {
 
     #[test]
     fn self_copy_is_ignored() {
-        let mut p = parse(
-            "prog { block s { x := x; out(x); goto e } block e { halt } }",
-        )
-        .unwrap();
+        let mut p = parse("prog { block s { x := x; out(x); goto e } block e { halt } }").unwrap();
         assert_eq!(copy_propagate(&mut p), 0);
     }
 }

@@ -268,9 +268,7 @@ mod tests {
     #[test]
     fn marking_detects_faint_chain() {
         // a feeds b feeds nothing relevant: both unmarked (faint).
-        agree_with_fce(
-            "prog { block s { a := 1; b := a + 1; out(7); goto e } block e { halt } }",
-        );
+        agree_with_fce("prog { block s { a := 1; b := a + 1; out(7); goto e } block e { halt } }");
     }
 
     #[test]
@@ -320,10 +318,9 @@ mod tests {
 
     #[test]
     fn du_edges_counted() {
-        let p = parse(
-            "prog { block s { a := 1; b := a + a; out(b + a); goto e } block e { halt } }",
-        )
-        .unwrap();
+        let p =
+            parse("prog { block s { a := 1; b := a + a; out(b + a); goto e } block e { halt } }")
+                .unwrap();
         let view = CfgView::new(&p);
         let g = DuGraph::build(&p, &view);
         // a:=1 reaches the use in b:=a+a (1 edge, a occurs once in the

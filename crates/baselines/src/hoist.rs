@@ -176,7 +176,7 @@ pub fn hoist_assignments(prog: &mut Program) -> Result<HoistOutcome, CriticalEdg
             let (lhs, rhs) = table.pattern(p);
             Stmt::Assign { lhs, rhs }
         };
-        let old = std::mem::take(&mut prog.block_mut(n).stmts);
+        let old = &prog.block(n).stmts;
         let mut new_stmts = Vec::with_capacity(old.len() + ent.len() + exi.len());
         new_stmts.extend(ent.iter().map(|&p| make(p)));
         let mut doomed = candidates[i].iter().map(|&(k, _)| k).peekable();
@@ -190,10 +190,12 @@ pub fn hoist_assignments(prog: &mut Program) -> Result<HoistOutcome, CriticalEdg
         }
         new_stmts.extend(exi.iter().map(|&p| make(p)));
         outcome.inserted += (ent.len() + exi.len()) as u64;
-        if new_stmts != old {
+        // Stable blocks re-derive their own statement list; skipping the
+        // write keeps the program revision (and analysis caches) intact.
+        if new_stmts != *old {
             outcome.changed = true;
+            prog.block_mut(n).stmts = new_stmts;
         }
-        prog.block_mut(n).stmts = new_stmts;
     }
     Ok(outcome)
 }
@@ -303,7 +305,10 @@ mod tests {
         let paths = pdce_ir::paths::enumerate_paths(&p, 100).unwrap();
         let key = pdce_ir::PatternKey::of_stmt(
             &parse(src).unwrap(),
-            &parse(src).unwrap().block(pdce_ir::NodeId::from_index(1)).stmts[0],
+            &parse(src)
+                .unwrap()
+                .block(pdce_ir::NodeId::from_index(1))
+                .stmts[0],
         )
         .unwrap();
         for path in paths {

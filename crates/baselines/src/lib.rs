@@ -23,6 +23,7 @@ pub mod hoist;
 pub mod liveness;
 pub mod lvn;
 pub mod naive_sink;
+pub mod passes;
 
 pub use copyprop::{copy_propagate, copy_propagate_once};
 pub use duchain::{duchain_dce, DuGraph};
@@ -30,3 +31,6 @@ pub use hoist::{hoist_assignments, HoistOutcome};
 pub use liveness::{liveness_dce, Liveness};
 pub use lvn::{local_value_numbering, LvnStats};
 pub use naive_sink::{naive_sink, NaiveSinkOutcome};
+pub use passes::{
+    CopyPropPass, DuchainDcePass, HoistPass, LivenessDcePass, LvnPass, NaiveSinkPass,
+};

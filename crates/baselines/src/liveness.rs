@@ -119,7 +119,9 @@ pub fn liveness_dce(prog: &mut Program) -> u64 {
                     s => Some(s),
                 })
                 .collect();
-            prog.block_mut(n).stmts = keep;
+            if keep.len() != prog.block(n).stmts.len() {
+                prog.block_mut(n).stmts = keep;
+            }
         }
         if removed == 0 {
             return total;
@@ -193,10 +195,7 @@ mod tests {
 
     #[test]
     fn keeps_observable_assignments() {
-        let mut p = parse(
-            "prog { block s { x := 1; out(x); goto e } block e { halt } }",
-        )
-        .unwrap();
+        let mut p = parse("prog { block s { x := 1; out(x); goto e } block e { halt } }").unwrap();
         assert_eq!(liveness_dce(&mut p), 0);
     }
 

@@ -128,17 +128,12 @@ fn simplify(
             let (a2, va) = simplify(prog, numbering, a, stats);
             let (b2, vb) = simplify(prog, numbering, b, stats);
             let vn = numbering.vn_of_key(ValueKey::Binary(op, va, vb));
-            if let (Some(&ca), Some(&cb)) =
-                (numbering.consts.get(&va), numbering.consts.get(&vb))
-            {
+            if let (Some(&ca), Some(&cb)) = (numbering.consts.get(&va), numbering.consts.get(&vb)) {
                 let ta = prog.terms_mut().constant(ca);
                 let tb = prog.terms_mut().constant(cb);
                 let tt = prog.terms_mut().binary(op, ta, tb);
-                let folded = pdce_ir::interp::eval_term(
-                    prog,
-                    &pdce_ir::interp::Env::zeroed(prog),
-                    tt,
-                );
+                let folded =
+                    pdce_ir::interp::eval_term(prog, &pdce_ir::interp::Env::zeroed(prog), tt);
                 numbering.consts.insert(vn, folded);
                 stats.folded += 1;
                 return (prog.terms_mut().constant(folded), vn);
@@ -212,10 +207,7 @@ pub fn local_value_numbering(prog: &mut Program) -> LvnStats {
 
 /// Whether replacing this term with a variable read would not help.
 fn is_trivial(prog: &Program, t: TermId) -> bool {
-    matches!(
-        prog.terms().data(t),
-        TermData::Const(_) | TermData::Var(_)
-    )
+    matches!(prog.terms().data(t), TermData::Const(_) | TermData::Var(_))
 }
 
 #[cfg(test)]
@@ -233,7 +225,12 @@ mod tests {
         // Semantics must hold for a few inputs.
         let orig = parse(src).unwrap();
         for a in [-7i64, 0, 13] {
-            let t0 = run_with(&orig, &[("a", a), ("b", 2)], vec![0, 1], ExecLimits::default());
+            let t0 = run_with(
+                &orig,
+                &[("a", a), ("b", 2)],
+                vec![0, 1],
+                ExecLimits::default(),
+            );
             let t1 = run_with(&p, &[("a", a), ("b", 2)], vec![0, 1], ExecLimits::default());
             assert_eq!(t0.outputs, t1.outputs, "a={a}");
         }

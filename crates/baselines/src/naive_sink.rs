@@ -103,9 +103,9 @@ fn one_pass(prog: &mut Program, outcome: &mut NaiveSinkOutcome) -> bool {
         let preds_m = view.preds(m).to_vec();
         let plain = preds_m == [n];
         let loopy = !plain
-            && preds_m.iter().all(|&p| {
-                p == n || loop_nodes[m.index()].contains(&p)
-            })
+            && preds_m
+                .iter()
+                .all(|&p| p == n || loop_nodes[m.index()].contains(&p))
             && loop_is_transparent(prog, &loop_nodes[m.index()], pat, &table);
         if !(plain || loopy) {
             continue;
@@ -142,12 +142,7 @@ fn natural_loop(view: &CfgView, tail: NodeId, head: NodeId) -> Vec<NodeId> {
 /// Whether re-executing `x := t` once per iteration of the loop is
 /// value-identical: no loop instruction modifies `x` or an operand of
 /// `t`. (Uses of `x` are fine — they read the same value.)
-fn loop_is_transparent(
-    prog: &Program,
-    body: &[NodeId],
-    pat: usize,
-    table: &PatternTable,
-) -> bool {
+fn loop_is_transparent(prog: &Program, body: &[NodeId], pat: usize, table: &PatternTable) -> bool {
     let (x, t) = table.pattern(pat);
     for &n in body {
         for stmt in &prog.block(n).stmts {

@@ -1,0 +1,240 @@
+//! [`Pass`] adapters for the baseline transformations, so they compose
+//! in the workspace-wide pass pipeline alongside `pde`/`pfe`, LCM, and
+//! the SSA passes.
+
+use pdce_dfa::{AnalysisCache, Pass, PassOutcome, Preserves};
+use pdce_ir::edgesplit::{has_critical_edges, split_critical_edges};
+use pdce_ir::Program;
+
+use crate::copyprop::copy_propagate;
+use crate::duchain::duchain_dce;
+use crate::hoist::hoist_assignments;
+use crate::liveness::liveness_dce;
+use crate::lvn::local_value_numbering;
+use crate::naive_sink::naive_sink;
+
+/// Finalizes the outcome of a statement-only transform: when the
+/// revision moved, the CFG shape still survives, so the cache keeps its
+/// CFG-shaped entries; when nothing moved, everything survives.
+fn finish_stmt_only(
+    prog: &Program,
+    cache: &mut AnalysisCache,
+    before: u64,
+    mut out: PassOutcome,
+) -> PassOutcome {
+    if prog.revision() == before {
+        PassOutcome::unchanged()
+    } else {
+        out.changed = true;
+        out.preserves = Preserves::Cfg;
+        cache.retain(prog, Preserves::Cfg);
+        out
+    }
+}
+
+/// Iterated live-variable DCE (totally dead assignments only).
+pub struct LivenessDcePass;
+
+impl Pass for LivenessDcePass {
+    fn name(&self) -> &'static str {
+        "liveness-dce"
+    }
+
+    fn run(&self, prog: &mut Program, cache: &mut AnalysisCache) -> PassOutcome {
+        let before = prog.revision();
+        let removed = liveness_dce(prog);
+        finish_stmt_only(
+            prog,
+            cache,
+            before,
+            PassOutcome {
+                removed,
+                ..PassOutcome::default()
+            },
+        )
+    }
+}
+
+/// Def-use-chain marking DCE (the "standard method" of Section 5.2).
+pub struct DuchainDcePass;
+
+impl Pass for DuchainDcePass {
+    fn name(&self) -> &'static str {
+        "duchain-dce"
+    }
+
+    fn run(&self, prog: &mut Program, cache: &mut AnalysisCache) -> PassOutcome {
+        let before = prog.revision();
+        let removed = duchain_dce(prog);
+        finish_stmt_only(
+            prog,
+            cache,
+            before,
+            PassOutcome {
+                removed,
+                ..PassOutcome::default()
+            },
+        )
+    }
+}
+
+/// Global copy propagation. Rewrites right-hand sides and branch
+/// conditions in place; the CFG shape is untouched.
+pub struct CopyPropPass;
+
+impl Pass for CopyPropPass {
+    fn name(&self) -> &'static str {
+        "copyprop"
+    }
+
+    fn run(&self, prog: &mut Program, cache: &mut AnalysisCache) -> PassOutcome {
+        let before = prog.revision();
+        let rewritten = copy_propagate(prog);
+        finish_stmt_only(
+            prog,
+            cache,
+            before,
+            PassOutcome {
+                rewritten,
+                ..PassOutcome::default()
+            },
+        )
+    }
+}
+
+/// Local value numbering.
+pub struct LvnPass;
+
+impl Pass for LvnPass {
+    fn name(&self) -> &'static str {
+        "lvn"
+    }
+
+    fn run(&self, prog: &mut Program, cache: &mut AnalysisCache) -> PassOutcome {
+        let before = prog.revision();
+        let stats = local_value_numbering(prog);
+        finish_stmt_only(
+            prog,
+            cache,
+            before,
+            PassOutcome {
+                rewritten: stats.replaced + stats.folded,
+                ..PassOutcome::default()
+            },
+        )
+    }
+}
+
+/// Dhamdhere-style assignment hoisting. Splits critical edges first when
+/// necessary (the only CFG-shape change).
+pub struct HoistPass;
+
+impl Pass for HoistPass {
+    fn name(&self) -> &'static str {
+        "hoist"
+    }
+
+    fn run(&self, prog: &mut Program, cache: &mut AnalysisCache) -> PassOutcome {
+        let mut out = PassOutcome::unchanged();
+        if has_critical_edges(prog) {
+            split_critical_edges(prog);
+            out.merge(&PassOutcome {
+                changed: true,
+                preserves: Preserves::Nothing,
+                ..PassOutcome::default()
+            });
+        }
+        let before = prog.revision();
+        let hoisted = hoist_assignments(prog).expect("critical edges were just split");
+        let inner = finish_stmt_only(
+            prog,
+            cache,
+            before,
+            PassOutcome {
+                removed: hoisted.removed,
+                inserted: hoisted.inserted,
+                ..PassOutcome::default()
+            },
+        );
+        out.merge(&inner);
+        out
+    }
+}
+
+/// The loop-oblivious Briggs/Cooper-style sinker (Figure 6's
+/// impairment).
+pub struct NaiveSinkPass;
+
+impl Pass for NaiveSinkPass {
+    fn name(&self) -> &'static str {
+        "naive-sink"
+    }
+
+    fn run(&self, prog: &mut Program, cache: &mut AnalysisCache) -> PassOutcome {
+        let before = prog.revision();
+        let moves = naive_sink(prog);
+        let moved = moves.plain_moves + moves.loop_moves;
+        finish_stmt_only(
+            prog,
+            cache,
+            before,
+            PassOutcome {
+                removed: moved,
+                inserted: moved,
+                ..PassOutcome::default()
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdce_ir::parser::parse;
+
+    #[test]
+    fn liveness_pass_reports_removals_and_preservation() {
+        let mut p =
+            parse("prog { block s { x := 1; y := 2; out(y); goto e } block e { halt } }").unwrap();
+        let mut cache = AnalysisCache::new();
+        cache.cfg(&p);
+        let out = LivenessDcePass.run(&mut p, &mut cache);
+        assert_eq!(out.removed, 1);
+        assert_eq!(out.preserves, Preserves::Cfg);
+        // The CFG entry survived the statement-only edit.
+        cache.cfg(&p);
+        assert_eq!(cache.stats().cfg_hits, 1);
+        let again = LivenessDcePass.run(&mut p, &mut cache);
+        assert!(!again.changed);
+        assert_eq!(again.preserves, Preserves::All);
+    }
+
+    #[test]
+    fn hoist_pass_handles_critical_edges() {
+        let mut p = parse(
+            "prog {
+               block s { nondet a j }
+               block a { x := c + 1; goto j }
+               block j { x := c + 1; out(x); goto e }
+               block e { halt }
+             }",
+        )
+        .unwrap();
+        let out = HoistPass.run(&mut p, &mut AnalysisCache::new());
+        assert!(out.changed);
+        assert_eq!(out.preserves, Preserves::Nothing);
+    }
+
+    #[test]
+    fn copyprop_and_lvn_count_rewrites() {
+        let mut p =
+            parse("prog { block s { x := a; y := x + 1; out(y); goto e } block e { halt } }")
+                .unwrap();
+        let out = CopyPropPass.run(&mut p, &mut AnalysisCache::new());
+        assert!(out.rewritten >= 1);
+        let mut p =
+            parse("prog { block s { x := 2 + 3; out(x); goto e } block e { halt } }").unwrap();
+        let out = LvnPass.run(&mut p, &mut AnalysisCache::new());
+        assert!(out.rewritten >= 1);
+    }
+}

@@ -6,9 +6,10 @@
 //! without, it costs one per instruction — same fixpoint (tested in
 //! `pdce-core`), different constant factors, especially on programs with
 //! long blocks.
+//!
+//! Run with: `cargo bench -p pdce-bench --bench ablation`
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
+use pdce_bench::timeit;
 use pdce_core::DeadSolution;
 use pdce_ir::CfgView;
 use pdce_progen::{structured, GenConfig};
@@ -27,24 +28,16 @@ fn workload(stmts_per_block: usize) -> pdce_ir::Program {
     })
 }
 
-fn bench_summarized_vs_per_instruction(c: &mut Criterion) {
-    let mut group = c.benchmark_group("dead_analysis_ablation");
+fn main() {
+    timeit::group("dead_analysis_ablation");
     for stmts in [2usize, 8, 24] {
         let prog = workload(stmts);
         let view = CfgView::new(&prog);
-        group.bench_with_input(
-            BenchmarkId::new("summarized", stmts),
-            &(),
-            |b, ()| b.iter(|| DeadSolution::compute(&prog, &view)),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("per_instruction", stmts),
-            &(),
-            |b, ()| b.iter(|| DeadSolution::compute_per_instruction(&prog, &view)),
-        );
+        timeit::report(&format!("summarized/{stmts}"), || {
+            DeadSolution::compute(&prog, &view)
+        });
+        timeit::report(&format!("per_instruction/{stmts}"), || {
+            DeadSolution::compute_per_instruction(&prog, &view)
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_summarized_vs_per_instruction);
-criterion_main!(benches);

@@ -1,11 +1,12 @@
 //! C3/C6: costs of the component analyses (Section 6.1) — the dead,
 //! faint and delayability solvers, the baseline liveness analysis, and
 //! the du-chain graph construction (including its quadratic worst case).
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+//!
+//! Run with: `cargo bench -p pdce-bench --bench analyses`
 
 use pdce_baselines::duchain::DuGraph;
 use pdce_baselines::liveness::Liveness;
+use pdce_bench::timeit;
 use pdce_core::{DeadSolution, DelayInfo, FaintSolution, LocalInfo, PatternTable};
 use pdce_ir::CfgView;
 use pdce_progen::{many_defs_many_uses, structured, GenConfig};
@@ -25,101 +26,64 @@ fn workload(n: usize) -> pdce_ir::Program {
     })
 }
 
-fn bench_dead(c: &mut Criterion) {
-    let mut group = c.benchmark_group("analysis_dead");
-    for n in [64usize, 256] {
+fn main() {
+    let sizes = [64usize, 256];
+
+    timeit::group("analysis_dead");
+    for &n in &sizes {
         let prog = workload(n);
         let view = CfgView::new(&prog);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &(), |b, ()| {
-            b.iter(|| DeadSolution::compute(&prog, &view))
-        });
+        timeit::report(&n.to_string(), || DeadSolution::compute(&prog, &view));
     }
-    group.finish();
-}
 
-fn bench_faint(c: &mut Criterion) {
-    let mut group = c.benchmark_group("analysis_faint");
-    for n in [64usize, 256] {
+    timeit::group("analysis_faint");
+    for &n in &sizes {
         let prog = workload(n);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &(), |b, ()| {
-            b.iter(|| FaintSolution::compute(&prog))
-        });
+        timeit::report(&n.to_string(), || FaintSolution::compute(&prog));
     }
-    group.finish();
-}
 
-fn bench_delay(c: &mut Criterion) {
-    let mut group = c.benchmark_group("analysis_delayability");
-    for n in [64usize, 256] {
+    timeit::group("analysis_delayability");
+    for &n in &sizes {
         let prog = workload(n);
         let view = CfgView::new(&prog);
         let table = PatternTable::build(&prog);
         let local = LocalInfo::compute(&prog, &table);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &(), |b, ()| {
-            b.iter(|| DelayInfo::compute(&prog, &view, &table, &local))
+        timeit::report(&n.to_string(), || {
+            DelayInfo::compute(&prog, &view, &table, &local)
         });
     }
-    group.finish();
-}
 
-fn bench_liveness(c: &mut Criterion) {
-    let mut group = c.benchmark_group("analysis_liveness");
-    for n in [64usize, 256] {
+    timeit::group("analysis_liveness");
+    for &n in &sizes {
         let prog = workload(n);
         let view = CfgView::new(&prog);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &(), |b, ()| {
-            b.iter(|| Liveness::compute(&prog, &view))
-        });
+        timeit::report(&n.to_string(), || Liveness::compute(&prog, &view));
     }
-    group.finish();
-}
 
-fn bench_duchain(c: &mut Criterion) {
-    let mut group = c.benchmark_group("duchain_build");
-    for n in [64usize, 256] {
+    timeit::group("duchain_build");
+    for &n in &sizes {
         let prog = workload(n);
         let view = CfgView::new(&prog);
-        group.bench_with_input(BenchmarkId::new("structured", n), &(), |b, ()| {
-            b.iter(|| DuGraph::build(&prog, &view))
-        });
+        timeit::report(&format!("structured/{n}"), || DuGraph::build(&prog, &view));
     }
     // The quadratic worst case of Section 5.2.
     for k in [32usize, 128] {
         let prog = many_defs_many_uses(k);
         let view = CfgView::new(&prog);
-        group.bench_with_input(BenchmarkId::new("quadratic", k), &(), |b, ()| {
-            b.iter(|| DuGraph::build(&prog, &view))
-        });
+        timeit::report(&format!("quadratic/{k}"), || DuGraph::build(&prog, &view));
     }
-    group.finish();
-}
 
-fn bench_ssa_web(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ssa_web_build");
-    for n in [64usize, 256] {
+    timeit::group("ssa_web_build");
+    for &n in &sizes {
         let prog = workload(n);
         let view = CfgView::new(&prog);
-        group.bench_with_input(BenchmarkId::new("structured", n), &(), |b, ()| {
-            b.iter(|| SsaWeb::build(&prog, &view))
-        });
+        timeit::report(&format!("structured/{n}"), || SsaWeb::build(&prog, &view));
     }
     for k in [32usize, 128] {
         let prog = many_defs_many_uses(k);
         let view = CfgView::new(&prog);
-        group.bench_with_input(BenchmarkId::new("quadratic_family", k), &(), |b, ()| {
-            b.iter(|| SsaWeb::build(&prog, &view))
+        timeit::report(&format!("quadratic_family/{k}"), || {
+            SsaWeb::build(&prog, &view)
         });
     }
-    group.finish();
 }
-
-criterion_group!(
-    benches,
-    bench_dead,
-    bench_faint,
-    bench_delay,
-    bench_liveness,
-    bench_duchain,
-    bench_ssa_web
-);
-criterion_main!(benches);

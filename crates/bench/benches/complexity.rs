@@ -1,10 +1,11 @@
 //! C1/C2: runtime scaling of pde and pfe (Section 6.4 of the paper).
 //!
-//! Criterion series over structured program sizes; the `report` binary
+//! Timing series over structured program sizes; the `report` binary
 //! fits the growth exponents from the same workloads.
+//!
+//! Run with: `cargo bench -p pdce-bench --bench complexity`
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
+use pdce_bench::timeit;
 use pdce_core::driver::{optimize, PdceConfig};
 use pdce_progen::{corridor, diamond_ladder, second_order_tower, structured, GenConfig};
 
@@ -22,92 +23,44 @@ fn structured_of_size(n: usize) -> pdce_ir::Program {
     })
 }
 
-fn bench_pde_structured(c: &mut Criterion) {
-    let mut group = c.benchmark_group("pde_structured");
-    group.sample_size(10);
-    for n in [32usize, 128, 512] {
-        let prog = structured_of_size(n);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &prog, |b, prog| {
-            b.iter(|| {
-                let mut clone = prog.clone();
-                optimize(&mut clone, &PdceConfig::pde()).unwrap()
-            })
+fn time_config(group: &str, config: &PdceConfig, cases: &[(String, pdce_ir::Program)]) {
+    timeit::group(group);
+    for (label, prog) in cases {
+        timeit::report(label, || {
+            let mut clone = prog.clone();
+            optimize(&mut clone, config).unwrap()
         });
     }
-    group.finish();
 }
 
-fn bench_pfe_structured(c: &mut Criterion) {
-    let mut group = c.benchmark_group("pfe_structured");
-    group.sample_size(10);
-    for n in [32usize, 128, 512] {
-        let prog = structured_of_size(n);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &prog, |b, prog| {
-            b.iter(|| {
-                let mut clone = prog.clone();
-                optimize(&mut clone, &PdceConfig::pfe()).unwrap()
-            })
-        });
-    }
-    group.finish();
-}
+fn main() {
+    let structured: Vec<_> = [32usize, 128, 512]
+        .iter()
+        .map(|&n| (n.to_string(), structured_of_size(n)))
+        .collect();
+    time_config("pde_structured", &PdceConfig::pde(), &structured);
+    time_config("pfe_structured", &PdceConfig::pfe(), &structured);
 
-/// Long-distance sinking is a single delayability solve regardless of
-/// corridor length (contrast with per-round approaches).
-fn bench_corridor(c: &mut Criterion) {
-    let mut group = c.benchmark_group("pde_corridor");
-    group.sample_size(10);
-    for n in [64usize, 256, 1024] {
-        let prog = corridor(n);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &prog, |b, prog| {
-            b.iter(|| {
-                let mut clone = prog.clone();
-                optimize(&mut clone, &PdceConfig::pde()).unwrap()
-            })
-        });
-    }
-    group.finish();
-}
+    // Long-distance sinking is a single delayability solve regardless of
+    // corridor length (contrast with per-round approaches).
+    let corridors: Vec<_> = [64usize, 256, 1024]
+        .iter()
+        .map(|&n| (n.to_string(), corridor(n)))
+        .collect();
+    time_config("pde_corridor", &PdceConfig::pde(), &corridors);
 
-/// The round-count stress case: r grows linearly with the tower height
-/// (C4), so total work is quadratic here — the paper's r·(c_dce + c_ask)
-/// formula in action.
-fn bench_tower(c: &mut Criterion) {
-    let mut group = c.benchmark_group("pde_second_order_tower");
-    group.sample_size(10);
-    for k in [8usize, 32, 128] {
-        let prog = second_order_tower(k);
-        group.bench_with_input(BenchmarkId::from_parameter(k), &prog, |b, prog| {
-            b.iter(|| {
-                let mut clone = prog.clone();
-                optimize(&mut clone, &PdceConfig::pde()).unwrap()
-            })
-        });
-    }
-    group.finish();
-}
+    // The round-count stress case: r grows linearly with the tower
+    // height (C4), so total work is quadratic here — the paper's
+    // r·(c_dce + c_ask) formula in action.
+    let towers: Vec<_> = [8usize, 32, 128]
+        .iter()
+        .map(|&k| (k.to_string(), second_order_tower(k)))
+        .collect();
+    time_config("pde_second_order_tower", &PdceConfig::pde(), &towers);
 
-fn bench_ladder(c: &mut Criterion) {
-    let mut group = c.benchmark_group("pde_diamond_ladder");
-    group.sample_size(10);
-    for n in [16usize, 64, 256] {
-        let prog = diamond_ladder(n);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &prog, |b, prog| {
-            b.iter(|| {
-                let mut clone = prog.clone();
-                optimize(&mut clone, &PdceConfig::pde()).unwrap()
-            })
-        });
-    }
-    group.finish();
+    let ladders: Vec<_> = [16usize, 64, 256]
+        .iter()
+        .map(|&n| (n.to_string(), diamond_ladder(n)))
+        .collect();
+    time_config("pde_diamond_ladder", &PdceConfig::pde(), &ladders);
 }
-
-criterion_group!(
-    benches,
-    bench_pde_structured,
-    bench_pfe_structured,
-    bench_corridor,
-    bench_tower,
-    bench_ladder
-);
-criterion_main!(benches);

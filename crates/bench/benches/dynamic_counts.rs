@@ -1,13 +1,14 @@
 //! D1: dynamic cost of optimized programs — interpreter runs of the
 //! original vs. dce / pde / pfe outputs (the "who wins" series), plus
-//! the cost of the full driver at each optimization level.
+//! the cost of running each optimization pipeline itself. Every level
+//! is a [`Pipeline`] spec over the registered passes.
+//!
+//! Run with: `cargo bench -p pdce-bench --bench dynamic_counts`
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
-use pdce_baselines::liveness_dce;
-use pdce_core::driver::{optimize, PdceConfig};
+use pdce_bench::timeit;
 use pdce_ir::interp::{run, Env, ExecLimits, SeededOracle};
 use pdce_ir::Program;
+use pdce_pass::Pipeline;
 use pdce_progen::{structured, GenConfig};
 
 fn workload() -> Program {
@@ -38,48 +39,34 @@ fn execute(prog: &Program) -> u64 {
     t.executed_assignments
 }
 
-fn bench_execution_by_level(c: &mut Criterion) {
-    let original = workload();
-    let mut dce = original.clone();
-    liveness_dce(&mut dce);
-    let mut pde_p = original.clone();
-    optimize(&mut pde_p, &PdceConfig::pde()).unwrap();
-    let mut pfe_p = original.clone();
-    optimize(&mut pfe_p, &PdceConfig::pfe()).unwrap();
+const LEVELS: &[(&str, &str)] = &[
+    ("dce", "liveness-dce"),
+    ("fce_only", "fce"),
+    ("pde", "pde"),
+    ("pfe", "pfe"),
+];
 
-    let mut group = c.benchmark_group("interp_by_opt_level");
-    for (name, prog) in [
-        ("original", &original),
-        ("dce", &dce),
-        ("pde", &pde_p),
-        ("pfe", &pfe_p),
-    ] {
-        group.bench_with_input(BenchmarkId::from_parameter(name), prog, |b, prog| {
-            b.iter(|| execute(prog))
+fn main() {
+    let original = workload();
+
+    timeit::group("interp_by_opt_level");
+    timeit::report("original", || execute(&original));
+    let mut optimized = Vec::new();
+    for (name, spec) in LEVELS {
+        let mut prog = original.clone();
+        Pipeline::parse(spec).unwrap().run(&mut prog);
+        optimized.push((*name, prog));
+    }
+    for (name, prog) in &optimized {
+        timeit::report(name, || execute(prog));
+    }
+
+    timeit::group("optimizer_by_level");
+    for (name, spec) in LEVELS {
+        let pipeline = Pipeline::parse(spec).unwrap();
+        timeit::report(name, || {
+            let mut clone = original.clone();
+            pipeline.run(&mut clone)
         });
     }
-    group.finish();
 }
-
-fn bench_optimizer_by_level(c: &mut Criterion) {
-    let original = workload();
-    let mut group = c.benchmark_group("optimizer_by_level");
-    group.sample_size(10);
-    for (name, config) in [
-        ("dce_only", PdceConfig::dce_only()),
-        ("fce_only", PdceConfig::fce_only()),
-        ("pde", PdceConfig::pde()),
-        ("pfe", PdceConfig::pfe()),
-    ] {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &config, |b, config| {
-            b.iter(|| {
-                let mut clone = original.clone();
-                optimize(&mut clone, config).unwrap()
-            })
-        });
-    }
-    group.finish();
-}
-
-criterion_group!(benches, bench_execution_by_level, bench_optimizer_by_level);
-criterion_main!(benches);

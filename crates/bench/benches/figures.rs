@@ -1,27 +1,17 @@
 //! Micro-benchmarks: the full driver on each of the paper's worked
 //! examples (Figures 1–13). Verifies reproduction on every iteration,
 //! so a regression in *what* the optimizer produces fails the bench.
+//!
+//! Run with: `cargo bench -p pdce-bench --bench figures`
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdce_bench::{figure_corpus, timeit, verify_figure};
 
-use pdce_bench::{figure_corpus, verify_figure};
-
-fn bench_figures(c: &mut Criterion) {
-    let mut group = c.benchmark_group("figures");
+fn main() {
+    timeit::group("figures");
     for figure in figure_corpus() {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(figure.id),
-            &figure,
-            |b, figure| {
-                b.iter(|| {
-                    let (ok, _, _) = verify_figure(figure);
-                    assert!(ok, "figure {} regressed", figure.id);
-                })
-            },
-        );
+        timeit::report(figure.id, || {
+            let (ok, _, _) = verify_figure(&figure);
+            assert!(ok, "figure {} regressed", figure.id);
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_figures);
-criterion_main!(benches);

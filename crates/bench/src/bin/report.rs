@@ -6,19 +6,20 @@
 
 use std::time::Instant;
 
-use pdce_baselines::{duchain::DuGraph, liveness_dce, naive_sink};
+use pdce_baselines::duchain::DuGraph;
 use pdce_bench::{figure_corpus, fit_loglog_slope, measure, verify_figure};
 use pdce_core::driver::{optimize, PdceConfig};
 use pdce_core::elim::{eliminate_fixpoint, Mode};
 use pdce_core::{DeadSolution, DelayInfo, FaintSolution, LocalInfo, PatternTable};
 use pdce_ir::interp::{run, Env, ExecLimits, ReplayOracle, SeededOracle};
 use pdce_ir::{CfgView, Program};
-use pdce_ssa::SsaWeb;
+use pdce_pass::Pipeline;
+#[allow(unused_imports)]
+use pdce_progen::tangled as _tangled_reexport_check;
 use pdce_progen::{
     diamond_ladder, faint_chain, many_defs_many_uses, second_order_tower, structured, GenConfig,
 };
-#[allow(unused_imports)]
-use pdce_progen::tangled as _tangled_reexport_check;
+use pdce_ssa::SsaWeb;
 
 fn main() {
     figures_table();
@@ -28,6 +29,7 @@ fn main() {
     c4_round_counts();
     c5_code_growth();
     c6_duchain_size();
+    c7_cache_effectiveness();
     d1_dynamic_costs();
 }
 
@@ -39,7 +41,10 @@ fn hr(title: &str) {
 
 fn figures_table() {
     hr("Figures 1-13: worked-example reproduction (paper vs measured)");
-    println!("{:<8} {:<58} {:>10} {:>7} {:>6}", "figure", "claim", "reproduced", "rounds", "elim");
+    println!(
+        "{:<8} {:<58} {:>10} {:>7} {:>6}",
+        "figure", "claim", "reproduced", "rounds", "elim"
+    );
     for figure in figure_corpus() {
         let (ok, rounds, eliminated) = verify_figure(&figure);
         println!(
@@ -97,8 +102,10 @@ fn c1_c2_scaling() {
 }
 
 fn c1b_irreducible_scaling() {
-    hr("C1b: arbitrary (irreducible) control flow — same algorithm, no
-special casing (the Figure 5/6 claim, at scale)");
+    hr(
+        "C1b: arbitrary (irreducible) control flow — same algorithm, no
+special casing (the Figure 5/6 claim, at scale)",
+    );
     println!(
         "{:>7} {:>7} {:>7} {:>12} {:>12}",
         "target", "blocks", "stmts", "pde (µs)", "irreducible"
@@ -164,11 +171,34 @@ fn c3_analysis_costs() {
     let du = DuGraph::build(&prog, &view);
     let du_t = t.elapsed();
 
-    println!("{:<28} {:>12} {:>14}", "analysis", "time (µs)", "evaluations");
-    println!("{:<28} {:>12.1} {:>14}", "dead variables (bit-vector)", dead_t.as_nanos() as f64 / 1e3, dead.evaluations());
-    println!("{:<28} {:>12.1} {:>14}", "faint variables (slotwise)", faint_t.as_nanos() as f64 / 1e3, faint.evaluations());
-    println!("{:<28} {:>12.1} {:>14}", "delayability (bit-vector)", delay_t.as_nanos() as f64 / 1e3, delay.evaluations);
-    println!("{:<28} {:>12.1} {:>14}", "du-chain graph build", du_t.as_nanos() as f64 / 1e3, du.du_edges);
+    println!(
+        "{:<28} {:>12} {:>14}",
+        "analysis", "time (µs)", "evaluations"
+    );
+    println!(
+        "{:<28} {:>12.1} {:>14}",
+        "dead variables (bit-vector)",
+        dead_t.as_nanos() as f64 / 1e3,
+        dead.evaluations()
+    );
+    println!(
+        "{:<28} {:>12.1} {:>14}",
+        "faint variables (slotwise)",
+        faint_t.as_nanos() as f64 / 1e3,
+        faint.evaluations()
+    );
+    println!(
+        "{:<28} {:>12.1} {:>14}",
+        "delayability (bit-vector)",
+        delay_t.as_nanos() as f64 / 1e3,
+        delay.evaluations
+    );
+    println!(
+        "{:<28} {:>12.1} {:>14}",
+        "du-chain graph build",
+        du_t.as_nanos() as f64 / 1e3,
+        du.du_edges
+    );
     println!("\npaper: dead/delay are bit-vector problems; faint needs the");
     println!("slotwise O(i·v) algorithm (Section 6.1).");
 }
@@ -202,13 +232,19 @@ fn c4_round_counts() {
 
 fn c5_code_growth() {
     hr("C5: code growth ω (paper: O(b) worst case, O(1) in practice)");
-    println!("{:>10} {:>7} {:>9} {:>9} {:>7}", "workload", "n", "initial", "peak", "ω");
+    println!(
+        "{:>10} {:>7} {:>9} {:>9} {:>7}",
+        "workload", "n", "initial", "peak", "ω"
+    );
     for n in [8usize, 32, 128] {
         let prog = diamond_ladder(n);
         let m = measure(n, &prog, &PdceConfig::pde(), 1);
         println!(
             "{:>10} {:>7} {:>9} {:>9} {:>7.2}",
-            "ladder", n, m.stats.initial_stmts, m.stats.max_stmts,
+            "ladder",
+            n,
+            m.stats.initial_stmts,
+            m.stats.max_stmts,
             m.stats.growth_factor()
         );
     }
@@ -218,7 +254,10 @@ fn c5_code_growth() {
         let m = measure(48, &prog, &PdceConfig::pde(), 1);
         worst = worst.max(m.stats.growth_factor());
     }
-    println!("{:>10} {:>7} {:>9} {:>9} {:>7.2}", "random×30", 48, "-", "-", worst);
+    println!(
+        "{:>10} {:>7} {:>9} {:>9} {:>7.2}",
+        "random×30", 48, "-", "-", worst
+    );
     println!("\nω stays bounded by a small constant — the practical O(1) regime.");
 }
 
@@ -253,14 +292,23 @@ fn c6_duchain_size() {
 
     println!("\nsparse SSA web (Cytron et al., the paper's O(i·v) comparison");
     println!("point) on the same worst-case family:\n");
-    println!("{:>6} {:>7} {:>12} {:>12}", "k", "stmts", "dense edges", "ssa edges");
+    println!(
+        "{:>6} {:>7} {:>12} {:>12}",
+        "k", "stmts", "dense edges", "ssa edges"
+    );
     let mut sparse_points = Vec::new();
     for k in [8usize, 16, 32, 64, 128] {
         let prog = many_defs_many_uses(k);
         let view = CfgView::new(&prog);
         let du = DuGraph::build(&prog, &view);
         let web = SsaWeb::build(&prog, &view);
-        println!("{:>6} {:>7} {:>12} {:>12}", k, prog.num_stmts(), du.du_edges, web.edges);
+        println!(
+            "{:>6} {:>7} {:>12} {:>12}",
+            k,
+            prog.num_stmts(),
+            du.du_edges,
+            web.edges
+        );
         sparse_points.push((k as f64, web.edges as f64));
     }
     println!(
@@ -270,23 +318,54 @@ fn c6_duchain_size() {
     );
 }
 
+/// The pass manager's analysis cache: CFG-view rebuilds avoided inside
+/// the iterated pde/pfe drivers (elimination and sinking share one view
+/// per round; the stable final round reuses the previous round's
+/// data-flow solutions outright).
+fn c7_cache_effectiveness() {
+    hr("C7: analysis cache effectiveness inside the pde/pfe drivers");
+    println!(
+        "{:>7} {:>7} {:>7} {:>10} {:>10} {:>10}",
+        "target", "mode", "rounds", "cfg-hits", "cfg-miss", "dfa-hits"
+    );
+    for n in [24usize, 96, 384] {
+        for (mode, config) in [("pde", PdceConfig::pde()), ("pfe", PdceConfig::pfe())] {
+            let mut prog = structured_of_size(n, 11);
+            let stats = optimize(&mut prog, &config).unwrap();
+            println!(
+                "{:>7} {:>7} {:>7} {:>10} {:>10} {:>10}",
+                n,
+                mode,
+                stats.rounds,
+                stats.cache.cfg_hits,
+                stats.cache.cfg_misses,
+                stats.cache.analysis_hits
+            );
+            assert!(
+                stats.cache.cfg_hits >= stats.rounds as u64,
+                "each round must reuse the shared CFG view at least once"
+            );
+        }
+    }
+    println!("\nwithout the cache every round paid ≥2 CFG-view builds (one in");
+    println!("the eliminator, one in the sinker); with it, one per CFG change.");
+}
+
 fn d1_dynamic_costs() {
     hr("D1: dynamic executed assignments (who wins, per Def. 3.6)");
     println!("average over 20 random programs × 3 runs each; lower is better\n");
     let mut totals = [0u64; 5];
     let names = ["original", "dce", "pde", "pfe", "naive-sink"];
+    // Every optimization level is a pipeline spec over registered passes.
+    let specs = ["liveness-dce", "pde", "pfe", "split-edges,naive-sink"];
     let mut impairments = 0u32;
     for seed in 0..20u64 {
         let original = structured_of_size(40, seed.wrapping_mul(101));
-        let mut dce = original.clone();
-        liveness_dce(&mut dce);
-        let mut pde_p = original.clone();
-        optimize(&mut pde_p, &PdceConfig::pde()).unwrap();
-        let mut pfe_p = original.clone();
-        optimize(&mut pfe_p, &PdceConfig::pfe()).unwrap();
-        let mut naive = original.clone();
-        pdce_ir::edgesplit::split_critical_edges(&mut naive);
-        naive_sink(&mut naive);
+        let [dce, pde_p, pfe_p, naive] = specs.map(|spec| {
+            let mut prog = original.clone();
+            Pipeline::parse(spec).unwrap().run(&mut prog);
+            prog
+        });
 
         for run_seed in [3u64, 17, 99] {
             let inputs: [(&str, i64); 2] = [("v0", 4), ("v1", -7)];

@@ -9,6 +9,7 @@
 
 pub mod figures;
 pub mod sweep;
+pub mod timeit;
 
 pub use figures::{figure_corpus, verify_figure, Figure};
 pub use sweep::{fit_loglog_slope, measure, Measurement};

@@ -200,14 +200,9 @@ mod tests {
 
     #[test]
     fn detects_regression() {
-        let better_prog = parse(
-            "prog { block s { out(y); goto e } block e { halt } }",
-        )
-        .unwrap();
-        let worse_prog = parse(
-            "prog { block s { y := a + b; out(y); goto e } block e { halt } }",
-        )
-        .unwrap();
+        let better_prog = parse("prog { block s { out(y); goto e } block e { halt } }").unwrap();
+        let worse_prog =
+            parse("prog { block s { y := a + b; out(y); goto e } block e { halt } }").unwrap();
         // worse ⊑ better fails…
         let report = is_better(&worse_prog, &better_prog, &BetterOptions::default());
         assert!(!report.holds());
@@ -237,14 +232,8 @@ mod tests {
 
     #[test]
     fn incomparable_programs_fail_both_ways() {
-        let p1 = parse(
-            "prog { block s { x := 1; goto e } block e { halt } }",
-        )
-        .unwrap();
-        let p2 = parse(
-            "prog { block s { y := 2; goto e } block e { halt } }",
-        )
-        .unwrap();
+        let p1 = parse("prog { block s { x := 1; goto e } block e { halt } }").unwrap();
+        let p2 = parse("prog { block s { y := 2; goto e } block e { halt } }").unwrap();
         assert!(!is_better(&p1, &p2, &BetterOptions::default()).holds());
         assert!(!is_better(&p2, &p1, &BetterOptions::default()).holds());
     }

@@ -167,9 +167,8 @@ mod tests {
 
     #[test]
     fn unused_assignment_is_dead() {
-        let (p, d) = solve_src(
-            "prog { block s { x := 1; y := 2; out(y); goto e } block e { halt } }",
-        );
+        let (p, d) =
+            solve_src("prog { block s { x := 1; y := 2; out(y); goto e } block e { halt } }");
         let s = p.entry();
         let after = d.after_each_stmt(&p, s);
         assert!(after[0].get(var(&p, "x").index()), "x dead after x := 1");
@@ -179,9 +178,8 @@ mod tests {
 
     #[test]
     fn redefinition_makes_earlier_value_dead() {
-        let (p, d) = solve_src(
-            "prog { block s { y := 1; y := 2; out(y); goto e } block e { halt } }",
-        );
+        let (p, d) =
+            solve_src("prog { block s { y := 1; y := 2; out(y); goto e } block e { halt } }");
         let after = d.after_each_stmt(&p, p.entry());
         assert!(after[0].get(var(&p, "y").index()), "first y := 1 is dead");
         assert!(!after[1].get(var(&p, "y").index()));
@@ -236,9 +234,7 @@ mod tests {
 
     #[test]
     fn everything_dead_at_program_end() {
-        let (p, d) = solve_src(
-            "prog { block s { x := 1; goto e } block e { halt } }",
-        );
+        let (p, d) = solve_src("prog { block s { x := 1; goto e } block e { halt } }");
         assert_eq!(d.at_exit(p.exit()).count_ones(), p.num_vars());
         assert!(d.dead_after(&p, p.entry(), 0, var(&p, "x")));
     }
@@ -283,10 +279,7 @@ mod tests {
 
     #[test]
     fn table1_gen_kill_shapes() {
-        let p = parse(
-            "prog { block s { x := x + y; goto e } block e { halt } }",
-        )
-        .unwrap();
+        let p = parse("prog { block s { x := x + y; goto e } block e { halt } }").unwrap();
         let t = stmt_transfer(&p, &p.block(p.entry()).stmts[0], p.num_vars());
         // x := x + y: USED = {x, y} (kill), MOD ∖ USED = ∅ (gen).
         assert!(t.gen.none());

@@ -224,9 +224,7 @@ mod tests {
     /// Entry boundary: nothing is delayed into the start node.
     #[test]
     fn entry_is_never_delayed_into() {
-        let (p, _t, d) = analyse(
-            "prog { block s { x := 1; goto e } block e { halt } }",
-        );
+        let (p, _t, d) = analyse("prog { block s { x := 1; goto e } block e { halt } }");
         assert!(d.n_delayed[p.entry().index()].none());
         // But the candidate makes the exit delayed.
         assert!(d.x_delayed[p.entry().index()].get(0));
@@ -238,9 +236,8 @@ mod tests {
     /// it is dropped (it would be dead at e anyway).
     #[test]
     fn delayed_to_exit_has_no_insertion() {
-        let (p, _t, d) = analyse(
-            "prog { block s { x := 1; goto m } block m { goto e } block e { halt } }",
-        );
+        let (p, _t, d) =
+            analyse("prog { block s { x := 1; goto m } block m { goto e } block e { halt } }");
         for n in p.node_ids() {
             assert!(d.n_insert[n.index()].none(), "{}", p.block(n).name);
             assert!(d.x_insert[n.index()].none(), "{}", p.block(n).name);

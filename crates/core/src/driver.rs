@@ -18,12 +18,12 @@
 use std::error::Error;
 use std::fmt;
 
+use pdce_dfa::{AnalysisCache, CacheStats};
 use pdce_ir::edgesplit::split_critical_edges;
-use pdce_ir::printer::canonical_string;
 use pdce_ir::Program;
 
-use crate::elim::{eliminate_fixpoint_in, Mode};
-use crate::sink::{sink_assignments_in, CriticalEdgeError};
+use crate::elim::{eliminate_fixpoint_cached, Mode};
+use crate::sink::{sink_assignments_cached, CriticalEdgeError};
 
 /// What to do when the global round cap is reached (the paper's
 /// Section 7 suggests "simply cutting the global iteration process
@@ -151,6 +151,11 @@ pub struct PdceStats {
     /// Whether the run stopped at the round cap (only with
     /// [`LimitBehavior::Truncate`]).
     pub truncated: bool,
+    /// Analysis-cache hit/miss counters for this run. Each global round
+    /// needs the `CfgView` many times (every elimination pass, the
+    /// sinking pass); with the cache it is built at most once per round
+    /// — `cache.cfg_hits` counts the avoided rebuilds.
+    pub cache: CacheStats,
 }
 
 impl PdceStats {
@@ -206,6 +211,27 @@ impl From<CriticalEdgeError> for PdceError {
 /// within the round cap (which the paper's Theorem 3.7 rules out for a
 /// correct implementation).
 pub fn optimize(prog: &mut Program, config: &PdceConfig) -> Result<PdceStats, PdceError> {
+    optimize_with_cache(prog, config, &mut AnalysisCache::new())
+}
+
+/// [`optimize`] sharing analyses through a caller-provided
+/// [`AnalysisCache`], the driver's integration point with the pass
+/// manager: one `CfgView` (and one dead/faint solution, where the
+/// program allows it) is shared across all elimination passes and the
+/// sinking pass of a round instead of being rebuilt per transform.
+/// Stability is detected through [`Program::revision`] — a round that
+/// performs no mutation ends the loop — which both transforms guarantee
+/// by never writing back unchanged statement lists.
+///
+/// # Errors
+///
+/// See [`optimize`].
+pub fn optimize_with_cache(
+    prog: &mut Program,
+    config: &PdceConfig,
+    cache: &mut AnalysisCache,
+) -> Result<PdceStats, PdceError> {
+    let cache_baseline = cache.stats();
     let mut stats = PdceStats::default();
     if config.sinking {
         stats.synthetic_blocks = split_critical_edges(prog).len() as u64;
@@ -241,24 +267,25 @@ pub fn optimize(prog: &mut Program, config: &PdceConfig) -> Result<PdceStats, Pd
                 }
             }
         }
-        let before = canonical_string(prog);
+        let before = prog.revision();
 
-        let (removed, passes) = eliminate_fixpoint_in(prog, config.mode, region);
+        let (removed, passes) = eliminate_fixpoint_cached(prog, cache, config.mode, region);
         stats.eliminated_assignments += removed;
         stats.elimination_passes += passes;
 
         if config.sinking {
-            let outcome = sink_assignments_in(prog, region)?;
+            let outcome = sink_assignments_cached(prog, cache, region)?;
             stats.sunk_assignments += outcome.removed;
             stats.inserted_assignments += outcome.inserted;
             stats.max_stmts = stats.max_stmts.max(prog.num_stmts() as u64);
         }
 
-        if canonical_string(prog) == before {
+        if prog.revision() == before {
             break;
         }
     }
     stats.final_stmts = prog.num_stmts() as u64;
+    stats.cache = cache.stats().since(&cache_baseline);
     Ok(stats)
 }
 
@@ -294,11 +321,7 @@ mod tests {
 
     fn expect(got: &Program, want_src: &str) {
         let want = parse(want_src).unwrap();
-        assert!(
-            structural_eq(got, &want),
-            "mismatch:\n{}",
-            diff(got, &want)
-        );
+        assert!(structural_eq(got, &want), "mismatch:\n{}", diff(got, &want));
     }
 
     /// Figures 1 → 2: the motivating example end to end.
@@ -465,10 +488,7 @@ mod tests {
 
     #[test]
     fn round_cap_is_respected() {
-        let mut p = parse(
-            "prog { block s { x := 1; out(x); goto e } block e { halt } }",
-        )
-        .unwrap();
+        let mut p = parse("prog { block s { x := 1; out(x); goto e } block e { halt } }").unwrap();
         // Cap of zero rounds: the very first round exceeds it.
         let err = optimize(
             &mut p,

@@ -7,7 +7,8 @@
 //! elimination–elimination effects (Figure 12) are handled by iterating
 //! the pass to a fixpoint in the driver.
 
-use pdce_ir::{CfgView, Program, Stmt};
+use pdce_dfa::{AnalysisCache, Preserves};
+use pdce_ir::{Program, Stmt};
 
 use crate::dead::DeadSolution;
 use crate::faint::FaintSolution;
@@ -33,16 +34,31 @@ pub fn eliminate_once(prog: &mut Program, mode: Mode) -> u64 {
 /// whose index is allowed. The analyses remain global, so region
 /// results are always sound — just less aggressive.
 pub fn eliminate_once_in(prog: &mut Program, mode: Mode, region: Option<&[bool]>) -> u64 {
-    let view = CfgView::new(prog);
+    eliminate_once_cached(prog, &mut AnalysisCache::new(), mode, region)
+}
+
+/// [`eliminate_once_in`] sharing analyses through an [`AnalysisCache`]:
+/// the `CfgView` and the dead/faint solution are served from `cache`
+/// when the program has not changed since they were computed (which is
+/// exactly the case in the stability-certifying final pass of the
+/// fixpoint iteration, and whenever a preceding pass in a pipeline left
+/// them valid). After removals the cache is retained at
+/// [`Preserves::Cfg`]: eliminations only edit statement lists.
+pub fn eliminate_once_cached(
+    prog: &mut Program,
+    cache: &mut AnalysisCache,
+    mode: Mode,
+    region: Option<&[bool]>,
+) -> u64 {
+    let view = cache.cfg(prog);
     // Skip unreachable blocks: the solvers never evaluate them, so their
     // optimistic initial state would claim everything dead there.
-    let in_region = |n: pdce_ir::NodeId| {
-        region.is_none_or(|r| r[n.index()]) && view.rpo_index(n) != usize::MAX
-    };
+    let in_region =
+        |n: pdce_ir::NodeId| region.is_none_or(|r| r[n.index()]) && view.rpo_index(n) != usize::MAX;
     let mut removed = 0u64;
     match mode {
         Mode::Dead => {
-            let sol = DeadSolution::compute(prog, &view);
+            let sol = cache.analysis::<DeadSolution, _>(prog, DeadSolution::compute);
             let plans: Vec<(pdce_ir::NodeId, Vec<usize>)> = prog
                 .node_ids()
                 .filter(|&n| in_region(n))
@@ -64,7 +80,7 @@ pub fn eliminate_once_in(prog: &mut Program, mode: Mode, region: Option<&[bool]>
             removed += apply_removals(prog, &plans);
         }
         Mode::Faint => {
-            let sol = FaintSolution::compute(prog);
+            let sol = cache.analysis::<FaintSolution, _>(prog, |p, _| FaintSolution::compute(p));
             let plans: Vec<(pdce_ir::NodeId, Vec<usize>)> = prog
                 .node_ids()
                 .filter(|&n| in_region(n))
@@ -85,6 +101,10 @@ pub fn eliminate_once_in(prog: &mut Program, mode: Mode, region: Option<&[bool]>
             removed += apply_removals(prog, &plans);
         }
     }
+    if removed > 0 {
+        // Removals touch statement lists only; the CFG shape survives.
+        cache.retain(prog, Preserves::Cfg);
+    }
     removed
 }
 
@@ -101,10 +121,22 @@ pub fn eliminate_fixpoint_in(
     mode: Mode,
     region: Option<&[bool]>,
 ) -> (u64, u64) {
+    eliminate_fixpoint_cached(prog, &mut AnalysisCache::new(), mode, region)
+}
+
+/// [`eliminate_fixpoint_in`] sharing analyses through an
+/// [`AnalysisCache`]. The `CfgView` is built (at most) once for the
+/// whole iteration instead of once per pass.
+pub fn eliminate_fixpoint_cached(
+    prog: &mut Program,
+    cache: &mut AnalysisCache,
+    mode: Mode,
+    region: Option<&[bool]>,
+) -> (u64, u64) {
     let mut total = 0u64;
     let mut passes = 0u64;
     loop {
-        let removed = eliminate_once_in(prog, mode, region);
+        let removed = eliminate_once_cached(prog, cache, mode, region);
         if removed == 0 {
             return (total, passes);
         }

@@ -150,9 +150,7 @@ impl FaintSolution {
             let x = Var::from_index(s % num_vars);
             match &infos[instr] {
                 InstrInfo::Neutral => x_faint(values, instr, x),
-                InstrInfo::Relevant { used } => {
-                    !used.contains(&x) && x_faint(values, instr, x)
-                }
+                InstrInfo::Relevant { used } => !used.contains(&x) && x_faint(values, instr, x),
                 InstrInfo::Assign { lhs, rhs_vars } => {
                     (x_faint(values, instr, x) || x == *lhs)
                         && (x_faint(values, instr, *lhs) || !rhs_vars.contains(&x))
@@ -258,7 +256,10 @@ mod tests {
         let s = p.entry();
         assert!(!f.faint_after(s, 0, var(&p, "x")));
         assert!(!f.faint_after(s, 1, var(&p, "y")));
-        assert!(f.faint_after(s, 2, var(&p, "y")), "after out(y), y is faint");
+        assert!(
+            f.faint_after(s, 2, var(&p, "y")),
+            "after out(y), y is faint"
+        );
     }
 
     #[test]

@@ -49,6 +49,7 @@ pub mod driver;
 pub mod elim;
 pub mod faint;
 pub mod local;
+pub mod passes;
 pub mod patterns;
 pub mod sink;
 pub mod universe;
@@ -56,9 +57,10 @@ pub mod universe;
 pub use better::{check_improvement, DominanceReport};
 pub use dead::DeadSolution;
 pub use delay::DelayInfo;
-pub use driver::{optimize, pde, pfe, PdceConfig, PdceError, PdceStats};
+pub use driver::{optimize, optimize_with_cache, pde, pfe, PdceConfig, PdceError, PdceStats};
 pub use elim::{eliminate_fixpoint, eliminate_once, Mode};
 pub use faint::FaintSolution;
 pub use local::LocalInfo;
+pub use passes::{DcePass, FcePass, PdePass, PfePass, SinkPass};
 pub use patterns::PatternTable;
 pub use sink::{sink_assignments, sinking_is_stable, SinkOutcome};

@@ -188,9 +188,7 @@ mod tests {
 
     #[test]
     fn relevant_statement_blocks() {
-        let (p, _t, i) = info(
-            "prog { block s { x := a; out(x); goto e } block e { halt } }",
-        );
+        let (p, _t, i) = info("prog { block s { x := a; out(x); goto e } block e { halt } }");
         assert!(!i.locdelayed[p.entry().index()].get(0));
         assert!(i.locblocked[p.entry().index()].get(0));
     }
@@ -213,9 +211,8 @@ mod tests {
 
     #[test]
     fn empty_blocks_have_no_predicates() {
-        let (p, _t, i) = info(
-            "prog { block s { goto m } block m { x := 1; goto e } block e { halt } }",
-        );
+        let (p, _t, i) =
+            info("prog { block s { goto m } block m { x := 1; goto e } block e { halt } }");
         assert!(i.locdelayed[p.entry().index()].none());
         assert!(i.locblocked[p.entry().index()].none());
         assert!(i.candidates_of(p.entry()).is_empty());
@@ -224,9 +221,7 @@ mod tests {
     #[test]
     fn self_referential_assignment_is_candidate_when_unblocked() {
         // x := x + 1 at the end of a block: candidate (nothing follows).
-        let (p, _t, i) = info(
-            "prog { block s { x := x + 1; goto e } block e { halt } }",
-        );
+        let (p, _t, i) = info("prog { block s { x := x + 1; goto e } block e { halt } }");
         assert_eq!(i.candidates_of(p.entry()), &[(0, 0)]);
     }
 }

@@ -187,10 +187,7 @@ mod tests {
 
     #[test]
     fn out_relevant_statement_blocks_pattern_variable() {
-        let p = parse(
-            "prog { block s { x := a; out(x + 1); goto e } block e { halt } }",
-        )
-        .unwrap();
+        let p = parse("prog { block s { x := a; out(x + 1); goto e } block e { halt } }").unwrap();
         let table = PatternTable::build(&p);
         let out = &p.block(p.entry()).stmts[1];
         assert!(table.stmt_blocks(&p, 0, out));

@@ -17,8 +17,9 @@
 use std::error::Error;
 use std::fmt;
 
+use pdce_dfa::{AnalysisCache, Preserves};
 use pdce_ir::edgesplit::has_critical_edges;
-use pdce_ir::{CfgView, Program, Stmt};
+use pdce_ir::{Program, Stmt};
 
 use crate::delay::DelayInfo;
 use crate::local::LocalInfo;
@@ -92,11 +93,30 @@ pub fn sink_assignments_in(
     prog: &mut Program,
     region: Option<&[bool]>,
 ) -> Result<SinkOutcome, CriticalEdgeError> {
+    sink_assignments_cached(prog, &mut AnalysisCache::new(), region)
+}
+
+/// [`sink_assignments_in`] sharing analyses through an
+/// [`AnalysisCache`]: the `CfgView` and [`PatternTable`] are served
+/// from `cache` when still valid (the elimination step that precedes
+/// sinking in the driver leaves both alive, so a driver round builds the
+/// view exactly once). Blocks whose statement list would be rewritten
+/// identically are left untouched, so a stable program keeps its
+/// revision — and its cache — intact.
+///
+/// # Errors
+///
+/// Returns [`CriticalEdgeError`] if the program has critical edges.
+pub fn sink_assignments_cached(
+    prog: &mut Program,
+    cache: &mut AnalysisCache,
+    region: Option<&[bool]>,
+) -> Result<SinkOutcome, CriticalEdgeError> {
     if has_critical_edges(prog) {
         return Err(CriticalEdgeError);
     }
-    let view = CfgView::new(prog);
-    let table = PatternTable::build(prog);
+    let view = cache.cfg(prog);
+    let table = cache.analysis::<PatternTable, _>(prog, |p, _| PatternTable::build(p));
     if table.is_empty() {
         return Ok(SinkOutcome::default());
     }
@@ -138,9 +158,8 @@ pub fn sink_assignments_in(
             let (lhs, rhs) = table.pattern(p);
             Stmt::Assign { lhs, rhs }
         };
-        let old = std::mem::take(&mut prog.block_mut(n).stmts);
-        let mut new_stmts =
-            Vec::with_capacity(old.len() + entry_ins.len() + exit_ins.len());
+        let old = &prog.block(n).stmts;
+        let mut new_stmts = Vec::with_capacity(old.len() + entry_ins.len() + exit_ins.len());
         new_stmts.extend(entry_ins.iter().map(|&p| make(p)));
         let mut doomed = candidates.iter().map(|&(k, _)| k).peekable();
         for (k, stmt) in old.iter().enumerate() {
@@ -153,10 +172,19 @@ pub fn sink_assignments_in(
         }
         new_stmts.extend(exit_ins.iter().map(|&p| make(p)));
         outcome.inserted += (entry_ins.len() + exit_ins.len()) as u64;
-        if new_stmts != old {
+        // Write back only when the list actually differs (a stable block
+        // re-derives its own statements: candidates removed and
+        // re-inserted in place). Skipping the write keeps the program
+        // revision — and therefore the cache — intact.
+        if new_stmts != *old {
             outcome.changed = true;
+            prog.block_mut(n).stmts = new_stmts;
         }
-        prog.block_mut(n).stmts = new_stmts;
+    }
+    if outcome.changed {
+        // Sinking moves statements between existing blocks; the CFG
+        // shape survives.
+        cache.retain(prog, Preserves::Cfg);
     }
     Ok(outcome)
 }
@@ -165,16 +193,22 @@ pub fn sink_assignments_in(
 /// (Section 5.4's termination condition): every block `n` satisfies
 /// `N-INSERT_n = false` and `X-INSERT_n = LOCDELAYED_n`.
 pub fn sinking_is_stable(prog: &Program) -> bool {
-    let view = CfgView::new(prog);
-    let table = PatternTable::build(prog);
+    sinking_is_stable_cached(prog, &mut AnalysisCache::new())
+}
+
+/// [`sinking_is_stable`] sharing analyses through an [`AnalysisCache`]
+/// (the predicate is read-only, so everything it requests stays cached
+/// for later passes).
+pub fn sinking_is_stable_cached(prog: &Program, cache: &mut AnalysisCache) -> bool {
+    let view = cache.cfg(prog);
+    let table = cache.analysis::<PatternTable, _>(prog, |p, _| PatternTable::build(p));
     if table.is_empty() {
         return true;
     }
     let local = LocalInfo::compute(prog, &table);
     let delay = DelayInfo::compute(prog, &view, &table, &local);
     prog.node_ids().all(|n| {
-        delay.n_insert[n.index()].none()
-            && delay.x_insert[n.index()] == local.locdelayed[n.index()]
+        delay.n_insert[n.index()].none() && delay.x_insert[n.index()] == local.locdelayed[n.index()]
     })
 }
 
@@ -302,15 +336,10 @@ mod tests {
     /// Pattern delayable to the exit node dissolves (it would be dead).
     #[test]
     fn unneeded_assignment_sinks_off_the_end() {
-        let got = sink(
-            "prog { block s { x := 1; out(2); goto e } block e { halt } }",
-        );
+        let got = sink("prog { block s { x := 1; out(2); goto e } block e { halt } }");
         // x := 1 is a candidate (out(2) doesn't block it), delayable to e
         // with no insertion point: removed entirely.
-        expect(
-            &got,
-            "prog { block s { out(2); goto e } block e { halt } }",
-        );
+        expect(&got, "prog { block s { out(2); goto e } block e { halt } }");
     }
 
     #[test]

@@ -37,7 +37,7 @@ use crate::elim::Mode;
 use crate::faint::FaintSolution;
 use crate::local::LocalInfo;
 use crate::patterns::PatternTable;
-use pdce_ir::CfgView;
+use pdce_dfa::AnalysisCache;
 
 /// Options bounding the exploration.
 #[derive(Debug, Clone)]
@@ -104,20 +104,29 @@ pub fn explore(start: &Program, opts: &UniverseOptions) -> UniverseResult {
 }
 
 fn successors(prog: &Program, mode: Mode) -> Vec<Program> {
+    // One cache per enumerated program: both move generators need the
+    // same CfgView, which is now built once instead of twice.
+    let mut cache = AnalysisCache::new();
     let mut out = Vec::new();
-    single_eliminations(prog, mode, &mut out);
-    sinking_moves(prog, &mut out);
+    single_eliminations(prog, &mut cache, mode, &mut out);
+    sinking_moves(prog, &mut cache, &mut out);
     out
 }
 
-fn single_eliminations(prog: &Program, mode: Mode, out: &mut Vec<Program>) {
-    let view = CfgView::new(prog);
+fn single_eliminations(
+    prog: &Program,
+    cache: &mut AnalysisCache,
+    mode: Mode,
+    out: &mut Vec<Program>,
+) {
     let dead = match mode {
-        Mode::Dead => Some(DeadSolution::compute(prog, &view)),
+        Mode::Dead => Some(cache.analysis::<DeadSolution, _>(prog, DeadSolution::compute)),
         Mode::Faint => None,
     };
     let faint = match mode {
-        Mode::Faint => Some(FaintSolution::compute(prog)),
+        Mode::Faint => {
+            Some(cache.analysis::<FaintSolution, _>(prog, |p, _| FaintSolution::compute(p)))
+        }
         Mode::Dead => None,
     };
     for n in prog.node_ids() {
@@ -140,9 +149,9 @@ fn single_eliminations(prog: &Program, mode: Mode, out: &mut Vec<Program>) {
     }
 }
 
-fn sinking_moves(prog: &Program, out: &mut Vec<Program>) {
-    let view = CfgView::new(prog);
-    let table = PatternTable::build(prog);
+fn sinking_moves(prog: &Program, cache: &mut AnalysisCache, out: &mut Vec<Program>) {
+    let view = cache.cfg(prog);
+    let table = cache.analysis::<PatternTable, _>(prog, |p, _| PatternTable::build(p));
     if table.is_empty() {
         return;
     }

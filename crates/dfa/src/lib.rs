@@ -10,7 +10,11 @@
 //!   anticipability);
 //! * [`network`] — a slotwise greatest-fixpoint solver for monotone
 //!   boolean networks, needed for the faint-variable analysis which is
-//!   not expressible as a bit-vector problem (Section 5.2/6.1.2).
+//!   not expressible as a bit-vector problem (Section 5.2/6.1.2);
+//! * [`pass`](mod@pass) — the pass-manager framework: the [`Pass`] trait every
+//!   transform in the workspace implements, and the revision-keyed
+//!   [`AnalysisCache`] that shares `CfgView`s, dominators, and solver
+//!   solutions across passes instead of rebuilding them per transform.
 //!
 //! # Example
 //!
@@ -26,9 +30,11 @@
 pub mod bitvec;
 pub mod genkill;
 pub mod network;
+pub mod pass;
 pub mod solve;
 
 pub use bitvec::BitVec;
 pub use genkill::GenKill;
 pub use network::{solve_greatest, NetworkSolution};
+pub use pass::{run_until_stable, AnalysisCache, CacheStats, Pass, PassOutcome, Preserves};
 pub use solve::{solve, solve_fn, BitProblem, Direction, Meet, Solution};

@@ -1,0 +1,444 @@
+//! The pass-manager framework: the [`Pass`] trait every transform in the
+//! workspace implements, and the revision-keyed [`AnalysisCache`] that
+//! lets passes share control-flow and data-flow analyses instead of
+//! rebuilding them from scratch.
+//!
+//! The paper's global algorithm is itself a pass pipeline — *repeat
+//! { dce/fce ; ask } until stabilization* (Section 5.1) — and all the
+//! surrounding machinery (baselines, LCM, the SSA passes) composes the
+//! same way. This module gives that composition a single shape:
+//!
+//! * a pass is `run(&mut Program, &mut AnalysisCache) -> PassOutcome`;
+//! * the cache memoizes [`CfgView`], dominators, and arbitrary typed
+//!   analysis solutions, keyed by [`Program::revision`];
+//! * a pass that mutates the program declares what survives via
+//!   [`Preserves`], so a transform that only edits statement lists (and
+//!   leaves every terminator alone) keeps the CFG-shaped entries alive
+//!   across the mutation.
+//!
+//! Correctness never depends on the declarations: an undeclared mutation
+//! bumps the program revision and the next cache access rebuilds
+//! everything. Declarations only *retain* entries that a revision bump
+//! would otherwise discard.
+
+use std::any::{Any, TypeId};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use pdce_ir::{CfgView, NodeId, Program};
+
+/// What a pass guarantees about cached analyses after it ran.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Preserves {
+    /// Nothing survives: the pass may have rewired the graph (branch
+    /// folding, edge splitting, block merging).
+    #[default]
+    Nothing,
+    /// The control-flow shape survives: the pass only edited statement
+    /// lists, never terminators or the block set. [`CfgView`],
+    /// orderings, and dominators stay valid; data-flow solutions do not.
+    Cfg,
+    /// Everything survives: the pass did not mutate the program at all.
+    All,
+}
+
+/// Outcome of one pass execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PassOutcome {
+    /// Whether the program changed structurally.
+    pub changed: bool,
+    /// Statements removed (eliminations and sink-removals).
+    pub removed: u64,
+    /// Statements inserted (sink/hoist/LCM insertion points).
+    pub inserted: u64,
+    /// Statements or terms rewritten in place (copy propagation, LVN,
+    /// constant folding).
+    pub rewritten: u64,
+    /// What the pass preserved in the analysis cache.
+    pub preserves: Preserves,
+}
+
+impl PassOutcome {
+    /// An outcome for a pass that did nothing.
+    pub fn unchanged() -> PassOutcome {
+        PassOutcome {
+            preserves: Preserves::All,
+            ..PassOutcome::default()
+        }
+    }
+
+    /// Folds another outcome into this one (for passes made of passes).
+    /// The weaker preservation wins.
+    pub fn merge(&mut self, other: &PassOutcome) {
+        self.changed |= other.changed;
+        self.removed += other.removed;
+        self.inserted += other.inserted;
+        self.rewritten += other.rewritten;
+        self.preserves = match (self.preserves, other.preserves) {
+            (Preserves::Nothing, _) | (_, Preserves::Nothing) => Preserves::Nothing,
+            (Preserves::Cfg, _) | (_, Preserves::Cfg) => Preserves::Cfg,
+            (Preserves::All, Preserves::All) => Preserves::All,
+        };
+    }
+}
+
+/// A program transformation that can run inside a pipeline.
+///
+/// Implementations must leave the cache *consistent*: after `run`
+/// returns, every entry still in the cache must be valid for the current
+/// program. The easiest ways to comply are (a) don't touch the cache and
+/// let revision tracking invalidate it, or (b) call
+/// [`AnalysisCache::retain`] with an honest [`Preserves`] level after
+/// mutating.
+pub trait Pass {
+    /// Stable, human-readable pass name (used by spec parsing and
+    /// instrumentation).
+    fn name(&self) -> &'static str;
+
+    /// Runs the pass on `prog`, sharing analyses through `cache`.
+    fn run(&self, prog: &mut Program, cache: &mut AnalysisCache) -> PassOutcome;
+}
+
+/// Cache hit/miss counters, split by the expensive entry kinds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// [`CfgView`] requests served from cache.
+    pub cfg_hits: u64,
+    /// [`CfgView`] requests that had to rebuild.
+    pub cfg_misses: u64,
+    /// Dominator-tree requests served from cache.
+    pub dom_hits: u64,
+    /// Dominator-tree requests that had to rebuild.
+    pub dom_misses: u64,
+    /// Typed analysis solutions served from cache.
+    pub analysis_hits: u64,
+    /// Typed analysis solutions that had to be recomputed.
+    pub analysis_misses: u64,
+}
+
+impl CacheStats {
+    /// Total hits over all entry kinds.
+    pub fn hits(&self) -> u64 {
+        self.cfg_hits + self.dom_hits + self.analysis_hits
+    }
+
+    /// Total misses over all entry kinds.
+    pub fn misses(&self) -> u64 {
+        self.cfg_misses + self.dom_misses + self.analysis_misses
+    }
+
+    /// The counter delta since an `earlier` snapshot of the same cache
+    /// (counters only grow, so plain subtraction is exact).
+    pub fn since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            cfg_hits: self.cfg_hits - earlier.cfg_hits,
+            cfg_misses: self.cfg_misses - earlier.cfg_misses,
+            dom_hits: self.dom_hits - earlier.dom_hits,
+            dom_misses: self.dom_misses - earlier.dom_misses,
+            analysis_hits: self.analysis_hits - earlier.analysis_hits,
+            analysis_misses: self.analysis_misses - earlier.analysis_misses,
+        }
+    }
+}
+
+/// A revision-keyed memo of analyses for **one** program.
+///
+/// The cache compares [`Program::revision`] on every access; a mismatch
+/// drops every entry (unless the mutating pass called [`retain`] to keep
+/// the CFG-shaped ones). A cache must not be shared between different
+/// programs — clones included — because revisions of unrelated programs
+/// are incomparable.
+///
+/// [`retain`]: AnalysisCache::retain
+///
+/// # Example
+///
+/// ```
+/// use pdce_dfa::AnalysisCache;
+/// use pdce_ir::parser::parse;
+///
+/// let mut prog = parse("prog { block s { goto e } block e { halt } }")?;
+/// let mut cache = AnalysisCache::new();
+/// let a = cache.cfg(&prog);
+/// let b = cache.cfg(&prog); // served from cache
+/// assert!(std::rc::Rc::ptr_eq(&a, &b));
+/// assert_eq!(cache.stats().cfg_hits, 1);
+/// prog.touch(); // any mutation invalidates
+/// let c = cache.cfg(&prog);
+/// assert!(!std::rc::Rc::ptr_eq(&a, &c));
+/// # Ok::<(), pdce_ir::ParseError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct AnalysisCache {
+    /// Revision the cached entries are valid for.
+    revision: Option<u64>,
+    cfg: Option<Rc<CfgView>>,
+    doms: Option<Rc<Vec<Option<NodeId>>>>,
+    analyses: HashMap<TypeId, Rc<dyn Any>>,
+    stats: CacheStats,
+}
+
+impl AnalysisCache {
+    /// Creates an empty cache.
+    pub fn new() -> AnalysisCache {
+        AnalysisCache::default()
+    }
+
+    /// Hit/miss counters since creation (never reset by invalidation).
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Drops entries that are stale for `prog`'s current revision.
+    fn sync(&mut self, prog: &Program) {
+        if self.revision != Some(prog.revision()) {
+            self.cfg = None;
+            self.doms = None;
+            self.analyses.clear();
+            self.revision = Some(prog.revision());
+        }
+    }
+
+    /// The memoized [`CfgView`] of `prog`.
+    pub fn cfg(&mut self, prog: &Program) -> Rc<CfgView> {
+        self.sync(prog);
+        match &self.cfg {
+            Some(view) => {
+                debug_assert_eq!(
+                    view.num_nodes(),
+                    prog.num_blocks(),
+                    "cache crossed programs"
+                );
+                self.stats.cfg_hits += 1;
+                Rc::clone(view)
+            }
+            None => {
+                self.stats.cfg_misses += 1;
+                let view = Rc::new(CfgView::new(prog));
+                self.cfg = Some(Rc::clone(&view));
+                view
+            }
+        }
+    }
+
+    /// The memoized immediate-dominator vector of `prog`.
+    pub fn dominators(&mut self, prog: &Program) -> Rc<Vec<Option<NodeId>>> {
+        self.sync(prog);
+        if let Some(doms) = &self.doms {
+            self.stats.dom_hits += 1;
+            return Rc::clone(doms);
+        }
+        self.stats.dom_misses += 1;
+        let view = self.cfg(prog);
+        let doms = Rc::new(view.immediate_dominators());
+        self.doms = Some(Rc::clone(&doms));
+        doms
+    }
+
+    /// The memoized analysis solution of type `T`, computing it with
+    /// `build` on a miss. The type is the key: one slot per `T`.
+    pub fn analysis<T, F>(&mut self, prog: &Program, build: F) -> Rc<T>
+    where
+        T: Any,
+        F: FnOnce(&Program, &CfgView) -> T,
+    {
+        self.sync(prog);
+        if let Some(entry) = self.analyses.get(&TypeId::of::<T>()) {
+            self.stats.analysis_hits += 1;
+            return Rc::clone(entry).downcast::<T>().expect("typed slot");
+        }
+        self.stats.analysis_misses += 1;
+        let view = self.cfg(prog);
+        let value: Rc<T> = Rc::new(build(prog, &view));
+        self.analyses
+            .insert(TypeId::of::<T>(), Rc::clone(&value) as Rc<dyn Any>);
+        value
+    }
+
+    /// Re-validates entries for the program's *current* revision after a
+    /// mutation, keeping what `level` says survived. Call this right
+    /// after mutating `prog` when the mutation provably preserved the
+    /// corresponding structures (e.g. statement-only edits preserve the
+    /// CFG). An overly optimistic level is a correctness bug — the cache
+    /// trusts it.
+    pub fn retain(&mut self, prog: &Program, level: Preserves) {
+        match level {
+            Preserves::Nothing => {
+                self.cfg = None;
+                self.doms = None;
+                self.analyses.clear();
+                self.revision = Some(prog.revision());
+            }
+            Preserves::Cfg => {
+                self.analyses.clear();
+                self.revision = Some(prog.revision());
+            }
+            Preserves::All => {
+                self.revision = Some(prog.revision());
+            }
+        }
+    }
+
+    /// Drops everything unconditionally.
+    pub fn invalidate(&mut self) {
+        self.revision = None;
+        self.cfg = None;
+        self.doms = None;
+        self.analyses.clear();
+    }
+}
+
+/// Runs `passes` in order repeatedly until a full round leaves the
+/// program's revision unchanged (i.e. no pass mutated anything), or
+/// until `max_rounds` is hit. Returns the merged outcome and the number
+/// of rounds executed (including the final no-change round).
+pub fn run_until_stable(
+    passes: &[&dyn Pass],
+    prog: &mut Program,
+    cache: &mut AnalysisCache,
+    max_rounds: usize,
+) -> (PassOutcome, usize) {
+    let mut total = PassOutcome::unchanged();
+    let mut rounds = 0;
+    while rounds < max_rounds {
+        rounds += 1;
+        let before = prog.revision();
+        for pass in passes {
+            let outcome = pass.run(prog, cache);
+            total.merge(&outcome);
+        }
+        if prog.revision() == before {
+            break;
+        }
+    }
+    (total, rounds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdce_ir::parser::parse;
+
+    fn prog() -> Program {
+        parse(
+            "prog {
+               block s { x := 1; nondet a b }
+               block a { out(x); goto e }
+               block b { goto e }
+               block e { halt }
+             }",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn cfg_is_cached_until_mutation() {
+        let mut p = prog();
+        let mut cache = AnalysisCache::new();
+        let a = cache.cfg(&p);
+        let b = cache.cfg(&p);
+        assert!(Rc::ptr_eq(&a, &b));
+        assert_eq!(cache.stats().cfg_hits, 1);
+        assert_eq!(cache.stats().cfg_misses, 1);
+        p.block_mut(p.entry()).stmts.clear();
+        let c = cache.cfg(&p);
+        assert!(!Rc::ptr_eq(&a, &c));
+        assert_eq!(cache.stats().cfg_misses, 2);
+    }
+
+    #[test]
+    fn retain_cfg_survives_statement_edit() {
+        let mut p = prog();
+        let mut cache = AnalysisCache::new();
+        let a = cache.cfg(&p);
+        p.block_mut(p.entry()).stmts.clear(); // statements only
+        cache.retain(&p, Preserves::Cfg);
+        let b = cache.cfg(&p);
+        assert!(Rc::ptr_eq(&a, &b));
+        assert_eq!(cache.stats().cfg_hits, 1);
+    }
+
+    #[test]
+    fn typed_analyses_are_keyed_by_type() {
+        #[derive(Debug, PartialEq)]
+        struct CountA(usize);
+        #[derive(Debug, PartialEq)]
+        struct CountB(usize);
+        let p = prog();
+        let mut cache = AnalysisCache::new();
+        let a = cache.analysis::<CountA, _>(&p, |p, _| CountA(p.num_stmts()));
+        let b = cache.analysis::<CountB, _>(&p, |p, _| CountB(p.num_blocks()));
+        assert_eq!(a.0, 2);
+        assert_eq!(b.0, 4);
+        let a2 = cache.analysis::<CountA, _>(&p, |_, _| panic!("must hit"));
+        assert!(Rc::ptr_eq(&a, &a2));
+        assert_eq!(cache.stats().analysis_hits, 1);
+        assert_eq!(cache.stats().analysis_misses, 2);
+    }
+
+    #[test]
+    fn retain_cfg_drops_typed_analyses() {
+        #[derive(Debug)]
+        struct Marker;
+        let mut p = prog();
+        let mut cache = AnalysisCache::new();
+        cache.analysis::<Marker, _>(&p, |_, _| Marker);
+        p.block_mut(p.entry()).stmts.clear();
+        cache.retain(&p, Preserves::Cfg);
+        cache.analysis::<Marker, _>(&p, |_, _| Marker);
+        assert_eq!(cache.stats().analysis_misses, 2);
+    }
+
+    #[test]
+    fn dominators_cached() {
+        let p = prog();
+        let mut cache = AnalysisCache::new();
+        let a = cache.dominators(&p);
+        let b = cache.dominators(&p);
+        assert!(Rc::ptr_eq(&a, &b));
+        assert_eq!(cache.stats().dom_hits, 1);
+        assert_eq!(a[p.entry().index()], Some(p.entry()));
+    }
+
+    #[test]
+    fn run_until_stable_counts_rounds() {
+        struct PopOnce;
+        impl Pass for PopOnce {
+            fn name(&self) -> &'static str {
+                "pop-once"
+            }
+            fn run(&self, prog: &mut Program, cache: &mut AnalysisCache) -> PassOutcome {
+                let entry = prog.entry();
+                if prog.block(entry).stmts.is_empty() {
+                    return PassOutcome::unchanged();
+                }
+                prog.block_mut(entry).stmts.pop();
+                cache.retain(prog, Preserves::Cfg);
+                PassOutcome {
+                    changed: true,
+                    removed: 1,
+                    preserves: Preserves::Cfg,
+                    ..PassOutcome::default()
+                }
+            }
+        }
+        let mut p = prog();
+        let mut cache = AnalysisCache::new();
+        let (outcome, rounds) = run_until_stable(&[&PopOnce], &mut p, &mut cache, 100);
+        assert_eq!(outcome.removed, 1);
+        assert!(outcome.changed);
+        assert_eq!(rounds, 2, "one working round + one stable round");
+    }
+
+    #[test]
+    fn outcome_merge_takes_weakest_preservation() {
+        let mut a = PassOutcome::unchanged();
+        a.merge(&PassOutcome {
+            preserves: Preserves::Cfg,
+            ..PassOutcome::default()
+        });
+        assert_eq!(a.preserves, Preserves::Cfg);
+        a.merge(&PassOutcome::default());
+        assert_eq!(a.preserves, Preserves::Nothing);
+    }
+}

@@ -263,13 +263,7 @@ mod tests {
         let j = p.block_by_name("j").unwrap();
         assert!(!sol.at_entry(j).get(0));
         // Generated on both arms: survives.
-        let prob = problem_for(
-            &p,
-            Direction::Forward,
-            Meet::Intersection,
-            &["a", "b"],
-            &[],
-        );
+        let prob = problem_for(&p, Direction::Forward, Meet::Intersection, &["a", "b"], &[]);
         let sol = solve(&view, &prob);
         assert!(sol.at_entry(j).get(0));
     }

@@ -1,7 +1,8 @@
-//! Model-based property tests: `BitVec` against a `Vec<bool>` oracle.
+//! Model-based property tests: `BitVec` against a `Vec<bool>` oracle,
+//! driven by the workspace's deterministic seeded generator.
 
 use pdce_dfa::BitVec;
-use proptest::prelude::*;
+use pdce_rng::Rng;
 
 #[derive(Debug, Clone)]
 struct Model {
@@ -9,6 +10,12 @@ struct Model {
 }
 
 impl Model {
+    fn random(rng: &mut Rng, len: usize) -> Model {
+        Model {
+            bits: (0..len).map(|_| rng.gen_bool(0.5)).collect(),
+        }
+    }
+
     fn to_bitvec(&self) -> BitVec {
         let mut v = BitVec::zeros(self.bits.len());
         for (i, &b) in self.bits.iter().enumerate() {
@@ -18,56 +25,66 @@ impl Model {
     }
 }
 
-fn model(len: usize) -> impl Strategy<Value = Model> {
-    proptest::collection::vec(any::<bool>(), len).prop_map(|bits| Model { bits })
+/// Runs `check` on 128 random same-length model pairs (lengths 1..200,
+/// covering sub-word, word-boundary, and multi-word vectors).
+fn for_pairs(seed: u64, mut check: impl FnMut(&Model, &Model)) {
+    let mut rng = Rng::new(seed);
+    for _ in 0..128 {
+        let len = rng.gen_range(1, 200);
+        let a = Model::random(&mut rng, len);
+        let b = Model::random(&mut rng, len);
+        check(&a, &b);
+    }
 }
 
-fn pair() -> impl Strategy<Value = (Model, Model)> {
-    (1usize..200).prop_flat_map(|len| (model(len), model(len)))
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn union_matches_model((a, b) in pair()) {
+#[test]
+fn union_matches_model() {
+    for_pairs(0xb17_0001, |a, b| {
         let mut v = a.to_bitvec();
         v.union_with(&b.to_bitvec());
         for i in 0..a.bits.len() {
-            prop_assert_eq!(v.get(i), a.bits[i] || b.bits[i]);
+            assert_eq!(v.get(i), a.bits[i] || b.bits[i]);
         }
-    }
+    });
+}
 
-    #[test]
-    fn intersect_matches_model((a, b) in pair()) {
+#[test]
+fn intersect_matches_model() {
+    for_pairs(0xb17_0002, |a, b| {
         let mut v = a.to_bitvec();
         v.intersect_with(&b.to_bitvec());
         for i in 0..a.bits.len() {
-            prop_assert_eq!(v.get(i), a.bits[i] && b.bits[i]);
+            assert_eq!(v.get(i), a.bits[i] && b.bits[i]);
         }
-    }
+    });
+}
 
-    #[test]
-    fn difference_matches_model((a, b) in pair()) {
+#[test]
+fn difference_matches_model() {
+    for_pairs(0xb17_0003, |a, b| {
         let mut v = a.to_bitvec();
         v.difference_with(&b.to_bitvec());
         for i in 0..a.bits.len() {
-            prop_assert_eq!(v.get(i), a.bits[i] && !b.bits[i]);
+            assert_eq!(v.get(i), a.bits[i] && !b.bits[i]);
         }
-    }
+    });
+}
 
-    #[test]
-    fn negate_matches_model(a in (1usize..200).prop_flat_map(model)) {
+#[test]
+fn negate_matches_model() {
+    for_pairs(0xb17_0004, |a, _| {
         let mut v = a.to_bitvec();
         v.negate();
         for i in 0..a.bits.len() {
-            prop_assert_eq!(v.get(i), !a.bits[i]);
+            assert_eq!(v.get(i), !a.bits[i]);
         }
-        prop_assert_eq!(v.count_ones(), a.bits.iter().filter(|b| !**b).count());
-    }
+        assert_eq!(v.count_ones(), a.bits.iter().filter(|b| !**b).count());
+    });
+}
 
-    #[test]
-    fn iter_ones_matches_model(a in (1usize..200).prop_flat_map(model)) {
+#[test]
+fn iter_ones_matches_model() {
+    for_pairs(0xb17_0005, |a, _| {
         let v = a.to_bitvec();
         let expected: Vec<usize> = a
             .bits
@@ -75,30 +92,34 @@ proptest! {
             .enumerate()
             .filter_map(|(i, &b)| b.then_some(i))
             .collect();
-        prop_assert_eq!(v.iter_ones().collect::<Vec<_>>(), expected);
-        prop_assert_eq!(v.count_ones(), v.iter_ones().count());
-        prop_assert_eq!(v.none(), v.count_ones() == 0);
-    }
+        assert_eq!(v.iter_ones().collect::<Vec<_>>(), expected);
+        assert_eq!(v.count_ones(), v.iter_ones().count());
+        assert_eq!(v.none(), v.count_ones() == 0);
+    });
+}
 
-    #[test]
-    fn subset_matches_model((a, b) in pair()) {
+#[test]
+fn subset_matches_model() {
+    for_pairs(0xb17_0006, |a, b| {
         let va = a.to_bitvec();
         let vb = b.to_bitvec();
-        let model_subset = a
-            .bits
-            .iter()
-            .zip(&b.bits)
-            .all(|(x, y)| !x || *y);
-        prop_assert_eq!(va.is_subset_of(&vb), model_subset);
-    }
+        let model_subset = a.bits.iter().zip(&b.bits).all(|(x, y)| !x || *y);
+        assert_eq!(va.is_subset_of(&vb), model_subset);
+        // Containment of a ∩ b in both always holds (sanity on the model).
+        let mut inter = va.clone();
+        inter.intersect_with(&vb);
+        assert!(inter.is_subset_of(&va) && inter.is_subset_of(&vb));
+    });
+}
 
-    #[test]
-    fn changed_flags_are_accurate((a, b) in pair()) {
+#[test]
+fn changed_flags_are_accurate() {
+    for_pairs(0xb17_0007, |a, b| {
         let mut v = a.to_bitvec();
         let changed = v.union_with_changed(&b.to_bitvec());
-        prop_assert_eq!(changed, v != a.to_bitvec());
+        assert_eq!(changed, v != a.to_bitvec());
         let mut w = a.to_bitvec();
         let changed = w.intersect_with_changed(&b.to_bitvec());
-        prop_assert_eq!(changed, w != a.to_bitvec());
-    }
+        assert_eq!(changed, w != a.to_bitvec());
+    });
 }

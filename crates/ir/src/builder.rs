@@ -254,7 +254,10 @@ mod tests {
     fn builder_matches_parser() {
         let mut b = ProgramBuilder::new();
         b.block("s").goto("n1");
-        b.block("n1").assign("y", "a + b").unwrap().nondet(&["n2", "n3"]);
+        b.block("n1")
+            .assign("y", "a + b")
+            .unwrap()
+            .nondet(&["n2", "n3"]);
         b.block("n2").goto("n4");
         b.block("n3").assign("y", "4").unwrap().goto("n4");
         b.block("n4").out("y").unwrap().goto("e");

@@ -46,7 +46,10 @@ impl fmt::Display for IrError {
                 write!(f, "block `{name}` cannot reach the exit")
             }
             IrError::EmptyNondet(name) => {
-                write!(f, "block `{name}` has a `nondet` terminator with no targets")
+                write!(
+                    f,
+                    "block `{name}` has a `nondet` terminator with no targets"
+                )
             }
         }
     }
@@ -78,7 +81,11 @@ impl ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+        write!(
+            f,
+            "parse error at {}:{}: {}",
+            self.line, self.col, self.message
+        )
     }
 }
 

@@ -268,9 +268,12 @@ pub fn run(
                     let v = eval_term_counting(prog, env, rhs, &mut trace.executed_operations);
                     env.set(lhs, v);
                 }
-                Stmt::Out(t) => trace
-                    .outputs
-                    .push(eval_term_counting(prog, env, t, &mut trace.executed_operations)),
+                Stmt::Out(t) => trace.outputs.push(eval_term_counting(
+                    prog,
+                    env,
+                    t,
+                    &mut trace.executed_operations,
+                )),
             }
         }
         node = match &block.term {
@@ -334,20 +337,16 @@ mod tests {
 
     #[test]
     fn division_and_mod_by_zero_are_total() {
-        let p = parse(
-            "prog { block s { out(a / b); out(a % b); goto e } block e { halt } }",
-        )
-        .unwrap();
+        let p =
+            parse("prog { block s { out(a / b); out(a % b); goto e } block e { halt } }").unwrap();
         let t = run_with(&p, &[("a", 5), ("b", 0)], vec![], ExecLimits::default());
         assert_eq!(t.outputs, vec![0, 0]);
     }
 
     #[test]
     fn wrapping_semantics() {
-        let p = parse(
-            "prog { block s { out(a + 1); out(-a - 1); goto e } block e { halt } }",
-        )
-        .unwrap();
+        let p =
+            parse("prog { block s { out(a + 1); out(-a - 1); goto e } block e { halt } }").unwrap();
         let t = run_with(&p, &[("a", i64::MAX)], vec![], ExecLimits::default());
         assert_eq!(t.outputs, vec![i64::MIN, i64::MIN]);
     }
@@ -476,12 +475,7 @@ mod tests {
     #[test]
     fn with_values_ignores_unknown_names() {
         let p = parse("prog { block s { out(a); goto e } block e { halt } }").unwrap();
-        let t = run_with(
-            &p,
-            &[("a", 3), ("ghost", 9)],
-            vec![],
-            ExecLimits::default(),
-        );
+        let t = run_with(&p, &[("a", 3), ("ghost", 9)], vec![], ExecLimits::default());
         assert_eq!(t.outputs, vec![3]);
     }
 }

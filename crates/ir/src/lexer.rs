@@ -243,9 +243,7 @@ pub fn lex(input: &str) -> Result<Vec<Spanned>, ParseError> {
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 let text = &input[start..i];
@@ -322,7 +320,10 @@ mod tests {
 
     #[test]
     fn lexes_integers() {
-        assert_eq!(toks("42 0"), vec![Token::Int(42), Token::Int(0), Token::Eof]);
+        assert_eq!(
+            toks("42 0"),
+            vec![Token::Int(42), Token::Int(0), Token::Eof]
+        );
     }
 
     #[test]

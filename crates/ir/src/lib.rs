@@ -62,8 +62,8 @@ pub use builder::ProgramBuilder;
 pub use cfg::CfgView;
 pub use error::{IrError, ParseError};
 pub use pattern::PatternKey;
-pub use simplify::{simplify_cfg, SimplifyStats};
 pub use program::{Block, NodeId, Program, Terminator};
+pub use simplify::{simplify_cfg, SimplifyStats};
 pub use stmt::Stmt;
 pub use term::{BinOp, TermData, TermId, UnOp};
 pub use var::Var;

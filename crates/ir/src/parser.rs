@@ -89,7 +89,11 @@ pub fn parse_expr_into(
     *terms = std::mem::take(&mut parser.terms);
     let t = result?;
     if trailing {
-        return Err(ParseError::new(0, 0, format!("trailing input in expression `{src}`")));
+        return Err(ParseError::new(
+            0,
+            0,
+            format!("trailing input in expression `{src}`"),
+        ));
     }
     Ok(t)
 }
@@ -331,9 +335,9 @@ impl Parser {
                     stmts.push(Stmt::Assign { lhs, rhs });
                 }
                 other => {
-                    return Err(self.error(format!(
-                        "expected statement or terminator, found {other:?}"
-                    )));
+                    return Err(
+                        self.error(format!("expected statement or terminator, found {other:?}"))
+                    );
                 }
             }
         };
@@ -512,10 +516,7 @@ mod tests {
 
     #[test]
     fn precedence_mul_binds_tighter_than_add() {
-        let p = parse(
-            "prog { block s { x := a + b * c; goto e } block e { halt } }",
-        )
-        .unwrap();
+        let p = parse("prog { block s { x := a + b * c; goto e } block e { halt } }").unwrap();
         let s = p.entry();
         let Stmt::Assign { rhs, .. } = p.block(s).stmts[0] else {
             panic!("expected assignment");
@@ -538,19 +539,15 @@ mod tests {
 
     #[test]
     fn rejects_duplicate_blocks() {
-        let err = parse(
-            "prog { block s { goto e } block s { goto e } block e { halt } }",
-        )
-        .unwrap_err();
+        let err =
+            parse("prog { block s { goto e } block s { goto e } block e { halt } }").unwrap_err();
         assert!(err.message.contains("duplicate"));
     }
 
     #[test]
     fn rejects_multiple_halts() {
-        let err = parse(
-            "prog { block s { nondet a b } block a { halt } block b { halt } }",
-        )
-        .unwrap_err();
+        let err =
+            parse("prog { block s { nondet a b } block a { halt } block b { halt } }").unwrap_err();
         assert!(err.message.contains("multiple `halt`"));
     }
 
@@ -562,10 +559,7 @@ mod tests {
 
     #[test]
     fn rejects_statement_after_terminator() {
-        let err = parse(
-            "prog { block s { goto e; x := 1; } block e { halt } }",
-        )
-        .unwrap_err();
+        let err = parse("prog { block s { goto e; x := 1; } block e { halt } }").unwrap_err();
         assert!(err.message.contains("expected `}`"));
     }
 
@@ -577,10 +571,8 @@ mod tests {
     #[test]
     fn validation_runs_on_parse() {
         // `x` is unreachable from the entry.
-        let err = parse(
-            "prog { block s { goto e } block x { goto e } block e { halt } }",
-        )
-        .unwrap_err();
+        let err =
+            parse("prog { block s { goto e } block x { goto e } block e { halt } }").unwrap_err();
         assert!(err.message.contains("unreachable"), "{}", err.message);
         // But parse_unvalidated accepts it.
         assert!(parse_unvalidated(

@@ -71,7 +71,14 @@ pub fn enumerate_bounded_paths(
     let mut current = vec![prog.entry()];
     let mut visits = vec![0usize; prog.num_blocks()];
     visits[prog.entry().index()] = 1;
-    if !extend_bounded(prog, &mut current, &mut visits, visit_cap, &mut result, max_paths) {
+    if !extend_bounded(
+        prog,
+        &mut current,
+        &mut visits,
+        visit_cap,
+        &mut result,
+        max_paths,
+    ) {
         return None;
     }
     Some(result)
@@ -145,9 +152,8 @@ pub fn is_path_of(prog: &Program, path: &[NodeId]) -> bool {
     if path.first() != Some(&prog.entry()) {
         return false;
     }
-    path.windows(2).all(|w| {
-        w[0].index() < prog.num_blocks() && prog.successors(w[0]).contains(&w[1])
-    })
+    path.windows(2)
+        .all(|w| w[0].index() < prog.num_blocks() && prog.successors(w[0]).contains(&w[1]))
 }
 
 /// Translates a node-sequence path from one program to another via block

@@ -77,7 +77,8 @@ pub fn path_pattern_counts(prog: &Program, path: &[NodeId]) -> HashMap<PatternKe
 
 /// Whether count map `a` is pointwise ≤ `b` (missing entries count 0).
 pub fn counts_dominated(a: &HashMap<PatternKey, u64>, b: &HashMap<PatternKey, u64>) -> bool {
-    a.iter().all(|(k, &va)| va <= b.get(k).copied().unwrap_or(0))
+    a.iter()
+        .all(|(k, &va)| va <= b.get(k).copied().unwrap_or(0))
 }
 
 /// All distinct assignment patterns occurring in the program (`AP`),
@@ -150,10 +151,8 @@ mod tests {
     #[test]
     fn domination_is_pointwise() {
         let p1 = parse("prog { block s { y := a; goto e } block e { halt } }").unwrap();
-        let p2 = parse(
-            "prog { block s { y := a; y := a; x := b; goto e } block e { halt } }",
-        )
-        .unwrap();
+        let p2 =
+            parse("prog { block s { y := a; y := a; x := b; goto e } block e { halt } }").unwrap();
         let c1 = path_pattern_counts(&p1, &[p1.entry()]);
         let c2 = path_pattern_counts(&p2, &[p2.entry()]);
         assert!(counts_dominated(&c1, &c2));

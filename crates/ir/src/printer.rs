@@ -193,10 +193,9 @@ mod tests {
 
     #[test]
     fn minimal_parens() {
-        let p = parse(
-            "prog { block s { x := a + b * c; y := (a + b) * c; goto e } block e { halt } }",
-        )
-        .unwrap();
+        let p =
+            parse("prog { block s { x := a + b * c; y := (a + b) * c; goto e } block e { halt } }")
+                .unwrap();
         let s = p.entry();
         assert_eq!(print_stmt(&p, &p.block(s).stmts[0]), "x := a + b * c");
         assert_eq!(print_stmt(&p, &p.block(s).stmts[1]), "y := (a + b) * c");
@@ -206,10 +205,9 @@ mod tests {
     fn left_associativity_preserved() {
         // a - b - c parses as (a-b)-c; printing must not drop the
         // distinction with a - (b - c).
-        let p = parse(
-            "prog { block s { x := a - b - c; y := a - (b - c); goto e } block e { halt } }",
-        )
-        .unwrap();
+        let p =
+            parse("prog { block s { x := a - b - c; y := a - (b - c); goto e } block e { halt } }")
+                .unwrap();
         let s = p.entry();
         assert_eq!(print_stmt(&p, &p.block(s).stmts[0]), "x := a - b - c");
         assert_eq!(print_stmt(&p, &p.block(s).stmts[1]), "y := a - (b - c)");

@@ -156,6 +156,11 @@ pub struct Program {
     blocks: Vec<Block>,
     entry: NodeId,
     exit: NodeId,
+    /// Monotonic mutation counter. Every operation that may change the
+    /// program (mutable block access, adding blocks or edges, interning
+    /// variables or terms, graph replacement) bumps it, so analysis
+    /// caches can detect staleness in O(1) without hashing the program.
+    revision: u64,
 }
 
 impl Program {
@@ -175,6 +180,7 @@ impl Program {
             ],
             entry,
             exit,
+            revision: 0,
         }
     }
 
@@ -192,7 +198,29 @@ impl Program {
             blocks,
             entry,
             exit,
+            revision: 0,
         }
+    }
+
+    /// The current mutation revision. Two reads returning the same value
+    /// with no interleaved `&mut self` call guarantee the program is
+    /// unchanged between them; analysis caches key their entries on it.
+    ///
+    /// The value is a composite of a mutation counter and the arena
+    /// sizes: interning a term or variable that already exists leaves
+    /// the revision alone (the arenas are append-only, so a dedup hit
+    /// changes nothing an analysis could observe), while a genuinely new
+    /// term or variable moves it (cached solutions are sized by the
+    /// variable universe and must not survive its growth).
+    pub fn revision(&self) -> u64 {
+        self.revision + self.terms.len() as u64 + self.vars.len() as u64
+    }
+
+    /// Bumps the revision without any structural change. Used by
+    /// transformations that mutate through interior block access and
+    /// want to be explicit, and by tests.
+    pub fn touch(&mut self) {
+        self.revision += 1;
     }
 
     /// The entry node `s`.
@@ -239,8 +267,10 @@ impl Program {
         &self.blocks[n.index()]
     }
 
-    /// Mutable access to a block.
+    /// Mutable access to a block. Conservatively counts as a mutation
+    /// for revision tracking, even if the caller changes nothing.
     pub fn block_mut(&mut self, n: NodeId) -> &mut Block {
+        self.revision += 1;
         &mut self.blocks[n.index()]
     }
 
@@ -270,7 +300,8 @@ impl Program {
         &self.vars
     }
 
-    /// Mutable access to the variable pool.
+    /// Mutable access to the variable pool. The pool is append-only, so
+    /// revision tracking observes its length instead of this borrow.
     pub fn vars_mut(&mut self) -> &mut VarPool {
         &mut self.vars
     }
@@ -280,7 +311,8 @@ impl Program {
         &self.terms
     }
 
-    /// Mutable access to the term arena.
+    /// Mutable access to the term arena. The arena is append-only, so
+    /// revision tracking observes its length instead of this borrow.
     pub fn terms_mut(&mut self) -> &mut TermArena {
         &mut self.terms
     }
@@ -305,6 +337,7 @@ impl Program {
             return Err(IrError::DuplicateBlock(block.name));
         }
         let id = NodeId(u32::try_from(self.blocks.len()).expect("too many blocks"));
+        self.revision += 1;
         self.blocks.push(block);
         Ok(id)
     }
@@ -331,6 +364,7 @@ impl Program {
         let mut block = Block::new(name, Terminator::Goto(to));
         block.split_of = Some((from, to));
         let id = NodeId(u32::try_from(self.blocks.len()).expect("too many blocks"));
+        self.revision += 1;
         self.blocks.push(block);
         self.block_mut(from).term.retarget(to, id);
         id
@@ -346,6 +380,7 @@ impl Program {
     /// kept — term ids inside `blocks` stay valid.
     pub(crate) fn replace_graph(&mut self, blocks: Vec<Block>, entry: NodeId, exit: NodeId) {
         assert!(entry.index() < blocks.len() && exit.index() < blocks.len());
+        self.revision += 1;
         self.blocks = blocks;
         self.entry = entry;
         self.exit = exit;

@@ -112,10 +112,7 @@ mod tests {
 
     #[test]
     fn rejects_entry_with_predecessors() {
-        let p = parse_unvalidated(
-            "prog { block s { nondet s e } block e { halt } }",
-        )
-        .unwrap();
+        let p = parse_unvalidated("prog { block s { nondet s e } block e { halt } }").unwrap();
         assert_eq!(validate(&p), Err(IrError::EntryHasPredecessors));
     }
 

@@ -1,9 +1,10 @@
 //! Property tests: random term trees survive print → parse unchanged,
-//! and the parser/lexer never panic on arbitrary input.
+//! and the parser/lexer never panic on arbitrary input. Driven by the
+//! workspace's deterministic seeded generator (`pdce-rng`).
 
 use pdce_ir::printer::print_stmt;
 use pdce_ir::{parser, Program, Stmt, TermData};
-use proptest::prelude::*;
+use pdce_rng::Rng;
 
 /// A recipe for building a random term in a fresh program.
 #[derive(Debug, Clone)]
@@ -14,41 +15,26 @@ enum TermRecipe {
     Binary(pdce_ir::BinOp, Box<TermRecipe>, Box<TermRecipe>),
 }
 
-fn recipe() -> impl Strategy<Value = TermRecipe> {
-    let leaf = prop_oneof![
-        (-50i64..50).prop_map(TermRecipe::Const),
-        (0u8..5).prop_map(TermRecipe::Var),
-    ];
-    leaf.prop_recursive(5, 64, 2, |inner| {
-        prop_oneof![
-            (unop(), inner.clone()).prop_map(|(op, a)| TermRecipe::Unary(op, Box::new(a))),
-            (binop(), inner.clone(), inner)
-                .prop_map(|(op, a, b)| TermRecipe::Binary(op, Box::new(a), Box::new(b))),
-        ]
-    })
-}
-
-fn unop() -> impl Strategy<Value = pdce_ir::UnOp> {
-    prop_oneof![Just(pdce_ir::UnOp::Neg), Just(pdce_ir::UnOp::Not)]
-}
-
-fn binop() -> impl Strategy<Value = pdce_ir::BinOp> {
-    use pdce_ir::BinOp::*;
-    prop_oneof![
-        Just(Add),
-        Just(Sub),
-        Just(Mul),
-        Just(Div),
-        Just(Mod),
-        Just(Lt),
-        Just(Le),
-        Just(Gt),
-        Just(Ge),
-        Just(Eq),
-        Just(Ne),
-        Just(And),
-        Just(Or),
-    ]
+fn gen_recipe(rng: &mut Rng, depth: usize) -> TermRecipe {
+    let leaf = depth == 0 || rng.gen_bool(0.3);
+    if leaf {
+        if rng.gen_bool(0.5) {
+            TermRecipe::Const(rng.gen_range_i64(-50, 50))
+        } else {
+            TermRecipe::Var(rng.gen_range(0, 5) as u8)
+        }
+    } else if rng.gen_bool(0.25) {
+        let op = *rng.choose(&[pdce_ir::UnOp::Neg, pdce_ir::UnOp::Not]);
+        TermRecipe::Unary(op, Box::new(gen_recipe(rng, depth - 1)))
+    } else {
+        use pdce_ir::BinOp::*;
+        let op = *rng.choose(&[Add, Sub, Mul, Div, Mod, Lt, Le, Gt, Ge, Eq, Ne, And, Or]);
+        TermRecipe::Binary(
+            op,
+            Box::new(gen_recipe(rng, depth - 1)),
+            Box::new(gen_recipe(rng, depth - 1)),
+        )
+    }
 }
 
 fn build(prog: &mut Program, r: &TermRecipe) -> pdce_ir::TermId {
@@ -84,41 +70,80 @@ fn terms_equal(pa: &Program, ta: pdce_ir::TermId, pb: &Program, tb: pdce_ir::Ter
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// The printer's minimal parenthesization must reparse to the same
-    /// tree (precedence and associativity handled exactly).
-    #[test]
-    fn printed_terms_reparse_identically(r in recipe()) {
+/// The printer's minimal parenthesization must reparse to the same tree
+/// (precedence and associativity handled exactly).
+#[test]
+fn printed_terms_reparse_identically() {
+    let mut rng = Rng::new(0x7e52_0001);
+    for _ in 0..256 {
+        let r = gen_recipe(&mut rng, 5);
         let mut prog = Program::new();
         let t = build(&mut prog, &r);
         let x = prog.var("roundtrip_lhs");
         let stmt = Stmt::Assign { lhs: x, rhs: t };
         let printed = print_stmt(&prog, &stmt);
 
-        let src = format!(
-            "prog {{ block s {{ {printed}; goto e }} block e {{ halt }} }}"
-        );
+        let src = format!("prog {{ block s {{ {printed}; goto e }} block e {{ halt }} }}");
         let reparsed = parser::parse(&src).unwrap();
         let Stmt::Assign { rhs, .. } = reparsed.block(reparsed.entry()).stmts[0] else {
             panic!("expected assignment");
         };
-        prop_assert!(
+        assert!(
             terms_equal(&prog, t, &reparsed, rhs),
             "printed `{printed}` reparsed differently"
         );
     }
+}
 
-    /// Parsing arbitrary garbage never panics.
-    #[test]
-    fn parser_never_panics(input in "\\PC{0,120}") {
+/// Random printable garbage, with a bias towards the language's own
+/// tokens so the parser gets past the lexer often enough to matter.
+fn garbage(rng: &mut Rng, max_len: usize) -> String {
+    const TOKENS: &[&str] = &[
+        "prog", "block", "goto", "halt", "out", "nondet", "if", "then", "else", "skip", ":=", "{",
+        "}", "(", ")", ";", "+", "-", "*", "/", "%", "<", "<=", ">", ">=", "==", "!=", "&&", "||",
+        "!", "x", "y", "v0", "s", "e", "12", "-3",
+    ];
+    let len = rng.gen_range(0, max_len + 1);
+    let mut out = String::new();
+    for _ in 0..len {
+        if rng.gen_bool(0.5) {
+            let tok = *rng.choose(TOKENS);
+            out.push_str(tok);
+        } else {
+            // Arbitrary printable ASCII (and occasional multi-byte).
+            let c = if rng.gen_bool(0.9) {
+                char::from(rng.gen_range(0x20, 0x7f) as u8)
+            } else {
+                *rng.choose(&['λ', 'ß', '∀', '🦀'])
+            };
+            out.push(c);
+        }
+        if rng.gen_bool(0.3) {
+            out.push(' ');
+        }
+    }
+    out
+}
+
+/// Parsing arbitrary garbage never panics.
+#[test]
+fn parser_never_panics() {
+    let mut rng = Rng::new(0x7e52_0002);
+    for _ in 0..512 {
+        let input = garbage(&mut rng, 60);
         let _ = parser::parse(&input);
     }
+}
 
-    /// Lexing arbitrary ASCII never panics.
-    #[test]
-    fn lexer_never_panics(input in "[ -~]{0,200}") {
+/// Lexing arbitrary ASCII never panics.
+#[test]
+fn lexer_never_panics() {
+    let mut rng = Rng::new(0x7e52_0003);
+    for _ in 0..512 {
+        let len = rng.gen_range(0, 201);
+        let input: String = (0..len)
+            .map(|_| char::from(rng.gen_range(0x20, 0x7f) as u8))
+            .collect();
         let _ = pdce_ir::lexer::lex(&input);
     }
 }

@@ -219,7 +219,9 @@ mod tests {
         .unwrap();
         let t = ExprTable::build(&p);
         let l = ExprLocal::compute(&p, &t);
-        let cidx = t.index_of(p.block(p.entry()).term.used_term().unwrap()).unwrap();
+        let cidx = t
+            .index_of(p.block(p.entry()).term.used_term().unwrap())
+            .unwrap();
         let s = p.entry().index();
         assert!(l.antloc[s].get(cidx));
         assert!(l.comp[s].get(cidx));

@@ -1,0 +1,68 @@
+//! [`Pass`] adapter for lazy code motion, so PRE composes in the
+//! workspace-wide pass pipeline alongside `pde`/`pfe` and the baselines.
+
+use pdce_dfa::{AnalysisCache, Pass, PassOutcome, Preserves};
+use pdce_ir::edgesplit::{has_critical_edges, split_critical_edges};
+use pdce_ir::Program;
+
+use crate::transform::lazy_code_motion;
+
+/// Lazy code motion (Knoop/Rüthing/Steffen '92, Drechsler–Stadel block
+/// form). Splits critical edges first when necessary — the only
+/// CFG-shape change; the motion itself only edits statement lists and
+/// rewrites terms in place.
+pub struct LcmPass;
+
+impl Pass for LcmPass {
+    fn name(&self) -> &'static str {
+        "lcm"
+    }
+
+    fn run(&self, prog: &mut Program, cache: &mut AnalysisCache) -> PassOutcome {
+        let mut out = PassOutcome::unchanged();
+        if has_critical_edges(prog) {
+            split_critical_edges(prog);
+            out.merge(&PassOutcome {
+                changed: true,
+                preserves: Preserves::Nothing,
+                ..PassOutcome::default()
+            });
+        }
+        let before = prog.revision();
+        let stats = lazy_code_motion(prog).expect("critical edges were just split");
+        if prog.revision() != before {
+            cache.retain(prog, Preserves::Cfg);
+            out.merge(&PassOutcome {
+                changed: true,
+                inserted: stats.insertions,
+                removed: stats.deletions,
+                rewritten: stats.canonicalized,
+                preserves: Preserves::Cfg,
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdce_ir::parser::parse;
+
+    #[test]
+    fn lcm_pass_moves_the_redundant_computation() {
+        let mut p = parse(
+            "prog {
+               block s { x := a + b; goto m }
+               block m { y := a + b; out(x + y); goto e }
+               block e { halt }
+             }",
+        )
+        .unwrap();
+        let out = LcmPass.run(&mut p, &mut AnalysisCache::new());
+        assert!(out.changed);
+        assert!(out.removed >= 1, "the re-computation reads the temporary");
+        let again = LcmPass.run(&mut p, &mut AnalysisCache::new());
+        assert!(!again.changed, "lcm is idempotent here");
+    }
+}

@@ -53,7 +53,10 @@ pub struct LcmCriticalEdgeError;
 
 impl fmt::Display for LcmCriticalEdgeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "lazy code motion requires critical edges to be split first")
+        write!(
+            f,
+            "lazy code motion requires critical edges to be split first"
+        )
     }
 }
 
@@ -276,7 +279,7 @@ fn rewrite_block(
     // directly instead of recomputing.
     let mut delete_pending = delete.clone();
 
-    let old = std::mem::take(&mut prog.block_mut(n).stmts);
+    let old = prog.block(n).stmts.clone();
     let mut new_stmts: Vec<Stmt> = Vec::with_capacity(old.len() + entry_ins.len() + 2);
     let make_init = |i: usize| -> Stmt {
         Stmt::Assign {
@@ -344,7 +347,11 @@ fn rewrite_block(
     for &i in exit_ins {
         new_stmts.push(make_init(i));
     }
-    prog.block_mut(n).stmts = new_stmts;
+    // Write back only when the list actually differs, so a stable
+    // program keeps its revision (and analysis caches) intact.
+    if new_stmts != prog.block(n).stmts {
+        prog.block_mut(n).stmts = new_stmts;
+    }
 }
 
 fn genkill(gen: &[BitVec], transp: &[BitVec]) -> Vec<GenKill> {
@@ -531,7 +538,12 @@ mod tests {
         lazy_code_motion(&mut opt).unwrap();
         // Loop three times then exit.
         let d = vec![0, 0, 0, 1];
-        let t0 = run_with(&orig, &[("a", 1), ("b", 2)], d.clone(), ExecLimits::default());
+        let t0 = run_with(
+            &orig,
+            &[("a", 1), ("b", 2)],
+            d.clone(),
+            ExecLimits::default(),
+        );
         let t1 = run_with(&opt, &[("a", 1), ("b", 2)], d, ExecLimits::default());
         assert_eq!(t0.outputs, t1.outputs);
         assert!(

@@ -1,0 +1,540 @@
+//! The unified pass pipeline for the PDCE workspace.
+//!
+//! Every transform in the workspace implements [`Pass`] (defined in
+//! `pdce-dfa` next to the [`AnalysisCache`] it shares); this crate adds
+//! the composition layer:
+//!
+//! * a **registry** of all passes by stable name ([`create_pass`],
+//!   [`registered_passes`]),
+//! * a **textual spec language** — `"sccp,lvn,copyprop,lcm,pfe"` runs
+//!   passes in order, `repeat(fce,sink)` iterates a group until a full
+//!   round leaves the program unchanged (the paper's *exhaustive*
+//!   application from Section 5.1),
+//! * a [`Pipeline`] builder with per-pass instrumentation: statements
+//!   removed/inserted/rewritten, wall time, and analysis-cache hit/miss
+//!   deltas per pass ([`PassMetrics`]).
+//!
+//! # Example
+//!
+//! ```
+//! use pdce_pass::Pipeline;
+//! use pdce_ir::parser::parse;
+//!
+//! let mut prog = parse(
+//!     "prog {
+//!        block s  { goto n1 }
+//!        block n1 { y := a + b; nondet n2 n3 }
+//!        block n2 { out(y); goto n4 }
+//!        block n3 { y := 4; goto n4 }
+//!        block n4 { out(y); goto e }
+//!        block e  { halt }
+//!      }",
+//! )?;
+//! let pipeline = Pipeline::parse("repeat(dce,sink)")?;
+//! let report = pipeline.run(&mut prog);
+//! assert!(report.outcome.changed);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use std::error::Error;
+use std::fmt;
+use std::time::Instant;
+
+use pdce_ir::Program;
+
+pub use pdce_dfa::{run_until_stable, AnalysisCache, CacheStats, Pass, PassOutcome, Preserves};
+
+/// Splits every critical edge (Section 2.1). The motion passes split on
+/// demand, but an explicit pass lets a pipeline pay the CFG
+/// invalidation once, up front.
+pub struct SplitEdgesPass;
+
+impl Pass for SplitEdgesPass {
+    fn name(&self) -> &'static str {
+        "split-edges"
+    }
+
+    fn run(&self, prog: &mut Program, _cache: &mut AnalysisCache) -> PassOutcome {
+        if pdce_ir::edgesplit::split_critical_edges(prog).is_empty() {
+            PassOutcome::unchanged()
+        } else {
+            PassOutcome {
+                changed: true,
+                preserves: Preserves::Nothing,
+                ..PassOutcome::default()
+            }
+        }
+    }
+}
+
+/// Control-flow cleanup: bypasses empty forwarders, merges straight-line
+/// chains, drops unreachable blocks.
+pub struct SimplifyPass;
+
+impl Pass for SimplifyPass {
+    fn name(&self) -> &'static str {
+        "simplify"
+    }
+
+    fn run(&self, prog: &mut Program, _cache: &mut AnalysisCache) -> PassOutcome {
+        let before = prog.revision();
+        pdce_ir::simplify_cfg(prog);
+        if prog.revision() == before {
+            PassOutcome::unchanged()
+        } else {
+            PassOutcome {
+                changed: true,
+                preserves: Preserves::Nothing,
+                ..PassOutcome::default()
+            }
+        }
+    }
+}
+
+/// Every registered pass name, in registry order. `sink` also answers
+/// to the paper's name `ask` (assignment sinking).
+pub fn registered_passes() -> &'static [&'static str] {
+    &[
+        "dce",
+        "fce",
+        "sink",
+        "pde",
+        "pfe",
+        "liveness-dce",
+        "duchain-dce",
+        "copyprop",
+        "lvn",
+        "hoist",
+        "naive-sink",
+        "lcm",
+        "sccp",
+        "ssa-dce",
+        "split-edges",
+        "simplify",
+    ]
+}
+
+/// Instantiates a registered pass by name (`None` for unknown names).
+pub fn create_pass(name: &str) -> Option<Box<dyn Pass>> {
+    Some(match name {
+        "dce" => Box::new(pdce_core::DcePass),
+        "fce" => Box::new(pdce_core::FcePass),
+        "sink" | "ask" => Box::new(pdce_core::SinkPass),
+        "pde" => Box::new(pdce_core::PdePass),
+        "pfe" => Box::new(pdce_core::PfePass),
+        "liveness-dce" => Box::new(pdce_baselines::LivenessDcePass),
+        "duchain-dce" => Box::new(pdce_baselines::DuchainDcePass),
+        "copyprop" => Box::new(pdce_baselines::CopyPropPass),
+        "lvn" => Box::new(pdce_baselines::LvnPass),
+        "hoist" => Box::new(pdce_baselines::HoistPass),
+        "naive-sink" => Box::new(pdce_baselines::NaiveSinkPass),
+        "lcm" => Box::new(pdce_lcm::LcmPass),
+        "sccp" => Box::new(pdce_ssa::SccpPass),
+        "ssa-dce" => Box::new(pdce_ssa::SsaDcePass),
+        "split-edges" => Box::new(SplitEdgesPass),
+        "simplify" => Box::new(SimplifyPass),
+        _ => return None,
+    })
+}
+
+/// A malformed pipeline spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// A pass name that is not in the registry.
+    UnknownPass(String),
+    /// Unbalanced or misplaced parentheses, empty names or groups.
+    Syntax(String),
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::UnknownPass(name) => {
+                write!(f, "unknown pass `{name}` (see registered_passes())")
+            }
+            SpecError::Syntax(msg) => write!(f, "malformed pipeline spec: {msg}"),
+        }
+    }
+}
+
+impl Error for SpecError {}
+
+enum Step {
+    Single(Box<dyn Pass>),
+    /// Runs the inner steps repeatedly until a full round leaves the
+    /// program's revision unchanged, with the driver's `4 + i·b`
+    /// estimate (Section 6.3) as a defensive round cap.
+    RepeatUntilStable(Vec<Step>),
+}
+
+/// Per-pass accumulated instrumentation (one entry per distinct pass
+/// name, in first-execution order).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PassMetrics {
+    /// The pass name.
+    pub name: String,
+    /// Executions (a pass inside `repeat(...)` runs many times).
+    pub runs: u64,
+    /// Executions that changed the program.
+    pub changed_runs: u64,
+    /// Statements removed, summed over runs.
+    pub removed: u64,
+    /// Statements inserted, summed over runs.
+    pub inserted: u64,
+    /// Statements or terms rewritten in place, summed over runs.
+    pub rewritten: u64,
+    /// Wall-clock time spent inside the pass, in nanoseconds.
+    pub wall_ns: u128,
+    /// Analysis-cache hits/misses attributable to this pass's runs.
+    pub cache: CacheStats,
+}
+
+/// The result of one [`Pipeline::run`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PipelineReport {
+    /// Merged outcome over every executed pass.
+    pub outcome: PassOutcome,
+    /// Per-pass metrics, in first-execution order.
+    pub passes: Vec<PassMetrics>,
+    /// Total analysis-cache counters for the whole run.
+    pub cache: CacheStats,
+}
+
+impl PipelineReport {
+    /// The metrics of pass `name`, if it ran.
+    pub fn pass(&self, name: &str) -> Option<&PassMetrics> {
+        self.passes.iter().find(|m| m.name == name)
+    }
+
+    /// A compact human-readable table of the per-pass metrics.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "pass            runs  chg  -stmts  +stmts  rewr    hits  miss      time\n",
+        );
+        for m in &self.passes {
+            out.push_str(&format!(
+                "{:<15} {:>4} {:>4} {:>7} {:>7} {:>5} {:>7} {:>5} {:>9.2?}\n",
+                m.name,
+                m.runs,
+                m.changed_runs,
+                m.removed,
+                m.inserted,
+                m.rewritten,
+                m.cache.hits(),
+                m.cache.misses(),
+                std::time::Duration::from_nanos(m.wall_ns as u64),
+            ));
+        }
+        out
+    }
+}
+
+/// An ordered composition of passes with optional repeat-until-stable
+/// groups, sharing one [`AnalysisCache`] across every pass execution.
+pub struct Pipeline {
+    steps: Vec<Step>,
+}
+
+impl Pipeline {
+    /// Starts an empty builder.
+    pub fn builder() -> PipelineBuilder {
+        PipelineBuilder { steps: Vec::new() }
+    }
+
+    /// Parses a textual spec: comma-separated registered pass names,
+    /// with `repeat(...)` groups iterated until stable. Whitespace is
+    /// insignificant. Example: `"sccp,lvn,repeat(fce,sink),simplify"`.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError::UnknownPass`] for names outside the registry,
+    /// [`SpecError::Syntax`] for malformed nesting.
+    pub fn parse(spec: &str) -> Result<Pipeline, SpecError> {
+        let mut rest = spec;
+        let steps = parse_steps(&mut rest, 0)?;
+        if steps.is_empty() {
+            return Err(SpecError::Syntax("empty pipeline".into()));
+        }
+        Ok(Pipeline { steps })
+    }
+
+    /// Runs the pipeline on `prog` with a fresh [`AnalysisCache`].
+    pub fn run(&self, prog: &mut Program) -> PipelineReport {
+        self.run_with_cache(prog, &mut AnalysisCache::new())
+    }
+
+    /// Runs the pipeline sharing the caller's [`AnalysisCache`] (for
+    /// chaining pipelines over one program without losing warm
+    /// analyses).
+    pub fn run_with_cache(&self, prog: &mut Program, cache: &mut AnalysisCache) -> PipelineReport {
+        let mut report = PipelineReport {
+            outcome: PassOutcome::unchanged(),
+            ..PipelineReport::default()
+        };
+        let baseline = cache.stats();
+        let cap = 4 + prog.num_stmts().max(1) * prog.num_blocks().max(1);
+        run_steps(&self.steps, prog, cache, cap, &mut report);
+        report.cache = cache.stats().since(&baseline);
+        report
+    }
+}
+
+fn run_steps(
+    steps: &[Step],
+    prog: &mut Program,
+    cache: &mut AnalysisCache,
+    cap: usize,
+    report: &mut PipelineReport,
+) {
+    for step in steps {
+        match step {
+            Step::Single(pass) => {
+                let cache_before = cache.stats();
+                let started = Instant::now();
+                let outcome = pass.run(prog, cache);
+                let elapsed = started.elapsed().as_nanos();
+                report.outcome.merge(&outcome);
+                let metrics = match report.passes.iter_mut().find(|m| m.name == pass.name()) {
+                    Some(m) => m,
+                    None => {
+                        report.passes.push(PassMetrics {
+                            name: pass.name().to_string(),
+                            ..PassMetrics::default()
+                        });
+                        report.passes.last_mut().expect("just pushed")
+                    }
+                };
+                metrics.runs += 1;
+                metrics.changed_runs += u64::from(outcome.changed);
+                metrics.removed += outcome.removed;
+                metrics.inserted += outcome.inserted;
+                metrics.rewritten += outcome.rewritten;
+                metrics.wall_ns += elapsed;
+                let delta = cache.stats().since(&cache_before);
+                metrics.cache.cfg_hits += delta.cfg_hits;
+                metrics.cache.cfg_misses += delta.cfg_misses;
+                metrics.cache.dom_hits += delta.dom_hits;
+                metrics.cache.dom_misses += delta.dom_misses;
+                metrics.cache.analysis_hits += delta.analysis_hits;
+                metrics.cache.analysis_misses += delta.analysis_misses;
+            }
+            Step::RepeatUntilStable(inner) => {
+                for _ in 0..cap {
+                    let before = prog.revision();
+                    run_steps(inner, prog, cache, cap, report);
+                    if prog.revision() == before {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Builder for programmatic pipeline construction (the spec string is
+/// the shorthand; the builder accepts arbitrary [`Pass`] values,
+/// including ones outside the registry).
+pub struct PipelineBuilder {
+    steps: Vec<Step>,
+}
+
+impl PipelineBuilder {
+    /// Appends a pass value.
+    pub fn pass(mut self, pass: Box<dyn Pass>) -> PipelineBuilder {
+        self.steps.push(Step::Single(pass));
+        self
+    }
+
+    /// Appends a registered pass by name.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError::UnknownPass`] if the name is not registered.
+    pub fn named(self, name: &str) -> Result<PipelineBuilder, SpecError> {
+        let pass = create_pass(name).ok_or_else(|| SpecError::UnknownPass(name.to_string()))?;
+        Ok(self.pass(pass))
+    }
+
+    /// Appends a repeat-until-stable group built by `build` (the
+    /// paper's *exhaustive* application of an elimination/sink pair).
+    pub fn repeat_until_stable(
+        mut self,
+        build: impl FnOnce(PipelineBuilder) -> PipelineBuilder,
+    ) -> PipelineBuilder {
+        let inner = build(Pipeline::builder());
+        self.steps.push(Step::RepeatUntilStable(inner.steps));
+        self
+    }
+
+    /// Finishes the pipeline.
+    pub fn build(self) -> Pipeline {
+        Pipeline { steps: self.steps }
+    }
+}
+
+/// Recursive-descent spec parser. `depth` tracks `repeat(` nesting so
+/// `)` placement can be validated.
+fn parse_steps(rest: &mut &str, depth: usize) -> Result<Vec<Step>, SpecError> {
+    let mut steps = Vec::new();
+    loop {
+        *rest = rest.trim_start();
+        if rest.is_empty() {
+            if depth > 0 {
+                return Err(SpecError::Syntax("unclosed `repeat(`".into()));
+            }
+            return Ok(steps);
+        }
+        if let Some(after) = rest.strip_prefix(')') {
+            if depth == 0 {
+                return Err(SpecError::Syntax("unmatched `)`".into()));
+            }
+            *rest = after;
+            return Ok(steps);
+        }
+        if let Some(after) = rest.strip_prefix(',') {
+            *rest = after;
+            continue;
+        }
+        let name_len = rest.find([',', '(', ')']).unwrap_or(rest.len());
+        let name = rest[..name_len].trim();
+        let after_name = &rest[name_len..];
+        if let Some(group) = after_name.strip_prefix('(') {
+            if name != "repeat" {
+                return Err(SpecError::Syntax(format!(
+                    "only `repeat(...)` groups are supported, got `{name}(`"
+                )));
+            }
+            *rest = group;
+            let inner = parse_steps(rest, depth + 1)?;
+            if inner.is_empty() {
+                return Err(SpecError::Syntax("empty `repeat()` group".into()));
+            }
+            steps.push(Step::RepeatUntilStable(inner));
+            continue;
+        }
+        if name.is_empty() {
+            return Err(SpecError::Syntax("empty pass name".into()));
+        }
+        let pass = create_pass(name).ok_or_else(|| SpecError::UnknownPass(name.to_string()))?;
+        steps.push(Step::Single(pass));
+        *rest = after_name;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdce_ir::parser::parse;
+
+    fn fig1() -> Program {
+        parse(
+            "prog {
+               block s  { goto n1 }
+               block n1 { y := a + b; nondet n2 n3 }
+               block n2 { out(y); goto n4 }
+               block n3 { y := 4; goto n4 }
+               block n4 { out(y); goto e }
+               block e  { halt }
+             }",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn every_registered_name_instantiates() {
+        for name in registered_passes() {
+            let pass = create_pass(name).unwrap_or_else(|| panic!("missing {name}"));
+            assert_eq!(&pass.name(), name);
+        }
+        assert!(create_pass("nope").is_none());
+    }
+
+    #[test]
+    fn spec_parser_accepts_nested_repeat() {
+        assert!(Pipeline::parse("sccp,lvn,copyprop,lcm,pfe").is_ok());
+        assert!(Pipeline::parse("repeat(fce, sink)").is_ok());
+        assert!(Pipeline::parse(" repeat( dce , repeat(sink) ) , simplify ").is_ok());
+    }
+
+    #[test]
+    fn spec_parser_rejects_malformed_input() {
+        assert!(matches!(
+            Pipeline::parse("dce,bogus"),
+            Err(SpecError::UnknownPass(n)) if n == "bogus"
+        ));
+        assert!(matches!(Pipeline::parse(""), Err(SpecError::Syntax(_))));
+        assert!(matches!(
+            Pipeline::parse("repeat(dce"),
+            Err(SpecError::Syntax(_))
+        ));
+        assert!(matches!(Pipeline::parse("dce)"), Err(SpecError::Syntax(_))));
+        assert!(matches!(
+            Pipeline::parse("loop(dce)"),
+            Err(SpecError::Syntax(_))
+        ));
+        assert!(matches!(
+            Pipeline::parse("repeat()"),
+            Err(SpecError::Syntax(_))
+        ));
+    }
+
+    #[test]
+    fn repeat_group_matches_the_driver() {
+        // repeat(dce,sink) is the paper's pde; both must reach Figure 2.
+        let mut via_pipeline = fig1();
+        let report = Pipeline::parse("repeat(dce,sink)")
+            .unwrap()
+            .run(&mut via_pipeline);
+        let mut via_driver = fig1();
+        pdce_core::driver::pde(&mut via_driver).unwrap();
+        assert_eq!(
+            pdce_ir::printer::canonical_string(&via_pipeline),
+            pdce_ir::printer::canonical_string(&via_driver),
+        );
+        assert!(report.outcome.changed);
+        let dce = report.pass("dce").unwrap();
+        assert!(dce.runs >= 2, "repeat ran the group to stability");
+    }
+
+    #[test]
+    fn pipeline_shares_the_cache_across_passes() {
+        let mut prog = fig1();
+        let report = Pipeline::parse("dce,fce,sink").unwrap().run(&mut prog);
+        // dce builds the CfgView; on Figure 1 neither dce nor fce remove
+        // anything, so fce and sink are served from the cache.
+        assert!(report.cache.cfg_hits >= 1, "cache: {:?}", report.cache);
+    }
+
+    #[test]
+    fn builder_composes_custom_passes() {
+        struct Nop;
+        impl Pass for Nop {
+            fn name(&self) -> &'static str {
+                "nop"
+            }
+            fn run(&self, _: &mut Program, _: &mut AnalysisCache) -> PassOutcome {
+                PassOutcome::unchanged()
+            }
+        }
+        let pipeline = Pipeline::builder()
+            .pass(Box::new(Nop))
+            .repeat_until_stable(|b| b.named("fce").unwrap().named("sink").unwrap())
+            .build();
+        let mut prog = fig1();
+        let report = pipeline.run(&mut prog);
+        assert_eq!(report.pass("nop").unwrap().runs, 1);
+        assert!(report.pass("fce").unwrap().runs >= 2);
+        assert_eq!(prog.num_assignments(), 2, "Figure 2 reached");
+    }
+
+    #[test]
+    fn metrics_track_runs_and_removals() {
+        let mut prog = fig1();
+        let report = Pipeline::parse("pfe").unwrap().run(&mut prog);
+        let m = report.pass("pfe").unwrap();
+        assert_eq!(m.runs, 1);
+        assert_eq!(m.changed_runs, 1);
+        assert!(m.removed >= 1);
+        assert!(!report.render().is_empty());
+    }
+}

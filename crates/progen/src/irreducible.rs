@@ -6,10 +6,8 @@
 //! nondeterministic edges, which creates multi-entry (irreducible)
 //! regions and critical edges.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use pdce_ir::{NodeId, Program, Terminator};
+use pdce_rng::Rng;
 
 use crate::structured::{structured, GenConfig};
 
@@ -20,7 +18,7 @@ pub fn tangled(config: &GenConfig, extra_edges: usize) -> Program {
         nondet: true,
         ..config.clone()
     });
-    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x7_a917);
+    let mut rng = Rng::new(config.seed ^ 0x7_a917);
     let candidates: Vec<NodeId> = prog
         .node_ids()
         .filter(|&n| n != prog.entry() && n != prog.exit())
@@ -29,8 +27,8 @@ pub fn tangled(config: &GenConfig, extra_edges: usize) -> Program {
         return prog;
     }
     for _ in 0..extra_edges {
-        let from = candidates[rng.gen_range(0..candidates.len())];
-        let to = candidates[rng.gen_range(0..candidates.len())];
+        let from = *rng.choose(&candidates);
+        let to = *rng.choose(&candidates);
         if from == to {
             continue;
         }

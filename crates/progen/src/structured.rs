@@ -7,10 +7,8 @@
 //! programs always terminate — a requirement for the interpreter-based
 //! semantics-preservation property tests.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use pdce_ir::{Block, NodeId, Program, Stmt, TermData, Terminator};
+use pdce_rng::Rng;
 
 /// Configuration of the structured generator.
 #[derive(Debug, Clone)]
@@ -54,7 +52,7 @@ impl Default for GenConfig {
 }
 
 struct Gen {
-    rng: StdRng,
+    rng: Rng,
     prog: Program,
     config: GenConfig,
     blocks_made: usize,
@@ -64,7 +62,7 @@ struct Gen {
 /// Generates a random structured program.
 pub fn structured(config: &GenConfig) -> Program {
     let mut g = Gen {
-        rng: StdRng::seed_from_u64(config.seed),
+        rng: Rng::new(config.seed),
         prog: Program::new(),
         config: config.clone(),
         blocks_made: 0,
@@ -110,7 +108,7 @@ impl Gen {
         if depth == 0 || !self.budget_left() {
             return self.basic(cont);
         }
-        let roll: f64 = self.rng.gen();
+        let roll: f64 = self.rng.gen_f64();
         if roll < 0.4 {
             // Sequence of two regions.
             let second = self.region(depth - 1, cont);
@@ -125,7 +123,7 @@ impl Gen {
     fn basic(&mut self, cont: NodeId) -> NodeId {
         let b = self.fresh_block(cont);
         let (lo, hi) = self.config.stmts_per_block;
-        let count = self.rng.gen_range(lo..=hi);
+        let count = self.rng.gen_range_inclusive(lo, hi);
         let stmts: Vec<Stmt> = (0..count).map(|_| self.stmt()).collect();
         self.prog.block_mut(b).stmts = stmts;
         b
@@ -163,13 +161,10 @@ impl Gen {
             // wrong for nested re-entry — instead the latch increments
             // and the exit resets).
             let ctr = self.prog.var(&format!("i{loop_id}"));
-            let bound = self.rng.gen_range(1..4);
+            let bound = self.rng.gen_range_i64(1, 4);
             let tc = self.prog.terms_mut().var(ctr);
             let tb = self.prog.terms_mut().constant(bound);
-            let cond = self
-                .prog
-                .terms_mut()
-                .binary(pdce_ir::BinOp::Lt, tc, tb);
+            let cond = self.prog.terms_mut().binary(pdce_ir::BinOp::Lt, tc, tb);
             self.prog.block_mut(header).term = Terminator::Cond {
                 cond,
                 then_to: body,
@@ -183,7 +178,10 @@ impl Gen {
             // place `i := 0` in a preheader.
             let zero = self.prog.terms_mut().constant(0);
             let pre = self.fresh_block(header);
-            self.prog.block_mut(pre).stmts = vec![Stmt::Assign { lhs: ctr, rhs: zero }];
+            self.prog.block_mut(pre).stmts = vec![Stmt::Assign {
+                lhs: ctr,
+                rhs: zero,
+            }];
             return pre;
         }
         header
@@ -202,7 +200,7 @@ impl Gen {
     }
 
     fn random_var(&mut self) -> pdce_ir::Var {
-        let i = self.rng.gen_range(0..self.config.num_vars);
+        let i = self.rng.gen_range(0, self.config.num_vars);
         self.prog
             .vars()
             .lookup(&format!("v{i}"))
@@ -215,7 +213,7 @@ impl Gen {
                 let v = self.random_var();
                 self.prog.terms_mut().var(v)
             } else {
-                let c = self.rng.gen_range(-4i64..10);
+                let c = self.rng.gen_range_i64(-4, 10);
                 self.prog.terms_mut().constant(c)
             }
         } else {
@@ -224,7 +222,7 @@ impl Gen {
                 pdce_ir::BinOp::Sub,
                 pdce_ir::BinOp::Mul,
             ];
-            let op = ops[self.rng.gen_range(0..ops.len())];
+            let op = *self.rng.choose(&ops);
             let a = self.expr(depth - 1);
             let b = self.expr(depth - 1);
             self.prog.terms_mut().intern(TermData::Binary(op, a, b))

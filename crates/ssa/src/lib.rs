@@ -20,9 +20,11 @@
 //!   web (Wegman & Zadeck, the paper's reference \[30\]).
 
 pub mod domfront;
+pub mod passes;
 pub mod sccp;
 pub mod web;
 
 pub use domfront::DomInfo;
+pub use passes::{SccpPass, SsaDcePass};
 pub use sccp::{sccp, SccpSolution, SccpStats, Value};
 pub use web::{ssa_dce, Consumer, DefSite, SsaWeb, UseRecord};

@@ -1,0 +1,97 @@
+//! [`Pass`] adapters for the SSA-based transformations, so SCCP and
+//! sparse DCE compose in the workspace-wide pass pipeline.
+
+use pdce_dfa::{AnalysisCache, Pass, PassOutcome, Preserves};
+use pdce_ir::Program;
+
+use crate::sccp::sccp;
+use crate::web::ssa_dce;
+
+/// Sparse conditional constant propagation. Folding a conditional branch
+/// rewrites a terminator (and can strand blocks), so the pass preserves
+/// the CFG shape only when no branch folded.
+pub struct SccpPass;
+
+impl Pass for SccpPass {
+    fn name(&self) -> &'static str {
+        "sccp"
+    }
+
+    fn run(&self, prog: &mut Program, cache: &mut AnalysisCache) -> PassOutcome {
+        let before = prog.revision();
+        let stats = sccp(prog);
+        if prog.revision() == before {
+            return PassOutcome::unchanged();
+        }
+        let preserves = if stats.folded_branches == 0 {
+            Preserves::Cfg
+        } else {
+            Preserves::Nothing
+        };
+        cache.retain(prog, preserves);
+        PassOutcome {
+            changed: true,
+            rewritten: stats.folded_terms,
+            preserves,
+            ..PassOutcome::default()
+        }
+    }
+}
+
+/// Sparse SSA-based dead code elimination (Cytron et al. marking over
+/// the def-use web); removal power coincides with faint code
+/// elimination.
+pub struct SsaDcePass;
+
+impl Pass for SsaDcePass {
+    fn name(&self) -> &'static str {
+        "ssa-dce"
+    }
+
+    fn run(&self, prog: &mut Program, cache: &mut AnalysisCache) -> PassOutcome {
+        let before = prog.revision();
+        let removed = ssa_dce(prog);
+        if prog.revision() == before {
+            return PassOutcome::unchanged();
+        }
+        cache.retain(prog, Preserves::Cfg);
+        PassOutcome {
+            changed: true,
+            removed,
+            preserves: Preserves::Cfg,
+            ..PassOutcome::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdce_ir::parser::parse;
+
+    #[test]
+    fn sccp_pass_folds_and_declares_nothing_on_branch_fold() {
+        let mut p = parse(
+            "prog {
+               block s { x := 1; if x < 2 then a else b }
+               block a { out(1); goto e }
+               block b { out(2); goto e }
+               block e { halt }
+             }",
+        )
+        .unwrap();
+        let out = SccpPass.run(&mut p, &mut AnalysisCache::new());
+        assert!(out.changed);
+        assert_eq!(out.preserves, Preserves::Nothing);
+    }
+
+    #[test]
+    fn ssa_dce_pass_removes_faint_chain() {
+        let mut p =
+            parse("prog { block s { a := 1; b := a + 1; out(9); goto e } block e { halt } }")
+                .unwrap();
+        let out = SsaDcePass.run(&mut p, &mut AnalysisCache::new());
+        assert_eq!(out.removed, 2);
+        assert_eq!(out.preserves, Preserves::Cfg);
+    }
+}

@@ -186,10 +186,7 @@ pub fn analyze(prog: &Program, _view: &CfgView, web: &SsaWeb) -> SccpSolution {
                 then_to,
                 else_to,
             } => {
-                let env = cond_env
-                    .get(&n.index())
-                    .map(Vec::as_slice)
-                    .unwrap_or(&[]);
+                let env = cond_env.get(&n.index()).map(Vec::as_slice).unwrap_or(&[]);
                 match eval_in(prog, values, *cond, env) {
                     Value::Const(c) => vec![if c != 0 { *then_to } else { *else_to }],
                     Value::Top => vec![], // not yet known; revisited later
@@ -305,9 +302,7 @@ pub fn sccp(prog: &mut Program) -> SccpStats {
             .values
             .iter()
             .zip(&web.defs)
-            .filter(|(v, d)| {
-                matches!(v, Value::Const(_)) && matches!(d, DefSite::Assign { .. })
-            })
+            .filter(|(v, d)| matches!(v, Value::Const(_)) && matches!(d, DefSite::Assign { .. }))
             .count(),
         unreachable_blocks: sol.executable.iter().filter(|e| !**e).count(),
         ..SccpStats::default()
@@ -388,8 +383,7 @@ pub fn sccp(prog: &mut Program) -> SccpStats {
             }
             if let TermData::Const(c) = prog.terms().data(c2) {
                 stats.folded_branches += 1;
-                prog.block_mut(n).term =
-                    Terminator::Goto(if c != 0 { then_to } else { else_to });
+                prog.block_mut(n).term = Terminator::Goto(if c != 0 { then_to } else { else_to });
             } else if folded > 0 {
                 if let Terminator::Cond { cond, .. } = &mut prog.block_mut(n).term {
                     *cond = c2;
@@ -402,11 +396,7 @@ pub fn sccp(prog: &mut Program) -> SccpStats {
 
 /// Substitutes constants for variables and folds constant subterms.
 /// Returns the rewritten term and the number of substitutions.
-fn substitute_consts(
-    prog: &mut Program,
-    t: TermId,
-    map: &HashMap<Var, i64>,
-) -> (TermId, u64) {
+fn substitute_consts(prog: &mut Program, t: TermId, map: &HashMap<Var, i64>) -> (TermId, u64) {
     match prog.terms().data(t) {
         TermData::Const(_) => (t, 0),
         TermData::Var(v) => match map.get(&v) {
@@ -443,9 +433,7 @@ fn fold1(prog: &mut Program, op: pdce_ir::UnOp, a: TermId) -> TermId {
 }
 
 fn fold2(prog: &mut Program, op: pdce_ir::BinOp, a: TermId, b: TermId) -> TermId {
-    if let (TermData::Const(_), TermData::Const(_)) =
-        (prog.terms().data(a), prog.terms().data(b))
-    {
+    if let (TermData::Const(_), TermData::Const(_)) = (prog.terms().data(a), prog.terms().data(b)) {
         let t = prog.terms_mut().binary(op, a, b);
         let v = eval_term(prog, &Env::zeroed(prog), t);
         return prog.terms_mut().constant(v);

@@ -388,9 +388,8 @@ mod tests {
 
     #[test]
     fn straight_line_has_no_phis() {
-        let (_p, w) = web_of(
-            "prog { block s { x := 1; y := x + 1; out(y); goto e } block e { halt } }",
-        );
+        let (_p, w) =
+            web_of("prog { block s { x := 1; y := x + 1; out(y); goto e } block e { halt } }");
         assert_eq!(w.num_phis, 0);
         // defs: 3 entry-implicit (x, y... plus any rhs vars) + 2 assigns.
         let assigns = w
@@ -497,9 +496,7 @@ mod tests {
 
     #[test]
     fn implicit_entry_defs_cover_uninitialized_uses() {
-        let (_p, w) = web_of(
-            "prog { block s { out(q); goto e } block e { halt } }",
-        );
+        let (_p, w) = web_of("prog { block s { out(q); goto e } block e { halt } }");
         // The relevant use resolves to the entry def of q.
         let entry_q = w
             .defs

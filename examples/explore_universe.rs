@@ -47,7 +47,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut optimized = start.clone();
     pde(&mut optimized)?;
-    println!("\npde result (worst path cost {}):", worst_path_cost(&optimized));
+    println!(
+        "\npde result (worst path cost {}):",
+        worst_path_cost(&optimized)
+    );
     println!("{}", canonical_string(&optimized));
 
     // Rank a few universe members by their worst path cost.

@@ -64,7 +64,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut optimized = original.clone();
     let stats = pde(&mut optimized)?;
-    println!("=== pde result (Figure 6) ===\n{}", print_program(&optimized));
+    println!(
+        "=== pde result (Figure 6) ===\n{}",
+        print_program(&optimized)
+    );
     println!(
         "rounds: {}, eliminated: {}, synthetic blocks: {}\n",
         stats.rounds, stats.eliminated_assignments, stats.synthetic_blocks
@@ -85,7 +88,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{}", print_program(&repaired));
 
     println!("dynamic executed assignments (k = loop iterations):");
-    println!("{:>4} {:>10} {:>10} {:>12} {:>14}", "k", "original", "pde", "naive-sink", "naive+PRE");
+    println!(
+        "{:>4} {:>10} {:>10} {:>12} {:>14}",
+        "k", "original", "pde", "naive-sink", "naive+PRE"
+    );
     for k in [1usize, 4, 16, 64] {
         println!(
             "{:>4} {:>10} {:>10} {:>12} {:>14}",

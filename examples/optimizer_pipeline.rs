@@ -1,57 +1,45 @@
 //! A realistic mini-backend: random "compiler output" run through the
-//! full optimization stack — copy propagation, lazy code motion, and
-//! partial faint code elimination — with a dynamic cost report
-//! comparing every optimization level.
+//! full optimization stack — every level is a textual [`Pipeline`] spec
+//! composed from the workspace's registered passes — with a dynamic
+//! cost report comparing every optimization level.
 //!
 //! Run with: `cargo run --example optimizer_pipeline [seed]`
 
-use pdce::baselines::{copy_propagate, liveness_dce};
-use pdce::core::driver::{optimize, PdceConfig};
-use pdce::ir::edgesplit::split_critical_edges;
 use pdce::ir::interp::{run, Env, ExecLimits, ReplayOracle, SeededOracle};
 use pdce::ir::printer::print_program;
 use pdce::ir::Program;
-use pdce::lcm::lazy_code_motion;
+use pdce::pass::Pipeline;
 use pdce::progen::{structured, GenConfig};
 
 struct Level {
     name: &'static str,
-    build: fn(&Program) -> Program,
+    /// A pipeline spec; every level is just a different composition of
+    /// the same registered passes.
+    spec: &'static str,
 }
 
-fn level_original(p: &Program) -> Program {
-    p.clone()
-}
-
-fn level_dce(p: &Program) -> Program {
-    let mut q = p.clone();
-    liveness_dce(&mut q);
-    q
-}
-
-fn level_pde(p: &Program) -> Program {
-    let mut q = p.clone();
-    optimize(&mut q, &PdceConfig::pde()).expect("pde terminates");
-    q
-}
-
-fn level_pfe(p: &Program) -> Program {
-    let mut q = p.clone();
-    optimize(&mut q, &PdceConfig::pfe()).expect("pfe terminates");
-    q
-}
-
-fn level_full(p: &Program) -> Program {
-    let mut q = p.clone();
-    split_critical_edges(&mut q);
-    pdce::ssa::sccp(&mut q); // constants + branch folding (Wegman–Zadeck)
-    pdce::baselines::local_value_numbering(&mut q);
-    copy_propagate(&mut q);
-    lazy_code_motion(&mut q).expect("edges split");
-    optimize(&mut q, &PdceConfig::pfe()).expect("pfe terminates");
-    pdce::ir::simplify_cfg(&mut q);
-    q
-}
+const LEVELS: &[Level] = &[
+    Level {
+        name: "original",
+        spec: "",
+    },
+    Level {
+        name: "dce",
+        spec: "liveness-dce",
+    },
+    Level {
+        name: "pde",
+        spec: "pde",
+    },
+    Level {
+        name: "pfe",
+        spec: "pfe",
+    },
+    Level {
+        name: "full-stack",
+        spec: "split-edges,sccp,lvn,copyprop,lcm,pfe,simplify",
+    },
+];
 
 fn main() {
     let seed = std::env::args()
@@ -68,14 +56,6 @@ fn main() {
     println!("=== generated program (seed {seed}) ===");
     println!("{}", print_program(&prog));
 
-    let levels = [
-        Level { name: "original", build: level_original },
-        Level { name: "dce", build: level_dce },
-        Level { name: "pde", build: level_pde },
-        Level { name: "pfe", build: level_pfe },
-        Level { name: "full-stack", build: level_full },
-    ];
-
     // Reference run to record branch decisions (conditional programs
     // ignore them, nondet ones replay them).
     let inputs: [(&str, i64); 3] = [("v0", 5), ("v1", -2), ("v2", 9)];
@@ -87,8 +67,16 @@ fn main() {
         "{:<12} {:>8} {:>8} {:>12} {:>9} {:>10}",
         "level", "blocks", "stmts", "dyn-assigns", "dyn-ops", "outputs-ok"
     );
-    for level in &levels {
-        let q = (level.build)(&prog);
+    let mut full_stack_report = None;
+    for level in LEVELS {
+        let mut q: Program = prog.clone();
+        if !level.spec.is_empty() {
+            let pipeline = Pipeline::parse(level.spec).expect("level specs are well-formed");
+            let report = pipeline.run(&mut q);
+            if level.name == "full-stack" {
+                full_stack_report = Some(report);
+            }
+        }
         let mut env = Env::with_values(&q, &inputs);
         let mut oracle = ReplayOracle::new(reference.decisions.clone());
         let t = run(&q, &mut env, &mut oracle, ExecLimits::default());
@@ -101,6 +89,20 @@ fn main() {
             t.executed_operations,
             t.outputs == reference.outputs
         );
-        assert_eq!(t.outputs, reference.outputs, "{} broke semantics", level.name);
+        assert_eq!(
+            t.outputs, reference.outputs,
+            "{} broke semantics",
+            level.name
+        );
+    }
+
+    if let Some(report) = full_stack_report {
+        println!("\n=== full-stack per-pass metrics ===");
+        print!("{}", report.render());
+        println!(
+            "analysis cache: {} hit(s), {} miss(es)",
+            report.cache.hits(),
+            report.cache.misses()
+        );
     }
 }

@@ -19,7 +19,11 @@ use pdce::ir::parser::parse;
 use pdce::ir::printer::print_program;
 use pdce::ir::Program;
 
-fn trace_fixpoint(title: &str, src: &str, mode: Mode) -> Result<Program, Box<dyn std::error::Error>> {
+fn trace_fixpoint(
+    title: &str,
+    src: &str,
+    mode: Mode,
+) -> Result<Program, Box<dyn std::error::Error>> {
     println!("================================================");
     println!("{title}");
     println!("================================================");
@@ -47,7 +51,10 @@ fn trace_fixpoint(title: &str, src: &str, mode: Mode) -> Result<Program, Box<dyn
         sink_assignments(&mut prog)?;
         if pdce::ir::printer::canonical_string(&prog) != before {
             changed = true;
-            println!("round {round}: ask sank assignments:\n{}", print_program(&prog));
+            println!(
+                "round {round}: ask sank assignments:\n{}",
+                print_program(&prog)
+            );
         }
         if !changed {
             println!("round {round}: stable — done after {} round(s)\n", round);

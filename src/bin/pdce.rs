@@ -1,7 +1,7 @@
 //! The `pdce` command-line tool.
 //!
 //! ```text
-//! pdce opt     [--mode pde|pfe|dce|fce] [--region a,b,c]
+//! pdce opt     [--mode pde|pfe|dce|fce | --passes SPEC] [--region a,b,c]
 //!              [--max-rounds N] [--stats] [FILE]   optimize a program
 //! pdce run     [--in name=value]... [--seed N] [--fuel N] [FILE]
 //!                                                  interpret a program
@@ -40,8 +40,10 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage:
-  pdce opt     [--mode pde|pfe|dce|fce] [--region a,b,c] [--max-rounds N]
-               [--simplify] [--stats] [--verify] [FILE]
+  pdce opt     [--mode pde|pfe|dce|fce | --passes SPEC] [--region a,b,c]
+               [--max-rounds N] [--simplify] [--stats] [--verify] [FILE]
+               SPEC is a comma-separated pass list with repeat(...) groups,
+               e.g. --passes 'sccp,lvn,repeat(fce,sink),simplify'
   pdce run     [--in name=value]... [--seed N] [--fuel N] [FILE]
   pdce analyze [FILE]
   pdce universe [--mode pde|pfe] [--max N] [FILE]
@@ -87,7 +89,11 @@ struct Parsed {
     file: Option<String>,
 }
 
-fn parse_args(args: &[String], flags_with_value: &[&str], bare_flags: &[&str]) -> Result<Parsed, CliError> {
+fn parse_args(
+    args: &[String],
+    flags_with_value: &[&str],
+    bare_flags: &[&str],
+) -> Result<Parsed, CliError> {
     let mut flags = Vec::new();
     let mut file = None;
     let mut i = 0;
@@ -133,15 +139,17 @@ fn load(file: Option<&str>) -> Result<Program, CliError> {
 fn cmd_opt(args: &[String]) -> Result<(), CliError> {
     let parsed = parse_args(
         args,
-        &["mode", "region", "max-rounds"],
+        &["mode", "passes", "region", "max-rounds"],
         &["stats", "verify", "simplify"],
     )?;
     let mut config = PdceConfig::pde();
+    let mut passes_spec: Option<String> = None;
     let mut want_stats = false;
     let mut want_verify = false;
     let mut want_simplify = false;
     for (name, value) in &parsed.flags {
         match name.as_str() {
+            "passes" => passes_spec = Some(value.clone()),
             "mode" => {
                 config = match value.as_str() {
                     "pde" => PdceConfig::pde(),
@@ -168,6 +176,41 @@ fn cmd_opt(args: &[String]) -> Result<(), CliError> {
     }
     let original = load(parsed.file.as_deref())?;
     let mut prog = original.clone();
+    if let Some(spec) = &passes_spec {
+        if parsed
+            .flags
+            .iter()
+            .any(|(n, _)| n == "mode" || n == "region" || n == "max-rounds")
+        {
+            return Err(usage("--passes replaces --mode/--region/--max-rounds"));
+        }
+        let pipeline = pdce::pass::Pipeline::parse(spec).map_err(|e| usage(e.to_string()))?;
+        let report = pipeline.run(&mut prog);
+        if want_simplify {
+            pdce::ir::simplify_cfg(&mut prog);
+        }
+        print!("{}", print_program(&prog));
+        if want_stats {
+            eprint!("{}", report.render());
+            eprintln!(
+                "cache:       {} hit(s), {} miss(es)",
+                report.cache.hits(),
+                report.cache.misses()
+            );
+        }
+        if want_verify {
+            let report = check_improvement(&original, &prog, &BetterOptions::default());
+            if !report.holds() {
+                return Err(failed("internal error: result does not dominate the input"));
+            }
+            eprintln!(
+                "verified: dominates the input on {} path(s) ({})",
+                report.paths_checked,
+                if report.exact { "exact" } else { "sampled" }
+            );
+        }
+        return Ok(());
+    }
     let stats = optimize(&mut prog, &config).map_err(failed)?;
     if want_simplify {
         let s = pdce::ir::simplify_cfg(&mut prog);
@@ -186,6 +229,11 @@ fn cmd_opt(args: &[String]) -> Result<(), CliError> {
         eprintln!("inserted:    {}", stats.inserted_assignments);
         eprintln!("synthetic:   {}", stats.synthetic_blocks);
         eprintln!("growth ω:    {:.2}", stats.growth_factor());
+        eprintln!(
+            "cache:       {} rebuild(s) avoided, {} rebuild(s) paid",
+            stats.cache.hits(),
+            stats.cache.misses()
+        );
         if stats.truncated {
             eprintln!("truncated:   yes");
         }
@@ -253,7 +301,11 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
         "executed {} statement(s), {} assignment(s); {}",
         trace.executed_stmts,
         trace.executed_assignments,
-        if trace.completed { "halted" } else { "fuel exhausted" }
+        if trace.completed {
+            "halted"
+        } else {
+            "fuel exhausted"
+        }
     );
     Ok(())
 }
@@ -296,10 +348,7 @@ fn cmd_analyze(args: &[String]) -> Result<(), CliError> {
             println!("  {}{}", print_stmt(&prog, stmt), suffix);
         }
         let fmt_bits = |bits: &pdce::dfa::BitVec| -> String {
-            let names: Vec<String> = bits
-                .iter_ones()
-                .map(|i| table.key(i).to_string())
-                .collect();
+            let names: Vec<String> = bits.iter_ones().map(|i| table.key(i).to_string()).collect();
             if names.is_empty() {
                 "∅".to_owned()
             } else {

@@ -9,6 +9,8 @@
 //! * [`baselines`] — DCE variants, naive sinking, copy propagation
 //! * [`lcm`] — lazy code motion (partial redundancy elimination)
 //! * [`ssa`] — SSA form (Cytron et al.) and sparse SSA-based DCE
+//! * [`pass`] — the unified pass pipeline: registry, spec parser,
+//!   per-pass instrumentation, shared analysis cache
 //! * [`progen`] — random program generators
 //!
 //! # Quickstart
@@ -31,11 +33,29 @@
 //! assert!(stats.eliminated_assignments > 0 || stats.sunk_assignments > 0);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! Or compose any of the workspace's transforms through the pipeline:
+//!
+//! ```
+//! use pdce::ir::parser::parse;
+//! use pdce::pass::Pipeline;
+//!
+//! let mut prog = parse(
+//!     "prog {
+//!        block s  { x := a + b; y := x; out(y); goto e }
+//!        block e  { halt }
+//!      }",
+//! )?;
+//! let report = Pipeline::parse("copyprop,repeat(dce,sink)")?.run(&mut prog);
+//! assert!(report.outcome.changed);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
 
 pub use pdce_baselines as baselines;
 pub use pdce_core as core;
 pub use pdce_dfa as dfa;
 pub use pdce_ir as ir;
 pub use pdce_lcm as lcm;
+pub use pdce_pass as pass;
 pub use pdce_progen as progen;
 pub use pdce_ssa as ssa;

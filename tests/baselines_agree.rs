@@ -8,10 +8,10 @@
 //!   optimistic marking detects exactly the faint assignments.
 
 use pdce::baselines::{duchain_dce, liveness_dce};
-use pdce::ssa::ssa_dce;
 use pdce::core::driver::{optimize, PdceConfig};
 use pdce::ir::printer::{canonical_string, structural_eq};
 use pdce::progen::{structured, tangled, GenConfig};
+use pdce::ssa::ssa_dce;
 
 fn config(seed: u64) -> GenConfig {
     GenConfig {

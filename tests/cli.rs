@@ -74,10 +74,7 @@ fn opt_respects_region_and_rounds() {
 
 #[test]
 fn run_executes_and_prints_outputs() {
-    let (stdout, stderr, ok) = pdce(
-        &["run", "--in", "a=2", "--in", "b=3", "--seed", "1"],
-        FIG1,
-    );
+    let (stdout, stderr, ok) = pdce(&["run", "--in", "a=2", "--in", "b=3", "--seed", "1"], FIG1);
     assert!(ok, "stderr: {stderr}");
     // Whatever branch the seed picks, the final out(y) prints something.
     assert!(!stdout.trim().is_empty());

@@ -33,9 +33,11 @@ fn corpus() -> Vec<(String, Program)> {
             continue;
         }
         let src = std::fs::read_to_string(&path).expect("corpus file readable");
-        let prog = parse(&src)
-            .unwrap_or_else(|e| panic!("{} does not parse: {e}", path.display()));
-        out.push((path.file_name().unwrap().to_string_lossy().into_owned(), prog));
+        let prog = parse(&src).unwrap_or_else(|e| panic!("{} does not parse: {e}", path.display()));
+        out.push((
+            path.file_name().unwrap().to_string_lossy().into_owned(),
+            prog,
+        ));
     }
     assert!(out.len() >= 6, "corpus went missing?");
     out.sort_by(|x, y| x.0.cmp(&y.0));
@@ -101,7 +103,11 @@ fn drivers_on_corpus() {
             // Idempotence.
             let once = canonical_string(&opt);
             optimize(&mut opt, &config).unwrap();
-            assert_eq!(canonical_string(&opt), once, "{name}/{label} not a fixpoint");
+            assert_eq!(
+                canonical_string(&opt),
+                once,
+                "{name}/{label} not a fixpoint"
+            );
         }
     }
 }
@@ -152,7 +158,11 @@ fn full_stack_on_corpus() {
         // The print/parse round trip survives the full stack.
         let printed = pdce::ir::printer::print_program(&opt);
         let reparsed = parse(&printed).unwrap();
-        assert_eq!(canonical_string(&opt), canonical_string(&reparsed), "{name}");
+        assert_eq!(
+            canonical_string(&opt),
+            canonical_string(&reparsed),
+            "{name}"
+        );
     }
 }
 

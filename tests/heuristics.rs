@@ -53,11 +53,7 @@ fn full_region_equals_unrestricted() {
     }";
     let all_blocks = ["s", "n1", "n2", "n3", "n4", "e"];
     let mut restricted = parse(src).unwrap();
-    optimize(
-        &mut restricted,
-        &PdceConfig::pde().with_region(all_blocks),
-    )
-    .unwrap();
+    optimize(&mut restricted, &PdceConfig::pde().with_region(all_blocks)).unwrap();
     let mut unrestricted = parse(src).unwrap();
     optimize(&mut unrestricted, &PdceConfig::pde()).unwrap();
     assert!(structural_eq(&restricted, &unrestricted));
@@ -75,11 +71,7 @@ fn cold_region_leaves_hot_code_alone() {
     }";
     // Region excludes n1 (where the only candidate lives): nothing moves.
     let mut p = parse(src).unwrap();
-    let stats = optimize(
-        &mut p,
-        &PdceConfig::pde().with_region(["n2", "n3", "n4"]),
-    )
-    .unwrap();
+    let stats = optimize(&mut p, &PdceConfig::pde().with_region(["n2", "n3", "n4"])).unwrap();
     assert_eq!(stats.eliminated_assignments, 0);
     // (y := 4 is re-inserted at its own block exit — an in-place no-op
     // that still counts as one removal/insertion pair.)
@@ -101,11 +93,7 @@ fn partial_region_gets_partial_benefit() {
         block e  { halt }
     }";
     let mut p = parse(src).unwrap();
-    let stats = optimize(
-        &mut p,
-        &PdceConfig::pde().with_region(["a1", "a2", "a3"]),
-    )
-    .unwrap();
+    let stats = optimize(&mut p, &PdceConfig::pde().with_region(["a1", "a2", "a3"])).unwrap();
     // The first gadget is optimized...
     let a1 = p.block_by_name("a1").unwrap();
     assert!(p.block(a1).stmts.is_empty(), "y := a+b sunk out of a1");
@@ -131,11 +119,7 @@ fn region_restriction_is_sound_on_random_programs() {
             .map(|n| prog.block(n).name.clone())
             .collect();
         let mut restricted = prog.clone();
-        let stats = optimize(
-            &mut restricted,
-            &PdceConfig::pde().with_region(region),
-        )
-        .unwrap();
+        let stats = optimize(&mut restricted, &PdceConfig::pde().with_region(region)).unwrap();
         assert!(!stats.truncated);
         // Sound: dominated per path and trace-equal.
         let report = check_improvement(&prog, &restricted, &BetterOptions::default());
@@ -166,7 +150,10 @@ fn better_relation_chains_through_truncation() {
     let opts = BetterOptions::default();
     assert!(is_better(&cut, &split, &opts).holds(), "cut ⊑ original");
     assert!(is_better(&full, &cut, &opts).holds(), "full ⊑ cut");
-    assert!(is_better(&full, &split, &opts).holds(), "transitively full ⊑ original");
+    assert!(
+        is_better(&full, &split, &opts).holds(),
+        "transitively full ⊑ original"
+    );
 }
 
 #[test]

@@ -4,7 +4,7 @@
 use pdce::baselines::copy_propagate;
 use pdce::core::driver::{optimize, pde, PdceConfig};
 use pdce::ir::edgesplit::split_critical_edges;
-use pdce::ir::interp::{run, Env, ExecLimits, SeededOracle, ReplayOracle};
+use pdce::ir::interp::{run, Env, ExecLimits, ReplayOracle, SeededOracle};
 use pdce::ir::parser::parse;
 use pdce::ir::printer::{canonical_string, print_program};
 use pdce::lcm::lazy_code_motion;

@@ -1,4 +1,5 @@
-//! Property-based tests over randomly generated programs.
+//! Property-based tests over randomly generated programs, driven by the
+//! workspace's deterministic seeded generator (`pdce-rng`).
 //!
 //! These check the paper's semantic guarantees on the whole generator
 //! distribution:
@@ -12,8 +13,6 @@
 //! * **Idempotence**: the drivers are fixpoints of themselves.
 //! * **dead ⟹ faint** (Section 3).
 
-use proptest::prelude::*;
-
 use pdce::baselines::copy_propagate;
 use pdce::core::better::{check_improvement, BetterOptions};
 use pdce::core::driver::{optimize, PdceConfig};
@@ -22,6 +21,15 @@ use pdce::ir::printer::canonical_string;
 use pdce::ir::Program;
 use pdce::lcm::lazy_code_motion;
 use pdce::progen::{structured, tangled, GenConfig};
+use pdce_rng::Rng;
+
+const CASES: usize = 48;
+
+/// Distinct program seeds per property, derived deterministically.
+fn seeds(salt: u64) -> Vec<u64> {
+    let mut rng = Rng::new(0x9a9e_5000 ^ salt);
+    (0..CASES).map(|_| rng.next_u64()).collect()
+}
 
 fn small_config(seed: u64, nondet: bool) -> GenConfig {
     GenConfig {
@@ -38,7 +46,11 @@ fn small_config(seed: u64, nondet: bool) -> GenConfig {
 }
 
 /// Runs `prog` with a recorded/replayed decision stream and fixed inputs.
-fn trace_of(prog: &Program, inputs: &[(&str, i64)], decisions: Vec<usize>) -> pdce::ir::interp::Trace {
+fn trace_of(
+    prog: &Program,
+    inputs: &[(&str, i64)],
+    decisions: Vec<usize>,
+) -> pdce::ir::interp::Trace {
     let mut env = Env::with_values(prog, inputs);
     let mut oracle = ReplayOracle::new(decisions);
     run(
@@ -64,103 +76,119 @@ fn record_run(prog: &Program, inputs: &[(&str, i64)], seed: u64) -> pdce::ir::in
     )
 }
 
-fn check_preserves_and_no_impairment(
-    src_prog: &Program,
-    config: &PdceConfig,
-) -> Result<(), TestCaseError> {
+fn check_preserves_and_no_impairment(src_prog: &Program, config: &PdceConfig) {
     let mut optimized = src_prog.clone();
     optimize(&mut optimized, config).unwrap();
     let inputs: [(&str, i64); 3] = [("v0", 3), ("v1", -2), ("v2", 7)];
     for run_seed in [1u64, 42, 993] {
         let orig = record_run(src_prog, &inputs, run_seed);
         let opt = trace_of(&optimized, &inputs, orig.decisions.clone());
-        prop_assert_eq!(&orig.outputs, &opt.outputs, "outputs diverged");
-        prop_assert!(
+        assert_eq!(&orig.outputs, &opt.outputs, "outputs diverged");
+        assert!(
             opt.executed_assignments <= orig.executed_assignments,
             "impairment: {} > {} assignments executed",
             opt.executed_assignments,
             orig.executed_assignments
         );
     }
-    Ok(())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn pde_preserves_semantics_and_never_impairs(seed in any::<u64>()) {
+#[test]
+fn pde_preserves_semantics_and_never_impairs() {
+    for seed in seeds(1) {
         let p = structured(&small_config(seed, false));
-        check_preserves_and_no_impairment(&p, &PdceConfig::pde())?;
+        check_preserves_and_no_impairment(&p, &PdceConfig::pde());
     }
+}
 
-    #[test]
-    fn pfe_preserves_semantics_and_never_impairs(seed in any::<u64>()) {
+#[test]
+fn pfe_preserves_semantics_and_never_impairs() {
+    for seed in seeds(2) {
         let p = structured(&small_config(seed, false));
-        check_preserves_and_no_impairment(&p, &PdceConfig::pfe())?;
+        check_preserves_and_no_impairment(&p, &PdceConfig::pfe());
     }
+}
 
-    #[test]
-    fn pde_on_nondet_programs(seed in any::<u64>()) {
+#[test]
+fn pde_on_nondet_programs() {
+    for seed in seeds(3) {
         let p = structured(&small_config(seed, true));
-        check_preserves_and_no_impairment(&p, &PdceConfig::pde())?;
+        check_preserves_and_no_impairment(&p, &PdceConfig::pde());
     }
+}
 
-    #[test]
-    fn pde_on_tangled_irreducible_programs(seed in any::<u64>()) {
+#[test]
+fn pde_on_tangled_irreducible_programs() {
+    for seed in seeds(4) {
         let p = tangled(&small_config(seed, true), 6);
-        check_preserves_and_no_impairment(&p, &PdceConfig::pde())?;
-        check_preserves_and_no_impairment(&p, &PdceConfig::pfe())?;
+        check_preserves_and_no_impairment(&p, &PdceConfig::pde());
+        check_preserves_and_no_impairment(&p, &PdceConfig::pfe());
     }
+}
 
-    #[test]
-    fn per_path_dominance_holds(seed in any::<u64>()) {
+#[test]
+fn per_path_dominance_holds() {
+    for seed in seeds(5) {
         let p = structured(&small_config(seed, true));
         for config in [PdceConfig::pde(), PdceConfig::pfe()] {
             let mut optimized = p.clone();
             optimize(&mut optimized, &config).unwrap();
-            let report = check_improvement(&p, &optimized, &BetterOptions {
-                samples: 64,
-                ..BetterOptions::default()
-            });
-            prop_assert!(report.holds(), "violations: {:#?}", report.violations);
+            let report = check_improvement(
+                &p,
+                &optimized,
+                &BetterOptions {
+                    samples: 64,
+                    ..BetterOptions::default()
+                },
+            );
+            assert!(report.holds(), "violations: {:#?}", report.violations);
         }
     }
+}
 
-    #[test]
-    fn drivers_are_idempotent(seed in any::<u64>()) {
+#[test]
+fn drivers_are_idempotent() {
+    for seed in seeds(6) {
         let p = structured(&small_config(seed, true));
         for config in [PdceConfig::pde(), PdceConfig::pfe()] {
             let mut once = p.clone();
             optimize(&mut once, &config).unwrap();
             let first = canonical_string(&once);
             let stats = optimize(&mut once, &config).unwrap();
-            prop_assert_eq!(canonical_string(&once), first);
-            prop_assert_eq!(stats.eliminated_assignments, 0);
-            prop_assert_eq!(stats.rounds, 1);
+            assert_eq!(canonical_string(&once), first);
+            assert_eq!(stats.eliminated_assignments, 0);
+            assert_eq!(stats.rounds, 1);
         }
     }
+}
 
-    #[test]
-    fn pfe_subsumes_pde(seed in any::<u64>()) {
+#[test]
+fn pfe_subsumes_pde() {
+    for seed in seeds(7) {
         let p = structured(&small_config(seed, true));
         let mut with_pde = p.clone();
         optimize(&mut with_pde, &PdceConfig::pde()).unwrap();
         let mut with_pfe = p.clone();
         optimize(&mut with_pfe, &PdceConfig::pfe()).unwrap();
-        prop_assert!(with_pfe.num_assignments() <= with_pde.num_assignments());
+        assert!(with_pfe.num_assignments() <= with_pde.num_assignments());
         // And pfe's output dominates pde's per path.
-        let report = check_improvement(&with_pde, &with_pfe, &BetterOptions {
-            samples: 64,
-            ..BetterOptions::default()
-        });
-        prop_assert!(report.holds(), "violations: {:#?}", report.violations);
+        let report = check_improvement(
+            &with_pde,
+            &with_pfe,
+            &BetterOptions {
+                samples: 64,
+                ..BetterOptions::default()
+            },
+        );
+        assert!(report.holds(), "violations: {:#?}", report.violations);
     }
+}
 
-    #[test]
-    fn dead_implies_faint(seed in any::<u64>()) {
-        use pdce::core::{DeadSolution, FaintSolution};
-        use pdce::ir::CfgView;
+#[test]
+fn dead_implies_faint() {
+    use pdce::core::{DeadSolution, FaintSolution};
+    use pdce::ir::CfgView;
+    for seed in seeds(8) {
         let p = structured(&small_config(seed, true));
         let view = CfgView::new(&p);
         let dead = DeadSolution::compute(&p, &view);
@@ -170,30 +198,36 @@ proptest! {
             for (k, after_k) in after.iter().enumerate() {
                 for v in 0..p.num_vars() {
                     if after_k.get(v) {
-                        prop_assert!(
+                        assert!(
                             faint.faint_after(n, k, pdce::ir::Var::from_index(v)),
                             "dead but not faint at {}[{}] var v{}",
-                            p.block(n).name, k, v
+                            p.block(n).name,
+                            k,
+                            v
                         );
                     }
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn copy_propagation_preserves_semantics(seed in any::<u64>()) {
+#[test]
+fn copy_propagation_preserves_semantics() {
+    for seed in seeds(9) {
         let p = structured(&small_config(seed, false));
         let mut q = p.clone();
         copy_propagate(&mut q);
         let inputs: [(&str, i64); 2] = [("v0", 5), ("v3", -1)];
         let t0 = record_run(&p, &inputs, 7);
         let t1 = trace_of(&q, &inputs, t0.decisions.clone());
-        prop_assert_eq!(t0.outputs, t1.outputs);
+        assert_eq!(t0.outputs, t1.outputs);
     }
+}
 
-    #[test]
-    fn lcm_preserves_semantics(seed in any::<u64>()) {
+#[test]
+fn lcm_preserves_semantics() {
+    for seed in seeds(10) {
         let mut p = structured(&small_config(seed, false));
         pdce::ir::edgesplit::split_critical_edges(&mut p);
         let mut q = p.clone();
@@ -201,12 +235,14 @@ proptest! {
         let inputs: [(&str, i64); 2] = [("v1", 9), ("v2", 2)];
         let t0 = record_run(&p, &inputs, 3);
         let t1 = trace_of(&q, &inputs, t0.decisions.clone());
-        prop_assert_eq!(t0.outputs, t1.outputs);
+        assert_eq!(t0.outputs, t1.outputs);
     }
+}
 
-    #[test]
-    fn hoisting_preserves_semantics(seed in any::<u64>()) {
-        use pdce::baselines::hoist_assignments;
+#[test]
+fn hoisting_preserves_semantics() {
+    use pdce::baselines::hoist_assignments;
+    for seed in seeds(11) {
         let mut p = structured(&small_config(seed, false));
         pdce::ir::edgesplit::split_critical_edges(&mut p);
         let mut q = p.clone();
@@ -221,17 +257,19 @@ proptest! {
         let inputs: [(&str, i64); 2] = [("v0", 4), ("v2", -6)];
         let t0 = record_run(&p, &inputs, 13);
         let t1 = trace_of(&q, &inputs, t0.decisions.clone());
-        prop_assert_eq!(&t0.outputs, &t1.outputs);
+        assert_eq!(&t0.outputs, &t1.outputs);
         // Hoisting never *increases* executed assignments on a path: a
         // merge keeps exactly one occurrence per path, and hoisting a
         // loop-invariant occurrence above its loop can only reduce the
         // count.
-        prop_assert!(t1.executed_assignments <= t0.executed_assignments);
+        assert!(t1.executed_assignments <= t0.executed_assignments);
     }
+}
 
-    #[test]
-    fn hoisting_on_nondet_programs_preserves_semantics(seed in any::<u64>()) {
-        use pdce::baselines::hoist_assignments;
+#[test]
+fn hoisting_on_nondet_programs_preserves_semantics() {
+    use pdce::baselines::hoist_assignments;
+    for seed in seeds(12) {
         let mut p = structured(&small_config(seed, true));
         pdce::ir::edgesplit::split_critical_edges(&mut p);
         let mut q = p.clone();
@@ -239,20 +277,24 @@ proptest! {
         let inputs: [(&str, i64); 2] = [("v1", 8), ("v3", 1)];
         let t0 = record_run(&p, &inputs, 29);
         let t1 = trace_of(&q, &inputs, t0.decisions.clone());
-        prop_assert_eq!(&t0.outputs, &t1.outputs);
+        assert_eq!(&t0.outputs, &t1.outputs);
     }
+}
 
-    #[test]
-    fn printer_parser_roundtrip(seed in any::<u64>()) {
+#[test]
+fn printer_parser_roundtrip() {
+    for seed in seeds(13) {
         let p = structured(&small_config(seed, true));
         let printed = pdce::ir::printer::print_program(&p);
         let reparsed = pdce::ir::parser::parse(&printed).unwrap();
-        prop_assert_eq!(canonical_string(&p), canonical_string(&reparsed));
+        assert_eq!(canonical_string(&p), canonical_string(&reparsed));
     }
+}
 
-    #[test]
-    fn lvn_preserves_semantics(seed in any::<u64>()) {
-        use pdce::baselines::local_value_numbering;
+#[test]
+fn lvn_preserves_semantics() {
+    use pdce::baselines::local_value_numbering;
+    for seed in seeds(14) {
         let p = structured(&small_config(seed, true));
         let mut q = p.clone();
         local_value_numbering(&mut q);
@@ -260,14 +302,16 @@ proptest! {
         for run_seed in [9u64, 44] {
             let t0 = record_run(&p, &inputs, run_seed);
             let t1 = trace_of(&q, &inputs, t0.decisions.clone());
-            prop_assert_eq!(&t0.outputs, &t1.outputs);
+            assert_eq!(&t0.outputs, &t1.outputs);
             // Value numbering only removes work.
-            prop_assert!(t1.executed_operations <= t0.executed_operations);
+            assert!(t1.executed_operations <= t0.executed_operations);
         }
     }
+}
 
-    #[test]
-    fn sccp_preserves_semantics(seed in any::<u64>()) {
+#[test]
+fn sccp_preserves_semantics() {
+    for seed in seeds(15) {
         let p = structured(&small_config(seed, true));
         let mut q = p.clone();
         pdce::ssa::sccp(&mut q);
@@ -277,12 +321,14 @@ proptest! {
         for run_seed in [2u64, 71] {
             let t0 = record_run(&p, &inputs, run_seed);
             let t1 = trace_of(&q, &inputs, t0.decisions.clone());
-            prop_assert_eq!(&t0.outputs, &t1.outputs);
+            assert_eq!(&t0.outputs, &t1.outputs);
         }
     }
+}
 
-    #[test]
-    fn sccp_then_pfe_preserves_semantics(seed in any::<u64>()) {
+#[test]
+fn sccp_then_pfe_preserves_semantics() {
+    for seed in seeds(16) {
         let p = structured(&small_config(seed, false));
         let mut q = p.clone();
         pdce::ssa::sccp(&mut q);
@@ -291,11 +337,13 @@ proptest! {
         let inputs: [(&str, i64); 2] = [("v2", 13), ("v4", -2)];
         let t0 = record_run(&p, &inputs, 5);
         let t1 = trace_of(&q, &inputs, t0.decisions.clone());
-        prop_assert_eq!(&t0.outputs, &t1.outputs);
+        assert_eq!(&t0.outputs, &t1.outputs);
     }
+}
 
-    #[test]
-    fn pde_plus_simplify_preserves_semantics(seed in any::<u64>()) {
+#[test]
+fn pde_plus_simplify_preserves_semantics() {
+    for seed in seeds(17) {
         let p = structured(&small_config(seed, true));
         let mut q = p.clone();
         optimize(&mut q, &PdceConfig::pde()).unwrap();
@@ -306,19 +354,24 @@ proptest! {
         // Simplification can remove nondet *forwarding* blocks but keeps
         // every branching node, so decision replay still lines up.
         let t1 = trace_of(&q, &inputs, t0.decisions.clone());
-        prop_assert_eq!(&t0.outputs, &t1.outputs);
-        prop_assert!(t1.executed_assignments <= t0.executed_assignments);
+        assert_eq!(&t0.outputs, &t1.outputs);
+        assert!(t1.executed_assignments <= t0.executed_assignments);
     }
+}
 
-    #[test]
-    fn stats_are_consistent(seed in any::<u64>()) {
+#[test]
+fn stats_are_consistent() {
+    for seed in seeds(18) {
         let p = structured(&small_config(seed, true));
         let mut q = p.clone();
         let stats = optimize(&mut q, &PdceConfig::pde()).unwrap();
-        prop_assert_eq!(stats.final_stmts, q.num_stmts() as u64);
-        prop_assert!(stats.max_stmts >= stats.initial_stmts);
-        prop_assert!(stats.max_stmts >= stats.final_stmts);
-        prop_assert!(stats.growth_factor() >= 1.0);
-        prop_assert!(stats.rounds >= 1);
+        assert_eq!(stats.final_stmts, q.num_stmts() as u64);
+        assert!(stats.max_stmts >= stats.initial_stmts);
+        assert!(stats.max_stmts >= stats.final_stmts);
+        assert!(stats.growth_factor() >= 1.0);
+        assert!(stats.rounds >= 1);
+        // The cache sees at least one hit per round: eliminations and
+        // sinking share one CfgView instead of rebuilding it.
+        assert!(stats.cache.cfg_misses <= stats.rounds);
     }
 }

@@ -106,7 +106,10 @@ fn table2_delayability_fixpoint_on_fig1() {
     assert!(!local.locdelayed[node("n1")].get(a1));
     assert!(local.locdelayed[node("n2")].get(a1));
     assert!(local.locblocked[node("n1")].get(a1), "y := a+b mods y");
-    assert!(local.locblocked[node("n1")].get(a2), "the occurrence itself");
+    assert!(
+        local.locblocked[node("n1")].get(a2),
+        "the occurrence itself"
+    );
     assert!(local.locblocked[node("n3")].get(a1), "out(y) uses y");
     assert!(local.locblocked[node("n3")].get(a2));
     assert!(local.locblocked[node("n4")].get(a1));
