@@ -1,0 +1,58 @@
+//! Tracing overhead: the same pde run with tracing disabled (the
+//! default — every instrumentation site reduces to a thread-local flag
+//! read), with a [`pdce_trace::NoopTracer`] installed (events are built
+//! and dropped), and with a buffering [`pdce_trace::Collector`]. The
+//! disabled series is the one the <2% acceptance bar applies to; the
+//! other two price what turning tracing on costs.
+//!
+//! Run with: `cargo bench -p pdce-bench --bench tracing`
+
+use std::rc::Rc;
+
+use pdce_bench::timeit;
+use pdce_core::driver::{optimize, PdceConfig};
+use pdce_progen::{structured, GenConfig};
+
+fn workload(n: usize) -> pdce_ir::Program {
+    structured(&GenConfig {
+        seed: 11,
+        target_blocks: n,
+        num_vars: 8,
+        stmts_per_block: (1, 4),
+        out_prob: 0.2,
+        loop_prob: 0.3,
+        max_depth: 12,
+        expr_depth: 2,
+        nondet: true,
+    })
+}
+
+fn main() {
+    for &n in &[64usize, 256] {
+        let prog = workload(n);
+        let pde = || {
+            let mut clone = prog.clone();
+            optimize(&mut clone, &PdceConfig::pde()).expect("driver terminates")
+        };
+
+        timeit::group(&format!("tracing/pde_{n}"));
+        timeit::report("disabled", pde);
+        {
+            let _guard = pdce_trace::install(Rc::new(pdce_trace::NoopTracer));
+            timeit::report("noop-tracer installed", pde);
+        }
+        {
+            // One collector across iterations; buffers grow but stay
+            // amortized-O(1) per event, which is what a real run pays.
+            let collector = Rc::new(pdce_trace::Collector::new());
+            let _guard = pdce_trace::install(collector.clone());
+            timeit::report("collector installed", pde);
+            println!(
+                "{:<44} {} event(s), {} provenance record(s) buffered",
+                "",
+                collector.len(),
+                collector.provenance().len()
+            );
+        }
+    }
+}

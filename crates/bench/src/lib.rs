@@ -7,9 +7,11 @@
 //! scaling experiments with log–log slope fitting for the C1–C6 claims
 //! tracked in `EXPERIMENTS.md`.
 
+pub mod benchjson;
 pub mod figures;
 pub mod sweep;
 pub mod timeit;
 
+pub use benchjson::{BenchSummary, FigureRow, SweepRow, TracingAb};
 pub use figures::{figure_corpus, verify_figure, Figure};
 pub use sweep::{fit_loglog_slope, measure, Measurement};

@@ -21,6 +21,7 @@ use std::fmt;
 use pdce_dfa::{AnalysisCache, CacheStats};
 use pdce_ir::edgesplit::split_critical_edges;
 use pdce_ir::Program;
+use pdce_trace::SolverStats;
 
 use crate::elim::{eliminate_fixpoint_cached, Mode};
 use crate::sink::{sink_assignments_cached, CriticalEdgeError};
@@ -156,6 +157,10 @@ pub struct PdceStats {
     /// sinking pass); with the cache it is built at most once per round
     /// — `cache.cfg_hits` counts the avoided rebuilds.
     pub cache: CacheStats,
+    /// Data-flow solver telemetry for this run: problems solved,
+    /// worklist pops/evaluations, revisits, sweeps to fixpoint, and
+    /// bit-vector word operations (deterministic for a fixed input).
+    pub solver: SolverStats,
 }
 
 impl PdceStats {
@@ -232,6 +237,14 @@ pub fn optimize_with_cache(
     cache: &mut AnalysisCache,
 ) -> Result<PdceStats, PdceError> {
     let cache_baseline = cache.stats();
+    let solver_baseline = pdce_trace::solver_totals();
+    let driver_name = match (config.mode, config.sinking) {
+        (Mode::Dead, true) => "pde",
+        (Mode::Faint, true) => "pfe",
+        (Mode::Dead, false) => "dce",
+        (Mode::Faint, false) => "fce",
+    };
+    let driver_span = pdce_trace::span("driver", driver_name);
     let mut stats = PdceStats::default();
     if config.sinking {
         stats.synthetic_blocks = split_critical_edges(prog).len() as u64;
@@ -268,6 +281,7 @@ pub fn optimize_with_cache(
             }
         }
         let before = prog.revision();
+        let _round = pdce_trace::round_scope(stats.rounds);
 
         let (removed, passes) = eliminate_fixpoint_cached(prog, cache, config.mode, region);
         stats.eliminated_assignments += removed;
@@ -286,6 +300,17 @@ pub fn optimize_with_cache(
     }
     stats.final_stmts = prog.num_stmts() as u64;
     stats.cache = cache.stats().since(&cache_baseline);
+    stats.solver = pdce_trace::solver_totals().since(&solver_baseline);
+    driver_span.finish_with(if pdce_trace::enabled() {
+        vec![
+            ("rounds", stats.rounds.into()),
+            ("eliminated", stats.eliminated_assignments.into()),
+            ("sunk", stats.sunk_assignments.into()),
+            ("inserted", stats.inserted_assignments.into()),
+        ]
+    } else {
+        Vec::new()
+    });
     Ok(stats)
 }
 

@@ -50,6 +50,11 @@ pub fn eliminate_once_cached(
     mode: Mode,
     region: Option<&[bool]>,
 ) -> u64 {
+    let (pass_name, detail) = match mode {
+        Mode::Dead => ("dce", "lhs dead after"),
+        Mode::Faint => ("fce", "lhs faint after"),
+    };
+    let trace_span = pdce_trace::span("transform", pass_name);
     let view = cache.cfg(prog);
     // Skip unreachable blocks: the solvers never evaluate them, so their
     // optimistic initial state would claim everything dead there.
@@ -77,6 +82,7 @@ pub fn eliminate_once_cached(
                     (n, doomed)
                 })
                 .collect();
+            record_eliminations(prog, &plans, pass_name, detail);
             removed += apply_removals(prog, &plans);
         }
         Mode::Faint => {
@@ -98,6 +104,7 @@ pub fn eliminate_once_cached(
                     (n, doomed)
                 })
                 .collect();
+            record_eliminations(prog, &plans, pass_name, detail);
             removed += apply_removals(prog, &plans);
         }
     }
@@ -105,7 +112,38 @@ pub fn eliminate_once_cached(
         // Removals touch statement lists only; the CFG shape survives.
         cache.retain(prog, Preserves::Cfg);
     }
+    trace_span.finish_with(if pdce_trace::enabled() {
+        vec![("removed", removed.into())]
+    } else {
+        Vec::new()
+    });
     removed
+}
+
+/// Logs one provenance record per planned removal (only when a tracer is
+/// installed — statement pretty-printing is not free).
+fn record_eliminations(
+    prog: &Program,
+    plans: &[(pdce_ir::NodeId, Vec<usize>)],
+    pass: &'static str,
+    detail: &'static str,
+) {
+    if !pdce_trace::enabled() {
+        return;
+    }
+    for (n, doomed) in plans {
+        for &k in doomed {
+            pdce_trace::provenance(pdce_trace::ProvenanceRecord {
+                action: pdce_trace::ProvAction::Eliminated,
+                pass,
+                round: pdce_trace::round(),
+                revision: prog.revision(),
+                block: prog.block(*n).name.clone(),
+                stmt: pdce_ir::printer::print_stmt(prog, &prog.block(*n).stmts[k]),
+                detail,
+            });
+        }
+    }
 }
 
 /// Iterates [`eliminate_once`] until no assignment is removable, which

@@ -115,6 +115,7 @@ pub fn sink_assignments_cached(
     if has_critical_edges(prog) {
         return Err(CriticalEdgeError);
     }
+    let trace_span = pdce_trace::span("transform", "sink");
     let view = cache.cfg(prog);
     let table = cache.analysis::<PatternTable, _>(prog, |p, _| PatternTable::build(p));
     if table.is_empty() {
@@ -177,6 +178,44 @@ pub fn sink_assignments_cached(
         // re-inserted in place). Skipping the write keeps the program
         // revision — and therefore the cache — intact.
         if new_stmts != *old {
+            if pdce_trace::enabled() {
+                // Provenance: candidates leave this block; instances
+                // re-materialize at the recorded insertion points (a
+                // stable block never reaches here, so no phantom moves
+                // are logged).
+                let rev = prog.revision();
+                let rnd = pdce_trace::round();
+                let prov = |action, stmt: &Stmt, detail| pdce_trace::ProvenanceRecord {
+                    action,
+                    pass: "sink",
+                    round: rnd,
+                    revision: rev,
+                    block: prog.block(n).name.clone(),
+                    stmt: pdce_ir::printer::print_stmt(prog, stmt),
+                    detail,
+                };
+                for &(k, _) in candidates {
+                    pdce_trace::provenance(prov(
+                        pdce_trace::ProvAction::Sunk,
+                        &old[k],
+                        "sinking candidate",
+                    ));
+                }
+                for &p in &entry_ins {
+                    pdce_trace::provenance(prov(
+                        pdce_trace::ProvAction::Inserted,
+                        &make(p),
+                        "entry insertion",
+                    ));
+                }
+                for &p in &exit_ins {
+                    pdce_trace::provenance(prov(
+                        pdce_trace::ProvAction::Inserted,
+                        &make(p),
+                        "exit insertion",
+                    ));
+                }
+            }
             outcome.changed = true;
             prog.block_mut(n).stmts = new_stmts;
         }
@@ -186,6 +225,14 @@ pub fn sink_assignments_cached(
         // shape survives.
         cache.retain(prog, Preserves::Cfg);
     }
+    trace_span.finish_with(if pdce_trace::enabled() {
+        vec![
+            ("removed", outcome.removed.into()),
+            ("inserted", outcome.inserted.into()),
+        ]
+    } else {
+        Vec::new()
+    });
     Ok(outcome)
 }
 

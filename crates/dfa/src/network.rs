@@ -45,12 +45,23 @@ pub fn solve_greatest(
     mut eval: impl FnMut(usize, &BitVec) -> bool,
 ) -> NetworkSolution {
     assert_eq!(dependents.len(), num_slots, "one dependent list per slot");
+    let trace_span = pdce_trace::span_with(
+        "solver",
+        "network-solve",
+        if pdce_trace::enabled() {
+            vec![("slots", num_slots.into())]
+        } else {
+            Vec::new()
+        },
+    );
     let mut values = BitVec::ones(num_slots);
     let mut queue: VecDeque<u32> = (0..num_slots as u32).collect();
     let mut queued = BitVec::ones(num_slots);
     let mut evaluations: u64 = 0;
+    let mut pops: u64 = 0;
 
     while let Some(slot) = queue.pop_front() {
+        pops += 1;
         let s = slot as usize;
         queued.set(s, false);
         if !values.get(s) {
@@ -68,6 +79,18 @@ pub fn solve_greatest(
             }
         }
     }
+    pdce_trace::record_solver(pdce_trace::SolverStats {
+        problems: 1,
+        sweeps: 0, // worklist-driven, no sweep structure
+        evaluations,
+        revisits: pops.saturating_sub(num_slots as u64),
+        word_ops: 0,
+    });
+    trace_span.finish_with(if pdce_trace::enabled() {
+        vec![("pops", pops.into()), ("evaluations", evaluations.into())]
+    } else {
+        Vec::new()
+    });
     NetworkSolution {
         values,
         evaluations,

@@ -57,6 +57,12 @@ pub struct Solution {
     pub exit: Vec<BitVec>,
     /// Number of node evaluations performed (for complexity experiments).
     pub evaluations: u64,
+    /// Full sweeps over the iteration order until the fixpoint was
+    /// certified (the final no-change sweep included).
+    pub sweeps: u64,
+    /// `u64` word operations spent on bit-vector meets, transfers, and
+    /// convergence compares — the paper's bit-vector cost unit.
+    pub word_ops: u64,
 }
 
 impl Solution {
@@ -114,6 +120,36 @@ pub fn solve_fn(
 ) -> Solution {
     let n = view.num_nodes();
     assert_eq!(boundary.len(), width, "boundary width mismatch");
+    let trace_span = pdce_trace::span_with(
+        "solver",
+        "bitvec-solve",
+        if pdce_trace::enabled() {
+            vec![
+                (
+                    "direction",
+                    match direction {
+                        Direction::Forward => "forward",
+                        Direction::Backward => "backward",
+                    }
+                    .into(),
+                ),
+                (
+                    "meet",
+                    match meet {
+                        Meet::Intersection => "intersection",
+                        Meet::Union => "union",
+                    }
+                    .into(),
+                ),
+                ("width", width.into()),
+                ("nodes", n.into()),
+            ]
+        } else {
+            Vec::new()
+        },
+    );
+    // Words per bit vector: the unit of the word-operation counter.
+    let words = width.div_ceil(64) as u64;
 
     let interior_init = match meet {
         Meet::Intersection => BitVec::ones(width),
@@ -138,10 +174,13 @@ pub fn solve_fn(
     };
 
     let mut evaluations: u64 = 0;
+    let mut sweeps: u64 = 0;
+    let mut word_ops: u64 = 0;
     // Initial sweep computes outputs; subsequent sweeps propagate.
     let mut changed = true;
     while changed {
         changed = false;
+        sweeps += 1;
         for &node in &order {
             evaluations += 1;
             // Meet over flow-predecessors.
@@ -151,6 +190,8 @@ pub fn solve_fn(
                     Direction::Backward => view.succs(node),
                 };
                 if !sources.is_empty() {
+                    // One copy plus one meet per further source.
+                    word_ops += words * sources.len() as u64;
                     let mut acc = output[sources[0].index()].clone();
                     for &src in &sources[1..] {
                         match meet {
@@ -161,6 +202,9 @@ pub fn solve_fn(
                     input[node.index()] = acc;
                 }
             }
+            // Gen/kill transfer (&!kill then |gen) plus the convergence
+            // compare.
+            word_ops += words * 3;
             let new_out = transfer(node, &input[node.index()]);
             if new_out != output[node.index()] {
                 output[node.index()] = new_out;
@@ -169,16 +213,37 @@ pub fn solve_fn(
         }
     }
 
+    pdce_trace::record_solver(pdce_trace::SolverStats {
+        problems: 1,
+        sweeps,
+        evaluations,
+        revisits: evaluations.saturating_sub(n as u64),
+        word_ops,
+    });
+    trace_span.finish_with(if pdce_trace::enabled() {
+        vec![
+            ("sweeps", sweeps.into()),
+            ("evaluations", evaluations.into()),
+            ("word_ops", word_ops.into()),
+        ]
+    } else {
+        Vec::new()
+    });
+
     match direction {
         Direction::Forward => Solution {
             entry: input,
             exit: output,
             evaluations,
+            sweeps,
+            word_ops,
         },
         Direction::Backward => Solution {
             entry: output,
             exit: input,
             evaluations,
+            sweeps,
+            word_ops,
         },
     }
 }

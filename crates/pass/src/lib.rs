@@ -38,7 +38,7 @@
 
 use std::error::Error;
 use std::fmt;
-use std::time::Instant;
+use std::time::Duration;
 
 use pdce_ir::Program;
 
@@ -206,14 +206,30 @@ impl PipelineReport {
         self.passes.iter().find(|m| m.name == name)
     }
 
-    /// A compact human-readable table of the per-pass metrics.
+    /// A compact human-readable table of the per-pass metrics. Numeric
+    /// columns are right-aligned; `time%` is each pass's share of the
+    /// total wall time spent inside passes.
     pub fn render(&self) -> String {
-        let mut out = String::from(
-            "pass            runs  chg  -stmts  +stmts  rewr    hits  miss      time\n",
+        let total_ns: u128 = self.passes.iter().map(|m| m.wall_ns).sum();
+        let name_w = self
+            .passes
+            .iter()
+            .map(|m| m.name.len())
+            .max()
+            .unwrap_or(0)
+            .max("pass".len());
+        let mut out = format!(
+            "{:<name_w$} {:>5} {:>5} {:>7} {:>7} {:>6} {:>7} {:>6} {:>10} {:>6}\n",
+            "pass", "runs", "chg", "-stmts", "+stmts", "rewr", "hits", "miss", "time", "time%"
         );
         for m in &self.passes {
+            let pct = if total_ns == 0 {
+                0.0
+            } else {
+                m.wall_ns as f64 * 100.0 / total_ns as f64
+            };
             out.push_str(&format!(
-                "{:<15} {:>4} {:>4} {:>7} {:>7} {:>5} {:>7} {:>5} {:>9.2?}\n",
+                "{:<name_w$} {:>5} {:>5} {:>7} {:>7} {:>6} {:>7} {:>6} {:>10} {:>5.1}%\n",
                 m.name,
                 m.runs,
                 m.changed_runs,
@@ -222,7 +238,8 @@ impl PipelineReport {
                 m.rewritten,
                 m.cache.hits(),
                 m.cache.misses(),
-                std::time::Duration::from_nanos(m.wall_ns as u64),
+                format!("{:.2?}", Duration::from_nanos(m.wall_ns as u64)),
+                pct,
             ));
         }
         out
@@ -290,9 +307,21 @@ fn run_steps(
         match step {
             Step::Single(pass) => {
                 let cache_before = cache.stats();
-                let started = Instant::now();
+                // One span per pass execution; the same guard supplies
+                // the wall time for `PassMetrics` whether or not a
+                // tracer is installed.
+                let span = pdce_trace::timed_span("pass", pass.name());
                 let outcome = pass.run(prog, cache);
-                let elapsed = started.elapsed().as_nanos();
+                let elapsed = span.finish_with(if pdce_trace::enabled() {
+                    vec![
+                        ("changed", u64::from(outcome.changed).into()),
+                        ("removed", outcome.removed.into()),
+                        ("inserted", outcome.inserted.into()),
+                        ("rewritten", outcome.rewritten.into()),
+                    ]
+                } else {
+                    Vec::new()
+                });
                 report.outcome.merge(&outcome);
                 let metrics = match report.passes.iter_mut().find(|m| m.name == pass.name()) {
                     Some(m) => m,
@@ -319,7 +348,11 @@ fn run_steps(
                 metrics.cache.analysis_misses += delta.analysis_misses;
             }
             Step::RepeatUntilStable(inner) => {
-                for _ in 0..cap {
+                for i in 0..cap {
+                    // Each iteration is one global round: provenance
+                    // recorded by the inner passes carries it, and the
+                    // trace shows one `round` span per iteration.
+                    let _round = pdce_trace::round_scope(i as u64 + 1);
                     let before = prog.revision();
                     run_steps(inner, prog, cache, cap, report);
                     if prog.revision() == before {

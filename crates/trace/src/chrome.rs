@@ -1,0 +1,203 @@
+//! Chrome `trace_events` exporter.
+//!
+//! Produces the JSON object format understood by `chrome://tracing` and
+//! [Perfetto](https://ui.perfetto.dev): a `traceEvents` array of
+//! duration (`B`/`E`), instant (`i`), and counter (`C`) events on one
+//! process/thread track.
+//!
+//! Two clocks are supported:
+//!
+//! * [`Clock::Wall`] — microsecond wall-clock timestamps, for humans
+//!   reading real durations;
+//! * [`Clock::Logical`] — the collector's sequence numbers as
+//!   timestamps, which makes the output **byte-deterministic** for a
+//!   deterministic run (the schema-stability tests rely on this; span
+//!   nesting and ordering are preserved exactly, only durations lose
+//!   meaning).
+
+use crate::json::write_escaped;
+use crate::{ArgValue, Event, Phase};
+use std::fmt::Write as _;
+
+/// Timestamp source for the exported trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Clock {
+    /// Wall-clock microseconds since collector creation.
+    Wall,
+    /// Logical event sequence numbers (deterministic).
+    Logical,
+}
+
+/// Exporter options.
+#[derive(Debug, Clone, Copy)]
+pub struct ChromeOptions {
+    /// Which clock to emit as `ts`.
+    pub clock: Clock,
+}
+
+impl ChromeOptions {
+    /// Wall-clock timestamps (the CLI default).
+    pub fn wall() -> ChromeOptions {
+        ChromeOptions { clock: Clock::Wall }
+    }
+
+    /// Logical timestamps (byte-deterministic output).
+    pub fn logical() -> ChromeOptions {
+        ChromeOptions {
+            clock: Clock::Logical,
+        }
+    }
+}
+
+fn write_args(out: &mut String, args: &[(&'static str, ArgValue)]) {
+    out.push('{');
+    for (i, (key, value)) in args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_escaped(out, key);
+        out.push(':');
+        match value {
+            ArgValue::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            ArgValue::I64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            ArgValue::Str(s) => write_escaped(out, s),
+        }
+    }
+    out.push('}');
+}
+
+fn write_ts(out: &mut String, event: &Event, clock: Clock) {
+    match clock {
+        // Integer microseconds keep the formatting stable across
+        // platforms (float formatting is deterministic in Rust, but
+        // integer µs is also what chrome://tracing expects by default).
+        Clock::Wall => {
+            let _ = write!(out, "{}", event.wall_ns / 1_000);
+        }
+        Clock::Logical => {
+            let _ = write!(out, "{}", event.seq);
+        }
+    }
+}
+
+/// Serializes `events` as a Chrome `trace_events` JSON object.
+///
+/// The output is one line per event, schema-stable: every event carries
+/// `ph`, `pid`, `tid`, `ts`; begin/instant/counter events add `cat`,
+/// `name`, and `args`; end events add `args` only when the span was
+/// finished with args.
+pub fn chrome_trace(events: &[Event], options: &ChromeOptions) -> String {
+    let mut out = String::with_capacity(events.len() * 96 + 64);
+    out.push_str("{\"traceEvents\":[");
+    for (i, event) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n{\"ph\":");
+        let ph = match event.phase {
+            Phase::Begin => "\"B\"",
+            Phase::End => "\"E\"",
+            Phase::Instant => "\"i\"",
+            Phase::Counter => "\"C\"",
+        };
+        out.push_str(ph);
+        out.push_str(",\"pid\":1,\"tid\":1,\"ts\":");
+        write_ts(&mut out, event, options.clock);
+        match event.phase {
+            Phase::End => {
+                if !event.args.is_empty() {
+                    out.push_str(",\"args\":");
+                    write_args(&mut out, &event.args);
+                }
+            }
+            Phase::Begin | Phase::Counter | Phase::Instant => {
+                out.push_str(",\"cat\":");
+                write_escaped(&mut out, event.cat);
+                out.push_str(",\"name\":");
+                write_escaped(&mut out, &event.name);
+                if event.phase == Phase::Instant {
+                    out.push_str(",\"s\":\"t\"");
+                }
+                out.push_str(",\"args\":");
+                write_args(&mut out, &event.args);
+            }
+        }
+        out.push('}');
+    }
+    out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+    use crate::{install, span_with, Collector};
+    use std::rc::Rc;
+
+    fn sample_events() -> Vec<Event> {
+        let c = Rc::new(Collector::new());
+        {
+            let _g = install(c.clone());
+            let s = span_with("pass", "dce", vec![("width", ArgValue::U64(3))]);
+            crate::counter("removed", 2);
+            crate::instant("note", "split \"edge\"", vec![("block", "S_h_h".into())]);
+            s.finish_with(vec![("evaluations", ArgValue::U64(12))]);
+        }
+        c.events()
+    }
+
+    #[test]
+    fn output_is_valid_json_with_expected_shape() {
+        let events = sample_events();
+        let text = chrome_trace(&events, &ChromeOptions::wall());
+        let doc = json::parse(&text).expect("valid JSON");
+        let arr = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        assert_eq!(arr.len(), 4);
+        assert_eq!(arr[0].get("ph").unwrap().as_str(), Some("B"));
+        assert_eq!(arr[0].get("name").unwrap().as_str(), Some("dce"));
+        assert_eq!(arr[0].get("cat").unwrap().as_str(), Some("pass"));
+        assert_eq!(
+            arr[0].get("args").unwrap().get("width").unwrap().as_num(),
+            Some(3.0)
+        );
+        assert_eq!(arr[1].get("ph").unwrap().as_str(), Some("C"));
+        assert_eq!(arr[2].get("ph").unwrap().as_str(), Some("i"));
+        assert_eq!(arr[2].get("s").unwrap().as_str(), Some("t"));
+        assert_eq!(arr[3].get("ph").unwrap().as_str(), Some("E"));
+        assert_eq!(
+            arr[3]
+                .get("args")
+                .unwrap()
+                .get("evaluations")
+                .unwrap()
+                .as_num(),
+            Some(12.0)
+        );
+    }
+
+    #[test]
+    fn logical_clock_is_deterministic() {
+        let a = chrome_trace(&sample_events(), &ChromeOptions::logical());
+        let b = chrome_trace(&sample_events(), &ChromeOptions::logical());
+        assert_eq!(a, b, "logical traces must be byte-identical");
+        let doc = json::parse(&a).unwrap();
+        let arr = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let ts: Vec<f64> = arr
+            .iter()
+            .map(|e| e.get("ts").unwrap().as_num().unwrap())
+            .collect();
+        assert_eq!(ts, vec![0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn empty_trace_is_valid() {
+        let text = chrome_trace(&[], &ChromeOptions::logical());
+        let doc = json::parse(&text).unwrap();
+        assert!(doc.get("traceEvents").unwrap().as_arr().unwrap().is_empty());
+    }
+}

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! pdce opt     [--mode pde|pfe|dce|fce | --passes SPEC] [--region a,b,c]
-//!              [--max-rounds N] [--stats] [FILE]   optimize a program
+//!              [--max-rounds N] [--stats] [--trace FILE.json] [--explain]
+//!              [FILE]                              optimize a program
 //! pdce run     [--in name=value]... [--seed N] [--fuel N] [FILE]
 //!                                                  interpret a program
 //! pdce analyze [FILE]                              per-block analysis facts
@@ -41,9 +42,13 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   pdce opt     [--mode pde|pfe|dce|fce | --passes SPEC] [--region a,b,c]
-               [--max-rounds N] [--simplify] [--stats] [--verify] [FILE]
+               [--max-rounds N] [--simplify] [--stats] [--verify]
+               [--trace FILE.json] [--explain] [FILE]
                SPEC is a comma-separated pass list with repeat(...) groups,
                e.g. --passes 'sccp,lvn,repeat(fce,sink),simplify'
+               --trace writes a Chrome trace_events JSON (chrome://tracing,
+               ui.perfetto.dev); --explain prints the provenance log: which
+               pass moved/inserted/eliminated which statement in which round
   pdce run     [--in name=value]... [--seed N] [--fuel N] [FILE]
   pdce analyze [FILE]
   pdce universe [--mode pde|pfe] [--max N] [FILE]
@@ -139,14 +144,16 @@ fn load(file: Option<&str>) -> Result<Program, CliError> {
 fn cmd_opt(args: &[String]) -> Result<(), CliError> {
     let parsed = parse_args(
         args,
-        &["mode", "passes", "region", "max-rounds"],
-        &["stats", "verify", "simplify"],
+        &["mode", "passes", "region", "max-rounds", "trace"],
+        &["stats", "verify", "simplify", "explain"],
     )?;
     let mut config = PdceConfig::pde();
     let mut passes_spec: Option<String> = None;
+    let mut trace_path: Option<String> = None;
     let mut want_stats = false;
     let mut want_verify = false;
     let mut want_simplify = false;
+    let mut want_explain = false;
     for (name, value) in &parsed.flags {
         match name.as_str() {
             "passes" => passes_spec = Some(value.clone()),
@@ -168,74 +175,95 @@ fn cmd_opt(args: &[String]) -> Result<(), CliError> {
                     .map_err(|_| usage(format!("bad --max-rounds `{value}`")))?;
                 config = config.truncating_after(n);
             }
+            "trace" => trace_path = Some(value.clone()),
             "stats" => want_stats = true,
             "verify" => want_verify = true,
             "simplify" => want_simplify = true,
+            "explain" => want_explain = true,
             _ => unreachable!(),
         }
     }
     let original = load(parsed.file.as_deref())?;
     let mut prog = original.clone();
-    if let Some(spec) = &passes_spec {
-        if parsed
-            .flags
-            .iter()
-            .any(|(n, _)| n == "mode" || n == "region" || n == "max-rounds")
-        {
-            return Err(usage("--passes replaces --mode/--region/--max-rounds"));
-        }
-        let pipeline = pdce::pass::Pipeline::parse(spec).map_err(|e| usage(e.to_string()))?;
-        let report = pipeline.run(&mut prog);
-        if want_simplify {
-            pdce::ir::simplify_cfg(&mut prog);
-        }
-        print!("{}", print_program(&prog));
-        if want_stats {
-            eprint!("{}", report.render());
-            eprintln!(
-                "cache:       {} hit(s), {} miss(es)",
-                report.cache.hits(),
-                report.cache.misses()
-            );
-        }
-        if want_verify {
-            let report = check_improvement(&original, &prog, &BetterOptions::default());
-            if !report.holds() {
-                return Err(failed("internal error: result does not dominate the input"));
+    let collector = (trace_path.is_some() || want_explain)
+        .then(|| std::rc::Rc::new(pdce::trace::Collector::new()));
+    {
+        // Tracing covers exactly the optimization (the exporters below
+        // run after the guard drops, so they don't trace themselves).
+        let _guard = collector
+            .as_ref()
+            .map(|c| pdce::trace::install(c.clone() as std::rc::Rc<dyn pdce::trace::Tracer>));
+        if let Some(spec) = &passes_spec {
+            if parsed
+                .flags
+                .iter()
+                .any(|(n, _)| n == "mode" || n == "region" || n == "max-rounds")
+            {
+                return Err(usage("--passes replaces --mode/--region/--max-rounds"));
             }
+            let pipeline = pdce::pass::Pipeline::parse(spec).map_err(|e| usage(e.to_string()))?;
+            let report = pipeline.run(&mut prog);
+            if want_simplify {
+                pdce::ir::simplify_cfg(&mut prog);
+            }
+            print!("{}", print_program(&prog));
+            if want_stats {
+                eprint!("{}", report.render());
+                eprintln!(
+                    "cache:       {} hit(s), {} miss(es)",
+                    report.cache.hits(),
+                    report.cache.misses()
+                );
+            }
+        } else {
+            let stats = optimize(&mut prog, &config).map_err(failed)?;
+            if want_simplify {
+                let s = pdce::ir::simplify_cfg(&mut prog);
+                if want_stats {
+                    eprintln!(
+                        "simplify:    {} forwarded, {} merged, {} removed",
+                        s.forwarded, s.merged, s.removed
+                    );
+                }
+            }
+            print!("{}", print_program(&prog));
+            if want_stats {
+                eprintln!("rounds:      {}", stats.rounds);
+                eprintln!("eliminated:  {}", stats.eliminated_assignments);
+                eprintln!("sunk:        {}", stats.sunk_assignments);
+                eprintln!("inserted:    {}", stats.inserted_assignments);
+                eprintln!("synthetic:   {}", stats.synthetic_blocks);
+                eprintln!("growth ω:    {:.2}", stats.growth_factor());
+                eprintln!(
+                    "cache:       {} rebuild(s) avoided, {} rebuild(s) paid",
+                    stats.cache.hits(),
+                    stats.cache.misses()
+                );
+                eprintln!(
+                    "solver:      {} problem(s), {} evaluation(s), {} word op(s)",
+                    stats.solver.problems, stats.solver.evaluations, stats.solver.word_ops
+                );
+                if stats.truncated {
+                    eprintln!("truncated:   yes");
+                }
+            }
+        }
+    }
+    if let Some(c) = &collector {
+        if let Some(path) = &trace_path {
+            let json = pdce::trace::chrome::chrome_trace(
+                &c.events(),
+                &pdce::trace::chrome::ChromeOptions::wall(),
+            );
+            std::fs::write(path, json)
+                .map_err(|e| failed(format!("cannot write trace `{path}`: {e}")))?;
             eprintln!(
-                "verified: dominates the input on {} path(s) ({})",
-                report.paths_checked,
-                if report.exact { "exact" } else { "sampled" }
+                "trace: wrote {} event(s) to {path} (open in chrome://tracing or ui.perfetto.dev)",
+                c.len()
             );
         }
-        return Ok(());
-    }
-    let stats = optimize(&mut prog, &config).map_err(failed)?;
-    if want_simplify {
-        let s = pdce::ir::simplify_cfg(&mut prog);
-        if want_stats {
-            eprintln!(
-                "simplify:    {} forwarded, {} merged, {} removed",
-                s.forwarded, s.merged, s.removed
-            );
-        }
-    }
-    print!("{}", print_program(&prog));
-    if want_stats {
-        eprintln!("rounds:      {}", stats.rounds);
-        eprintln!("eliminated:  {}", stats.eliminated_assignments);
-        eprintln!("sunk:        {}", stats.sunk_assignments);
-        eprintln!("inserted:    {}", stats.inserted_assignments);
-        eprintln!("synthetic:   {}", stats.synthetic_blocks);
-        eprintln!("growth ω:    {:.2}", stats.growth_factor());
-        eprintln!(
-            "cache:       {} rebuild(s) avoided, {} rebuild(s) paid",
-            stats.cache.hits(),
-            stats.cache.misses()
-        );
-        if stats.truncated {
-            eprintln!("truncated:   yes");
+        if want_explain {
+            eprint!("{}", pdce::trace::explain::render(&c.provenance()));
         }
     }
     if want_verify {

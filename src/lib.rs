@@ -12,6 +12,9 @@
 //! * [`pass`] — the unified pass pipeline: registry, spec parser,
 //!   per-pass instrumentation, shared analysis cache
 //! * [`progen`] — random program generators
+//! * [`trace`] — structured tracing: span/event collector, solver
+//!   telemetry, transformation provenance, Chrome-trace and `--explain`
+//!   exporters
 //!
 //! # Quickstart
 //!
@@ -59,3 +62,4 @@ pub use pdce_lcm as lcm;
 pub use pdce_pass as pass;
 pub use pdce_progen as progen;
 pub use pdce_ssa as ssa;
+pub use pdce_trace as trace;

@@ -73,6 +73,40 @@ fn opt_respects_region_and_rounds() {
 }
 
 #[test]
+fn opt_explain_names_passes_and_rounds() {
+    let (stdout, stderr, ok) = pdce(&["opt", "--explain"], FIG1);
+    assert!(ok, "stderr: {stderr}");
+    // stdout stays the plain optimized program; the log goes to stderr.
+    pdce::ir::parser::parse(&stdout).expect("output parses");
+    assert!(stderr.contains("round 1:"), "stderr: {stderr}");
+    assert!(stderr.contains("[sink] sank"));
+    assert!(stderr.contains("`y := a + b` from block n1"));
+    assert!(stderr.contains("[dce ] eliminated"));
+}
+
+#[test]
+fn opt_trace_writes_chrome_json() {
+    let path = std::env::temp_dir().join(format!("pdce-cli-trace-{}.json", std::process::id()));
+    let path_str = path.to_str().unwrap();
+    let (_, stderr, ok) = pdce(&["opt", "--trace", path_str], FIG1);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stderr.contains("trace: wrote"), "stderr: {stderr}");
+    let text = std::fs::read_to_string(&path).expect("trace file exists");
+    std::fs::remove_file(&path).ok();
+    let doc = pdce::trace::json::parse(&text).expect("valid JSON");
+    let events = doc.get("traceEvents").and_then(|v| v.as_arr()).unwrap();
+    assert!(!events.is_empty());
+}
+
+#[test]
+fn opt_pipeline_stats_report_passes() {
+    let (_, stderr, ok) = pdce(&["opt", "--passes", "repeat(dce,sink)", "--stats"], FIG1);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stderr.contains("time%"), "stderr: {stderr}");
+    assert!(stderr.contains("sink"));
+}
+
+#[test]
 fn run_executes_and_prints_outputs() {
     let (stdout, stderr, ok) = pdce(&["run", "--in", "a=2", "--in", "b=3", "--seed", "1"], FIG1);
     assert!(ok, "stderr: {stderr}");
