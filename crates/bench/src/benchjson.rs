@@ -13,7 +13,15 @@ use pdce_trace::SolverStats;
 use std::fmt::Write as _;
 
 /// Schema version stamped into the document; bump on breaking changes.
-pub const SCHEMA_VERSION: u64 = 1;
+/// v2: solver stats carry strategy-tagged pops (`fifo_pops` /
+/// `priority_pops`), sweep rows gain the FIFO reference run
+/// (`pde_solver_fifo`), and the document gains `pops_reduction_pct` —
+/// the priority strategy's worklist-pop saving over FIFO on the sweep,
+/// which [`validate`] requires to be ≥ 20%.
+pub const SCHEMA_VERSION: u64 = 2;
+
+/// The acceptance bar on `pops_reduction_pct`.
+pub const MIN_POPS_REDUCTION_PCT: f64 = 20.0;
 
 /// One figure reproduction with its cost.
 #[derive(Debug, Clone)]
@@ -45,8 +53,12 @@ pub struct SweepRow {
     pub pde_ns: u128,
     /// Best-of-reps pfe wall time, nanoseconds.
     pub pfe_ns: u128,
-    /// Solver telemetry of the (best) pde run.
+    /// Solver telemetry of the (best) pde run under the priority
+    /// worklist strategy.
     pub pde_solver: SolverStats,
+    /// Solver telemetry of the same workload under the FIFO reference
+    /// strategy — the baseline of the pops-reduction claim.
+    pub pde_solver_fifo: SolverStats,
 }
 
 /// The disabled-tracing overhead A/B timing.
@@ -82,15 +94,32 @@ pub struct BenchSummary {
     pub figures: Vec<FigureRow>,
     /// Scaling sweep rows.
     pub sweep: Vec<SweepRow>,
+    /// Worklist pops saved by the priority strategy over the FIFO
+    /// reference, in percent of the FIFO total across the sweep (see
+    /// [`pops_reduction_pct`]).
+    pub pops_reduction_pct: f64,
     /// The tracing overhead A/B.
     pub tracing: TracingAb,
+}
+
+/// `(fifo - priority) / fifo` in percent over the sweep totals, the
+/// number [`validate`] holds against [`MIN_POPS_REDUCTION_PCT`]. Zero
+/// for an empty sweep.
+pub fn pops_reduction_pct(sweep: &[SweepRow]) -> f64 {
+    let fifo: u64 = sweep.iter().map(|r| r.pde_solver_fifo.pops()).sum();
+    let priority: u64 = sweep.iter().map(|r| r.pde_solver.pops()).sum();
+    if fifo == 0 {
+        return 0.0;
+    }
+    (fifo.saturating_sub(priority)) as f64 * 100.0 / fifo as f64
 }
 
 fn write_solver(out: &mut String, s: &SolverStats) {
     let _ = write!(
         out,
-        "{{\"problems\":{},\"sweeps\":{},\"evaluations\":{},\"revisits\":{},\"word_ops\":{}}}",
-        s.problems, s.sweeps, s.evaluations, s.revisits, s.word_ops
+        "{{\"problems\":{},\"sweeps\":{},\"evaluations\":{},\"revisits\":{},\"word_ops\":{},\
+         \"fifo_pops\":{},\"priority_pops\":{}}}",
+        s.problems, s.sweeps, s.evaluations, s.revisits, s.word_ops, s.fifo_pops, s.priority_pops
     );
 }
 
@@ -126,12 +155,19 @@ impl BenchSummary {
                 s.target, s.blocks, s.stmts, s.pde_ns, s.pfe_ns
             );
             write_solver(&mut out, &s.pde_solver);
+            out.push_str(",\"pde_solver_fifo\":");
+            write_solver(&mut out, &s.pde_solver_fifo);
             out.push('}');
         }
+        let _ = write!(
+            out,
+            "\n],\n\"pops_reduction_pct\":{:.3},",
+            self.pops_reduction_pct
+        );
         let t = &self.tracing;
         let _ = write!(
             out,
-            "\n],\n\"tracing\":{{\"workload\":{},\"disabled_a_ns\":{},\"disabled_b_ns\":{},\
+            "\n\"tracing\":{{\"workload\":{},\"disabled_a_ns\":{},\"disabled_b_ns\":{},\
              \"disabled_ab_delta_pct\":{:.3},\"enabled_ns\":{},\"enabled_overhead_pct\":{:.3}}}\n}}\n",
             json::escaped(&t.workload),
             t.disabled_a_ns,
@@ -156,7 +192,15 @@ fn require_num(obj: &Value, key: &str, ctx: &str) -> Result<f64, String> {
 }
 
 fn check_solver(v: &Value, ctx: &str) -> Result<(), String> {
-    for key in ["problems", "sweeps", "evaluations", "revisits", "word_ops"] {
+    for key in [
+        "problems",
+        "sweeps",
+        "evaluations",
+        "revisits",
+        "word_ops",
+        "fifo_pops",
+        "priority_pops",
+    ] {
         let n = require_num(v, key, ctx)?;
         if n < 0.0 {
             return Err(format!("{ctx}: `{key}` is negative"));
@@ -212,6 +256,13 @@ pub fn validate(text: &str) -> Result<(), String> {
             require_num(s, key, &ctx)?;
         }
         check_solver(require(s, "pde_solver", &ctx)?, &ctx)?;
+        check_solver(require(s, "pde_solver_fifo", &ctx)?, &ctx)?;
+    }
+    let reduction = require_num(&doc, "pops_reduction_pct", "document")?;
+    if !sweep.is_empty() && reduction < MIN_POPS_REDUCTION_PCT {
+        return Err(format!(
+            "pops_reduction_pct {reduction:.3} below the {MIN_POPS_REDUCTION_PCT}% acceptance bar"
+        ));
     }
     let tracing = require(&doc, "tracing", "document")?;
     require(tracing, "workload", "tracing")?
@@ -234,6 +285,28 @@ mod tests {
     use super::*;
 
     fn sample() -> BenchSummary {
+        let sweep = vec![SweepRow {
+            target: 24,
+            blocks: 25,
+            stmts: 70,
+            pde_ns: 1_000_000,
+            pfe_ns: 2_000_000,
+            pde_solver: SolverStats {
+                problems: 9,
+                evaluations: 70,
+                priority_pops: 70,
+                ..SolverStats::ZERO
+            },
+            pde_solver_fifo: SolverStats {
+                problems: 9,
+                sweeps: 20,
+                evaluations: 120,
+                revisits: 40,
+                word_ops: 900,
+                fifo_pops: 120,
+                priority_pops: 0,
+            },
+        }];
         BenchSummary {
             quick: true,
             figures: vec![FigureRow {
@@ -248,16 +321,12 @@ mod tests {
                     evaluations: 120,
                     revisits: 40,
                     word_ops: 900,
+                    fifo_pops: 0,
+                    priority_pops: 120,
                 },
             }],
-            sweep: vec![SweepRow {
-                target: 24,
-                blocks: 25,
-                stmts: 70,
-                pde_ns: 1_000_000,
-                pfe_ns: 2_000_000,
-                pde_solver: SolverStats::ZERO,
-            }],
+            pops_reduction_pct: pops_reduction_pct(&sweep),
+            sweep,
             tracing: TracingAb {
                 workload: "pde over 2 structured programs".into(),
                 disabled_a_ns: 1_000_000,
@@ -293,5 +362,24 @@ mod tests {
         let good = sample().to_json();
         let bad = good.replace("\"word_ops\":900", "\"word_ops\":\"x\"");
         assert!(validate(&bad).is_err());
+    }
+
+    #[test]
+    fn validation_enforces_pops_reduction_bar() {
+        let mut s = sample();
+        // A priority run that pops as much as FIFO fails the ≥20% bar.
+        s.sweep[0].pde_solver.priority_pops = s.sweep[0].pde_solver_fifo.fifo_pops;
+        s.pops_reduction_pct = pops_reduction_pct(&s.sweep);
+        assert!(validate(&s.to_json())
+            .unwrap_err()
+            .contains("acceptance bar"));
+    }
+
+    #[test]
+    fn pops_reduction_handles_empty_and_zero() {
+        assert_eq!(pops_reduction_pct(&[]), 0.0);
+        let s = sample();
+        let pct = pops_reduction_pct(&s.sweep);
+        assert!((pct - (120.0 - 70.0) * 100.0 / 120.0).abs() < 1e-9);
     }
 }

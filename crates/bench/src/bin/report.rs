@@ -10,7 +10,10 @@
 //! Flags: `--quick` runs the CI smoke slice only (figures + a small
 //! sweep + the tracing A/B); `--json PATH` overrides the summary path
 //! (default `BENCH_PDE.json` in the current directory); `--validate
-//! PATH` only checks an existing summary against the schema and exits.
+//! PATH` only checks an existing summary against the schema and exits;
+//! `--jobs N` shards the scaling sweep's per-size measurements across
+//! the `pdce-par` batch pool (default 1 — wall times in the JSON are
+//! only comparable across runs at the same job count).
 
 use std::rc::Rc;
 use std::time::Instant;
@@ -21,6 +24,7 @@ use pdce_bench::{figure_corpus, fit_loglog_slope, measure, verify_figure};
 use pdce_core::driver::{optimize, PdceConfig};
 use pdce_core::elim::{eliminate_fixpoint, Mode};
 use pdce_core::{DeadSolution, DelayInfo, FaintSolution, LocalInfo, PatternTable};
+use pdce_dfa::{with_strategy, SolverStrategy};
 use pdce_ir::interp::{run, Env, ExecLimits, ReplayOracle, SeededOracle};
 use pdce_ir::{CfgView, Program};
 use pdce_pass::Pipeline;
@@ -39,6 +43,12 @@ fn main() {
         .position(|a| a == "--json")
         .and_then(|i| args.get(i + 1).cloned())
         .unwrap_or_else(|| "BENCH_PDE.json".to_string());
+    let jobs = args
+        .iter()
+        .position(|a| a == "--jobs")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse::<usize>().expect("--jobs needs a number"))
+        .unwrap_or(1);
 
     if let Some(i) = args.iter().position(|a| a == "--validate") {
         let path = args.get(i + 1).expect("--validate needs a path");
@@ -57,7 +67,7 @@ fn main() {
     }
 
     let figures = figures_table();
-    let sweep = c1_c2_scaling(quick);
+    let sweep = c1_c2_scaling(quick, jobs);
     if !quick {
         c1b_irreducible_scaling();
         c3_analysis_costs();
@@ -72,6 +82,7 @@ fn main() {
     let summary = BenchSummary {
         quick,
         figures,
+        pops_reduction_pct: benchjson::pops_reduction_pct(&sweep),
         sweep,
         tracing,
     };
@@ -133,34 +144,47 @@ fn structured_of_size(n: usize, seed: u64) -> Program {
     })
 }
 
-fn c1_c2_scaling(quick: bool) -> Vec<SweepRow> {
+fn c1_c2_scaling(quick: bool, jobs: usize) -> Vec<SweepRow> {
     hr("C1/C2: pde & pfe runtime scaling on structured programs");
     println!("paper: worst case O(n^4)/O(n^5); expected O(n^2)/O(n^3) on");
     println!("realistic structured programs (Section 6.4).\n");
     println!(
-        "{:>7} {:>7} {:>7} {:>12} {:>12} {:>11}",
-        "target", "blocks", "stmts", "pde (µs)", "pfe (µs)", "word-ops"
+        "{:>7} {:>7} {:>7} {:>12} {:>12} {:>11} {:>10} {:>10}",
+        "target", "blocks", "stmts", "pde (µs)", "pfe (µs)", "word-ops", "fifo-pops", "prio-pops"
     );
     let sizes: &[usize] = if quick {
         &[24, 48, 96]
     } else {
         &[24, 48, 96, 192, 384, 768]
     };
+    // Shard per-size measurements across the batch pool; each worker
+    // measures both strategies on its own thread (strategy selection
+    // and solver counters are thread-local, so shards don't interfere).
+    let measured = pdce_par::map_indexed(jobs, sizes, |_, &n| {
+        let prog = structured_of_size(n, 11);
+        let mp = with_strategy(SolverStrategy::Priority, || {
+            measure(n, &prog, &PdceConfig::pde(), 3)
+        });
+        let mp_fifo = with_strategy(SolverStrategy::Fifo, || {
+            measure(n, &prog, &PdceConfig::pde(), 3)
+        });
+        let mf = measure(n, &prog, &PdceConfig::pfe(), 3);
+        (mp, mp_fifo, mf)
+    });
     let mut rows = Vec::new();
     let mut pde_points = Vec::new();
     let mut pfe_points = Vec::new();
-    for &n in sizes {
-        let prog = structured_of_size(n, 11);
-        let mp = measure(n, &prog, &PdceConfig::pde(), 3);
-        let mf = measure(n, &prog, &PdceConfig::pfe(), 3);
+    for ((mp, mp_fifo, mf), &n) in measured.into_iter().zip(sizes) {
         println!(
-            "{:>7} {:>7} {:>7} {:>12.1} {:>12.1} {:>11}",
+            "{:>7} {:>7} {:>7} {:>12.1} {:>12.1} {:>11} {:>10} {:>10}",
             n,
             mp.blocks,
             mp.stmts,
             mp.time_ns as f64 / 1e3,
             mf.time_ns as f64 / 1e3,
-            mp.stats.solver.word_ops
+            mp.stats.solver.word_ops,
+            mp_fifo.stats.solver.pops(),
+            mp.stats.solver.pops()
         );
         pde_points.push((mp.stmts as f64, mp.time_ns as f64));
         pfe_points.push((mf.stmts as f64, mf.time_ns as f64));
@@ -171,6 +195,7 @@ fn c1_c2_scaling(quick: bool) -> Vec<SweepRow> {
             pde_ns: mp.time_ns,
             pfe_ns: mf.time_ns,
             pde_solver: mp.stats.solver,
+            pde_solver_fifo: mp_fifo.stats.solver,
         });
     }
     println!(
@@ -179,6 +204,11 @@ fn c1_c2_scaling(quick: bool) -> Vec<SweepRow> {
         fit_loglog_slope(&pfe_points)
     );
     println!("paper expectation: pde ≲ 2, pfe ≲ 3 on structured inputs.");
+    println!(
+        "priority worklist pops {:.1}% fewer than the FIFO reference (bar ≥{}%).",
+        benchjson::pops_reduction_pct(&rows),
+        benchjson::MIN_POPS_REDUCTION_PCT
+    );
     rows
 }
 

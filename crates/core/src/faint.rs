@@ -19,7 +19,8 @@
 //! paper's subtlety: whenever slot `(ι, lhs_ι)` drops, the slots `(ι, z)`
 //! of all right-hand-side variables `z` of `ι` are re-queued.
 
-use pdce_dfa::network::{solve_greatest, NetworkSolution};
+use pdce_dfa::network::{solve_greatest, solve_greatest_prioritized, NetworkSolution};
+use pdce_dfa::SolverStrategy;
 use pdce_ir::{NodeId, Program, Stmt, Var};
 
 /// One analysed instruction: statements plus one terminator pseudo-
@@ -142,10 +143,7 @@ impl FaintSolution {
                 .all(|&nu| values.get(nu as usize * num_vars + v.index()))
         };
 
-        let NetworkSolution {
-            values,
-            evaluations,
-        } = solve_greatest(num_slots, &dependents, |s, values| {
+        let mut eval = |s: usize, values: &pdce_dfa::BitVec| {
             let instr = s / num_vars;
             let x = Var::from_index(s % num_vars);
             match &infos[instr] {
@@ -156,7 +154,21 @@ impl FaintSolution {
                         && (x_faint(values, instr, *lhs) || !rhs_vars.contains(&x))
                 }
             }
-        });
+        };
+        let NetworkSolution {
+            values,
+            evaluations,
+        } = match pdce_dfa::current_strategy() {
+            SolverStrategy::Fifo => solve_greatest(num_slots, &dependents, &mut eval),
+            SolverStrategy::Priority => {
+                // Falsity flows backward along `next`, so evaluate deep
+                // instructions first: priority = instruction-graph
+                // postorder index (exit-most instructions finish first).
+                let po = instr_postorder(&next, offsets[prog.entry().index()]);
+                let priority: Vec<u32> = (0..num_slots).map(|s| po[s / num_vars]).collect();
+                solve_greatest_prioritized(num_slots, &dependents, &priority, &mut eval)
+            }
+        };
 
         FaintSolution {
             num_vars,
@@ -196,6 +208,35 @@ impl FaintSolution {
     pub fn evaluations(&self) -> u64 {
         self.evaluations
     }
+}
+
+/// Postorder index of every instruction in the `next` graph, walked
+/// iteratively from `entry`. Instructions unreachable from the entry
+/// (none, given IR validation) sort last via `u32::MAX`.
+fn instr_postorder(next: &[Vec<u32>], entry: usize) -> Vec<u32> {
+    let mut po = vec![u32::MAX; next.len()];
+    if next.is_empty() {
+        return po;
+    }
+    let mut counter = 0u32;
+    let mut visited = vec![false; next.len()];
+    let mut stack: Vec<(usize, usize)> = vec![(entry, 0)];
+    visited[entry] = true;
+    while let Some((i, child)) = stack.last_mut() {
+        if *child < next[*i].len() {
+            let nu = next[*i][*child] as usize;
+            *child += 1;
+            if !visited[nu] {
+                visited[nu] = true;
+                stack.push((nu, 0));
+            }
+        } else {
+            po[*i] = counter;
+            counter += 1;
+            stack.pop();
+        }
+    }
+    po
 }
 
 #[cfg(test)]
@@ -346,6 +387,24 @@ mod tests {
         let l = p.block_by_name("l").unwrap();
         assert!(f.faint_after(l, 0, var(&p, "x")));
         assert!(f.faint_after(l, 1, var(&p, "y")));
+    }
+
+    #[test]
+    fn strategies_agree_on_faint_values() {
+        let p = parse(
+            "prog {
+               block s  { a := c + 1; nondet n3 n4 }
+               block n3 { goto n5 }
+               block n4 { y := a + b; goto n5 }
+               block n5 { y := c + d; out(y); nondet n4 e }
+               block e  { halt }
+             }",
+        )
+        .unwrap();
+        let fifo = pdce_dfa::with_strategy(SolverStrategy::Fifo, || FaintSolution::compute(&p));
+        let prio = pdce_dfa::with_strategy(SolverStrategy::Priority, || FaintSolution::compute(&p));
+        assert_eq!(fifo.values, prio.values);
+        assert!(prio.evaluations <= fifo.evaluations);
     }
 
     #[test]

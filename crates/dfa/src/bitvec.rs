@@ -166,6 +166,47 @@ impl BitVec {
         changed
     }
 
+    /// `self &= other`, skipping words of `self` that are already zero
+    /// (they cannot change under intersection). Returns the number of
+    /// words actually combined — the sparse word-operation count used by
+    /// the priority solver's `word_ops` accounting.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn intersect_with_skip(&mut self, other: &BitVec) -> u64 {
+        self.check_len(other);
+        let mut ops = 0;
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            if *a == 0 {
+                continue;
+            }
+            *a &= b;
+            ops += 1;
+        }
+        ops
+    }
+
+    /// `self |= other`, skipping words where `other` contributes nothing
+    /// (all-zero words are the union identity). Returns the number of
+    /// words actually combined.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn union_with_skip(&mut self, other: &BitVec) -> u64 {
+        self.check_len(other);
+        let mut ops = 0;
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            if *b == 0 {
+                continue;
+            }
+            *a |= b;
+            ops += 1;
+        }
+        ops
+    }
+
     /// Flips every bit in place.
     pub fn negate(&mut self) {
         for b in &mut self.blocks {
@@ -321,6 +362,31 @@ mod tests {
         assert!(a.get(0));
         let mut b = BitVec::ones(3);
         assert!(b.intersect_with_changed(&a) || b == a);
+    }
+
+    #[test]
+    fn skip_variants_match_dense_and_count_sparsely() {
+        // 130 bits = 3 words; word 1 of `a` is zero, word 2 of `b` is zero.
+        let mut a = BitVec::zeros(130);
+        a.set(0, true);
+        a.set(129, true);
+        let mut b = BitVec::zeros(130);
+        b.set(0, true);
+        b.set(64, true);
+
+        let mut dense = a.clone();
+        dense.intersect_with(&b);
+        let mut sparse = a.clone();
+        let ops = sparse.intersect_with_skip(&b);
+        assert_eq!(sparse, dense);
+        assert_eq!(ops, 2, "the all-zero middle word of `a` is skipped");
+
+        let mut dense = a.clone();
+        dense.union_with(&b);
+        let mut sparse = a.clone();
+        let ops = sparse.union_with_skip(&b);
+        assert_eq!(sparse, dense);
+        assert_eq!(ops, 2, "the all-zero tail word of `b` is skipped");
     }
 
     #[test]

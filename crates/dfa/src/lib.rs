@@ -35,6 +35,9 @@ pub mod solve;
 
 pub use bitvec::BitVec;
 pub use genkill::GenKill;
-pub use network::{solve_greatest, NetworkSolution};
+pub use network::{solve_greatest, solve_greatest_prioritized, NetworkSolution};
 pub use pass::{run_until_stable, AnalysisCache, CacheStats, Pass, PassOutcome, Preserves};
-pub use solve::{solve, solve_fn, BitProblem, Direction, Meet, Solution};
+pub use solve::{
+    current_strategy, solve, solve_fn, with_strategy, BitProblem, Direction, Meet, Solution,
+    SolverStrategy,
+};

@@ -5,11 +5,105 @@
 //! meet. The paper's analyses are all all-paths problems (meet = ∩,
 //! greatest fixpoint): dead variables and delayability; the baselines add
 //! may-problems (reaching definitions/copies, meet = ∪, least fixpoint).
+//!
+//! Two scheduling strategies are available (see [`SolverStrategy`]):
+//! the original round-robin sweep (the FIFO reference implementation)
+//! and a direction-aware priority worklist that only re-evaluates nodes
+//! whose inputs may have changed, earliest-in-iteration-order first.
+//! Both compute the identical fixpoint — monotone systems over finite
+//! lattices have a unique Kleene fixpoint from the optimistic start —
+//! which the differential oracle in `tests/` checks bit-for-bit.
+
+use std::cell::Cell;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::OnceLock;
 
 use pdce_ir::{CfgView, NodeId};
 
 use crate::bitvec::BitVec;
 use crate::genkill::GenKill;
+
+/// Scheduling strategy of the fixpoint solvers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SolverStrategy {
+    /// Full sweeps over the iteration order until one sweep changes
+    /// nothing. Every node evaluation counts as one pop of the implicit
+    /// whole-order FIFO. Kept as the reference implementation the
+    /// priority strategy is differentially tested against.
+    Fifo,
+    /// Priority worklist keyed by iteration-order index — reverse
+    /// postorder for forward problems, postorder for backward ones — so
+    /// information crosses the graph in as few re-evaluations as
+    /// possible (cf. Krause's "lospre in linear time" scheduling
+    /// argument). Uses sparse word-skipping meets.
+    #[default]
+    Priority,
+}
+
+impl SolverStrategy {
+    /// Parses a strategy name as used by `--solver` and the `SOLVER`
+    /// environment variable.
+    pub fn parse(s: &str) -> Option<SolverStrategy> {
+        match s {
+            "fifo" => Some(SolverStrategy::Fifo),
+            "priority" => Some(SolverStrategy::Priority),
+            _ => None,
+        }
+    }
+
+    /// The canonical lower-case name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SolverStrategy::Fifo => "fifo",
+            SolverStrategy::Priority => "priority",
+        }
+    }
+}
+
+thread_local! {
+    /// Scoped override installed by [`with_strategy`].
+    static STRATEGY: Cell<Option<SolverStrategy>> = const { Cell::new(None) };
+}
+
+/// Process-wide strategy from the `SOLVER` environment variable,
+/// resolved once (unknown values fall back to the default).
+static ENV_STRATEGY: OnceLock<Option<SolverStrategy>> = OnceLock::new();
+
+fn env_strategy() -> Option<SolverStrategy> {
+    *ENV_STRATEGY.get_or_init(|| {
+        std::env::var("SOLVER")
+            .ok()
+            .and_then(|v| SolverStrategy::parse(&v))
+    })
+}
+
+/// The strategy solvers on this thread currently use: the innermost
+/// [`with_strategy`] scope if any, else the `SOLVER` environment
+/// variable (`fifo` / `priority`), else [`SolverStrategy::Priority`].
+pub fn current_strategy() -> SolverStrategy {
+    STRATEGY
+        .with(|s| s.get())
+        .or_else(env_strategy)
+        .unwrap_or_default()
+}
+
+/// Runs `f` with every solver on this thread using `strategy`,
+/// restoring the previous selection afterwards (also on panic). This is
+/// how the differential tests pit the strategies against each other
+/// in-process.
+pub fn with_strategy<R>(strategy: SolverStrategy, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<SolverStrategy>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            let prev = self.0;
+            STRATEGY.with(|s| s.set(prev));
+        }
+    }
+    let prev = STRATEGY.with(|s| s.replace(Some(strategy)));
+    let _restore = Restore(prev);
+    f()
+}
 
 /// Analysis direction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -120,6 +214,7 @@ pub fn solve_fn(
 ) -> Solution {
     let n = view.num_nodes();
     assert_eq!(boundary.len(), width, "boundary width mismatch");
+    let strategy = current_strategy();
     let trace_span = pdce_trace::span_with(
         "solver",
         "bitvec-solve",
@@ -141,6 +236,7 @@ pub fn solve_fn(
                     }
                     .into(),
                 ),
+                ("strategy", strategy.name().into()),
                 ("width", width.into()),
                 ("nodes", n.into()),
             ]
@@ -176,49 +272,118 @@ pub fn solve_fn(
     let mut evaluations: u64 = 0;
     let mut sweeps: u64 = 0;
     let mut word_ops: u64 = 0;
-    // Initial sweep computes outputs; subsequent sweeps propagate.
-    let mut changed = true;
-    while changed {
-        changed = false;
-        sweeps += 1;
-        for &node in &order {
-            evaluations += 1;
-            // Meet over flow-predecessors.
-            if node != boundary_node {
-                let sources: &[NodeId] = match direction {
-                    Direction::Forward => view.preds(node),
-                    Direction::Backward => view.succs(node),
-                };
-                if !sources.is_empty() {
-                    // One copy plus one meet per further source.
-                    word_ops += words * sources.len() as u64;
-                    let mut acc = output[sources[0].index()].clone();
-                    for &src in &sources[1..] {
-                        match meet {
-                            Meet::Intersection => acc.intersect_with(&output[src.index()]),
-                            Meet::Union => acc.union_with(&output[src.index()]),
+    match strategy {
+        SolverStrategy::Fifo => {
+            // Initial sweep computes outputs; subsequent sweeps propagate.
+            let mut changed = true;
+            while changed {
+                changed = false;
+                sweeps += 1;
+                for &node in &order {
+                    evaluations += 1;
+                    // Meet over flow-predecessors.
+                    if node != boundary_node {
+                        let sources: &[NodeId] = match direction {
+                            Direction::Forward => view.preds(node),
+                            Direction::Backward => view.succs(node),
+                        };
+                        if !sources.is_empty() {
+                            // One copy plus one meet per further source.
+                            word_ops += words * sources.len() as u64;
+                            let mut acc = output[sources[0].index()].clone();
+                            for &src in &sources[1..] {
+                                match meet {
+                                    Meet::Intersection => acc.intersect_with(&output[src.index()]),
+                                    Meet::Union => acc.union_with(&output[src.index()]),
+                                }
+                            }
+                            input[node.index()] = acc;
                         }
                     }
-                    input[node.index()] = acc;
+                    // Gen/kill transfer (&!kill then |gen) plus the
+                    // convergence compare.
+                    word_ops += words * 3;
+                    let new_out = transfer(node, &input[node.index()]);
+                    if new_out != output[node.index()] {
+                        output[node.index()] = new_out;
+                        changed = true;
+                    }
                 }
             }
-            // Gen/kill transfer (&!kill then |gen) plus the convergence
-            // compare.
-            word_ops += words * 3;
-            let new_out = transfer(node, &input[node.index()]);
-            if new_out != output[node.index()] {
-                output[node.index()] = new_out;
-                changed = true;
+        }
+        SolverStrategy::Priority => {
+            // Position of each node in the iteration order; u32::MAX for
+            // nodes outside it (unreachable — never evaluated, exactly
+            // like the sweep, so their outputs stay the meet identity).
+            let mut order_pos = vec![u32::MAX; n];
+            for (i, &node) in order.iter().enumerate() {
+                order_pos[node.index()] = i as u32;
+            }
+            // Min-heap over order positions, seeded with every node;
+            // `queued` dedups so a position is in the heap at most once.
+            let mut heap: BinaryHeap<Reverse<u32>> = (0..order.len() as u32).map(Reverse).collect();
+            let mut queued = BitVec::ones(order.len());
+            while let Some(Reverse(pos)) = heap.pop() {
+                queued.set(pos as usize, false);
+                let node = order[pos as usize];
+                evaluations += 1;
+                if node != boundary_node {
+                    let sources: &[NodeId] = match direction {
+                        Direction::Forward => view.preds(node),
+                        Direction::Backward => view.succs(node),
+                    };
+                    if !sources.is_empty() {
+                        // One copy, then sparse word-skipping meets that
+                        // only touch (and only count) non-identity words.
+                        word_ops += words;
+                        let mut acc = output[sources[0].index()].clone();
+                        for &src in &sources[1..] {
+                            word_ops += match meet {
+                                Meet::Intersection => acc.intersect_with_skip(&output[src.index()]),
+                                Meet::Union => acc.union_with_skip(&output[src.index()]),
+                            };
+                        }
+                        input[node.index()] = acc;
+                    }
+                }
+                word_ops += words * 3;
+                let new_out = transfer(node, &input[node.index()]);
+                if new_out != output[node.index()] {
+                    output[node.index()] = new_out;
+                    // Re-queue flow-successors whose meet reads this
+                    // node's output.
+                    let dependents: &[NodeId] = match direction {
+                        Direction::Forward => view.succs(node),
+                        Direction::Backward => view.preds(node),
+                    };
+                    for &d in dependents {
+                        let dpos = order_pos[d.index()];
+                        if dpos != u32::MAX && !queued.get(dpos as usize) {
+                            queued.set(dpos as usize, true);
+                            heap.push(Reverse(dpos));
+                        }
+                    }
+                }
             }
         }
     }
 
+    // Every evaluation is one worklist pop: explicit for the priority
+    // heap, one pop of the implicit whole-order FIFO for the sweep.
     pdce_trace::record_solver(pdce_trace::SolverStats {
         problems: 1,
         sweeps,
         evaluations,
-        revisits: evaluations.saturating_sub(n as u64),
+        revisits: evaluations.saturating_sub(order.len() as u64),
         word_ops,
+        fifo_pops: match strategy {
+            SolverStrategy::Fifo => evaluations,
+            SolverStrategy::Priority => 0,
+        },
+        priority_pops: match strategy {
+            SolverStrategy::Fifo => 0,
+            SolverStrategy::Priority => evaluations,
+        },
     });
     trace_span.finish_with(if pdce_trace::enabled() {
         vec![
@@ -387,5 +552,75 @@ mod tests {
         let sol = solve(&view, &prob);
         assert!(!sol.at_entry(p.entry()).get(0));
         assert!(!sol.at_exit(p.exit()).get(0));
+    }
+
+    #[test]
+    fn strategy_parse_and_names_roundtrip() {
+        for s in [SolverStrategy::Fifo, SolverStrategy::Priority] {
+            assert_eq!(SolverStrategy::parse(s.name()), Some(s));
+        }
+        assert_eq!(SolverStrategy::parse("zap"), None);
+    }
+
+    #[test]
+    fn with_strategy_scopes_nest_and_restore() {
+        let outer = current_strategy();
+        with_strategy(SolverStrategy::Fifo, || {
+            assert_eq!(current_strategy(), SolverStrategy::Fifo);
+            with_strategy(SolverStrategy::Priority, || {
+                assert_eq!(current_strategy(), SolverStrategy::Priority);
+            });
+            assert_eq!(current_strategy(), SolverStrategy::Fifo);
+        });
+        assert_eq!(current_strategy(), outer);
+    }
+
+    #[test]
+    fn strategies_reach_identical_fixpoints() {
+        // Loopy graph exercising both directions and both meets: the
+        // priority worklist must land on the same bit patterns as the
+        // reference sweep, node for node.
+        let p = parse(
+            "prog {
+               block s { goto h }
+               block h { nondet b1 b2 }
+               block b1 { goto h2 }
+               block b2 { goto h2 }
+               block h2 { nondet h x }
+               block x { goto e }
+               block e { halt }
+             }",
+        )
+        .unwrap();
+        let view = CfgView::new(&p);
+        for direction in [Direction::Forward, Direction::Backward] {
+            for meet in [Meet::Intersection, Meet::Union] {
+                let prob = problem_for(&p, direction, meet, &["b1", "x"], &["b2"]);
+                let fifo = with_strategy(SolverStrategy::Fifo, || solve(&view, &prob));
+                let prio = with_strategy(SolverStrategy::Priority, || solve(&view, &prob));
+                assert_eq!(fifo.entry, prio.entry, "{direction:?}/{meet:?} entry");
+                assert_eq!(fifo.exit, prio.exit, "{direction:?}/{meet:?} exit");
+                assert!(
+                    prio.evaluations <= fifo.evaluations,
+                    "priority must not evaluate more than the sweep"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn strategy_pops_are_tagged_in_solver_stats() {
+        let p = diamond();
+        let view = CfgView::new(&p);
+        let prob = problem_for(&p, Direction::Forward, Meet::Union, &["a"], &[]);
+        let before = pdce_trace::solver_totals();
+        with_strategy(SolverStrategy::Fifo, || solve(&view, &prob));
+        let after_fifo = pdce_trace::solver_totals().since(&before);
+        assert!(after_fifo.fifo_pops > 0);
+        assert_eq!(after_fifo.priority_pops, 0);
+        with_strategy(SolverStrategy::Priority, || solve(&view, &prob));
+        let after_both = pdce_trace::solver_totals().since(&before);
+        assert!(after_both.priority_pops > 0);
+        assert_eq!(after_both.fifo_pops, after_fifo.fifo_pops);
     }
 }

@@ -554,6 +554,13 @@ pub struct SolverStats {
     /// `u64` word operations on bit vectors (meets, transfers,
     /// convergence compares), the paper's bit-vector cost unit.
     pub word_ops: u64,
+    /// Worklist pops performed under the FIFO (reference) scheduling
+    /// strategy. For the sweeping bit-vector solver every node
+    /// evaluation is one pop of the implicit full-order worklist.
+    pub fifo_pops: u64,
+    /// Worklist pops performed under the priority (reverse-postorder /
+    /// postorder) scheduling strategy.
+    pub priority_pops: u64,
 }
 
 impl SolverStats {
@@ -564,6 +571,8 @@ impl SolverStats {
         evaluations: 0,
         revisits: 0,
         word_ops: 0,
+        fifo_pops: 0,
+        priority_pops: 0,
     };
 
     /// Adds `other` into `self`.
@@ -573,6 +582,8 @@ impl SolverStats {
         self.evaluations += other.evaluations;
         self.revisits += other.revisits;
         self.word_ops += other.word_ops;
+        self.fifo_pops += other.fifo_pops;
+        self.priority_pops += other.priority_pops;
     }
 
     /// The counter delta since an `earlier` snapshot (counters only
@@ -584,7 +595,14 @@ impl SolverStats {
             evaluations: self.evaluations - earlier.evaluations,
             revisits: self.revisits - earlier.revisits,
             word_ops: self.word_ops - earlier.word_ops,
+            fifo_pops: self.fifo_pops - earlier.fifo_pops,
+            priority_pops: self.priority_pops - earlier.priority_pops,
         }
+    }
+
+    /// Total worklist pops across both scheduling strategies.
+    pub fn pops(&self) -> u64 {
+        self.fifo_pops + self.priority_pops
     }
 
     /// The standard key/value rendering used by span args and exporters.
@@ -595,8 +613,56 @@ impl SolverStats {
             ("evaluations", ArgValue::U64(self.evaluations)),
             ("revisits", ArgValue::U64(self.revisits)),
             ("word_ops", ArgValue::U64(self.word_ops)),
+            ("fifo_pops", ArgValue::U64(self.fifo_pops)),
+            ("priority_pops", ArgValue::U64(self.priority_pops)),
         ]
     }
+}
+
+/// One worker's buffered trace output: the events and provenance
+/// records its [`Collector`] accumulated, ready for deterministic
+/// merging with [`merge_collected`].
+#[derive(Debug, Clone, Default)]
+pub struct Collected {
+    /// Events in collector order.
+    pub events: Vec<Event>,
+    /// Provenance records in collector order.
+    pub provenance: Vec<ProvenanceRecord>,
+}
+
+impl Collected {
+    /// Drains `collector` into an owned part (the collector stays
+    /// usable but is typically dropped afterwards).
+    pub fn from_collector(collector: &Collector) -> Collected {
+        Collected {
+            events: collector.events(),
+            provenance: collector.provenance(),
+        }
+    }
+}
+
+/// Merges per-worker trace buffers into one stream, deterministically.
+///
+/// The batch driver (`pdce-par`) runs each shard with its own
+/// [`Collector`]; merging concatenates the parts **in shard index
+/// order** (never in thread completion order) and renumbers the logical
+/// clock (`seq`) so the merged stream is totally ordered. Exported with
+/// the logical clock ([`chrome::ChromeOptions::logical`]) the result is
+/// byte-identical for a fixed input set regardless of worker count or
+/// scheduling — the determinism rule the differential oracle checks.
+///
+/// Wall-clock timestamps are per-collector origins and remain
+/// meaningful only within a part; logical exports ignore them.
+pub fn merge_collected(parts: Vec<Collected>) -> Collected {
+    let mut merged = Collected::default();
+    for part in parts {
+        merged.provenance.extend(part.provenance);
+        for mut event in part.events {
+            event.seq = merged.events.len() as u64;
+            merged.events.push(event);
+        }
+    }
+    merged
 }
 
 /// Adds one solver run's counters into the per-thread accumulator.
@@ -720,9 +786,12 @@ mod tests {
             evaluations: 10,
             revisits: 3,
             word_ops: 40,
+            fifo_pops: 10,
+            priority_pops: 0,
         });
         record_solver(SolverStats {
             problems: 1,
+            priority_pops: 6,
             ..SolverStats::ZERO
         });
         let delta = solver_totals().since(&before);
@@ -730,6 +799,30 @@ mod tests {
         assert_eq!(delta.sweeps, 2);
         assert_eq!(delta.evaluations, 10);
         assert_eq!(delta.word_ops, 40);
-        assert_eq!(delta.args().len(), 5);
+        assert_eq!(delta.fifo_pops, 10);
+        assert_eq!(delta.priority_pops, 6);
+        assert_eq!(delta.pops(), 16);
+        assert_eq!(delta.args().len(), 7);
+    }
+
+    #[test]
+    fn merge_collected_orders_by_part_and_renumbers() {
+        let make_part = |names: &[&'static str]| {
+            let c = Rc::new(Collector::new());
+            {
+                let _g = install(c.clone());
+                for n in names {
+                    instant("merge-test", *n, Vec::new());
+                }
+            }
+            Collected::from_collector(&c)
+        };
+        let a = make_part(&["a0", "a1"]);
+        let b = make_part(&["b0"]);
+        let merged = merge_collected(vec![a, b]);
+        let names: Vec<&str> = merged.events.iter().map(|e| e.name.as_ref()).collect();
+        assert_eq!(names, vec!["a0", "a1", "b0"]);
+        let seqs: Vec<u64> = merged.events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
     }
 }

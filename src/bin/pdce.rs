@@ -19,6 +19,7 @@ use std::process::ExitCode;
 
 use pdce::core::better::{check_improvement, BetterOptions};
 use pdce::core::driver::{optimize, PdceConfig};
+use pdce::dfa::SolverStrategy;
 use pdce::ir::interp::{run, Env, ExecLimits, SeededOracle};
 use pdce::ir::parser::parse;
 use pdce::ir::printer::{print_program, print_stmt};
@@ -42,13 +43,19 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   pdce opt     [--mode pde|pfe|dce|fce | --passes SPEC] [--region a,b,c]
-               [--max-rounds N] [--simplify] [--stats] [--verify]
-               [--trace FILE.json] [--explain] [FILE]
+               [--max-rounds N] [--solver fifo|priority] [--jobs N]
+               [--simplify] [--stats] [--verify]
+               [--trace FILE.json] [--explain] [FILE...]
                SPEC is a comma-separated pass list with repeat(...) groups,
                e.g. --passes 'sccp,lvn,repeat(fce,sink),simplify'
                --trace writes a Chrome trace_events JSON (chrome://tracing,
                ui.perfetto.dev); --explain prints the provenance log: which
                pass moved/inserted/eliminated which statement in which round
+               --solver picks the data-flow scheduling strategy (default:
+               priority; the SOLVER env var works too); with several FILEs
+               the programs are optimized independently and printed in
+               argument order — --jobs N shards them over N workers
+               (0 = all cores) with deterministic, jobs-independent output
   pdce run     [--in name=value]... [--seed N] [--fuel N] [FILE]
   pdce analyze [FILE]
   pdce universe [--mode pde|pfe] [--max N] [FILE]
@@ -88,10 +95,24 @@ fn dispatch(args: &[String]) -> Result<(), CliError> {
     }
 }
 
-/// Splits flags (and their values) from the optional trailing file path.
+/// Splits flags (and their values) from the trailing file paths.
 struct Parsed {
     flags: Vec<(String, String)>,
-    file: Option<String>,
+    files: Vec<String>,
+}
+
+impl Parsed {
+    /// The single optional file of the one-input subcommands.
+    fn single_file(&self) -> Result<Option<&str>, CliError> {
+        match self.files.len() {
+            0 => Ok(None),
+            1 => Ok(Some(&self.files[0])),
+            _ => Err(usage(format!(
+                "unexpected argument `{}` (this subcommand takes one FILE)",
+                self.files[1]
+            ))),
+        }
+    }
 }
 
 fn parse_args(
@@ -100,7 +121,7 @@ fn parse_args(
     bare_flags: &[&str],
 ) -> Result<Parsed, CliError> {
     let mut flags = Vec::new();
-    let mut file = None;
+    let mut files = Vec::new();
     let mut i = 0;
     while i < args.len() {
         let a = &args[i];
@@ -116,14 +137,12 @@ fn parse_args(
             } else {
                 return Err(usage(format!("unknown flag --{name}")));
             }
-        } else if file.is_none() {
-            file = Some(a.clone());
         } else {
-            return Err(usage(format!("unexpected argument `{a}`")));
+            files.push(a.clone());
         }
         i += 1;
     }
-    Ok(Parsed { flags, file })
+    Ok(Parsed { flags, files })
 }
 
 fn load(file: Option<&str>) -> Result<Program, CliError> {
@@ -141,15 +160,34 @@ fn load(file: Option<&str>) -> Result<Program, CliError> {
     parse(&source).map_err(failed)
 }
 
+/// Runs `f` under an explicit `--solver` choice, or under the ambient
+/// selection (`SOLVER` env var / default) when none was given.
+fn maybe_with_strategy<R>(strategy: Option<SolverStrategy>, f: impl FnOnce() -> R) -> R {
+    match strategy {
+        Some(s) => pdce::dfa::with_strategy(s, f),
+        None => f(),
+    }
+}
+
 fn cmd_opt(args: &[String]) -> Result<(), CliError> {
     let parsed = parse_args(
         args,
-        &["mode", "passes", "region", "max-rounds", "trace"],
+        &[
+            "mode",
+            "passes",
+            "region",
+            "max-rounds",
+            "trace",
+            "solver",
+            "jobs",
+        ],
         &["stats", "verify", "simplify", "explain"],
     )?;
     let mut config = PdceConfig::pde();
     let mut passes_spec: Option<String> = None;
     let mut trace_path: Option<String> = None;
+    let mut strategy: Option<SolverStrategy> = None;
+    let mut jobs = 1usize;
     let mut want_stats = false;
     let mut want_verify = false;
     let mut want_simplify = false;
@@ -176,6 +214,19 @@ fn cmd_opt(args: &[String]) -> Result<(), CliError> {
                 config = config.truncating_after(n);
             }
             "trace" => trace_path = Some(value.clone()),
+            "solver" => {
+                strategy = Some(SolverStrategy::parse(value).ok_or_else(|| {
+                    usage(format!(
+                        "unknown solver `{value}` (expected fifo or priority)"
+                    ))
+                })?);
+            }
+            "jobs" => {
+                let n: usize = value
+                    .parse()
+                    .map_err(|_| usage(format!("bad --jobs `{value}`")))?;
+                jobs = if n == 0 { pdce::par::default_jobs() } else { n };
+            }
             "stats" => want_stats = true,
             "verify" => want_verify = true,
             "simplify" => want_simplify = true,
@@ -183,7 +234,23 @@ fn cmd_opt(args: &[String]) -> Result<(), CliError> {
             _ => unreachable!(),
         }
     }
-    let original = load(parsed.file.as_deref())?;
+    if parsed.files.len() > 1 {
+        if passes_spec.is_some() {
+            return Err(usage("--passes is single-file only"));
+        }
+        return cmd_opt_batch(&BatchOptions {
+            files: &parsed.files,
+            config: &config,
+            strategy,
+            jobs,
+            trace_path: trace_path.as_deref(),
+            want_stats,
+            want_verify,
+            want_simplify,
+            want_explain,
+        });
+    }
+    let original = load(parsed.single_file()?)?;
     let mut prog = original.clone();
     let collector = (trace_path.is_some() || want_explain)
         .then(|| std::rc::Rc::new(pdce::trace::Collector::new()));
@@ -202,7 +269,7 @@ fn cmd_opt(args: &[String]) -> Result<(), CliError> {
                 return Err(usage("--passes replaces --mode/--region/--max-rounds"));
             }
             let pipeline = pdce::pass::Pipeline::parse(spec).map_err(|e| usage(e.to_string()))?;
-            let report = pipeline.run(&mut prog);
+            let report = maybe_with_strategy(strategy, || pipeline.run(&mut prog));
             if want_simplify {
                 pdce::ir::simplify_cfg(&mut prog);
             }
@@ -216,7 +283,8 @@ fn cmd_opt(args: &[String]) -> Result<(), CliError> {
                 );
             }
         } else {
-            let stats = optimize(&mut prog, &config).map_err(failed)?;
+            let stats =
+                maybe_with_strategy(strategy, || optimize(&mut prog, &config)).map_err(failed)?;
             if want_simplify {
                 let s = pdce::ir::simplify_cfg(&mut prog);
                 if want_stats {
@@ -242,6 +310,10 @@ fn cmd_opt(args: &[String]) -> Result<(), CliError> {
                 eprintln!(
                     "solver:      {} problem(s), {} evaluation(s), {} word op(s)",
                     stats.solver.problems, stats.solver.evaluations, stats.solver.word_ops
+                );
+                eprintln!(
+                    "pops:        {} fifo, {} priority",
+                    stats.solver.fifo_pops, stats.solver.priority_pops
                 );
                 if stats.truncated {
                     eprintln!("truncated:   yes");
@@ -280,9 +352,153 @@ fn cmd_opt(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Everything the multi-file batch path needs from `cmd_opt`.
+struct BatchOptions<'a> {
+    files: &'a [String],
+    config: &'a PdceConfig,
+    strategy: Option<SolverStrategy>,
+    jobs: usize,
+    trace_path: Option<&'a str>,
+    want_stats: bool,
+    want_verify: bool,
+    want_simplify: bool,
+    want_explain: bool,
+}
+
+/// Per-file result of a batch worker.
+struct FileReport {
+    output: String,
+    stats: pdce::core::driver::PdceStats,
+}
+
+/// `pdce opt FILE FILE...`: optimizes independent programs, sharded
+/// over `--jobs` workers, and prints them in argument order with a
+/// `// ==== <file> ====` header each. Every worker runs with its own
+/// trace collector; the buffers are merged in file order (never
+/// completion order) so `--trace` output is byte-stable for a fixed
+/// input list regardless of worker count. A file that fails to read,
+/// parse, or verify produces a diagnostic naming it — never a panic —
+/// and does not stop the other files.
+fn cmd_opt_batch(opts: &BatchOptions) -> Result<(), CliError> {
+    use pdce::trace::{merge_collected, Collected};
+
+    let want_collect = opts.trace_path.is_some() || opts.want_explain;
+    let outcomes: Vec<(Result<FileReport, String>, Option<Collected>)> =
+        pdce::par::map_indexed(opts.jobs, opts.files, |_, path| {
+            let collector = want_collect.then(|| std::rc::Rc::new(pdce::trace::Collector::new()));
+            let result = {
+                let _guard = collector.as_ref().map(|c| {
+                    pdce::trace::install(c.clone() as std::rc::Rc<dyn pdce::trace::Tracer>)
+                });
+                maybe_with_strategy(opts.strategy, || {
+                    optimize_one_file(path, opts.config, opts.want_simplify, opts.want_verify)
+                })
+            };
+            let collected = collector.as_ref().map(|c| Collected::from_collector(c));
+            (result, collected)
+        });
+
+    let mut errors = 0usize;
+    let mut totals = pdce::trace::SolverStats::ZERO;
+    let mut total_eliminated = 0u64;
+    for (path, (result, _)) in opts.files.iter().zip(&outcomes) {
+        match result {
+            Ok(report) => {
+                println!("// ==== {path} ====");
+                print!("{}", report.output);
+                if opts.want_stats {
+                    eprintln!(
+                        "{path}: rounds {}, eliminated {}, sunk {}, {} solver problem(s)",
+                        report.stats.rounds,
+                        report.stats.eliminated_assignments,
+                        report.stats.sunk_assignments,
+                        report.stats.solver.problems
+                    );
+                    totals.add(&report.stats.solver);
+                    total_eliminated += report.stats.eliminated_assignments;
+                }
+            }
+            Err(msg) => {
+                errors += 1;
+                eprintln!("error: {path}: {msg}");
+            }
+        }
+    }
+    if opts.want_stats {
+        eprintln!(
+            "total:       {} file(s), {} eliminated, {} solver problem(s), \
+             {} fifo pop(s), {} priority pop(s)",
+            opts.files.len() - errors,
+            total_eliminated,
+            totals.problems,
+            totals.fifo_pops,
+            totals.priority_pops
+        );
+    }
+    if want_collect {
+        let merged = merge_collected(
+            outcomes
+                .into_iter()
+                .filter_map(|(_, collected)| collected)
+                .collect(),
+        );
+        if let Some(path) = opts.trace_path {
+            // The logical clock makes the merged trace byte-stable for a
+            // fixed file list, independent of worker count or scheduling.
+            let json = pdce::trace::chrome::chrome_trace(
+                &merged.events,
+                &pdce::trace::chrome::ChromeOptions::logical(),
+            );
+            std::fs::write(path, json)
+                .map_err(|e| failed(format!("cannot write trace `{path}`: {e}")))?;
+            eprintln!(
+                "trace: wrote {} event(s) to {path} (open in chrome://tracing or ui.perfetto.dev)",
+                merged.events.len()
+            );
+        }
+        if opts.want_explain {
+            eprint!("{}", pdce::trace::explain::render(&merged.provenance));
+        }
+    }
+    if errors > 0 {
+        return Err(failed(format!(
+            "{errors} of {} file(s) failed",
+            opts.files.len()
+        )));
+    }
+    Ok(())
+}
+
+/// Reads, optimizes, and prints one batch file; all failure modes come
+/// back as a clean message (the batch driver prefixes the file name).
+fn optimize_one_file(
+    path: &str,
+    config: &PdceConfig,
+    want_simplify: bool,
+    want_verify: bool,
+) -> Result<FileReport, String> {
+    let source = std::fs::read_to_string(path).map_err(|e| format!("cannot read: {e}"))?;
+    let original = parse(&source).map_err(|e| e.to_string())?;
+    let mut prog = original.clone();
+    let stats = optimize(&mut prog, config).map_err(|e| e.to_string())?;
+    if want_simplify {
+        pdce::ir::simplify_cfg(&mut prog);
+    }
+    if want_verify {
+        let report = check_improvement(&original, &prog, &BetterOptions::default());
+        if !report.holds() {
+            return Err("internal error: result does not dominate the input".to_string());
+        }
+    }
+    Ok(FileReport {
+        output: print_program(&prog),
+        stats,
+    })
+}
+
 fn cmd_run(args: &[String]) -> Result<(), CliError> {
     let parsed = parse_args(args, &["in", "seed", "fuel"], &[])?;
-    let prog = load(parsed.file.as_deref())?;
+    let prog = load(parsed.single_file()?)?;
     let mut env = Env::zeroed(&prog);
     let mut seed = 0u64;
     let mut fuel = 100_000u64;
@@ -340,7 +556,7 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
 
 fn cmd_analyze(args: &[String]) -> Result<(), CliError> {
     let parsed = parse_args(args, &[], &[])?;
-    let prog = load(parsed.file.as_deref())?;
+    let prog = load(parsed.single_file()?)?;
     let view = CfgView::new(&prog);
     let dead = pdce::core::DeadSolution::compute(&prog, &view);
     let faint = pdce::core::FaintSolution::compute(&prog);
@@ -416,7 +632,7 @@ fn cmd_universe(args: &[String]) -> Result<(), CliError> {
             _ => unreachable!(),
         }
     }
-    let mut start = load(parsed.file.as_deref())?;
+    let mut start = load(parsed.single_file()?)?;
     pdce::ir::edgesplit::split_critical_edges(&mut start);
     let mut optimized = start.clone();
     let config = match mode {
@@ -451,14 +667,14 @@ fn cmd_universe(args: &[String]) -> Result<(), CliError> {
 
 fn cmd_dot(args: &[String]) -> Result<(), CliError> {
     let parsed = parse_args(args, &[], &[])?;
-    let prog = load(parsed.file.as_deref())?;
+    let prog = load(parsed.single_file()?)?;
     print!("{}", pdce::ir::dot::to_dot(&prog, "pdce"));
     Ok(())
 }
 
 fn cmd_check(args: &[String]) -> Result<(), CliError> {
     let parsed = parse_args(args, &[], &[])?;
-    let prog = load(parsed.file.as_deref())?;
+    let prog = load(parsed.single_file()?)?;
     println!(
         "ok: {} block(s), {} statement(s), {} variable(s), {}",
         prog.num_blocks(),

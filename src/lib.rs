@@ -59,6 +59,7 @@ pub use pdce_core as core;
 pub use pdce_dfa as dfa;
 pub use pdce_ir as ir;
 pub use pdce_lcm as lcm;
+pub use pdce_par as par;
 pub use pdce_pass as pass;
 pub use pdce_progen as progen;
 pub use pdce_ssa as ssa;

@@ -175,6 +175,115 @@ fn missing_file_is_a_clean_error() {
     assert!(stderr.contains("cannot read"));
 }
 
+/// Writes `contents` to a unique temp file and returns its path.
+fn temp_file(tag: &str, contents: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("pdce-cli-{tag}-{}.pdce", std::process::id()));
+    std::fs::write(&path, contents).expect("temp file writable");
+    path
+}
+
+#[test]
+fn empty_file_is_a_clean_diagnostic() {
+    let path = temp_file("empty", "");
+    let (_, stderr, ok) = pdce(&["opt", path.to_str().unwrap()], "");
+    std::fs::remove_file(&path).ok();
+    assert!(!ok);
+    assert!(stderr.contains("error"), "stderr: {stderr}");
+    assert!(!stderr.contains("panicked"), "stderr: {stderr}");
+}
+
+#[test]
+fn unreachable_exit_is_a_clean_diagnostic() {
+    let stuck = "prog {
+        block s { goto l }
+        block l { goto l }
+        block e { halt }
+    }";
+    let (_, stderr, ok) = pdce(&["opt"], stuck);
+    assert!(!ok);
+    assert!(stderr.contains("error"), "stderr: {stderr}");
+    assert!(!stderr.contains("panicked"), "stderr: {stderr}");
+}
+
+#[test]
+fn solver_flag_selects_strategy_and_rejects_garbage() {
+    for solver in ["fifo", "priority"] {
+        let (stdout, stderr, ok) = pdce(&["opt", "--solver", solver, "--stats"], FIG1);
+        assert!(ok, "--solver {solver} stderr: {stderr}");
+        pdce::ir::parser::parse(&stdout).expect("output parses");
+        assert!(stderr.contains("pops:"), "stderr: {stderr}");
+        // Pops are tagged with the strategy that produced them.
+        let line = stderr.lines().find(|l| l.contains("pops:")).unwrap();
+        match solver {
+            "fifo" => assert!(line.contains("0 priority"), "line: {line}"),
+            _ => assert!(line.contains("0 fifo"), "line: {line}"),
+        }
+    }
+    let (_, stderr, ok) = pdce(&["opt", "--solver", "lifo"], FIG1);
+    assert!(!ok);
+    assert!(stderr.contains("unknown solver"), "stderr: {stderr}");
+}
+
+#[test]
+fn batch_opt_shards_files_and_keeps_argument_order() {
+    let loopy = "prog {
+        block s { x := a + b; goto l }
+        block l { out(a); nondet l e }
+        block e { halt }
+    }";
+    let f1 = temp_file("batch1", FIG1);
+    let f2 = temp_file("batch2", loopy);
+    let run = |jobs: &str| {
+        pdce(
+            &[
+                "opt",
+                "--jobs",
+                jobs,
+                "--stats",
+                f1.to_str().unwrap(),
+                f2.to_str().unwrap(),
+            ],
+            "",
+        )
+    };
+    let (seq_out, seq_err, ok) = run("1");
+    assert!(ok, "stderr: {seq_err}");
+    let (par_out, par_err, ok) = run("4");
+    assert!(ok, "stderr: {par_err}");
+    std::fs::remove_file(&f1).ok();
+    std::fs::remove_file(&f2).ok();
+    assert_eq!(seq_out, par_out, "stdout must not depend on --jobs");
+    // Headers appear in argument order, each followed by its program.
+    let h1 = seq_out
+        .find(&format!("// ==== {} ====", f1.display()))
+        .unwrap();
+    let h2 = seq_out
+        .find(&format!("// ==== {} ====", f2.display()))
+        .unwrap();
+    assert!(h1 < h2);
+    assert!(seq_err.contains("total:"), "stderr: {seq_err}");
+}
+
+#[test]
+fn batch_opt_reports_failing_files_without_panicking() {
+    let f1 = temp_file("batchgood", FIG1);
+    let (stdout, stderr, ok) = pdce(
+        &["opt", f1.to_str().unwrap(), "/nonexistent/batch.pdce"],
+        "",
+    );
+    std::fs::remove_file(&f1).ok();
+    assert!(!ok);
+    // The good file still optimizes and prints...
+    assert!(stdout.contains("// ===="), "stdout: {stdout}");
+    // ...and the bad one is named in a clean per-file diagnostic.
+    assert!(
+        stderr.contains("/nonexistent/batch.pdce"),
+        "stderr: {stderr}"
+    );
+    assert!(stderr.contains("1 of 2 file(s) failed"), "stderr: {stderr}");
+    assert!(!stderr.contains("panicked"), "stderr: {stderr}");
+}
+
 #[test]
 fn help_prints_usage() {
     let (stdout, _, ok) = pdce(&["help"], "");

@@ -166,6 +166,144 @@ fn full_stack_on_corpus() {
     }
 }
 
+/// A deterministic input vector for the corpus's free variables,
+/// derived from `seed` (vector 0 is the historical `INPUTS`).
+fn seeded_vector(seed: u64) -> [(&'static str, i64); 6] {
+    if seed == 0 {
+        return INPUTS;
+    }
+    let mut rng = pdce_rng::Rng::new(0x1d_5eed ^ seed);
+    ["a", "b", "frame", "input", "c", "live"]
+        .map(|name| (name, (rng.next_u64() % 201) as i64 - 100))
+}
+
+fn run_with(prog: &Program, inputs: &[(&str, i64)], seed: u64) -> Trace {
+    let mut env = Env::with_values(prog, inputs);
+    let mut oracle = SeededOracle::new(seed);
+    run(
+        prog,
+        &mut env,
+        &mut oracle,
+        ExecLimits {
+            max_block_visits: 10_000,
+        },
+    )
+}
+
+fn replay_with(prog: &Program, inputs: &[(&str, i64)], decisions: Vec<usize>) -> Trace {
+    let mut env = Env::with_values(prog, inputs);
+    let mut oracle = ReplayOracle::new(decisions);
+    run(
+        prog,
+        &mut env,
+        &mut oracle,
+        ExecLimits {
+            max_block_visits: 10_000,
+        },
+    )
+}
+
+/// Interpreter equivalence of `optimized` against `original` under
+/// sixteen seeded input vectors (decision streams recorded and
+/// replayed, so nondet branches line up).
+fn assert_equivalent_16(name: &str, original: &Program, optimized: &Program, pass: &str) {
+    for vseed in 0..16u64 {
+        let inputs = seeded_vector(vseed);
+        let t0 = run_with(original, &inputs, 11 + vseed);
+        let t1 = replay_with(optimized, &inputs, t0.decisions.clone());
+        assert_eq!(
+            t0.outputs, t1.outputs,
+            "{name}: {pass} changed semantics (vector {vseed})"
+        );
+        assert!(
+            t1.executed_assignments <= t0.executed_assignments,
+            "{name}: {pass} impaired vector {vseed}"
+        );
+    }
+}
+
+/// Differential batch oracle: `pdce opt` over the whole corpus emits
+/// byte-identical stdout sequentially and with `--jobs 4`, and every
+/// per-file section is interpreter-equivalent to its source under
+/// sixteen seeded input vectors. This is the end-to-end check that the
+/// parallel driver shards work without reordering or cross-talk.
+#[test]
+fn batch_cli_is_deterministic_and_semantics_preserving() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/corpus");
+    let mut files: Vec<String> = std::fs::read_dir(dir)
+        .expect("corpus directory exists")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().and_then(|e| e.to_str()) == Some("pdce"))
+        .map(|p| p.to_string_lossy().into_owned())
+        .collect();
+    files.sort();
+
+    for mode in ["pde", "pfe"] {
+        let batch = |jobs: &str| {
+            let out = std::process::Command::new(env!("CARGO_BIN_EXE_pdce"))
+                .args(["opt", "--mode", mode, "--jobs", jobs])
+                .args(&files)
+                .output()
+                .expect("binary runs");
+            assert!(
+                out.status.success(),
+                "batch --mode {mode} --jobs {jobs} failed: {}",
+                String::from_utf8_lossy(&out.stderr)
+            );
+            String::from_utf8(out.stdout).expect("utf-8 stdout")
+        };
+        let sequential = batch("1");
+        let sharded = batch("4");
+        assert_eq!(
+            sequential, sharded,
+            "--mode {mode}: stdout must not depend on --jobs"
+        );
+
+        // Split the batch output back into per-file programs.
+        let mut sections: Vec<(String, String)> = Vec::new();
+        for line in sequential.lines() {
+            if let Some(path) = line
+                .strip_prefix("// ==== ")
+                .and_then(|r| r.strip_suffix(" ===="))
+            {
+                sections.push((path.to_owned(), String::new()));
+            } else {
+                let (_, body) = sections.last_mut().expect("header precedes body");
+                body.push_str(line);
+                body.push('\n');
+            }
+        }
+        let paths: Vec<&String> = sections.iter().map(|(p, _)| p).collect();
+        assert_eq!(
+            paths,
+            files.iter().collect::<Vec<_>>(),
+            "sections in argument order"
+        );
+
+        for (path, body) in &sections {
+            let src = std::fs::read_to_string(path).expect("corpus file readable");
+            let original = parse(&src).expect("corpus parses");
+            let optimized =
+                parse(body).unwrap_or_else(|e| panic!("{path}: batch output does not parse: {e}"));
+            assert_equivalent_16(path, &original, &optimized, &format!("batch {mode}"));
+        }
+    }
+}
+
+/// The same sixteen-vector oracle on the in-process (sequential
+/// library) path, for every driver mode — the reference the batch CLI
+/// is compared against.
+#[test]
+fn drivers_preserve_semantics_under_seeded_vectors() {
+    for (name, prog) in corpus() {
+        for (label, config) in [("pde", PdceConfig::pde()), ("pfe", PdceConfig::pfe())] {
+            let mut opt = prog.clone();
+            optimize(&mut opt, &config).unwrap();
+            assert_equivalent_16(&name, &prog, &opt, label);
+        }
+    }
+}
+
 /// Spot-check the headline effects per corpus file.
 #[test]
 fn corpus_effects() {
