@@ -18,10 +18,20 @@ use std::fmt::Write as _;
 /// (`pde_solver_fifo`), and the document gains `pops_reduction_pct` —
 /// the priority strategy's worklist-pop saving over FIFO on the sweep,
 /// which [`validate`] requires to be ≥ 20%.
-pub const SCHEMA_VERSION: u64 = 2;
+/// v3: solver stats carry the warm-start counters (`cold_solves` /
+/// `warm_solves` / `seeded_pops`), sweep rows gain the
+/// incremental-disabled reference run (`pde_solver_noincr`, priority
+/// strategy, warm-start seeding off), and the document gains
+/// `incremental_pops_reduction_pct` — the pop saving of warm-start
+/// seeded re-solving over cold re-solving on the sweep, which
+/// [`validate`] requires to be ≥ 40%.
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// The acceptance bar on `pops_reduction_pct`.
 pub const MIN_POPS_REDUCTION_PCT: f64 = 20.0;
+
+/// The acceptance bar on `incremental_pops_reduction_pct`.
+pub const MIN_INCREMENTAL_POPS_REDUCTION_PCT: f64 = 40.0;
 
 /// One figure reproduction with its cost.
 #[derive(Debug, Clone)]
@@ -57,8 +67,14 @@ pub struct SweepRow {
     /// worklist strategy.
     pub pde_solver: SolverStats,
     /// Solver telemetry of the same workload under the FIFO reference
-    /// strategy — the baseline of the pops-reduction claim.
+    /// strategy — the baseline of the pops-reduction claim. Warm-start
+    /// seeding is disabled here too, keeping the v2 baseline pure.
     pub pde_solver_fifo: SolverStats,
+    /// Solver telemetry of the same workload under the priority strategy
+    /// with warm-start seeding disabled — the baseline of the
+    /// incremental-pops-reduction claim (same scheduling as
+    /// `pde_solver`, cold re-solves only).
+    pub pde_solver_noincr: SolverStats,
 }
 
 /// The disabled-tracing overhead A/B timing.
@@ -98,6 +114,10 @@ pub struct BenchSummary {
     /// reference, in percent of the FIFO total across the sweep (see
     /// [`pops_reduction_pct`]).
     pub pops_reduction_pct: f64,
+    /// Worklist pops saved by warm-start seeded re-solving over cold
+    /// re-solving (both priority-scheduled), in percent of the cold
+    /// total across the sweep (see [`incremental_pops_reduction_pct`]).
+    pub incremental_pops_reduction_pct: f64,
     /// The tracing overhead A/B.
     pub tracing: TracingAb,
 }
@@ -114,12 +134,34 @@ pub fn pops_reduction_pct(sweep: &[SweepRow]) -> f64 {
     (fifo.saturating_sub(priority)) as f64 * 100.0 / fifo as f64
 }
 
+/// `(noincr - incremental) / noincr` in percent over the sweep totals,
+/// the number [`validate`] holds against
+/// [`MIN_INCREMENTAL_POPS_REDUCTION_PCT`]. Zero for an empty sweep.
+pub fn incremental_pops_reduction_pct(sweep: &[SweepRow]) -> f64 {
+    let cold: u64 = sweep.iter().map(|r| r.pde_solver_noincr.pops()).sum();
+    let warm: u64 = sweep.iter().map(|r| r.pde_solver.pops()).sum();
+    if cold == 0 {
+        return 0.0;
+    }
+    (cold.saturating_sub(warm)) as f64 * 100.0 / cold as f64
+}
+
 fn write_solver(out: &mut String, s: &SolverStats) {
     let _ = write!(
         out,
         "{{\"problems\":{},\"sweeps\":{},\"evaluations\":{},\"revisits\":{},\"word_ops\":{},\
-         \"fifo_pops\":{},\"priority_pops\":{}}}",
-        s.problems, s.sweeps, s.evaluations, s.revisits, s.word_ops, s.fifo_pops, s.priority_pops
+         \"fifo_pops\":{},\"priority_pops\":{},\"cold_solves\":{},\"warm_solves\":{},\
+         \"seeded_pops\":{}}}",
+        s.problems,
+        s.sweeps,
+        s.evaluations,
+        s.revisits,
+        s.word_ops,
+        s.fifo_pops,
+        s.priority_pops,
+        s.cold_solves,
+        s.warm_solves,
+        s.seeded_pops
     );
 }
 
@@ -157,12 +199,14 @@ impl BenchSummary {
             write_solver(&mut out, &s.pde_solver);
             out.push_str(",\"pde_solver_fifo\":");
             write_solver(&mut out, &s.pde_solver_fifo);
+            out.push_str(",\"pde_solver_noincr\":");
+            write_solver(&mut out, &s.pde_solver_noincr);
             out.push('}');
         }
         let _ = write!(
             out,
-            "\n],\n\"pops_reduction_pct\":{:.3},",
-            self.pops_reduction_pct
+            "\n],\n\"pops_reduction_pct\":{:.3},\n\"incremental_pops_reduction_pct\":{:.3},",
+            self.pops_reduction_pct, self.incremental_pops_reduction_pct
         );
         let t = &self.tracing;
         let _ = write!(
@@ -200,6 +244,9 @@ fn check_solver(v: &Value, ctx: &str) -> Result<(), String> {
         "word_ops",
         "fifo_pops",
         "priority_pops",
+        "cold_solves",
+        "warm_solves",
+        "seeded_pops",
     ] {
         let n = require_num(v, key, ctx)?;
         if n < 0.0 {
@@ -257,11 +304,19 @@ pub fn validate(text: &str) -> Result<(), String> {
         }
         check_solver(require(s, "pde_solver", &ctx)?, &ctx)?;
         check_solver(require(s, "pde_solver_fifo", &ctx)?, &ctx)?;
+        check_solver(require(s, "pde_solver_noincr", &ctx)?, &ctx)?;
     }
     let reduction = require_num(&doc, "pops_reduction_pct", "document")?;
     if !sweep.is_empty() && reduction < MIN_POPS_REDUCTION_PCT {
         return Err(format!(
             "pops_reduction_pct {reduction:.3} below the {MIN_POPS_REDUCTION_PCT}% acceptance bar"
+        ));
+    }
+    let incr = require_num(&doc, "incremental_pops_reduction_pct", "document")?;
+    if !sweep.is_empty() && incr < MIN_INCREMENTAL_POPS_REDUCTION_PCT {
+        return Err(format!(
+            "incremental_pops_reduction_pct {incr:.3} below the \
+             {MIN_INCREMENTAL_POPS_REDUCTION_PCT}% acceptance bar"
         ));
     }
     let tracing = require(&doc, "tracing", "document")?;
@@ -294,7 +349,10 @@ mod tests {
             pde_solver: SolverStats {
                 problems: 9,
                 evaluations: 70,
-                priority_pops: 70,
+                priority_pops: 40,
+                seeded_pops: 30,
+                cold_solves: 3,
+                warm_solves: 6,
                 ..SolverStats::ZERO
             },
             pde_solver_fifo: SolverStats {
@@ -304,7 +362,15 @@ mod tests {
                 revisits: 40,
                 word_ops: 900,
                 fifo_pops: 120,
-                priority_pops: 0,
+                cold_solves: 9,
+                ..SolverStats::ZERO
+            },
+            pde_solver_noincr: SolverStats {
+                problems: 9,
+                evaluations: 130,
+                priority_pops: 130,
+                cold_solves: 9,
+                ..SolverStats::ZERO
             },
         }];
         BenchSummary {
@@ -321,11 +387,12 @@ mod tests {
                     evaluations: 120,
                     revisits: 40,
                     word_ops: 900,
-                    fifo_pops: 0,
                     priority_pops: 120,
+                    ..SolverStats::ZERO
                 },
             }],
             pops_reduction_pct: pops_reduction_pct(&sweep),
+            incremental_pops_reduction_pct: incremental_pops_reduction_pct(&sweep),
             sweep,
             tracing: TracingAb {
                 workload: "pde over 2 structured programs".into(),
@@ -381,5 +448,25 @@ mod tests {
         let s = sample();
         let pct = pops_reduction_pct(&s.sweep);
         assert!((pct - (120.0 - 70.0) * 100.0 / 120.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validation_enforces_incremental_pops_reduction_bar() {
+        let mut s = sample();
+        // Seeding that saves nothing over the cold reference fails the
+        // ≥40% bar.
+        s.sweep[0].pde_solver.seeded_pops = 90;
+        s.incremental_pops_reduction_pct = incremental_pops_reduction_pct(&s.sweep);
+        assert!(validate(&s.to_json())
+            .unwrap_err()
+            .contains("incremental_pops_reduction_pct"));
+    }
+
+    #[test]
+    fn incremental_pops_reduction_handles_empty_and_zero() {
+        assert_eq!(incremental_pops_reduction_pct(&[]), 0.0);
+        let s = sample();
+        let pct = incremental_pops_reduction_pct(&s.sweep);
+        assert!((pct - (130.0 - 70.0) * 100.0 / 130.0).abs() < 1e-9);
     }
 }

@@ -24,7 +24,7 @@ use pdce_bench::{figure_corpus, fit_loglog_slope, measure, verify_figure};
 use pdce_core::driver::{optimize, PdceConfig};
 use pdce_core::elim::{eliminate_fixpoint, Mode};
 use pdce_core::{DeadSolution, DelayInfo, FaintSolution, LocalInfo, PatternTable};
-use pdce_dfa::{with_strategy, SolverStrategy};
+use pdce_dfa::{with_incremental, with_strategy, SolverStrategy};
 use pdce_ir::interp::{run, Env, ExecLimits, ReplayOracle, SeededOracle};
 use pdce_ir::{CfgView, Program};
 use pdce_pass::Pipeline;
@@ -83,6 +83,7 @@ fn main() {
         quick,
         figures,
         pops_reduction_pct: benchjson::pops_reduction_pct(&sweep),
+        incremental_pops_reduction_pct: benchjson::incremental_pops_reduction_pct(&sweep),
         sweep,
         tracing,
     };
@@ -149,8 +150,16 @@ fn c1_c2_scaling(quick: bool, jobs: usize) -> Vec<SweepRow> {
     println!("paper: worst case O(n^4)/O(n^5); expected O(n^2)/O(n^3) on");
     println!("realistic structured programs (Section 6.4).\n");
     println!(
-        "{:>7} {:>7} {:>7} {:>12} {:>12} {:>11} {:>10} {:>10}",
-        "target", "blocks", "stmts", "pde (µs)", "pfe (µs)", "word-ops", "fifo-pops", "prio-pops"
+        "{:>7} {:>7} {:>7} {:>12} {:>12} {:>11} {:>10} {:>10} {:>10}",
+        "target",
+        "blocks",
+        "stmts",
+        "pde (µs)",
+        "pfe (µs)",
+        "word-ops",
+        "fifo-pops",
+        "cold-pops",
+        "warm-pops"
     );
     let sizes: &[usize] = if quick {
         &[24, 48, 96]
@@ -162,21 +171,27 @@ fn c1_c2_scaling(quick: bool, jobs: usize) -> Vec<SweepRow> {
     // and solver counters are thread-local, so shards don't interfere).
     let measured = pdce_par::map_indexed(jobs, sizes, |_, &n| {
         let prog = structured_of_size(n, 11);
+        // Headline run: priority scheduling with warm-start seeding on.
         let mp = with_strategy(SolverStrategy::Priority, || {
-            measure(n, &prog, &PdceConfig::pde(), 3)
+            with_incremental(true, || measure(n, &prog, &PdceConfig::pde(), 3))
         });
+        // Both reference runs disable seeding so each baseline isolates
+        // exactly one lever (scheduling vs warm-starting).
         let mp_fifo = with_strategy(SolverStrategy::Fifo, || {
-            measure(n, &prog, &PdceConfig::pde(), 3)
+            with_incremental(false, || measure(n, &prog, &PdceConfig::pde(), 3))
+        });
+        let mp_noincr = with_strategy(SolverStrategy::Priority, || {
+            with_incremental(false, || measure(n, &prog, &PdceConfig::pde(), 3))
         });
         let mf = measure(n, &prog, &PdceConfig::pfe(), 3);
-        (mp, mp_fifo, mf)
+        (mp, mp_fifo, mp_noincr, mf)
     });
     let mut rows = Vec::new();
     let mut pde_points = Vec::new();
     let mut pfe_points = Vec::new();
-    for ((mp, mp_fifo, mf), &n) in measured.into_iter().zip(sizes) {
+    for ((mp, mp_fifo, mp_noincr, mf), &n) in measured.into_iter().zip(sizes) {
         println!(
-            "{:>7} {:>7} {:>7} {:>12.1} {:>12.1} {:>11} {:>10} {:>10}",
+            "{:>7} {:>7} {:>7} {:>12.1} {:>12.1} {:>11} {:>10} {:>10} {:>10}",
             n,
             mp.blocks,
             mp.stmts,
@@ -184,6 +199,7 @@ fn c1_c2_scaling(quick: bool, jobs: usize) -> Vec<SweepRow> {
             mf.time_ns as f64 / 1e3,
             mp.stats.solver.word_ops,
             mp_fifo.stats.solver.pops(),
+            mp_noincr.stats.solver.pops(),
             mp.stats.solver.pops()
         );
         pde_points.push((mp.stmts as f64, mp.time_ns as f64));
@@ -196,6 +212,7 @@ fn c1_c2_scaling(quick: bool, jobs: usize) -> Vec<SweepRow> {
             pfe_ns: mf.time_ns,
             pde_solver: mp.stats.solver,
             pde_solver_fifo: mp_fifo.stats.solver,
+            pde_solver_noincr: mp_noincr.stats.solver,
         });
     }
     println!(
@@ -208,6 +225,11 @@ fn c1_c2_scaling(quick: bool, jobs: usize) -> Vec<SweepRow> {
         "priority worklist pops {:.1}% fewer than the FIFO reference (bar ≥{}%).",
         benchjson::pops_reduction_pct(&rows),
         benchjson::MIN_POPS_REDUCTION_PCT
+    );
+    println!(
+        "warm-start seeding pops {:.1}% fewer than cold re-solving (bar ≥{}%).",
+        benchjson::incremental_pops_reduction_pct(&rows),
+        benchjson::MIN_INCREMENTAL_POPS_REDUCTION_PCT
     );
     rows
 }

@@ -16,7 +16,7 @@
 //! run block-at-a-time on composed transfers; per-instruction values are
 //! recovered by a linear backward walk inside a block.
 
-use pdce_dfa::{solve, BitProblem, BitVec, Direction, GenKill, Meet, Solution};
+use pdce_dfa::{solve, solve_seeded, BitProblem, BitVec, Direction, GenKill, Meet, Solution};
 use pdce_ir::{CfgView, NodeId, Program, Stmt, Terminator, Var};
 
 /// Result of the dead-variable analysis.
@@ -24,6 +24,36 @@ use pdce_ir::{CfgView, NodeId, Program, Stmt, Terminator, Var};
 pub struct DeadSolution {
     width: usize,
     solution: Solution,
+    /// The gen/kill system the fixpoint solves, kept so a later
+    /// [`DeadSolution::compute_seeded`] can diff it against the new one
+    /// (`None` for the per-instruction ablation, which then seeds cold).
+    problem: Option<BitProblem>,
+}
+
+/// The dead-variable equations as a backward all-paths [`BitProblem`]
+/// with per-block composed transfers.
+fn dead_problem(prog: &Program, width: usize) -> BitProblem {
+    let transfer: Vec<GenKill> = prog
+        .node_ids()
+        .map(|n| {
+            let block = prog.block(n);
+            let stmts: Vec<GenKill> = block
+                .stmts
+                .iter()
+                .map(|s| stmt_transfer(prog, s, width))
+                .collect();
+            let term = term_transfer(prog, &block.term, width);
+            GenKill::compose_backward(width, stmts.iter().chain(std::iter::once(&term)))
+        })
+        .collect();
+    BitProblem {
+        direction: Direction::Backward,
+        meet: Meet::Intersection,
+        width,
+        transfer,
+        // Everything is dead at the end of the program.
+        boundary: BitVec::ones(width),
+    }
 }
 
 /// Transfer of a single statement for deadness.
@@ -56,33 +86,73 @@ pub(crate) fn term_transfer(prog: &Program, term: &Terminator, width: usize) -> 
     GenKill::new(BitVec::zeros(width), kill)
 }
 
+/// Applies a statement's deadness transfer to `v` in place, touching
+/// only the bits of the variables the statement mentions — no gen/kill
+/// vectors are materialized. Gen (`MOD ∖ USED`) and kill (`USED`) are
+/// disjoint by construction, so the write order is irrelevant.
+pub(crate) fn apply_stmt_backward(prog: &Program, stmt: &Stmt, v: &mut BitVec) {
+    if let Some(t) = stmt.used_term() {
+        for &u in prog.terms().vars_of(t) {
+            v.set(u.index(), false);
+        }
+    }
+    if let Some(m) = stmt.modified() {
+        if !stmt.uses(prog.terms(), m) {
+            v.set(m.index(), true);
+        }
+    }
+}
+
+/// In-place counterpart of [`term_transfer`] (kill-only).
+pub(crate) fn apply_term_backward(prog: &Program, term: &Terminator, v: &mut BitVec) {
+    if let Some(c) = term.used_term() {
+        for &u in prog.terms().vars_of(c) {
+            v.set(u.index(), false);
+        }
+    }
+}
+
 impl DeadSolution {
     /// Runs the analysis over `prog`.
     pub fn compute(prog: &Program, view: &CfgView) -> DeadSolution {
         let width = prog.num_vars();
-        let transfer: Vec<GenKill> = prog
-            .node_ids()
-            .map(|n| {
-                let block = prog.block(n);
-                let stmts: Vec<GenKill> = block
-                    .stmts
-                    .iter()
-                    .map(|s| stmt_transfer(prog, s, width))
-                    .collect();
-                let term = term_transfer(prog, &block.term, width);
-                GenKill::compose_backward(width, stmts.iter().chain(std::iter::once(&term)))
-            })
-            .collect();
-        let problem = BitProblem {
-            direction: Direction::Backward,
-            meet: Meet::Intersection,
-            width,
-            transfer,
-            // Everything is dead at the end of the program.
-            boundary: BitVec::ones(width),
-        };
+        let problem = dead_problem(prog, width);
         let solution = solve(view, &problem);
-        DeadSolution { width, solution }
+        DeadSolution {
+            width,
+            solution,
+            problem: Some(problem),
+        }
+    }
+
+    /// Warm-start re-analysis seeded from a previous solution.
+    ///
+    /// `prev` must come from [`DeadSolution::compute`] (or a previous
+    /// seeded run) over the same CFG, and `dirty` must cover every block
+    /// whose statement list changed since. Falls back to a cold solve
+    /// internally when the shapes do not line up (the variable universe
+    /// or the node count moved) or when `prev` carries no gen/kill
+    /// system to diff against (the per-instruction ablation).
+    /// Bit-identical to a cold solve — the differential oracle checks
+    /// this on generated CFGs.
+    pub fn compute_seeded(
+        prog: &Program,
+        view: &CfgView,
+        prev: &DeadSolution,
+        dirty: &[NodeId],
+    ) -> DeadSolution {
+        let width = prog.num_vars();
+        let seedable = width == prev.width && prev.solution.entry.len() == view.num_nodes();
+        let Some(prev_problem) = prev.problem.as_ref().filter(|_| seedable) else {
+            return DeadSolution::compute(prog, view);
+        };
+        let problem = dead_problem(prog, width);
+        let solution = solve_seeded(view, &problem, prev_problem, &prev.solution, dirty);
+        DeadSolution {
+            width,
+            solution,
+            problem: Some(problem),
+        }
     }
 
     /// Runs the analysis *without* pre-composing block transfers: every
@@ -91,7 +161,9 @@ impl DeadSolution {
     /// Semantically identical to [`DeadSolution::compute`] (tested), but
     /// each evaluation costs `O(block length)` bit-vector operations
     /// instead of one — the ablation for the "block summaries" design
-    /// decision of DESIGN.md, benchmarked in `pdce-bench`.
+    /// decision of DESIGN.md, benchmarked in `pdce-bench`. The walk
+    /// applies the sparse in-place transfers on one rolling buffer
+    /// instead of materializing a gen/kill pair per statement.
     pub fn compute_per_instruction(prog: &Program, view: &CfgView) -> DeadSolution {
         let width = prog.num_vars();
         let solution = pdce_dfa::solve_fn(
@@ -102,14 +174,19 @@ impl DeadSolution {
             &BitVec::ones(width),
             |node, exit_val| {
                 let block = prog.block(node);
-                let mut current = term_transfer(prog, &block.term, width).apply(exit_val);
+                let mut current = exit_val.clone();
+                apply_term_backward(prog, &block.term, &mut current);
                 for stmt in block.stmts.iter().rev() {
-                    current = stmt_transfer(prog, stmt, width).apply(&current);
+                    apply_stmt_backward(prog, stmt, &mut current);
                 }
                 current
             },
         );
-        DeadSolution { width, solution }
+        DeadSolution {
+            width,
+            solution,
+            problem: None,
+        }
     }
 
     /// Deadness vector at the entry of block `n`.
@@ -123,24 +200,62 @@ impl DeadSolution {
         self.solution.at_exit(n)
     }
 
-    /// Deadness vectors *immediately after* each statement of block `n`
-    /// (`X-DEAD` of every statement instruction, index-aligned with
-    /// `block.stmts`).
-    pub fn after_each_stmt(&self, prog: &Program, n: NodeId) -> Vec<BitVec> {
+    /// Visits the deadness vector *immediately after* each statement of
+    /// block `n` (`X-DEAD` of every statement instruction), calling
+    /// `f(k, after_k)` in **reverse** statement order (`k` descending).
+    ///
+    /// One rolling buffer is reused across the walk and the sparse
+    /// in-place transfers touch only the bits each statement mentions,
+    /// so the whole visit costs a single vector clone — unlike
+    /// [`DeadSolution::after_each_stmt`], which must materialize every
+    /// intermediate vector. The borrowed vector is overwritten after
+    /// `f` returns; clone it to keep it.
+    pub fn for_each_stmt_after(
+        &self,
+        prog: &Program,
+        n: NodeId,
+        mut f: impl FnMut(usize, &BitVec),
+    ) {
         let block = prog.block(n);
-        let mut current = term_transfer(prog, &block.term, self.width).apply(self.at_exit(n));
-        let mut out = vec![BitVec::zeros(0); block.stmts.len()];
+        let mut current = self.at_exit(n).clone();
+        apply_term_backward(prog, &block.term, &mut current);
         for (k, stmt) in block.stmts.iter().enumerate().rev() {
-            out[k] = current.clone();
-            current = stmt_transfer(prog, stmt, self.width).apply(&current);
+            f(k, &current);
+            apply_stmt_backward(prog, stmt, &mut current);
         }
         debug_assert_eq!(&current, self.at_entry(n));
+        // One clone plus one sparse in-place transfer per instruction.
+        pdce_trace::record_solver(pdce_trace::SolverStats {
+            word_ops: self.width.div_ceil(64) as u64 + block.stmts.len() as u64 + 1,
+            ..pdce_trace::SolverStats::ZERO
+        });
+    }
+
+    /// Deadness vectors *immediately after* each statement of block `n`
+    /// (`X-DEAD` of every statement instruction, index-aligned with
+    /// `block.stmts`). Materializes one vector per statement; prefer
+    /// [`DeadSolution::for_each_stmt_after`] in hot paths.
+    pub fn after_each_stmt(&self, prog: &Program, n: NodeId) -> Vec<BitVec> {
+        let block = prog.block(n);
+        let mut out = vec![BitVec::zeros(0); block.stmts.len()];
+        self.for_each_stmt_after(prog, n, |k, after| out[k] = after.clone());
+        // The materializing clones, on top of the rolling walk.
+        pdce_trace::record_solver(pdce_trace::SolverStats {
+            word_ops: self.width.div_ceil(64) as u64 * block.stmts.len() as u64,
+            ..pdce_trace::SolverStats::ZERO
+        });
         out
     }
 
     /// Whether `v` is dead immediately after statement `k` of block `n`.
     pub fn dead_after(&self, prog: &Program, n: NodeId, k: usize, v: Var) -> bool {
-        self.after_each_stmt(prog, n)[k].get(v.index())
+        let mut dead = false;
+        self.for_each_stmt_after(prog, n, |j, after| {
+            if j == k {
+                dead = after.get(v.index());
+            }
+        });
+        dead
     }
 
     /// Number of node evaluations the solver performed.
@@ -275,6 +390,59 @@ mod tests {
             assert_eq!(a.at_entry(n), b.at_entry(n), "{}", p.block(n).name);
             assert_eq!(a.at_exit(n), b.at_exit(n), "{}", p.block(n).name);
         }
+    }
+
+    #[test]
+    fn seeded_recompute_matches_cold_after_stmt_edit() {
+        let mut p = parse(
+            "prog {
+               block s  { x := a + b; y := x; nondet n1 n2 }
+               block n1 { out(y); goto n3 }
+               block n2 { y := 7; x := y; goto n3 }
+               block n3 { out(y); nondet s2 e }
+               block s2 { goto n3 }
+               block e  { halt }
+             }",
+        )
+        .unwrap();
+        let view = CfgView::new(&p);
+        let prev = DeadSolution::compute(&p, &view);
+        // Drop `y := 7; x := y` from n2: y's loop-carried liveness
+        // changes upstream of the edit.
+        let n2 = p.block_by_name("n2").unwrap();
+        p.stmts_mut(n2).clear();
+        let cold = DeadSolution::compute(&p, &view);
+        let warm = DeadSolution::compute_seeded(&p, &view, &prev, &[n2]);
+        for n in p.node_ids() {
+            assert_eq!(cold.at_entry(n), warm.at_entry(n), "{}", p.block(n).name);
+            assert_eq!(cold.at_exit(n), warm.at_exit(n), "{}", p.block(n).name);
+        }
+    }
+
+    #[test]
+    fn rolling_visitor_matches_materialized_and_costs_fewer_word_ops() {
+        // A block long enough that the per-statement clones dominate.
+        let body: String = (0..32).map(|i| format!("x{i} := a + b; ")).collect();
+        let (p, d) = solve_src(&format!(
+            "prog {{ block s {{ {body}out(a); goto e }} block e {{ halt }} }}"
+        ));
+        let s = p.entry();
+        let before = pdce_trace::solver_totals();
+        let materialized = d.after_each_stmt(&p, s);
+        let cost_materialized = pdce_trace::solver_totals().since(&before).word_ops;
+        let before = pdce_trace::solver_totals();
+        let mut visited = 0usize;
+        d.for_each_stmt_after(&p, s, |k, after| {
+            assert_eq!(after, &materialized[k]);
+            visited += 1;
+        });
+        let cost_rolling = pdce_trace::solver_totals().since(&before).word_ops;
+        assert_eq!(visited, materialized.len());
+        assert!(
+            cost_rolling < cost_materialized,
+            "rolling walk ({cost_rolling} word ops) must beat \
+             materializing ({cost_materialized} word ops)"
+        );
     }
 
     #[test]

@@ -78,6 +78,16 @@ impl PdceConfig {
         self.on_limit = LimitBehavior::Truncate;
         self
     }
+
+    /// The default global round cap for `prog` when [`max_rounds`] is
+    /// unset: `4 + i·b` from the paper's Section 6.3 estimate (`r ≤ i·b`,
+    /// plus slack for the certifying no-change rounds), with both factors
+    /// clamped to at least 1 so even an empty program gets a few rounds.
+    ///
+    /// [`max_rounds`]: PdceConfig::max_rounds
+    pub fn default_round_cap(prog: &Program) -> usize {
+        4 + prog.num_stmts().max(1) * prog.num_blocks().max(1)
+    }
 }
 
 impl PdceConfig {
@@ -252,9 +262,9 @@ pub fn optimize_with_cache(
     stats.initial_stmts = prog.num_stmts() as u64;
     stats.max_stmts = stats.initial_stmts;
 
-    let cap = config.max_rounds.unwrap_or_else(|| {
-        4 + prog.num_stmts().max(1) * prog.num_blocks().max(1) // r ≤ i·b (§6.3)
-    });
+    let cap = config
+        .max_rounds
+        .unwrap_or_else(|| PdceConfig::default_round_cap(prog));
 
     // Resolve the hot region (if any) to a dense block mask.
     let region_mask: Option<Vec<bool>> = config.region.as_ref().map(|names| {
@@ -347,6 +357,26 @@ mod tests {
     fn expect(got: &Program, want_src: &str) {
         let want = parse(want_src).unwrap();
         assert!(structural_eq(got, &want), "mismatch:\n{}", diff(got, &want));
+    }
+
+    /// The §6.3 default round cap is `4 + i·b`, clamped so even a
+    /// statement-free program gets a few certifying rounds.
+    #[test]
+    fn default_round_cap_formula() {
+        let p = parse(
+            "prog {
+               block s { x := 1; y := 2; out(y); goto m }
+               block m { goto e }
+               block e { halt }
+             }",
+        )
+        .unwrap();
+        assert_eq!(p.num_stmts(), 3);
+        assert_eq!(p.num_blocks(), 3);
+        assert_eq!(PdceConfig::default_round_cap(&p), 4 + 3 * 3);
+
+        let empty = parse("prog { block s { goto e } block e { halt } }").unwrap();
+        assert_eq!(PdceConfig::default_round_cap(&empty), 4 + 2);
     }
 
     /// Figures 1 → 2: the motivating example end to end.

@@ -63,22 +63,28 @@ pub fn eliminate_once_cached(
     let mut removed = 0u64;
     match mode {
         Mode::Dead => {
-            let sol = cache.analysis::<DeadSolution, _>(prog, DeadSolution::compute);
+            let sol = cache.analysis_seeded::<DeadSolution, _>(prog, |p, v, seed| match seed {
+                Some((prev, delta)) => {
+                    DeadSolution::compute_seeded(p, v, prev, delta.dirty_blocks())
+                }
+                None => DeadSolution::compute(p, v),
+            });
             let plans: Vec<(pdce_ir::NodeId, Vec<usize>)> = prog
                 .node_ids()
                 .filter(|&n| in_region(n))
                 .map(|n| {
-                    let after = sol.after_each_stmt(prog, n);
-                    let doomed = prog
-                        .block(n)
-                        .stmts
-                        .iter()
-                        .enumerate()
-                        .filter_map(|(k, stmt)| match *stmt {
-                            Stmt::Assign { lhs, .. } if after[k].get(lhs.index()) => Some(k),
-                            _ => None,
-                        })
-                        .collect();
+                    // The rolling visitor walks the block backwards once
+                    // instead of materializing one vector per statement.
+                    let stmts = &prog.block(n).stmts;
+                    let mut doomed: Vec<usize> = Vec::new();
+                    sol.for_each_stmt_after(prog, n, |k, after| {
+                        if let Stmt::Assign { lhs, .. } = stmts[k] {
+                            if after.get(lhs.index()) {
+                                doomed.push(k);
+                            }
+                        }
+                    });
+                    doomed.reverse(); // visitor runs last-to-first
                     (n, doomed)
                 })
                 .collect();
@@ -86,7 +92,10 @@ pub fn eliminate_once_cached(
             removed += apply_removals(prog, &plans);
         }
         Mode::Faint => {
-            let sol = cache.analysis::<FaintSolution, _>(prog, |p, _| FaintSolution::compute(p));
+            let sol = cache.analysis_seeded::<FaintSolution, _>(prog, |p, _, seed| match seed {
+                Some((prev, delta)) => FaintSolution::compute_seeded(p, prev, delta.dirty_blocks()),
+                None => FaintSolution::compute(p),
+            });
             let plans: Vec<(pdce_ir::NodeId, Vec<usize>)> = prog
                 .node_ids()
                 .filter(|&n| in_region(n))
@@ -189,10 +198,12 @@ fn apply_removals(prog: &mut Program, plans: &[(pdce_ir::NodeId, Vec<usize>)]) -
         if doomed.is_empty() {
             continue;
         }
-        let block = prog.block_mut(*n);
-        let mut keep = Vec::with_capacity(block.stmts.len() - doomed.len());
+        // `stmts_mut` (vs `block_mut`) logs a statement-level change, so
+        // the next round's analyses can warm-start from this block alone.
+        let stmts = prog.stmts_mut(*n);
+        let mut keep = Vec::with_capacity(stmts.len() - doomed.len());
         let mut d = doomed.iter().peekable();
-        for (k, stmt) in block.stmts.iter().enumerate() {
+        for (k, stmt) in stmts.iter().enumerate() {
             if d.peek() == Some(&&k) {
                 d.next();
                 removed += 1;
@@ -200,7 +211,7 @@ fn apply_removals(prog: &mut Program, plans: &[(pdce_ir::NodeId, Vec<usize>)]) -
                 keep.push(*stmt);
             }
         }
-        block.stmts = keep;
+        *stmts = keep;
     }
     removed
 }

@@ -19,7 +19,9 @@
 //! paper's subtlety: whenever slot `(ι, lhs_ι)` drops, the slots `(ι, z)`
 //! of all right-hand-side variables `z` of `ι` are re-queued.
 
-use pdce_dfa::network::{solve_greatest, solve_greatest_prioritized, NetworkSolution};
+use pdce_dfa::network::{
+    solve_greatest, solve_greatest_prioritized, solve_greatest_seeded, NetworkSolution,
+};
 use pdce_dfa::SolverStrategy;
 use pdce_ir::{NodeId, Program, Stmt, Var};
 
@@ -49,27 +51,22 @@ pub struct FaintSolution {
     evaluations: u64,
 }
 
-impl FaintSolution {
-    /// Runs the analysis over `prog`.
-    ///
-    /// # Example
-    ///
-    /// ```
-    /// use pdce_core::FaintSolution;
-    /// use pdce_ir::parser::parse;
-    ///
-    /// // Figure 9: the self-increment is faint (though not dead).
-    /// let prog = parse(
-    ///     "prog { block s { goto l } block l { x := x + 1; nondet l d }
-    ///             block d { goto e } block e { halt } }",
-    /// )?;
-    /// let faint = FaintSolution::compute(&prog);
-    /// let l = prog.block_by_name("l").unwrap();
-    /// let x = prog.vars().lookup("x").unwrap();
-    /// assert!(faint.faint_after(l, 0, x));
-    /// # Ok::<(), pdce_ir::ParseError>(())
-    /// ```
-    pub fn compute(prog: &Program) -> FaintSolution {
+/// The slot network of one program: instruction layout, per-instruction
+/// facts, and the dependency structure. Building it is a linear scan —
+/// cheap next to solving — so both the cold and the seeded solve
+/// construct it fresh and only the fixpoint values are carried over.
+struct Network {
+    num_vars: usize,
+    num_instrs: usize,
+    num_slots: usize,
+    offsets: Vec<usize>,
+    infos: Vec<InstrInfo>,
+    next: Vec<Vec<u32>>,
+    dependents: Vec<Vec<u32>>,
+}
+
+impl Network {
+    fn build(prog: &Program) -> Network {
         let num_vars = prog.num_vars();
         let nblocks = prog.num_blocks();
 
@@ -137,44 +134,171 @@ impl FaintSolution {
             }
         }
 
-        let x_faint = |values: &pdce_dfa::BitVec, instr: usize, v: Var| -> bool {
-            next[instr]
-                .iter()
-                .all(|&nu| values.get(nu as usize * num_vars + v.index()))
-        };
+        Network {
+            num_vars,
+            num_instrs,
+            num_slots,
+            offsets,
+            infos,
+            next,
+            dependents,
+        }
+    }
 
-        let mut eval = |s: usize, values: &pdce_dfa::BitVec| {
-            let instr = s / num_vars;
-            let x = Var::from_index(s % num_vars);
-            match &infos[instr] {
-                InstrInfo::Neutral => x_faint(values, instr, x),
-                InstrInfo::Relevant { used } => !used.contains(&x) && x_faint(values, instr, x),
-                InstrInfo::Assign { lhs, rhs_vars } => {
-                    (x_faint(values, instr, x) || x == *lhs)
-                        && (x_faint(values, instr, *lhs) || !rhs_vars.contains(&x))
-                }
+    /// Table 1's `X-FAINT`: conjunction over successor instructions.
+    fn x_faint(&self, values: &pdce_dfa::BitVec, instr: usize, v: Var) -> bool {
+        self.next[instr]
+            .iter()
+            .all(|&nu| values.get(nu as usize * self.num_vars + v.index()))
+    }
+
+    /// Table 1's `N-FAINT` right-hand side for one slot.
+    fn eval(&self, s: usize, values: &pdce_dfa::BitVec) -> bool {
+        let instr = s / self.num_vars;
+        let x = Var::from_index(s % self.num_vars);
+        match &self.infos[instr] {
+            InstrInfo::Neutral => self.x_faint(values, instr, x),
+            InstrInfo::Relevant { used } => !used.contains(&x) && self.x_faint(values, instr, x),
+            InstrInfo::Assign { lhs, rhs_vars } => {
+                (self.x_faint(values, instr, x) || x == *lhs)
+                    && (self.x_faint(values, instr, *lhs) || !rhs_vars.contains(&x))
             }
-        };
+        }
+    }
+
+    /// Slot priorities for the prioritized/seeded solvers: falsity flows
+    /// backward along `next`, so evaluate deep instructions first
+    /// (instruction-graph postorder index).
+    fn priorities(&self, entry: NodeId) -> Vec<u32> {
+        let po = instr_postorder(&self.next, self.offsets[entry.index()]);
+        (0..self.num_slots).map(|s| po[s / self.num_vars]).collect()
+    }
+
+    /// Number of instructions of block `n` in this layout.
+    fn instr_count(&self, n: usize) -> usize {
+        let end = self.offsets.get(n + 1).copied().unwrap_or(self.num_instrs);
+        end - self.offsets[n]
+    }
+}
+
+impl FaintSolution {
+    /// Runs the analysis over `prog`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use pdce_core::FaintSolution;
+    /// use pdce_ir::parser::parse;
+    ///
+    /// // Figure 9: the self-increment is faint (though not dead).
+    /// let prog = parse(
+    ///     "prog { block s { goto l } block l { x := x + 1; nondet l d }
+    ///             block d { goto e } block e { halt } }",
+    /// )?;
+    /// let faint = FaintSolution::compute(&prog);
+    /// let l = prog.block_by_name("l").unwrap();
+    /// let x = prog.vars().lookup("x").unwrap();
+    /// assert!(faint.faint_after(l, 0, x));
+    /// # Ok::<(), pdce_ir::ParseError>(())
+    /// ```
+    pub fn compute(prog: &Program) -> FaintSolution {
+        let net = Network::build(prog);
+        let eval = |s: usize, values: &pdce_dfa::BitVec| net.eval(s, values);
         let NetworkSolution {
             values,
             evaluations,
         } = match pdce_dfa::current_strategy() {
-            SolverStrategy::Fifo => solve_greatest(num_slots, &dependents, &mut eval),
+            SolverStrategy::Fifo => solve_greatest(net.num_slots, &net.dependents, eval),
             SolverStrategy::Priority => {
                 // Falsity flows backward along `next`, so evaluate deep
                 // instructions first: priority = instruction-graph
                 // postorder index (exit-most instructions finish first).
-                let po = instr_postorder(&next, offsets[prog.entry().index()]);
-                let priority: Vec<u32> = (0..num_slots).map(|s| po[s / num_vars]).collect();
-                solve_greatest_prioritized(num_slots, &dependents, &priority, &mut eval)
+                let priority = net.priorities(prog.entry());
+                solve_greatest_prioritized(net.num_slots, &net.dependents, &priority, eval)
             }
         };
 
         FaintSolution {
-            num_vars,
-            offsets,
+            num_vars: net.num_vars,
+            offsets: net.offsets,
             values,
-            next,
+            next: net.next,
+            evaluations,
+        }
+    }
+
+    /// Warm-start re-analysis seeded from a previous solution.
+    ///
+    /// `prev` must come from [`FaintSolution::compute`] (or a previous
+    /// seeded run) over the same CFG, and `dirty` must cover every block
+    /// whose statement list changed since. The slot network is rebuilt
+    /// for the current program (a linear scan); the previous fixpoint
+    /// values of untouched blocks are remapped into the new layout and
+    /// only the slots of dirty blocks — plus their dependence cone — are
+    /// re-iterated. Falls back to a cold solve internally when the
+    /// shapes do not line up (the variable universe moved, the block
+    /// set changed, or a supposedly-clean block changed length).
+    /// Bit-identical to a cold solve.
+    pub fn compute_seeded(prog: &Program, prev: &FaintSolution, dirty: &[NodeId]) -> FaintSolution {
+        let net = Network::build(prog);
+        let nblocks = prog.num_blocks();
+        if net.num_vars != prev.num_vars || prev.offsets.len() != nblocks {
+            return FaintSolution::compute(prog);
+        }
+        let mut is_dirty = vec![false; nblocks];
+        for &d in dirty {
+            is_dirty[d.index()] = true;
+        }
+        let prev_num_instrs = prev.next.len();
+        let prev_instr_count = |n: usize| {
+            let end = prev.offsets.get(n + 1).copied().unwrap_or(prev_num_instrs);
+            end - prev.offsets[n]
+        };
+        // Every clean block must have kept its instruction count, else
+        // the per-block value remapping below is meaningless.
+        for (n, &block_dirty) in is_dirty.iter().enumerate() {
+            if !block_dirty && net.instr_count(n) != prev_instr_count(n) {
+                return FaintSolution::compute(prog);
+            }
+        }
+
+        // Seed: all-true (the lattice top, what dirty slots reset to),
+        // with every clean block's segment copied from the previous
+        // fixpoint under the new instruction numbering.
+        let mut seed = pdce_dfa::BitVec::ones(net.num_slots);
+        let mut dirty_slots: Vec<u32> = Vec::new();
+        for (n, &block_dirty) in is_dirty.iter().enumerate() {
+            let base = net.offsets[n] * net.num_vars;
+            let count = net.instr_count(n) * net.num_vars;
+            if block_dirty {
+                dirty_slots.extend((base..base + count).map(|s| s as u32));
+            } else {
+                let prev_base = prev.offsets[n] * net.num_vars;
+                for k in 0..count {
+                    seed.set(base + k, prev.values.get(prev_base + k));
+                }
+            }
+        }
+
+        let priority = net.priorities(prog.entry());
+        let eval = |s: usize, values: &pdce_dfa::BitVec| net.eval(s, values);
+        let NetworkSolution {
+            values,
+            evaluations,
+        } = solve_greatest_seeded(
+            net.num_slots,
+            &net.dependents,
+            &priority,
+            &seed,
+            &dirty_slots,
+            eval,
+        );
+
+        FaintSolution {
+            num_vars: net.num_vars,
+            offsets: net.offsets,
+            values,
+            next: net.next,
             evaluations,
         }
     }
@@ -405,6 +529,58 @@ mod tests {
         let prio = pdce_dfa::with_strategy(SolverStrategy::Priority, || FaintSolution::compute(&p));
         assert_eq!(fifo.values, prio.values);
         assert!(prio.evaluations <= fifo.evaluations);
+    }
+
+    #[test]
+    fn seeded_recompute_matches_cold_after_stmt_edit() {
+        let mut p = parse(
+            "prog {
+               block s  { a := c + 1; nondet n3 n4 }
+               block n3 { goto n5 }
+               block n4 { y := a + b; goto n5 }
+               block n5 { y := c + d; out(y); nondet n4 e }
+               block e  { halt }
+             }",
+        )
+        .unwrap();
+        let prev = FaintSolution::compute(&p);
+        // Remove `out(y)` from n5: faintness changes ripple through the
+        // loop back into n4 and s. The edit changes n5's length, which
+        // the per-block remapping must absorb.
+        let n5 = p.block_by_name("n5").unwrap();
+        p.stmts_mut(n5).pop();
+        let cold = FaintSolution::compute(&p);
+        let warm = FaintSolution::compute_seeded(&p, &prev, &[n5]);
+        for n in p.node_ids() {
+            for k in 0..=p.block(n).stmts.len() {
+                for v in 0..p.num_vars() {
+                    let v = Var::from_index(v);
+                    assert_eq!(
+                        cold.faint_before(n, k, v),
+                        warm.faint_before(n, k, v),
+                        "N-FAINT mismatch at {}[{}] var {:?}",
+                        p.block(n).name,
+                        k,
+                        v
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn seeded_recompute_with_incompatible_shape_solves_cold() {
+        let mut p = parse("prog { block s { x := 1; goto e } block e { halt } }").unwrap();
+        let prev = FaintSolution::compute(&p);
+        // Growing the variable universe invalidates the slot layout; the
+        // seeded path must detect it and fall back.
+        let y = p.var("freshvar");
+        let one = p.terms_mut().constant(1);
+        let s = p.entry();
+        p.stmts_mut(s).push(Stmt::Assign { lhs: y, rhs: one });
+        let cold = FaintSolution::compute(&p);
+        let warm = FaintSolution::compute_seeded(&p, &prev, &[s]);
+        assert_eq!(cold.values, warm.values);
     }
 
     #[test]

@@ -69,6 +69,11 @@ impl PatternTable {
         self.patterns[index]
     }
 
+    /// All patterns in index order (e.g. for comparing two tables).
+    pub fn pairs(&self) -> &[(Var, TermId)] {
+        &self.patterns
+    }
+
     /// The canonical key of the pattern at `index`.
     pub fn key(&self, index: usize) -> &PatternKey {
         &self.keys[index]

@@ -19,11 +19,21 @@ use std::fmt;
 
 use pdce_dfa::{AnalysisCache, Preserves};
 use pdce_ir::edgesplit::has_critical_edges;
-use pdce_ir::{Program, Stmt};
+use pdce_ir::{Program, Stmt, TermId, Var};
 
 use crate::delay::DelayInfo;
 use crate::local::LocalInfo;
 use crate::patterns::PatternTable;
+
+/// Cached delayability solution together with the inputs it was derived
+/// under. The delay fixpoint depends on the pattern indexing and the
+/// region mask, not just the program revision, so both are recorded and
+/// checked before the cache entry (fresh or stale) is trusted.
+struct CachedDelay {
+    patterns: Vec<(Var, TermId)>,
+    region: Option<Vec<bool>>,
+    info: DelayInfo,
+}
 
 /// Outcome of one `ask` pass.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -132,7 +142,37 @@ pub fn sink_assignments_cached(
             }
         }
     }
-    let delay = DelayInfo::compute(prog, &view, &table, &local);
+    let region_key: Option<Vec<bool>> = region.map(<[bool]>::to_vec);
+    let cached = {
+        let table = table.clone();
+        let local = &local;
+        let region_key = region_key.clone();
+        cache.analysis_seeded::<CachedDelay, _>(prog, move |p, v, seed| {
+            let info = match seed {
+                Some((prev, delta))
+                    if prev.patterns.as_slice() == table.pairs() && prev.region == region_key =>
+                {
+                    DelayInfo::compute_seeded(p, v, &table, local, &prev.info, delta.dirty_blocks())
+                }
+                _ => DelayInfo::compute(p, v, &table, local),
+            };
+            CachedDelay {
+                patterns: table.pairs().to_vec(),
+                region: region_key,
+                info,
+            }
+        })
+    };
+    // A fresh cache hit may have been produced under a different region
+    // mask (or pattern indexing); it must not be trusted blindly.
+    let delay_direct;
+    let delay: &DelayInfo =
+        if cached.patterns.as_slice() == table.pairs() && cached.region == region_key {
+            &cached.info
+        } else {
+            delay_direct = DelayInfo::compute(prog, &view, &table, &local);
+            &delay_direct
+        };
 
     let mut outcome = SinkOutcome::default();
     for n in prog.node_ids() {
@@ -217,7 +257,9 @@ pub fn sink_assignments_cached(
                 }
             }
             outcome.changed = true;
-            prog.block_mut(n).stmts = new_stmts;
+            // `stmts_mut` logs a statement-level change so the next
+            // round's analyses can warm-start from this block alone.
+            *prog.stmts_mut(n) = new_stmts;
         }
     }
     if outcome.changed {

@@ -35,9 +35,11 @@ pub mod solve;
 
 pub use bitvec::BitVec;
 pub use genkill::GenKill;
-pub use network::{solve_greatest, solve_greatest_prioritized, NetworkSolution};
+pub use network::{
+    solve_greatest, solve_greatest_prioritized, solve_greatest_seeded, NetworkSolution,
+};
 pub use pass::{run_until_stable, AnalysisCache, CacheStats, Pass, PassOutcome, Preserves};
 pub use solve::{
-    current_strategy, solve, solve_fn, with_strategy, BitProblem, Direction, Meet, Solution,
-    SolverStrategy,
+    affected_closure, current_strategy, incremental_enabled, solve, solve_fn, solve_seeded,
+    with_incremental, with_strategy, BitProblem, Direction, Meet, Solution, SolverStrategy,
 };

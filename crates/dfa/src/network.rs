@@ -88,6 +88,9 @@ pub fn solve_greatest(
         word_ops: 0,
         fifo_pops: pops,
         priority_pops: 0,
+        cold_solves: 1,
+        warm_solves: 0,
+        seeded_pops: 0,
     });
     trace_span.finish_with(if pdce_trace::enabled() {
         vec![("pops", pops.into()), ("evaluations", evaluations.into())]
@@ -165,6 +168,119 @@ pub fn solve_greatest_prioritized(
         word_ops: 0,
         fifo_pops: 0,
         priority_pops: pops,
+        cold_solves: 1,
+        warm_solves: 0,
+        seeded_pops: 0,
+    });
+    trace_span.finish_with(if pdce_trace::enabled() {
+        vec![("pops", pops.into()), ("evaluations", evaluations.into())]
+    } else {
+        Vec::new()
+    });
+    NetworkSolution {
+        values,
+        evaluations,
+    }
+}
+
+/// Warm-start variant of [`solve_greatest_prioritized`], seeded from a
+/// previous greatest fixpoint.
+///
+/// `prev_values` must be the fixpoint of the same network before the
+/// evaluation functions of the `dirty_slots` changed; `dirty_slots`
+/// must cover every slot whose equation (or whose read set) differs
+/// from the run that produced `prev_values`. The dependents-closure of
+/// the dirty slots — the *dirty instruction cone* — is reset to true
+/// and re-iterated; every slot outside the cone keeps its previous
+/// value, which is still exact because its equation transitively reads
+/// only untouched slots. The result is bit-identical to a cold solve.
+///
+/// # Panics
+///
+/// Panics if `dependents.len()`, `priority.len()`, or
+/// `prev_values.len()` differ from `num_slots`.
+pub fn solve_greatest_seeded(
+    num_slots: usize,
+    dependents: &[Vec<u32>],
+    priority: &[u32],
+    prev_values: &BitVec,
+    dirty_slots: &[u32],
+    mut eval: impl FnMut(usize, &BitVec) -> bool,
+) -> NetworkSolution {
+    assert_eq!(dependents.len(), num_slots, "one dependent list per slot");
+    assert_eq!(priority.len(), num_slots, "one priority per slot");
+    assert_eq!(prev_values.len(), num_slots, "previous fixpoint size");
+    let trace_span = pdce_trace::span_with(
+        "solver",
+        "network-solve-seeded",
+        if pdce_trace::enabled() {
+            vec![
+                ("slots", num_slots.into()),
+                ("dirty", dirty_slots.len().into()),
+            ]
+        } else {
+            Vec::new()
+        },
+    );
+    // Dirty cone: closure of the dirty slots along dependents edges.
+    let mut cone = BitVec::zeros(num_slots);
+    let mut stack: Vec<u32> = Vec::with_capacity(dirty_slots.len());
+    for &s in dirty_slots {
+        if !cone.get(s as usize) {
+            cone.set(s as usize, true);
+            stack.push(s);
+        }
+    }
+    while let Some(s) = stack.pop() {
+        for &d in &dependents[s as usize] {
+            if !cone.get(d as usize) {
+                cone.set(d as usize, true);
+                stack.push(d);
+            }
+        }
+    }
+
+    let mut values = prev_values.clone();
+    let mut heap: BinaryHeap<Reverse<(u32, u32)>> = BinaryHeap::new();
+    let mut queued = BitVec::zeros(num_slots);
+    let mut seeded: u64 = 0;
+    for s in cone.iter_ones() {
+        values.set(s, true);
+        queued.set(s, true);
+        heap.push(Reverse((priority[s], s as u32)));
+        seeded += 1;
+    }
+
+    let mut evaluations: u64 = 0;
+    let mut pops: u64 = 0;
+    while let Some(Reverse((_, slot))) = heap.pop() {
+        pops += 1;
+        let s = slot as usize;
+        queued.set(s, false);
+        if !values.get(s) {
+            continue; // already false; false is final.
+        }
+        evaluations += 1;
+        if !eval(s, &values) {
+            values.set(s, false);
+            // Dependents of cone slots are in the cone by construction,
+            // so re-queueing them never resurrects a non-cone value.
+            for &d in &dependents[s] {
+                let d = d as usize;
+                if values.get(d) && !queued.get(d) {
+                    queued.set(d, true);
+                    heap.push(Reverse((priority[d], d as u32)));
+                }
+            }
+        }
+    }
+    pdce_trace::record_solver(pdce_trace::SolverStats {
+        problems: 1,
+        evaluations,
+        revisits: pops.saturating_sub(seeded),
+        warm_solves: 1,
+        seeded_pops: pops,
+        ..pdce_trace::SolverStats::ZERO
     });
     trace_span.finish_with(if pdce_trace::enabled() {
         vec![("pops", pops.into()), ("evaluations", evaluations.into())]
@@ -274,6 +390,50 @@ mod tests {
         assert_eq!(fifo.values, prio.values);
         assert!(prio.evaluations <= fifo.evaluations);
         assert_eq!(prio.evaluations, n as u64);
+    }
+
+    #[test]
+    fn seeded_matches_cold_after_local_change() {
+        // Chain network; first solve with falsity entering at the end,
+        // then "edit" the middle slot's equation to be constant-true and
+        // re-solve seeded with only that slot dirty.
+        let n = 20;
+        let mid = 10;
+        let mut dependents = vec![Vec::new(); n];
+        for i in 0..n - 1 {
+            dependents[i + 1].push(i as u32);
+        }
+        let priority: Vec<u32> = (0..n).map(|s| (n - 1 - s) as u32).collect();
+        let eval_v1 = |s: usize, vals: &BitVec| if s == n - 1 { false } else { vals.get(s + 1) };
+        let eval_v2 = |s: usize, vals: &BitVec| if s == mid { true } else { eval_v1(s, vals) };
+        let prev = solve_greatest_prioritized(n, &dependents, &priority, eval_v1);
+        assert!(prev.values.none());
+        let cold = solve_greatest_prioritized(n, &dependents, &priority, eval_v2);
+        let warm = solve_greatest_seeded(
+            n,
+            &dependents,
+            &priority,
+            &prev.values,
+            &[mid as u32],
+            eval_v2,
+        );
+        assert_eq!(warm.values, cold.values);
+        // The cone of `mid` is slots 0..=mid; everything past it was
+        // untouched and must not have been re-evaluated.
+        assert!(warm.evaluations <= (mid + 1) as u64 + 1);
+    }
+
+    #[test]
+    fn seeded_with_no_dirty_slots_returns_previous_fixpoint() {
+        let n = 5;
+        let dependents = vec![Vec::new(); n];
+        let priority = vec![0u32; n];
+        let prev = solve_greatest_prioritized(n, &dependents, &priority, |s, _| s % 2 == 0);
+        let warm = solve_greatest_seeded(n, &dependents, &priority, &prev.values, &[], |_, _| {
+            unreachable!("nothing dirty, nothing evaluated")
+        });
+        assert_eq!(warm.values, prev.values);
+        assert_eq!(warm.evaluations, 0);
     }
 
     #[test]

@@ -25,7 +25,9 @@ use std::any::{Any, TypeId};
 use std::collections::HashMap;
 use std::rc::Rc;
 
-use pdce_ir::{CfgView, NodeId, Program};
+use pdce_ir::{CfgView, ChangeSet, NodeId, Program};
+
+use crate::solve::incremental_enabled;
 
 /// What a pass guarantees about cached analyses after it ran.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -175,6 +177,13 @@ pub struct AnalysisCache {
     cfg: Option<Rc<CfgView>>,
     doms: Option<Rc<Vec<Option<NodeId>>>>,
     analyses: HashMap<TypeId, Rc<dyn Any>>,
+    /// Demoted analysis solutions: the last value of each type together
+    /// with the revision it was valid for. Never served as a hit —
+    /// consulted only by [`AnalysisCache::analysis_seeded`], which asks
+    /// `Program::changes_since` whether the delta back to that revision
+    /// is statement-local and, if so, offers the stale value as a
+    /// warm-start seed instead of discarding it.
+    stale: HashMap<TypeId, (u64, Rc<dyn Any>)>,
     stats: CacheStats,
 }
 
@@ -189,13 +198,28 @@ impl AnalysisCache {
         self.stats
     }
 
-    /// Drops entries that are stale for `prog`'s current revision.
+    /// Drops entries that are stale for `prog`'s current revision,
+    /// demoting analysis solutions to warm-start seeds.
     fn sync(&mut self, prog: &Program) {
         if self.revision != Some(prog.revision()) {
             self.cfg = None;
             self.doms = None;
-            self.analyses.clear();
+            self.demote_analyses();
             self.revision = Some(prog.revision());
+        }
+    }
+
+    /// Moves every fresh analysis entry into the stale map, stamped with
+    /// the revision it was valid for. No-op when that revision is
+    /// unknown (the entries would be unseedable anyway).
+    fn demote_analyses(&mut self) {
+        match self.revision {
+            Some(rev) => {
+                for (key, value) in self.analyses.drain() {
+                    self.stale.insert(key, (rev, value));
+                }
+            }
+            None => self.analyses.clear(),
         }
     }
 
@@ -250,6 +274,51 @@ impl AnalysisCache {
         self.stats.analysis_misses += 1;
         let view = self.cfg(prog);
         let value: Rc<T> = Rc::new(build(prog, &view));
+        self.stale.remove(&TypeId::of::<T>());
+        self.analyses
+            .insert(TypeId::of::<T>(), Rc::clone(&value) as Rc<dyn Any>);
+        value
+    }
+
+    /// Like [`AnalysisCache::analysis`], but on a miss offers the
+    /// demoted previous solution of type `T` as a warm-start seed when
+    /// the program's change log proves every mutation since was
+    /// statement-local: `build` receives `Some((prev, delta))` with the
+    /// dirty-block delta, or `None` when it must solve cold (no previous
+    /// value, structural changes, an unexplained revision move, or
+    /// incremental solving disabled via [`incremental_enabled`]).
+    ///
+    /// A warm rebuild still counts as an `analysis_miss` — the hit/miss
+    /// counters describe cache residency; warm vs. cold solve telemetry
+    /// lives in `SolverStats` (`warm_solves`/`cold_solves`).
+    pub fn analysis_seeded<T, F>(&mut self, prog: &Program, build: F) -> Rc<T>
+    where
+        T: Any,
+        F: FnOnce(&Program, &CfgView, Option<(&T, &ChangeSet)>) -> T,
+    {
+        self.sync(prog);
+        if let Some(entry) = self.analyses.get(&TypeId::of::<T>()) {
+            self.stats.analysis_hits += 1;
+            return Rc::clone(entry).downcast::<T>().expect("typed slot");
+        }
+        self.stats.analysis_misses += 1;
+        let view = self.cfg(prog);
+        let seed = if incremental_enabled() {
+            self.stale.get(&TypeId::of::<T>()).and_then(|(rev, value)| {
+                let delta = prog.changes_since(*rev)?;
+                if delta.structural() {
+                    return None;
+                }
+                value.downcast_ref::<T>().map(|prev| (prev, delta))
+            })
+        } else {
+            None
+        };
+        let value: Rc<T> = Rc::new(match seed {
+            Some((prev, delta)) => build(prog, &view, Some((prev, &delta))),
+            None => build(prog, &view, None),
+        });
+        self.stale.remove(&TypeId::of::<T>());
         self.analyses
             .insert(TypeId::of::<T>(), Rc::clone(&value) as Rc<dyn Any>);
         value
@@ -264,13 +333,18 @@ impl AnalysisCache {
     pub fn retain(&mut self, prog: &Program, level: Preserves) {
         match level {
             Preserves::Nothing => {
+                // The graph may have been rewired: previous solutions
+                // are not even shape-compatible, so stale seeds go too.
                 self.cfg = None;
                 self.doms = None;
                 self.analyses.clear();
+                self.stale.clear();
                 self.revision = Some(prog.revision());
             }
             Preserves::Cfg => {
-                self.analyses.clear();
+                // Solutions are invalid but the graph survives; demote
+                // them to warm-start seeds for `analysis_seeded`.
+                self.demote_analyses();
                 self.revision = Some(prog.revision());
             }
             Preserves::All => {
@@ -279,12 +353,13 @@ impl AnalysisCache {
         }
     }
 
-    /// Drops everything unconditionally.
+    /// Drops everything unconditionally, stale seeds included.
     pub fn invalidate(&mut self) {
         self.revision = None;
         self.cfg = None;
         self.doms = None;
         self.analyses.clear();
+        self.stale.clear();
     }
 }
 
@@ -387,6 +462,85 @@ mod tests {
         cache.retain(&p, Preserves::Cfg);
         cache.analysis::<Marker, _>(&p, |_, _| Marker);
         assert_eq!(cache.stats().analysis_misses, 2);
+    }
+
+    #[test]
+    fn analysis_seeded_offers_previous_solution_after_stmt_edit() {
+        #[derive(Debug)]
+        struct Count(usize);
+        let mut p = prog();
+        let mut cache = AnalysisCache::new();
+        let entry = p.entry();
+        cache.analysis_seeded::<Count, _>(&p, |p, _, seed| {
+            assert!(seed.is_none(), "first build is cold");
+            Count(p.num_stmts())
+        });
+        p.stmts_mut(entry).pop();
+        cache.retain(&p, Preserves::Cfg);
+        let warm = crate::solve::with_incremental(true, || {
+            cache.analysis_seeded::<Count, _>(&p, |p, _, seed| {
+                let (prev, delta) = seed.expect("stmt-local delta must offer a seed");
+                assert_eq!(prev.0, 2);
+                assert!(!delta.structural());
+                assert_eq!(delta.dirty_blocks(), &[entry]);
+                Count(p.num_stmts())
+            })
+        });
+        assert_eq!(warm.0, 1);
+        // Same revision again: a plain hit, no rebuild.
+        cache.analysis_seeded::<Count, _>(&p, |_, _, _| panic!("must hit"));
+        assert_eq!(cache.stats().analysis_hits, 1);
+        assert_eq!(cache.stats().analysis_misses, 2);
+    }
+
+    #[test]
+    fn analysis_seeded_goes_cold_on_structural_or_disabled() {
+        #[derive(Debug)]
+        struct Count(usize);
+        let mut p = prog();
+        let mut cache = AnalysisCache::new();
+        cache.analysis_seeded::<Count, _>(&p, |p, _, _| Count(p.num_blocks()));
+
+        // Structural change: no seed.
+        let exit = p.exit();
+        p.add_block(pdce_ir::Block::new(
+            "fresh",
+            pdce_ir::Terminator::Goto(exit),
+        ))
+        .unwrap();
+        cache.analysis_seeded::<Count, _>(&p, |p, _, seed| {
+            assert!(seed.is_none(), "structural delta must not be seedable");
+            Count(p.num_blocks())
+        });
+
+        // Statement edit but incremental disabled: no seed either.
+        let entry = p.entry();
+        p.stmts_mut(entry).pop();
+        cache.retain(&p, Preserves::Cfg);
+        let cold = crate::solve::with_incremental(false, || {
+            cache.analysis_seeded::<Count, _>(&p, |p, _, seed| {
+                assert!(seed.is_none(), "disabled incremental must solve cold");
+                Count(p.num_blocks())
+            })
+        });
+        assert_eq!(cold.0, 5);
+    }
+
+    #[test]
+    fn retain_nothing_drops_stale_seeds() {
+        #[derive(Debug)]
+        struct Count(usize);
+        let mut p = prog();
+        let mut cache = AnalysisCache::new();
+        cache.analysis_seeded::<Count, _>(&p, |p, _, _| Count(p.num_stmts()));
+        let entry = p.entry();
+        p.stmts_mut(entry).pop();
+        cache.retain(&p, Preserves::Nothing);
+        let rebuilt = cache.analysis_seeded::<Count, _>(&p, |p, _, seed| {
+            assert!(seed.is_none(), "retain(Nothing) must drop seeds");
+            Count(p.num_stmts())
+        });
+        assert_eq!(rebuilt.0, 1);
     }
 
     #[test]

@@ -105,6 +105,58 @@ pub fn with_strategy<R>(strategy: SolverStrategy, f: impl FnOnce() -> R) -> R {
     f()
 }
 
+thread_local! {
+    /// Scoped override installed by [`with_incremental`].
+    static INCREMENTAL: Cell<Option<bool>> = const { Cell::new(None) };
+}
+
+/// Process-wide incremental toggle from the `INCREMENTAL` environment
+/// variable, resolved once (unknown values fall back to the default).
+static ENV_INCREMENTAL: OnceLock<Option<bool>> = OnceLock::new();
+
+fn env_incremental() -> Option<bool> {
+    *ENV_INCREMENTAL.get_or_init(|| {
+        std::env::var("INCREMENTAL")
+            .ok()
+            .and_then(|v| match v.as_str() {
+                "on" | "1" | "true" => Some(true),
+                "off" | "0" | "false" => Some(false),
+                _ => None,
+            })
+    })
+}
+
+/// Whether warm-start (seeded) re-solving is enabled on this thread:
+/// the innermost [`with_incremental`] scope if any, else the
+/// `INCREMENTAL` environment variable (`on` / `off`), else on.
+///
+/// When off, every analysis request falls back to a cold solve from the
+/// lattice bound — the reference path the warm≡cold differential oracle
+/// compares against, selectable via `--no-incremental` on the CLI.
+pub fn incremental_enabled() -> bool {
+    INCREMENTAL
+        .with(|s| s.get())
+        .or_else(env_incremental)
+        .unwrap_or(true)
+}
+
+/// Runs `f` with incremental re-analysis forced on or off on this
+/// thread, restoring the previous selection afterwards (also on panic).
+/// This is how the differential tests pit warm-start against cold-start
+/// in-process.
+pub fn with_incremental<R>(enabled: bool, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<bool>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            let prev = self.0;
+            INCREMENTAL.with(|s| s.set(prev));
+        }
+    }
+    let prev = INCREMENTAL.with(|s| s.replace(Some(enabled)));
+    let _restore = Restore(prev);
+    f()
+}
+
 /// Analysis direction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Direction {
@@ -384,6 +436,8 @@ pub fn solve_fn(
             SolverStrategy::Fifo => 0,
             SolverStrategy::Priority => evaluations,
         },
+        cold_solves: 1,
+        ..pdce_trace::SolverStats::ZERO
     });
     trace_span.finish_with(if pdce_trace::enabled() {
         vec![
@@ -408,6 +462,348 @@ pub fn solve_fn(
             exit: input,
             evaluations,
             sweeps,
+            word_ops,
+        },
+    }
+}
+
+/// The flow-closure of `dirty`: every node reachable from a dirty node
+/// along the direction information propagates in (transitive successors
+/// for forward problems, transitive predecessors for backward ones),
+/// dirty nodes included. Returned as a dense membership mask.
+///
+/// This is a sound over-approximation of the region a seeded re-solve
+/// may have to re-iterate: any node outside it has an input chain that
+/// never crosses a dirty node, so its previous fixpoint value is still
+/// exact. [`solve_seeded`] itself works on a much sharper, per-bit
+/// region derived from the gen/kill delta — the closure remains the
+/// outer node-level bound of what can change (useful for property
+/// tests and impact estimates).
+pub fn affected_closure(view: &CfgView, direction: Direction, dirty: &[NodeId]) -> BitVec {
+    let n = view.num_nodes();
+    let mut in_set = BitVec::zeros(n);
+    let mut stack: Vec<NodeId> = Vec::with_capacity(dirty.len());
+    for &d in dirty {
+        if !in_set.get(d.index()) {
+            in_set.set(d.index(), true);
+            stack.push(d);
+        }
+    }
+    while let Some(node) = stack.pop() {
+        let next: &[NodeId] = match direction {
+            Direction::Forward => view.succs(node),
+            Direction::Backward => view.preds(node),
+        };
+        for &m in next {
+            if !in_set.get(m.index()) {
+                in_set.set(m.index(), true);
+                stack.push(m);
+            }
+        }
+    }
+    in_set
+}
+
+/// Warm-start solve of `problem`, seeded from a previous fixpoint.
+///
+/// `prev` must be the solution of `prev_problem` over the same CFG; the
+/// result is then bit-identical to a cold [`solve`] of `problem`.
+/// `dirty` names the blocks whose statements changed since (it scopes
+/// the trace span); correctness does not depend on it, because the
+/// solver diffs `prev_problem` against `problem` node by node and works
+/// off the *semantic* delta. Structural (CFG) changes are not seedable;
+/// callers detect them via `Program::changes_since` and fall back to a
+/// cold solve, and the solver itself falls back when the two problems
+/// disagree on direction, meet, width, node count, or boundary.
+///
+/// The re-solve exploits that a gen/kill transfer acts on each bit
+/// independently, as one of three functions forming a chain:
+/// `const-0 < identity < const-1`. Diffing old against new gen/kill
+/// therefore splits every changed bit into a move *toward* the lattice
+/// bound the iteration descends from (up for intersection problems,
+/// down for union ones) or *away* from it.
+///
+/// * Moves **away** from the bound only lower the extremal fixpoint, so
+///   re-evaluating the changed nodes and chasing actual value changes
+///   (plain damped worklist repair) is exact.
+/// * Moves **toward** the bound can raise it, and a raise can need
+///   mutual support around a cycle — stale values on the back edge
+///   would lock the iteration into a non-extremal fixpoint. Those bits
+///   are first *elevated*: set to the bound on the rising node and on
+///   every node reachable from it through bits the transfers pass
+///   unchanged (gen/kill bits stop the propagation, which is what keeps
+///   the region small — it is the per-bit refinement of
+///   [`affected_closure`]). Elevation restores the invariant that the
+///   iteration starts on the extremal side of the new fixpoint, and
+///   descending chaotic iteration from there converges to it exactly.
+///
+/// Nodes with no semantic delta and no elevated bits are never touched:
+/// a warm re-solve of an unchanged problem costs zero evaluations, and
+/// a damped change re-iterates only its actual impact region instead of
+/// the whole flow closure.
+///
+/// Seeded runs always use priority-heap scheduling regardless of
+/// [`current_strategy`] (the fixpoint is scheduling-independent), and
+/// record their pops as `seeded_pops`.
+///
+/// # Panics
+///
+/// Panics like [`solve`] on transfer/boundary shape mismatches of
+/// `problem` itself.
+pub fn solve_seeded(
+    view: &CfgView,
+    problem: &BitProblem,
+    prev_problem: &BitProblem,
+    prev: &Solution,
+    dirty: &[NodeId],
+) -> Solution {
+    let n = view.num_nodes();
+    assert_eq!(problem.transfer.len(), n, "one transfer per node required");
+    assert_eq!(problem.boundary.len(), problem.width);
+    for t in &problem.transfer {
+        assert_eq!(t.width(), problem.width, "transfer width mismatch");
+    }
+    // A previous solution is only a usable seed when the problem kept
+    // its shape; otherwise re-solve from scratch.
+    if prev_problem.direction != problem.direction
+        || prev_problem.meet != problem.meet
+        || prev_problem.width != problem.width
+        || prev_problem.transfer.len() != n
+        || prev_problem.boundary != problem.boundary
+        || prev.entry.len() != n
+        || prev.exit.len() != n
+    {
+        return solve(view, problem);
+    }
+    let direction = problem.direction;
+    let meet = problem.meet;
+    let width = problem.width;
+    let trace_span = pdce_trace::span_with(
+        "solver",
+        "bitvec-solve-seeded",
+        if pdce_trace::enabled() {
+            vec![
+                ("width", width.into()),
+                ("nodes", n.into()),
+                ("dirty", dirty.len().into()),
+            ]
+        } else {
+            Vec::new()
+        },
+    );
+    let words = width.div_ceil(64) as u64;
+
+    // Previous fixpoint mapped to solver orientation: `input` is the
+    // meet-side value (entry for forward, exit for backward), `output`
+    // the transferred one.
+    let (mut input, mut output): (Vec<BitVec>, Vec<BitVec>) = match direction {
+        Direction::Forward => (prev.entry.to_vec(), prev.exit.to_vec()),
+        Direction::Backward => (prev.exit.to_vec(), prev.entry.to_vec()),
+    };
+    let boundary_node = match direction {
+        Direction::Forward => view.entry(),
+        Direction::Backward => view.exit(),
+    };
+    let order: Vec<NodeId> = match direction {
+        Direction::Forward => view.rpo().to_vec(),
+        Direction::Backward => view.postorder(),
+    };
+    let mut order_pos = vec![u32::MAX; n];
+    for (i, &node) in order.iter().enumerate() {
+        order_pos[node.index()] = i as u32;
+    }
+    // Information flows from a node to its flow-successors; a node's
+    // meet reads its flow-predecessors.
+    let flow_succs = |node: NodeId| -> &[NodeId] {
+        match direction {
+            Direction::Forward => view.succs(node),
+            Direction::Backward => view.preds(node),
+        }
+    };
+
+    let mut word_ops: u64 = 0;
+
+    // Per-node semantic delta. On each bit, rank the transfer on the
+    // const-0 < identity < const-1 chain and compare old vs new; `gen`
+    // wins over `kill` in [`GenKill::apply`], so const-1 is `gen` and
+    // const-0 is `kill ∖ gen`.
+    let toward_bound = |old: &GenKill, new: &GenKill| -> BitVec {
+        // Bits where the new transfer is strictly above the old one:
+        // (new const-1 ∧ ¬old const-1) ∪ (new identity ∧ old const-0).
+        let mut up = new.gen.clone();
+        up.difference_with(&old.gen);
+        let mut id_over_zero = old.kill.clone();
+        id_over_zero.difference_with(&old.gen);
+        id_over_zero.difference_with(&new.gen);
+        id_over_zero.difference_with(&new.kill);
+        up.union_with(&id_over_zero);
+        up
+    };
+    let mut delta: Vec<BitVec> = Vec::with_capacity(n);
+    let mut elevate_seed: Vec<BitVec> = Vec::with_capacity(n);
+    for i in 0..n {
+        let old = &prev_problem.transfer[i];
+        let new = &problem.transfer[i];
+        word_ops += words * 4;
+        let up = toward_bound(old, new);
+        let down = toward_bound(new, old);
+        // A move toward the bound can raise the extremal fixpoint and
+        // needs elevation; intersection problems descend from ones,
+        // union problems ascend from zeros.
+        let seed = match meet {
+            Meet::Intersection => up.clone(),
+            Meet::Union => down.clone(),
+        };
+        let mut d = up;
+        d.union_with(&down);
+        delta.push(d);
+        elevate_seed.push(seed);
+    }
+
+    // Per-bit closure of the rising bits along flow edges. A risen
+    // output bit can raise a successor's output only where the
+    // successor's transfer is the identity on that bit, so gen/kill
+    // bits stop the propagation.
+    let mut elevated: Vec<BitVec> = vec![BitVec::zeros(width); n];
+    let mut stack: Vec<usize> = Vec::new();
+    for i in 0..n {
+        if order_pos[i] != u32::MAX && elevate_seed[i].any() {
+            elevated[i] = std::mem::replace(&mut elevate_seed[i], BitVec::zeros(0));
+            stack.push(i);
+        }
+    }
+    while let Some(v) = stack.pop() {
+        for &m in flow_succs(NodeId::from_index(v)) {
+            let mi = m.index();
+            if order_pos[mi] == u32::MAX {
+                continue; // unreachable, never evaluated
+            }
+            if m == boundary_node {
+                continue; // input pinned to the boundary, cannot rise
+            }
+            let mut add = elevated[v].clone();
+            add.difference_with(&problem.transfer[mi].gen);
+            add.difference_with(&problem.transfer[mi].kill);
+            add.difference_with(&elevated[mi]);
+            word_ops += words * 3;
+            if add.any() {
+                elevated[mi].union_with(&add);
+                stack.push(mi);
+            }
+        }
+    }
+
+    // Apply the elevation and enqueue every node whose equation may be
+    // violated at the seed: nodes with a semantic delta, nodes whose
+    // output the elevation actually moved, and the flow-successors of
+    // the latter (their meet input changed).
+    let mut heap: BinaryHeap<Reverse<u32>> = BinaryHeap::new();
+    let mut queued = BitVec::zeros(order.len());
+    let enqueue = |i: usize, heap: &mut BinaryHeap<Reverse<u32>>, queued: &mut BitVec| {
+        let pos = order_pos[i];
+        if pos != u32::MAX && !queued.get(pos as usize) {
+            queued.set(pos as usize, true);
+            heap.push(Reverse(pos));
+        }
+    };
+    for i in 0..n {
+        if order_pos[i] == u32::MAX {
+            continue;
+        }
+        if elevated[i].any() {
+            word_ops += words * 2;
+            let moved = match meet {
+                Meet::Intersection => {
+                    let moved = !elevated[i].is_subset_of(&output[i]);
+                    output[i].union_with(&elevated[i]);
+                    moved
+                }
+                Meet::Union => {
+                    let mut hit = elevated[i].clone();
+                    hit.intersect_with(&output[i]);
+                    let moved = hit.any();
+                    output[i].difference_with(&elevated[i]);
+                    moved
+                }
+            };
+            if moved {
+                enqueue(i, &mut heap, &mut queued);
+                for &m in flow_succs(NodeId::from_index(i)) {
+                    enqueue(m.index(), &mut heap, &mut queued);
+                }
+            }
+        }
+        if delta[i].any() {
+            enqueue(i, &mut heap, &mut queued);
+        }
+    }
+    let seeded: u64 = heap.len() as u64;
+
+    // Damped repair: descending (toward-fixpoint) chaotic iteration
+    // from the elevated seed, chasing actual value changes only.
+    let mut evaluations: u64 = 0;
+    while let Some(Reverse(pos)) = heap.pop() {
+        queued.set(pos as usize, false);
+        let node = order[pos as usize];
+        evaluations += 1;
+        if node != boundary_node {
+            let sources: &[NodeId] = match direction {
+                Direction::Forward => view.preds(node),
+                Direction::Backward => view.succs(node),
+            };
+            if !sources.is_empty() {
+                word_ops += words;
+                let mut acc = output[sources[0].index()].clone();
+                for &src in &sources[1..] {
+                    word_ops += match meet {
+                        Meet::Intersection => acc.intersect_with_skip(&output[src.index()]),
+                        Meet::Union => acc.union_with_skip(&output[src.index()]),
+                    };
+                }
+                input[node.index()] = acc;
+            }
+        }
+        word_ops += words * 3;
+        let new_out = problem.transfer[node.index()].apply(&input[node.index()]);
+        if new_out != output[node.index()] {
+            output[node.index()] = new_out;
+            for &d in flow_succs(node) {
+                enqueue(d.index(), &mut heap, &mut queued);
+            }
+        }
+    }
+
+    pdce_trace::record_solver(pdce_trace::SolverStats {
+        problems: 1,
+        evaluations,
+        revisits: evaluations.saturating_sub(seeded),
+        word_ops,
+        warm_solves: 1,
+        seeded_pops: evaluations,
+        ..pdce_trace::SolverStats::ZERO
+    });
+    trace_span.finish_with(if pdce_trace::enabled() {
+        vec![
+            ("evaluations", evaluations.into()),
+            ("word_ops", word_ops.into()),
+        ]
+    } else {
+        Vec::new()
+    });
+
+    match direction {
+        Direction::Forward => Solution {
+            entry: input,
+            exit: output,
+            evaluations,
+            sweeps: 0,
+            word_ops,
+        },
+        Direction::Backward => Solution {
+            entry: output,
+            exit: input,
+            evaluations,
+            sweeps: 0,
             word_ops,
         },
     }
@@ -606,6 +1002,115 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn with_incremental_scopes_nest_and_restore() {
+        let outer = incremental_enabled();
+        with_incremental(false, || {
+            assert!(!incremental_enabled());
+            with_incremental(true, || assert!(incremental_enabled()));
+            assert!(!incremental_enabled());
+        });
+        assert_eq!(incremental_enabled(), outer);
+    }
+
+    #[test]
+    fn affected_closure_follows_flow_direction() {
+        // s -> h -> x -> e with a back edge x -> h.
+        let p = parse(
+            "prog {
+               block s { goto h }
+               block h { goto x }
+               block x { nondet h e }
+               block e { halt }
+             }",
+        )
+        .unwrap();
+        let view = CfgView::new(&p);
+        let h = p.block_by_name("h").unwrap();
+        let fwd = affected_closure(&view, Direction::Forward, &[h]);
+        // Forward: h reaches x, e, and itself (via the back edge); not s.
+        assert!(!fwd.get(p.block_by_name("s").unwrap().index()));
+        assert!(fwd.get(h.index()));
+        assert!(fwd.get(p.block_by_name("x").unwrap().index()));
+        assert!(fwd.get(p.block_by_name("e").unwrap().index()));
+        let bwd = affected_closure(&view, Direction::Backward, &[h]);
+        // Backward: h's transitive predecessors are s, x, and h itself.
+        assert!(bwd.get(p.block_by_name("s").unwrap().index()));
+        assert!(bwd.get(h.index()));
+        assert!(bwd.get(p.block_by_name("x").unwrap().index()));
+        assert!(!bwd.get(p.block_by_name("e").unwrap().index()));
+    }
+
+    #[test]
+    fn seeded_solve_matches_cold_solve_after_transfer_change() {
+        // Loopy graph; change one node's transfer and re-solve seeded
+        // with exactly that node dirty. Exercises all four
+        // direction/meet combinations, including the loop case where
+        // naive stale-value seeding would converge to a wrong fixpoint.
+        let p = parse(
+            "prog {
+               block s { goto h }
+               block h { nondet b1 b2 }
+               block b1 { goto h2 }
+               block b2 { goto h2 }
+               block h2 { nondet h x }
+               block x { goto e }
+               block e { halt }
+             }",
+        )
+        .unwrap();
+        let view = CfgView::new(&p);
+        let changed = p.block_by_name("b2").unwrap();
+        for direction in [Direction::Forward, Direction::Backward] {
+            for meet in [Meet::Intersection, Meet::Union] {
+                let before = problem_for(&p, direction, meet, &["b1", "x"], &["b2"]);
+                let prev = solve(&view, &before);
+                // Flip b2 from killing to generating bit 0.
+                let mut after = problem_for(&p, direction, meet, &["b1", "b2", "x"], &[]);
+                after.boundary = before.boundary.clone();
+                let cold = solve(&view, &after);
+                let warm = solve_seeded(&view, &after, &before, &prev, &[changed]);
+                assert_eq!(cold.entry, warm.entry, "{direction:?}/{meet:?} entry");
+                assert_eq!(cold.exit, warm.exit, "{direction:?}/{meet:?} exit");
+            }
+        }
+    }
+
+    #[test]
+    fn seeded_solve_with_empty_dirty_set_is_free() {
+        let p = diamond();
+        let view = CfgView::new(&p);
+        let prob = problem_for(&p, Direction::Forward, Meet::Union, &["a"], &[]);
+        let prev = solve(&view, &prob);
+        let before = pdce_trace::solver_totals();
+        let warm = solve_seeded(&view, &prob, &prob, &prev, &[]);
+        let delta = pdce_trace::solver_totals().since(&before);
+        assert_eq!(warm.entry, prev.entry);
+        assert_eq!(warm.exit, prev.exit);
+        assert_eq!(warm.evaluations, 0);
+        assert_eq!(delta.warm_solves, 1);
+        assert_eq!(delta.seeded_pops, 0);
+    }
+
+    #[test]
+    fn seeded_pops_are_tagged_in_solver_stats() {
+        let p = diamond();
+        let view = CfgView::new(&p);
+        let old = problem_for(&p, Direction::Forward, Meet::Union, &[], &["a"]);
+        let prev = solve(&view, &old);
+        let mut new = problem_for(&p, Direction::Forward, Meet::Union, &["a"], &[]);
+        new.boundary = old.boundary.clone();
+        let dirty = [p.block_by_name("a").unwrap()];
+        let before = pdce_trace::solver_totals();
+        solve_seeded(&view, &new, &old, &prev, &dirty);
+        let delta = pdce_trace::solver_totals().since(&before);
+        assert_eq!(delta.warm_solves, 1);
+        assert_eq!(delta.cold_solves, 0);
+        assert!(delta.seeded_pops > 0);
+        assert_eq!(delta.fifo_pops, 0);
+        assert_eq!(delta.priority_pops, 0);
     }
 
     #[test]

@@ -62,7 +62,7 @@ pub use builder::ProgramBuilder;
 pub use cfg::CfgView;
 pub use error::{IrError, ParseError};
 pub use pattern::PatternKey;
-pub use program::{Block, NodeId, Program, Terminator};
+pub use program::{Block, ChangeSet, NodeId, Program, Terminator};
 pub use simplify::{simplify_cfg, SimplifyStats};
 pub use stmt::Stmt;
 pub use term::{BinOp, TermData, TermId, UnOp};

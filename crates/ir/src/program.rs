@@ -113,6 +113,60 @@ impl Terminator {
     }
 }
 
+/// Upper bound on retained change-log entries. When the log would grow
+/// past this, the older half is discarded in bulk; deltas reaching back
+/// past the trimmed prefix then report `None` (analyses fall back to a
+/// cold solve), so trimming is a performance trade-off, never a
+/// soundness one.
+const CHANGE_LOG_CAP: usize = 1024;
+
+/// One logged mutation, classified by what an analysis could observe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Change {
+    /// Only the statement list of one block changed; the control-flow
+    /// shape (terminators, block set, entry/exit) is untouched.
+    Stmts(NodeId),
+    /// Anything else: terminator rewrites, block or edge additions,
+    /// critical-edge splits, graph replacement, or an unclassified
+    /// mutation through [`Program::block_mut`] (conservative — the
+    /// borrow can reach the terminator).
+    Structural,
+}
+
+/// The fine-grained delta between two program revisions, assembled by
+/// [`Program::changes_since`] from the mutation log.
+///
+/// Incremental re-analysis consumes it as follows: when
+/// [`structural`](ChangeSet::structural) is `false`, every cached
+/// data-flow solution over the same CFG can be warm-started by resetting
+/// only [`dirty_blocks`](ChangeSet::dirty_blocks) (and their dependence
+/// frontier) to the lattice bound; a structural delta invalidates the
+/// CFG itself and demands a cold solve.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChangeSet {
+    structural: bool,
+    dirty: Vec<NodeId>,
+}
+
+impl ChangeSet {
+    /// Whether the delta is empty (the program is unchanged).
+    pub fn is_empty(&self) -> bool {
+        !self.structural && self.dirty.is_empty()
+    }
+
+    /// Whether any structural (CFG-shape) mutation occurred.
+    pub fn structural(&self) -> bool {
+        self.structural
+    }
+
+    /// Blocks whose statement lists changed, sorted and deduplicated.
+    /// Meaningful only when [`structural`](ChangeSet::structural) is
+    /// `false` (a structural delta dirties everything).
+    pub fn dirty_blocks(&self) -> &[NodeId] {
+        &self.dirty
+    }
+}
+
 /// A basic block: a named node holding a statement list and a terminator.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Block {
@@ -161,6 +215,11 @@ pub struct Program {
     /// variables or terms, graph replacement) bumps it, so analysis
     /// caches can detect staleness in O(1) without hashing the program.
     revision: u64,
+    /// Fine-grained mutation log: for each revision bump, the revision
+    /// value *after* the change paired with what kind of change it was.
+    /// Consumed by [`Program::changes_since`] for incremental
+    /// re-analysis; capped at [`CHANGE_LOG_CAP`] entries.
+    log: Vec<(u64, Change)>,
 }
 
 impl Program {
@@ -181,6 +240,7 @@ impl Program {
             entry,
             exit,
             revision: 0,
+            log: Vec::new(),
         }
     }
 
@@ -199,6 +259,7 @@ impl Program {
             entry,
             exit,
             revision: 0,
+            log: Vec::new(),
         }
     }
 
@@ -216,11 +277,61 @@ impl Program {
         self.revision + self.terms.len() as u64 + self.vars.len() as u64
     }
 
+    /// Appends a log entry stamped with the post-change revision. Must
+    /// be called *after* the revision bump it describes.
+    fn record(&mut self, change: Change) {
+        if self.log.len() >= CHANGE_LOG_CAP {
+            self.log.drain(..CHANGE_LOG_CAP / 2);
+        }
+        let rev = self.revision();
+        self.log.push((rev, change));
+    }
+
+    /// The delta between revision `rev` (a value previously returned by
+    /// [`Program::revision`]) and the current state, or `None` when the
+    /// log cannot account for every intervening revision step — because
+    /// the log was trimmed, `rev` belongs to a different program, or a
+    /// revision moved without a log entry (interning a genuinely new
+    /// variable or term grows the arenas, which the composite revision
+    /// observes but the log does not). Callers must treat `None` as
+    /// "anything may have changed" and fall back to a cold solve.
+    pub fn changes_since(&self, rev: u64) -> Option<ChangeSet> {
+        let cur = self.revision();
+        if rev == cur {
+            return Some(ChangeSet::default());
+        }
+        if rev > cur {
+            return None;
+        }
+        let needed = usize::try_from(cur - rev).ok()?;
+        if needed > self.log.len() {
+            return None;
+        }
+        let suffix = &self.log[self.log.len() - needed..];
+        let mut out = ChangeSet::default();
+        for (i, (r, change)) in suffix.iter().enumerate() {
+            // Contiguity check: each intervening revision must be
+            // explained by exactly one log entry.
+            if *r != rev + 1 + i as u64 {
+                return None;
+            }
+            match change {
+                Change::Stmts(n) => out.dirty.push(*n),
+                Change::Structural => out.structural = true,
+            }
+        }
+        out.dirty.sort_unstable();
+        out.dirty.dedup();
+        Some(out)
+    }
+
     /// Bumps the revision without any structural change. Used by
     /// transformations that mutate through interior block access and
-    /// want to be explicit, and by tests.
+    /// want to be explicit, and by tests. Logged conservatively as a
+    /// structural change (the interior mutation is unclassified).
     pub fn touch(&mut self) {
         self.revision += 1;
+        self.record(Change::Structural);
     }
 
     /// The entry node `s`.
@@ -268,10 +379,26 @@ impl Program {
     }
 
     /// Mutable access to a block. Conservatively counts as a mutation
-    /// for revision tracking, even if the caller changes nothing.
+    /// for revision tracking, even if the caller changes nothing, and is
+    /// logged as structural because the borrow can reach the terminator.
+    /// Transformations that only edit the statement list should prefer
+    /// [`Program::stmts_mut`], which logs a block-precise delta that
+    /// incremental re-analysis can exploit.
     pub fn block_mut(&mut self, n: NodeId) -> &mut Block {
         self.revision += 1;
+        self.record(Change::Structural);
         &mut self.blocks[n.index()]
+    }
+
+    /// Mutable access to one block's statement list. Counts as a
+    /// mutation like [`Program::block_mut`], but is logged as a
+    /// statements-only change of block `n`: the CFG shape is guaranteed
+    /// untouched, so cached data-flow solutions can be warm-started with
+    /// only `n` (plus its dependence frontier) marked dirty.
+    pub fn stmts_mut(&mut self, n: NodeId) -> &mut Vec<Stmt> {
+        self.revision += 1;
+        self.record(Change::Stmts(n));
+        &mut self.blocks[n.index()].stmts
     }
 
     /// Looks a block up by name.
@@ -338,6 +465,7 @@ impl Program {
         }
         let id = NodeId(u32::try_from(self.blocks.len()).expect("too many blocks"));
         self.revision += 1;
+        self.record(Change::Structural);
         self.blocks.push(block);
         Ok(id)
     }
@@ -365,6 +493,7 @@ impl Program {
         block.split_of = Some((from, to));
         let id = NodeId(u32::try_from(self.blocks.len()).expect("too many blocks"));
         self.revision += 1;
+        self.record(Change::Structural);
         self.blocks.push(block);
         self.block_mut(from).term.retarget(to, id);
         id
@@ -381,6 +510,7 @@ impl Program {
     pub(crate) fn replace_graph(&mut self, blocks: Vec<Block>, entry: NodeId, exit: NodeId) {
         assert!(entry.index() < blocks.len() && exit.index() < blocks.len());
         self.revision += 1;
+        self.record(Change::Structural);
         self.blocks = blocks;
         self.entry = entry;
         self.exit = exit;
@@ -468,5 +598,73 @@ mod tests {
         assert_eq!(p.max_block_len(), 3);
         assert_eq!(p.block_by_name("n1"), Some(b));
         assert_eq!(p.block_by_name("nope"), None);
+    }
+
+    #[test]
+    fn changes_since_reports_statement_edits_per_block() {
+        let mut p = Program::new();
+        let entry = p.entry();
+        let rev = p.revision();
+        assert_eq!(p.changes_since(rev), Some(ChangeSet::default()));
+
+        p.stmts_mut(entry).push(Stmt::Skip);
+        p.stmts_mut(entry).push(Stmt::Skip);
+        let cs = p.changes_since(rev).expect("contiguous log");
+        assert!(!cs.structural());
+        assert_eq!(cs.dirty_blocks(), &[entry]);
+        assert!(!cs.is_empty());
+    }
+
+    #[test]
+    fn changes_since_flags_structural_edits() {
+        let mut p = Program::new();
+        let rev = p.revision();
+        let exit = p.exit();
+        p.add_block(Block::new("n1", Terminator::Goto(exit)))
+            .unwrap();
+        let cs = p.changes_since(rev).expect("contiguous log");
+        assert!(cs.structural());
+
+        let rev2 = p.revision();
+        p.block_mut(p.entry()).stmts.push(Stmt::Skip);
+        assert!(p.changes_since(rev2).expect("logged").structural());
+    }
+
+    #[test]
+    fn changes_since_falls_back_on_unlogged_revision_moves() {
+        let mut p = Program::new();
+        let rev = p.revision();
+        // Interning a genuinely new variable moves the composite
+        // revision without a log entry: the delta must be unavailable.
+        p.var("fresh");
+        assert_eq!(p.changes_since(rev), None);
+        // Future revisions are never explainable.
+        assert_eq!(p.changes_since(p.revision() + 1), None);
+    }
+
+    #[test]
+    fn change_log_is_capped_and_trims_to_cold_fallback() {
+        let mut p = Program::new();
+        let entry = p.entry();
+        let rev = p.revision();
+        for _ in 0..(super::CHANGE_LOG_CAP + 8) {
+            p.stmts_mut(entry).push(Stmt::Skip);
+        }
+        // The trimmed prefix is gone, so the oldest snapshot is cold...
+        assert_eq!(p.changes_since(rev), None);
+        // ...but recent deltas still resolve.
+        let recent = p.revision();
+        p.stmts_mut(entry).pop();
+        let cs = p.changes_since(recent).expect("recent delta survives");
+        assert_eq!(cs.dirty_blocks(), &[entry]);
+    }
+
+    #[test]
+    fn split_edge_logs_structural_change() {
+        let mut p = Program::new();
+        let (entry, exit) = (p.entry(), p.exit());
+        let rev = p.revision();
+        p.split_edge(entry, exit);
+        assert!(p.changes_since(rev).expect("logged").structural());
     }
 }

@@ -289,7 +289,7 @@ impl Pipeline {
             ..PipelineReport::default()
         };
         let baseline = cache.stats();
-        let cap = 4 + prog.num_stmts().max(1) * prog.num_blocks().max(1);
+        let cap = pdce_core::PdceConfig::default_round_cap(prog);
         run_steps(&self.steps, prog, cache, cap, &mut report);
         report.cache = cache.stats().since(&baseline);
         report

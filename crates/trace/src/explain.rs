@@ -7,6 +7,20 @@
 use crate::{ProvAction, ProvenanceRecord};
 use std::fmt::Write as _;
 
+/// Renders the provenance log like [`render`], followed by a one-line
+/// analysis-reuse summary: how many fixpoints were solved cold versus
+/// warm-started from a previous round's solution, and what the seeded
+/// re-solves cost in worklist pops.
+pub fn render_with_solver(records: &[ProvenanceRecord], solver: &crate::SolverStats) -> String {
+    let mut out = render(records);
+    let _ = writeln!(
+        out,
+        "analyses: {} cold solve(s), {} warm solve(s), {} seeded pop(s)",
+        solver.cold_solves, solver.warm_solves, solver.seeded_pops
+    );
+    out
+}
+
 /// Renders the provenance log, in record order, grouped by round.
 pub fn render(records: &[ProvenanceRecord]) -> String {
     if records.is_empty() {
@@ -66,6 +80,18 @@ mod tests {
     #[test]
     fn empty_log_renders_placeholder() {
         assert_eq!(render(&[]), "no transformations recorded\n");
+    }
+
+    #[test]
+    fn solver_footer_names_cold_and_warm_solves() {
+        let solver = crate::SolverStats {
+            cold_solves: 2,
+            warm_solves: 5,
+            seeded_pops: 37,
+            ..crate::SolverStats::ZERO
+        };
+        let text = render_with_solver(&[rec(ProvAction::Eliminated, "dce", 1, "x := 1")], &solver);
+        assert!(text.contains("analyses: 2 cold solve(s), 5 warm solve(s), 37 seeded pop(s)"));
     }
 
     #[test]

@@ -561,6 +561,15 @@ pub struct SolverStats {
     /// Worklist pops performed under the priority (reverse-postorder /
     /// postorder) scheduling strategy.
     pub priority_pops: u64,
+    /// Solver runs that started from the lattice bound on every node
+    /// (no previous fixpoint available, or incremental solving off).
+    pub cold_solves: u64,
+    /// Solver runs seeded from a previous fixpoint, re-iterating only
+    /// the dirty region and its dependence frontier.
+    pub warm_solves: u64,
+    /// Worklist pops performed inside warm (seeded) solver runs. Always
+    /// priority-scheduled; disjoint from `fifo_pops`/`priority_pops`.
+    pub seeded_pops: u64,
 }
 
 impl SolverStats {
@@ -573,6 +582,9 @@ impl SolverStats {
         word_ops: 0,
         fifo_pops: 0,
         priority_pops: 0,
+        cold_solves: 0,
+        warm_solves: 0,
+        seeded_pops: 0,
     };
 
     /// Adds `other` into `self`.
@@ -584,6 +596,9 @@ impl SolverStats {
         self.word_ops += other.word_ops;
         self.fifo_pops += other.fifo_pops;
         self.priority_pops += other.priority_pops;
+        self.cold_solves += other.cold_solves;
+        self.warm_solves += other.warm_solves;
+        self.seeded_pops += other.seeded_pops;
     }
 
     /// The counter delta since an `earlier` snapshot (counters only
@@ -597,12 +612,16 @@ impl SolverStats {
             word_ops: self.word_ops - earlier.word_ops,
             fifo_pops: self.fifo_pops - earlier.fifo_pops,
             priority_pops: self.priority_pops - earlier.priority_pops,
+            cold_solves: self.cold_solves - earlier.cold_solves,
+            warm_solves: self.warm_solves - earlier.warm_solves,
+            seeded_pops: self.seeded_pops - earlier.seeded_pops,
         }
     }
 
-    /// Total worklist pops across both scheduling strategies.
+    /// Total worklist pops across all scheduling strategies, including
+    /// pops inside warm (seeded) solver runs.
     pub fn pops(&self) -> u64 {
-        self.fifo_pops + self.priority_pops
+        self.fifo_pops + self.priority_pops + self.seeded_pops
     }
 
     /// The standard key/value rendering used by span args and exporters.
@@ -615,6 +634,9 @@ impl SolverStats {
             ("word_ops", ArgValue::U64(self.word_ops)),
             ("fifo_pops", ArgValue::U64(self.fifo_pops)),
             ("priority_pops", ArgValue::U64(self.priority_pops)),
+            ("cold_solves", ArgValue::U64(self.cold_solves)),
+            ("warm_solves", ArgValue::U64(self.warm_solves)),
+            ("seeded_pops", ArgValue::U64(self.seeded_pops)),
         ]
     }
 }
@@ -788,6 +810,9 @@ mod tests {
             word_ops: 40,
             fifo_pops: 10,
             priority_pops: 0,
+            cold_solves: 1,
+            warm_solves: 0,
+            seeded_pops: 0,
         });
         record_solver(SolverStats {
             problems: 1,
@@ -802,7 +827,8 @@ mod tests {
         assert_eq!(delta.fifo_pops, 10);
         assert_eq!(delta.priority_pops, 6);
         assert_eq!(delta.pops(), 16);
-        assert_eq!(delta.args().len(), 7);
+        assert_eq!(delta.cold_solves, 1);
+        assert_eq!(delta.args().len(), 10);
     }
 
     #[test]

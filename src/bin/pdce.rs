@@ -3,7 +3,7 @@
 //! ```text
 //! pdce opt     [--mode pde|pfe|dce|fce | --passes SPEC] [--region a,b,c]
 //!              [--max-rounds N] [--stats] [--trace FILE.json] [--explain]
-//!              [FILE]                              optimize a program
+//!              [--no-incremental] [FILE]           optimize a program
 //! pdce run     [--in name=value]... [--seed N] [--fuel N] [FILE]
 //!                                                  interpret a program
 //! pdce analyze [FILE]                              per-block analysis facts
@@ -44,7 +44,7 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   pdce opt     [--mode pde|pfe|dce|fce | --passes SPEC] [--region a,b,c]
                [--max-rounds N] [--solver fifo|priority] [--jobs N]
-               [--simplify] [--stats] [--verify]
+               [--simplify] [--stats] [--verify] [--no-incremental]
                [--trace FILE.json] [--explain] [FILE...]
                SPEC is a comma-separated pass list with repeat(...) groups,
                e.g. --passes 'sccp,lvn,repeat(fce,sink),simplify'
@@ -52,7 +52,9 @@ const USAGE: &str = "usage:
                ui.perfetto.dev); --explain prints the provenance log: which
                pass moved/inserted/eliminated which statement in which round
                --solver picks the data-flow scheduling strategy (default:
-               priority; the SOLVER env var works too); with several FILEs
+               priority; the SOLVER env var works too); --no-incremental
+               disables warm-start seeded re-solving between rounds (the
+               INCREMENTAL env var works too); with several FILEs
                the programs are optimized independently and printed in
                argument order — --jobs N shards them over N workers
                (0 = all cores) with deterministic, jobs-independent output
@@ -161,11 +163,22 @@ fn load(file: Option<&str>) -> Result<Program, CliError> {
 }
 
 /// Runs `f` under an explicit `--solver` choice, or under the ambient
-/// selection (`SOLVER` env var / default) when none was given.
-fn maybe_with_strategy<R>(strategy: Option<SolverStrategy>, f: impl FnOnce() -> R) -> R {
-    match strategy {
+/// selection (`SOLVER` env var / default) when none was given, and with
+/// warm-start seeded re-solving disabled when `--no-incremental` was
+/// passed (the ambient `INCREMENTAL` env var applies otherwise).
+fn maybe_with_strategy<R>(
+    strategy: Option<SolverStrategy>,
+    incremental: bool,
+    f: impl FnOnce() -> R,
+) -> R {
+    let run = || match strategy {
         Some(s) => pdce::dfa::with_strategy(s, f),
         None => f(),
+    };
+    if incremental {
+        run()
+    } else {
+        pdce::dfa::with_incremental(false, run)
     }
 }
 
@@ -181,7 +194,7 @@ fn cmd_opt(args: &[String]) -> Result<(), CliError> {
             "solver",
             "jobs",
         ],
-        &["stats", "verify", "simplify", "explain"],
+        &["stats", "verify", "simplify", "explain", "no-incremental"],
     )?;
     let mut config = PdceConfig::pde();
     let mut passes_spec: Option<String> = None;
@@ -192,6 +205,7 @@ fn cmd_opt(args: &[String]) -> Result<(), CliError> {
     let mut want_verify = false;
     let mut want_simplify = false;
     let mut want_explain = false;
+    let mut incremental = true;
     for (name, value) in &parsed.flags {
         match name.as_str() {
             "passes" => passes_spec = Some(value.clone()),
@@ -231,6 +245,7 @@ fn cmd_opt(args: &[String]) -> Result<(), CliError> {
             "verify" => want_verify = true,
             "simplify" => want_simplify = true,
             "explain" => want_explain = true,
+            "no-incremental" => incremental = false,
             _ => unreachable!(),
         }
     }
@@ -248,6 +263,7 @@ fn cmd_opt(args: &[String]) -> Result<(), CliError> {
             want_verify,
             want_simplify,
             want_explain,
+            incremental,
         });
     }
     let original = load(parsed.single_file()?)?;
@@ -269,7 +285,7 @@ fn cmd_opt(args: &[String]) -> Result<(), CliError> {
                 return Err(usage("--passes replaces --mode/--region/--max-rounds"));
             }
             let pipeline = pdce::pass::Pipeline::parse(spec).map_err(|e| usage(e.to_string()))?;
-            let report = maybe_with_strategy(strategy, || pipeline.run(&mut prog));
+            let report = maybe_with_strategy(strategy, incremental, || pipeline.run(&mut prog));
             if want_simplify {
                 pdce::ir::simplify_cfg(&mut prog);
             }
@@ -283,8 +299,8 @@ fn cmd_opt(args: &[String]) -> Result<(), CliError> {
                 );
             }
         } else {
-            let stats =
-                maybe_with_strategy(strategy, || optimize(&mut prog, &config)).map_err(failed)?;
+            let stats = maybe_with_strategy(strategy, incremental, || optimize(&mut prog, &config))
+                .map_err(failed)?;
             if want_simplify {
                 let s = pdce::ir::simplify_cfg(&mut prog);
                 if want_stats {
@@ -312,8 +328,12 @@ fn cmd_opt(args: &[String]) -> Result<(), CliError> {
                     stats.solver.problems, stats.solver.evaluations, stats.solver.word_ops
                 );
                 eprintln!(
-                    "pops:        {} fifo, {} priority",
-                    stats.solver.fifo_pops, stats.solver.priority_pops
+                    "pops:        {} fifo, {} priority, {} seeded",
+                    stats.solver.fifo_pops, stats.solver.priority_pops, stats.solver.seeded_pops
+                );
+                eprintln!(
+                    "solves:      {} cold, {} warm",
+                    stats.solver.cold_solves, stats.solver.warm_solves
                 );
                 if stats.truncated {
                     eprintln!("truncated:   yes");
@@ -335,7 +355,13 @@ fn cmd_opt(args: &[String]) -> Result<(), CliError> {
             );
         }
         if want_explain {
-            eprint!("{}", pdce::trace::explain::render(&c.provenance()));
+            eprint!(
+                "{}",
+                pdce::trace::explain::render_with_solver(
+                    &c.provenance(),
+                    &pdce::trace::solver_totals()
+                )
+            );
         }
     }
     if want_verify {
@@ -363,6 +389,7 @@ struct BatchOptions<'a> {
     want_verify: bool,
     want_simplify: bool,
     want_explain: bool,
+    incremental: bool,
 }
 
 /// Per-file result of a batch worker.
@@ -390,7 +417,7 @@ fn cmd_opt_batch(opts: &BatchOptions) -> Result<(), CliError> {
                 let _guard = collector.as_ref().map(|c| {
                     pdce::trace::install(c.clone() as std::rc::Rc<dyn pdce::trace::Tracer>)
                 });
-                maybe_with_strategy(opts.strategy, || {
+                maybe_with_strategy(opts.strategy, opts.incremental, || {
                     optimize_one_file(path, opts.config, opts.want_simplify, opts.want_verify)
                 })
             };
@@ -457,7 +484,13 @@ fn cmd_opt_batch(opts: &BatchOptions) -> Result<(), CliError> {
             );
         }
         if opts.want_explain {
-            eprint!("{}", pdce::trace::explain::render(&merged.provenance));
+            eprint!(
+                "{}",
+                pdce::trace::explain::render_with_solver(
+                    &merged.provenance,
+                    &pdce::trace::solver_totals()
+                )
+            );
         }
     }
     if errors > 0 {
