@@ -25,13 +25,23 @@ use std::fmt::Write as _;
 /// `incremental_pops_reduction_pct` — the pop saving of warm-start
 /// seeded re-solving over cold re-solving on the sweep, which
 /// [`validate`] requires to be ≥ 40%.
-pub const SCHEMA_VERSION: u64 = 3;
+/// v4: the document gains `tv` — the translation-validation overhead
+/// A/B (same workload with per-round semantic validation off and on),
+/// whose `tv_overhead_pct` [`validate`] requires to stay under 10% —
+/// and `resilience`, the fault-tolerance counters of the run
+/// (rollbacks, degradations, TV checks/rollbacks, budget exhaustions).
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// The acceptance bar on `pops_reduction_pct`.
 pub const MIN_POPS_REDUCTION_PCT: f64 = 20.0;
 
 /// The acceptance bar on `incremental_pops_reduction_pct`.
 pub const MIN_INCREMENTAL_POPS_REDUCTION_PCT: f64 = 40.0;
+
+/// The acceptance bar on `tv.tv_overhead_pct`: per-round translation
+/// validation (at the benchmarked vector count) must cost less than
+/// this much wall time over the unvalidated run.
+pub const MAX_TV_OVERHEAD_PCT: f64 = 10.0;
 
 /// One figure reproduction with its cost.
 #[derive(Debug, Clone)]
@@ -101,6 +111,40 @@ pub struct TracingAb {
     pub enabled_overhead_pct: f64,
 }
 
+/// The translation-validation overhead A/B timing: the same workload
+/// optimized with per-round semantic validation off (`off_ns`) and on
+/// (`on_ns`, at `vectors` seeded input vectors per round).
+#[derive(Debug, Clone)]
+pub struct TvAb {
+    /// What was timed.
+    pub workload: String,
+    /// Seeded input vectors per round in the validated series.
+    pub vectors: u32,
+    /// Best-of-N, validation off (nanoseconds).
+    pub off_ns: u128,
+    /// Best-of-N, validation on (nanoseconds).
+    pub on_ns: u128,
+    /// `max(0, on - off) / off` in percent — held against
+    /// [`MAX_TV_OVERHEAD_PCT`] by [`validate`].
+    pub tv_overhead_pct: f64,
+}
+
+/// Fault-tolerance counters accumulated over the benchmark run
+/// (the driver's `PdceStats` resilience fields, summed).
+#[derive(Debug, Clone, Default)]
+pub struct ResilienceTotals {
+    /// Checkpoint restores (pass failures and TV rejections).
+    pub rollbacks: u64,
+    /// Ladder steps taken by the resilient driver.
+    pub degradations: u64,
+    /// Rounds checked by translation validation.
+    pub tv_checks: u64,
+    /// Rounds rejected and rolled back by translation validation.
+    pub tv_rollbacks: u64,
+    /// Runs aborted by an exhausted round/pop/wall budget.
+    pub budget_exhaustions: u64,
+}
+
 /// The complete document.
 #[derive(Debug, Clone)]
 pub struct BenchSummary {
@@ -120,6 +164,10 @@ pub struct BenchSummary {
     pub incremental_pops_reduction_pct: f64,
     /// The tracing overhead A/B.
     pub tracing: TracingAb,
+    /// The translation-validation overhead A/B.
+    pub tv: TvAb,
+    /// Resilience counters accumulated over the run.
+    pub resilience: ResilienceTotals,
 }
 
 /// `(fifo - priority) / fifo` in percent over the sweep totals, the
@@ -212,13 +260,31 @@ impl BenchSummary {
         let _ = write!(
             out,
             "\n\"tracing\":{{\"workload\":{},\"disabled_a_ns\":{},\"disabled_b_ns\":{},\
-             \"disabled_ab_delta_pct\":{:.3},\"enabled_ns\":{},\"enabled_overhead_pct\":{:.3}}}\n}}\n",
+             \"disabled_ab_delta_pct\":{:.3},\"enabled_ns\":{},\"enabled_overhead_pct\":{:.3}}},",
             json::escaped(&t.workload),
             t.disabled_a_ns,
             t.disabled_b_ns,
             t.disabled_ab_delta_pct,
             t.enabled_ns,
             t.enabled_overhead_pct
+        );
+        let v = &self.tv;
+        let _ = write!(
+            out,
+            "\n\"tv\":{{\"workload\":{},\"vectors\":{},\"off_ns\":{},\"on_ns\":{},\
+             \"tv_overhead_pct\":{:.3}}},",
+            json::escaped(&v.workload),
+            v.vectors,
+            v.off_ns,
+            v.on_ns,
+            v.tv_overhead_pct
+        );
+        let r = &self.resilience;
+        let _ = write!(
+            out,
+            "\n\"resilience\":{{\"rollbacks\":{},\"degradations\":{},\"tv_checks\":{},\
+             \"tv_rollbacks\":{},\"budget_exhaustions\":{}}}\n}}\n",
+            r.rollbacks, r.degradations, r.tv_checks, r.tv_rollbacks, r.budget_exhaustions
         );
         out
     }
@@ -332,6 +398,38 @@ pub fn validate(text: &str) -> Result<(), String> {
     ] {
         require_num(tracing, key, "tracing")?;
     }
+    let tv = require(&doc, "tv", "document")?;
+    require(tv, "workload", "tv")?
+        .as_str()
+        .ok_or("`tv.workload` is not a string")?;
+    for key in ["vectors", "off_ns", "on_ns"] {
+        require_num(tv, key, "tv")?;
+    }
+    let tv_overhead = require_num(tv, "tv_overhead_pct", "tv")?;
+    if tv_overhead >= MAX_TV_OVERHEAD_PCT {
+        return Err(format!(
+            "tv_overhead_pct {tv_overhead:.3} breaks the <{MAX_TV_OVERHEAD_PCT}% acceptance bar"
+        ));
+    }
+    let resilience = require(&doc, "resilience", "document")?;
+    for key in [
+        "rollbacks",
+        "degradations",
+        "tv_checks",
+        "tv_rollbacks",
+        "budget_exhaustions",
+    ] {
+        let n = require_num(resilience, key, "resilience")?;
+        if n < 0.0 {
+            return Err(format!("resilience: `{key}` is negative"));
+        }
+    }
+    // A benchmark run that never exercised validation cannot claim a
+    // TV overhead number.
+    let checks = require_num(resilience, "tv_checks", "resilience")?;
+    if checks == 0.0 {
+        return Err("resilience: `tv_checks` is zero but a `tv` A/B is present".into());
+    }
     Ok(())
 }
 
@@ -402,6 +500,17 @@ mod tests {
                 enabled_ns: 1_400_000,
                 enabled_overhead_pct: 40.0,
             },
+            tv: TvAb {
+                workload: "pde over 2 structured programs".into(),
+                vectors: 4,
+                off_ns: 1_000_000,
+                on_ns: 1_050_000,
+                tv_overhead_pct: 5.0,
+            },
+            resilience: ResilienceTotals {
+                tv_checks: 6,
+                ..ResilienceTotals::default()
+            },
         }
     }
 
@@ -460,6 +569,25 @@ mod tests {
         assert!(validate(&s.to_json())
             .unwrap_err()
             .contains("incremental_pops_reduction_pct"));
+    }
+
+    #[test]
+    fn validation_enforces_tv_overhead_bar() {
+        let mut s = sample();
+        s.tv.tv_overhead_pct = 23.5;
+        assert!(validate(&s.to_json())
+            .unwrap_err()
+            .contains("tv_overhead_pct"));
+        // Exactly at the bar still fails: the contract is strictly under.
+        s.tv.tv_overhead_pct = MAX_TV_OVERHEAD_PCT;
+        assert!(validate(&s.to_json()).is_err());
+    }
+
+    #[test]
+    fn validation_requires_tv_checks_behind_the_ab() {
+        let mut s = sample();
+        s.resilience.tv_checks = 0;
+        assert!(validate(&s.to_json()).unwrap_err().contains("tv_checks"));
     }
 
     #[test]

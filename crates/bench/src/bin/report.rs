@@ -19,7 +19,9 @@ use std::rc::Rc;
 use std::time::Instant;
 
 use pdce_baselines::duchain::DuGraph;
-use pdce_bench::benchjson::{self, BenchSummary, FigureRow, SweepRow, TracingAb};
+use pdce_bench::benchjson::{
+    self, BenchSummary, FigureRow, ResilienceTotals, SweepRow, TracingAb, TvAb,
+};
 use pdce_bench::{figure_corpus, fit_loglog_slope, measure, verify_figure};
 use pdce_core::driver::{optimize, PdceConfig};
 use pdce_core::elim::{eliminate_fixpoint, Mode};
@@ -78,6 +80,7 @@ fn main() {
         d1_dynamic_costs();
     }
     let tracing = t1_tracing_overhead(quick);
+    let (tv, resilience) = t2_tv_overhead(quick);
 
     let summary = BenchSummary {
         quick,
@@ -86,6 +89,8 @@ fn main() {
         incremental_pops_reduction_pct: benchjson::incremental_pops_reduction_pct(&sweep),
         sweep,
         tracing,
+        tv,
+        resilience,
     };
     let text = summary.to_json();
     benchjson::validate(&text).expect("emitted BENCH_PDE.json is schema-valid");
@@ -606,4 +611,84 @@ fn t1_tracing_overhead(quick: bool) -> TracingAb {
         enabled_ns: enabled,
         enabled_overhead_pct: overhead_pct,
     }
+}
+
+/// The translation-validation overhead A/B: the same pde workload with
+/// per-round semantic validation off and on (K seeded vectors through
+/// the interpreter per round), interleaved best-of-N, plus the
+/// accumulated resilience counters of the validated series. The
+/// acceptance bar requires the validated run to cost <10% extra.
+fn t2_tv_overhead(quick: bool) -> (TvAb, ResilienceTotals) {
+    hr("T2: translation-validation overhead A/B (bar <10%)");
+    // Solver work grows faster than interpreter work with program
+    // size, so the per-round validation tax is measured where the
+    // optimizer actually spends time: mid-size programs. Tiny inputs
+    // would overstate the relative cost of the K executions per round.
+    let vectors = 2u32;
+    let sizes: &[usize] = if quick { &[48, 96] } else { &[48, 96, 192] };
+    let progs: Vec<Program> = sizes.iter().map(|&n| structured_of_size(n, 17)).collect();
+    let base = PdceConfig::pde();
+    let validated = PdceConfig::pde().with_validation(vectors);
+    let time_once = |config: &PdceConfig| {
+        let t = Instant::now();
+        for p in &progs {
+            let mut clone = p.clone();
+            optimize(&mut clone, config).expect("driver terminates");
+        }
+        t.elapsed().as_nanos()
+    };
+    let reps = if quick { 7 } else { 11 };
+    // Warmup both paths, then interleave so drift hits them equally.
+    time_once(&base);
+    time_once(&validated);
+    let (mut off, mut on) = (u128::MAX, u128::MAX);
+    for _ in 0..reps {
+        off = off.min(time_once(&base));
+        on = on.min(time_once(&validated));
+    }
+    let overhead_pct = on.saturating_sub(off) as f64 * 100.0 / off as f64;
+    let mut totals = ResilienceTotals::default();
+    for p in &progs {
+        let mut clone = p.clone();
+        let stats = optimize(&mut clone, &validated).expect("driver terminates");
+        totals.rollbacks += stats.rollbacks;
+        totals.degradations += stats.degradations;
+        totals.tv_checks += stats.tv_checks;
+        totals.tv_rollbacks += stats.tv_rollbacks;
+        totals.budget_exhaustions += stats.budget_exhaustions;
+    }
+    println!(
+        "workload: pde over {} structured programs, {vectors} vectors/round, best of {reps}\n",
+        progs.len()
+    );
+    println!("{:<26} {:>12}", "series", "best (µs)");
+    println!("{:<26} {:>12.1}", "validation off", off as f64 / 1e3);
+    println!("{:<26} {:>12.1}", "validation on", on as f64 / 1e3);
+    println!(
+        "\ntv overhead: {overhead_pct:.2}% (acceptance bar <{}%); the validated\n\
+         series ran {} round check(s) and rolled back {} (expected 0 on a\n\
+         correct optimizer).",
+        benchjson::MAX_TV_OVERHEAD_PCT,
+        totals.tv_checks,
+        totals.tv_rollbacks
+    );
+    assert_eq!(
+        totals.tv_rollbacks, 0,
+        "the uninjected optimizer miscompiled"
+    );
+    (
+        TvAb {
+            workload: format!(
+                "pde over {} structured programs (targets {:?}), {vectors} vectors/round, \
+                 best of {reps}",
+                progs.len(),
+                sizes
+            ),
+            vectors,
+            off_ns: off,
+            on_ns: on,
+            tv_overhead_pct: overhead_pct,
+        },
+        totals,
+    )
 }

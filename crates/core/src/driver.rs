@@ -17,14 +17,18 @@
 
 use std::error::Error;
 use std::fmt;
+use std::sync::OnceLock;
 
-use pdce_dfa::{AnalysisCache, CacheStats};
+use pdce_dfa::{AnalysisCache, CacheStats, SolverStrategy};
 use pdce_ir::edgesplit::split_critical_edges;
 use pdce_ir::Program;
-use pdce_trace::SolverStats;
+use pdce_trace::budget::{self, Budget, BudgetExhausted};
+use pdce_trace::sandbox::{self, SandboxError};
+use pdce_trace::{fault, SolverStats};
 
 use crate::elim::{eliminate_fixpoint_cached, Mode};
 use crate::sink::{sink_assignments_cached, CriticalEdgeError};
+use crate::tv;
 
 /// What to do when the global round cap is reached (the paper's
 /// Section 7 suggests "simply cutting the global iteration process
@@ -59,6 +63,19 @@ pub struct PdceConfig {
     /// is program-independent). Insertions may land at region-boundary
     /// entries; blocks outside the region are otherwise untouched.
     pub region: Option<std::collections::BTreeSet<String>>,
+    /// Work budget for this run: rounds and wall time are checked in
+    /// the round loop, worklist pops inside the dfa solvers. Exhaustion
+    /// surfaces as [`PdceError::BudgetExhausted`] (round/wall checks)
+    /// or as an unwind out of an in-flight solve that
+    /// [`optimize_resilient`] converts into ladder degradation.
+    pub budget: Budget,
+    /// Translation validation: `Some(k)` re-executes the pre- and
+    /// post-round programs on `k` seeded input vectors after every
+    /// round and rolls the round back on an observable mismatch.
+    /// `None` falls back to the `TV` environment variable (`TV=k`, or
+    /// any other non-empty value for the default vector count); unset
+    /// means off.
+    pub validate: Option<u32>,
 }
 
 impl PdceConfig {
@@ -79,6 +96,24 @@ impl PdceConfig {
         self
     }
 
+    /// Sets the work budget for the run.
+    pub fn with_budget(mut self, budget: Budget) -> PdceConfig {
+        self.budget = budget;
+        self
+    }
+
+    /// Enables per-round translation validation on `k` seeded vectors.
+    pub fn with_validation(mut self, k: u32) -> PdceConfig {
+        self.validate = Some(k);
+        self
+    }
+
+    /// The effective translation-validation vector count: the explicit
+    /// config wins, then the `TV` environment variable, then off.
+    pub fn tv_vectors(&self) -> u32 {
+        self.validate.unwrap_or_else(env_tv_vectors)
+    }
+
     /// The default global round cap for `prog` when [`max_rounds`] is
     /// unset: `4 + i·b` from the paper's Section 6.3 estimate (`r ≤ i·b`,
     /// plus slack for the certifying no-change rounds), with both factors
@@ -90,6 +125,20 @@ impl PdceConfig {
     }
 }
 
+/// `TV` environment gate, parsed once: a number is the vector count
+/// (`0` disables), any other non-empty value enables the default count.
+fn env_tv_vectors() -> u32 {
+    static TV: OnceLock<u32> = OnceLock::new();
+    *TV.get_or_init(|| match std::env::var("TV") {
+        Ok(v) if v.trim().is_empty() => 0,
+        Ok(v) => v
+            .trim()
+            .parse::<u32>()
+            .unwrap_or(tv::TvOptions::default().vectors),
+        Err(_) => 0,
+    })
+}
+
 impl PdceConfig {
     /// Partial dead code elimination (the paper's `pde`).
     pub fn pde() -> PdceConfig {
@@ -99,6 +148,8 @@ impl PdceConfig {
             max_rounds: None,
             on_limit: LimitBehavior::Error,
             region: None,
+            budget: Budget::UNLIMITED,
+            validate: None,
         }
     }
 
@@ -106,21 +157,15 @@ impl PdceConfig {
     pub fn pfe() -> PdceConfig {
         PdceConfig {
             mode: Mode::Faint,
-            sinking: true,
-            max_rounds: None,
-            on_limit: LimitBehavior::Error,
-            region: None,
+            ..PdceConfig::pde()
         }
     }
 
     /// Plain iterated dead code elimination (no sinking).
     pub fn dce_only() -> PdceConfig {
         PdceConfig {
-            mode: Mode::Dead,
             sinking: false,
-            max_rounds: None,
-            on_limit: LimitBehavior::Error,
-            region: None,
+            ..PdceConfig::pde()
         }
     }
 
@@ -129,9 +174,7 @@ impl PdceConfig {
         PdceConfig {
             mode: Mode::Faint,
             sinking: false,
-            max_rounds: None,
-            on_limit: LimitBehavior::Error,
-            region: None,
+            ..PdceConfig::pde()
         }
     }
 }
@@ -171,6 +214,53 @@ pub struct PdceStats {
     /// worklist pops/evaluations, revisits, sweeps to fixpoint, and
     /// bit-vector word operations (deterministic for a fixed input).
     pub solver: SolverStats,
+    /// Snapshot restores: failed ladder rungs plus translation-
+    /// validation round rollbacks.
+    pub rollbacks: u64,
+    /// Ladder steps taken by [`optimize_resilient`] (0 = the configured
+    /// run succeeded as-is).
+    pub degradations: u64,
+    /// Translation-validation checks executed (one per round when
+    /// validation is enabled).
+    pub tv_checks: u64,
+    /// Rounds rolled back because translation validation observed a
+    /// semantic difference.
+    pub tv_rollbacks: u64,
+    /// Budget-exhaustion events (round/wall checks and solver-pop
+    /// unwinds, including injected `budget:` faults).
+    pub budget_exhaustions: u64,
+    /// Where on the degradation ladder the result came from; `None`
+    /// for a normal, undegraded run.
+    pub degraded: Option<DegradedMode>,
+    /// Human-readable record of every recovered failure, in order.
+    pub failure_log: Vec<String>,
+}
+
+/// The documented degradation ladder of [`optimize_resilient`]: each
+/// failed attempt falls one rung, trading optimization strength for
+/// robustness until the identity rung cannot fail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradedMode {
+    /// Incremental re-analysis off: every solve is a cold solve.
+    ColdSolve,
+    /// Additionally force the FIFO reference solver.
+    FifoSolver,
+    /// Additionally disable sinking: pde→dce-only / pfe→fce-only.
+    EliminationOnly,
+    /// Nothing worked: the input program is returned verbatim.
+    Identity,
+}
+
+impl DegradedMode {
+    /// Stable label used by `--stats`, traces, and BENCH_PDE.json.
+    pub fn label(self) -> &'static str {
+        match self {
+            DegradedMode::ColdSolve => "cold-solve",
+            DegradedMode::FifoSolver => "fifo-solver",
+            DegradedMode::EliminationOnly => "elimination-only",
+            DegradedMode::Identity => "identity",
+        }
+    }
 }
 
 impl PdceStats {
@@ -194,6 +284,8 @@ pub enum PdceError {
         /// Rounds executed before giving up.
         rounds: u64,
     },
+    /// The configured [`Budget`] ran out between rounds.
+    BudgetExhausted(BudgetExhausted),
 }
 
 impl fmt::Display for PdceError {
@@ -202,6 +294,7 @@ impl fmt::Display for PdceError {
             PdceError::RoundLimitExceeded { rounds } => {
                 write!(f, "optimizer did not stabilize within {rounds} rounds")
             }
+            PdceError::BudgetExhausted(b) => write!(f, "{b}"),
         }
     }
 }
@@ -255,6 +348,8 @@ pub fn optimize_with_cache(
         (Mode::Faint, false) => "fce",
     };
     let driver_span = pdce_trace::span("driver", driver_name);
+    let _budget = budget::install(config.budget);
+    let tv_vectors = config.tv_vectors();
     let mut stats = PdceStats::default();
     if config.sinking {
         stats.synthetic_blocks = split_critical_edges(prog).len() as u64;
@@ -290,18 +385,79 @@ pub fn optimize_with_cache(
                 }
             }
         }
+        if let Err(e) = budget::charge_round() {
+            stats.budget_exhaustions += 1;
+            pdce_trace::instant(
+                "resilience",
+                "budget-exhausted",
+                if pdce_trace::enabled() {
+                    vec![("resource", e.resource.into()), ("spent", e.spent.into())]
+                } else {
+                    Vec::new()
+                },
+            );
+            return Err(PdceError::BudgetExhausted(e));
+        }
         let before = prog.revision();
         let _round = pdce_trace::round_scope(stats.rounds);
+        // Pre-round snapshot: translation validation compares against
+        // it and rolls back to it on a mismatch.
+        let last_good = (tv_vectors > 0).then(|| prog.clone());
 
+        fault::fire(match config.mode {
+            Mode::Dead => "dce",
+            Mode::Faint => "fce",
+        });
         let (removed, passes) = eliminate_fixpoint_cached(prog, cache, config.mode, region);
         stats.eliminated_assignments += removed;
         stats.elimination_passes += passes;
 
         if config.sinking {
+            fault::fire("sink");
             let outcome = sink_assignments_cached(prog, cache, region)?;
             stats.sunk_assignments += outcome.removed;
             stats.inserted_assignments += outcome.inserted;
             stats.max_stmts = stats.max_stmts.max(prog.num_stmts() as u64);
+        }
+
+        // A round that changed nothing cannot have miscompiled; only
+        // validate rounds that touched the program.
+        if let Some(last_good) = last_good.filter(|_| prog.revision() != before) {
+            stats.tv_checks += 1;
+            let opts = tv::TvOptions {
+                vectors: tv_vectors,
+                // Bound per-vector interpretation relative to program
+                // size: a truncated pair still compares its executed
+                // prefix, and the validation tax stays proportional to
+                // the optimization work.
+                max_block_visits: (last_good.num_blocks() as u64 * 8).max(256),
+                ..tv::TvOptions::default()
+            };
+            let report = tv::validate_pair(&last_good, prog, &opts);
+            if let Some(mismatch) = report.mismatch {
+                *prog = last_good;
+                // Analyses computed for the rolled-back intermediate
+                // states must not leak into later queries.
+                *cache = AnalysisCache::new();
+                stats.tv_rollbacks += 1;
+                stats.rollbacks += 1;
+                stats.failure_log.push(mismatch.to_string());
+                pdce_trace::instant(
+                    "resilience",
+                    "tv-rollback",
+                    if pdce_trace::enabled() {
+                        vec![
+                            ("round", stats.rounds.into()),
+                            ("vector", u64::from(mismatch.vector).into()),
+                        ]
+                    } else {
+                        Vec::new()
+                    },
+                );
+                // Re-running the round would reproduce the miscompile;
+                // stop here and keep the last-good program.
+                break;
+            }
         }
 
         if prog.revision() == before {
@@ -340,6 +496,123 @@ pub fn pde(prog: &mut Program) -> Result<PdceStats, PdceError> {
 /// See [`optimize`].
 pub fn pfe(prog: &mut Program) -> Result<PdceStats, PdceError> {
     optimize(prog, &PdceConfig::pfe())
+}
+
+/// Fault-tolerant front door: runs the configured optimizer inside a
+/// panic sandbox and, when an attempt fails (panic, budget exhaustion,
+/// round-cap bug), restores the input snapshot and retries one rung
+/// further down the **degradation ladder**:
+///
+/// 1. the run as configured,
+/// 2. [`DegradedMode::ColdSolve`] — incremental re-analysis off,
+/// 3. [`DegradedMode::FifoSolver`] — additionally the FIFO reference
+///    solver,
+/// 4. [`DegradedMode::EliminationOnly`] — additionally no sinking
+///    (pde degrades to dce-only, pfe to fce-only),
+/// 5. [`DegradedMode::Identity`] — the input program verbatim.
+///
+/// Never fails and never panics (modulo allocation failure): the
+/// identity rung always succeeds. Every recovered failure is counted
+/// in [`PdceStats::degradations`]/[`PdceStats::rollbacks`] and logged
+/// in [`PdceStats::failure_log`]; the winning rung is recorded in
+/// [`PdceStats::degraded`]. Each rung gets the configured budget
+/// afresh (wall clock included) — a budget sized for the full run
+/// therefore bounds each attempt, not their sum.
+pub fn optimize_resilient(prog: &mut Program, config: &PdceConfig) -> PdceStats {
+    let mut degradations = 0u64;
+    let mut rollbacks = 0u64;
+    let mut budget_exhaustions = 0u64;
+    let mut failure_log: Vec<String> = Vec::new();
+
+    let rungs: [Option<DegradedMode>; 4] = [
+        None,
+        Some(DegradedMode::ColdSolve),
+        Some(DegradedMode::FifoSolver),
+        Some(DegradedMode::EliminationOnly),
+    ];
+    for rung in rungs {
+        let mut attempt = prog.clone();
+        let mut cache = AnalysisCache::new();
+        let rung_config = match rung {
+            Some(DegradedMode::EliminationOnly) => PdceConfig {
+                sinking: false,
+                ..config.clone()
+            },
+            _ => config.clone(),
+        };
+        let outcome = sandbox::catch(|| match rung {
+            None => optimize_with_cache(&mut attempt, &rung_config, &mut cache),
+            Some(DegradedMode::ColdSolve) => pdce_dfa::with_incremental(false, || {
+                optimize_with_cache(&mut attempt, &rung_config, &mut cache)
+            }),
+            _ => pdce_dfa::with_incremental(false, || {
+                pdce_dfa::with_strategy(SolverStrategy::Fifo, || {
+                    optimize_with_cache(&mut attempt, &rung_config, &mut cache)
+                })
+            }),
+        });
+        let failure = match outcome {
+            Ok(Ok(mut stats)) => {
+                *prog = attempt;
+                stats.degradations += degradations;
+                stats.rollbacks += rollbacks;
+                stats.budget_exhaustions += budget_exhaustions;
+                failure_log.extend(std::mem::take(&mut stats.failure_log));
+                stats.failure_log = failure_log;
+                stats.degraded = rung;
+                return stats;
+            }
+            Ok(Err(e)) => {
+                if matches!(e, PdceError::BudgetExhausted(_)) {
+                    budget_exhaustions += 1;
+                }
+                e.to_string()
+            }
+            Err(SandboxError::Budget(b)) => {
+                budget_exhaustions += 1;
+                b.to_string()
+            }
+            Err(SandboxError::Panic(msg)) => format!("panic: {msg}"),
+        };
+        // `attempt` (possibly half-transformed) is discarded; `prog`
+        // still holds the pristine input — that *is* the rollback.
+        degradations += 1;
+        rollbacks += 1;
+        let next = match rung {
+            None => DegradedMode::ColdSolve,
+            Some(DegradedMode::ColdSolve) => DegradedMode::FifoSolver,
+            Some(DegradedMode::FifoSolver) => DegradedMode::EliminationOnly,
+            _ => DegradedMode::Identity,
+        };
+        failure_log.push(format!(
+            "{} failed ({failure}); degrading to {}",
+            rung.map_or("configured run", DegradedMode::label),
+            next.label()
+        ));
+        pdce_trace::instant(
+            "resilience",
+            "degrade",
+            if pdce_trace::enabled() {
+                vec![("to", next.label().into())]
+            } else {
+                Vec::new()
+            },
+        );
+    }
+
+    // Identity rung: the input program verbatim, flagged as such.
+    let stmts = prog.num_stmts() as u64;
+    PdceStats {
+        initial_stmts: stmts,
+        final_stmts: stmts,
+        max_stmts: stmts,
+        degradations,
+        rollbacks,
+        budget_exhaustions,
+        degraded: Some(DegradedMode::Identity),
+        failure_log,
+        ..PdceStats::default()
+    }
 }
 
 #[cfg(test)]
@@ -539,6 +812,137 @@ mod tests {
         // The unreachable block is left untouched.
         let zombie = p.block_by_name("zombie").unwrap();
         assert_eq!(p.block(zombie).stmts.len(), 2);
+    }
+
+    const FIG1: &str = "prog {
+        block s  { goto n1 }
+        block n1 { y := a + b; nondet n2 n3 }
+        block n2 { out(y); goto n4 }
+        block n3 { y := 4; goto n4 }
+        block n4 { out(y); goto e }
+        block e  { halt }
+    }";
+
+    #[test]
+    fn round_budget_surfaces_as_error() {
+        let mut p = parse(FIG1).unwrap();
+        let config = PdceConfig::pde().with_budget(Budget {
+            max_rounds: Some(0),
+            ..Budget::UNLIMITED
+        });
+        let err = optimize(&mut p, &config).unwrap_err();
+        assert!(matches!(err, PdceError::BudgetExhausted(ref b) if b.resource == "rounds"));
+    }
+
+    #[test]
+    fn pop_budget_degrades_to_identity() {
+        let mut p = parse(FIG1).unwrap();
+        let original = pdce_ir::printer::canonical_string(&p);
+        let config = PdceConfig::pde().with_budget(Budget {
+            max_pops: Some(1),
+            ..Budget::UNLIMITED
+        });
+        let stats = optimize_resilient(&mut p, &config);
+        // Every ladder rung still solves data-flow problems, so every
+        // rung exhausts one pop: the prediction is identity.
+        assert_eq!(stats.degraded, Some(DegradedMode::Identity));
+        assert_eq!(stats.budget_exhaustions, 4);
+        assert_eq!(stats.degradations, 4);
+        assert_eq!(pdce_ir::printer::canonical_string(&p), original);
+    }
+
+    #[test]
+    fn persistent_sink_panic_degrades_to_elimination_only() {
+        let (want, _) = run(&PdceConfig::dce_only(), FIG1);
+        let mut p = parse(FIG1).unwrap();
+        let stats = pdce_trace::fault::with_faults("panic:sink:*", || {
+            optimize_resilient(&mut p, &PdceConfig::pde())
+        });
+        assert_eq!(stats.degraded, Some(DegradedMode::EliminationOnly));
+        assert_eq!(stats.degradations, 3);
+        assert_eq!(stats.rollbacks, 3);
+        assert!(stats.failure_log.iter().any(|m| m.contains("sink")));
+        // The ladder's prediction: pde without sinking is dce-only.
+        assert_eq!(
+            pdce_ir::printer::canonical_string(&p),
+            pdce_ir::printer::canonical_string(&want)
+        );
+    }
+
+    #[test]
+    fn one_shot_panic_recovers_on_next_rung() {
+        let (want, _) = run(&PdceConfig::pde(), FIG1);
+        let mut p = parse(FIG1).unwrap();
+        let stats = pdce_trace::fault::with_faults("panic:dce:1", || {
+            optimize_resilient(&mut p, &PdceConfig::pde())
+        });
+        assert_eq!(stats.degraded, Some(DegradedMode::ColdSolve));
+        assert_eq!(stats.degradations, 1);
+        assert_eq!(
+            pdce_ir::printer::canonical_string(&p),
+            pdce_ir::printer::canonical_string(&want)
+        );
+    }
+
+    #[test]
+    fn resilient_run_without_faults_is_undegraded() {
+        let (want, want_stats) = run(&PdceConfig::pde(), FIG1);
+        let mut p = parse(FIG1).unwrap();
+        let stats = optimize_resilient(&mut p, &PdceConfig::pde());
+        assert_eq!(stats.degraded, None);
+        assert_eq!(stats.degradations, 0);
+        assert_eq!(
+            stats.eliminated_assignments,
+            want_stats.eliminated_assignments
+        );
+        assert_eq!(
+            pdce_ir::printer::canonical_string(&p),
+            pdce_ir::printer::canonical_string(&want)
+        );
+    }
+
+    #[test]
+    fn tv_accepts_a_correct_run() {
+        let (want, _) = run(&PdceConfig::pde(), FIG1);
+        let mut p = parse(FIG1).unwrap();
+        let stats = optimize(&mut p, &PdceConfig::pde().with_validation(4)).unwrap();
+        assert!(stats.tv_checks >= 1);
+        assert_eq!(stats.tv_rollbacks, 0);
+        assert_eq!(
+            pdce_ir::printer::canonical_string(&p),
+            pdce_ir::printer::canonical_string(&want)
+        );
+    }
+
+    #[test]
+    fn tv_rolls_back_an_injected_miscompile() {
+        let mut p = parse(FIG1).unwrap();
+        let original = pdce_ir::printer::canonical_string(&p);
+        let stats = pdce_trace::fault::with_faults("bitflip:dead:1", || {
+            optimize(&mut p, &PdceConfig::pde().with_validation(8)).unwrap()
+        });
+        assert_eq!(stats.tv_rollbacks, 1);
+        assert_eq!(stats.rollbacks, 1);
+        assert!(stats
+            .failure_log
+            .iter()
+            .any(|m| m.contains("translation validation failed")));
+        // Rolled back to the pre-round program — the unoptimized input
+        // (FIG1 has no critical edges, so no split blocks either).
+        assert_eq!(pdce_ir::printer::canonical_string(&p), original);
+    }
+
+    #[test]
+    fn tv_rollback_under_resilient_driver_keeps_last_good() {
+        let mut p = parse(FIG1).unwrap();
+        let original = pdce_ir::printer::canonical_string(&p);
+        let stats = pdce_trace::fault::with_faults("bitflip:dead:1", || {
+            optimize_resilient(&mut p, &PdceConfig::pde().with_validation(8))
+        });
+        // A TV rollback is a contained recovery, not a rung failure.
+        assert_eq!(stats.degraded, None);
+        assert_eq!(stats.tv_rollbacks, 1);
+        assert_eq!(pdce_ir::printer::canonical_string(&p), original);
     }
 
     #[test]

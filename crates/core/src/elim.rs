@@ -88,6 +88,10 @@ pub fn eliminate_once_cached(
                     (n, doomed)
                 })
                 .collect();
+            let mut plans = plans;
+            if pdce_trace::fault::flip("dead") {
+                inject_decision_bitflip(prog, &mut plans);
+            }
             record_eliminations(prog, &plans, pass_name, detail);
             removed += apply_removals(prog, &plans);
         }
@@ -113,6 +117,10 @@ pub fn eliminate_once_cached(
                     (n, doomed)
                 })
                 .collect();
+            let mut plans = plans;
+            if pdce_trace::fault::flip("faint") {
+                inject_decision_bitflip(prog, &mut plans);
+            }
             record_eliminations(prog, &plans, pass_name, detail);
             removed += apply_removals(prog, &plans);
         }
@@ -189,6 +197,23 @@ pub fn eliminate_fixpoint_cached(
         }
         total += removed;
         passes += 1;
+    }
+}
+
+/// `FAULT_INJECT=bitflip:dead:n` / `bitflip:faint:n` support: flips one
+/// elimination decision bit by dooming the first assignment the
+/// analysis did *not* prove removable — a deliberate miscompile that
+/// per-round translation validation must catch and roll back.
+fn inject_decision_bitflip(prog: &Program, plans: &mut [(pdce_ir::NodeId, Vec<usize>)]) {
+    for (n, doomed) in plans.iter_mut() {
+        let stmts = &prog.block(*n).stmts;
+        for (k, stmt) in stmts.iter().enumerate() {
+            if matches!(stmt, Stmt::Assign { .. }) && !doomed.contains(&k) {
+                doomed.push(k);
+                doomed.sort_unstable();
+                return;
+            }
+        }
     }
 }
 

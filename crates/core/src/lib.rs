@@ -52,12 +52,16 @@ pub mod local;
 pub mod passes;
 pub mod patterns;
 pub mod sink;
+pub mod tv;
 pub mod universe;
 
 pub use better::{check_improvement, DominanceReport};
 pub use dead::DeadSolution;
 pub use delay::DelayInfo;
-pub use driver::{optimize, optimize_with_cache, pde, pfe, PdceConfig, PdceError, PdceStats};
+pub use driver::{
+    optimize, optimize_resilient, optimize_with_cache, pde, pfe, DegradedMode, PdceConfig,
+    PdceError, PdceStats,
+};
 pub use elim::{eliminate_fixpoint, eliminate_once, Mode};
 pub use faint::FaintSolution;
 pub use local::LocalInfo;

@@ -1,0 +1,213 @@
+//! Translation validation: runtime equivalence checking of an
+//! optimization step.
+//!
+//! The offline differential oracles in `tests/` compare whole optimizer
+//! configurations after the fact; this module is their in-driver
+//! counterpart. After each pde/pfe round the driver can execute the
+//! *pre-round* and *post-round* programs on `K` seeded input vectors
+//! and compare their observable effects (the `out(...)` stream). The
+//! transforms preserve branching structure — neither elimination nor
+//! sinking touches terminators, and edge splitting happens before the
+//! round loop — so nondeterministic choices recorded while running the
+//! old program replay verbatim on the new one.
+//!
+//! A mismatch is *evidence of a miscompile* (or an injected
+//! `bitflip:dead` fault): the driver rolls the round back to the
+//! last-good program and stops, recording a `tv_rollbacks` stat. A
+//! clean check is not a proof — it is K random vectors — but it turns
+//! silent wrong-code bugs into contained rollbacks, which is the
+//! robustness contract this layer provides.
+
+use pdce_ir::interp::{run, Env, ExecLimits, ReplayOracle, SeededOracle};
+use pdce_ir::Program;
+
+/// Options for one validation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TvOptions {
+    /// Number of seeded input vectors to execute.
+    pub vectors: u32,
+    /// Base seed; vector `i` derives its inputs and decisions from
+    /// `seed ^ i`.
+    pub seed: u64,
+    /// Block-visit cutoff per run (both programs are cut at the same
+    /// visit count, keeping their traces comparable).
+    pub max_block_visits: u64,
+}
+
+impl Default for TvOptions {
+    fn default() -> TvOptions {
+        TvOptions {
+            vectors: 8,
+            seed: 0x9e37_79b9_7f4a_7c15,
+            max_block_visits: 4_096,
+        }
+    }
+}
+
+/// A detected observable difference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TvMismatch {
+    /// Which vector (0-based) diverged.
+    pub vector: u32,
+    /// Output stream of the pre-transform program.
+    pub expected: Vec<i64>,
+    /// Output stream of the post-transform program.
+    pub actual: Vec<i64>,
+}
+
+impl std::fmt::Display for TvMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "translation validation failed on vector {}: expected outputs {:?}, got {:?}",
+            self.vector, self.expected, self.actual
+        )
+    }
+}
+
+/// Result of [`validate_pair`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TvReport {
+    /// Vectors executed (all of them unless a mismatch cut it short).
+    pub vectors_run: u32,
+    /// The first mismatch, if any.
+    pub mismatch: Option<TvMismatch>,
+}
+
+impl TvReport {
+    /// Whether every vector agreed.
+    pub fn ok(&self) -> bool {
+        self.mismatch.is_none()
+    }
+}
+
+/// splitmix64: decorrelates per-vector seeds and input values.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Seeded input environment for `prog`: every variable gets a small
+/// pseudorandom value (small keeps arithmetic overflow out of the
+/// comparison; wrap-around differences would be a red herring).
+fn seeded_env(prog: &Program, mut state: u64) -> Env {
+    let mut env = Env::zeroed(prog);
+    for v in prog.vars().iter() {
+        env.set(v, (splitmix64(&mut state) % 1_024) as i64 - 512);
+    }
+    env
+}
+
+/// Executes `old` and `new` on `opts.vectors` seeded input vectors and
+/// compares their observable effects.
+///
+/// Inputs are assigned *by variable name* — `new` may have dropped
+/// variables `old` still carries (or vice versa after sinking inserts
+/// fresh names); shared names get identical values, unshared names
+/// cannot affect outputs of the program that lacks them. Decisions are
+/// recorded on `old` and replayed positionally on `new`.
+pub fn validate_pair(old: &Program, new: &Program, opts: &TvOptions) -> TvReport {
+    let limits = ExecLimits {
+        max_block_visits: opts.max_block_visits,
+    };
+    let mut vectors_run = 0;
+    for i in 0..opts.vectors {
+        vectors_run += 1;
+        let vec_seed = opts.seed ^ u64::from(i).wrapping_mul(0xa076_1d64_78bd_642f);
+
+        // Identical named inputs on both sides.
+        let mut old_env = seeded_env(old, vec_seed);
+        let mut new_env = Env::zeroed(new);
+        for v in new.vars().iter() {
+            if let Some(ov) = old.vars().lookup(new.vars().name(v)) {
+                new_env.set(v, old_env.get(ov));
+            } else {
+                // A variable fresh in `new`: derive deterministically
+                // from the same seed stream so runs stay reproducible.
+                let mut s = vec_seed ^ 0x5851_f42d_4c95_7f2d;
+                new_env.set(v, (splitmix64(&mut s) % 1_024) as i64 - 512);
+            }
+        }
+
+        let mut decide = SeededOracle::new(vec_seed);
+        let old_trace = run(old, &mut old_env, &mut decide, limits);
+        let mut replay = ReplayOracle::new(old_trace.decisions.clone());
+        let new_trace = run(new, &mut new_env, &mut replay, limits);
+
+        if old_trace.outputs != new_trace.outputs || old_trace.completed != new_trace.completed {
+            return TvReport {
+                vectors_run,
+                mismatch: Some(TvMismatch {
+                    vector: i,
+                    expected: old_trace.outputs,
+                    actual: new_trace.outputs,
+                }),
+            };
+        }
+    }
+    TvReport {
+        vectors_run,
+        mismatch: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdce_ir::parser::parse;
+
+    const FIG1: &str = "prog {
+        block s  { goto n1 }
+        block n1 { y := a + b; nondet n2 n3 }
+        block n2 { out(y); goto n4 }
+        block n3 { y := 4; goto n4 }
+        block n4 { out(y); goto e }
+        block e  { halt }
+    }";
+
+    #[test]
+    fn program_is_equivalent_to_itself() {
+        let p = parse(FIG1).unwrap();
+        let report = validate_pair(&p, &p, &TvOptions::default());
+        assert!(report.ok());
+        assert_eq!(report.vectors_run, 8);
+    }
+
+    #[test]
+    fn correct_optimization_validates() {
+        let mut p = parse(FIG1).unwrap();
+        let orig = p.clone();
+        crate::pde(&mut p).unwrap();
+        assert!(validate_pair(&orig, &p, &TvOptions::default()).ok());
+    }
+
+    #[test]
+    fn dropping_a_live_assignment_is_caught() {
+        let orig = parse(FIG1).unwrap();
+        let mut broken = orig.clone();
+        // "Optimize" by deleting the live y := a + b.
+        let n1 = broken.block_by_name("n1").unwrap();
+        broken.stmts_mut(n1).clear();
+        let report = validate_pair(&orig, &broken, &TvOptions::default());
+        let m = report.mismatch.expect("must catch the miscompile");
+        assert_ne!(m.expected, m.actual);
+    }
+
+    #[test]
+    fn nonterminating_loops_compare_by_prefix() {
+        // Both sides hit the block-visit cutoff; equal outputs → ok.
+        let p = parse(
+            "prog { block s { goto l } block l { out(1); nondet l x }
+                    block x { goto e } block e { halt } }",
+        )
+        .unwrap();
+        let opts = TvOptions {
+            max_block_visits: 64,
+            ..TvOptions::default()
+        };
+        assert!(validate_pair(&p, &p, &opts).ok());
+    }
+}

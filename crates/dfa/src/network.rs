@@ -46,6 +46,7 @@ pub fn solve_greatest(
     mut eval: impl FnMut(usize, &BitVec) -> bool,
 ) -> NetworkSolution {
     assert_eq!(dependents.len(), num_slots, "one dependent list per slot");
+    pdce_trace::fault::fire("solve");
     let trace_span = pdce_trace::span_with(
         "solver",
         "network-solve",
@@ -63,6 +64,7 @@ pub fn solve_greatest(
 
     while let Some(slot) = queue.pop_front() {
         pops += 1;
+        pdce_trace::budget::charge_pops(1);
         let s = slot as usize;
         queued.set(s, false);
         if !values.get(s) {
@@ -124,6 +126,7 @@ pub fn solve_greatest_prioritized(
 ) -> NetworkSolution {
     assert_eq!(dependents.len(), num_slots, "one dependent list per slot");
     assert_eq!(priority.len(), num_slots, "one priority per slot");
+    pdce_trace::fault::fire("solve");
     let trace_span = pdce_trace::span_with(
         "solver",
         "network-solve-prioritized",
@@ -143,6 +146,7 @@ pub fn solve_greatest_prioritized(
 
     while let Some(Reverse((_, slot))) = heap.pop() {
         pops += 1;
+        pdce_trace::budget::charge_pops(1);
         let s = slot as usize;
         queued.set(s, false);
         if !values.get(s) {
@@ -210,6 +214,7 @@ pub fn solve_greatest_seeded(
     assert_eq!(dependents.len(), num_slots, "one dependent list per slot");
     assert_eq!(priority.len(), num_slots, "one priority per slot");
     assert_eq!(prev_values.len(), num_slots, "previous fixpoint size");
+    pdce_trace::fault::fire("solve");
     let trace_span = pdce_trace::span_with(
         "solver",
         "network-solve-seeded",
@@ -255,6 +260,7 @@ pub fn solve_greatest_seeded(
     let mut pops: u64 = 0;
     while let Some(Reverse((_, slot))) = heap.pop() {
         pops += 1;
+        pdce_trace::budget::charge_pops(1);
         let s = slot as usize;
         queued.set(s, false);
         if !values.get(s) {

@@ -266,6 +266,7 @@ pub fn solve_fn(
 ) -> Solution {
     let n = view.num_nodes();
     assert_eq!(boundary.len(), width, "boundary width mismatch");
+    pdce_trace::fault::fire("solve");
     let strategy = current_strategy();
     let trace_span = pdce_trace::span_with(
         "solver",
@@ -333,6 +334,7 @@ pub fn solve_fn(
                 sweeps += 1;
                 for &node in &order {
                     evaluations += 1;
+                    pdce_trace::budget::charge_pops(1);
                     // Meet over flow-predecessors.
                     if node != boundary_node {
                         let sources: &[NodeId] = match direction {
@@ -379,6 +381,7 @@ pub fn solve_fn(
                 queued.set(pos as usize, false);
                 let node = order[pos as usize];
                 evaluations += 1;
+                pdce_trace::budget::charge_pops(1);
                 if node != boundary_node {
                     let sources: &[NodeId] = match direction {
                         Direction::Forward => view.preds(node),
@@ -578,6 +581,7 @@ pub fn solve_seeded(
     let direction = problem.direction;
     let meet = problem.meet;
     let width = problem.width;
+    pdce_trace::fault::fire("solve");
     let trace_span = pdce_trace::span_with(
         "solver",
         "bitvec-solve-seeded",
@@ -746,6 +750,7 @@ pub fn solve_seeded(
         queued.set(pos as usize, false);
         let node = order[pos as usize];
         evaluations += 1;
+        pdce_trace::budget::charge_pops(1);
         if node != boundary_node {
             let sources: &[NodeId] = match direction {
                 Direction::Forward => view.preds(node),

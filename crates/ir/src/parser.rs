@@ -117,9 +117,17 @@ enum RawTerminator {
     Halt,
 }
 
+/// Maximum nesting depth of an expression. Recursive descent spends
+/// native stack per level, and a hostile input like `((((…1…))))` must
+/// come back as a [`ParseError`], not a stack overflow (which aborts
+/// the process and cannot be caught). The cap is far above anything a
+/// legitimate program or the printer produces.
+const MAX_EXPR_DEPTH: u32 = 256;
+
 struct Parser {
     tokens: Vec<Spanned>,
     pos: usize,
+    depth: u32,
     vars: VarPool,
     terms: TermArena,
 }
@@ -129,6 +137,7 @@ impl Parser {
         Parser {
             tokens,
             pos: 0,
+            depth: 0,
             vars: VarPool::new(),
             terms: TermArena::new(),
         }
@@ -355,8 +364,21 @@ impl Parser {
         })
     }
 
+    /// Charges one level of expression nesting against
+    /// [`MAX_EXPR_DEPTH`]; the caller must pair it with `self.depth -= 1`.
+    fn enter_expr(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_EXPR_DEPTH {
+            return Err(self.error("expression too deeply nested"));
+        }
+        Ok(())
+    }
+
     fn expr(&mut self) -> Result<TermId, ParseError> {
-        self.or_expr()
+        self.enter_expr()?;
+        let result = self.or_expr();
+        self.depth -= 1;
+        result
     }
 
     fn or_expr(&mut self) -> Result<TermId, ParseError> {
@@ -426,7 +448,16 @@ impl Parser {
         Ok(lhs)
     }
 
+    // Chained unary operators (`!!…!x`) recurse without passing
+    // through `expr`, so this level charges the depth budget itself.
     fn unary_expr(&mut self) -> Result<TermId, ParseError> {
+        self.enter_expr()?;
+        let result = self.unary_inner();
+        self.depth -= 1;
+        result
+    }
+
+    fn unary_inner(&mut self) -> Result<TermId, ParseError> {
         match self.peek() {
             Token::Minus => {
                 self.bump();
@@ -566,6 +597,31 @@ mod tests {
     #[test]
     fn trailing_semicolon_after_terminator_ok() {
         assert!(parse("prog { block s { goto e; } block e { halt; } }").is_ok());
+    }
+
+    #[test]
+    fn deeply_nested_expression_is_an_error_not_an_overflow() {
+        let depth = 40_000;
+        let expr = format!("{}1{}", "(".repeat(depth), ")".repeat(depth));
+        let src = format!("prog {{ block s {{ x := {expr}; goto e }} block e {{ halt }} }}");
+        let err = parse(&src).unwrap_err();
+        assert!(err.message.contains("too deeply nested"), "{}", err.message);
+        // Same for chained unary operators, which recurse separately.
+        let src = format!(
+            "prog {{ block s {{ x := {}1; goto e }} block e {{ halt }} }}",
+            "!".repeat(40_000)
+        );
+        let err = parse(&src).unwrap_err();
+        assert!(err.message.contains("too deeply nested"), "{}", err.message);
+    }
+
+    #[test]
+    fn reasonable_nesting_still_parses() {
+        let depth = 100;
+        let expr = format!("{}1{}", "(".repeat(depth), ")".repeat(depth));
+        let src =
+            format!("prog {{ block s {{ x := {expr}; out(x); goto e }} block e {{ halt }} }}");
+        assert!(parse(&src).is_ok());
     }
 
     #[test]

@@ -27,31 +27,56 @@ pub fn default_jobs() -> usize {
         .unwrap_or(1)
 }
 
-/// Applies `f` to every item on a pool of `jobs` scoped workers and
-/// returns the results in item order.
+/// A work item that panicked on a worker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ItemPanic {
+    /// Index of the item in the input slice.
+    pub index: usize,
+    /// Rendered panic message.
+    pub message: String,
+}
+
+impl std::fmt::Display for ItemPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "work item {} panicked: {}", self.index, self.message)
+    }
+}
+
+impl std::error::Error for ItemPanic {}
+
+/// Applies `f` to every item on a pool of `jobs` scoped workers,
+/// sandboxing each item: a panicking item becomes
+/// `Err(`[`ItemPanic`]`)` in its slot while every sibling item — on
+/// the same worker and on others — still runs to completion. Results
+/// come back in item order.
 ///
 /// `jobs` is clamped to `1..=items.len()`; with one job (or one item)
 /// no threads are spawned and `f` runs inline, so the sequential path
 /// is exactly the parallel path with a trivial schedule. Workers claim
 /// the next unclaimed index from a shared atomic counter, so schedules
 /// adapt to item cost without any work-size guessing.
-///
-/// # Panics
-///
-/// If `f` panics on a worker, the panic is resumed on the caller once
-/// the scope has joined (no result is silently dropped).
-pub fn map_indexed<T, R, F>(jobs: usize, items: &[T], f: F) -> Vec<R>
+pub fn try_map_indexed<T, R, F>(jobs: usize, items: &[T], f: F) -> Vec<Result<R, ItemPanic>>
 where
     T: Sync,
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    let catch_item = |i: usize, t: &T| -> Result<R, ItemPanic> {
+        pdce_trace::sandbox::catch(|| f(i, t)).map_err(|e| ItemPanic {
+            index: i,
+            message: e.to_string(),
+        })
+    };
     let jobs = jobs.max(1).min(items.len().max(1));
     if jobs == 1 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| catch_item(i, t))
+            .collect();
     }
     let next = AtomicUsize::new(0);
-    let per_worker: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+    let per_worker: Vec<Vec<(usize, Result<R, ItemPanic>)>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..jobs)
             .map(|_| {
                 scope.spawn(|| {
@@ -61,7 +86,7 @@ where
                         if i >= items.len() {
                             break;
                         }
-                        local.push((i, f(i, &items[i])));
+                        local.push((i, catch_item(i, &items[i])));
                     }
                     local
                 })
@@ -71,11 +96,13 @@ where
             .into_iter()
             .map(|h| match h.join() {
                 Ok(v) => v,
+                // Unreachable: every item is sandboxed, so workers
+                // cannot die mid-batch. Kept as a defensive resume.
                 Err(payload) => std::panic::resume_unwind(payload),
             })
             .collect()
     });
-    let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    let mut slots: Vec<Option<Result<R, ItemPanic>>> = (0..items.len()).map(|_| None).collect();
     for (i, r) in per_worker.into_iter().flatten() {
         debug_assert!(slots[i].is_none(), "index {i} claimed twice");
         slots[i] = Some(r);
@@ -84,6 +111,29 @@ where
         .into_iter()
         .map(|r| r.expect("every index is claimed exactly once"))
         .collect()
+}
+
+/// [`try_map_indexed`] for infallible `f`: returns the bare results.
+///
+/// # Panics
+///
+/// If `f` panicked on any item, the lowest-index panic is re-raised on
+/// the caller — but only **after the whole batch has drained**, so a
+/// poisoned item never aborts its siblings' work mid-flight.
+pub fn map_indexed<T, R, F>(jobs: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let mut out = Vec::with_capacity(items.len());
+    for r in try_map_indexed(jobs, items, f) {
+        match r {
+            Ok(v) => out.push(v),
+            Err(e) => std::panic::panic_any(e.to_string()),
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -144,5 +194,76 @@ mod tests {
             })
         });
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn panicking_item_does_not_abort_siblings() {
+        use std::sync::atomic::AtomicUsize;
+        // One poisoned item in a large batch: every other item must
+        // still be processed, on every job count.
+        let items: Vec<u32> = (0..64).collect();
+        for jobs in [1, 2, 4, 8] {
+            let processed = AtomicUsize::new(0);
+            let results = try_map_indexed(jobs, &items, |_, &x| {
+                if x == 7 {
+                    panic!("poisoned item {x}");
+                }
+                processed.fetch_add(1, Ordering::Relaxed);
+                x * 2
+            });
+            assert_eq!(
+                processed.load(Ordering::Relaxed),
+                items.len() - 1,
+                "jobs={jobs}"
+            );
+            for (i, r) in results.iter().enumerate() {
+                if i == 7 {
+                    let e = r.as_ref().unwrap_err();
+                    assert_eq!(e.index, 7);
+                    assert!(e.message.contains("poisoned item 7"), "got: {}", e.message);
+                } else {
+                    assert_eq!(r.as_ref().unwrap(), &(items[i] * 2));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn map_indexed_drains_before_propagating() {
+        use std::sync::atomic::AtomicUsize;
+        let items: Vec<u32> = (0..32).collect();
+        let processed = AtomicUsize::new(0);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            map_indexed(4, &items, |_, &x| {
+                if x == 0 {
+                    panic!("first item dies");
+                }
+                processed.fetch_add(1, Ordering::Relaxed);
+                x
+            })
+        }));
+        assert!(result.is_err());
+        // The earliest item panicked, yet the rest of the batch ran.
+        assert_eq!(processed.load(Ordering::Relaxed), items.len() - 1);
+        let msg = result
+            .unwrap_err()
+            .downcast::<String>()
+            .expect("panic payload is the rendered ItemPanic");
+        assert!(msg.contains("work item 0 panicked"), "got: {msg}");
+        assert!(msg.contains("first item dies"), "got: {msg}");
+    }
+
+    #[test]
+    fn multiple_panics_report_lowest_index() {
+        let result = std::panic::catch_unwind(|| {
+            map_indexed(2, &[0u32, 1, 2, 3, 4, 5], |i, _| {
+                if i == 2 || i == 5 {
+                    panic!("boom at {i}");
+                }
+                i
+            })
+        });
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("work item 2 panicked"), "got: {msg}");
     }
 }

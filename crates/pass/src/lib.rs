@@ -167,6 +167,44 @@ enum Step {
     RepeatUntilStable(Vec<Step>),
 }
 
+/// Why a sandboxed pass execution failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PassError {
+    /// The pass panicked; carries the rendered panic message.
+    Panicked(String),
+    /// The pass exhausted the installed work budget (or hit an
+    /// injected `budget:` fault).
+    BudgetExhausted(String),
+}
+
+impl fmt::Display for PassError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PassError::Panicked(msg) => write!(f, "panicked: {msg}"),
+            PassError::BudgetExhausted(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl Error for PassError {}
+
+/// One recovered pass failure: the pass did not complete, the program
+/// was restored from the pre-pass checkpoint, and the pipeline
+/// continued in degraded mode (this pass's effect is simply missing).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PassFailure {
+    /// Name of the failing pass.
+    pub pass: String,
+    /// What went wrong.
+    pub error: PassError,
+}
+
+impl fmt::Display for PassFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pass `{}` {}; rolled back", self.pass, self.error)
+    }
+}
+
 /// Per-pass accumulated instrumentation (one entry per distinct pass
 /// name, in first-execution order).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -198,6 +236,12 @@ pub struct PipelineReport {
     pub passes: Vec<PassMetrics>,
     /// Total analysis-cache counters for the whole run.
     pub cache: CacheStats,
+    /// Recovered pass failures, in execution order. Non-empty means
+    /// the pipeline ran in degraded mode: each listed pass was rolled
+    /// back to its pre-pass checkpoint and skipped.
+    pub failures: Vec<PassFailure>,
+    /// Checkpoint restores performed (one per entry in `failures`).
+    pub rollbacks: u64,
 }
 
 impl PipelineReport {
@@ -290,11 +334,18 @@ impl Pipeline {
         };
         let baseline = cache.stats();
         let cap = pdce_core::PdceConfig::default_round_cap(prog);
-        run_steps(&self.steps, prog, cache, cap, &mut report);
+        let mut checkpoint = None;
+        run_steps(&self.steps, prog, cache, cap, &mut report, &mut checkpoint);
         report.cache = cache.stats().since(&baseline);
         report
     }
 }
+
+/// The pre-pass snapshot: `(revision, program)`. Keyed by the revision
+/// counter so consecutive passes that leave the program untouched (or
+/// a rollback that restored this very revision) reuse one clone
+/// instead of re-snapshotting per pass.
+type Checkpoint = Option<(u64, Program)>;
 
 fn run_steps(
     steps: &[Step],
@@ -302,27 +353,43 @@ fn run_steps(
     cache: &mut AnalysisCache,
     cap: usize,
     report: &mut PipelineReport,
+    checkpoint: &mut Checkpoint,
 ) {
     for step in steps {
         match step {
             Step::Single(pass) => {
                 let cache_before = cache.stats();
+                // Checkpoint the program unless the current revision is
+                // already snapshotted.
+                let rev = prog.revision();
+                if checkpoint.as_ref().map(|(r, _)| *r) != Some(rev) {
+                    *checkpoint = Some((rev, prog.clone()));
+                }
                 // One span per pass execution; the same guard supplies
                 // the wall time for `PassMetrics` whether or not a
                 // tracer is installed.
                 let span = pdce_trace::timed_span("pass", pass.name());
-                let outcome = pass.run(prog, cache);
+                // The sandbox turns a panicking (or budget-exhausted)
+                // pass into a structured failure; the checkpoint makes
+                // the half-applied transform unwind-safe to discard.
+                let result = pdce_trace::sandbox::catch(|| {
+                    pdce_trace::fault::fire(pass.name());
+                    pass.run(prog, cache)
+                });
+                let outcome = result.as_ref().ok();
                 let elapsed = span.finish_with(if pdce_trace::enabled() {
-                    vec![
-                        ("changed", u64::from(outcome.changed).into()),
-                        ("removed", outcome.removed.into()),
-                        ("inserted", outcome.inserted.into()),
-                        ("rewritten", outcome.rewritten.into()),
-                    ]
+                    match outcome {
+                        Some(outcome) => vec![
+                            ("changed", u64::from(outcome.changed).into()),
+                            ("removed", outcome.removed.into()),
+                            ("inserted", outcome.inserted.into()),
+                            ("rewritten", outcome.rewritten.into()),
+                        ],
+                        None => vec![("failed", 1u64.into())],
+                    }
                 } else {
                     Vec::new()
                 });
-                report.outcome.merge(&outcome);
                 let metrics = match report.passes.iter_mut().find(|m| m.name == pass.name()) {
                     Some(m) => m,
                     None => {
@@ -334,18 +401,53 @@ fn run_steps(
                     }
                 };
                 metrics.runs += 1;
-                metrics.changed_runs += u64::from(outcome.changed);
-                metrics.removed += outcome.removed;
-                metrics.inserted += outcome.inserted;
-                metrics.rewritten += outcome.rewritten;
                 metrics.wall_ns += elapsed;
-                let delta = cache.stats().since(&cache_before);
-                metrics.cache.cfg_hits += delta.cfg_hits;
-                metrics.cache.cfg_misses += delta.cfg_misses;
-                metrics.cache.dom_hits += delta.dom_hits;
-                metrics.cache.dom_misses += delta.dom_misses;
-                metrics.cache.analysis_hits += delta.analysis_hits;
-                metrics.cache.analysis_misses += delta.analysis_misses;
+                match result {
+                    Ok(outcome) => {
+                        report.outcome.merge(&outcome);
+                        metrics.changed_runs += u64::from(outcome.changed);
+                        metrics.removed += outcome.removed;
+                        metrics.inserted += outcome.inserted;
+                        metrics.rewritten += outcome.rewritten;
+                        let delta = cache.stats().since(&cache_before);
+                        metrics.cache.cfg_hits += delta.cfg_hits;
+                        metrics.cache.cfg_misses += delta.cfg_misses;
+                        metrics.cache.dom_hits += delta.dom_hits;
+                        metrics.cache.dom_misses += delta.dom_misses;
+                        metrics.cache.analysis_hits += delta.analysis_hits;
+                        metrics.cache.analysis_misses += delta.analysis_misses;
+                    }
+                    Err(err) => {
+                        // Restore the checkpoint and drop the cache:
+                        // the pass may have died mid-mutation, and
+                        // half-updated analyses must not survive it.
+                        let (_, snapshot) = checkpoint.as_ref().expect("checkpointed above");
+                        *prog = snapshot.clone();
+                        *cache = AnalysisCache::new();
+                        report.rollbacks += 1;
+                        let error = match err {
+                            pdce_trace::sandbox::SandboxError::Panic(msg) => {
+                                PassError::Panicked(msg)
+                            }
+                            pdce_trace::sandbox::SandboxError::Budget(b) => {
+                                PassError::BudgetExhausted(b.to_string())
+                            }
+                        };
+                        pdce_trace::instant(
+                            "resilience",
+                            "pass-rollback",
+                            if pdce_trace::enabled() {
+                                vec![("pass", pass.name().into())]
+                            } else {
+                                Vec::new()
+                            },
+                        );
+                        report.failures.push(PassFailure {
+                            pass: pass.name().to_string(),
+                            error,
+                        });
+                    }
+                }
             }
             Step::RepeatUntilStable(inner) => {
                 for i in 0..cap {
@@ -354,7 +456,7 @@ fn run_steps(
                     // trace shows one `round` span per iteration.
                     let _round = pdce_trace::round_scope(i as u64 + 1);
                     let before = prog.revision();
-                    run_steps(inner, prog, cache, cap, report);
+                    run_steps(inner, prog, cache, cap, report, checkpoint);
                     if prog.revision() == before {
                         break;
                     }
@@ -558,6 +660,72 @@ mod tests {
         assert_eq!(report.pass("nop").unwrap().runs, 1);
         assert!(report.pass("fce").unwrap().runs >= 2);
         assert_eq!(prog.num_assignments(), 2, "Figure 2 reached");
+    }
+
+    /// A pass that mutates the program and then dies: the checkpoint
+    /// must undo the partial mutation.
+    struct HalfwayPanic;
+    impl Pass for HalfwayPanic {
+        fn name(&self) -> &'static str {
+            "halfway-panic"
+        }
+        fn run(&self, prog: &mut Program, _: &mut AnalysisCache) -> PassOutcome {
+            let entry = prog.entry();
+            prog.stmts_mut(entry).clear();
+            panic!("died mid-transform");
+        }
+    }
+
+    #[test]
+    fn panicking_pass_is_rolled_back_and_pipeline_continues() {
+        let pipeline = Pipeline::builder()
+            .pass(Box::new(HalfwayPanic))
+            .named("pfe")
+            .unwrap()
+            .build();
+        let mut prog = fig1();
+        let report = pipeline.run(&mut prog);
+        // The failure is structured, the partial mutation is gone, and
+        // pfe still ran on the restored program.
+        assert_eq!(report.rollbacks, 1);
+        assert_eq!(report.failures.len(), 1);
+        assert_eq!(report.failures[0].pass, "halfway-panic");
+        assert!(matches!(
+            report.failures[0].error,
+            PassError::Panicked(ref m) if m.contains("died mid-transform")
+        ));
+        assert!(report.pass("pfe").unwrap().changed_runs >= 1);
+        let mut want = fig1();
+        pdce_core::driver::pfe(&mut want).unwrap();
+        assert_eq!(
+            pdce_ir::printer::canonical_string(&prog),
+            pdce_ir::printer::canonical_string(&want)
+        );
+    }
+
+    #[test]
+    fn injected_pass_panic_is_recovered() {
+        let mut prog = fig1();
+        let report = pdce_trace::fault::with_faults("panic:dce:1", || {
+            Pipeline::parse("repeat(dce,sink)").unwrap().run(&mut prog)
+        });
+        assert_eq!(report.rollbacks, 1);
+        assert_eq!(report.failures[0].pass, "dce");
+        // Later dce runs of the repeat group still reach Figure 2.
+        assert_eq!(prog.num_assignments(), 2);
+    }
+
+    #[test]
+    fn injected_budget_fault_is_classified() {
+        let mut prog = fig1();
+        let report = pdce_trace::fault::with_faults("budget:lvn:1", || {
+            Pipeline::parse("lvn,pfe").unwrap().run(&mut prog)
+        });
+        assert!(matches!(
+            report.failures[0].error,
+            PassError::BudgetExhausted(_)
+        ));
+        assert_eq!(prog.num_assignments(), 2, "pfe still ran");
     }
 
     #[test]

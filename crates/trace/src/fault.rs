@@ -1,0 +1,295 @@
+//! Fault injection for exercising the fault-tolerant driver.
+//!
+//! Every recovery path in the workspace — pass rollback, budget
+//! degradation, translation-validation rollback — is only trustworthy
+//! if it can be *driven* deterministically. This module provides the
+//! hooks: named instrumentation sites (`fire`, `flip`) that normally
+//! cost one thread-local flag read and a branch, armed either by the
+//! `FAULT_INJECT` environment variable or by a scoped, thread-local
+//! override for in-process tests.
+//!
+//! # Grammar
+//!
+//! ```text
+//! FAULT_INJECT = directive ("," directive)*
+//! directive    = kind ":" site ":" nth
+//! kind         = "panic" | "budget" | "bitflip"
+//! site         = a named instrumentation point ("dce", "sink", "solve",
+//!                "dead", pass names, ...)
+//! nth          = 1-based occurrence number, or "*" for every occurrence
+//! ```
+//!
+//! Examples: `FAULT_INJECT=panic:sink:1` panics the first sinking step;
+//! `FAULT_INJECT=budget:solve:*` makes every solver invocation report
+//! budget exhaustion; `FAULT_INJECT=bitflip:dead:1` corrupts the first
+//! dead-variables solution (so translation validation must catch it).
+//! Directives are independent; occurrence counters are per-directive
+//! and process-global (atomic), so injection behaves identically under
+//! `--jobs N`.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+use crate::budget::BudgetExhausted;
+
+/// What an armed directive does when its site+occurrence matches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Panic at the site (exercises `catch_unwind` sandboxes).
+    Panic,
+    /// Panic with a [`BudgetExhausted`] payload (exercises the
+    /// degradation ladder without needing a real tiny budget).
+    Budget,
+    /// Tell the site to corrupt its own data — [`flip`] returns `true`
+    /// (exercises translation validation).
+    Bitflip,
+}
+
+/// One parsed `kind:site:nth` directive.
+#[derive(Debug)]
+struct Directive {
+    kind: FaultKind,
+    site: String,
+    /// `None` means `*`: fire on every occurrence.
+    nth: Option<u64>,
+    /// How many times this directive's site has been hit so far.
+    hits: AtomicU64,
+}
+
+/// Parses the `FAULT_INJECT` grammar. Returns `Err` with a message on
+/// malformed specs (the CLI surfaces it; library users get a panic at
+/// arm time rather than silent misconfiguration).
+fn parse_spec(spec: &str) -> Result<Vec<Directive>, String> {
+    let mut out = Vec::new();
+    for raw in spec.split(',') {
+        let raw = raw.trim();
+        if raw.is_empty() {
+            continue;
+        }
+        let mut parts = raw.splitn(3, ':');
+        let (kind, site, nth) = match (parts.next(), parts.next(), parts.next()) {
+            (Some(k), Some(s), Some(n)) => (k, s, n),
+            _ => return Err(format!("fault directive `{raw}`: expected kind:site:nth")),
+        };
+        let kind = match kind {
+            "panic" => FaultKind::Panic,
+            "budget" => FaultKind::Budget,
+            "bitflip" => FaultKind::Bitflip,
+            other => {
+                return Err(format!(
+                    "fault directive `{raw}`: unknown kind `{other}` \
+                     (expected panic|budget|bitflip)"
+                ))
+            }
+        };
+        let nth = if nth == "*" {
+            None
+        } else {
+            match nth.parse::<u64>() {
+                Ok(n) if n >= 1 => Some(n),
+                _ => {
+                    return Err(format!(
+                        "fault directive `{raw}`: nth must be a 1-based \
+                         integer or `*`"
+                    ))
+                }
+            }
+        };
+        if site.is_empty() {
+            return Err(format!("fault directive `{raw}`: empty site"));
+        }
+        out.push(Directive {
+            kind,
+            site: site.to_string(),
+            nth,
+            hits: AtomicU64::new(0),
+        });
+    }
+    Ok(out)
+}
+
+/// Directives parsed once from the environment.
+fn env_directives() -> &'static [Directive] {
+    static ENV: OnceLock<Vec<Directive>> = OnceLock::new();
+    ENV.get_or_init(|| match std::env::var("FAULT_INJECT") {
+        Ok(spec) if !spec.trim().is_empty() => match parse_spec(&spec) {
+            Ok(d) => d,
+            Err(msg) => panic!("invalid FAULT_INJECT: {msg}"),
+        },
+        _ => Vec::new(),
+    })
+}
+
+thread_local! {
+    /// In-process test override; takes precedence over the environment
+    /// on this thread while a [`with_faults`] scope is active.
+    static OVERRIDE: RefCell<Option<Vec<Directive>>> = const { RefCell::new(None) };
+    /// Cheap armed check: `Some` once we know whether *any* directive
+    /// exists for this thread (override or env).
+    static ARMED: std::cell::Cell<Option<bool>> = const { std::cell::Cell::new(None) };
+}
+
+/// Runs `f` with `spec` as the active fault directives on this thread
+/// (replacing any environment spec). For in-process tests; the CLI and
+/// worker threads use the `FAULT_INJECT` environment variable.
+///
+/// # Panics
+/// Panics immediately on a malformed `spec`.
+pub fn with_faults<R>(spec: &str, f: impl FnOnce() -> R) -> R {
+    let parsed = parse_spec(spec).unwrap_or_else(|msg| panic!("invalid fault spec: {msg}"));
+    struct Guard(Option<Vec<Directive>>);
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            OVERRIDE.with(|o| *o.borrow_mut() = self.0.take());
+            ARMED.with(|a| a.set(None));
+        }
+    }
+    let prev = OVERRIDE.with(|o| o.borrow_mut().replace(parsed));
+    ARMED.with(|a| a.set(None));
+    let _guard = Guard(prev);
+    f()
+}
+
+/// Whether any fault directive is active for this thread. One
+/// thread-local read and a branch after the first call.
+#[inline]
+pub fn armed() -> bool {
+    ARMED.with(|a| match a.get() {
+        Some(v) => v,
+        None => {
+            let v = OVERRIDE
+                .with(|o| o.borrow().as_ref().map(|d| !d.is_empty()))
+                .unwrap_or_else(|| !env_directives().is_empty());
+            a.set(Some(v));
+            v
+        }
+    })
+}
+
+/// Does `d` fire for this hit? Increments the directive's hit counter
+/// as a side effect when the site matches.
+fn matches(d: &Directive, site: &str) -> bool {
+    if d.site != site {
+        return false;
+    }
+    let hit = d.hits.fetch_add(1, Ordering::Relaxed) + 1;
+    match d.nth {
+        None => true,
+        Some(n) => hit == n,
+    }
+}
+
+/// Consults the active directives for `site`, returning the kind that
+/// fires (at most one per call; `panic`/`budget` win over `bitflip`).
+fn consult(site: &str) -> Option<FaultKind> {
+    let pick = |dirs: &[Directive]| {
+        let mut fired = None;
+        for d in dirs {
+            if matches(d, site) {
+                match d.kind {
+                    FaultKind::Panic | FaultKind::Budget => return Some(d.kind),
+                    FaultKind::Bitflip => fired = Some(FaultKind::Bitflip),
+                }
+            }
+        }
+        fired
+    };
+    let from_override = OVERRIDE.with(|o| o.borrow().as_ref().map(|d| pick(d)));
+    match from_override {
+        Some(k) => k,
+        None => pick(env_directives()),
+    }
+}
+
+/// Instrumentation point for `panic`/`budget` faults. Call at the top
+/// of a named pass, step, or solver. No-op (one branch) when unarmed.
+///
+/// # Panics
+/// Panics with a descriptive message (`panic` kind) or a
+/// [`BudgetExhausted`] payload (`budget` kind) when a directive fires.
+#[inline]
+pub fn fire(site: &str) {
+    if !armed() {
+        return;
+    }
+    match consult(site) {
+        Some(FaultKind::Panic) => panic!("injected fault: panic at `{site}`"),
+        Some(FaultKind::Budget) => std::panic::panic_any(BudgetExhausted {
+            resource: "injected",
+            limit: 0,
+            spent: 0,
+        }),
+        _ => {}
+    }
+}
+
+/// Instrumentation point for `bitflip` faults: returns `true` when the
+/// site should corrupt its own data. No-op (one branch) when unarmed.
+#[inline]
+pub fn flip(site: &str) -> bool {
+    armed() && consult(site) == Some(FaultKind::Bitflip)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unarmed_sites_are_silent() {
+        fire("anything");
+        assert!(!flip("anything"));
+    }
+
+    #[test]
+    fn panic_fires_on_nth_occurrence_only() {
+        with_faults("panic:dce:2", || {
+            fire("dce"); // first occurrence: no fire
+            let err = std::panic::catch_unwind(|| fire("dce"));
+            assert!(err.is_err(), "second occurrence must panic");
+            fire("dce"); // third occurrence: no fire
+        });
+    }
+
+    #[test]
+    fn star_fires_every_time() {
+        with_faults("bitflip:dead:*", || {
+            assert!(flip("dead"));
+            assert!(flip("dead"));
+            assert!(!flip("sink"));
+        });
+    }
+
+    #[test]
+    fn budget_kind_panics_with_typed_payload() {
+        with_faults("budget:solve:1", || {
+            let err = std::panic::catch_unwind(|| fire("solve")).unwrap_err();
+            assert!(err.downcast_ref::<BudgetExhausted>().is_some());
+        });
+    }
+
+    #[test]
+    fn multiple_directives_are_independent() {
+        with_faults("bitflip:dead:1,panic:sink:1", || {
+            assert!(flip("dead"));
+            assert!(!flip("dead"));
+            assert!(std::panic::catch_unwind(|| fire("sink")).is_err());
+        });
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected() {
+        for bad in ["panic:sink", "boom:sink:1", "panic:sink:0", "panic::1"] {
+            assert!(parse_spec(bad).is_err(), "{bad} should be rejected");
+        }
+        assert!(parse_spec("panic:sink:1, budget:solve:*").is_ok());
+    }
+
+    #[test]
+    fn override_ends_with_scope() {
+        with_faults("panic:x:*", || {
+            assert!(armed());
+        });
+        fire("x"); // back to (unarmed) environment spec
+    }
+}

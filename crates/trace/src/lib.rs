@@ -59,9 +59,12 @@
 //! assert!(json.starts_with("{\"traceEvents\":["));
 //! ```
 
+pub mod budget;
 pub mod chrome;
 pub mod explain;
+pub mod fault;
 pub mod json;
+pub mod sandbox;
 
 use std::borrow::Cow;
 use std::cell::{Cell, RefCell};

@@ -1,0 +1,141 @@
+//! Panic sandboxing for passes and work items.
+//!
+//! [`catch`] wraps a closure in `catch_unwind` and converts the panic
+//! payload into a structured [`SandboxError`], distinguishing budget
+//! exhaustion (a typed [`BudgetExhausted`] payload) from genuine
+//! panics. While a sandboxed closure runs, the default panic hook's
+//! stderr spew is suppressed on this thread — a recovered fault should
+//! surface as one structured diagnostic, not a backtrace — but panics
+//! on other threads (and un-sandboxed panics on this one) still print
+//! normally.
+
+use std::cell::Cell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Once;
+
+use crate::budget::BudgetExhausted;
+
+/// Why a sandboxed closure did not return.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SandboxError {
+    /// The closure panicked; carries the rendered panic message.
+    Panic(String),
+    /// The closure hit a work budget (or an injected budget fault).
+    Budget(BudgetExhausted),
+}
+
+impl std::fmt::Display for SandboxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SandboxError::Panic(msg) => write!(f, "panic: {msg}"),
+            SandboxError::Budget(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl SandboxError {
+    /// The budget payload, when this is a budget exhaustion.
+    pub fn budget(&self) -> Option<&BudgetExhausted> {
+        match self {
+            SandboxError::Budget(b) => Some(b),
+            SandboxError::Panic(_) => None,
+        }
+    }
+}
+
+thread_local! {
+    /// Nesting depth of active sandboxes on this thread; the panic
+    /// hook stays quiet while it is non-zero.
+    static QUIET: Cell<u32> = const { Cell::new(0) };
+}
+
+/// Chains a quiet-aware hook in front of whatever hook is installed.
+/// Process-global, done once; cheap because the hook only runs when a
+/// panic is already unwinding.
+fn install_quiet_hook() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if QUIET.with(|q| q.get()) == 0 {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Renders a panic payload as a message.
+pub fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(b) = payload.downcast_ref::<BudgetExhausted>() {
+        b.to_string()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Converts a caught panic payload into a [`SandboxError`].
+pub fn classify(payload: Box<dyn std::any::Any + Send>) -> SandboxError {
+    match payload.downcast::<BudgetExhausted>() {
+        Ok(b) => SandboxError::Budget(*b),
+        Err(other) => SandboxError::Panic(payload_message(&*other)),
+    }
+}
+
+/// Runs `f`, converting a panic into a structured [`SandboxError`] and
+/// keeping the panic hook quiet while `f` runs.
+///
+/// The closure is treated as unwind-safe (`AssertUnwindSafe`): callers
+/// hold the snapshot, so any state `f` was mutating must be discarded
+/// or restored from a checkpoint on `Err` — that is the whole point of
+/// the checkpoint/rollback protocol.
+pub fn catch<R>(f: impl FnOnce() -> R) -> Result<R, SandboxError> {
+    install_quiet_hook();
+    QUIET.with(|q| q.set(q.get() + 1));
+    let result = catch_unwind(AssertUnwindSafe(f));
+    QUIET.with(|q| q.set(q.get() - 1));
+    result.map_err(classify)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ok_result_passes_through() {
+        assert_eq!(catch(|| 7).unwrap(), 7);
+    }
+
+    #[test]
+    fn panic_is_classified_with_message() {
+        let err = catch(|| panic!("boom {}", 42)).unwrap_err();
+        assert_eq!(err, SandboxError::Panic("boom 42".to_string()));
+    }
+
+    #[test]
+    fn budget_payload_is_classified_as_budget() {
+        let payload = BudgetExhausted {
+            resource: "pops",
+            limit: 1,
+            spent: 2,
+        };
+        let err = catch(|| std::panic::panic_any(payload.clone())).unwrap_err();
+        assert_eq!(err.budget(), Some(&payload));
+    }
+
+    #[test]
+    fn nested_sandboxes_stay_quiet_and_unwind_cleanly() {
+        let err = catch(|| {
+            let inner = catch(|| -> u32 { panic!("inner") });
+            assert!(inner.is_err());
+            panic!("outer")
+        })
+        .unwrap_err();
+        assert_eq!(err, SandboxError::Panic("outer".to_string()));
+        // Depth back to zero: a later panic would print normally.
+        QUIET.with(|q| assert_eq!(q.get(), 0));
+    }
+}

@@ -18,7 +18,7 @@ use std::io::Read;
 use std::process::ExitCode;
 
 use pdce::core::better::{check_improvement, BetterOptions};
-use pdce::core::driver::{optimize, PdceConfig};
+use pdce::core::driver::{optimize, optimize_resilient, PdceConfig};
 use pdce::dfa::SolverStrategy;
 use pdce::ir::interp::{run, Env, ExecLimits, SeededOracle};
 use pdce::ir::parser::parse;
@@ -34,9 +34,16 @@ fn main() -> ExitCode {
             eprintln!("{USAGE}");
             ExitCode::from(2)
         }
-        Err(CliError::Failed(msg)) => {
+        // Exit-code contract: 1 = bad input (unreadable or unparseable
+        // program), 2 = internal failure (optimizer bug, verify
+        // violation, environment error).
+        Err(CliError::BadInput(msg)) => {
             eprintln!("error: {msg}");
-            ExitCode::FAILURE
+            ExitCode::from(1)
+        }
+        Err(CliError::Internal(msg)) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(2)
         }
     }
 }
@@ -45,6 +52,7 @@ const USAGE: &str = "usage:
   pdce opt     [--mode pde|pfe|dce|fce | --passes SPEC] [--region a,b,c]
                [--max-rounds N] [--solver fifo|priority] [--jobs N]
                [--simplify] [--stats] [--verify] [--no-incremental]
+               [--validate-semantics[=K]] [--max-pops N] [--wall-ms N]
                [--trace FILE.json] [--explain] [FILE...]
                SPEC is a comma-separated pass list with repeat(...) groups,
                e.g. --passes 'sccp,lvn,repeat(fce,sink),simplify'
@@ -58,23 +66,40 @@ const USAGE: &str = "usage:
                the programs are optimized independently and printed in
                argument order — --jobs N shards them over N workers
                (0 = all cores) with deterministic, jobs-independent output
+               --validate-semantics runs translation validation after
+               every round on K seeded input vectors (default 8; the TV
+               env var works too) and rolls back any round that changes
+               observable behaviour; --max-pops / --wall-ms bound the
+               solver worklist and wall clock — an exhausted budget
+               degrades the run down the resilience ladder instead of
+               failing (cold solve, fifo solver, elimination only, and
+               finally the identity transformation)
   pdce run     [--in name=value]... [--seed N] [--fuel N] [FILE]
   pdce analyze [FILE]
   pdce universe [--mode pde|pfe] [--max N] [FILE]
   pdce dot     [FILE]
-  pdce check   [FILE]";
+  pdce check   [FILE]
+
+exit codes: 0 success, 1 bad input, 2 usage or internal failure";
 
 enum CliError {
     Usage(String),
-    Failed(String),
+    /// The user's program could not be read or parsed (exit 1).
+    BadInput(String),
+    /// Anything that is our fault or the environment's (exit 2).
+    Internal(String),
 }
 
 fn usage(msg: impl Into<String>) -> CliError {
     CliError::Usage(msg.into())
 }
 
+fn bad_input(msg: impl std::fmt::Display) -> CliError {
+    CliError::BadInput(msg.to_string())
+}
+
 fn failed(msg: impl std::fmt::Display) -> CliError {
-    CliError::Failed(msg.to_string())
+    CliError::Internal(msg.to_string())
 }
 
 fn dispatch(args: &[String]) -> Result<(), CliError> {
@@ -117,6 +142,10 @@ impl Parsed {
     }
 }
 
+/// Flags whose value is optional: `--flag` and `--flag=value` both
+/// work (the bare form records an empty value).
+const OPTIONAL_VALUE: &[&str] = &["validate-semantics"];
+
 fn parse_args(
     args: &[String],
     flags_with_value: &[&str],
@@ -128,7 +157,16 @@ fn parse_args(
     while i < args.len() {
         let a = &args[i];
         if let Some(name) = a.strip_prefix("--") {
-            if bare_flags.contains(&name) {
+            let optional = |n: &str| OPTIONAL_VALUE.contains(&n) && bare_flags.contains(&n);
+            if let Some((n, v)) = name.split_once('=') {
+                if flags_with_value.contains(&n) || optional(n) {
+                    flags.push((n.to_owned(), v.to_owned()));
+                } else if bare_flags.contains(&n) {
+                    return Err(usage(format!("--{n} does not take a value")));
+                } else {
+                    return Err(usage(format!("unknown flag --{n}")));
+                }
+            } else if bare_flags.contains(&name) {
                 flags.push((name.to_owned(), String::new()));
             } else if flags_with_value.contains(&name) {
                 i += 1;
@@ -147,19 +185,30 @@ fn parse_args(
     Ok(Parsed { flags, files })
 }
 
+/// Renders a parse error as `file:line:col: message` (semantic errors
+/// have no position and render as `file: message`).
+fn render_parse_error(display: &str, e: &pdce::ir::error::ParseError) -> String {
+    if e.line == 0 {
+        format!("{display}: {}", e.message)
+    } else {
+        format!("{display}:{}:{}: {}", e.line, e.col, e.message)
+    }
+}
+
 fn load(file: Option<&str>) -> Result<Program, CliError> {
+    let display = file.unwrap_or("<stdin>");
     let source = match file {
         Some(path) => std::fs::read_to_string(path)
-            .map_err(|e| failed(format!("cannot read `{path}`: {e}")))?,
+            .map_err(|e| bad_input(format!("cannot read `{path}`: {e}")))?,
         None => {
             let mut buf = String::new();
             std::io::stdin()
                 .read_to_string(&mut buf)
-                .map_err(|e| failed(format!("cannot read stdin: {e}")))?;
+                .map_err(|e| bad_input(format!("cannot read stdin: {e}")))?;
             buf
         }
     };
-    parse(&source).map_err(failed)
+    parse(&source).map_err(|e| bad_input(render_parse_error(display, &e)))
 }
 
 /// Runs `f` under an explicit `--solver` choice, or under the ambient
@@ -193,8 +242,17 @@ fn cmd_opt(args: &[String]) -> Result<(), CliError> {
             "trace",
             "solver",
             "jobs",
+            "max-pops",
+            "wall-ms",
         ],
-        &["stats", "verify", "simplify", "explain", "no-incremental"],
+        &[
+            "stats",
+            "verify",
+            "simplify",
+            "explain",
+            "no-incremental",
+            "validate-semantics",
+        ],
     )?;
     let mut config = PdceConfig::pde();
     let mut passes_spec: Option<String> = None;
@@ -206,6 +264,8 @@ fn cmd_opt(args: &[String]) -> Result<(), CliError> {
     let mut want_simplify = false;
     let mut want_explain = false;
     let mut incremental = true;
+    let mut budget = pdce::trace::budget::Budget::UNLIMITED;
+    let mut validate: Option<u32> = None;
     for (name, value) in &parsed.flags {
         match name.as_str() {
             "passes" => passes_spec = Some(value.clone()),
@@ -241,6 +301,27 @@ fn cmd_opt(args: &[String]) -> Result<(), CliError> {
                     .map_err(|_| usage(format!("bad --jobs `{value}`")))?;
                 jobs = if n == 0 { pdce::par::default_jobs() } else { n };
             }
+            "max-pops" => {
+                let n: u64 = value
+                    .parse()
+                    .map_err(|_| usage(format!("bad --max-pops `{value}`")))?;
+                budget.max_pops = Some(n);
+            }
+            "wall-ms" => {
+                let n: u64 = value
+                    .parse()
+                    .map_err(|_| usage(format!("bad --wall-ms `{value}`")))?;
+                budget.wall_time = Some(std::time::Duration::from_millis(n));
+            }
+            "validate-semantics" => {
+                validate = Some(if value.is_empty() {
+                    8
+                } else {
+                    value
+                        .parse()
+                        .map_err(|_| usage(format!("bad --validate-semantics `{value}`")))?
+                });
+            }
             "stats" => want_stats = true,
             "verify" => want_verify = true,
             "simplify" => want_simplify = true,
@@ -248,6 +329,11 @@ fn cmd_opt(args: &[String]) -> Result<(), CliError> {
             "no-incremental" => incremental = false,
             _ => unreachable!(),
         }
+    }
+    // Applied after the loop so they survive a later `--mode` rebuild.
+    config = config.with_budget(budget);
+    if let Some(k) = validate {
+        config = config.with_validation(k);
     }
     if parsed.files.len() > 1 {
         if passes_spec.is_some() {
@@ -290,6 +376,9 @@ fn cmd_opt(args: &[String]) -> Result<(), CliError> {
                 pdce::ir::simplify_cfg(&mut prog);
             }
             print!("{}", print_program(&prog));
+            for failure in &report.failures {
+                eprintln!("warning: {failure}");
+            }
             if want_stats {
                 eprint!("{}", report.render());
                 eprintln!(
@@ -297,10 +386,17 @@ fn cmd_opt(args: &[String]) -> Result<(), CliError> {
                     report.cache.hits(),
                     report.cache.misses()
                 );
+                if report.rollbacks > 0 {
+                    eprintln!("rollbacks:   {}", report.rollbacks);
+                }
             }
         } else {
-            let stats = maybe_with_strategy(strategy, incremental, || optimize(&mut prog, &config))
-                .map_err(failed)?;
+            let stats = maybe_with_strategy(strategy, incremental, || {
+                optimize_resilient(&mut prog, &config)
+            });
+            for note in &stats.failure_log {
+                eprintln!("warning: {note}");
+            }
             if want_simplify {
                 let s = pdce::ir::simplify_cfg(&mut prog);
                 if want_stats {
@@ -337,6 +433,21 @@ fn cmd_opt(args: &[String]) -> Result<(), CliError> {
                 );
                 if stats.truncated {
                     eprintln!("truncated:   yes");
+                }
+                if stats.rollbacks > 0 || stats.degradations > 0 || stats.budget_exhaustions > 0 {
+                    eprintln!(
+                        "resilience:  {} rollback(s), {} degradation(s), {} budget exhaustion(s)",
+                        stats.rollbacks, stats.degradations, stats.budget_exhaustions
+                    );
+                }
+                if stats.tv_checks > 0 {
+                    eprintln!(
+                        "validated:   {} tv check(s), {} tv rollback(s)",
+                        stats.tv_checks, stats.tv_rollbacks
+                    );
+                }
+                if let Some(mode) = stats.degraded {
+                    eprintln!("degraded:    {}", mode.label());
                 }
             }
         }
@@ -396,6 +507,17 @@ struct BatchOptions<'a> {
 struct FileReport {
     output: String,
     stats: pdce::core::driver::PdceStats,
+    /// Degradations, rollbacks, and TV notes, echoed as warnings.
+    warnings: Vec<String>,
+}
+
+/// Per-file failure of a batch worker. `bad_input` separates the
+/// user's fault (unreadable or unparseable file, exit 1) from ours
+/// (internal error or worker panic, exit 2); the message is
+/// self-contained and already names the file.
+struct FileError {
+    bad_input: bool,
+    message: String,
 }
 
 /// `pdce opt FILE FILE...`: optimizes independent programs, sharded
@@ -410,8 +532,11 @@ fn cmd_opt_batch(opts: &BatchOptions) -> Result<(), CliError> {
     use pdce::trace::{merge_collected, Collected};
 
     let want_collect = opts.trace_path.is_some() || opts.want_explain;
-    let outcomes: Vec<(Result<FileReport, String>, Option<Collected>)> =
-        pdce::par::map_indexed(opts.jobs, opts.files, |_, path| {
+    // try_map_indexed sandboxes every file: a panicking worker item
+    // becomes a per-file error while its siblings still run to
+    // completion (and no partial batch is ever discarded).
+    let outcomes: Vec<(Result<FileReport, FileError>, Option<Collected>)> =
+        pdce::par::try_map_indexed(opts.jobs, opts.files, |_, path| {
             let collector = want_collect.then(|| std::rc::Rc::new(pdce::trace::Collector::new()));
             let result = {
                 let _guard = collector.as_ref().map(|c| {
@@ -423,9 +548,23 @@ fn cmd_opt_batch(opts: &BatchOptions) -> Result<(), CliError> {
             };
             let collected = collector.as_ref().map(|c| Collected::from_collector(c));
             (result, collected)
-        });
+        })
+        .into_iter()
+        .zip(opts.files)
+        .map(|(item, path)| match item {
+            Ok(outcome) => outcome,
+            Err(p) => (
+                Err(FileError {
+                    bad_input: false,
+                    message: format!("{path}: worker panicked: {}", p.message),
+                }),
+                None,
+            ),
+        })
+        .collect();
 
     let mut errors = 0usize;
+    let mut all_bad_input = true;
     let mut totals = pdce::trace::SolverStats::ZERO;
     let mut total_eliminated = 0u64;
     for (path, (result, _)) in opts.files.iter().zip(&outcomes) {
@@ -433,9 +572,16 @@ fn cmd_opt_batch(opts: &BatchOptions) -> Result<(), CliError> {
             Ok(report) => {
                 println!("// ==== {path} ====");
                 print!("{}", report.output);
+                for note in &report.warnings {
+                    eprintln!("warning: {path}: {note}");
+                }
                 if opts.want_stats {
+                    let degraded = match report.stats.degraded {
+                        Some(mode) => format!(", degraded to {}", mode.label()),
+                        None => String::new(),
+                    };
                     eprintln!(
-                        "{path}: rounds {}, eliminated {}, sunk {}, {} solver problem(s)",
+                        "{path}: rounds {}, eliminated {}, sunk {}, {} solver problem(s){degraded}",
                         report.stats.rounds,
                         report.stats.eliminated_assignments,
                         report.stats.sunk_assignments,
@@ -445,9 +591,10 @@ fn cmd_opt_batch(opts: &BatchOptions) -> Result<(), CliError> {
                     total_eliminated += report.stats.eliminated_assignments;
                 }
             }
-            Err(msg) => {
+            Err(e) => {
                 errors += 1;
-                eprintln!("error: {path}: {msg}");
+                all_bad_input &= e.bad_input;
+                eprintln!("error: {}", e.message);
             }
         }
     }
@@ -494,38 +641,53 @@ fn cmd_opt_batch(opts: &BatchOptions) -> Result<(), CliError> {
         }
     }
     if errors > 0 {
-        return Err(failed(format!(
-            "{errors} of {} file(s) failed",
-            opts.files.len()
-        )));
+        let msg = format!("{errors} of {} file(s) failed", opts.files.len());
+        return Err(if all_bad_input {
+            bad_input(msg)
+        } else {
+            failed(msg)
+        });
     }
     Ok(())
 }
 
 /// Reads, optimizes, and prints one batch file; all failure modes come
-/// back as a clean message (the batch driver prefixes the file name).
+/// back as a clean, file-naming message — never a panic.
 fn optimize_one_file(
     path: &str,
     config: &PdceConfig,
     want_simplify: bool,
     want_verify: bool,
-) -> Result<FileReport, String> {
-    let source = std::fs::read_to_string(path).map_err(|e| format!("cannot read: {e}"))?;
-    let original = parse(&source).map_err(|e| e.to_string())?;
+) -> Result<FileReport, FileError> {
+    let user_fault = |message: String| FileError {
+        bad_input: true,
+        message,
+    };
+    let our_fault = |message: String| FileError {
+        bad_input: false,
+        message,
+    };
+    let source = std::fs::read_to_string(path)
+        .map_err(|e| user_fault(format!("cannot read `{path}`: {e}")))?;
+    let original = parse(&source).map_err(|e| user_fault(render_parse_error(path, &e)))?;
     let mut prog = original.clone();
-    let stats = optimize(&mut prog, config).map_err(|e| e.to_string())?;
+    let stats = optimize_resilient(&mut prog, config);
+    let warnings = stats.failure_log.clone();
     if want_simplify {
         pdce::ir::simplify_cfg(&mut prog);
     }
     if want_verify {
         let report = check_improvement(&original, &prog, &BetterOptions::default());
         if !report.holds() {
-            return Err("internal error: result does not dominate the input".to_string());
+            return Err(our_fault(format!(
+                "{path}: internal error: result does not dominate the input"
+            )));
         }
     }
     Ok(FileReport {
         output: print_program(&prog),
         stats,
+        warnings,
     })
 }
 

@@ -290,3 +290,99 @@ fn help_prints_usage() {
     assert!(ok);
     assert!(stdout.contains("usage:"));
 }
+
+/// Like `pdce`, but also returns the raw exit code.
+fn pdce_code(args: &[&str], stdin: &str) -> (String, String, i32) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_pdce"))
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary spawns");
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin piped")
+        .write_all(stdin.as_bytes())
+        .expect("stdin writes");
+    let out = child.wait_with_output().expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.code().unwrap_or(-1),
+    )
+}
+
+#[test]
+fn parse_error_reports_position_and_exits_1() {
+    let (_, stderr, code) = pdce_code(&["opt"], "prog { block s { x = 1 } }");
+    assert_eq!(code, 1, "stderr: {stderr}");
+    // Diagnostics carry file:line:col (stdin renders as <stdin>).
+    assert!(stderr.contains("<stdin>:1:"), "stderr: {stderr}");
+    let bad = temp_file("parse-err", "prog {\n  block s { x = 1 }\n}");
+    let (_, stderr, code) = pdce_code(&["opt", bad.to_str().unwrap()], "");
+    std::fs::remove_file(&bad).ok();
+    assert_eq!(code, 1, "stderr: {stderr}");
+    assert!(
+        stderr.contains(&format!("{}:2:", bad.display())),
+        "stderr: {stderr}"
+    );
+}
+
+#[test]
+fn bad_input_exits_1_usage_exits_2() {
+    let (_, _, code) = pdce_code(&["opt", "/nonexistent/nope.pdce"], "");
+    assert_eq!(code, 1);
+    let (_, _, code) = pdce_code(&["opt", "--frobnicate"], "");
+    assert_eq!(code, 2);
+    let (_, _, code) = pdce_code(&["frobnicate"], "");
+    assert_eq!(code, 2);
+}
+
+#[test]
+fn validate_semantics_reports_tv_checks() {
+    let (stdout, stderr, ok) = pdce(&["opt", "--validate-semantics", "--stats"], FIG1);
+    assert!(ok, "stderr: {stderr}");
+    pdce::ir::parser::parse(&stdout).expect("output parses");
+    assert!(stderr.contains("tv check(s)"), "stderr: {stderr}");
+    assert!(stderr.contains("0 tv rollback(s)"), "stderr: {stderr}");
+    // The optimization is still effective under validation.
+    assert!(stderr.contains("eliminated:  1"), "stderr: {stderr}");
+    // Explicit vector-count form.
+    let (_, stderr, ok) = pdce(&["opt", "--validate-semantics=3", "--stats"], FIG1);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stderr.contains("tv check(s)"), "stderr: {stderr}");
+}
+
+#[test]
+fn exhausted_pop_budget_degrades_to_identity() {
+    let (stdout, stderr, ok) = pdce(&["opt", "--max-pops", "1", "--stats"], FIG1);
+    assert!(ok, "stderr: {stderr}");
+    // Every rung of the ladder runs out of pops, so the program comes
+    // back verbatim — flagged, not failed.
+    let reparsed = pdce::ir::parser::parse(&stdout).expect("output parses");
+    let n1 = reparsed.block_by_name("n1").unwrap();
+    assert_eq!(reparsed.block(n1).stmts.len(), 1, "nothing was optimized");
+    assert!(stderr.contains("degraded:    identity"), "stderr: {stderr}");
+    assert!(stderr.contains("warning:"), "stderr: {stderr}");
+    assert!(stderr.contains("budget exhaustion"), "stderr: {stderr}");
+}
+
+#[test]
+fn generous_budget_flags_do_not_degrade() {
+    let (_, stderr, ok) = pdce(
+        &[
+            "opt",
+            "--max-pops",
+            "100000",
+            "--wall-ms",
+            "60000",
+            "--stats",
+        ],
+        FIG1,
+    );
+    assert!(ok, "stderr: {stderr}");
+    assert!(stderr.contains("eliminated:  1"), "stderr: {stderr}");
+    assert!(!stderr.contains("degraded"), "stderr: {stderr}");
+}

@@ -4,7 +4,6 @@
 //! registered pass.
 
 use pdce::core::driver::{optimize, LimitBehavior, PdceConfig, PdceError};
-use pdce::core::elim::Mode;
 use pdce::core::sink::{sink_assignments_cached, sinking_is_stable_cached};
 use pdce::dfa::AnalysisCache;
 use pdce::ir::interp::{run, Env, ExecLimits, ReplayOracle, SeededOracle};
@@ -111,11 +110,9 @@ fn truncate_stops_gracefully_with_a_correct_partial_result() {
 fn error_limit_behavior_reports_the_round_cap() {
     let mut prog = second_order_tower(12);
     let config = PdceConfig {
-        mode: Mode::Dead,
-        sinking: true,
         max_rounds: Some(1),
         on_limit: LimitBehavior::Error,
-        region: None,
+        ..PdceConfig::pde()
     };
     match optimize(&mut prog, &config) {
         // The driver reports the round that exceeded the cap: cap + 1.
