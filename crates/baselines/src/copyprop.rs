@@ -9,8 +9,8 @@
 
 use std::collections::HashMap;
 
-use pdce_dfa::{solve, BitProblem, BitVec, Direction, GenKill, Meet};
-use pdce_ir::{CfgView, Program, Stmt, TermData, TermId, Var};
+use pdce_dfa::{solve, AnalysisCache, BitProblem, BitVec, Direction, GenKill, Meet};
+use pdce_ir::{Program, Stmt, TermData, TermId, Var};
 
 /// A copy pattern `x := y`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -63,12 +63,18 @@ fn stmt_transfer(copies: &[Copy], prog: &Program, stmt: &Stmt) -> GenKill {
 /// number of replaced variable occurrences. Run to a fixpoint externally
 /// if chains of copies should collapse fully.
 pub fn copy_propagate_once(prog: &mut Program) -> u64 {
+    copy_propagate_once_cached(prog, &mut AnalysisCache::new())
+}
+
+/// Like [`copy_propagate_once`], but reads the CFG from `cache`'s
+/// memoized [`CfgView`].
+pub fn copy_propagate_once_cached(prog: &mut Program, cache: &mut AnalysisCache) -> u64 {
     let copies = collect_copies(prog);
     if copies.is_empty() {
         return 0;
     }
     let width = copies.len();
-    let view = CfgView::new(prog);
+    let view = cache.cfg(prog);
     let transfer: Vec<GenKill> = prog
         .node_ids()
         .map(|n| {
@@ -110,7 +116,7 @@ pub fn copy_propagate_once(prog: &mut Program) -> u64 {
                         Stmt::Out(_) => Stmt::Out(t2),
                         Stmt::Skip => Stmt::Skip,
                     };
-                    prog.block_mut(n).stmts[k] = new_stmt;
+                    prog.stmts_mut(n)[k] = new_stmt;
                 }
             }
             let f = stmt_transfer(&copies, prog, &prog.block(n).stmts[k]);
@@ -137,9 +143,15 @@ pub fn copy_propagate_once(prog: &mut Program) -> u64 {
 /// Runs copy propagation to a fixpoint (bounded by the variable count,
 /// the longest possible copy chain).
 pub fn copy_propagate(prog: &mut Program) -> u64 {
+    copy_propagate_cached(prog, &mut AnalysisCache::new())
+}
+
+/// Like [`copy_propagate`], but shares `cache`'s [`CfgView`] across the
+/// fixpoint rounds.
+pub fn copy_propagate_cached(prog: &mut Program, cache: &mut AnalysisCache) -> u64 {
     let mut total = 0;
     for _ in 0..prog.num_vars().max(1) {
-        let replaced = copy_propagate_once(prog);
+        let replaced = copy_propagate_once_cached(prog, cache);
         if replaced == 0 {
             break;
         }

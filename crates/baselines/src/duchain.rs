@@ -20,7 +20,7 @@
 
 use std::collections::VecDeque;
 
-use pdce_dfa::{solve, BitProblem, BitVec, Direction, GenKill, Meet};
+use pdce_dfa::{solve, AnalysisCache, BitProblem, BitVec, Direction, GenKill, Meet};
 use pdce_ir::{CfgView, NodeId, Program, Stmt, Var};
 
 /// A definition occurrence: statement `k` of block `n` (an assignment).
@@ -210,7 +210,13 @@ fn reaching_defs_of(reach: &BitVec, of_var: &BitVec) -> Vec<usize> {
 /// Def-use-chain DCE: removes every unmarked assignment. Returns the
 /// number of removed assignments.
 pub fn duchain_dce(prog: &mut Program) -> u64 {
-    let view = CfgView::new(prog);
+    duchain_dce_cached(prog, &mut AnalysisCache::new())
+}
+
+/// Like [`duchain_dce`], but reads the CFG from `cache`'s memoized
+/// [`CfgView`] instead of rebuilding the adjacency per call.
+pub fn duchain_dce_cached(prog: &mut Program, cache: &mut AnalysisCache) -> u64 {
+    let view = cache.cfg(prog);
     let graph = DuGraph::build(prog, &view);
     let marked = graph.mark();
     let mut removed = 0u64;
@@ -240,7 +246,7 @@ pub fn duchain_dce(prog: &mut Program) -> u64 {
                 }
             })
             .collect();
-        prog.block_mut(n).stmts = keep;
+        *prog.stmts_mut(n) = keep;
     }
     removed
 }

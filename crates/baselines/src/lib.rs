@@ -25,12 +25,14 @@ pub mod lvn;
 pub mod naive_sink;
 pub mod passes;
 
-pub use copyprop::{copy_propagate, copy_propagate_once};
-pub use duchain::{duchain_dce, DuGraph};
-pub use hoist::{hoist_assignments, HoistOutcome};
-pub use liveness::{liveness_dce, Liveness};
+pub use copyprop::{
+    copy_propagate, copy_propagate_cached, copy_propagate_once, copy_propagate_once_cached,
+};
+pub use duchain::{duchain_dce, duchain_dce_cached, DuGraph};
+pub use hoist::{hoist_assignments, hoist_assignments_cached, HoistOutcome};
+pub use liveness::{liveness_dce, liveness_dce_cached, Liveness};
 pub use lvn::{local_value_numbering, LvnStats};
-pub use naive_sink::{naive_sink, NaiveSinkOutcome};
+pub use naive_sink::{naive_sink, naive_sink_cached, NaiveSinkOutcome};
 pub use passes::{
     CopyPropPass, DuchainDcePass, HoistPass, LivenessDcePass, LvnPass, NaiveSinkPass,
 };

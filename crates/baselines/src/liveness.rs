@@ -7,7 +7,7 @@
 //! separate from `pdce-core`'s dead analysis so the two can cross-check
 //! each other (`¬LIVE ≡ DEAD`).
 
-use pdce_dfa::{solve, BitProblem, BitVec, Direction, GenKill, Meet};
+use pdce_dfa::{solve, AnalysisCache, BitProblem, BitVec, Direction, GenKill, Meet};
 use pdce_ir::{CfgView, NodeId, Program, Stmt, Terminator, Var};
 
 /// Live-variable solution.
@@ -99,9 +99,17 @@ impl Liveness {
 /// Iterated liveness-based DCE. Returns the number of assignments
 /// removed.
 pub fn liveness_dce(prog: &mut Program) -> u64 {
+    liveness_dce_cached(prog, &mut AnalysisCache::new())
+}
+
+/// Like [`liveness_dce`], but shares `cache`'s [`CfgView`] across the
+/// fixpoint rounds: the edits are statement-only, so the topology
+/// survives every round and the cache merely refreshes the instruction
+/// layout.
+pub fn liveness_dce_cached(prog: &mut Program, cache: &mut AnalysisCache) -> u64 {
     let mut total = 0;
     loop {
-        let view = CfgView::new(prog);
+        let view = cache.cfg(prog);
         let live = Liveness::compute(prog, &view);
         let mut removed = 0u64;
         for n in prog.node_ids().collect::<Vec<_>>() {
@@ -120,7 +128,7 @@ pub fn liveness_dce(prog: &mut Program) -> u64 {
                 })
                 .collect();
             if keep.len() != prog.block(n).stmts.len() {
-                prog.block_mut(n).stmts = keep;
+                *prog.stmts_mut(n) = keep;
             }
         }
         if removed == 0 {

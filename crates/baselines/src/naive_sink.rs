@@ -23,6 +23,7 @@
 //! value is used), and lazy code motion cannot hoist it back out for
 //! safety reasons — which the `related_work` integration tests verify.
 
+use pdce_dfa::AnalysisCache;
 use pdce_ir::{CfgView, NodeId, Program, Stmt};
 
 use pdce_core::local::LocalInfo;
@@ -57,10 +58,17 @@ pub struct NaiveSinkOutcome {
 /// # Ok::<(), pdce_ir::ParseError>(())
 /// ```
 pub fn naive_sink(prog: &mut Program) -> NaiveSinkOutcome {
+    naive_sink_cached(prog, &mut AnalysisCache::new())
+}
+
+/// Like [`naive_sink`], but shares `cache`'s [`CfgView`] across the
+/// sweeps: moves only edit statement lists, so the topology survives
+/// every sweep and the cache merely refreshes the instruction layout.
+pub fn naive_sink_cached(prog: &mut Program, cache: &mut AnalysisCache) -> NaiveSinkOutcome {
     let mut outcome = NaiveSinkOutcome::default();
     let max_passes = prog.num_blocks() * 2 + 4;
     for _ in 0..max_passes {
-        if !one_pass(prog, &mut outcome) {
+        if !one_pass(prog, cache, &mut outcome) {
             break;
         }
     }
@@ -68,8 +76,8 @@ pub fn naive_sink(prog: &mut Program) -> NaiveSinkOutcome {
 }
 
 /// One sweep over all blocks; returns whether anything moved.
-fn one_pass(prog: &mut Program, outcome: &mut NaiveSinkOutcome) -> bool {
-    let view = CfgView::new(prog);
+fn one_pass(prog: &mut Program, cache: &mut AnalysisCache, outcome: &mut NaiveSinkOutcome) -> bool {
+    let view = cache.cfg(prog);
     let table = PatternTable::build(prog);
     if table.is_empty() {
         return false;
@@ -110,9 +118,9 @@ fn one_pass(prog: &mut Program, outcome: &mut NaiveSinkOutcome) -> bool {
         if !(plain || loopy) {
             continue;
         }
-        let moved = prog.block_mut(n).stmts.remove(k);
+        let moved = prog.stmts_mut(n).remove(k);
         debug_assert_eq!(moved, Stmt::Assign { lhs, rhs });
-        prog.block_mut(m).stmts.insert(0, moved);
+        prog.stmts_mut(m).insert(0, moved);
         if plain {
             outcome.plain_moves += 1;
         } else {

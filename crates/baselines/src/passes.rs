@@ -6,12 +6,12 @@ use pdce_dfa::{AnalysisCache, Pass, PassOutcome, Preserves};
 use pdce_ir::edgesplit::{has_critical_edges, split_critical_edges};
 use pdce_ir::Program;
 
-use crate::copyprop::copy_propagate;
-use crate::duchain::duchain_dce;
-use crate::hoist::hoist_assignments;
-use crate::liveness::liveness_dce;
+use crate::copyprop::copy_propagate_cached;
+use crate::duchain::duchain_dce_cached;
+use crate::hoist::hoist_assignments_cached;
+use crate::liveness::liveness_dce_cached;
 use crate::lvn::local_value_numbering;
-use crate::naive_sink::naive_sink;
+use crate::naive_sink::naive_sink_cached;
 
 /// Finalizes the outcome of a statement-only transform: when the
 /// revision moved, the CFG shape still survives, so the cache keeps its
@@ -42,7 +42,7 @@ impl Pass for LivenessDcePass {
 
     fn run(&self, prog: &mut Program, cache: &mut AnalysisCache) -> PassOutcome {
         let before = prog.revision();
-        let removed = liveness_dce(prog);
+        let removed = liveness_dce_cached(prog, cache);
         finish_stmt_only(
             prog,
             cache,
@@ -65,7 +65,7 @@ impl Pass for DuchainDcePass {
 
     fn run(&self, prog: &mut Program, cache: &mut AnalysisCache) -> PassOutcome {
         let before = prog.revision();
-        let removed = duchain_dce(prog);
+        let removed = duchain_dce_cached(prog, cache);
         finish_stmt_only(
             prog,
             cache,
@@ -89,7 +89,7 @@ impl Pass for CopyPropPass {
 
     fn run(&self, prog: &mut Program, cache: &mut AnalysisCache) -> PassOutcome {
         let before = prog.revision();
-        let rewritten = copy_propagate(prog);
+        let rewritten = copy_propagate_cached(prog, cache);
         finish_stmt_only(
             prog,
             cache,
@@ -145,7 +145,8 @@ impl Pass for HoistPass {
             });
         }
         let before = prog.revision();
-        let hoisted = hoist_assignments(prog).expect("critical edges were just split");
+        let hoisted =
+            hoist_assignments_cached(prog, cache).expect("critical edges were just split");
         let inner = finish_stmt_only(
             prog,
             cache,
@@ -172,7 +173,7 @@ impl Pass for NaiveSinkPass {
 
     fn run(&self, prog: &mut Program, cache: &mut AnalysisCache) -> PassOutcome {
         let before = prog.revision();
-        let moves = naive_sink(prog);
+        let moves = naive_sink_cached(prog, cache);
         let moved = moves.plain_moves + moves.loop_moves;
         finish_stmt_only(
             prog,
@@ -201,9 +202,12 @@ mod tests {
         let out = LivenessDcePass.run(&mut p, &mut cache);
         assert_eq!(out.removed, 1);
         assert_eq!(out.preserves, Preserves::Cfg);
-        // The CFG entry survived the statement-only edit.
+        // The CFG entry survived the statement-only edit: the only cold
+        // build is the warm-up above, every later read (including the
+        // pass's own fixpoint rounds) hits the cache.
         cache.cfg(&p);
-        assert_eq!(cache.stats().cfg_hits, 1);
+        assert_eq!(cache.stats().cfg_misses, 1);
+        assert!(cache.stats().cfg_hits >= 1);
         let again = LivenessDcePass.run(&mut p, &mut cache);
         assert!(!again.changed);
         assert_eq!(again.preserves, Preserves::All);

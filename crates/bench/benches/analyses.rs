@@ -39,7 +39,8 @@ fn main() {
     timeit::group("analysis_faint");
     for &n in &sizes {
         let prog = workload(n);
-        timeit::report(&n.to_string(), || FaintSolution::compute(&prog));
+        let view = CfgView::new(&prog);
+        timeit::report(&n.to_string(), || FaintSolution::compute(&prog, &view));
     }
 
     timeit::group("analysis_delayability");

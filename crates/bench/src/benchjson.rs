@@ -30,7 +30,13 @@ use std::fmt::Write as _;
 /// whose `tv_overhead_pct` [`validate`] requires to stay under 10% —
 /// and `resilience`, the fault-tolerance counters of the run
 /// (rollbacks, degradations, TV checks/rollbacks, budget exhaustions).
-pub const SCHEMA_VERSION: u64 = 4;
+/// v5: the document gains `csr` — the shared-`CfgView` A/B on the
+/// scaling-sweep analysis workload (every consumer rebuilding its own
+/// adjacency/orders per analysis, the pre-CSR access pattern, versus
+/// one revision-memoized CSR view shared through the `AnalysisCache`),
+/// whose `csr_walltime_reduction_pct` [`validate`] requires to be
+/// ≥ 10%.
+pub const SCHEMA_VERSION: u64 = 5;
 
 /// The acceptance bar on `pops_reduction_pct`.
 pub const MIN_POPS_REDUCTION_PCT: f64 = 20.0;
@@ -42,6 +48,11 @@ pub const MIN_INCREMENTAL_POPS_REDUCTION_PCT: f64 = 40.0;
 /// validation (at the benchmarked vector count) must cost less than
 /// this much wall time over the unvalidated run.
 pub const MAX_TV_OVERHEAD_PCT: f64 = 10.0;
+
+/// The acceptance bar on `csr.csr_walltime_reduction_pct`: sharing one
+/// revision-cached CSR `CfgView` across the analysis layers must save
+/// at least this much wall time over per-consumer rebuilding.
+pub const MIN_CSR_WALLTIME_REDUCTION_PCT: f64 = 10.0;
 
 /// One figure reproduction with its cost.
 #[derive(Debug, Clone)]
@@ -129,6 +140,24 @@ pub struct TvAb {
     pub tv_overhead_pct: f64,
 }
 
+/// The shared-`CfgView` A/B timing: the same analysis workload with
+/// every consumer rebuilding its own flow-graph adjacency and traversal
+/// orders per analysis (`legacy_ns`, the pre-CSR access pattern) and
+/// with one revision-memoized CSR view shared through the
+/// `AnalysisCache` (`csr_ns`).
+#[derive(Debug, Clone)]
+pub struct CsrAb {
+    /// What was timed.
+    pub workload: String,
+    /// Best-of-N, per-consumer rebuilds (nanoseconds).
+    pub legacy_ns: u128,
+    /// Best-of-N, one cached CSR view (nanoseconds).
+    pub csr_ns: u128,
+    /// `max(0, legacy - csr) / legacy` in percent — held against
+    /// [`MIN_CSR_WALLTIME_REDUCTION_PCT`] by [`validate`].
+    pub csr_walltime_reduction_pct: f64,
+}
+
 /// Fault-tolerance counters accumulated over the benchmark run
 /// (the driver's `PdceStats` resilience fields, summed).
 #[derive(Debug, Clone, Default)]
@@ -166,6 +195,8 @@ pub struct BenchSummary {
     pub tracing: TracingAb,
     /// The translation-validation overhead A/B.
     pub tv: TvAb,
+    /// The shared-`CfgView` A/B.
+    pub csr: CsrAb,
     /// Resilience counters accumulated over the run.
     pub resilience: ResilienceTotals,
 }
@@ -278,6 +309,16 @@ impl BenchSummary {
             v.off_ns,
             v.on_ns,
             v.tv_overhead_pct
+        );
+        let c = &self.csr;
+        let _ = write!(
+            out,
+            "\n\"csr\":{{\"workload\":{},\"legacy_ns\":{},\"csr_ns\":{},\
+             \"csr_walltime_reduction_pct\":{:.3}}},",
+            json::escaped(&c.workload),
+            c.legacy_ns,
+            c.csr_ns,
+            c.csr_walltime_reduction_pct
         );
         let r = &self.resilience;
         let _ = write!(
@@ -411,6 +452,20 @@ pub fn validate(text: &str) -> Result<(), String> {
             "tv_overhead_pct {tv_overhead:.3} breaks the <{MAX_TV_OVERHEAD_PCT}% acceptance bar"
         ));
     }
+    let csr = require(&doc, "csr", "document")?;
+    require(csr, "workload", "csr")?
+        .as_str()
+        .ok_or("`csr.workload` is not a string")?;
+    for key in ["legacy_ns", "csr_ns"] {
+        require_num(csr, key, "csr")?;
+    }
+    let csr_reduction = require_num(csr, "csr_walltime_reduction_pct", "csr")?;
+    if csr_reduction < MIN_CSR_WALLTIME_REDUCTION_PCT {
+        return Err(format!(
+            "csr_walltime_reduction_pct {csr_reduction:.3} below the \
+             {MIN_CSR_WALLTIME_REDUCTION_PCT}% acceptance bar"
+        ));
+    }
     let resilience = require(&doc, "resilience", "document")?;
     for key in [
         "rollbacks",
@@ -507,6 +562,12 @@ mod tests {
                 on_ns: 1_050_000,
                 tv_overhead_pct: 5.0,
             },
+            csr: CsrAb {
+                workload: "5 analyses over 2 structured programs".into(),
+                legacy_ns: 1_300_000,
+                csr_ns: 1_000_000,
+                csr_walltime_reduction_pct: 23.077,
+            },
             resilience: ResilienceTotals {
                 tv_checks: 6,
                 ..ResilienceTotals::default()
@@ -581,6 +642,16 @@ mod tests {
         // Exactly at the bar still fails: the contract is strictly under.
         s.tv.tv_overhead_pct = MAX_TV_OVERHEAD_PCT;
         assert!(validate(&s.to_json()).is_err());
+    }
+
+    #[test]
+    fn validation_enforces_csr_walltime_bar() {
+        let mut s = sample();
+        // A cached view that saves no wall time fails the ≥10% bar.
+        s.csr.csr_walltime_reduction_pct = 4.2;
+        assert!(validate(&s.to_json())
+            .unwrap_err()
+            .contains("csr_walltime_reduction_pct"));
     }
 
     #[test]

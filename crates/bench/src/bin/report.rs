@@ -19,14 +19,15 @@ use std::rc::Rc;
 use std::time::Instant;
 
 use pdce_baselines::duchain::DuGraph;
+use pdce_baselines::Liveness;
 use pdce_bench::benchjson::{
-    self, BenchSummary, FigureRow, ResilienceTotals, SweepRow, TracingAb, TvAb,
+    self, BenchSummary, CsrAb, FigureRow, ResilienceTotals, SweepRow, TracingAb, TvAb,
 };
 use pdce_bench::{figure_corpus, fit_loglog_slope, measure, verify_figure};
 use pdce_core::driver::{optimize, PdceConfig};
 use pdce_core::elim::{eliminate_fixpoint, Mode};
 use pdce_core::{DeadSolution, DelayInfo, FaintSolution, LocalInfo, PatternTable};
-use pdce_dfa::{with_incremental, with_strategy, SolverStrategy};
+use pdce_dfa::{with_incremental, with_strategy, AnalysisCache, SolverStrategy};
 use pdce_ir::interp::{run, Env, ExecLimits, ReplayOracle, SeededOracle};
 use pdce_ir::{CfgView, Program};
 use pdce_pass::Pipeline;
@@ -35,7 +36,7 @@ use pdce_progen::tangled as _tangled_reexport_check;
 use pdce_progen::{
     diamond_ladder, faint_chain, many_defs_many_uses, second_order_tower, structured, GenConfig,
 };
-use pdce_ssa::SsaWeb;
+use pdce_ssa::{DomInfo, SsaWeb};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -81,6 +82,7 @@ fn main() {
     }
     let tracing = t1_tracing_overhead(quick);
     let (tv, resilience) = t2_tv_overhead(quick);
+    let csr = t3_csr_sharing(quick);
 
     let summary = BenchSummary {
         quick,
@@ -90,6 +92,7 @@ fn main() {
         sweep,
         tracing,
         tv,
+        csr,
         resilience,
     };
     let text = summary.to_json();
@@ -298,7 +301,7 @@ fn c3_analysis_costs() {
     let dead = DeadSolution::compute(&prog, &view);
     let dead_t = t.elapsed();
     let t = Instant::now();
-    let faint = FaintSolution::compute(&prog);
+    let faint = FaintSolution::compute(&prog, &view);
     let faint_t = t.elapsed();
     let table = PatternTable::build(&prog);
     let local = LocalInfo::compute(&prog, &table);
@@ -691,4 +694,98 @@ fn t2_tv_overhead(quick: bool) -> (TvAb, ResilienceTotals) {
         },
         totals,
     )
+}
+
+/// The shared-`CfgView` A/B (the CSR refactor's headline number): the
+/// scaling sweep's analysis workload timed with every consumer building
+/// its own flow-graph view per analysis — the pre-CSR access pattern,
+/// where each layer recomputed predecessors and traversal orders
+/// privately — versus one revision-memoized CSR view shared through
+/// the [`AnalysisCache`]. Interleaved best-of-N; the acceptance bar
+/// requires the shared view to save ≥10% wall time.
+fn t3_csr_sharing(quick: bool) -> CsrAb {
+    hr("T3: shared CSR CfgView vs per-consumer rebuilds (bar ≥10%)");
+    let sizes: &[usize] = if quick {
+        &[24, 48, 96]
+    } else {
+        &[24, 48, 96, 192, 384]
+    };
+    let progs: Vec<Program> = sizes.iter().map(|&n| structured_of_size(n, 11)).collect();
+    // The adjacency/order-bound consumers the refactor unified — one
+    // representative gen/kill solve (liveness, pdce-baselines), plus
+    // dominators (pdce-ssa), reachability (pdce-ir validation), the
+    // critical-edge table (edge splitting), natural back edges and
+    // reducibility (the naive sinker / generators). Heavier solver
+    // payloads (dead, faint, delayability) are excluded: their
+    // fixpoint cost is independent of how the adjacency is obtained
+    // and would only dilute the number this A/B isolates.
+    fn run_consumers(prog: &Program, view: &CfgView) {
+        std::hint::black_box(Liveness::compute(prog, view));
+        std::hint::black_box(DomInfo::compute(view));
+        std::hint::black_box(pdce_ir::validate::reaches(view, view.exit()));
+        std::hint::black_box(view.critical_edges().len());
+        std::hint::black_box(view.natural_back_edges());
+        std::hint::black_box(view.is_reducible());
+    }
+    let consumers = 6usize;
+    let legacy_once = || {
+        let t = Instant::now();
+        for p in &progs {
+            // Each consumer rebuilds adjacency + orders, as each layer
+            // did before the CfgView refactor.
+            std::hint::black_box(Liveness::compute(p, &CfgView::new(p)));
+            std::hint::black_box(DomInfo::compute(&CfgView::new(p)));
+            let v = CfgView::new(p);
+            std::hint::black_box(pdce_ir::validate::reaches(&v, v.exit()));
+            std::hint::black_box(CfgView::new(p).critical_edges().len());
+            std::hint::black_box(CfgView::new(p).natural_back_edges());
+            std::hint::black_box(CfgView::new(p).is_reducible());
+        }
+        t.elapsed().as_nanos()
+    };
+    let csr_once = || {
+        let t = Instant::now();
+        for p in &progs {
+            let mut cache = AnalysisCache::new();
+            let view = cache.cfg(p);
+            run_consumers(p, &view);
+        }
+        t.elapsed().as_nanos()
+    };
+    let reps = if quick { 9 } else { 15 };
+    legacy_once();
+    csr_once();
+    let (mut legacy, mut csr) = (u128::MAX, u128::MAX);
+    for _ in 0..reps {
+        legacy = legacy.min(legacy_once());
+        csr = csr.min(csr_once());
+    }
+    let reduction_pct = legacy.saturating_sub(csr) as f64 * 100.0 / legacy as f64;
+    println!(
+        "workload: {consumers} analyses over {} structured programs, best of {reps}\n",
+        progs.len()
+    );
+    println!("{:<30} {:>12}", "series", "best (µs)");
+    println!(
+        "{:<30} {:>12.1}",
+        "per-consumer view rebuilds",
+        legacy as f64 / 1e3
+    );
+    println!("{:<30} {:>12.1}", "one cached CSR view", csr as f64 / 1e3);
+    println!(
+        "\ncsr wall-time reduction: {reduction_pct:.2}% (acceptance bar ≥{}%).",
+        benchjson::MIN_CSR_WALLTIME_REDUCTION_PCT
+    );
+    CsrAb {
+        workload: format!(
+            "{consumers} analyses (liveness, dominators, reachability, critical edges, \
+             back edges, reducibility) over \
+             {} structured programs (targets {:?}), best of {reps}",
+            progs.len(),
+            sizes
+        ),
+        legacy_ns: legacy,
+        csr_ns: csr,
+        csr_walltime_reduction_pct: reduction_pct,
+    }
 }

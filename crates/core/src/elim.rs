@@ -96,9 +96,11 @@ pub fn eliminate_once_cached(
             removed += apply_removals(prog, &plans);
         }
         Mode::Faint => {
-            let sol = cache.analysis_seeded::<FaintSolution, _>(prog, |p, _, seed| match seed {
-                Some((prev, delta)) => FaintSolution::compute_seeded(p, prev, delta.dirty_blocks()),
-                None => FaintSolution::compute(p),
+            let sol = cache.analysis_seeded::<FaintSolution, _>(prog, |p, view, seed| match seed {
+                Some((prev, delta)) => {
+                    FaintSolution::compute_seeded(p, view, prev, delta.dirty_blocks())
+                }
+                None => FaintSolution::compute(p, view),
             });
             let plans: Vec<(pdce_ir::NodeId, Vec<usize>)> = prog
                 .node_ids()

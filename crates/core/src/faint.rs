@@ -22,8 +22,8 @@
 use pdce_dfa::network::{
     solve_greatest, solve_greatest_prioritized, solve_greatest_seeded, NetworkSolution,
 };
-use pdce_dfa::SolverStrategy;
-use pdce_ir::{NodeId, Program, Stmt, Var};
+use pdce_dfa::{Csr, SolverStrategy};
+use pdce_ir::{CfgView, NodeId, Program, Stmt, Var};
 
 /// One analysed instruction: statements plus one terminator pseudo-
 /// instruction per block (the paper's footnote b to Table 1 notes the
@@ -46,8 +46,8 @@ pub struct FaintSolution {
     offsets: Vec<usize>,
     /// `N-FAINT` value of every `(instruction, variable)` slot.
     values: pdce_dfa::BitVec,
-    /// Successor instruction indices of every instruction.
-    next: Vec<Vec<u32>>,
+    /// Successor instruction indices of every instruction, in CSR form.
+    next: Csr,
     evaluations: u64,
 }
 
@@ -61,29 +61,27 @@ struct Network {
     num_slots: usize,
     offsets: Vec<usize>,
     infos: Vec<InstrInfo>,
-    next: Vec<Vec<u32>>,
-    dependents: Vec<Vec<u32>>,
+    next: Csr,
+    dependents: Csr,
 }
 
 impl Network {
-    fn build(prog: &Program) -> Network {
+    fn build(prog: &Program, view: &CfgView) -> Network {
+        debug_assert!(view.layout_matches(prog), "view layout is stale");
         let num_vars = prog.num_vars();
         let nblocks = prog.num_blocks();
 
-        // Lay instructions out block-contiguously: stmts then terminator.
-        let mut offsets = Vec::with_capacity(nblocks);
-        let mut num_instrs = 0usize;
-        for n in prog.node_ids() {
-            offsets.push(num_instrs);
-            num_instrs += prog.block(n).stmts.len() + 1;
-        }
+        // The view's instruction arena is already block-contiguous:
+        // stmts then terminator, exactly the layout this network needs.
+        let num_instrs = view.num_instrs();
+        let offsets: Vec<usize> = (0..nblocks)
+            .map(|i| view.instr_offsets()[i] as usize)
+            .collect();
 
         let mut infos: Vec<InstrInfo> = Vec::with_capacity(num_instrs);
-        let mut next: Vec<Vec<u32>> = Vec::with_capacity(num_instrs);
         for n in prog.node_ids() {
             let block = prog.block(n);
-            let base = offsets[n.index()];
-            for (k, stmt) in block.stmts.iter().enumerate() {
+            for stmt in &block.stmts {
                 infos.push(match *stmt {
                     Stmt::Skip => InstrInfo::Neutral,
                     Stmt::Assign { lhs, rhs } => InstrInfo::Assign {
@@ -94,7 +92,6 @@ impl Network {
                         used: prog.terms().vars_of(t).to_vec(),
                     },
                 });
-                next.push(vec![(base + k + 1) as u32]);
             }
             // Terminator pseudo-instruction.
             infos.push(match block.term.used_term() {
@@ -103,36 +100,47 @@ impl Network {
                 },
                 None => InstrInfo::Neutral,
             });
-            next.push(
-                prog.successors(n)
-                    .iter()
-                    .map(|m| offsets[m.index()] as u32)
-                    .collect(),
-            );
         }
+
+        // Instruction successors: statements chain to the following
+        // instruction of their block; terminators branch to the first
+        // instruction of each successor block, in branch order.
+        let next = Csr::build(num_instrs, |emit| {
+            for n in prog.node_ids() {
+                let range = view.instr_range(n);
+                for i in range.start..range.end - 1 {
+                    emit(i as u32, i as u32 + 1);
+                }
+                for &m in view.succs(n) {
+                    emit(range.end as u32 - 1, view.first_instr(m) as u32);
+                }
+            }
+        });
 
         let num_slots = num_instrs * num_vars;
         let slot = |instr: usize, v: Var| instr * num_vars + v.index();
 
         // Dependency edges: slot (ν, y) is read by (ι, y) whenever
         // ν ∈ next(ι); additionally, for assignments, (ν, lhs) is read by
-        // (ι, z) for every right-hand-side variable z.
-        let mut dependents: Vec<Vec<u32>> = vec![Vec::new(); num_slots];
-        for (i, info) in infos.iter().enumerate() {
-            for &nu in &next[i] {
-                let nu = nu as usize;
-                for v in 0..num_vars {
-                    dependents[nu * num_vars + v].push((i * num_vars + v) as u32);
-                }
-                if let InstrInfo::Assign { lhs, rhs_vars } = info {
-                    for &z in rhs_vars {
-                        if z != *lhs {
-                            dependents[slot(nu, *lhs)].push(slot(i, z) as u32);
+        // (ι, z) for every right-hand-side variable z. Emission order is
+        // the worklist scheduling order; it must not change.
+        let dependents = Csr::build(num_slots, |emit| {
+            for (i, info) in infos.iter().enumerate() {
+                for &nu in next.neighbors(i) {
+                    let nu = nu as usize;
+                    for v in 0..num_vars {
+                        emit((nu * num_vars + v) as u32, (i * num_vars + v) as u32);
+                    }
+                    if let InstrInfo::Assign { lhs, rhs_vars } = info {
+                        for &z in rhs_vars {
+                            if z != *lhs {
+                                emit(slot(nu, *lhs) as u32, slot(i, z) as u32);
+                            }
                         }
                     }
                 }
             }
-        }
+        });
 
         Network {
             num_vars,
@@ -147,7 +155,8 @@ impl Network {
 
     /// Table 1's `X-FAINT`: conjunction over successor instructions.
     fn x_faint(&self, values: &pdce_dfa::BitVec, instr: usize, v: Var) -> bool {
-        self.next[instr]
+        self.next
+            .neighbors(instr)
             .iter()
             .all(|&nu| values.get(nu as usize * self.num_vars + v.index()))
     }
@@ -168,9 +177,9 @@ impl Network {
 
     /// Slot priorities for the prioritized/seeded solvers: falsity flows
     /// backward along `next`, so evaluate deep instructions first
-    /// (instruction-graph postorder index).
-    fn priorities(&self, entry: NodeId) -> Vec<u32> {
-        let po = instr_postorder(&self.next, self.offsets[entry.index()]);
+    /// (the view's precomputed instruction-graph postorder index).
+    fn priorities(&self, view: &CfgView) -> Vec<u32> {
+        let po = view.instr_postorder();
         (0..self.num_slots).map(|s| po[s / self.num_vars]).collect()
     }
 
@@ -195,14 +204,14 @@ impl FaintSolution {
     ///     "prog { block s { goto l } block l { x := x + 1; nondet l d }
     ///             block d { goto e } block e { halt } }",
     /// )?;
-    /// let faint = FaintSolution::compute(&prog);
+    /// let faint = FaintSolution::compute(&prog, &pdce_ir::CfgView::new(&prog));
     /// let l = prog.block_by_name("l").unwrap();
     /// let x = prog.vars().lookup("x").unwrap();
     /// assert!(faint.faint_after(l, 0, x));
     /// # Ok::<(), pdce_ir::ParseError>(())
     /// ```
-    pub fn compute(prog: &Program) -> FaintSolution {
-        let net = Network::build(prog);
+    pub fn compute(prog: &Program, view: &CfgView) -> FaintSolution {
+        let net = Network::build(prog, view);
         let eval = |s: usize, values: &pdce_dfa::BitVec| net.eval(s, values);
         let NetworkSolution {
             values,
@@ -213,7 +222,7 @@ impl FaintSolution {
                 // Falsity flows backward along `next`, so evaluate deep
                 // instructions first: priority = instruction-graph
                 // postorder index (exit-most instructions finish first).
-                let priority = net.priorities(prog.entry());
+                let priority = net.priorities(view);
                 solve_greatest_prioritized(net.num_slots, &net.dependents, &priority, eval)
             }
         };
@@ -239,17 +248,22 @@ impl FaintSolution {
     /// shapes do not line up (the variable universe moved, the block
     /// set changed, or a supposedly-clean block changed length).
     /// Bit-identical to a cold solve.
-    pub fn compute_seeded(prog: &Program, prev: &FaintSolution, dirty: &[NodeId]) -> FaintSolution {
-        let net = Network::build(prog);
+    pub fn compute_seeded(
+        prog: &Program,
+        view: &CfgView,
+        prev: &FaintSolution,
+        dirty: &[NodeId],
+    ) -> FaintSolution {
+        let net = Network::build(prog, view);
         let nblocks = prog.num_blocks();
         if net.num_vars != prev.num_vars || prev.offsets.len() != nblocks {
-            return FaintSolution::compute(prog);
+            return FaintSolution::compute(prog, view);
         }
         let mut is_dirty = vec![false; nblocks];
         for &d in dirty {
             is_dirty[d.index()] = true;
         }
-        let prev_num_instrs = prev.next.len();
+        let prev_num_instrs = prev.next.num_nodes();
         let prev_instr_count = |n: usize| {
             let end = prev.offsets.get(n + 1).copied().unwrap_or(prev_num_instrs);
             end - prev.offsets[n]
@@ -258,7 +272,7 @@ impl FaintSolution {
         // the per-block value remapping below is meaningless.
         for (n, &block_dirty) in is_dirty.iter().enumerate() {
             if !block_dirty && net.instr_count(n) != prev_instr_count(n) {
-                return FaintSolution::compute(prog);
+                return FaintSolution::compute(prog, view);
             }
         }
 
@@ -280,7 +294,7 @@ impl FaintSolution {
             }
         }
 
-        let priority = net.priorities(prog.entry());
+        let priority = net.priorities(view);
         let eval = |s: usize, values: &pdce_dfa::BitVec| net.eval(s, values);
         let NetworkSolution {
             values,
@@ -318,7 +332,8 @@ impl FaintSolution {
     /// block `n`.
     pub fn faint_after(&self, n: NodeId, k: usize, v: Var) -> bool {
         let instr = self.instr_index(n, k);
-        self.next[instr]
+        self.next
+            .neighbors(instr)
             .iter()
             .all(|&nu| self.values.get(nu as usize * self.num_vars + v.index()))
     }
@@ -332,35 +347,6 @@ impl FaintSolution {
     pub fn evaluations(&self) -> u64 {
         self.evaluations
     }
-}
-
-/// Postorder index of every instruction in the `next` graph, walked
-/// iteratively from `entry`. Instructions unreachable from the entry
-/// (none, given IR validation) sort last via `u32::MAX`.
-fn instr_postorder(next: &[Vec<u32>], entry: usize) -> Vec<u32> {
-    let mut po = vec![u32::MAX; next.len()];
-    if next.is_empty() {
-        return po;
-    }
-    let mut counter = 0u32;
-    let mut visited = vec![false; next.len()];
-    let mut stack: Vec<(usize, usize)> = vec![(entry, 0)];
-    visited[entry] = true;
-    while let Some((i, child)) = stack.last_mut() {
-        if *child < next[*i].len() {
-            let nu = next[*i][*child] as usize;
-            *child += 1;
-            if !visited[nu] {
-                visited[nu] = true;
-                stack.push((nu, 0));
-            }
-        } else {
-            po[*i] = counter;
-            counter += 1;
-            stack.pop();
-        }
-    }
-    po
 }
 
 #[cfg(test)]
@@ -385,7 +371,7 @@ mod tests {
              }",
         )
         .unwrap();
-        let f = FaintSolution::compute(&p);
+        let f = FaintSolution::compute(&p, &CfgView::new(&p));
         let l = p.block_by_name("l").unwrap();
         assert!(f.faint_after(l, 0, var(&p, "x")));
         assert!(f.faint_at_entry(l, var(&p, "x")));
@@ -402,7 +388,7 @@ mod tests {
              }",
         )
         .unwrap();
-        let f = FaintSolution::compute(&p);
+        let f = FaintSolution::compute(&p, &CfgView::new(&p));
         let s = p.entry();
         assert!(f.faint_after(s, 0, var(&p, "x")), "x only feeds faint y");
         assert!(f.faint_after(s, 1, var(&p, "y")));
@@ -417,7 +403,7 @@ mod tests {
              }",
         )
         .unwrap();
-        let f = FaintSolution::compute(&p);
+        let f = FaintSolution::compute(&p, &CfgView::new(&p));
         let s = p.entry();
         assert!(!f.faint_after(s, 0, var(&p, "x")));
         assert!(!f.faint_after(s, 1, var(&p, "y")));
@@ -437,7 +423,7 @@ mod tests {
              }",
         )
         .unwrap();
-        let f = FaintSolution::compute(&p);
+        let f = FaintSolution::compute(&p, &CfgView::new(&p));
         assert!(!f.faint_after(p.entry(), 0, var(&p, "x")));
     }
 
@@ -455,7 +441,7 @@ mod tests {
         .unwrap();
         let view = CfgView::new(&p);
         let d = DeadSolution::compute(&p, &view);
-        let f = FaintSolution::compute(&p);
+        let f = FaintSolution::compute(&p, &CfgView::new(&p));
         for n in p.node_ids() {
             for (k, stmt) in p.block(n).stmts.iter().enumerate() {
                 if let Some(lhs) = stmt.modified() {
@@ -487,7 +473,7 @@ mod tests {
              }",
         )
         .unwrap();
-        let f = FaintSolution::compute(&p);
+        let f = FaintSolution::compute(&p, &CfgView::new(&p));
         let s = p.entry();
         let n4 = p.block_by_name("n4").unwrap();
         assert!(f.faint_after(s, 0, var(&p, "a")));
@@ -507,7 +493,7 @@ mod tests {
              }",
         )
         .unwrap();
-        let f = FaintSolution::compute(&p);
+        let f = FaintSolution::compute(&p, &CfgView::new(&p));
         let l = p.block_by_name("l").unwrap();
         assert!(f.faint_after(l, 0, var(&p, "x")));
         assert!(f.faint_after(l, 1, var(&p, "y")));
@@ -525,8 +511,12 @@ mod tests {
              }",
         )
         .unwrap();
-        let fifo = pdce_dfa::with_strategy(SolverStrategy::Fifo, || FaintSolution::compute(&p));
-        let prio = pdce_dfa::with_strategy(SolverStrategy::Priority, || FaintSolution::compute(&p));
+        let view = CfgView::new(&p);
+        let fifo =
+            pdce_dfa::with_strategy(SolverStrategy::Fifo, || FaintSolution::compute(&p, &view));
+        let prio = pdce_dfa::with_strategy(SolverStrategy::Priority, || {
+            FaintSolution::compute(&p, &view)
+        });
         assert_eq!(fifo.values, prio.values);
         assert!(prio.evaluations <= fifo.evaluations);
     }
@@ -543,14 +533,15 @@ mod tests {
              }",
         )
         .unwrap();
-        let prev = FaintSolution::compute(&p);
+        let prev = FaintSolution::compute(&p, &CfgView::new(&p));
         // Remove `out(y)` from n5: faintness changes ripple through the
         // loop back into n4 and s. The edit changes n5's length, which
         // the per-block remapping must absorb.
         let n5 = p.block_by_name("n5").unwrap();
         p.stmts_mut(n5).pop();
-        let cold = FaintSolution::compute(&p);
-        let warm = FaintSolution::compute_seeded(&p, &prev, &[n5]);
+        let view = CfgView::new(&p);
+        let cold = FaintSolution::compute(&p, &view);
+        let warm = FaintSolution::compute_seeded(&p, &view, &prev, &[n5]);
         for n in p.node_ids() {
             for k in 0..=p.block(n).stmts.len() {
                 for v in 0..p.num_vars() {
@@ -571,15 +562,16 @@ mod tests {
     #[test]
     fn seeded_recompute_with_incompatible_shape_solves_cold() {
         let mut p = parse("prog { block s { x := 1; goto e } block e { halt } }").unwrap();
-        let prev = FaintSolution::compute(&p);
+        let prev = FaintSolution::compute(&p, &CfgView::new(&p));
         // Growing the variable universe invalidates the slot layout; the
         // seeded path must detect it and fall back.
         let y = p.var("freshvar");
         let one = p.terms_mut().constant(1);
         let s = p.entry();
         p.stmts_mut(s).push(Stmt::Assign { lhs: y, rhs: one });
-        let cold = FaintSolution::compute(&p);
-        let warm = FaintSolution::compute_seeded(&p, &prev, &[s]);
+        let view = CfgView::new(&p);
+        let cold = FaintSolution::compute(&p, &view);
+        let warm = FaintSolution::compute_seeded(&p, &view, &prev, &[s]);
         assert_eq!(cold.values, warm.values);
     }
 
@@ -594,7 +586,7 @@ mod tests {
              }",
         )
         .unwrap();
-        let f = FaintSolution::compute(&p);
+        let f = FaintSolution::compute(&p, &CfgView::new(&p));
         let l = p.block_by_name("l").unwrap();
         assert!(!f.faint_after(l, 0, var(&p, "x")));
         assert!(!f.faint_after(l, 1, var(&p, "y")));

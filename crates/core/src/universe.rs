@@ -124,9 +124,9 @@ fn single_eliminations(
         Mode::Faint => None,
     };
     let faint = match mode {
-        Mode::Faint => {
-            Some(cache.analysis::<FaintSolution, _>(prog, |p, _| FaintSolution::compute(p)))
-        }
+        Mode::Faint => Some(
+            cache.analysis::<FaintSolution, _>(prog, |p, view| FaintSolution::compute(p, view)),
+        ),
         Mode::Dead => None,
     };
     for n in prog.node_ids() {

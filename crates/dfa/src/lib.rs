@@ -28,12 +28,14 @@
 //! ```
 
 pub mod bitvec;
+pub mod csr;
 pub mod genkill;
 pub mod network;
 pub mod pass;
 pub mod solve;
 
 pub use bitvec::BitVec;
+pub use csr::Csr;
 pub use genkill::GenKill;
 pub use network::{
     solve_greatest, solve_greatest_prioritized, solve_greatest_seeded, NetworkSolution,

@@ -18,6 +18,7 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
 use crate::bitvec::BitVec;
+use crate::csr::Csr;
 
 /// Result of solving a boolean network.
 #[derive(Debug, Clone)]
@@ -31,21 +32,26 @@ pub struct NetworkSolution {
 /// Computes the greatest fixpoint of a monotone boolean network.
 ///
 /// * `num_slots` — number of boolean unknowns.
-/// * `dependents[s]` — slots whose equations read slot `s` (i.e. must be
-///   re-evaluated when `s` drops to false).
+/// * `dependents.neighbors(s)` — slots whose equations read slot `s`
+///   (i.e. must be re-evaluated when `s` drops to false), stored as one
+///   flat CSR edge array so every flip walks a contiguous slice.
 /// * `eval(s, values)` — the right-hand side of slot `s`'s equation over
 ///   the current values. It must be monotone: flipping any input from
 ///   true to false may only flip the output from true to false.
 ///
 /// # Panics
 ///
-/// Panics if `dependents.len() != num_slots`.
+/// Panics if `dependents.num_nodes() != num_slots`.
 pub fn solve_greatest(
     num_slots: usize,
-    dependents: &[Vec<u32>],
+    dependents: &Csr,
     mut eval: impl FnMut(usize, &BitVec) -> bool,
 ) -> NetworkSolution {
-    assert_eq!(dependents.len(), num_slots, "one dependent list per slot");
+    assert_eq!(
+        dependents.num_nodes(),
+        num_slots,
+        "one dependent slab per slot"
+    );
     pdce_trace::fault::fire("solve");
     let trace_span = pdce_trace::span_with(
         "solver",
@@ -73,7 +79,7 @@ pub fn solve_greatest(
         evaluations += 1;
         if !eval(s, &values) {
             values.set(s, false);
-            for &d in &dependents[s] {
+            for &d in dependents.neighbors(s) {
                 let d = d as usize;
                 if values.get(d) && !queued.get(d) {
                     queued.set(d, true);
@@ -116,15 +122,19 @@ pub fn solve_greatest(
 ///
 /// # Panics
 ///
-/// Panics if `dependents.len()` or `priority.len()` differ from
+/// Panics if `dependents.num_nodes()` or `priority.len()` differ from
 /// `num_slots`.
 pub fn solve_greatest_prioritized(
     num_slots: usize,
-    dependents: &[Vec<u32>],
+    dependents: &Csr,
     priority: &[u32],
     mut eval: impl FnMut(usize, &BitVec) -> bool,
 ) -> NetworkSolution {
-    assert_eq!(dependents.len(), num_slots, "one dependent list per slot");
+    assert_eq!(
+        dependents.num_nodes(),
+        num_slots,
+        "one dependent slab per slot"
+    );
     assert_eq!(priority.len(), num_slots, "one priority per slot");
     pdce_trace::fault::fire("solve");
     let trace_span = pdce_trace::span_with(
@@ -155,7 +165,7 @@ pub fn solve_greatest_prioritized(
         evaluations += 1;
         if !eval(s, &values) {
             values.set(s, false);
-            for &d in &dependents[s] {
+            for &d in dependents.neighbors(s) {
                 let d = d as usize;
                 if values.get(d) && !queued.get(d) {
                     queued.set(d, true);
@@ -201,17 +211,21 @@ pub fn solve_greatest_prioritized(
 ///
 /// # Panics
 ///
-/// Panics if `dependents.len()`, `priority.len()`, or
+/// Panics if `dependents.num_nodes()`, `priority.len()`, or
 /// `prev_values.len()` differ from `num_slots`.
 pub fn solve_greatest_seeded(
     num_slots: usize,
-    dependents: &[Vec<u32>],
+    dependents: &Csr,
     priority: &[u32],
     prev_values: &BitVec,
     dirty_slots: &[u32],
     mut eval: impl FnMut(usize, &BitVec) -> bool,
 ) -> NetworkSolution {
-    assert_eq!(dependents.len(), num_slots, "one dependent list per slot");
+    assert_eq!(
+        dependents.num_nodes(),
+        num_slots,
+        "one dependent slab per slot"
+    );
     assert_eq!(priority.len(), num_slots, "one priority per slot");
     assert_eq!(prev_values.len(), num_slots, "previous fixpoint size");
     pdce_trace::fault::fire("solve");
@@ -237,7 +251,7 @@ pub fn solve_greatest_seeded(
         }
     }
     while let Some(s) = stack.pop() {
-        for &d in &dependents[s as usize] {
+        for &d in dependents.neighbors(s as usize) {
             if !cone.get(d as usize) {
                 cone.set(d as usize, true);
                 stack.push(d);
@@ -271,7 +285,7 @@ pub fn solve_greatest_seeded(
             values.set(s, false);
             // Dependents of cone slots are in the cone by construction,
             // so re-queueing them never resurrects a non-cone value.
-            for &d in &dependents[s] {
+            for &d in dependents.neighbors(s) {
                 let d = d as usize;
                 if values.get(d) && !queued.get(d) {
                     queued.set(d, true);
@@ -312,7 +326,7 @@ mod tests {
         for i in 0..n - 1 {
             dependents[i + 1].push(i as u32); // slot i reads slot i+1
         }
-        let sol = solve_greatest(n, &dependents, |s, vals| {
+        let sol = solve_greatest(n, &Csr::from_lists(&dependents), |s, vals| {
             if s == n - 1 {
                 false
             } else {
@@ -331,7 +345,9 @@ mod tests {
         for i in 0..n {
             dependents[(i + 1) % n].push(i as u32); // slot i reads slot i+1 mod n
         }
-        let sol = solve_greatest(n, &dependents, |s, vals| vals.get((s + 1) % n));
+        let sol = solve_greatest(n, &Csr::from_lists(&dependents), |s, vals| {
+            vals.get((s + 1) % n)
+        });
         assert_eq!(sol.values.count_ones(), 3);
     }
 
@@ -339,7 +355,7 @@ mod tests {
     #[test]
     fn conjunction_network() {
         // slot 0 = slot 1 && slot 2; slot 1 = true; slot 2 = false.
-        let dependents = vec![vec![], vec![0u32], vec![0u32]];
+        let dependents = Csr::from_lists(&[vec![], vec![0u32], vec![0u32]]);
         let sol = solve_greatest(3, &dependents, |s, vals| match s {
             0 => vals.get(1) && vals.get(2),
             1 => true,
@@ -360,7 +376,7 @@ mod tests {
         for i in 0..n - 1 {
             dependents[i + 1].push(i as u32);
         }
-        let sol = solve_greatest(n, &dependents, |s, vals| {
+        let sol = solve_greatest(n, &Csr::from_lists(&dependents), |s, vals| {
             if s == n - 1 {
                 false
             } else {
@@ -372,10 +388,11 @@ mod tests {
 
     #[test]
     fn empty_network() {
-        let sol = solve_greatest(0, &[], |_, _| unreachable!());
+        let empty = Csr::from_lists(&[]);
+        let sol = solve_greatest(0, &empty, |_, _| unreachable!());
         assert_eq!(sol.values.len(), 0);
         assert_eq!(sol.evaluations, 0);
-        let sol = solve_greatest_prioritized(0, &[], &[], |_, _| unreachable!());
+        let sol = solve_greatest_prioritized(0, &empty, &[], |_, _| unreachable!());
         assert_eq!(sol.evaluations, 0);
     }
 
@@ -389,6 +406,7 @@ mod tests {
         for i in 0..n - 1 {
             dependents[i + 1].push(i as u32);
         }
+        let dependents = Csr::from_lists(&dependents);
         let eval = |s: usize, vals: &BitVec| if s == n - 1 { false } else { vals.get(s + 1) };
         let fifo = solve_greatest(n, &dependents, eval);
         let priority: Vec<u32> = (0..n).map(|s| (n - 1 - s) as u32).collect();
@@ -409,6 +427,7 @@ mod tests {
         for i in 0..n - 1 {
             dependents[i + 1].push(i as u32);
         }
+        let dependents = Csr::from_lists(&dependents);
         let priority: Vec<u32> = (0..n).map(|s| (n - 1 - s) as u32).collect();
         let eval_v1 = |s: usize, vals: &BitVec| if s == n - 1 { false } else { vals.get(s + 1) };
         let eval_v2 = |s: usize, vals: &BitVec| if s == mid { true } else { eval_v1(s, vals) };
@@ -432,7 +451,7 @@ mod tests {
     #[test]
     fn seeded_with_no_dirty_slots_returns_previous_fixpoint() {
         let n = 5;
-        let dependents = vec![Vec::new(); n];
+        let dependents = Csr::from_lists(&vec![Vec::new(); n]);
         let priority = vec![0u32; n];
         let prev = solve_greatest_prioritized(n, &dependents, &priority, |s, _| s % 2 == 0);
         let warm = solve_greatest_seeded(n, &dependents, &priority, &prev.values, &[], |_, _| {
@@ -451,7 +470,9 @@ mod tests {
         }
         let priority = vec![0u32; n];
         let sol =
-            solve_greatest_prioritized(n, &dependents, &priority, |s, vals| vals.get((s + 1) % n));
+            solve_greatest_prioritized(n, &Csr::from_lists(&dependents), &priority, |s, vals| {
+                vals.get((s + 1) % n)
+            });
         assert_eq!(sol.values.count_ones(), 3);
     }
 }

@@ -116,6 +116,11 @@ pub struct CacheStats {
     pub analysis_hits: u64,
     /// Typed analysis solutions that had to be recomputed.
     pub analysis_misses: u64,
+    /// Cached [`CfgView`]s whose adjacency and orders survived a
+    /// statement-local mutation with only the instruction-arena layout
+    /// rebuilt ([`CfgView::relayout`]) — cheaper than a full rebuild,
+    /// counted separately from both hits and misses.
+    pub cfg_relayouts: u64,
 }
 
 impl CacheStats {
@@ -139,6 +144,7 @@ impl CacheStats {
             dom_misses: self.dom_misses - earlier.dom_misses,
             analysis_hits: self.analysis_hits - earlier.analysis_hits,
             analysis_misses: self.analysis_misses - earlier.analysis_misses,
+            cfg_relayouts: self.cfg_relayouts - earlier.cfg_relayouts,
         }
     }
 }
@@ -200,12 +206,42 @@ impl AnalysisCache {
 
     /// Drops entries that are stale for `prog`'s current revision,
     /// demoting analysis solutions to warm-start seeds.
+    ///
+    /// The mutation log makes this finer than all-or-nothing: when
+    /// `Program::changes_since` proves every intervening mutation was
+    /// statement-local, the cached [`CfgView`]'s adjacency, orders, and
+    /// dominators are still valid — only the instruction-arena layout
+    /// may need a [`CfgView::relayout`]. Structural or unexplained
+    /// deltas drop the CFG-shaped entries as before.
     fn sync(&mut self, prog: &Program) {
-        if self.revision != Some(prog.revision()) {
+        let cur = prog.revision();
+        if self.revision == Some(cur) {
+            return;
+        }
+        let stmt_local = self
+            .revision
+            .and_then(|rev| prog.changes_since(rev))
+            .is_some_and(|delta| !delta.structural());
+        if stmt_local {
+            self.refresh_cfg_layout(prog);
+        } else {
             self.cfg = None;
             self.doms = None;
-            self.demote_analyses();
-            self.revision = Some(prog.revision());
+        }
+        self.demote_analyses();
+        self.revision = Some(cur);
+    }
+
+    /// Rebuilds the cached view's instruction layout in place when the
+    /// program's statement counts drifted from it. Only sound when the
+    /// topology is known to be unchanged (statement-local delta or a
+    /// [`Preserves::Cfg`] declaration).
+    fn refresh_cfg_layout(&mut self, prog: &Program) {
+        if let Some(view) = &self.cfg {
+            if !view.layout_matches(prog) {
+                self.cfg = Some(Rc::new(view.relayout(prog)));
+                self.stats.cfg_relayouts += 1;
+            }
         }
     }
 
@@ -343,7 +379,10 @@ impl AnalysisCache {
             }
             Preserves::Cfg => {
                 // Solutions are invalid but the graph survives; demote
-                // them to warm-start seeds for `analysis_seeded`.
+                // them to warm-start seeds for `analysis_seeded`. The
+                // instruction layout may still have moved (statement
+                // edits), so re-derive it from the surviving topology.
+                self.refresh_cfg_layout(prog);
                 self.demote_analyses();
                 self.revision = Some(prog.revision());
             }
@@ -429,8 +468,36 @@ mod tests {
         p.block_mut(p.entry()).stmts.clear(); // statements only
         cache.retain(&p, Preserves::Cfg);
         let b = cache.cfg(&p);
-        assert!(Rc::ptr_eq(&a, &b));
+        // The topology survived without a rebuild; only the instruction
+        // layout was re-derived (the statement count changed), so the
+        // served view is a relayout of `a`, not a cold `CfgView::new`.
         assert_eq!(cache.stats().cfg_hits, 1);
+        assert_eq!(cache.stats().cfg_misses, 1);
+        assert_eq!(cache.stats().cfg_relayouts, 1);
+        assert_eq!(*b, CfgView::new(&p), "relayout must equal a cold rebuild");
+        assert_eq!(a.rpo(), b.rpo());
+    }
+
+    #[test]
+    fn stmt_local_edits_keep_the_view_without_retain() {
+        let mut p = prog();
+        let mut cache = AnalysisCache::new();
+        let a = cache.cfg(&p);
+        let entry = p.entry();
+        // `stmts_mut` logs a statement-local delta, so even without a
+        // `retain` call the next sync keeps the cached topology.
+        p.stmts_mut(entry).push(pdce_ir::Stmt::Skip);
+        let b = cache.cfg(&p);
+        assert_eq!(cache.stats().cfg_misses, 1, "no cold rebuild");
+        assert_eq!(cache.stats().cfg_relayouts, 1);
+        assert_eq!(*b, CfgView::new(&p));
+        // A layout-neutral round-trip (push then pop) relayouts at most
+        // once more and never rebuilds.
+        p.stmts_mut(entry).pop();
+        let c = cache.cfg(&p);
+        assert_eq!(cache.stats().cfg_misses, 1);
+        assert_eq!(*c, CfgView::new(&p));
+        drop((a, b));
     }
 
     #[test]

@@ -316,9 +316,9 @@ pub fn solve_fn(
     input[boundary_node.index()] = boundary.clone();
 
     // Iterate in an order that converges fast: RPO for forward problems,
-    // postorder for backward ones.
-    let order: Vec<NodeId> = match direction {
-        Direction::Forward => view.rpo().to_vec(),
+    // postorder for backward ones — both precomputed slices of the view.
+    let order: &[NodeId] = match direction {
+        Direction::Forward => view.rpo(),
         Direction::Backward => view.postorder(),
     };
 
@@ -332,7 +332,7 @@ pub fn solve_fn(
             while changed {
                 changed = false;
                 sweeps += 1;
-                for &node in &order {
+                for &node in order {
                     evaluations += 1;
                     pdce_trace::budget::charge_pops(1);
                     // Meet over flow-predecessors.
@@ -608,8 +608,8 @@ pub fn solve_seeded(
         Direction::Forward => view.entry(),
         Direction::Backward => view.exit(),
     };
-    let order: Vec<NodeId> = match direction {
-        Direction::Forward => view.rpo().to_vec(),
+    let order: &[NodeId] = match direction {
+        Direction::Forward => view.rpo(),
         Direction::Backward => view.postorder(),
     };
     let mut order_pos = vec![u32::MAX; n];

@@ -1,21 +1,52 @@
-//! Control-flow-graph utilities: cached predecessor/successor lists,
-//! orderings, dominators, loop and irreducibility detection.
+//! Control-flow-graph utilities: a flat CSR (compressed sparse row)
+//! snapshot of the graph with cached orderings, plus dominators, loop
+//! and irreducibility detection on top of it.
+//!
+//! [`CfgView`] is the one adjacency structure every analysis layer in
+//! the workspace reads: both successor and predecessor edges live in
+//! single flat arrays indexed by per-node offset ranges (no per-block
+//! `Vec` chasing), the reverse-postorder/postorder numberings and the
+//! per-block instruction arena layout are precomputed once, and the
+//! critical-edge table is materialized eagerly. Solvers iterate over
+//! cache-contiguous edge slabs instead of pointer-hopping through
+//! `Vec<Block>`.
 
 use crate::program::{NodeId, Program};
 
-/// An immutable snapshot of a program's control-flow structure.
+/// An immutable CSR snapshot of a program's control-flow structure.
 ///
-/// Analyses take a `CfgView` so predecessors, successors, and orders are
-/// computed once per solve. The view is invalidated by any mutation of the
-/// program's terminators or block set; rebuild it after transforming.
-#[derive(Debug, Clone)]
+/// Analyses take a `CfgView` so predecessors, successors, orders, and
+/// the statement arena layout are computed once per solve. The view is
+/// invalidated by any mutation of the program's terminators or block
+/// set; statement-only edits keep the topology valid and only require
+/// [`CfgView::relayout`]. The revision-keyed `AnalysisCache` in
+/// `pdce-dfa` memoizes views (and relayouts them after statement-local
+/// deltas reported by the mutation log), so passes rarely rebuild one.
+///
+/// # Layout
+///
+/// * successors of node `i` live in `succ_edges[succ_off[i] .. succ_off[i+1]]`,
+///   in branch order;
+/// * predecessors of `i` live in `pred_edges[pred_off[i] .. pred_off[i+1]]`,
+///   ordered by source-node index (parallel edges appear once per
+///   occurrence);
+/// * instructions (statements plus one terminator pseudo-instruction
+///   per block) of node `i` occupy the contiguous index range
+///   `instr_off[i] .. instr_off[i+1]` of a single arena numbering.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CfgView {
-    preds: Vec<Vec<NodeId>>,
-    succs: Vec<Vec<NodeId>>,
-    rpo: Vec<NodeId>,
-    rpo_index: Vec<usize>,
     entry: NodeId,
     exit: NodeId,
+    succ_off: Vec<u32>,
+    succ_edges: Vec<NodeId>,
+    pred_off: Vec<u32>,
+    pred_edges: Vec<NodeId>,
+    rpo: Vec<NodeId>,
+    post: Vec<NodeId>,
+    rpo_index: Vec<u32>,
+    instr_off: Vec<u32>,
+    instr_po: Vec<u32>,
+    critical: Vec<(NodeId, NodeId)>,
 }
 
 impl CfgView {
@@ -38,24 +69,56 @@ impl CfgView {
     /// ```
     pub fn new(prog: &Program) -> CfgView {
         let n = prog.num_blocks();
-        let mut succs = vec![Vec::new(); n];
-        let mut preds = vec![Vec::new(); n];
+
+        // Successor CSR, edges in branch order.
+        let mut succ_off = Vec::with_capacity(n + 1);
+        succ_off.push(0u32);
+        let mut num_edges = 0usize;
         for id in prog.node_ids() {
-            let ss = prog.successors(id);
-            for &m in &ss {
-                preds[m.index()].push(id);
-            }
-            succs[id.index()] = ss;
+            num_edges += prog.block(id).term.successor_count();
+            succ_off.push(num_edges as u32);
         }
-        // Iterative DFS postorder from the entry.
-        let mut post = Vec::with_capacity(n);
+        let mut succ_edges = Vec::with_capacity(num_edges);
+        for id in prog.node_ids() {
+            prog.block(id).term.for_each_successor(|m| {
+                succ_edges.push(m);
+            });
+        }
+
+        // Predecessor CSR: counting pass, then a cursor fill that visits
+        // sources in ascending index order (so each predecessor slab is
+        // sorted by source, parallel edges kept).
+        let mut pred_off = vec![0u32; n + 1];
+        for &m in &succ_edges {
+            pred_off[m.index() + 1] += 1;
+        }
+        for i in 0..n {
+            pred_off[i + 1] += pred_off[i];
+        }
+        let mut cursor: Vec<u32> = pred_off[..n].to_vec();
+        let mut pred_edges = vec![NodeId::from_index(0); num_edges];
+        for id in prog.node_ids() {
+            let (lo, hi) = (
+                succ_off[id.index()] as usize,
+                succ_off[id.index() + 1] as usize,
+            );
+            for &m in &succ_edges[lo..hi] {
+                pred_edges[cursor[m.index()] as usize] = id;
+                cursor[m.index()] += 1;
+            }
+        }
+
+        // Iterative DFS postorder from the entry, walking the CSR succ
+        // slabs in branch order.
+        let mut post: Vec<NodeId> = Vec::with_capacity(n);
         let mut state = vec![0u8; n]; // 0 unseen, 1 on stack, 2 done
         let mut stack: Vec<(NodeId, usize)> = vec![(prog.entry(), 0)];
         state[prog.entry().index()] = 1;
         while let Some(&mut (node, ref mut child)) = stack.last_mut() {
-            let ss = &succs[node.index()];
-            if *child < ss.len() {
-                let next = ss[*child];
+            let lo = succ_off[node.index()] as usize;
+            let hi = succ_off[node.index() + 1] as usize;
+            if lo + *child < hi {
+                let next = succ_edges[lo + *child];
                 *child += 1;
                 if state[next.index()] == 0 {
                     state[next.index()] = 1;
@@ -67,25 +130,116 @@ impl CfgView {
                 stack.pop();
             }
         }
-        let mut rpo: Vec<NodeId> = post;
+        let mut rpo = post.clone();
         rpo.reverse();
-        let mut rpo_index = vec![usize::MAX; n];
+        let mut rpo_index = vec![u32::MAX; n];
         for (i, &id) in rpo.iter().enumerate() {
-            rpo_index[id.index()] = i;
+            rpo_index[id.index()] = i as u32;
         }
+
+        // Critical edges (Section 2.1): multi-successor source into
+        // multi-predecessor target. Sorted and deduped so parallel
+        // critical edges (e.g. `nondet x x`) appear once — the order
+        // edge splitting inserts synthetic blocks in.
+        let mut critical: Vec<(NodeId, NodeId)> = Vec::new();
+        for id in prog.node_ids() {
+            let i = id.index();
+            if succ_off[i + 1] - succ_off[i] <= 1 {
+                continue;
+            }
+            for &m in &succ_edges[succ_off[i] as usize..succ_off[i + 1] as usize] {
+                if pred_off[m.index() + 1] - pred_off[m.index()] > 1 {
+                    critical.push((id, m));
+                }
+            }
+        }
+        critical.sort_unstable();
+        critical.dedup();
+
+        let (instr_off, instr_po) = Self::layout(prog, &post);
+
         CfgView {
-            preds,
-            succs,
-            rpo,
-            rpo_index,
             entry: prog.entry(),
             exit: prog.exit(),
+            succ_off,
+            succ_edges,
+            pred_off,
+            pred_edges,
+            rpo,
+            post,
+            rpo_index,
+            instr_off,
+            instr_po,
+            critical,
         }
+    }
+
+    /// The instruction arena layout: per-block offsets (statements plus
+    /// one terminator pseudo-instruction each) and the instruction-graph
+    /// postorder numbering.
+    ///
+    /// The instruction postorder falls out of the block postorder in one
+    /// pass: a DFS over the instruction graph walks each block's
+    /// statement chain down to the terminator and branches there exactly
+    /// like the block DFS, so a block's instructions finish terminator
+    /// first, then statements in reverse — immediately after the block's
+    /// DFS subtree and immediately before the block itself finishes.
+    /// Instructions of unreachable blocks number `u32::MAX`.
+    fn layout(prog: &Program, post: &[NodeId]) -> (Vec<u32>, Vec<u32>) {
+        let n = prog.num_blocks();
+        let mut instr_off = Vec::with_capacity(n + 1);
+        instr_off.push(0u32);
+        let mut num_instrs = 0usize;
+        for id in prog.node_ids() {
+            num_instrs += prog.block(id).stmts.len() + 1;
+            instr_off.push(num_instrs as u32);
+        }
+        let mut instr_po = vec![u32::MAX; num_instrs];
+        let mut counter = 0u32;
+        for &b in post {
+            let lo = instr_off[b.index()] as usize;
+            let hi = instr_off[b.index() + 1] as usize;
+            for k in (lo..hi).rev() {
+                instr_po[k] = counter;
+                counter += 1;
+            }
+        }
+        (instr_off, instr_po)
+    }
+
+    /// Rebuilds only the instruction arena layout for `prog`, reusing
+    /// the adjacency and orders of `self`. Valid exactly when `prog`
+    /// differs from the program this view was built for by
+    /// statement-list edits only (the `Preserves::Cfg` contract).
+    pub fn relayout(&self, prog: &Program) -> CfgView {
+        debug_assert_eq!(self.num_nodes(), prog.num_blocks(), "topology changed");
+        let (instr_off, instr_po) = Self::layout(prog, &self.post);
+        CfgView {
+            instr_off,
+            instr_po,
+            ..self.clone()
+        }
+    }
+
+    /// Whether the instruction layout still matches `prog`'s statement
+    /// lists (then [`CfgView::relayout`] would be an exact no-op).
+    pub fn layout_matches(&self, prog: &Program) -> bool {
+        self.num_nodes() == prog.num_blocks()
+            && prog.node_ids().all(|id| {
+                let i = id.index();
+                (self.instr_off[i + 1] - self.instr_off[i]) as usize
+                    == prog.block(id).stmts.len() + 1
+            })
     }
 
     /// Number of nodes covered by the view.
     pub fn num_nodes(&self) -> usize {
-        self.succs.len()
+        self.succ_off.len() - 1
+    }
+
+    /// Number of edges of the graph.
+    pub fn num_edges(&self) -> usize {
+        self.succ_edges.len()
     }
 
     /// The entry node.
@@ -98,14 +252,14 @@ impl CfgView {
         self.exit
     }
 
-    /// Predecessors of `n`.
+    /// Predecessors of `n`, ordered by source-node index.
     pub fn preds(&self, n: NodeId) -> &[NodeId] {
-        &self.preds[n.index()]
+        &self.pred_edges[self.pred_off[n.index()] as usize..self.pred_off[n.index() + 1] as usize]
     }
 
-    /// Successors of `n`.
+    /// Successors of `n`, in branch order.
     pub fn succs(&self, n: NodeId) -> &[NodeId] {
-        &self.succs[n.index()]
+        &self.succ_edges[self.succ_off[n.index()] as usize..self.succ_off[n.index() + 1] as usize]
     }
 
     /// Reverse postorder over nodes reachable from the entry.
@@ -115,35 +269,64 @@ impl CfgView {
 
     /// Position of `n` in reverse postorder (`usize::MAX` if unreachable).
     pub fn rpo_index(&self, n: NodeId) -> usize {
-        self.rpo_index[n.index()]
+        match self.rpo_index[n.index()] {
+            u32::MAX => usize::MAX,
+            i => i as usize,
+        }
     }
 
     /// Postorder (reverse of [`CfgView::rpo`]), the natural iteration
     /// order for backward analyses.
-    pub fn postorder(&self) -> Vec<NodeId> {
-        let mut po = self.rpo.clone();
-        po.reverse();
-        po
+    pub fn postorder(&self) -> &[NodeId] {
+        &self.post
     }
 
-    /// All edges `(m, n)` of the graph.
-    pub fn edges(&self) -> Vec<(NodeId, NodeId)> {
-        let mut out = Vec::new();
-        for (i, ss) in self.succs.iter().enumerate() {
-            for &m in ss {
-                out.push((NodeId::from_index(i), m));
-            }
-        }
-        out
+    /// All edges `(m, n)` of the graph, grouped by source in branch
+    /// order.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        (0..self.num_nodes()).flat_map(move |i| {
+            let src = NodeId::from_index(i);
+            self.succs(src).iter().map(move |&m| (src, m))
+        })
     }
 
-    /// Critical edges: from a node with several successors to a node with
-    /// several predecessors (Section 2.1 of the paper).
-    pub fn critical_edges(&self) -> Vec<(NodeId, NodeId)> {
-        self.edges()
-            .into_iter()
-            .filter(|&(m, n)| self.succs(m).len() > 1 && self.preds(n).len() > 1)
-            .collect()
+    /// Critical edges: from a node with several successors to a node
+    /// with several predecessors (Section 2.1 of the paper). Sorted by
+    /// `(source, target)` index and deduplicated.
+    pub fn critical_edges(&self) -> &[(NodeId, NodeId)] {
+        &self.critical
+    }
+
+    /// Total number of instructions in the arena layout: every block
+    /// contributes its statements plus one terminator pseudo-
+    /// instruction.
+    pub fn num_instrs(&self) -> usize {
+        *self.instr_off.last().expect("offsets nonempty") as usize
+    }
+
+    /// Per-block instruction offsets (`num_nodes() + 1` entries): block
+    /// `i`'s instructions occupy `instr_offsets()[i] .. instr_offsets()[i+1]`.
+    pub fn instr_offsets(&self) -> &[u32] {
+        &self.instr_off
+    }
+
+    /// First instruction index of block `n`.
+    pub fn first_instr(&self, n: NodeId) -> usize {
+        self.instr_off[n.index()] as usize
+    }
+
+    /// Arena index range of block `n`'s instructions (statements then
+    /// the terminator pseudo-instruction).
+    pub fn instr_range(&self, n: NodeId) -> std::ops::Range<usize> {
+        self.instr_off[n.index()] as usize..self.instr_off[n.index() + 1] as usize
+    }
+
+    /// Postorder index of every instruction in the instruction graph
+    /// (statement chains linked through terminators into successor
+    /// blocks), walked from the entry block's first instruction.
+    /// Instructions of unreachable blocks sort last via `u32::MAX`.
+    pub fn instr_postorder(&self) -> &[u32] {
+        &self.instr_po
     }
 
     /// Immediate dominators, computed with the Cooper–Harvey–Kennedy
@@ -210,7 +393,6 @@ impl CfgView {
     pub fn natural_back_edges(&self) -> Vec<(NodeId, NodeId)> {
         let idom = self.immediate_dominators();
         self.edges()
-            .into_iter()
             .filter(|&(m, n)| self.dominates(&idom, n, m))
             .collect()
     }
@@ -253,7 +435,7 @@ impl CfgView {
     pub fn is_acyclic(&self) -> bool {
         let n = self.num_nodes();
         let mut indeg = vec![0usize; n];
-        for (_, t) in self.edges() {
+        for &t in &self.succ_edges {
             indeg[t.index()] += 1;
         }
         let mut queue: Vec<NodeId> = (0..n)
@@ -302,6 +484,7 @@ mod tests {
         assert_eq!(v.preds(j), &[a, b]);
         assert_eq!(v.succs(p.entry()), &[a, b]);
         assert_eq!(v.preds(p.entry()), &[] as &[NodeId]);
+        assert_eq!(v.num_edges(), 5);
     }
 
     #[test]
@@ -313,6 +496,10 @@ mod tests {
         assert!(v.rpo_index(p.entry()) < v.rpo_index(j));
         assert!(v.rpo_index(j) < v.rpo_index(p.exit()));
         assert_eq!(v.rpo().len(), 5);
+        // The cached postorder is exactly the reversed RPO.
+        let mut reversed: Vec<NodeId> = v.rpo().to_vec();
+        reversed.reverse();
+        assert_eq!(v.postorder(), &reversed[..]);
     }
 
     #[test]
@@ -342,7 +529,118 @@ mod tests {
         .unwrap();
         let v = CfgView::new(&p);
         let j = p.block_by_name("j").unwrap();
-        assert_eq!(v.critical_edges(), vec![(p.entry(), j)]);
+        assert_eq!(v.critical_edges(), &[(p.entry(), j)]);
+    }
+
+    #[test]
+    fn parallel_critical_edges_are_deduplicated() {
+        let p = parse(
+            "prog {
+               block s { nondet j j x }
+               block x { goto j }
+               block j { goto e }
+               block e { halt }
+             }",
+        )
+        .unwrap();
+        let v = CfgView::new(&p);
+        let j = p.block_by_name("j").unwrap();
+        assert_eq!(v.critical_edges(), &[(p.entry(), j)]);
+    }
+
+    #[test]
+    fn instr_layout_is_block_contiguous() {
+        let p = parse(
+            "prog {
+               block s { x := 1; y := 2; nondet a b }
+               block a { goto j }
+               block b { out(x); goto j }
+               block j { goto e }
+               block e { halt }
+             }",
+        )
+        .unwrap();
+        let v = CfgView::new(&p);
+        // stmts + 1 terminator per block: 3 + 1 + 2 + 1 + 1.
+        assert_eq!(v.num_instrs(), 8);
+        assert_eq!(v.instr_range(p.entry()), 0..3);
+        let b = p.block_by_name("b").unwrap();
+        assert_eq!(v.instr_range(b).len(), 2);
+        assert_eq!(v.first_instr(b), v.instr_offsets()[b.index()] as usize);
+    }
+
+    #[test]
+    fn instr_postorder_matches_an_instruction_graph_dfs() {
+        let p = parse(
+            "prog {
+               block s { x := 1; nondet a b }
+               block a { y := x; goto j }
+               block b { goto j }
+               block j { out(x); goto e }
+               block e { halt }
+             }",
+        )
+        .unwrap();
+        let v = CfgView::new(&p);
+        // Reference: explicit DFS over the instruction graph.
+        let num = v.num_instrs();
+        let next_of = |i: usize| -> Vec<usize> {
+            let b = (0..p.num_blocks())
+                .find(|&bi| {
+                    v.instr_offsets()[bi] as usize <= i && i < v.instr_offsets()[bi + 1] as usize
+                })
+                .unwrap();
+            let node = NodeId::from_index(b);
+            if i + 1 < v.instr_offsets()[b + 1] as usize {
+                vec![i + 1]
+            } else {
+                v.succs(node).iter().map(|&m| v.first_instr(m)).collect()
+            }
+        };
+        let mut po = vec![u32::MAX; num];
+        let mut counter = 0u32;
+        let mut visited = vec![false; num];
+        let mut stack = vec![(v.first_instr(p.entry()), 0usize)];
+        visited[v.first_instr(p.entry())] = true;
+        while let Some((i, child)) = stack.last_mut() {
+            let ns = next_of(*i);
+            if *child < ns.len() {
+                let nu = ns[*child];
+                *child += 1;
+                if !visited[nu] {
+                    visited[nu] = true;
+                    stack.push((nu, 0));
+                }
+            } else {
+                po[*i] = counter;
+                counter += 1;
+                stack.pop();
+            }
+        }
+        assert_eq!(v.instr_postorder(), &po[..]);
+    }
+
+    #[test]
+    fn relayout_tracks_statement_edits() {
+        let mut p = parse(
+            "prog {
+               block s { x := 1; y := 2; goto j }
+               block j { out(x); goto e }
+               block e { halt }
+             }",
+        )
+        .unwrap();
+        let v = CfgView::new(&p);
+        assert!(v.layout_matches(&p));
+        let s = p.entry();
+        p.stmts_mut(s).pop();
+        assert!(!v.layout_matches(&p));
+        let r = v.relayout(&p);
+        assert_eq!(r, CfgView::new(&p), "relayout must equal a cold rebuild");
+        assert!(r.layout_matches(&p));
+        // Adjacency and orders are untouched.
+        assert_eq!(r.rpo(), v.rpo());
+        assert_eq!(r.preds(p.exit()), v.preds(p.exit()));
     }
 
     #[test]

@@ -17,12 +17,11 @@ use crate::program::{NodeId, Program};
 /// Idempotent: a second call returns an empty vector.
 pub fn split_critical_edges(prog: &mut Program) -> Vec<NodeId> {
     let view = CfgView::new(prog);
-    let mut critical = view.critical_edges();
-    // Parallel edges (e.g. `nondet x x`) appear once per occurrence;
-    // a single synthetic node serves all of them (retargeting rewrites
+    // The view's critical-edge table is already sorted and deduplicated:
+    // parallel edges (e.g. `nondet x x`) collapse to one entry, and a
+    // single synthetic node serves all of them (retargeting rewrites
     // every matching successor).
-    critical.sort_unstable();
-    critical.dedup();
+    let critical = view.critical_edges().to_vec();
     let mut inserted = Vec::with_capacity(critical.len());
     for (from, to) in critical {
         inserted.push(prog.split_edge(from, to));

@@ -65,6 +65,23 @@ impl Terminator {
         }
     }
 
+    /// Calls `f` on each successor, in branch order, without allocating.
+    /// [`CfgView`](crate::CfgView) construction uses this to fill its
+    /// CSR edge array directly.
+    pub fn for_each_successor(&self, mut f: impl FnMut(NodeId)) {
+        match self {
+            Terminator::Goto(n) => f(*n),
+            Terminator::Cond {
+                then_to, else_to, ..
+            } => {
+                f(*then_to);
+                f(*else_to);
+            }
+            Terminator::Nondet(ns) => ns.iter().copied().for_each(f),
+            Terminator::Halt => {}
+        }
+    }
+
     /// Number of successors.
     pub fn successor_count(&self) -> usize {
         match self {
@@ -412,6 +429,12 @@ impl Program {
     }
 
     /// Predecessor lists for all nodes, indexed by node index.
+    ///
+    /// Allocates a fresh nested `Vec` on every call; analyses must read
+    /// the cached CSR slabs of [`CfgView`](crate::CfgView) instead
+    /// (`view.preds(n)`), which the revision-keyed `AnalysisCache`
+    /// memoizes across passes.
+    #[deprecated(note = "read predecessors from a cached CfgView (`view.preds(n)`) instead")]
     pub fn predecessors(&self) -> Vec<Vec<NodeId>> {
         let mut preds = vec![Vec::new(); self.blocks.len()];
         for n in self.node_ids() {
@@ -538,6 +561,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // the allocating method stays covered until removal
     fn predecessors_mirror_successors() {
         let mut p = Program::new();
         let exit = p.exit();

@@ -18,6 +18,7 @@
 
 use std::collections::HashMap;
 
+use crate::cfg::CfgView;
 use crate::program::{NodeId, Program, Terminator};
 use crate::validate::reachable_from;
 
@@ -109,7 +110,7 @@ fn bypass_forwarders(prog: &mut Program) -> usize {
 fn merge_chains(prog: &mut Program) -> usize {
     let mut count = 0;
     loop {
-        let preds = prog.predecessors();
+        let view = CfgView::new(prog);
         let mut merged_one = false;
         for a in prog.node_ids().collect::<Vec<_>>() {
             let Terminator::Goto(b) = prog.block(a).term else {
@@ -118,7 +119,7 @@ fn merge_chains(prog: &mut Program) -> usize {
             if b == a || b == prog.entry() || a == prog.exit() {
                 continue;
             }
-            if preds[b.index()].len() != 1 {
+            if view.preds(b).len() != 1 {
                 continue;
             }
             // Keep the designated exit block intact unless `a` can take

@@ -5,6 +5,7 @@
 //! node lies on some path from `s` to `e`. [`validate`] enforces exactly
 //! these conditions plus basic structural sanity.
 
+use crate::cfg::CfgView;
 use crate::error::IrError;
 use crate::program::{NodeId, Program, Terminator};
 
@@ -36,8 +37,8 @@ pub fn validate(prog: &Program) -> Result<(), IrError> {
     }
 
     // Entry has no predecessors.
-    let preds = prog.predecessors();
-    if !preds[prog.entry().index()].is_empty() {
+    let view = CfgView::new(prog);
+    if !view.preds(prog.entry()).is_empty() {
         return Err(IrError::EntryHasPredecessors);
     }
 
@@ -50,7 +51,7 @@ pub fn validate(prog: &Program) -> Result<(), IrError> {
     }
 
     // ...and can reach the exit.
-    let reaches_exit = reaches(prog, prog.exit(), &preds);
+    let reaches_exit = reaches(&view, prog.exit());
     for n in prog.node_ids() {
         if !reaches_exit[n.index()] {
             return Err(IrError::CannotReachExit(prog.block(n).name.clone()));
@@ -75,13 +76,14 @@ pub fn reachable_from(prog: &Program, start: NodeId) -> Vec<bool> {
     seen
 }
 
-/// Backward reachability: which nodes can reach `target`.
-pub fn reaches(prog: &Program, target: NodeId, preds: &[Vec<NodeId>]) -> Vec<bool> {
-    let mut seen = vec![false; prog.num_blocks()];
+/// Backward reachability: which nodes can reach `target`, walking the
+/// predecessor slabs of `view`.
+pub fn reaches(view: &CfgView, target: NodeId) -> Vec<bool> {
+    let mut seen = vec![false; view.num_nodes()];
     let mut stack = vec![target];
     seen[target.index()] = true;
     while let Some(n) = stack.pop() {
-        for &m in &preds[n.index()] {
+        for &m in view.preds(n) {
             if !seen[m.index()] {
                 seen[m.index()] = true;
                 stack.push(m);

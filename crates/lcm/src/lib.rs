@@ -19,4 +19,4 @@ pub mod transform;
 
 pub use exprs::{ExprLocal, ExprTable};
 pub use passes::LcmPass;
-pub use transform::{lazy_code_motion, LcmCriticalEdgeError, LcmStats};
+pub use transform::{lazy_code_motion, lazy_code_motion_cached, LcmCriticalEdgeError, LcmStats};

@@ -5,7 +5,7 @@ use pdce_dfa::{AnalysisCache, Pass, PassOutcome, Preserves};
 use pdce_ir::edgesplit::{has_critical_edges, split_critical_edges};
 use pdce_ir::Program;
 
-use crate::transform::lazy_code_motion;
+use crate::transform::lazy_code_motion_cached;
 
 /// Lazy code motion (Knoop/Rüthing/Steffen '92, Drechsler–Stadel block
 /// form). Splits critical edges first when necessary — the only
@@ -29,7 +29,7 @@ impl Pass for LcmPass {
             });
         }
         let before = prog.revision();
-        let stats = lazy_code_motion(prog).expect("critical edges were just split");
+        let stats = lazy_code_motion_cached(prog, cache).expect("critical edges were just split");
         if prog.revision() != before {
             cache.retain(prog, Preserves::Cfg);
             out.merge(&PassOutcome {

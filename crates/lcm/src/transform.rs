@@ -28,9 +28,9 @@
 use std::error::Error;
 use std::fmt;
 
-use pdce_dfa::{solve, BitProblem, BitVec, Direction, GenKill, Meet};
+use pdce_dfa::{solve, AnalysisCache, BitProblem, BitVec, Direction, GenKill, Meet};
 use pdce_ir::edgesplit::has_critical_edges;
-use pdce_ir::{CfgView, NodeId, Program, Stmt, TermData, Terminator, Var};
+use pdce_ir::{NodeId, Program, Stmt, TermData, Terminator, Var};
 
 use crate::exprs::{ExprLocal, ExprTable};
 
@@ -87,6 +87,15 @@ impl Error for LcmCriticalEdgeError {}
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn lazy_code_motion(prog: &mut Program) -> Result<LcmStats, LcmCriticalEdgeError> {
+    lazy_code_motion_cached(prog, &mut AnalysisCache::new())
+}
+
+/// Like [`lazy_code_motion`], but reads the CFG from `cache`'s memoized
+/// [`CfgView`] instead of rebuilding the adjacency per call.
+pub fn lazy_code_motion_cached(
+    prog: &mut Program,
+    cache: &mut AnalysisCache,
+) -> Result<LcmStats, LcmCriticalEdgeError> {
     if has_critical_edges(prog) {
         return Err(LcmCriticalEdgeError);
     }
@@ -99,7 +108,7 @@ pub fn lazy_code_motion(prog: &mut Program) -> Result<LcmStats, LcmCriticalEdgeE
         return Ok(stats);
     }
     let width = table.len();
-    let view = CfgView::new(prog);
+    let view = cache.cfg(prog);
     let local = ExprLocal::compute(prog, &table);
 
     // Anticipability (down-safety), backward.
@@ -350,7 +359,7 @@ fn rewrite_block(
     // Write back only when the list actually differs, so a stable
     // program keeps its revision (and analysis caches) intact.
     if new_stmts != prog.block(n).stmts {
-        prog.block_mut(n).stmts = new_stmts;
+        *prog.stmts_mut(n) = new_stmts;
     }
 }
 

@@ -26,5 +26,5 @@ pub mod web;
 
 pub use domfront::DomInfo;
 pub use passes::{SccpPass, SsaDcePass};
-pub use sccp::{sccp, SccpSolution, SccpStats, Value};
-pub use web::{ssa_dce, Consumer, DefSite, SsaWeb, UseRecord};
+pub use sccp::{sccp, sccp_cached, SccpSolution, SccpStats, Value};
+pub use web::{ssa_dce, ssa_dce_cached, Consumer, DefSite, SsaWeb, UseRecord};

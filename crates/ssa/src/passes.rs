@@ -4,8 +4,8 @@
 use pdce_dfa::{AnalysisCache, Pass, PassOutcome, Preserves};
 use pdce_ir::Program;
 
-use crate::sccp::sccp;
-use crate::web::ssa_dce;
+use crate::sccp::sccp_cached;
+use crate::web::ssa_dce_cached;
 
 /// Sparse conditional constant propagation. Folding a conditional branch
 /// rewrites a terminator (and can strand blocks), so the pass preserves
@@ -19,7 +19,7 @@ impl Pass for SccpPass {
 
     fn run(&self, prog: &mut Program, cache: &mut AnalysisCache) -> PassOutcome {
         let before = prog.revision();
-        let stats = sccp(prog);
+        let stats = sccp_cached(prog, cache);
         if prog.revision() == before {
             return PassOutcome::unchanged();
         }
@@ -50,7 +50,7 @@ impl Pass for SsaDcePass {
 
     fn run(&self, prog: &mut Program, cache: &mut AnalysisCache) -> PassOutcome {
         let before = prog.revision();
-        let removed = ssa_dce(prog);
+        let removed = ssa_dce_cached(prog, cache);
         if prog.revision() == before {
             return PassOutcome::unchanged();
         }

@@ -20,6 +20,7 @@
 
 use std::collections::HashMap;
 
+use pdce_dfa::AnalysisCache;
 use pdce_ir::interp::{eval_term, Env};
 use pdce_ir::{CfgView, NodeId, Program, Stmt, TermData, TermId, Terminator, Var};
 
@@ -293,7 +294,13 @@ pub fn analyze(prog: &Program, _view: &CfgView, web: &SsaWeb) -> SccpSolution {
 /// # Ok::<(), pdce_ir::ParseError>(())
 /// ```
 pub fn sccp(prog: &mut Program) -> SccpStats {
-    let view = CfgView::new(prog);
+    sccp_cached(prog, &mut AnalysisCache::new())
+}
+
+/// Like [`sccp`], but reads the CFG from `cache`'s memoized [`CfgView`]
+/// instead of rebuilding the adjacency per call.
+pub fn sccp_cached(prog: &mut Program, cache: &mut AnalysisCache) -> SccpStats {
+    let view = cache.cfg(prog);
     let web = SsaWeb::build(prog, &view);
     let sol = analyze(prog, &view, &web);
 
@@ -353,7 +360,7 @@ pub fn sccp(prog: &mut Program) -> SccpStats {
                         let (t2, c) = substitute_consts(prog, rhs, map);
                         if c > 0 {
                             stats.folded_terms += c;
-                            prog.block_mut(n).stmts[k] = Stmt::Assign { lhs, rhs: t2 };
+                            prog.stmts_mut(n)[k] = Stmt::Assign { lhs, rhs: t2 };
                         }
                     }
                 }
@@ -362,7 +369,7 @@ pub fn sccp(prog: &mut Program) -> SccpStats {
                         let (t2, c) = substitute_consts(prog, t, map);
                         if c > 0 {
                             stats.folded_terms += c;
-                            prog.block_mut(n).stmts[k] = Stmt::Out(t2);
+                            prog.stmts_mut(n)[k] = Stmt::Out(t2);
                         }
                     }
                 }

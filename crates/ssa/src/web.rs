@@ -8,7 +8,7 @@
 //! edges on real programs — the sparsity the paper's Section 5.2 credits
 //! with the `O(i·v)` bound, versus the dense du-graph's `O(i²·v)`.
 
-use pdce_dfa::BitVec;
+use pdce_dfa::{AnalysisCache, BitVec};
 use pdce_ir::{CfgView, NodeId, Program, Stmt, Var};
 
 use crate::domfront::DomInfo;
@@ -337,7 +337,13 @@ impl<'a> Builder<'a> {
 /// # Ok::<(), pdce_ir::ParseError>(())
 /// ```
 pub fn ssa_dce(prog: &mut Program) -> u64 {
-    let view = CfgView::new(prog);
+    ssa_dce_cached(prog, &mut AnalysisCache::new())
+}
+
+/// Like [`ssa_dce`], but reads the CFG from `cache`'s memoized
+/// [`CfgView`] instead of rebuilding the adjacency per call.
+pub fn ssa_dce_cached(prog: &mut Program, cache: &mut AnalysisCache) -> u64 {
+    let view = cache.cfg(prog);
     let web = SsaWeb::build(prog, &view);
     let marked = web.mark();
     let mut doomed: Vec<Vec<usize>> = vec![Vec::new(); prog.num_blocks()];
@@ -369,7 +375,7 @@ pub fn ssa_dce(prog: &mut Program) -> u64 {
                 }
             })
             .collect();
-        prog.block_mut(n).stmts = keep;
+        *prog.stmts_mut(n) = keep;
     }
     removed
 }

@@ -754,7 +754,7 @@ fn cmd_analyze(args: &[String]) -> Result<(), CliError> {
     let prog = load(parsed.single_file()?)?;
     let view = CfgView::new(&prog);
     let dead = pdce::core::DeadSolution::compute(&prog, &view);
-    let faint = pdce::core::FaintSolution::compute(&prog);
+    let faint = pdce::core::FaintSolution::compute(&prog, &view);
     let table = pdce::core::PatternTable::build(&prog);
     let local = pdce::core::LocalInfo::compute(&prog, &table);
     let delay = pdce::core::DelayInfo::compute(&prog, &view, &table, &local);

@@ -131,7 +131,7 @@ fn seeded_analyses_match_cold_after_random_mutations() {
         let table0 = PatternTable::build(&p);
         let local0 = LocalInfo::compute(&p, &table0);
         let prev_dead = DeadSolution::compute(&p, &view);
-        let prev_faint = FaintSolution::compute(&p);
+        let prev_faint = FaintSolution::compute(&p, &view);
         let prev_delay = DelayInfo::compute(&p, &view, &table0, &local0);
 
         let rev = p.revision();
@@ -155,8 +155,11 @@ fn seeded_analyses_match_cold_after_random_mutations() {
             assert_eq!(cold.at_exit(n), warm.at_exit(n), "dead exit (case {case})");
         }
 
-        let cold_f = FaintSolution::compute(&p);
-        let warm_f = FaintSolution::compute_seeded(&p, &prev_faint, dirty);
+        // Statement edits changed the instruction arena; refresh the
+        // layout the way `AnalysisCache::sync` does on stmt-local deltas.
+        let view = view.relayout(&p);
+        let cold_f = FaintSolution::compute(&p, &view);
+        let warm_f = FaintSolution::compute_seeded(&p, &view, &prev_faint, dirty);
         for n in p.node_ids() {
             for v in (0..p.num_vars()).map(Var::from_index) {
                 assert_eq!(

@@ -192,7 +192,7 @@ fn dead_implies_faint() {
         let p = structured(&small_config(seed, true));
         let view = CfgView::new(&p);
         let dead = DeadSolution::compute(&p, &view);
-        let faint = FaintSolution::compute(&p);
+        let faint = FaintSolution::compute(&p, &view);
         for n in p.node_ids() {
             let after = dead.after_each_stmt(&p, n);
             for (k, after_k) in after.iter().enumerate() {
@@ -399,7 +399,7 @@ fn fifo_and_priority_solvers_agree_on_200_cfgs() {
             );
         }
 
-        let faint = STRATEGIES.map(|s| with_strategy(s, || FaintSolution::compute(&p)));
+        let faint = STRATEGIES.map(|s| with_strategy(s, || FaintSolution::compute(&p, &view)));
         for n in p.node_ids() {
             for v in (0..p.num_vars()).map(Var::from_index) {
                 assert_eq!(

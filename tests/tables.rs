@@ -162,7 +162,7 @@ fn table1_faint_column_on_fig1_and_fig9() {
     let p = parse(FIG1).unwrap();
     let view = CfgView::new(&p);
     let dead = DeadSolution::compute(&p, &view);
-    let faint = FaintSolution::compute(&p);
+    let faint = FaintSolution::compute(&p, &view);
     for n in p.node_ids() {
         for (k, stmt) in p.block(n).stmts.iter().enumerate() {
             if let Some(lhs) = stmt.modified() {
@@ -188,7 +188,7 @@ fn table1_faint_column_on_fig1_and_fig9() {
     .unwrap();
     let view9 = CfgView::new(&p9);
     let dead9 = DeadSolution::compute(&p9, &view9);
-    let faint9 = FaintSolution::compute(&p9);
+    let faint9 = FaintSolution::compute(&p9, &view9);
     let l = p9.block_by_name("l").unwrap();
     let x = p9.vars().lookup("x").unwrap();
     assert!(!dead9.dead_after(&p9, l, 0, x), "not dead (self-use)");
