@@ -36,7 +36,15 @@ use std::fmt::Write as _;
 /// one revision-memoized CSR view shared through the `AnalysisCache`),
 /// whose `csr_walltime_reduction_pct` [`validate`] requires to be
 /// ≥ 10%.
-pub const SCHEMA_VERSION: u64 = 5;
+/// v6: the document gains `metrics` — the always-on metrics plane of
+/// the `pdce-metrics` registry: a recording-on vs recording-off
+/// overhead A/B on the scaling-sweep workload (whose
+/// `metrics_overhead_pct` [`validate`] requires to stay under 2%), a
+/// `snapshot_stable` bit asserting that the deterministic exposition of
+/// the registry is byte-identical between `jobs=1` and `jobs=4` runs of
+/// the same corpus, and `pass_latency` — per-pass wall-time quantiles
+/// (p50/p90/p99/max upper bucket edges of the log₂ histograms).
+pub const SCHEMA_VERSION: u64 = 6;
 
 /// The acceptance bar on `pops_reduction_pct`.
 pub const MIN_POPS_REDUCTION_PCT: f64 = 20.0;
@@ -53,6 +61,12 @@ pub const MAX_TV_OVERHEAD_PCT: f64 = 10.0;
 /// revision-cached CSR `CfgView` across the analysis layers must save
 /// at least this much wall time over per-consumer rebuilding.
 pub const MIN_CSR_WALLTIME_REDUCTION_PCT: f64 = 10.0;
+
+/// The acceptance bar on `metrics.metrics_overhead_pct`: the always-on
+/// metrics plane (registry counters, latency histograms) must cost less
+/// than this much wall time over the same workload with recording
+/// suppressed.
+pub const MAX_METRICS_OVERHEAD_PCT: f64 = 2.0;
 
 /// One figure reproduction with its cost.
 #[derive(Debug, Clone)]
@@ -158,6 +172,57 @@ pub struct CsrAb {
     pub csr_walltime_reduction_pct: f64,
 }
 
+/// Per-pass wall-time quantiles, read from the `pdce_pass_wall_ns`
+/// histogram family of the metrics registry after the benchmark
+/// workload. Quantile values are the inclusive upper edge of the log₂
+/// bucket holding the requested rank — a pure function of the bucket
+/// counts, so the numbers are merge-order independent.
+#[derive(Debug, Clone)]
+pub struct PassLatencyRow {
+    /// Pass name (the `pass` label of the series).
+    pub pass: String,
+    /// Samples observed.
+    pub count: u64,
+    /// p50 upper bucket edge, nanoseconds.
+    pub p50_ns: u64,
+    /// p90 upper bucket edge, nanoseconds.
+    pub p90_ns: u64,
+    /// p99 upper bucket edge, nanoseconds.
+    pub p99_ns: u64,
+    /// Maximum estimate (upper edge of the highest occupied bucket),
+    /// nanoseconds.
+    pub max_ns: u64,
+}
+
+/// The metrics-plane section: recording-overhead A/B, cross-`jobs`
+/// snapshot stability, and per-pass latency quantiles.
+///
+/// The A/B times the *same* workload with registry recording enabled
+/// (`on_ns`) and suppressed via the runtime gate (`off_ns`) — unlike
+/// the tracing A/B, which can only bound disabled-mode noise, the
+/// metrics gate genuinely turns the atomic updates on and off, so
+/// `metrics_overhead_pct` is a direct measurement held against
+/// [`MAX_METRICS_OVERHEAD_PCT`].
+#[derive(Debug, Clone)]
+pub struct MetricsSection {
+    /// What was timed.
+    pub workload: String,
+    /// Best-of-N, recording suppressed (nanoseconds).
+    pub off_ns: u128,
+    /// Best-of-N, recording enabled (nanoseconds).
+    pub on_ns: u128,
+    /// `max(0, on - off) / off` in percent — held against
+    /// [`MAX_METRICS_OVERHEAD_PCT`] by [`validate`].
+    pub metrics_overhead_pct: f64,
+    /// Whether the deterministic exposition (`prometheus_deterministic`
+    /// deltas) of the corpus run was byte-identical between `jobs=1`
+    /// and `jobs=4`. [`validate`] requires `true`.
+    pub snapshot_stable: bool,
+    /// Per-pass wall-time quantiles. [`validate`] requires at least one
+    /// row.
+    pub pass_latency: Vec<PassLatencyRow>,
+}
+
 /// Fault-tolerance counters accumulated over the benchmark run
 /// (the driver's `PdceStats` resilience fields, summed).
 #[derive(Debug, Clone, Default)]
@@ -197,6 +262,8 @@ pub struct BenchSummary {
     pub tv: TvAb,
     /// The shared-`CfgView` A/B.
     pub csr: CsrAb,
+    /// The metrics-plane section.
+    pub metrics: MetricsSection,
     /// Resilience counters accumulated over the run.
     pub resilience: ResilienceTotals,
 }
@@ -320,6 +387,31 @@ impl BenchSummary {
             c.csr_ns,
             c.csr_walltime_reduction_pct
         );
+        let m = &self.metrics;
+        let _ = write!(
+            out,
+            "\n\"metrics\":{{\"workload\":{},\"off_ns\":{},\"on_ns\":{},\
+             \"metrics_overhead_pct\":{:.3},\"snapshot_stable\":{},\"pass_latency\":[",
+            json::escaped(&m.workload),
+            m.off_ns,
+            m.on_ns,
+            m.metrics_overhead_pct,
+            m.snapshot_stable
+        );
+        for (i, p) in m.pass_latency.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            let _ = write!(
+                out,
+                "{{\"pass\":{},\"count\":{},\"p50_ns\":{},\"p90_ns\":{},\"p99_ns\":{},\"max_ns\":{}}}",
+                json::escaped(&p.pass),
+                p.count,
+                p.p50_ns,
+                p.p90_ns,
+                p.p99_ns,
+                p.max_ns
+            );
+        }
+        out.push_str("\n]},");
         let r = &self.resilience;
         let _ = write!(
             out,
@@ -466,6 +558,48 @@ pub fn validate(text: &str) -> Result<(), String> {
              {MIN_CSR_WALLTIME_REDUCTION_PCT}% acceptance bar"
         ));
     }
+    let metrics = require(&doc, "metrics", "document")?;
+    require(metrics, "workload", "metrics")?
+        .as_str()
+        .ok_or("`metrics.workload` is not a string")?;
+    for key in ["off_ns", "on_ns"] {
+        require_num(metrics, key, "metrics")?;
+    }
+    let metrics_overhead = require_num(metrics, "metrics_overhead_pct", "metrics")?;
+    if metrics_overhead >= MAX_METRICS_OVERHEAD_PCT {
+        return Err(format!(
+            "metrics_overhead_pct {metrics_overhead:.3} breaks the \
+             <{MAX_METRICS_OVERHEAD_PCT}% acceptance bar"
+        ));
+    }
+    let stable = require(metrics, "snapshot_stable", "metrics")?
+        .as_bool()
+        .ok_or("`metrics.snapshot_stable` is not a bool")?;
+    if !stable {
+        return Err(
+            "metrics: deterministic snapshot differed between jobs=1 and jobs=4 \
+             (`snapshot_stable` is false)"
+                .into(),
+        );
+    }
+    let pass_latency = require(metrics, "pass_latency", "metrics")?
+        .as_arr()
+        .ok_or("`metrics.pass_latency` is not an array")?;
+    if pass_latency.is_empty() {
+        return Err("`metrics.pass_latency` is empty".into());
+    }
+    for (i, p) in pass_latency.iter().enumerate() {
+        let ctx = format!("metrics.pass_latency[{i}]");
+        require(p, "pass", &ctx)?
+            .as_str()
+            .ok_or_else(|| format!("{ctx}: `pass` is not a string"))?;
+        for key in ["count", "p50_ns", "p90_ns", "p99_ns", "max_ns"] {
+            let n = require_num(p, key, &ctx)?;
+            if n < 0.0 {
+                return Err(format!("{ctx}: `{key}` is negative"));
+            }
+        }
+    }
     let resilience = require(&doc, "resilience", "document")?;
     for key in [
         "rollbacks",
@@ -568,6 +702,21 @@ mod tests {
                 csr_ns: 1_000_000,
                 csr_walltime_reduction_pct: 23.077,
             },
+            metrics: MetricsSection {
+                workload: "pde over 2 structured programs".into(),
+                off_ns: 1_000_000,
+                on_ns: 1_008_000,
+                metrics_overhead_pct: 0.8,
+                snapshot_stable: true,
+                pass_latency: vec![PassLatencyRow {
+                    pass: "pde".into(),
+                    count: 16,
+                    p50_ns: 524_287,
+                    p90_ns: 1_048_575,
+                    p99_ns: 2_097_151,
+                    max_ns: 2_097_151,
+                }],
+            },
             resilience: ResilienceTotals {
                 tv_checks: 6,
                 ..ResilienceTotals::default()
@@ -652,6 +801,30 @@ mod tests {
         assert!(validate(&s.to_json())
             .unwrap_err()
             .contains("csr_walltime_reduction_pct"));
+    }
+
+    #[test]
+    fn validation_enforces_metrics_overhead_bar() {
+        let mut s = sample();
+        s.metrics.metrics_overhead_pct = 3.7;
+        assert!(validate(&s.to_json())
+            .unwrap_err()
+            .contains("metrics_overhead_pct"));
+        // Exactly at the bar still fails: the contract is strictly under.
+        s.metrics.metrics_overhead_pct = MAX_METRICS_OVERHEAD_PCT;
+        assert!(validate(&s.to_json()).is_err());
+    }
+
+    #[test]
+    fn validation_requires_stable_snapshots_and_pass_latency() {
+        let mut s = sample();
+        s.metrics.snapshot_stable = false;
+        assert!(validate(&s.to_json())
+            .unwrap_err()
+            .contains("snapshot_stable"));
+        let mut s = sample();
+        s.metrics.pass_latency.clear();
+        assert!(validate(&s.to_json()).unwrap_err().contains("pass_latency"));
     }
 
     #[test]

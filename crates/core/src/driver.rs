@@ -30,6 +30,64 @@ use crate::elim::{eliminate_fixpoint_cached, Mode};
 use crate::sink::{sink_assignments_cached, CriticalEdgeError};
 use crate::tv;
 
+/// Registry handles for the driver/resilience counter families. The
+/// degradation counter is labelled by the rung degraded *to* and
+/// registered on first use (degradations are rare, so the registration
+/// lock is off the hot path by construction).
+mod resilience_metrics {
+    use pdce_metrics::{global, Counter, Stability};
+    use std::sync::{Arc, LazyLock};
+
+    fn counter(name: &'static str, help: &'static str) -> Arc<Counter> {
+        global().counter(name, help, Stability::Deterministic, &[])
+    }
+
+    pub static ROUNDS: LazyLock<Arc<Counter>> =
+        LazyLock::new(|| counter("pdce_rounds_total", "Global optimization rounds executed"));
+    pub static TV_CHECKS: LazyLock<Arc<Counter>> = LazyLock::new(|| {
+        counter(
+            "pdce_tv_checks_total",
+            "Translation-validation round checks",
+        )
+    });
+    pub static TV_ROLLBACKS: LazyLock<Arc<Counter>> = LazyLock::new(|| {
+        counter(
+            "pdce_tv_rollbacks_total",
+            "Rounds rolled back by translation validation",
+        )
+    });
+    pub static ROLLBACKS: LazyLock<Arc<Counter>> = LazyLock::new(|| {
+        counter(
+            "pdce_rollbacks_total",
+            "Program snapshots restored after a failed round or rung",
+        )
+    });
+    pub static BUDGET_EXHAUSTIONS: LazyLock<Arc<Counter>> = LazyLock::new(|| {
+        counter(
+            "pdce_budget_exhaustions_total",
+            "Attempts stopped by a resource budget",
+        )
+    });
+
+    pub fn degraded_to(rung: &'static str) -> Arc<Counter> {
+        global().counter(
+            "pdce_degradations_total",
+            "Resilience-ladder degradations by destination rung",
+            Stability::Deterministic,
+            &[("to", rung)],
+        )
+    }
+
+    pub fn driver_run(driver: &'static str) -> Arc<Counter> {
+        global().counter(
+            "pdce_driver_runs_total",
+            "Driver invocations by mode",
+            Stability::Deterministic,
+            &[("driver", driver)],
+        )
+    }
+}
+
 /// What to do when the global round cap is reached (the paper's
 /// Section 7 suggests "simply cutting the global iteration process
 /// after ... a fixed number of iterations" as a practical heuristic).
@@ -348,6 +406,7 @@ pub fn optimize_with_cache(
         (Mode::Faint, false) => "fce",
     };
     let driver_span = pdce_trace::span("driver", driver_name);
+    resilience_metrics::driver_run(driver_name).inc();
     let _budget = budget::install(config.budget);
     let tv_vectors = config.tv_vectors();
     let mut stats = PdceStats::default();
@@ -371,6 +430,7 @@ pub fn optimize_with_cache(
 
     loop {
         stats.rounds += 1;
+        resilience_metrics::ROUNDS.inc();
         if stats.rounds as usize > cap {
             match config.on_limit {
                 LimitBehavior::Error => {
@@ -387,6 +447,7 @@ pub fn optimize_with_cache(
         }
         if let Err(e) = budget::charge_round() {
             stats.budget_exhaustions += 1;
+            resilience_metrics::BUDGET_EXHAUSTIONS.inc();
             pdce_trace::instant(
                 "resilience",
                 "budget-exhausted",
@@ -424,6 +485,7 @@ pub fn optimize_with_cache(
         // validate rounds that touched the program.
         if let Some(last_good) = last_good.filter(|_| prog.revision() != before) {
             stats.tv_checks += 1;
+            resilience_metrics::TV_CHECKS.inc();
             let opts = tv::TvOptions {
                 vectors: tv_vectors,
                 // Bound per-vector interpretation relative to program
@@ -441,6 +503,8 @@ pub fn optimize_with_cache(
                 *cache = AnalysisCache::new();
                 stats.tv_rollbacks += 1;
                 stats.rollbacks += 1;
+                resilience_metrics::TV_ROLLBACKS.inc();
+                resilience_metrics::ROLLBACKS.inc();
                 stats.failure_log.push(mismatch.to_string());
                 pdce_trace::instant(
                     "resilience",
@@ -473,6 +537,11 @@ pub fn optimize_with_cache(
             ("eliminated", stats.eliminated_assignments.into()),
             ("sunk", stats.sunk_assignments.into()),
             ("inserted", stats.inserted_assignments.into()),
+            // Cache telemetry on the span keeps `--trace` output and the
+            // metrics registry in agreement (checked by the chrome parity
+            // test in tests/observability.rs).
+            ("cfg_cache_hits", stats.cache.cfg_hits.into()),
+            ("cfg_relayouts", stats.cache.cfg_relayouts.into()),
         ]
     } else {
         Vec::new()
@@ -564,12 +633,16 @@ pub fn optimize_resilient(prog: &mut Program, config: &PdceConfig) -> PdceStats 
             }
             Ok(Err(e)) => {
                 if matches!(e, PdceError::BudgetExhausted(_)) {
+                    // Already counted in the registry by the inner
+                    // `charge_round` site; only the attempt-local stat
+                    // moves here.
                     budget_exhaustions += 1;
                 }
                 e.to_string()
             }
             Err(SandboxError::Budget(b)) => {
                 budget_exhaustions += 1;
+                resilience_metrics::BUDGET_EXHAUSTIONS.inc();
                 b.to_string()
             }
             Err(SandboxError::Panic(msg)) => format!("panic: {msg}"),
@@ -578,12 +651,14 @@ pub fn optimize_resilient(prog: &mut Program, config: &PdceConfig) -> PdceStats 
         // still holds the pristine input — that *is* the rollback.
         degradations += 1;
         rollbacks += 1;
+        resilience_metrics::ROLLBACKS.inc();
         let next = match rung {
             None => DegradedMode::ColdSolve,
             Some(DegradedMode::ColdSolve) => DegradedMode::FifoSolver,
             Some(DegradedMode::FifoSolver) => DegradedMode::EliminationOnly,
             _ => DegradedMode::Identity,
         };
+        resilience_metrics::degraded_to(next.label()).inc();
         failure_log.push(format!(
             "{} failed ({failure}); degrading to {}",
             rung.map_or("configured run", DegradedMode::label),

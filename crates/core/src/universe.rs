@@ -124,9 +124,7 @@ fn single_eliminations(
         Mode::Faint => None,
     };
     let faint = match mode {
-        Mode::Faint => Some(
-            cache.analysis::<FaintSolution, _>(prog, |p, view| FaintSolution::compute(p, view)),
-        ),
+        Mode::Faint => Some(cache.analysis::<FaintSolution, _>(prog, FaintSolution::compute)),
         Mode::Dead => None,
     };
     for n in prog.node_ids() {

@@ -29,6 +29,33 @@ use pdce_ir::{CfgView, ChangeSet, NodeId, Program};
 
 use crate::solve::incremental_enabled;
 
+/// Registry handles for the cache counter family
+/// (`pdce_cache_events_total{kind=...}`). The per-instance [`CacheStats`]
+/// below stay the per-run attribution mechanism; these mirror the same
+/// increments into the process-global metrics registry so aggregate hit
+/// rates survive across caches and worker threads.
+mod cache_metrics {
+    use pdce_metrics::{global, Counter, Stability};
+    use std::sync::{Arc, LazyLock};
+
+    fn event(kind: &'static str) -> Arc<Counter> {
+        global().counter(
+            "pdce_cache_events_total",
+            "AnalysisCache events by kind (hits, misses, relayouts)",
+            Stability::Deterministic,
+            &[("kind", kind)],
+        )
+    }
+
+    pub static CFG_HIT: LazyLock<Arc<Counter>> = LazyLock::new(|| event("cfg_hit"));
+    pub static CFG_MISS: LazyLock<Arc<Counter>> = LazyLock::new(|| event("cfg_miss"));
+    pub static CFG_RELAYOUT: LazyLock<Arc<Counter>> = LazyLock::new(|| event("cfg_relayout"));
+    pub static DOM_HIT: LazyLock<Arc<Counter>> = LazyLock::new(|| event("dom_hit"));
+    pub static DOM_MISS: LazyLock<Arc<Counter>> = LazyLock::new(|| event("dom_miss"));
+    pub static ANALYSIS_HIT: LazyLock<Arc<Counter>> = LazyLock::new(|| event("analysis_hit"));
+    pub static ANALYSIS_MISS: LazyLock<Arc<Counter>> = LazyLock::new(|| event("analysis_miss"));
+}
+
 /// What a pass guarantees about cached analyses after it ran.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Preserves {
@@ -241,6 +268,7 @@ impl AnalysisCache {
             if !view.layout_matches(prog) {
                 self.cfg = Some(Rc::new(view.relayout(prog)));
                 self.stats.cfg_relayouts += 1;
+                cache_metrics::CFG_RELAYOUT.inc();
             }
         }
     }
@@ -270,10 +298,12 @@ impl AnalysisCache {
                     "cache crossed programs"
                 );
                 self.stats.cfg_hits += 1;
+                cache_metrics::CFG_HIT.inc();
                 Rc::clone(view)
             }
             None => {
                 self.stats.cfg_misses += 1;
+                cache_metrics::CFG_MISS.inc();
                 let view = Rc::new(CfgView::new(prog));
                 self.cfg = Some(Rc::clone(&view));
                 view
@@ -286,9 +316,11 @@ impl AnalysisCache {
         self.sync(prog);
         if let Some(doms) = &self.doms {
             self.stats.dom_hits += 1;
+            cache_metrics::DOM_HIT.inc();
             return Rc::clone(doms);
         }
         self.stats.dom_misses += 1;
+        cache_metrics::DOM_MISS.inc();
         let view = self.cfg(prog);
         let doms = Rc::new(view.immediate_dominators());
         self.doms = Some(Rc::clone(&doms));
@@ -305,9 +337,11 @@ impl AnalysisCache {
         self.sync(prog);
         if let Some(entry) = self.analyses.get(&TypeId::of::<T>()) {
             self.stats.analysis_hits += 1;
+            cache_metrics::ANALYSIS_HIT.inc();
             return Rc::clone(entry).downcast::<T>().expect("typed slot");
         }
         self.stats.analysis_misses += 1;
+        cache_metrics::ANALYSIS_MISS.inc();
         let view = self.cfg(prog);
         let value: Rc<T> = Rc::new(build(prog, &view));
         self.stale.remove(&TypeId::of::<T>());
@@ -335,9 +369,11 @@ impl AnalysisCache {
         self.sync(prog);
         if let Some(entry) = self.analyses.get(&TypeId::of::<T>()) {
             self.stats.analysis_hits += 1;
+            cache_metrics::ANALYSIS_HIT.inc();
             return Rc::clone(entry).downcast::<T>().expect("typed slot");
         }
         self.stats.analysis_misses += 1;
+        cache_metrics::ANALYSIS_MISS.inc();
         let view = self.cfg(prog);
         let seed = if incremental_enabled() {
             self.stale.get(&TypeId::of::<T>()).and_then(|(rev, value)| {

@@ -428,23 +428,6 @@ impl Program {
         self.block(n).term.successors()
     }
 
-    /// Predecessor lists for all nodes, indexed by node index.
-    ///
-    /// Allocates a fresh nested `Vec` on every call; analyses must read
-    /// the cached CSR slabs of [`CfgView`](crate::CfgView) instead
-    /// (`view.preds(n)`), which the revision-keyed `AnalysisCache`
-    /// memoizes across passes.
-    #[deprecated(note = "read predecessors from a cached CfgView (`view.preds(n)`) instead")]
-    pub fn predecessors(&self) -> Vec<Vec<NodeId>> {
-        let mut preds = vec![Vec::new(); self.blocks.len()];
-        for n in self.node_ids() {
-            for m in self.successors(n) {
-                preds[m.index()].push(n);
-            }
-        }
-        preds
-    }
-
     /// Shared access to the variable pool.
     pub fn vars(&self) -> &VarPool {
         &self.vars
@@ -561,18 +544,17 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)] // the allocating method stays covered until removal
-    fn predecessors_mirror_successors() {
+    fn cfg_view_predecessors_mirror_successors() {
         let mut p = Program::new();
         let exit = p.exit();
         let b = p
             .add_block(Block::new("n1", Terminator::Goto(exit)))
             .unwrap();
         p.block_mut(p.entry()).term = Terminator::Nondet(vec![b, exit]);
-        let preds = p.predecessors();
-        assert_eq!(preds[exit.index()], vec![p.entry(), b]);
-        assert_eq!(preds[b.index()], vec![p.entry()]);
-        assert!(preds[p.entry().index()].is_empty());
+        let view = crate::CfgView::new(&p);
+        assert_eq!(view.preds(exit), [p.entry(), b]);
+        assert_eq!(view.preds(b), [p.entry()]);
+        assert!(view.preds(p.entry()).is_empty());
     }
 
     #[test]

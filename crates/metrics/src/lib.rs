@@ -1,0 +1,780 @@
+//! Always-on metrics plane for the PDCE workspace.
+//!
+//! The crate provides a process-global registry of counters, gauges, and
+//! log2-bucketed histograms. Registration takes a short-lived lock once per
+//! series; every update after that is a handful of relaxed atomic
+//! read-modify-writes on shared `AtomicU64`s, so the hot path is lock-free
+//! and safe to hit from every worker of the `pdce-par` pool concurrently.
+//! Because updates commute, the registry's totals are independent of thread
+//! interleaving: a snapshot taken after a batch run is byte-stable for any
+//! `--jobs` value as long as the recorded values themselves are
+//! deterministic. Families whose samples are wall-clock measurements are
+//! registered with [`Stability::Timing`] and excluded from the deterministic
+//! rendering used by stability checks.
+//!
+//! Exposition is snapshot-based: [`Registry::snapshot`] captures every
+//! series, [`Snapshot::since`] subtracts an earlier snapshot to scope a run,
+//! and the result renders as Prometheus text exposition
+//! ([`Snapshot::prometheus`]), a human table ([`Snapshot::human_table`]), or
+//! is queried directly for quantiles ([`HistogramSnapshot::quantile`]).
+
+pub mod alloc;
+pub mod events;
+
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Global recording gate. Metrics are always-on by default; the overhead
+/// A/B in `pdce report` flips this off for its baseline series so the cost
+/// of the instrumentation itself can be measured in-process.
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Whether metric updates are currently recorded.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turn recording on or off process-wide. Intended for A/B measurement;
+/// the registry itself stays registered and readable either way.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Run `f` with recording suppressed, restoring the previous state after.
+/// The gate is process-global, so this is meant for single-workload A/B
+/// harnesses, not for scoping individual threads.
+pub fn suppressed<T>(f: impl FnOnce() -> T) -> T {
+    let was = enabled();
+    set_enabled(false);
+    let out = f();
+    set_enabled(was);
+    out
+}
+
+/// Whether a family's samples are reproducible across runs and `--jobs`
+/// values. Timing families (wall-clock or allocator measurements) are
+/// excluded from [`Snapshot::prometheus_deterministic`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stability {
+    Deterministic,
+    Timing,
+}
+
+impl Stability {
+    fn label(self) -> &'static str {
+        match self {
+            Stability::Deterministic => "deterministic",
+            Stability::Timing => "timing",
+        }
+    }
+}
+
+/// Monotone counter. Updates are relaxed atomic adds.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    pub const fn new() -> Self {
+        Counter {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    pub fn add(&self, n: u64) {
+        if n != 0 && enabled() {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-writer-wins signed gauge.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    pub const fn new() -> Self {
+        Gauge {
+            value: AtomicI64::new(0),
+        }
+    }
+
+    pub fn set(&self, v: i64) {
+        if enabled() {
+            self.value.store(v, Ordering::Relaxed);
+        }
+    }
+
+    pub fn add(&self, d: i64) {
+        if d != 0 && enabled() {
+            self.value.fetch_add(d, Ordering::Relaxed);
+        }
+    }
+
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of log2 buckets. Bucket 0 holds the value 0; bucket `i >= 1`
+/// holds values `v` with `bit_length(v) == i`, i.e. `2^(i-1) <= v < 2^i`.
+/// The last bucket additionally absorbs everything wider, so every u64 has
+/// a home and `observe` is a single `leading_zeros` plus one atomic add.
+pub const BUCKETS: usize = 64;
+
+/// Index of the log2 bucket for `v`.
+pub fn bucket_index(v: u64) -> usize {
+    ((u64::BITS - v.leading_zeros()) as usize).min(BUCKETS - 1)
+}
+
+/// Inclusive upper edge of bucket `i` (`0` for bucket 0, `2^i - 1` above).
+/// Quantile estimates report this edge, so they are conservative (an upper
+/// bound) and — crucially — a pure function of the bucket counts, which
+/// keeps them bit-identical for any merge order or `--jobs` value.
+pub fn bucket_upper_edge(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// Log2-bucketed histogram: 64 atomic buckets plus count and sum.
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    pub fn observe(&self, v: u64) {
+        if !enabled() {
+            return;
+        }
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// Point-in-time copy of a histogram's buckets; plain data, mergeable and
+/// subtractable, with quantile estimation off the bucket edges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum: u64,
+    pub buckets: [u64; BUCKETS],
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            buckets: [0; BUCKETS],
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Bucket-wise addition. Addition commutes, so merging per-thread
+    /// snapshots yields the same result for every shard order.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        self.count += other.count;
+        self.sum += other.sum;
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += *o;
+        }
+    }
+
+    /// Bucket-wise subtraction of an earlier snapshot of the same series.
+    pub fn since(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum.saturating_sub(earlier.sum),
+            buckets: std::array::from_fn(|i| self.buckets[i].saturating_sub(earlier.buckets[i])),
+        }
+    }
+
+    /// Upper-edge estimate of quantile `q` in [0, 1]: the inclusive upper
+    /// edge of the bucket containing the `ceil(q * count)`-th sample.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                return bucket_upper_edge(i);
+            }
+        }
+        bucket_upper_edge(BUCKETS - 1)
+    }
+
+    /// Upper edge of the highest non-empty bucket (an upper bound on the
+    /// largest observed sample).
+    pub fn max_estimate(&self) -> u64 {
+        self.buckets
+            .iter()
+            .rposition(|&b| b > 0)
+            .map(bucket_upper_edge)
+            .unwrap_or(0)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl Kind {
+    fn label(self) -> &'static str {
+        match self {
+            Kind::Counter => "counter",
+            Kind::Gauge => "gauge",
+            Kind::Histogram => "histogram",
+        }
+    }
+}
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+struct Series {
+    labels: Vec<(&'static str, String)>,
+    metric: Metric,
+}
+
+struct Family {
+    name: &'static str,
+    help: &'static str,
+    kind: Kind,
+    stability: Stability,
+    series: Vec<Series>,
+}
+
+/// Named collection of metric families. Registration (and snapshotting)
+/// takes a mutex; the handles it returns are shared atomics, so recording
+/// never locks. Instrumentation sites cache their handle in a `LazyLock`
+/// and pay the lock exactly once per process.
+#[derive(Default)]
+pub struct Registry {
+    families: Mutex<Vec<Family>>,
+}
+
+impl Registry {
+    pub const fn new() -> Self {
+        Registry {
+            families: Mutex::new(Vec::new()),
+        }
+    }
+
+    // One parameter per registration fact plus the three kind adapters;
+    // splitting those into a trait would triple the code for three
+    // call sites.
+    #[allow(clippy::too_many_arguments)]
+    fn register<T>(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        kind: Kind,
+        stability: Stability,
+        labels: &[(&'static str, &str)],
+        make: impl FnOnce() -> Arc<T>,
+        wrap: impl Fn(Arc<T>) -> Metric,
+        unwrap: impl Fn(&Metric) -> Option<Arc<T>>,
+    ) -> Arc<T> {
+        let mut families = self.families.lock().unwrap();
+        let family = match families.iter_mut().find(|f| f.name == name) {
+            Some(f) => {
+                assert_eq!(
+                    f.kind, kind,
+                    "metric family {name} re-registered with a different kind"
+                );
+                f
+            }
+            None => {
+                families.push(Family {
+                    name,
+                    help,
+                    kind,
+                    stability,
+                    series: Vec::new(),
+                });
+                families.last_mut().unwrap()
+            }
+        };
+        if let Some(existing) = family.series.iter().find(|s| {
+            s.labels.len() == labels.len()
+                && s.labels
+                    .iter()
+                    .zip(labels.iter())
+                    .all(|(a, b)| a.0 == b.0 && a.1 == b.1)
+        }) {
+            return unwrap(&existing.metric).expect("metric series kind mismatch");
+        }
+        let metric = make();
+        family.series.push(Series {
+            labels: labels.iter().map(|&(k, v)| (k, v.to_string())).collect(),
+            metric: wrap(Arc::clone(&metric)),
+        });
+        metric
+    }
+
+    /// Register (or look up) a counter series.
+    pub fn counter(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        stability: Stability,
+        labels: &[(&'static str, &str)],
+    ) -> Arc<Counter> {
+        self.register(
+            name,
+            help,
+            Kind::Counter,
+            stability,
+            labels,
+            || Arc::new(Counter::new()),
+            Metric::Counter,
+            |m| match m {
+                Metric::Counter(c) => Some(Arc::clone(c)),
+                _ => None,
+            },
+        )
+    }
+
+    /// Register (or look up) a gauge series.
+    pub fn gauge(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        stability: Stability,
+        labels: &[(&'static str, &str)],
+    ) -> Arc<Gauge> {
+        self.register(
+            name,
+            help,
+            Kind::Gauge,
+            stability,
+            labels,
+            || Arc::new(Gauge::new()),
+            Metric::Gauge,
+            |m| match m {
+                Metric::Gauge(g) => Some(Arc::clone(g)),
+                _ => None,
+            },
+        )
+    }
+
+    /// Register (or look up) a histogram series.
+    pub fn histogram(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        stability: Stability,
+        labels: &[(&'static str, &str)],
+    ) -> Arc<Histogram> {
+        self.register(
+            name,
+            help,
+            Kind::Histogram,
+            stability,
+            labels,
+            || Arc::new(Histogram::new()),
+            Metric::Histogram,
+            |m| match m {
+                Metric::Histogram(h) => Some(Arc::clone(h)),
+                _ => None,
+            },
+        )
+    }
+
+    /// Capture every registered series. Series are sorted by
+    /// (family name, label values) so the snapshot order — and therefore
+    /// every rendering — is independent of registration order across
+    /// threads.
+    pub fn snapshot(&self) -> Snapshot {
+        let families = self.families.lock().unwrap();
+        let mut series = Vec::new();
+        for f in families.iter() {
+            for s in &f.series {
+                series.push(SeriesSnapshot {
+                    name: f.name,
+                    help: f.help,
+                    kind: f.kind,
+                    stability: f.stability,
+                    labels: s.labels.iter().map(|(k, v)| (*k, v.clone())).collect(),
+                    value: match &s.metric {
+                        Metric::Counter(c) => Value::Counter(c.get()),
+                        Metric::Gauge(g) => Value::Gauge(g.get()),
+                        Metric::Histogram(h) => Value::Histogram(h.snapshot()),
+                    },
+                });
+            }
+        }
+        series.sort_by(|a, b| (a.name, &a.labels).cmp(&(b.name, &b.labels)));
+        Snapshot { series }
+    }
+}
+
+/// The process-global registry every instrumented layer records into.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// One series' value at snapshot time. The histogram variant inlines
+/// its 64 buckets — snapshots are cold-path plain data, and keeping
+/// them boxless keeps `since`/`merge` allocation-free.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Counter(u64),
+    Gauge(i64),
+    Histogram(HistogramSnapshot),
+}
+
+/// One series at snapshot time.
+#[derive(Debug, Clone)]
+pub struct SeriesSnapshot {
+    pub name: &'static str,
+    pub help: &'static str,
+    kind: Kind,
+    pub stability: Stability,
+    pub labels: Vec<(&'static str, String)>,
+    pub value: Value,
+}
+
+impl SeriesSnapshot {
+    fn label_string(&self) -> String {
+        if self.labels.is_empty() {
+            return String::new();
+        }
+        let inner: Vec<String> = self
+            .labels
+            .iter()
+            .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+            .collect();
+        format!("{{{}}}", inner.join(","))
+    }
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Deterministically ordered, plain-data capture of the registry.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    pub series: Vec<SeriesSnapshot>,
+}
+
+impl Snapshot {
+    /// Subtract an earlier snapshot series-wise to scope the capture to a
+    /// run. Series missing from `earlier` pass through unchanged; gauges
+    /// keep their latest value (they are not cumulative).
+    pub fn since(&self, earlier: &Snapshot) -> Snapshot {
+        let series = self
+            .series
+            .iter()
+            .map(|s| {
+                let before = earlier
+                    .series
+                    .iter()
+                    .find(|e| e.name == s.name && e.labels == s.labels);
+                let value = match (&s.value, before.map(|b| &b.value)) {
+                    (Value::Counter(now), Some(Value::Counter(then))) => {
+                        Value::Counter(now.saturating_sub(*then))
+                    }
+                    (Value::Histogram(now), Some(Value::Histogram(then))) => {
+                        Value::Histogram(now.since(then))
+                    }
+                    (v, _) => v.clone(),
+                };
+                SeriesSnapshot { value, ..s.clone() }
+            })
+            .collect();
+        Snapshot { series }
+    }
+
+    /// Look up a counter's value by family name and exact label set.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        self.find(name, labels).and_then(|s| match &s.value {
+            Value::Counter(v) => Some(*v),
+            _ => None,
+        })
+    }
+
+    /// Look up a histogram snapshot by family name and exact label set.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<&HistogramSnapshot> {
+        self.find(name, labels).and_then(|s| match &s.value {
+            Value::Histogram(h) => Some(h),
+            _ => None,
+        })
+    }
+
+    fn find(&self, name: &str, labels: &[(&str, &str)]) -> Option<&SeriesSnapshot> {
+        self.series.iter().find(|s| {
+            s.name == name
+                && s.labels.len() == labels.len()
+                && s.labels
+                    .iter()
+                    .zip(labels.iter())
+                    .all(|(a, b)| a.0 == b.0 && a.1 == b.1)
+        })
+    }
+
+    /// Sum of a counter family across all label sets.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.series
+            .iter()
+            .filter(|s| s.name == name)
+            .filter_map(|s| match &s.value {
+                Value::Counter(v) => Some(*v),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Prometheus text exposition of every series. Families carry a
+    /// non-standard `# STABILITY` comment so consumers (and the byte-
+    /// stability check) can tell reproducible series from timing series.
+    pub fn prometheus(&self) -> String {
+        self.render(|_| true)
+    }
+
+    /// Prometheus text exposition restricted to deterministic families.
+    /// This rendering is byte-stable across runs and `--jobs` values.
+    pub fn prometheus_deterministic(&self) -> String {
+        self.render(|s| s.stability == Stability::Deterministic)
+    }
+
+    fn render(&self, keep: impl Fn(&SeriesSnapshot) -> bool) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let mut last_family: Option<&str> = None;
+        for s in self.series.iter().filter(|s| keep(s)) {
+            if last_family != Some(s.name) {
+                writeln!(out, "# HELP {} {}", s.name, s.help).unwrap();
+                writeln!(out, "# TYPE {} {}", s.name, s.kind.label()).unwrap();
+                writeln!(out, "# STABILITY {} {}", s.name, s.stability.label()).unwrap();
+                last_family = Some(s.name);
+            }
+            let labels = s.label_string();
+            match &s.value {
+                Value::Counter(v) => writeln!(out, "{}{} {}", s.name, labels, v).unwrap(),
+                Value::Gauge(v) => writeln!(out, "{}{} {}", s.name, labels, v).unwrap(),
+                Value::Histogram(h) => {
+                    let mut cum = 0u64;
+                    for (i, &b) in h.buckets.iter().enumerate() {
+                        if b == 0 && i != 0 {
+                            continue;
+                        }
+                        cum += b;
+                        writeln!(
+                            out,
+                            "{}_bucket{} {}",
+                            s.name,
+                            with_label(&s.labels, "le", &bucket_upper_edge(i).to_string()),
+                            cum
+                        )
+                        .unwrap();
+                    }
+                    writeln!(
+                        out,
+                        "{}_bucket{} {}",
+                        s.name,
+                        with_label(&s.labels, "le", "+Inf"),
+                        h.count
+                    )
+                    .unwrap();
+                    writeln!(out, "{}_sum{} {}", s.name, labels, h.sum).unwrap();
+                    writeln!(out, "{}_count{} {}", s.name, labels, h.count).unwrap();
+                }
+            }
+        }
+        out
+    }
+
+    /// Compact human rendering appended to `--stats` by `--metrics`.
+    pub fn human_table(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::from("metrics:\n");
+        for s in &self.series {
+            let skip = match &s.value {
+                Value::Counter(0) => true,
+                Value::Histogram(h) => h.count == 0,
+                _ => false,
+            };
+            if skip {
+                continue;
+            }
+            match &s.value {
+                Value::Counter(v) => {
+                    writeln!(out, "  {}{} = {}", s.name, s.label_string(), v).unwrap()
+                }
+                Value::Gauge(v) => {
+                    writeln!(out, "  {}{} = {}", s.name, s.label_string(), v).unwrap()
+                }
+                Value::Histogram(h) => writeln!(
+                    out,
+                    "  {}{} count={} p50<={} p90<={} p99<={} max<={}",
+                    s.name,
+                    s.label_string(),
+                    h.count,
+                    h.quantile(0.50),
+                    h.quantile(0.90),
+                    h.quantile(0.99),
+                    h.max_estimate(),
+                )
+                .unwrap(),
+            }
+        }
+        out
+    }
+}
+
+fn with_label(labels: &[(&'static str, String)], key: &str, value: &str) -> String {
+    let mut inner: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    inner.push(format!("{key}=\"{value}\""));
+    format!("{{{}}}", inner.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_scheme_is_log2_with_zero_bucket() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 63);
+        assert_eq!(bucket_upper_edge(0), 0);
+        assert_eq!(bucket_upper_edge(10), 1023);
+    }
+
+    #[test]
+    fn quantiles_are_upper_edges() {
+        let h = Histogram::new();
+        for v in [1u64, 2, 3, 5, 9, 17, 900, 1000] {
+            h.observe(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 8);
+        assert_eq!(snap.quantile(0.5), 7); // 4th sample (value 5) -> bucket 3
+        assert_eq!(snap.quantile(1.0), 1023);
+        assert_eq!(snap.max_estimate(), 1023);
+    }
+
+    #[test]
+    fn merge_is_commutative_and_since_subtracts() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for v in 0..100u64 {
+            if v % 2 == 0 {
+                a.observe(v);
+            } else {
+                b.observe(v);
+            }
+        }
+        let mut ab = a.snapshot();
+        ab.merge(&b.snapshot());
+        let mut ba = b.snapshot();
+        ba.merge(&a.snapshot());
+        assert_eq!(ab, ba);
+        assert_eq!(ab.count, 100);
+        assert_eq!(ab.since(&a.snapshot()), b.snapshot());
+    }
+
+    #[test]
+    fn registry_snapshot_is_sorted_and_queryable() {
+        let r = Registry::new();
+        let c2 = r.counter("z_total", "z", Stability::Deterministic, &[("k", "b")]);
+        let c1 = r.counter("z_total", "z", Stability::Deterministic, &[("k", "a")]);
+        let h = r.histogram("a_ns", "a", Stability::Timing, &[]);
+        c1.add(1);
+        c2.add(2);
+        h.observe(1000);
+        let snap = r.snapshot();
+        let names: Vec<_> = snap
+            .series
+            .iter()
+            .map(|s| (s.name, s.labels.clone()))
+            .collect();
+        assert_eq!(names[0].0, "a_ns");
+        assert_eq!(names[1].1[0].1, "a");
+        assert_eq!(names[2].1[0].1, "b");
+        assert_eq!(snap.counter("z_total", &[("k", "b")]), Some(2));
+        assert_eq!(snap.counter_total("z_total"), 3);
+        let det = snap.prometheus_deterministic();
+        assert!(det.contains("z_total{k=\"a\"} 1"));
+        assert!(!det.contains("a_ns"));
+        let full = snap.prometheus();
+        assert!(full.contains("# STABILITY a_ns timing"));
+        assert!(full.contains("a_ns_bucket{le=\"+Inf\"} 1"));
+    }
+
+    #[test]
+    fn reregistration_returns_same_series() {
+        let r = Registry::new();
+        let a = r.counter("dup_total", "d", Stability::Deterministic, &[]);
+        let b = r.counter("dup_total", "d", Stability::Deterministic, &[]);
+        a.add(3);
+        b.add(4);
+        assert_eq!(r.snapshot().counter("dup_total", &[]), Some(7));
+    }
+}

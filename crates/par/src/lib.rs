@@ -18,6 +18,34 @@
 //! `pdce_trace::merge_collected`).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Registry handles for pool telemetry: items processed, and the
+/// queue-wait histogram — how long each item sat between batch start and
+/// a worker claiming it. Queue wait is the `--jobs` lever the future
+/// serving loop tunes against, and a wall-clock measurement, so the
+/// family is registered as timing (excluded from byte-stability checks).
+mod pool_metrics {
+    use pdce_metrics::{global, Counter, Histogram, Stability};
+    use std::sync::{Arc, LazyLock};
+
+    pub static ITEMS: LazyLock<Arc<Counter>> = LazyLock::new(|| {
+        global().counter(
+            "pdce_par_items_total",
+            "Work items processed by the batch pool",
+            Stability::Deterministic,
+            &[],
+        )
+    });
+    pub static QUEUE_WAIT: LazyLock<Arc<Histogram>> = LazyLock::new(|| {
+        global().histogram(
+            "pdce_par_queue_wait_ns",
+            "Nanoseconds between batch start and a worker claiming the item",
+            Stability::Timing,
+            &[],
+        )
+    });
+}
 
 /// A sensible default worker count: the machine's available
 /// parallelism, or 1 if that cannot be determined.
@@ -68,11 +96,17 @@ where
         })
     };
     let jobs = jobs.max(1).min(items.len().max(1));
+    let batch_start = Instant::now();
+    let claim = |i: usize| {
+        pool_metrics::ITEMS.inc();
+        pool_metrics::QUEUE_WAIT.observe(batch_start.elapsed().as_nanos() as u64);
+        i
+    };
     if jobs == 1 {
         return items
             .iter()
             .enumerate()
-            .map(|(i, t)| catch_item(i, t))
+            .map(|(i, t)| catch_item(claim(i), t))
             .collect();
     }
     let next = AtomicUsize::new(0);
@@ -86,7 +120,7 @@ where
                         if i >= items.len() {
                             break;
                         }
-                        local.push((i, catch_item(i, &items[i])));
+                        local.push((i, catch_item(claim(i), &items[i])));
                     }
                     local
                 })

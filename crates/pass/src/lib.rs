@@ -341,6 +341,56 @@ impl Pipeline {
     }
 }
 
+/// Registry handles for the per-pass histogram families. Handles are
+/// cached per thread so the hot path never takes the registration lock;
+/// pass names are `&'static str` from [`Pass::name`], which makes them
+/// usable as both map keys and label values.
+mod pass_metrics {
+    use pdce_metrics::{global, Histogram, Stability};
+    use std::cell::RefCell;
+    use std::collections::HashMap;
+    use std::rc::Rc;
+    use std::sync::Arc;
+
+    pub struct Handles {
+        pub wall_ns: Arc<Histogram>,
+        pub alloc_bytes: Arc<Histogram>,
+        pub allocs: Arc<Histogram>,
+    }
+
+    thread_local! {
+        static HANDLES: RefCell<HashMap<&'static str, Rc<Handles>>> =
+            RefCell::new(HashMap::new());
+    }
+
+    pub fn for_pass(name: &'static str) -> Rc<Handles> {
+        HANDLES.with(|map| {
+            Rc::clone(map.borrow_mut().entry(name).or_insert_with(|| {
+                Rc::new(Handles {
+                    wall_ns: global().histogram(
+                        "pdce_pass_wall_ns",
+                        "Per-pass wall time in nanoseconds",
+                        Stability::Timing,
+                        &[("pass", name)],
+                    ),
+                    alloc_bytes: global().histogram(
+                        "pdce_pass_alloc_bytes",
+                        "Bytes allocated per pass execution (moves only with --features alloc-metrics)",
+                        Stability::Timing,
+                        &[("pass", name)],
+                    ),
+                    allocs: global().histogram(
+                        "pdce_pass_allocs",
+                        "Allocations per pass execution (moves only with --features alloc-metrics)",
+                        Stability::Timing,
+                        &[("pass", name)],
+                    ),
+                })
+            }))
+        })
+    }
+}
+
 /// The pre-pass snapshot: `(revision, program)`. Keyed by the revision
 /// counter so consecutive passes that leave the program untouched (or
 /// a rollback that restored this very revision) reuse one clone
@@ -368,6 +418,7 @@ fn run_steps(
                 // One span per pass execution; the same guard supplies
                 // the wall time for `PassMetrics` whether or not a
                 // tracer is installed.
+                let alloc_before = pdce_metrics::alloc::snapshot();
                 let span = pdce_trace::timed_span("pass", pass.name());
                 // The sandbox turns a panicking (or budget-exhausted)
                 // pass into a structured failure; the checkpoint makes
@@ -402,6 +453,13 @@ fn run_steps(
                 };
                 metrics.runs += 1;
                 metrics.wall_ns += elapsed;
+                let handles = pass_metrics::for_pass(pass.name());
+                handles.wall_ns.observe(elapsed as u64);
+                if pdce_metrics::alloc::active() {
+                    let alloc = pdce_metrics::alloc::snapshot().since(&alloc_before);
+                    handles.alloc_bytes.observe(alloc.bytes);
+                    handles.allocs.observe(alloc.allocs);
+                }
                 match result {
                     Ok(outcome) => {
                         report.outcome.merge(&outcome);

@@ -690,13 +690,79 @@ pub fn merge_collected(parts: Vec<Collected>) -> Collected {
     merged
 }
 
-/// Adds one solver run's counters into the per-thread accumulator.
+/// Registry handles for the solver counter families. Registered lazily on
+/// the first solve; every later update is a lock-free atomic add into the
+/// process-global `pdce-metrics` registry, aggregating across all worker
+/// threads (unlike the per-thread [`SolverStats`] accumulator below).
+mod solver_metrics {
+    use pdce_metrics::{global, Counter, Stability};
+    use std::sync::{Arc, LazyLock};
+
+    pub static FIFO_POPS: LazyLock<Arc<Counter>> = LazyLock::new(|| {
+        global().counter(
+            "pdce_solver_pops_total",
+            "Worklist pops by solver strategy",
+            Stability::Deterministic,
+            &[("strategy", "fifo")],
+        )
+    });
+    pub static PRIORITY_POPS: LazyLock<Arc<Counter>> = LazyLock::new(|| {
+        global().counter(
+            "pdce_solver_pops_total",
+            "Worklist pops by solver strategy",
+            Stability::Deterministic,
+            &[("strategy", "priority")],
+        )
+    });
+    pub static SEEDED_POPS: LazyLock<Arc<Counter>> = LazyLock::new(|| {
+        global().counter(
+            "pdce_solver_seeded_pops_total",
+            "Worklist pops performed by warm-started (seeded) solves",
+            Stability::Deterministic,
+            &[],
+        )
+    });
+    pub static WORD_OPS: LazyLock<Arc<Counter>> = LazyLock::new(|| {
+        global().counter(
+            "pdce_solver_word_ops_total",
+            "Bit-vector word operations performed by solvers",
+            Stability::Deterministic,
+            &[],
+        )
+    });
+    pub static COLD_SOLVES: LazyLock<Arc<Counter>> = LazyLock::new(|| {
+        global().counter(
+            "pdce_solver_solves_total",
+            "Data-flow problems solved, by start mode",
+            Stability::Deterministic,
+            &[("start", "cold")],
+        )
+    });
+    pub static WARM_SOLVES: LazyLock<Arc<Counter>> = LazyLock::new(|| {
+        global().counter(
+            "pdce_solver_solves_total",
+            "Data-flow problems solved, by start mode",
+            Stability::Deterministic,
+            &[("start", "warm")],
+        )
+    });
+}
+
+/// Adds one solver run's counters into the per-thread accumulator and
+/// mirrors the hot counters (pops, seeded pops, word ops, solve starts)
+/// into the process-global metrics registry.
 pub fn record_solver(delta: SolverStats) {
     SOLVER.with(|s| {
         let mut total = s.get();
         total.add(&delta);
         s.set(total);
     });
+    solver_metrics::FIFO_POPS.add(delta.fifo_pops);
+    solver_metrics::PRIORITY_POPS.add(delta.priority_pops);
+    solver_metrics::SEEDED_POPS.add(delta.seeded_pops);
+    solver_metrics::WORD_OPS.add(delta.word_ops);
+    solver_metrics::COLD_SOLVES.add(delta.cold_solves);
+    solver_metrics::WARM_SOLVES.add(delta.warm_solves);
 }
 
 /// The per-thread solver counter totals since thread start. Snapshot

@@ -53,7 +53,9 @@ const USAGE: &str = "usage:
                [--max-rounds N] [--solver fifo|priority] [--jobs N]
                [--simplify] [--stats] [--verify] [--no-incremental]
                [--validate-semantics[=K]] [--max-pops N] [--wall-ms N]
-               [--trace FILE.json] [--explain] [FILE...]
+               [--trace FILE.json] [--explain] [--metrics]
+               [--metrics-out FILE.prom] [--events-out FILE.jsonl]
+               [FILE...]
                SPEC is a comma-separated pass list with repeat(...) groups,
                e.g. --passes 'sccp,lvn,repeat(fce,sink),simplify'
                --trace writes a Chrome trace_events JSON (chrome://tracing,
@@ -74,6 +76,12 @@ const USAGE: &str = "usage:
                degrades the run down the resilience ladder instead of
                failing (cold solve, fifo solver, elimination only, and
                finally the identity transformation)
+               --metrics appends the run's metric registry (counters and
+               latency quantiles) to the --stats output; --metrics-out
+               writes the same registry as a Prometheus text-exposition
+               snapshot at exit; --events-out writes a structured JSONL
+               event log (run id, per-file and per-pass attribution)
+               whose bytes are independent of --jobs
   pdce run     [--in name=value]... [--seed N] [--fuel N] [FILE]
   pdce analyze [FILE]
   pdce universe [--mode pde|pfe] [--max N] [FILE]
@@ -231,6 +239,91 @@ fn maybe_with_strategy<R>(
     }
 }
 
+/// Registry handle for the per-file latency histogram; both the
+/// single-file and the batch path observe one sample per optimized file.
+fn file_wall_hist() -> std::sync::Arc<pdce::metrics::Histogram> {
+    use std::sync::{Arc, LazyLock};
+    static HIST: LazyLock<Arc<pdce::metrics::Histogram>> = LazyLock::new(|| {
+        pdce::metrics::global().histogram(
+            "pdce_file_wall_ns",
+            "Per-file end-to-end optimization wall time in nanoseconds",
+            pdce::metrics::Stability::Timing,
+            &[],
+        )
+    });
+    Arc::clone(&HIST)
+}
+
+/// What `--metrics`, `--metrics-out`, and `--events-out` asked for, plus
+/// the deterministic run id events are stamped with.
+struct TelemetryOptions {
+    want_metrics: bool,
+    metrics_out: Option<String>,
+    events_out: Option<String>,
+    run_id: String,
+}
+
+impl TelemetryOptions {
+    fn wants_events(&self) -> bool {
+        self.events_out.is_some()
+    }
+
+    /// Writes the run-scoped registry snapshot (everything recorded since
+    /// `base`) and the event log to wherever the flags pointed.
+    fn emit(
+        &self,
+        base: &pdce::metrics::Snapshot,
+        events: &pdce::metrics::events::EventLog,
+    ) -> Result<(), CliError> {
+        if self.want_metrics || self.metrics_out.is_some() {
+            let snap = pdce::metrics::global().snapshot().since(base);
+            if let Some(path) = &self.metrics_out {
+                std::fs::write(path, snap.prometheus())
+                    .map_err(|e| failed(format!("cannot write metrics `{path}`: {e}")))?;
+                eprintln!("metrics: wrote {} series to {path}", snap.series.len());
+            }
+            if self.want_metrics {
+                eprint!("{}", snap.human_table());
+            }
+        }
+        if let Some(path) = &self.events_out {
+            std::fs::write(path, events.to_jsonl())
+                .map_err(|e| failed(format!("cannot write events `{path}`: {e}")))?;
+            eprintln!("events: wrote {} event(s) to {path}", events.len());
+        }
+        Ok(())
+    }
+}
+
+/// One `file` event for the JSONL log, attributing a file's outcome to
+/// the run: what changed, which resilience rung won, and what the cache
+/// and solvers did. Deliberately carries no wall-clock fields so the log
+/// stays byte-identical across `--jobs` values.
+fn file_event(
+    path: &str,
+    index: usize,
+    stats: &pdce::core::driver::PdceStats,
+) -> pdce::metrics::events::Event {
+    pdce::metrics::events::Event::new("file")
+        .field("file", path)
+        .field("index", index)
+        .field("rounds", stats.rounds)
+        .field("eliminated", stats.eliminated_assignments)
+        .field("sunk", stats.sunk_assignments)
+        .field("inserted", stats.inserted_assignments)
+        .field("rung", stats.degraded.map_or("none", |m| m.label()))
+        .field("tv_checks", stats.tv_checks)
+        .field("tv_rollbacks", stats.tv_rollbacks)
+        .field("rollbacks", stats.rollbacks)
+        .field("budget_exhaustions", stats.budget_exhaustions)
+        .field("cache_hits", stats.cache.hits())
+        .field("cache_misses", stats.cache.misses())
+        .field("cfg_relayouts", stats.cache.cfg_relayouts)
+        .field("pops", stats.solver.pops())
+        .field("seeded_pops", stats.solver.seeded_pops)
+        .field("word_ops", stats.solver.word_ops)
+}
+
 fn cmd_opt(args: &[String]) -> Result<(), CliError> {
     let parsed = parse_args(
         args,
@@ -244,6 +337,8 @@ fn cmd_opt(args: &[String]) -> Result<(), CliError> {
             "jobs",
             "max-pops",
             "wall-ms",
+            "metrics-out",
+            "events-out",
         ],
         &[
             "stats",
@@ -252,8 +347,12 @@ fn cmd_opt(args: &[String]) -> Result<(), CliError> {
             "explain",
             "no-incremental",
             "validate-semantics",
+            "metrics",
         ],
     )?;
+    // Baseline snapshot scoping every telemetry exposition to this run
+    // (relevant in-process; from a fresh CLI process it is all zeros).
+    let metrics_base = pdce::metrics::global().snapshot();
     let mut config = PdceConfig::pde();
     let mut passes_spec: Option<String> = None;
     let mut trace_path: Option<String> = None;
@@ -266,6 +365,9 @@ fn cmd_opt(args: &[String]) -> Result<(), CliError> {
     let mut incremental = true;
     let mut budget = pdce::trace::budget::Budget::UNLIMITED;
     let mut validate: Option<u32> = None;
+    let mut want_metrics = false;
+    let mut metrics_out: Option<String> = None;
+    let mut events_out: Option<String> = None;
     for (name, value) in &parsed.flags {
         match name.as_str() {
             "passes" => passes_spec = Some(value.clone()),
@@ -327,6 +429,9 @@ fn cmd_opt(args: &[String]) -> Result<(), CliError> {
             "simplify" => want_simplify = true,
             "explain" => want_explain = true,
             "no-incremental" => incremental = false,
+            "metrics" => want_metrics = true,
+            "metrics-out" => metrics_out = Some(value.clone()),
+            "events-out" => events_out = Some(value.clone()),
             _ => unreachable!(),
         }
     }
@@ -335,6 +440,28 @@ fn cmd_opt(args: &[String]) -> Result<(), CliError> {
     if let Some(k) = validate {
         config = config.with_validation(k);
     }
+    // The run id hashes the logical request — flags and files — but not
+    // the flags that vary without changing the work (`--jobs`, output
+    // paths), so event logs from equivalent runs carry the same id.
+    let run_id = pdce::metrics::events::run_id(
+        std::iter::once("opt")
+            .chain(
+                parsed
+                    .flags
+                    .iter()
+                    .filter(|(n, _)| {
+                        !matches!(n.as_str(), "jobs" | "trace" | "metrics-out" | "events-out")
+                    })
+                    .flat_map(|(n, v)| [n.as_str(), v.as_str()]),
+            )
+            .chain(parsed.files.iter().map(String::as_str)),
+    );
+    let telemetry = TelemetryOptions {
+        want_metrics,
+        metrics_out,
+        events_out,
+        run_id,
+    };
     if parsed.files.len() > 1 {
         if passes_spec.is_some() {
             return Err(usage("--passes is single-file only"));
@@ -350,10 +477,18 @@ fn cmd_opt(args: &[String]) -> Result<(), CliError> {
             want_simplify,
             want_explain,
             incremental,
+            telemetry: &telemetry,
+            metrics_base: &metrics_base,
         });
     }
+    let display = parsed.single_file()?.unwrap_or("<stdin>").to_string();
     let original = load(parsed.single_file()?)?;
     let mut prog = original.clone();
+    let mut events = pdce::metrics::events::EventLog::new(telemetry.run_id.clone());
+    if telemetry.wants_events() {
+        events.record(pdce::metrics::events::Event::new("run").field("files", 1usize));
+    }
+    let file_start = std::time::Instant::now();
     let collector = (trace_path.is_some() || want_explain)
         .then(|| std::rc::Rc::new(pdce::trace::Collector::new()));
     {
@@ -372,6 +507,20 @@ fn cmd_opt(args: &[String]) -> Result<(), CliError> {
             }
             let pipeline = pdce::pass::Pipeline::parse(spec).map_err(|e| usage(e.to_string()))?;
             let report = maybe_with_strategy(strategy, incremental, || pipeline.run(&mut prog));
+            if telemetry.wants_events() {
+                for m in &report.passes {
+                    events.record(
+                        pdce::metrics::events::Event::new("pass")
+                            .field("file", display.as_str())
+                            .field("pass", m.name.as_str())
+                            .field("runs", m.runs)
+                            .field("changed_runs", m.changed_runs)
+                            .field("removed", m.removed)
+                            .field("inserted", m.inserted)
+                            .field("rewritten", m.rewritten),
+                    );
+                }
+            }
             if want_simplify {
                 pdce::ir::simplify_cfg(&mut prog);
             }
@@ -394,6 +543,9 @@ fn cmd_opt(args: &[String]) -> Result<(), CliError> {
             let stats = maybe_with_strategy(strategy, incremental, || {
                 optimize_resilient(&mut prog, &config)
             });
+            if telemetry.wants_events() {
+                events.record(file_event(&display, 0, &stats));
+            }
             for note in &stats.failure_log {
                 eprintln!("warning: {note}");
             }
@@ -452,6 +604,7 @@ fn cmd_opt(args: &[String]) -> Result<(), CliError> {
             }
         }
     }
+    file_wall_hist().observe(file_start.elapsed().as_nanos() as u64);
     if let Some(c) = &collector {
         if let Some(path) = &trace_path {
             let json = pdce::trace::chrome::chrome_trace(
@@ -475,6 +628,7 @@ fn cmd_opt(args: &[String]) -> Result<(), CliError> {
             );
         }
     }
+    telemetry.emit(&metrics_base, &events)?;
     if want_verify {
         let report = check_improvement(&original, &prog, &BetterOptions::default());
         if !report.holds() {
@@ -501,6 +655,8 @@ struct BatchOptions<'a> {
     want_simplify: bool,
     want_explain: bool,
     incremental: bool,
+    telemetry: &'a TelemetryOptions,
+    metrics_base: &'a pdce::metrics::Snapshot,
 }
 
 /// Per-file result of a batch worker.
@@ -538,6 +694,7 @@ fn cmd_opt_batch(opts: &BatchOptions) -> Result<(), CliError> {
     let outcomes: Vec<(Result<FileReport, FileError>, Option<Collected>)> =
         pdce::par::try_map_indexed(opts.jobs, opts.files, |_, path| {
             let collector = want_collect.then(|| std::rc::Rc::new(pdce::trace::Collector::new()));
+            let file_start = std::time::Instant::now();
             let result = {
                 let _guard = collector.as_ref().map(|c| {
                     pdce::trace::install(c.clone() as std::rc::Rc<dyn pdce::trace::Tracer>)
@@ -546,6 +703,7 @@ fn cmd_opt_batch(opts: &BatchOptions) -> Result<(), CliError> {
                     optimize_one_file(path, opts.config, opts.want_simplify, opts.want_verify)
                 })
             };
+            file_wall_hist().observe(file_start.elapsed().as_nanos() as u64);
             let collected = collector.as_ref().map(|c| Collected::from_collector(c));
             (result, collected)
         })
@@ -609,6 +767,46 @@ fn cmd_opt_batch(opts: &BatchOptions) -> Result<(), CliError> {
             totals.priority_pops
         );
     }
+    // One event per file, in argument order — the same merge rule as
+    // traces — so the log's bytes are independent of `--jobs`.
+    let mut events = pdce::metrics::events::EventLog::new(opts.telemetry.run_id.clone());
+    if opts.telemetry.wants_events() {
+        events.record(pdce::metrics::events::Event::new("run").field("files", opts.files.len()));
+        for (index, (path, (result, _))) in opts.files.iter().zip(&outcomes).enumerate() {
+            match result {
+                Ok(report) => events.record(file_event(path, index, &report.stats)),
+                Err(e) => events.record(
+                    pdce::metrics::events::Event::new("file")
+                        .field("file", path.as_str())
+                        .field("index", index)
+                        .field("error", e.message.as_str()),
+                ),
+            }
+        }
+    }
+    if opts.want_explain {
+        // Explain sections come out in argument file order, one per
+        // file, each rendered against that file's own solver totals.
+        // (Workers accumulate `solver_totals()` thread-locally, so the
+        // main thread's totals are empty under --jobs N; the per-file
+        // stats carried in the report are the correct source.)
+        for (path, (result, collected)) in opts.files.iter().zip(&outcomes) {
+            eprintln!("// ==== {path} ====");
+            match result {
+                Ok(report) => {
+                    let provenance = collected
+                        .as_ref()
+                        .map(|c| c.provenance.as_slice())
+                        .unwrap_or(&[]);
+                    eprint!(
+                        "{}",
+                        pdce::trace::explain::render_with_solver(provenance, &report.stats.solver)
+                    );
+                }
+                Err(_) => eprintln!("file failed; no provenance"),
+            }
+        }
+    }
     if want_collect {
         let merged = merge_collected(
             outcomes
@@ -630,16 +828,8 @@ fn cmd_opt_batch(opts: &BatchOptions) -> Result<(), CliError> {
                 merged.events.len()
             );
         }
-        if opts.want_explain {
-            eprint!(
-                "{}",
-                pdce::trace::explain::render_with_solver(
-                    &merged.provenance,
-                    &pdce::trace::solver_totals()
-                )
-            );
-        }
     }
+    opts.telemetry.emit(opts.metrics_base, &events)?;
     if errors > 0 {
         let msg = format!("{errors} of {} file(s) failed", opts.files.len());
         return Err(if all_bad_input {

@@ -15,6 +15,9 @@
 //! * [`trace`] — structured tracing: span/event collector, solver
 //!   telemetry, transformation provenance, Chrome-trace and `--explain`
 //!   exporters
+//! * [`metrics`] — always-on metrics plane: lock-free registry of
+//!   counters/gauges/log2 histograms, Prometheus exposition, JSONL event
+//!   log, optional counting allocator (`--features alloc-metrics`)
 //!
 //! # Quickstart
 //!
@@ -54,11 +57,19 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+// With `--features alloc-metrics`, route every allocation in this crate's
+// binaries and tests through the counting allocator so the per-pass
+// allocation histograms carry real data.
+#[cfg(feature = "alloc-metrics")]
+#[global_allocator]
+static COUNTING_ALLOC: pdce_metrics::alloc::CountingAlloc = pdce_metrics::alloc::CountingAlloc;
+
 pub use pdce_baselines as baselines;
 pub use pdce_core as core;
 pub use pdce_dfa as dfa;
 pub use pdce_ir as ir;
 pub use pdce_lcm as lcm;
+pub use pdce_metrics as metrics;
 pub use pdce_par as par;
 pub use pdce_pass as pass;
 pub use pdce_progen as progen;

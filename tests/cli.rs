@@ -386,3 +386,147 @@ fn generous_budget_flags_do_not_degrade() {
     assert!(stderr.contains("eliminated:  1"), "stderr: {stderr}");
     assert!(!stderr.contains("degraded"), "stderr: {stderr}");
 }
+
+/// Batch `--explain` renders one provenance section per file, in
+/// argument order, independent of the worker count — worker solver
+/// stats are thread-local, so the sections must be built from the
+/// per-file reports, not from main-thread totals.
+#[test]
+fn batch_explain_is_ordered_and_jobs_invariant() {
+    let loopy = "prog {
+        block s { goto l }
+        block l { y := a + b; nondet l d }
+        block d { out(y); goto e }
+        block e { halt }
+    }";
+    let f1 = temp_file("explain1", FIG1);
+    let f2 = temp_file("explain2", loopy);
+    let f3 = temp_file("explain3", FIG1);
+    let paths: Vec<&str> = [&f1, &f2, &f3]
+        .iter()
+        .map(|p| p.to_str().unwrap())
+        .collect();
+    let run = |jobs: &str| {
+        let args: Vec<&str> = ["opt", "--explain", "--jobs", jobs]
+            .into_iter()
+            .chain(paths.iter().copied())
+            .collect();
+        let (_, stderr, ok) = pdce(&args, "");
+        assert!(ok, "jobs={jobs} stderr: {stderr}");
+        stderr
+    };
+    let seq = run("1");
+    let par = run("4");
+    assert_eq!(seq, par, "explain output must not depend on --jobs");
+    // One header per file, in argument order.
+    let positions: Vec<usize> = paths
+        .iter()
+        .map(|p| {
+            seq.find(&format!("// ==== {p} ===="))
+                .unwrap_or_else(|| panic!("missing section for {p} in: {seq}"))
+        })
+        .collect();
+    assert!(positions[0] < positions[1] && positions[1] < positions[2]);
+    // The sections carry real provenance, including per-file solver
+    // telemetry (which lives on worker threads under --jobs).
+    assert!(seq.contains("transformation(s), in application order"));
+    assert!(seq.contains("cold solve(s)"), "stderr: {seq}");
+    for f in [f1, f2, f3] {
+        std::fs::remove_file(f).ok();
+    }
+}
+
+/// Keep only the sample lines of deterministic families (marked by the
+/// `# STABILITY <name> deterministic` comment) from a Prometheus
+/// exposition.
+fn deterministic_series(prom: &str) -> String {
+    let stable: Vec<&str> = prom
+        .lines()
+        .filter_map(|l| l.strip_prefix("# STABILITY "))
+        .filter_map(|l| l.strip_suffix(" deterministic"))
+        .collect();
+    prom.lines()
+        .filter(|l| !l.starts_with('#') && !l.is_empty())
+        .filter(|l| {
+            let family = l
+                .split(['{', ' '])
+                .next()
+                .unwrap_or("")
+                .trim_end_matches("_bucket")
+                .trim_end_matches("_sum")
+                .trim_end_matches("_count");
+            stable.contains(&family)
+        })
+        .map(|l| format!("{l}\n"))
+        .collect()
+}
+
+/// `--metrics-out` snapshots restrict to byte-identical deterministic
+/// series for any `--jobs` value, and `--events-out` logs are
+/// byte-identical outright (no wall-clock fields, argument-order seq).
+#[test]
+fn metrics_and_events_snapshots_are_jobs_invariant() {
+    let f1 = temp_file("metrics1", FIG1);
+    let f2 = temp_file("metrics2", FIG1);
+    let run = |jobs: &str| {
+        let tag = format!("out-j{jobs}-{}", std::process::id());
+        let mpath = std::env::temp_dir().join(format!("pdce-m-{tag}.prom"));
+        let epath = std::env::temp_dir().join(format!("pdce-e-{tag}.jsonl"));
+        let (_, stderr, ok) = pdce(
+            &[
+                "opt",
+                "--jobs",
+                jobs,
+                "--metrics-out",
+                mpath.to_str().unwrap(),
+                "--events-out",
+                epath.to_str().unwrap(),
+                f1.to_str().unwrap(),
+                f2.to_str().unwrap(),
+            ],
+            "",
+        );
+        assert!(ok, "jobs={jobs} stderr: {stderr}");
+        let prom = std::fs::read_to_string(&mpath).expect("metrics file written");
+        let events = std::fs::read_to_string(&epath).expect("events file written");
+        std::fs::remove_file(mpath).ok();
+        std::fs::remove_file(epath).ok();
+        (prom, events)
+    };
+    let (prom1, events1) = run("1");
+    let (prom4, events4) = run("4");
+    assert_eq!(events1, events4, "event logs must not depend on --jobs");
+    assert!(events1.lines().count() >= 3, "run event + one per file");
+    assert!(events1.starts_with("{\"run\":\""), "events: {events1}");
+    let det1 = deterministic_series(&prom1);
+    let det4 = deterministic_series(&prom4);
+    assert_eq!(det1, det4, "deterministic series must not depend on --jobs");
+    assert!(
+        det1.contains("pdce_rounds_total"),
+        "deterministic series present: {det1}"
+    );
+    // Timing families are in the exposition too (this is the full
+    // snapshot), just excluded from the stability contract.
+    assert!(prom1.contains("pdce_file_wall_ns_count"), "prom: {prom1}");
+    for f in [f1, f2] {
+        std::fs::remove_file(f).ok();
+    }
+}
+
+/// `--metrics` appends the human-readable registry table to stderr —
+/// counters from the driver path, pass latency histograms from the
+/// pipeline path.
+#[test]
+fn metrics_flag_prints_human_table() {
+    let (_, stderr, ok) = pdce(&["opt", "--stats", "--metrics"], FIG1);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stderr.contains("pdce_rounds_total"), "stderr: {stderr}");
+    assert!(stderr.contains("pdce_file_wall_ns"), "stderr: {stderr}");
+    assert!(stderr.contains("p50<="), "stderr: {stderr}");
+    let (_, stderr, ok) = pdce(&["opt", "--passes", "pde", "--metrics"], FIG1);
+    assert!(ok, "stderr: {stderr}");
+    assert!(
+        stderr.contains("pdce_pass_wall_ns{pass=\"pde\"}"),
+        "stderr: {stderr}"
+    );
+}

@@ -1,0 +1,160 @@
+//! Integration tests for the metrics plane's determinism contract:
+//! histograms built from per-thread shards merge to bit-identical
+//! snapshots regardless of `--jobs` value, thread interleaving, or
+//! merge order. These tests use *local* `Histogram`/`Registry`
+//! instances, not the process-global registry, so they stay isolated
+//! from concurrently running tests.
+
+use pdce::metrics::{bucket_index, bucket_upper_edge, Histogram, HistogramSnapshot};
+
+/// The deterministic per-item workload: a spread of sample values whose
+/// distribution exercises many buckets (zero, small, mid, huge).
+fn samples_for_item(i: u64) -> Vec<u64> {
+    vec![
+        0,
+        i,
+        i * 37 + 1,
+        1 << (i % 40),
+        (i * i).wrapping_mul(2_654_435_761) % 1_000_000_007,
+    ]
+}
+
+/// One shared histogram observed from the `pdce-par` pool at every jobs
+/// value: counts, sum, buckets, and quantiles must be bit-identical —
+/// atomic bucket increments commute, so the schedule cannot matter.
+#[test]
+fn shared_histogram_is_jobs_invariant() {
+    let items: Vec<u64> = (0..256).collect();
+    let snapshot_at = |jobs: usize| {
+        let hist = Histogram::new();
+        pdce::par::map_indexed(jobs, &items, |_, &i| {
+            for v in samples_for_item(i) {
+                hist.observe(v);
+            }
+        });
+        hist.snapshot()
+    };
+    let reference = snapshot_at(1);
+    assert_eq!(reference.count, 256 * 5);
+    for jobs in [2usize, 4, 8] {
+        let got = snapshot_at(jobs);
+        assert_eq!(got.count, reference.count, "jobs={jobs}");
+        assert_eq!(got.sum, reference.sum, "jobs={jobs}");
+        assert_eq!(got.buckets, reference.buckets, "jobs={jobs}");
+        for q in [0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(got.quantile(q), reference.quantile(q), "jobs={jobs} q={q}");
+        }
+        assert_eq!(got.max_estimate(), reference.max_estimate(), "jobs={jobs}");
+    }
+}
+
+/// Per-shard local histograms merged in shard order equal the same
+/// shards merged in reverse order equal the shared-histogram result:
+/// merge is commutative and associative, so any deterministic merge
+/// order (the pool merges in shard-index order) yields the same bytes.
+#[test]
+fn shard_merge_order_is_irrelevant() {
+    let items: Vec<u64> = (0..200).collect();
+    // Shard by index residue — a stand-in for "whatever items each
+    // worker happened to claim".
+    let shards: Vec<HistogramSnapshot> = (0..4)
+        .map(|shard| {
+            let hist = Histogram::new();
+            for &i in items.iter().filter(|&&i| i % 4 == shard) {
+                for v in samples_for_item(i) {
+                    hist.observe(v);
+                }
+            }
+            hist.snapshot()
+        })
+        .collect();
+    let merge_all = |order: &[usize]| {
+        let mut acc = HistogramSnapshot::default();
+        for &s in order {
+            acc.merge(&shards[s]);
+        }
+        acc
+    };
+    let forward = merge_all(&[0, 1, 2, 3]);
+    let reverse = merge_all(&[3, 2, 1, 0]);
+    let shuffled = merge_all(&[2, 0, 3, 1]);
+    assert_eq!(forward.count, reverse.count);
+    assert_eq!(forward.sum, reverse.sum);
+    assert_eq!(forward.buckets, reverse.buckets);
+    assert_eq!(forward.buckets, shuffled.buckets);
+
+    // And the merged shards equal observing everything into one
+    // histogram directly.
+    let direct = {
+        let hist = Histogram::new();
+        for &i in &items {
+            for v in samples_for_item(i) {
+                hist.observe(v);
+            }
+        }
+        hist.snapshot()
+    };
+    assert_eq!(forward.count, direct.count);
+    assert_eq!(forward.sum, direct.sum);
+    assert_eq!(forward.buckets, direct.buckets);
+    for q in [0.5, 0.9, 0.99] {
+        assert_eq!(forward.quantile(q), direct.quantile(q));
+    }
+}
+
+/// Quantile estimates are pure functions of the bucket counts: the
+/// reported value is always the inclusive upper edge of the bucket the
+/// requested rank falls in, and ranks at bucket boundaries resolve to
+/// the lower bucket (ceil semantics).
+#[test]
+fn quantiles_report_bucket_upper_edges() {
+    let hist = Histogram::new();
+    // 10 samples in bucket_index(100)=7 (64..=127), 90 in
+    // bucket_index(5000)=13 (4096..=8191).
+    for _ in 0..10 {
+        hist.observe(100);
+    }
+    for _ in 0..90 {
+        hist.observe(5000);
+    }
+    let snap = hist.snapshot();
+    assert_eq!(snap.quantile(0.10), bucket_upper_edge(bucket_index(100)));
+    assert_eq!(snap.quantile(0.11), bucket_upper_edge(bucket_index(5000)));
+    assert_eq!(snap.quantile(0.99), bucket_upper_edge(bucket_index(5000)));
+    assert_eq!(snap.max_estimate(), bucket_upper_edge(bucket_index(5000)));
+}
+
+/// A local registry's deterministic exposition is byte-identical when
+/// the same logical work is recorded from different schedules.
+#[test]
+fn local_registry_exposition_is_schedule_invariant() {
+    use pdce::metrics::{Registry, Stability};
+    let items: Vec<u64> = (0..128).collect();
+    let run = |jobs: usize| {
+        let registry = Registry::new();
+        let counter = registry.counter(
+            "test_items_total",
+            "items processed",
+            Stability::Deterministic,
+            &[],
+        );
+        let hist = registry.histogram(
+            "test_values",
+            "sample values",
+            Stability::Deterministic,
+            &[],
+        );
+        pdce::par::map_indexed(jobs, &items, |_, &i| {
+            counter.inc();
+            for v in samples_for_item(i) {
+                hist.observe(v);
+            }
+        });
+        registry.snapshot().prometheus_deterministic()
+    };
+    let reference = run(1);
+    assert!(reference.contains("test_items_total 128"));
+    for jobs in [2usize, 4, 8] {
+        assert_eq!(run(jobs), reference, "jobs={jobs}");
+    }
+}

@@ -147,6 +147,60 @@ fn chrome_trace_is_valid_schema_stable_and_deterministic() {
     assert_ne!(a, c);
 }
 
+/// Parity between the trace plane and the metrics plane: the cache
+/// telemetry attached to the driver span's end event (`cfg_cache_hits`,
+/// `cfg_relayouts`) must agree with the run's `PdceStats.cache` — and
+/// the process-global metrics registry, fed by the same increment
+/// sites, must have accumulated at least this run's counts (tests share
+/// the registry, so concurrent runs may add more).
+#[test]
+fn chrome_span_args_agree_with_cache_metrics() {
+    let mut prog = structured_prog(23);
+    let collector = Rc::new(trace::Collector::new());
+    let registry_before = pdce::metrics::global().snapshot();
+    let stats = {
+        let _guard = trace::install(collector.clone());
+        optimize(&mut prog, &PdceConfig::pde()).unwrap()
+    };
+    let registry_delta = pdce::metrics::global().snapshot().since(&registry_before);
+    let text = chrome::chrome_trace(&collector.events(), &chrome::ChromeOptions::logical());
+    let doc = json::parse(&text).expect("valid JSON");
+    let arr = doc.get("traceEvents").unwrap().as_arr().unwrap();
+    // The driver span's end event is the one finished with cache args.
+    let args = arr
+        .iter()
+        .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("E"))
+        .filter_map(|e| e.get("args"))
+        .find(|a| a.get("cfg_cache_hits").is_some())
+        .expect("driver end event carries cache telemetry args");
+    assert_eq!(
+        args.get("cfg_cache_hits").unwrap().as_num(),
+        Some(stats.cache.cfg_hits as f64),
+        "span arg cfg_cache_hits disagrees with PdceStats"
+    );
+    assert_eq!(
+        args.get("cfg_relayouts").unwrap().as_num(),
+        Some(stats.cache.cfg_relayouts as f64),
+        "span arg cfg_relayouts disagrees with PdceStats"
+    );
+    let hits = registry_delta
+        .counter("pdce_cache_events_total", &[("kind", "cfg_hit")])
+        .unwrap_or(0);
+    let relayouts = registry_delta
+        .counter("pdce_cache_events_total", &[("kind", "cfg_relayout")])
+        .unwrap_or(0);
+    assert!(
+        hits >= stats.cache.cfg_hits,
+        "registry cfg_hit delta {hits} below the span's {}",
+        stats.cache.cfg_hits
+    );
+    assert!(
+        relayouts >= stats.cache.cfg_relayouts,
+        "registry cfg_relayout delta {relayouts} below the span's {}",
+        stats.cache.cfg_relayouts
+    );
+}
+
 /// The tentpole acceptance check on Figure 3: `--explain`'s provenance
 /// log names the pass and round responsible for each eliminated/moved
 /// assignment.
