@@ -44,7 +44,15 @@ use std::fmt::Write as _;
 /// the registry is byte-identical between `jobs=1` and `jobs=4` runs of
 /// the same corpus, and `pass_latency` — per-pass wall-time quantiles
 /// (p50/p90/p99/max upper bucket edges of the log₂ histograms).
-pub const SCHEMA_VERSION: u64 = 6;
+/// v7: the document gains `serve` — the `pdce serve` daemon section: a
+/// cold-vs-warm-cache A/B replay of a small-program corpus through the
+/// in-process serving path, sustained warm throughput
+/// (`req_per_sec`, which [`validate`] requires ≥
+/// [`MIN_SERVE_REQ_PER_SEC`]), p50/p99 request latency (p99 bounded by
+/// the `--wall-ms` admission cap of the run), a `warm_identical` bit
+/// asserting warm-cache responses were byte-identical to cold ones, and
+/// `warm_speedup_pct` (≥ [`MIN_SERVE_WARM_SPEEDUP_PCT`]).
+pub const SCHEMA_VERSION: u64 = 7;
 
 /// The acceptance bar on `pops_reduction_pct`.
 pub const MIN_POPS_REDUCTION_PCT: f64 = 20.0;
@@ -67,6 +75,16 @@ pub const MIN_CSR_WALLTIME_REDUCTION_PCT: f64 = 10.0;
 /// than this much wall time over the same workload with recording
 /// suppressed.
 pub const MAX_METRICS_OVERHEAD_PCT: f64 = 2.0;
+
+/// The acceptance bar on `serve.req_per_sec`: the daemon must sustain at
+/// least this many small-program requests per second on the warm
+/// (cache-resident) replay.
+pub const MIN_SERVE_REQ_PER_SEC: f64 = 10_000.0;
+
+/// The acceptance bar on `serve.warm_speedup_pct`: answering the corpus
+/// from the persistent result cache must save at least this much wall
+/// time over computing it cold.
+pub const MIN_SERVE_WARM_SPEEDUP_PCT: f64 = 30.0;
 
 /// One figure reproduction with its cost.
 #[derive(Debug, Clone)]
@@ -223,6 +241,44 @@ pub struct MetricsSection {
     pub pass_latency: Vec<PassLatencyRow>,
 }
 
+/// The `pdce serve` daemon section: a cold-vs-warm-cache A/B of the
+/// same request corpus replayed through the serving path.
+///
+/// The corpus is first served against an empty cache (`cold_ns`, every
+/// request computed) and then replayed verbatim (`warm_ns`, every
+/// request answered from the content-hash-keyed result cache).
+/// Throughput and latency quantiles are measured on the warm replay —
+/// the steady state of repeat traffic the daemon exists for — and
+/// `p99_ns` is held against the `--wall-ms` admission cap the run was
+/// configured with (`wall_ms_budget`, milliseconds).
+#[derive(Debug, Clone)]
+pub struct ServeSection {
+    /// What was served.
+    pub workload: String,
+    /// Requests in the corpus (one replay's worth).
+    pub requests: u64,
+    /// Wall time of the cold (cache-empty) replay, nanoseconds.
+    pub cold_ns: u128,
+    /// Wall time of the warm (cache-resident) replay, nanoseconds.
+    pub warm_ns: u128,
+    /// Sustained warm-replay throughput — held against
+    /// [`MIN_SERVE_REQ_PER_SEC`] by [`validate`].
+    pub req_per_sec: f64,
+    /// Median warm-replay request latency, nanoseconds.
+    pub p50_ns: u64,
+    /// 99th-percentile warm-replay request latency, nanoseconds — held
+    /// against `wall_ms_budget` by [`validate`].
+    pub p99_ns: u64,
+    /// The `--wall-ms` admission cap the run was configured with.
+    pub wall_ms_budget: u64,
+    /// Whether every warm response was byte-identical to its cold
+    /// counterpart. [`validate`] requires `true`.
+    pub warm_identical: bool,
+    /// `max(0, cold - warm) / cold` in percent — held against
+    /// [`MIN_SERVE_WARM_SPEEDUP_PCT`] by [`validate`].
+    pub warm_speedup_pct: f64,
+}
+
 /// Fault-tolerance counters accumulated over the benchmark run
 /// (the driver's `PdceStats` resilience fields, summed).
 #[derive(Debug, Clone, Default)]
@@ -264,6 +320,8 @@ pub struct BenchSummary {
     pub csr: CsrAb,
     /// The metrics-plane section.
     pub metrics: MetricsSection,
+    /// The serving cold-vs-warm A/B.
+    pub serve: ServeSection,
     /// Resilience counters accumulated over the run.
     pub resilience: ResilienceTotals,
 }
@@ -412,6 +470,23 @@ impl BenchSummary {
             );
         }
         out.push_str("\n]},");
+        let sv = &self.serve;
+        let _ = write!(
+            out,
+            "\n\"serve\":{{\"workload\":{},\"requests\":{},\"cold_ns\":{},\"warm_ns\":{},\
+             \"req_per_sec\":{:.1},\"p50_ns\":{},\"p99_ns\":{},\"wall_ms_budget\":{},\
+             \"warm_identical\":{},\"warm_speedup_pct\":{:.3}}},",
+            json::escaped(&sv.workload),
+            sv.requests,
+            sv.cold_ns,
+            sv.warm_ns,
+            sv.req_per_sec,
+            sv.p50_ns,
+            sv.p99_ns,
+            sv.wall_ms_budget,
+            sv.warm_identical,
+            sv.warm_speedup_pct
+        );
         let r = &self.resilience;
         let _ = write!(
             out,
@@ -600,6 +675,49 @@ pub fn validate(text: &str) -> Result<(), String> {
             }
         }
     }
+    let serve = require(&doc, "serve", "document")?;
+    require(serve, "workload", "serve")?
+        .as_str()
+        .ok_or("`serve.workload` is not a string")?;
+    for key in ["requests", "cold_ns", "warm_ns", "p50_ns"] {
+        let n = require_num(serve, key, "serve")?;
+        if n < 0.0 {
+            return Err(format!("serve: `{key}` is negative"));
+        }
+    }
+    let req_per_sec = require_num(serve, "req_per_sec", "serve")?;
+    if req_per_sec < MIN_SERVE_REQ_PER_SEC {
+        return Err(format!(
+            "serve.req_per_sec {req_per_sec:.1} below the {MIN_SERVE_REQ_PER_SEC} req/s \
+             acceptance bar"
+        ));
+    }
+    let p99 = require_num(serve, "p99_ns", "serve")?;
+    let wall_budget = require_num(serve, "wall_ms_budget", "serve")?;
+    if wall_budget <= 0.0 {
+        return Err("serve: `wall_ms_budget` is not positive".into());
+    }
+    if p99 > wall_budget * 1_000_000.0 {
+        return Err(format!(
+            "serve.p99_ns {p99:.0} exceeds the --wall-ms admission cap of {wall_budget:.0} ms"
+        ));
+    }
+    let identical = require(serve, "warm_identical", "serve")?
+        .as_bool()
+        .ok_or("`serve.warm_identical` is not a bool")?;
+    if !identical {
+        return Err(
+            "serve: warm-cache responses differed from cold ones (`warm_identical` is false)"
+                .into(),
+        );
+    }
+    let speedup = require_num(serve, "warm_speedup_pct", "serve")?;
+    if speedup < MIN_SERVE_WARM_SPEEDUP_PCT {
+        return Err(format!(
+            "serve.warm_speedup_pct {speedup:.3} below the {MIN_SERVE_WARM_SPEEDUP_PCT}% \
+             acceptance bar"
+        ));
+    }
     let resilience = require(&doc, "resilience", "document")?;
     for key in [
         "rollbacks",
@@ -717,6 +835,18 @@ mod tests {
                     max_ns: 2_097_151,
                 }],
             },
+            serve: ServeSection {
+                workload: "200 structured programs, in-process replay".into(),
+                requests: 200,
+                cold_ns: 50_000_000,
+                warm_ns: 5_000_000,
+                req_per_sec: 40_000.0,
+                p50_ns: 20_000,
+                p99_ns: 110_000,
+                wall_ms_budget: 200,
+                warm_identical: true,
+                warm_speedup_pct: 90.0,
+            },
             resilience: ResilienceTotals {
                 tv_checks: 6,
                 ..ResilienceTotals::default()
@@ -825,6 +955,30 @@ mod tests {
         let mut s = sample();
         s.metrics.pass_latency.clear();
         assert!(validate(&s.to_json()).unwrap_err().contains("pass_latency"));
+    }
+
+    #[test]
+    fn validation_enforces_serve_bars() {
+        // Throughput below the sustained-req/s bar.
+        let mut s = sample();
+        s.serve.req_per_sec = 512.0;
+        assert!(validate(&s.to_json()).unwrap_err().contains("req_per_sec"));
+        // p99 above the --wall-ms admission cap.
+        let mut s = sample();
+        s.serve.p99_ns = 201_000_000;
+        assert!(validate(&s.to_json()).unwrap_err().contains("p99_ns"));
+        // Warm responses must be byte-identical to cold ones.
+        let mut s = sample();
+        s.serve.warm_identical = false;
+        assert!(validate(&s.to_json())
+            .unwrap_err()
+            .contains("warm_identical"));
+        // Warm-cache replay must actually be faster.
+        let mut s = sample();
+        s.serve.warm_speedup_pct = 3.0;
+        assert!(validate(&s.to_json())
+            .unwrap_err()
+            .contains("warm_speedup_pct"));
     }
 
     #[test]

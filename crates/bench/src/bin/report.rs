@@ -22,7 +22,7 @@ use pdce_baselines::duchain::DuGraph;
 use pdce_baselines::Liveness;
 use pdce_bench::benchjson::{
     self, BenchSummary, CsrAb, FigureRow, MetricsSection, PassLatencyRow, ResilienceTotals,
-    SweepRow, TracingAb, TvAb,
+    ServeSection, SweepRow, TracingAb, TvAb,
 };
 use pdce_bench::{figure_corpus, fit_loglog_slope, measure, verify_figure};
 use pdce_core::driver::{optimize, PdceConfig};
@@ -85,6 +85,7 @@ fn main() {
     let (tv, resilience) = t2_tv_overhead(quick);
     let csr = t3_csr_sharing(quick);
     let metrics = t4_metrics_plane(quick);
+    let serve = t5_serving(quick);
 
     let summary = BenchSummary {
         quick,
@@ -96,6 +97,7 @@ fn main() {
         tv,
         csr,
         metrics,
+        serve,
         resilience,
     };
     let text = summary.to_json();
@@ -930,5 +932,90 @@ fn t4_metrics_plane(quick: bool) -> MetricsSection {
         metrics_overhead_pct: overhead_pct,
         snapshot_stable,
         pass_latency,
+    }
+}
+
+fn t5_serving(quick: bool) -> ServeSection {
+    hr("T5: pdce serve throughput/latency (cold vs warm cache)");
+    // A corpus of small programs, each request encoded once so the cold
+    // and warm replays send byte-identical lines.
+    let corpus_n: u64 = if quick { 60 } else { 200 };
+    let wall_ms_budget: u64 = 200;
+    let requests: Vec<String> = (0..corpus_n)
+        .map(|i| {
+            let prog = structured_of_size(10 + (i as usize % 5) * 4, 7_000 + i);
+            pdce_serve::protocol::encode_request(
+                None,
+                &pdce_ir::printer::print_program(&prog),
+                pdce_serve::Mode::Pde,
+            )
+        })
+        .collect();
+    let server = pdce_serve::Server::new(pdce_serve::ServeOptions {
+        wall_ms: Some(wall_ms_budget),
+        ..pdce_serve::ServeOptions::default()
+    });
+    // Replay the corpus through the per-request serving path, recording
+    // each request's latency (the quantile source) and the replay wall
+    // time (the throughput source).
+    let replay = || -> (u128, Vec<u64>, Vec<String>) {
+        let mut lat = Vec::with_capacity(requests.len());
+        let mut responses = Vec::with_capacity(requests.len());
+        let total = Instant::now();
+        for line in &requests {
+            let t = Instant::now();
+            let response = server.respond_line(line).expect("one response per request");
+            lat.push(t.elapsed().as_nanos() as u64);
+            responses.push(response);
+        }
+        (total.elapsed().as_nanos(), lat, responses)
+    };
+    let (cold_ns, _, cold_responses) = replay();
+    let (warm_ns, mut warm_lat, warm_responses) = replay();
+    let warm_identical = cold_responses == warm_responses;
+    let req_per_sec = corpus_n as f64 * 1e9 / warm_ns as f64;
+    warm_lat.sort_unstable();
+    let quantile = |q: f64| {
+        let rank = ((warm_lat.len() as f64 * q).ceil() as usize).clamp(1, warm_lat.len());
+        warm_lat[rank - 1]
+    };
+    let (p50_ns, p99_ns) = (quantile(0.5), quantile(0.99));
+    let warm_speedup_pct = cold_ns.saturating_sub(warm_ns) as f64 * 100.0 / cold_ns as f64;
+
+    println!("workload: {corpus_n} small structured programs, --wall-ms {wall_ms_budget}\n");
+    println!("{:<22} {:>12} {:>14}", "replay", "wall (ms)", "req/s");
+    for (name, ns) in [("cold (computed)", cold_ns), ("warm (cache hits)", warm_ns)] {
+        println!(
+            "{:<22} {:>12.2} {:>14.0}",
+            name,
+            ns as f64 / 1e6,
+            corpus_n as f64 * 1e9 / ns as f64
+        );
+    }
+    println!(
+        "\nwarm latency: p50 {:.1} µs, p99 {:.1} µs (admission cap {wall_ms_budget} ms)",
+        p50_ns as f64 / 1e3,
+        p99_ns as f64 / 1e3
+    );
+    println!(
+        "warm responses byte-identical to cold: {warm_identical}; \
+         warm speedup {warm_speedup_pct:.1}% (bars: ≥{} req/s, ≥{}% speedup)",
+        benchjson::MIN_SERVE_REQ_PER_SEC,
+        benchjson::MIN_SERVE_WARM_SPEEDUP_PCT
+    );
+    ServeSection {
+        workload: format!(
+            "{corpus_n} small structured programs replayed through the serve path, \
+             cold cache then warm"
+        ),
+        requests: corpus_n,
+        cold_ns,
+        warm_ns,
+        req_per_sec,
+        p50_ns,
+        p99_ns,
+        wall_ms_budget,
+        warm_identical,
+        warm_speedup_pct,
     }
 }

@@ -1,0 +1,476 @@
+//! The persistent result cache: content hash → optimized program.
+//!
+//! Repeat traffic is the serving workload's common case, so the daemon
+//! answers it in O(lookup): the cache key is a 128-bit FNV-1a hash of
+//! the *canonically printed* input program (formatting-insensitive)
+//! plus every semantics-affecting option (mode, effective budgets,
+//! validation), and the value is the full deterministic response
+//! payload. Solver strategy and incrementality are deliberately not
+//! keyed — the differential oracles prove they never change the output.
+//!
+//! A second, unpersisted memo ([`PersistentCache::get_raw_alias`]) maps
+//! the hash of the program text *as sent* to its canonical key, so a
+//! byte-for-byte repeat request is answered without even parsing the
+//! program — the steady state of real repeat traffic.
+//!
+//! # Disk format
+//!
+//! A header line, then one entry per line:
+//!
+//! ```text
+//! pdce-serve-cache v1
+//! <16-hex fnv64 of body>\t<body JSON>
+//! ```
+//!
+//! The per-line checksum makes reloads corruption-tolerant by
+//! construction: a flipped bit, a truncated tail, or a garbage line
+//! fails its checksum (or its JSON decode) and is *skipped* — the entry
+//! degrades to a cache miss, never to a wrong answer or a crash. Saves
+//! are atomic (temp file + rename), so a crash mid-save leaves the old
+//! file intact.
+//!
+//! # Eviction
+//!
+//! The in-memory map is bounded by `max_bytes` (approximate payload
+//! footprint). Inserting past the bound evicts least-recently-used
+//! entries until the new entry fits; a single entry larger than the
+//! whole bound is simply not cached. Eviction order is deterministic
+//! for a deterministic request sequence.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+use pdce_trace::json;
+
+use crate::protocol::ResultPayload;
+
+const HEADER: &str = "pdce-serve-cache v1";
+
+/// 64-bit FNV-1a, used for the per-line checksums and as one half of
+/// the 128-bit key.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// 128-bit FNV-1a (standard offset basis and prime).
+pub fn fnv128(bytes: &[u8]) -> u128 {
+    let mut h: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+    let prime: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+    for &b in bytes {
+        h ^= b as u128;
+        h = h.wrapping_mul(prime);
+    }
+    h
+}
+
+/// A cache key: the 128-bit content hash of canonical program text plus
+/// the canonical option string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey(pub u128);
+
+impl CacheKey {
+    /// Hashes `canonical_program` (the `print_program` rendering, so
+    /// formatting differences collapse) together with `options` (the
+    /// server's canonical option string for the request).
+    pub fn compute(canonical_program: &str, options: &str) -> CacheKey {
+        let mut buf = Vec::with_capacity(canonical_program.len() + options.len() + 1);
+        buf.extend_from_slice(options.as_bytes());
+        buf.push(0);
+        buf.extend_from_slice(canonical_program.as_bytes());
+        CacheKey(fnv128(&buf))
+    }
+
+    /// 32-hex-char rendering used on disk.
+    pub fn hex(self) -> String {
+        format!("{:032x}", self.0)
+    }
+
+    fn from_hex(s: &str) -> Option<CacheKey> {
+        if s.len() != 32 {
+            return None;
+        }
+        u128::from_str_radix(s, 16).ok().map(CacheKey)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    payload: ResultPayload,
+    last_used: u64,
+    bytes: u64,
+}
+
+/// Counters describing what a [`PersistentCache::load`] found.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LoadReport {
+    /// Entries restored intact.
+    pub loaded: usize,
+    /// Lines skipped: failed checksum, bad JSON, or a truncated tail.
+    pub skipped: usize,
+    /// Whether the file was missing or its header was unrecognized
+    /// (either way the cache starts empty).
+    pub fresh: bool,
+}
+
+/// Cap on the raw-text alias memo. The memo is a pure accelerator
+/// (raw request bytes → canonical key, skipping parse + canonical
+/// print on verbatim repeat traffic), so when it fills up it is simply
+/// cleared rather than LRU-tracked.
+const MAX_ALIASES: usize = 1 << 16;
+
+/// Size-bounded LRU cache with an optional on-disk home.
+#[derive(Debug)]
+pub struct PersistentCache {
+    path: Option<PathBuf>,
+    max_bytes: u64,
+    map: HashMap<u128, Entry>,
+    /// Raw-text fast path: hash of (raw program text, options) →
+    /// canonical key. Not persisted; rebuilt from live traffic.
+    aliases: HashMap<u128, u128>,
+    total_bytes: u64,
+    clock: u64,
+    /// Hits/misses/evictions since construction (per-server numbers;
+    /// the process-global registry is updated by the server layer).
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+    /// What the initial load found.
+    pub load_report: LoadReport,
+}
+
+impl PersistentCache {
+    /// An in-memory-only cache.
+    pub fn in_memory(max_bytes: u64) -> PersistentCache {
+        PersistentCache {
+            path: None,
+            max_bytes,
+            map: HashMap::new(),
+            aliases: HashMap::new(),
+            total_bytes: 0,
+            clock: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+            load_report: LoadReport {
+                fresh: true,
+                ..LoadReport::default()
+            },
+        }
+    }
+
+    /// Opens (or creates) the cache at `path`, restoring every entry
+    /// that survives its checksum. A missing, empty, or corrupted file
+    /// is never an error — affected entries are just misses.
+    pub fn load(path: &Path, max_bytes: u64) -> PersistentCache {
+        let mut cache = PersistentCache::in_memory(max_bytes);
+        cache.path = Some(path.to_path_buf());
+        let Ok(text) = std::fs::read_to_string(path) else {
+            return cache;
+        };
+        let mut lines = text.lines();
+        if lines.next() != Some(HEADER) {
+            return cache;
+        }
+        let mut report = LoadReport::default();
+        for line in lines {
+            if line.is_empty() {
+                continue;
+            }
+            match decode_entry(line) {
+                Some((key, payload)) => {
+                    cache.insert_raw(key, payload);
+                    report.loaded += 1;
+                }
+                None => report.skipped += 1,
+            }
+        }
+        cache.load_report = report;
+        cache
+    }
+
+    /// Where this cache persists, if anywhere.
+    pub fn path(&self) -> Option<&Path> {
+        self.path.as_deref()
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Approximate bytes held (the eviction bound's currency).
+    pub fn bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Looks `key` up, refreshing its recency on a hit.
+    pub fn get(&mut self, key: CacheKey) -> Option<ResultPayload> {
+        self.clock += 1;
+        match self.map.get_mut(&key.0) {
+            Some(e) => {
+                e.last_used = self.clock;
+                self.hits += 1;
+                Some(e.payload.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Fast-path lookup for a verbatim repeat request: `raw` hashes the
+    /// request's program text *as sent* (plus options). On a memoized
+    /// alias this answers without the caller ever parsing the program.
+    /// A stale alias (its canonical entry was evicted) is dropped and
+    /// reported as `None` without touching the hit/miss counters — the
+    /// caller's canonical lookup will count the miss.
+    pub fn get_raw_alias(&mut self, raw: CacheKey) -> Option<ResultPayload> {
+        let canonical = *self.aliases.get(&raw.0)?;
+        if !self.map.contains_key(&canonical) {
+            self.aliases.remove(&raw.0);
+            return None;
+        }
+        self.get(CacheKey(canonical))
+    }
+
+    /// Memoizes `raw` (request-text hash) → `canonical` so the next
+    /// verbatim repeat takes the parse-free fast path.
+    pub fn record_alias(&mut self, raw: CacheKey, canonical: CacheKey) {
+        if self.aliases.len() >= MAX_ALIASES {
+            self.aliases.clear();
+        }
+        self.aliases.insert(raw.0, canonical.0);
+    }
+
+    /// Inserts (or refreshes) `key`, evicting LRU entries as needed.
+    pub fn insert(&mut self, key: CacheKey, payload: ResultPayload) {
+        let cost = payload.cost_bytes();
+        if cost > self.max_bytes {
+            return;
+        }
+        self.insert_raw(key, payload);
+        while self.total_bytes > self.max_bytes {
+            let Some((&victim, _)) = self.map.iter().min_by_key(|(_, e)| e.last_used) else {
+                break;
+            };
+            if victim == key.0 && self.map.len() == 1 {
+                break;
+            }
+            if let Some(e) = self.map.remove(&victim) {
+                self.total_bytes -= e.bytes;
+                self.evictions += 1;
+            }
+        }
+    }
+
+    fn insert_raw(&mut self, key: CacheKey, payload: ResultPayload) {
+        self.clock += 1;
+        let bytes = payload.cost_bytes();
+        let entry = Entry {
+            payload,
+            last_used: self.clock,
+            bytes,
+        };
+        if let Some(old) = self.map.insert(key.0, entry) {
+            self.total_bytes -= old.bytes;
+        }
+        self.total_bytes += bytes;
+    }
+
+    /// Writes every held entry back to disk atomically (oldest first, so
+    /// a future bounded reload keeps the most recent traffic). A no-op
+    /// for in-memory caches.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures of the temp-file write or the rename.
+    pub fn save(&self) -> std::io::Result<()> {
+        let Some(path) = &self.path else {
+            return Ok(());
+        };
+        let mut out = String::with_capacity(self.total_bytes as usize + 64);
+        out.push_str(HEADER);
+        out.push('\n');
+        let mut entries: Vec<(&u128, &Entry)> = self.map.iter().collect();
+        entries.sort_by_key(|(_, e)| e.last_used);
+        for (key, e) in entries {
+            encode_entry(&mut out, CacheKey(*key), &e.payload);
+        }
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, &out)?;
+        std::fs::rename(&tmp, path)
+    }
+}
+
+fn encode_entry(out: &mut String, key: CacheKey, payload: &ResultPayload) {
+    let mut body = String::with_capacity(payload.program.len() + 96);
+    let _ = write!(body, "{{\"key\":\"{}\",\"program\":", key.hex());
+    json::write_escaped(&mut body, &payload.program);
+    let _ = write!(
+        body,
+        ",\"rounds\":{},\"eliminated\":{},\"sunk\":{},\"inserted\":{},\"rung\":",
+        payload.rounds, payload.eliminated, payload.sunk, payload.inserted
+    );
+    json::write_escaped(&mut body, &payload.rung);
+    body.push('}');
+    let _ = writeln!(out, "{:016x}\t{body}", fnv64(body.as_bytes()));
+}
+
+fn decode_entry(line: &str) -> Option<(CacheKey, ResultPayload)> {
+    let (sum, body) = line.split_once('\t')?;
+    if sum.len() != 16 || u64::from_str_radix(sum, 16).ok()? != fnv64(body.as_bytes()) {
+        return None;
+    }
+    let doc = json::parse(body).ok()?;
+    let key = CacheKey::from_hex(doc.get("key")?.as_str()?)?;
+    let num = |k: &str| -> Option<u64> {
+        let n = doc.get(k)?.as_num()?;
+        (n >= 0.0 && n.fract() == 0.0).then_some(n as u64)
+    };
+    let payload = ResultPayload {
+        program: doc.get("program")?.as_str()?.to_string(),
+        rounds: num("rounds")?,
+        eliminated: num("eliminated")?,
+        sunk: num("sunk")?,
+        inserted: num("inserted")?,
+        rung: doc.get("rung")?.as_str()?.to_string(),
+    };
+    Some((key, payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn payload(tag: &str) -> ResultPayload {
+        ResultPayload {
+            program: format!("prog {{ block e {{ out({tag}); halt }} }}\n"),
+            rounds: 2,
+            eliminated: 1,
+            sunk: 0,
+            inserted: 0,
+            rung: "none".into(),
+        }
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("pdce-serve-cache-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn raw_alias_fast_path_hits_and_self_heals() {
+        let mut c = PersistentCache::in_memory(1 << 20);
+        let raw = CacheKey::compute("prog   A", "mode=pde");
+        let canonical = CacheKey::compute("prog A", "mode=pde");
+        // Unknown raw text: no alias, no counter movement.
+        assert!(c.get_raw_alias(raw).is_none());
+        assert_eq!((c.hits, c.misses), (0, 0));
+        c.insert(canonical, payload("a"));
+        c.record_alias(raw, canonical);
+        assert_eq!(c.get_raw_alias(raw).unwrap(), payload("a"));
+        assert_eq!(c.hits, 1);
+        // A stale alias (canonical entry gone) degrades to a silent
+        // miss and is dropped.
+        let mut c = PersistentCache::in_memory(1 << 20);
+        c.record_alias(raw, canonical);
+        assert!(c.get_raw_alias(raw).is_none());
+        assert_eq!((c.hits, c.misses), (0, 0));
+        assert!(c.aliases.is_empty());
+    }
+
+    #[test]
+    fn keys_separate_program_and_options() {
+        let a = CacheKey::compute("prog A", "mode=pde");
+        let b = CacheKey::compute("prog A", "mode=pfe");
+        let c = CacheKey::compute("prog B", "mode=pde");
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, CacheKey::compute("prog A", "mode=pde"));
+    }
+
+    #[test]
+    fn lru_eviction_respects_the_byte_bound() {
+        let unit = payload("x").cost_bytes();
+        let mut cache = PersistentCache::in_memory(3 * unit + 2);
+        for i in 0..3u32 {
+            cache.insert(CacheKey(i as u128), payload("x"));
+        }
+        assert_eq!(cache.len(), 3);
+        // Touch key 0 so key 1 becomes the LRU victim.
+        assert!(cache.get(CacheKey(0)).is_some());
+        cache.insert(CacheKey(9), payload("x"));
+        assert_eq!(cache.len(), 3);
+        assert!(cache.get(CacheKey(1)).is_none(), "LRU entry evicted");
+        assert!(cache.get(CacheKey(0)).is_some());
+        assert!(cache.get(CacheKey(9)).is_some());
+        assert!(cache.bytes() <= 3 * unit + 2);
+        assert_eq!(cache.evictions, 1);
+    }
+
+    #[test]
+    fn oversized_entries_are_not_cached() {
+        let mut cache = PersistentCache::in_memory(8);
+        cache.insert(CacheKey(1), payload("big"));
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn save_and_reload_round_trip() {
+        let path = tmp("roundtrip");
+        let mut cache = PersistentCache::load(&path, 1 << 20);
+        assert!(cache.load_report.fresh);
+        cache.insert(CacheKey(7), payload("a"));
+        cache.insert(CacheKey(8), payload("b"));
+        cache.save().unwrap();
+        let mut back = PersistentCache::load(&path, 1 << 20);
+        assert_eq!(back.load_report.loaded, 2);
+        assert_eq!(back.load_report.skipped, 0);
+        assert_eq!(back.get(CacheKey(7)).unwrap(), payload("a"));
+        assert_eq!(back.get(CacheKey(8)).unwrap(), payload("b"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupted_lines_degrade_to_misses() {
+        let path = tmp("corrupt");
+        let mut cache = PersistentCache::load(&path, 1 << 20);
+        cache.insert(CacheKey(1), payload("a"));
+        cache.insert(CacheKey(2), payload("b"));
+        cache.save().unwrap();
+        // Flip a byte inside the *second* entry's body and truncate the
+        // tail of the file mid-line.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut lines: Vec<String> = text.lines().map(String::from).collect();
+        assert_eq!(lines.len(), 3);
+        lines[2] = lines[2].replace("rounds", "rounbs");
+        let mut mangled = lines.join("\n");
+        mangled.truncate(mangled.len() - 4);
+        std::fs::write(&path, mangled).unwrap();
+        let mut back = PersistentCache::load(&path, 1 << 20);
+        assert_eq!(back.load_report.loaded, 1);
+        assert_eq!(back.load_report.skipped, 1);
+        assert!(back.get(CacheKey(1)).is_some());
+        assert!(back.get(CacheKey(2)).is_none(), "corrupt entry is a miss");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn garbage_files_start_empty_without_crashing() {
+        let path = tmp("garbage");
+        std::fs::write(&path, b"\x00\xffnot a cache\nat all").unwrap();
+        let cache = PersistentCache::load(&path, 1 << 20);
+        assert!(cache.is_empty());
+        assert!(cache.load_report.fresh);
+        std::fs::remove_file(&path).ok();
+    }
+}

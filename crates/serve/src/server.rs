@@ -1,0 +1,922 @@
+//! The serving loop: admission control, cache, pool sharding, transport.
+//!
+//! A [`Server`] is a stateless-per-request engine plus two shared
+//! resources: the persistent result cache and the configured budget
+//! caps. Connections feed it newline-delimited requests; each
+//! connection runs an *adaptive batching* dispatcher — block for the
+//! first pending line, then greedily drain whatever else has already
+//! arrived (up to `jobs * 8`) and shard the batch across the
+//! `pdce-par` pool. An idle client gets single-request latency; a
+//! flooding client gets full-pool throughput; and because the pool
+//! reassembles results in item order, responses always come back in
+//! request order regardless of worker count.
+//!
+//! Admission control is the PR 5 budget machinery turned per-request: a
+//! request may lower but never raise the server's round/pop/wall caps,
+//! and an exhausted budget degrades that one request down the
+//! resilience ladder (the answer is still served, labelled with its
+//! rung) instead of stalling the fleet. A worker panic is sandboxed by
+//! the pool and answered as a structured `status` 2 error.
+
+use std::io::{BufRead, Read, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use pdce_core::driver::{optimize_resilient, PdceConfig};
+use pdce_dfa::SolverStrategy;
+use pdce_ir::parser::parse;
+use pdce_ir::printer::print_program;
+use pdce_trace::budget::Budget;
+
+use crate::cache::{CacheKey, PersistentCache};
+use crate::protocol::{
+    render_error, render_pong, render_result, render_shutdown, Mode, Op, Request, ResultPayload,
+    Status,
+};
+
+/// Registry handles for the serving plane. Request/cache counters are
+/// deterministic for a fixed request sequence; latency and batch-size
+/// families are timing-dependent and registered as such.
+mod serve_metrics {
+    use pdce_metrics::{global, Counter, Histogram, Stability};
+    use std::sync::{Arc, LazyLock};
+
+    pub fn requests(status: &'static str) -> Arc<Counter> {
+        global().counter(
+            "pdce_serve_requests_total",
+            "Requests answered by the serve loop, by response status",
+            Stability::Deterministic,
+            &[("status", status)],
+        )
+    }
+
+    fn counter(name: &'static str, help: &'static str) -> Arc<Counter> {
+        global().counter(name, help, Stability::Deterministic, &[])
+    }
+
+    pub static CACHE_HITS: LazyLock<Arc<Counter>> = LazyLock::new(|| {
+        counter(
+            "pdce_serve_cache_hits_total",
+            "Requests answered from the persistent result cache",
+        )
+    });
+    pub static CACHE_MISSES: LazyLock<Arc<Counter>> = LazyLock::new(|| {
+        counter(
+            "pdce_serve_cache_misses_total",
+            "Cacheable requests that had to be computed",
+        )
+    });
+    pub static REQUEST_WALL: LazyLock<Arc<Histogram>> = LazyLock::new(|| {
+        global().histogram(
+            "pdce_serve_request_wall_ns",
+            "Per-request end-to-end serve latency in nanoseconds",
+            Stability::Timing,
+            &[],
+        )
+    });
+    pub static BATCH_ITEMS: LazyLock<Arc<Histogram>> = LazyLock::new(|| {
+        global().histogram(
+            "pdce_serve_batch_items",
+            "Requests per adaptive dispatcher batch",
+            Stability::Timing,
+            &[],
+        )
+    });
+}
+
+/// Server configuration: transport-independent knobs.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Worker threads per connection batch (1 = inline).
+    pub jobs: usize,
+    /// Explicit solver strategy; `None` uses the ambient selection.
+    pub strategy: Option<SolverStrategy>,
+    /// Warm-start seeded re-solving between rounds.
+    pub incremental: bool,
+    /// Server-wide cap on per-request rounds (requests may go lower).
+    pub max_rounds: Option<u64>,
+    /// Server-wide cap on per-request solver pops.
+    pub max_pops: Option<u64>,
+    /// Server-wide cap on per-request wall time, milliseconds. The
+    /// default admission-control backstop: one hostile request degrades
+    /// down the resilience ladder when it trips instead of stalling the
+    /// fleet.
+    pub wall_ms: Option<u64>,
+    /// Translation-validation vectors per round applied to every
+    /// request that does not ask for its own count.
+    pub validate: Option<u32>,
+    /// Requests longer than this many bytes are rejected with a
+    /// `status` 1 error before any parsing happens.
+    pub max_request_bytes: usize,
+    /// Result-cache byte bound (LRU eviction past it).
+    pub cache_bytes: u64,
+    /// On-disk home of the result cache; `None` keeps it in memory.
+    pub cache_path: Option<PathBuf>,
+    /// Master switch for the result cache.
+    pub cache: bool,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions {
+            jobs: 1,
+            strategy: None,
+            incremental: true,
+            max_rounds: None,
+            max_pops: None,
+            wall_ms: Some(2_000),
+            validate: None,
+            max_request_bytes: 1 << 20,
+            cache_bytes: 64 << 20,
+            cache_path: None,
+            cache: true,
+        }
+    }
+}
+
+/// Totals of one server's lifetime, rendered by the CLI at exit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeSummary {
+    pub requests: u64,
+    pub ok: u64,
+    pub bad_input: u64,
+    pub internal: u64,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    /// Whether a `shutdown` request ended the loop (vs EOF).
+    pub shutdown: bool,
+}
+
+/// One line's fate after the bounded reader.
+enum Incoming {
+    Line(String),
+    Oversized(usize),
+    BadUtf8,
+}
+
+/// A rendered response plus the shutdown signal it may carry.
+struct Reply {
+    line: String,
+    shutdown: bool,
+}
+
+/// The optimization-as-a-service engine.
+pub struct Server {
+    opts: ServeOptions,
+    cache: Mutex<PersistentCache>,
+    requests: AtomicU64,
+    ok: AtomicU64,
+    bad_input: AtomicU64,
+    internal: AtomicU64,
+    stop: AtomicBool,
+}
+
+impl Server {
+    /// Builds a server, loading the persistent cache when configured.
+    pub fn new(opts: ServeOptions) -> Server {
+        let cache = match (&opts.cache_path, opts.cache) {
+            (Some(path), true) => PersistentCache::load(path, opts.cache_bytes),
+            _ => PersistentCache::in_memory(opts.cache_bytes),
+        };
+        Server {
+            opts,
+            cache: Mutex::new(cache),
+            requests: AtomicU64::new(0),
+            ok: AtomicU64::new(0),
+            bad_input: AtomicU64::new(0),
+            internal: AtomicU64::new(0),
+            stop: AtomicBool::new(false),
+        }
+    }
+
+    /// The configured options.
+    pub fn options(&self) -> &ServeOptions {
+        &self.opts
+    }
+
+    /// What the cache's initial load found (for the CLI banner).
+    pub fn cache_load_report(&self) -> crate::cache::LoadReport {
+        self.cache.lock().expect("cache lock").load_report
+    }
+
+    /// Lifetime totals so far.
+    pub fn summary(&self) -> ServeSummary {
+        let cache = self.cache.lock().expect("cache lock");
+        ServeSummary {
+            requests: self.requests.load(Ordering::Relaxed),
+            ok: self.ok.load(Ordering::Relaxed),
+            bad_input: self.bad_input.load(Ordering::Relaxed),
+            internal: self.internal.load(Ordering::Relaxed),
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+            shutdown: self.stop.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Persists the result cache (a no-op for in-memory caches).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures from the atomic rewrite.
+    pub fn save_cache(&self) -> std::io::Result<()> {
+        self.cache.lock().expect("cache lock").save()
+    }
+
+    /// Answers one request line. This is the whole per-request path —
+    /// admission control, cache, optimize, render — and is what the
+    /// bench harness and the oracle tests drive directly. `None` for
+    /// blank lines (which produce no response).
+    pub fn respond_line(&self, line: &str) -> Option<String> {
+        self.respond(&Incoming::Line(line.to_string()))
+            .map(|r| r.line)
+    }
+
+    /// Shards `lines` across the worker pool and returns the responses
+    /// in request order (blank lines yield empty strings).
+    pub fn respond_batch(&self, jobs: usize, lines: &[String]) -> Vec<String> {
+        let incoming: Vec<Incoming> = lines
+            .iter()
+            .map(|l| self.classify(l.clone(), l.len()))
+            .collect();
+        self.process_batch(jobs, &incoming)
+            .into_iter()
+            .map(|r| r.map(|r| r.line).unwrap_or_default())
+            .collect()
+    }
+
+    /// Length-gates a raw line into an [`Incoming`].
+    fn classify(&self, line: String, raw_len: usize) -> Incoming {
+        if raw_len > self.opts.max_request_bytes {
+            Incoming::Oversized(raw_len)
+        } else {
+            Incoming::Line(line)
+        }
+    }
+
+    /// Runs one batch through the pool; panicking items come back as
+    /// structured internal errors instead of poisoning the batch.
+    fn process_batch(&self, jobs: usize, batch: &[Incoming]) -> Vec<Option<Reply>> {
+        serve_metrics::BATCH_ITEMS.observe(batch.len() as u64);
+        pdce_par::try_map_indexed(jobs, batch, |_, inc| self.respond(inc))
+            .into_iter()
+            .map(|item| match item {
+                Ok(reply) => reply,
+                Err(p) => {
+                    self.count(Status::Internal);
+                    Some(Reply {
+                        line: render_error(
+                            &None,
+                            Status::Internal,
+                            &format!("internal error: worker panicked: {}", p.message),
+                        ),
+                        shutdown: false,
+                    })
+                }
+            })
+            .collect()
+    }
+
+    fn count(&self, status: Status) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let (local, label) = match status {
+            Status::Ok => (&self.ok, "ok"),
+            Status::BadInput => (&self.bad_input, "bad_input"),
+            Status::Internal => (&self.internal, "internal"),
+        };
+        local.fetch_add(1, Ordering::Relaxed);
+        serve_metrics::requests(label).inc();
+    }
+
+    fn respond(&self, incoming: &Incoming) -> Option<Reply> {
+        let started = Instant::now();
+        let reply = match incoming {
+            Incoming::Oversized(len) => {
+                self.count(Status::BadInput);
+                Some(Reply {
+                    line: render_error(
+                        &None,
+                        Status::BadInput,
+                        &format!(
+                            "request of {len} bytes exceeds the {}-byte limit",
+                            self.opts.max_request_bytes
+                        ),
+                    ),
+                    shutdown: false,
+                })
+            }
+            Incoming::BadUtf8 => {
+                self.count(Status::BadInput);
+                Some(Reply {
+                    line: render_error(&None, Status::BadInput, "request is not valid UTF-8"),
+                    shutdown: false,
+                })
+            }
+            Incoming::Line(line) => {
+                if line.trim().is_empty() {
+                    return None;
+                }
+                Some(self.respond_request(line))
+            }
+        };
+        serve_metrics::REQUEST_WALL.observe(started.elapsed().as_nanos() as u64);
+        reply
+    }
+
+    fn respond_request(&self, line: &str) -> Reply {
+        let req = match Request::decode(line) {
+            Ok(req) => req,
+            Err(msg) => {
+                self.count(Status::BadInput);
+                return Reply {
+                    line: render_error(&None, Status::BadInput, &msg),
+                    shutdown: false,
+                };
+            }
+        };
+        match req.op {
+            Op::Ping => {
+                self.count(Status::Ok);
+                Reply {
+                    line: render_pong(&req.id),
+                    shutdown: false,
+                }
+            }
+            Op::Shutdown => {
+                self.count(Status::Ok);
+                self.stop.store(true, Ordering::Relaxed);
+                Reply {
+                    line: render_shutdown(&req.id),
+                    shutdown: true,
+                }
+            }
+            Op::Optimize => {
+                let (line, status) = self.optimize_request(&req);
+                self.count(status);
+                Reply {
+                    line,
+                    shutdown: false,
+                }
+            }
+        }
+    }
+
+    /// Caps a requested budget by the server-wide bound: a request may
+    /// lower a cap, never raise or remove it.
+    fn admitted(requested: Option<u64>, cap: Option<u64>) -> Option<u64> {
+        match (requested, cap) {
+            (Some(r), Some(c)) => Some(r.min(c)),
+            (Some(r), None) => Some(r),
+            (None, cap) => cap,
+        }
+    }
+
+    /// The canonical option string keyed alongside the program text.
+    /// Solver strategy and incrementality are excluded on purpose: the
+    /// differential oracles prove they never change the output.
+    fn canonical_options(&self, req: &Request, admitted: &AdmittedBudget) -> String {
+        let opt = |v: Option<u64>| v.map_or_else(|| "-".to_string(), |v| v.to_string());
+        format!(
+            "mode={};rounds={};pops={};wall={};validate={}",
+            req.mode.label(),
+            opt(admitted.rounds),
+            opt(admitted.pops),
+            opt(admitted.wall_ms),
+            opt(admitted.validate.map(u64::from)),
+        )
+    }
+
+    fn admit(&self, req: &Request) -> AdmittedBudget {
+        AdmittedBudget {
+            rounds: Self::admitted(req.max_rounds, self.opts.max_rounds),
+            pops: Self::admitted(req.max_pops, self.opts.max_pops),
+            wall_ms: Self::admitted(req.wall_ms, self.opts.wall_ms),
+            validate: req.validate.or(self.opts.validate),
+        }
+    }
+
+    fn config_for(&self, mode: Mode, admitted: &AdmittedBudget) -> PdceConfig {
+        let mut config = match mode {
+            Mode::Pde => PdceConfig::pde(),
+            Mode::Pfe => PdceConfig::pfe(),
+            Mode::Dce => PdceConfig::dce_only(),
+            Mode::Fce => PdceConfig::fce_only(),
+        };
+        if let Some(rounds) = admitted.rounds {
+            config = config.truncating_after(rounds as usize);
+        }
+        let budget = Budget {
+            max_rounds: None,
+            max_pops: admitted.pops,
+            wall_time: admitted.wall_ms.map(Duration::from_millis),
+        };
+        config = config.with_budget(budget);
+        match admitted.validate {
+            Some(k) if k > 0 => config.with_validation(k),
+            _ => config,
+        }
+    }
+
+    fn optimize_request(&self, req: &Request) -> (String, Status) {
+        let admitted = self.admit(req);
+        let options = self.canonical_options(req, &admitted);
+        let use_cache = self.opts.cache && !req.no_cache;
+        // Fast path: a byte-for-byte repeat of an earlier request is
+        // answered straight from the alias memo, before any parsing.
+        let raw_key = CacheKey::compute(&req.program, &options);
+        if use_cache {
+            let hit = self
+                .cache
+                .lock()
+                .expect("cache lock")
+                .get_raw_alias(raw_key);
+            if let Some(payload) = hit {
+                serve_metrics::CACHE_HITS.inc();
+                return (render_result(&req.id, &payload), Status::Ok);
+            }
+        }
+        let parsed = match parse(&req.program) {
+            Ok(p) => p,
+            Err(e) => {
+                let msg = if e.line == 0 {
+                    format!("program: {}", e.message)
+                } else {
+                    format!("program:{}:{}: {}", e.line, e.col, e.message)
+                };
+                return (
+                    render_error(&req.id, Status::BadInput, &msg),
+                    Status::BadInput,
+                );
+            }
+        };
+        // Key on the canonical rendering so formatting differences (and
+        // reordered request fields) collapse onto one cache entry.
+        let canonical = print_program(&parsed);
+        let key = CacheKey::compute(&canonical, &options);
+        if use_cache {
+            let mut cache = self.cache.lock().expect("cache lock");
+            cache.record_alias(raw_key, key);
+            if let Some(payload) = cache.get(key) {
+                drop(cache);
+                serve_metrics::CACHE_HITS.inc();
+                return (render_result(&req.id, &payload), Status::Ok);
+            }
+            serve_metrics::CACHE_MISSES.inc();
+        }
+        let config = self.config_for(req.mode, &admitted);
+        let mut prog = parsed;
+        let outcome = pdce_trace::sandbox::catch(|| {
+            let prog = &mut prog;
+            let mut run = move || optimize_resilient(prog, &config);
+            let run = move || match self.opts.strategy {
+                Some(s) => pdce_dfa::with_strategy(s, run),
+                None => run(),
+            };
+            if self.opts.incremental {
+                run()
+            } else {
+                pdce_dfa::with_incremental(false, run)
+            }
+        });
+        let stats = match outcome {
+            Ok(stats) => stats,
+            // optimize_resilient is total down to the identity rung;
+            // anything escaping it is our bug, answered as status 2.
+            Err(e) => {
+                return (
+                    render_error(&req.id, Status::Internal, &format!("internal error: {e}")),
+                    Status::Internal,
+                )
+            }
+        };
+        let payload = ResultPayload {
+            program: print_program(&prog),
+            rounds: stats.rounds,
+            eliminated: stats.eliminated_assignments,
+            sunk: stats.sunk_assignments,
+            inserted: stats.inserted_assignments,
+            rung: stats.degraded.map_or("none", |m| m.label()).to_string(),
+        };
+        if use_cache {
+            self.cache
+                .lock()
+                .expect("cache lock")
+                .insert(key, payload.clone());
+        }
+        (render_result(&req.id, &payload), Status::Ok)
+    }
+
+    /// Serves one connection: `reader` → batched requests → `writer`.
+    /// Returns when the reader hits EOF or a `shutdown` request is
+    /// processed; either way every request read before that point has
+    /// been answered and flushed (the drain guarantee), and the cache
+    /// has been persisted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write/flush failures on the response stream and cache
+    /// persistence failures at exit.
+    pub fn serve<R, W>(
+        self: &Arc<Server>,
+        reader: R,
+        mut writer: W,
+    ) -> std::io::Result<ServeSummary>
+    where
+        R: Read + Send + 'static,
+        W: Write,
+    {
+        let (tx, rx) = mpsc::channel::<Incoming>();
+        let max_line = self.opts.max_request_bytes;
+        let reader_server = Arc::clone(self);
+        // The reader thread is detached on the shutdown path (it may be
+        // parked in a blocking read); it exits on EOF, on a send to a
+        // closed channel, or on the stop flag.
+        std::thread::spawn(move || {
+            let mut reader = std::io::BufReader::new(reader);
+            loop {
+                if reader_server.stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                match read_bounded_line(&mut reader, max_line, &reader_server.stop) {
+                    None => break,
+                    Some(incoming) => {
+                        if tx.send(incoming).is_err() {
+                            break;
+                        }
+                    }
+                }
+            }
+        });
+        let jobs = self.opts.jobs.max(1);
+        let max_batch = jobs.saturating_mul(8).max(1);
+        let mut stopping = false;
+        while !stopping {
+            let first = match rx.recv() {
+                Ok(first) => first,
+                Err(_) => break, // EOF: reader gone, queue drained
+            };
+            let mut batch = vec![first];
+            while batch.len() < max_batch {
+                match rx.try_recv() {
+                    Ok(next) => batch.push(next),
+                    Err(_) => break,
+                }
+            }
+            stopping = self.write_batch(jobs, &batch, &mut writer)?;
+        }
+        // Drain guarantee: everything the reader had already queued
+        // before shutdown still gets an answer.
+        if stopping {
+            let rest: Vec<Incoming> = rx.try_iter().collect();
+            if !rest.is_empty() {
+                self.write_batch(jobs, &rest, &mut writer)?;
+            }
+        }
+        self.save_cache()?;
+        Ok(self.summary())
+    }
+
+    /// Processes one batch and writes the responses in request order.
+    /// Returns whether a shutdown request was in the batch.
+    fn write_batch<W: Write>(
+        &self,
+        jobs: usize,
+        batch: &[Incoming],
+        writer: &mut W,
+    ) -> std::io::Result<bool> {
+        let mut stopping = false;
+        for reply in self.process_batch(jobs, batch).into_iter().flatten() {
+            writer.write_all(reply.line.as_bytes())?;
+            writer.write_all(b"\n")?;
+            stopping |= reply.shutdown;
+        }
+        writer.flush()?;
+        Ok(stopping)
+    }
+
+    /// Accept loop over a TCP listener; one dispatcher per connection,
+    /// all sharing this server (and its cache). Returns once a
+    /// `shutdown` request has been served on any connection and every
+    /// connection has drained.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind/accept configuration failures.
+    pub fn serve_tcp(
+        self: &Arc<Server>,
+        listener: std::net::TcpListener,
+    ) -> std::io::Result<ServeSummary> {
+        listener.set_nonblocking(true)?;
+        std::thread::scope(|scope| -> std::io::Result<()> {
+            loop {
+                if self.stop.load(Ordering::Relaxed) {
+                    return Ok(());
+                }
+                match listener.accept() {
+                    Ok((stream, _addr)) => {
+                        stream.set_nonblocking(false)?;
+                        // A finite read timeout lets idle connections
+                        // notice a fleet-wide shutdown promptly.
+                        stream.set_read_timeout(Some(Duration::from_millis(50)))?;
+                        let server = Arc::clone(self);
+                        let write_half = stream.try_clone()?;
+                        scope.spawn(move || {
+                            let _ = server.serve(stream, write_half);
+                        });
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(20));
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+        })?;
+        self.save_cache()?;
+        Ok(self.summary())
+    }
+
+    /// Accept loop over a Unix-domain listener (see [`Server::serve_tcp`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind/accept configuration failures.
+    #[cfg(unix)]
+    pub fn serve_unix(
+        self: &Arc<Server>,
+        listener: std::os::unix::net::UnixListener,
+    ) -> std::io::Result<ServeSummary> {
+        listener.set_nonblocking(true)?;
+        std::thread::scope(|scope| -> std::io::Result<()> {
+            loop {
+                if self.stop.load(Ordering::Relaxed) {
+                    return Ok(());
+                }
+                match listener.accept() {
+                    Ok((stream, _addr)) => {
+                        stream.set_nonblocking(false)?;
+                        stream.set_read_timeout(Some(Duration::from_millis(50)))?;
+                        let server = Arc::clone(self);
+                        let write_half = stream.try_clone()?;
+                        scope.spawn(move || {
+                            let _ = server.serve(stream, write_half);
+                        });
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(20));
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+        })?;
+        self.save_cache()?;
+        Ok(self.summary())
+    }
+}
+
+/// Effective (post-admission) per-request budgets.
+struct AdmittedBudget {
+    rounds: Option<u64>,
+    pops: Option<u64>,
+    wall_ms: Option<u64>,
+    validate: Option<u32>,
+}
+
+/// Reads one `\n`-terminated line without ever buffering more than
+/// `max_bytes + 1` of it: an over-long line is consumed to its newline
+/// but surfaced as [`Incoming::Oversized`], so a hostile client cannot
+/// balloon the daemon's memory. `None` at EOF (a final unterminated
+/// fragment still counts as a line). On a read timeout (socket
+/// transports set one so shutdown can propagate across idle
+/// connections) the read is retried until `stop` is raised.
+fn read_bounded_line<R: BufRead>(
+    reader: &mut R,
+    max_bytes: usize,
+    stop: &AtomicBool,
+) -> Option<Incoming> {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut seen: usize = 0;
+    let mut overflowed = false;
+    loop {
+        let chunk = match reader.fill_buf() {
+            Ok([]) => {
+                // EOF: emit whatever this line accumulated.
+                return if seen == 0 {
+                    None
+                } else {
+                    Some(finish_line(buf, seen, overflowed))
+                };
+            }
+            Ok(chunk) => chunk,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if stop.load(Ordering::Relaxed) {
+                    return None;
+                }
+                continue;
+            }
+            Err(_) => return None,
+        };
+        let (line_part, ate, done) = match chunk.iter().position(|&b| b == b'\n') {
+            Some(nl) => (&chunk[..nl], nl + 1, true),
+            None => (chunk, chunk.len(), false),
+        };
+        seen += line_part.len();
+        if seen > max_bytes {
+            overflowed = true;
+            buf.clear();
+        } else {
+            buf.extend_from_slice(line_part);
+        }
+        reader.consume(ate);
+        if done {
+            return Some(finish_line(buf, seen, overflowed));
+        }
+    }
+}
+
+fn finish_line(buf: Vec<u8>, seen: usize, overflowed: bool) -> Incoming {
+    if overflowed {
+        return Incoming::Oversized(seen);
+    }
+    match String::from_utf8(buf) {
+        Ok(mut s) => {
+            if s.ends_with('\r') {
+                s.pop();
+            }
+            Incoming::Line(s)
+        }
+        Err(_) => Incoming::BadUtf8,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIG1: &str = "prog {
+        block s  { goto n1 }
+        block n1 { y := a + b; nondet n2 n3 }
+        block n2 { y := 4; goto n4 }
+        block n3 { out(y); goto n4 }
+        block n4 { out(y); goto e }
+        block e  { halt }
+    }";
+
+    fn server() -> Arc<Server> {
+        Arc::new(Server::new(ServeOptions::default()))
+    }
+
+    fn request(program: &str) -> String {
+        crate::protocol::encode_request(Some("t"), program, Mode::Pde)
+    }
+
+    #[test]
+    fn serves_an_optimize_request() {
+        let s = server();
+        let line = s.respond_line(&request(FIG1)).unwrap();
+        let doc = pdce_trace::json::parse(&line).unwrap();
+        assert_eq!(doc.get("status").unwrap().as_num(), Some(0.0));
+        let optimized = doc.get("program").unwrap().as_str().unwrap();
+        let reparsed = pdce_ir::parser::parse(optimized).unwrap();
+        let n1 = reparsed.block_by_name("n1").unwrap();
+        assert!(reparsed.block(n1).stmts.is_empty(), "assignment was sunk");
+        assert_eq!(doc.get("eliminated").unwrap().as_num(), Some(1.0));
+        assert_eq!(doc.get("rung").unwrap().as_str(), Some("none"));
+    }
+
+    #[test]
+    fn warm_answers_are_byte_identical_and_hit_the_cache() {
+        let s = server();
+        let cold = s.respond_line(&request(FIG1)).unwrap();
+        let warm = s.respond_line(&request(FIG1)).unwrap();
+        assert_eq!(cold, warm);
+        let summary = s.summary();
+        assert_eq!(summary.cache_hits, 1);
+        assert_eq!(summary.cache_misses, 1);
+        // A formatting-only change of the program still hits.
+        let reformatted = FIG1.replace("  ", " ");
+        let warm2 = s.respond_line(&request(&reformatted)).unwrap();
+        assert_eq!(cold, warm2);
+        assert_eq!(s.summary().cache_hits, 2);
+    }
+
+    #[test]
+    fn no_cache_requests_bypass_the_cache() {
+        let s = server();
+        let line = request(FIG1).replace("\"mode\"", "\"no_cache\":true,\"mode\"");
+        s.respond_line(&line).unwrap();
+        s.respond_line(&line).unwrap();
+        let summary = s.summary();
+        assert_eq!(summary.cache_hits + summary.cache_misses, 0);
+    }
+
+    #[test]
+    fn parse_errors_are_status_1_with_position() {
+        let s = server();
+        let line = s.respond_line(&request("prog { block x {")).unwrap();
+        let doc = pdce_trace::json::parse(&line).unwrap();
+        assert_eq!(doc.get("status").unwrap().as_num(), Some(1.0));
+        let msg = doc.get("error").unwrap().as_str().unwrap();
+        assert!(msg.starts_with("program:"), "positioned: {msg}");
+    }
+
+    #[test]
+    fn serve_loop_answers_in_order_and_drains_at_eof() {
+        let s = server();
+        let input = format!(
+            "{}\n{}\nnot json\n{}\n",
+            request(FIG1),
+            r#"{"op":"ping","id":"p"}"#,
+            request("prog { block e { halt } }"),
+        );
+        let mut out = Vec::new();
+        let summary = s
+            .serve(std::io::Cursor::new(input.into_bytes()), &mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4, "one response per request:\n{text}");
+        assert!(lines[1].contains("\"pong\":true"));
+        assert!(lines[2].contains("\"status\":1"));
+        assert_eq!(summary.requests, 4);
+        assert_eq!(summary.ok, 3);
+        assert_eq!(summary.bad_input, 1);
+        assert!(!summary.shutdown);
+    }
+
+    #[test]
+    fn shutdown_request_stops_the_loop_but_answers_everything_read() {
+        let s = server();
+        let input = format!(
+            "{}\n{}\n{}\n",
+            request(FIG1),
+            r#"{"op":"shutdown","id":"bye"}"#,
+            r#"{"op":"ping","id":"late"}"#,
+        );
+        let mut out = Vec::new();
+        let summary = s
+            .serve(std::io::Cursor::new(input.into_bytes()), &mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(summary.shutdown);
+        assert!(text.contains("\"shutdown\":true"));
+        // The late ping was already queued when shutdown processed, so
+        // the drain answers it (never silently drops read requests).
+        assert!(text.contains("\"id\":\"late\""));
+    }
+
+    #[test]
+    fn oversized_lines_are_rejected_with_bounded_memory() {
+        let opts = ServeOptions {
+            max_request_bytes: 256,
+            ..ServeOptions::default()
+        };
+        let s = Arc::new(Server::new(opts));
+        let big = format!(
+            "{{\"program\":\"{}\"}}\n{}\n",
+            "x".repeat(4096),
+            r#"{"op":"ping"}"#
+        );
+        let mut out = Vec::new();
+        s.serve(std::io::Cursor::new(big.into_bytes()), &mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"status\":1"));
+        assert!(lines[0].contains("exceeds"));
+        assert!(lines[1].contains("pong"), "daemon kept serving");
+    }
+
+    #[test]
+    fn admission_clamps_request_budgets_to_server_caps() {
+        assert_eq!(Server::admitted(Some(5), Some(3)), Some(3));
+        assert_eq!(Server::admitted(Some(2), Some(3)), Some(2));
+        assert_eq!(Server::admitted(None, Some(3)), Some(3));
+        assert_eq!(Server::admitted(Some(9), None), Some(9));
+        assert_eq!(Server::admitted(None, None), None);
+    }
+
+    #[test]
+    fn bounded_reader_handles_split_and_unterminated_lines() {
+        let stop = AtomicBool::new(false);
+        let mut r =
+            std::io::BufReader::with_capacity(4, std::io::Cursor::new(b"abcdef\ngh".to_vec()));
+        let Some(Incoming::Line(a)) = read_bounded_line(&mut r, 64, &stop) else {
+            panic!("line expected");
+        };
+        assert_eq!(a, "abcdef");
+        let Some(Incoming::Line(b)) = read_bounded_line(&mut r, 64, &stop) else {
+            panic!("unterminated tail expected");
+        };
+        assert_eq!(b, "gh");
+        assert!(read_bounded_line(&mut r, 64, &stop).is_none());
+    }
+}

@@ -82,6 +82,22 @@ const USAGE: &str = "usage:
                snapshot at exit; --events-out writes a structured JSONL
                event log (run id, per-file and per-pass attribution)
                whose bytes are independent of --jobs
+  pdce serve   [--tcp ADDR | --unix PATH] [--jobs N] [--solver fifo|priority]
+               [--no-incremental] [--max-rounds N] [--max-pops N] [--wall-ms N]
+               [--validate-semantics[=K]] [--cache FILE] [--cache-bytes N]
+               [--no-cache] [--max-request-bytes N] [--metrics-out FILE.prom]
+               long-lived optimization service: newline-delimited JSON
+               requests on stdin (responses on stdout), or on a TCP/Unix
+               socket with --tcp/--unix. Each request is
+               {\"op\":\"optimize\",\"program\":\"...\",\"mode\":\"pde\",...}
+               and each response carries a status field reusing the exit
+               codes below per request (0 served, 1 bad request, 2
+               internal). --max-rounds/--max-pops/--wall-ms are admission
+               caps: requests may lower them, never raise them. --cache
+               persists the content-hash-keyed result cache across
+               restarts; --cache-bytes bounds it (LRU). The loop exits on
+               stdin EOF or an {\"op\":\"shutdown\"} request, after
+               draining every request already read.
   pdce run     [--in name=value]... [--seed N] [--fuel N] [FILE]
   pdce analyze [FILE]
   pdce universe [--mode pde|pfe] [--max N] [FILE]
@@ -122,6 +138,7 @@ fn dispatch(args: &[String]) -> Result<(), CliError> {
         "universe" => cmd_universe(rest),
         "dot" => cmd_dot(rest),
         "check" => cmd_check(rest),
+        "serve" => cmd_serve(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -1070,6 +1087,137 @@ fn cmd_check(args: &[String]) -> Result<(), CliError> {
         } else {
             "irreducible"
         }
+    );
+    Ok(())
+}
+
+/// `pdce serve`: the long-lived optimization service. Requests arrive
+/// as newline-delimited JSON on stdin (or a TCP/Unix socket) and every
+/// line is answered — the per-request `status` field reuses the CLI
+/// exit-code taxonomy, so one hostile request degrades or errors alone
+/// instead of taking the daemon down.
+fn cmd_serve(args: &[String]) -> Result<(), CliError> {
+    let parsed = parse_args(
+        args,
+        &[
+            "tcp",
+            "unix",
+            "jobs",
+            "solver",
+            "max-rounds",
+            "max-pops",
+            "wall-ms",
+            "cache",
+            "cache-bytes",
+            "max-request-bytes",
+            "metrics-out",
+        ],
+        &["no-incremental", "validate-semantics", "no-cache"],
+    )?;
+    if let Some(extra) = parsed.files.first() {
+        return Err(usage(format!(
+            "unexpected argument `{extra}` (serve reads requests from its socket or stdin)"
+        )));
+    }
+    let metrics_base = pdce::metrics::global().snapshot();
+    let mut opts = pdce::serve::ServeOptions::default();
+    let mut tcp: Option<String> = None;
+    let mut unix: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
+    let parse_u64 = |name: &str, value: &str| -> Result<u64, CliError> {
+        value
+            .parse()
+            .map_err(|_| usage(format!("bad --{name} `{value}`")))
+    };
+    for (name, value) in &parsed.flags {
+        match name.as_str() {
+            "tcp" => tcp = Some(value.clone()),
+            "unix" => unix = Some(value.clone()),
+            "jobs" => {
+                let n: usize = value
+                    .parse()
+                    .map_err(|_| usage(format!("bad --jobs `{value}`")))?;
+                opts.jobs = if n == 0 { pdce::par::default_jobs() } else { n };
+            }
+            "solver" => {
+                opts.strategy = Some(SolverStrategy::parse(value).ok_or_else(|| {
+                    usage(format!(
+                        "unknown solver `{value}` (expected fifo or priority)"
+                    ))
+                })?);
+            }
+            "max-rounds" => opts.max_rounds = Some(parse_u64(name, value)?),
+            "max-pops" => opts.max_pops = Some(parse_u64(name, value)?),
+            "wall-ms" => opts.wall_ms = Some(parse_u64(name, value)?),
+            "validate-semantics" => {
+                opts.validate = Some(if value.is_empty() {
+                    8
+                } else {
+                    value
+                        .parse()
+                        .map_err(|_| usage(format!("bad --validate-semantics `{value}`")))?
+                });
+            }
+            "cache" => opts.cache_path = Some(value.into()),
+            "cache-bytes" => opts.cache_bytes = parse_u64(name, value)?,
+            "max-request-bytes" => {
+                opts.max_request_bytes = parse_u64(name, value)? as usize;
+            }
+            "no-cache" => opts.cache = false,
+            "no-incremental" => opts.incremental = false,
+            "metrics-out" => metrics_out = Some(value.clone()),
+            _ => unreachable!(),
+        }
+    }
+    if tcp.is_some() && unix.is_some() {
+        return Err(usage("--tcp and --unix are mutually exclusive"));
+    }
+    let server = std::sync::Arc::new(pdce::serve::Server::new(opts));
+    let report = server.cache_load_report();
+    if report.loaded > 0 || report.skipped > 0 {
+        eprintln!(
+            "serve: cache loaded {} entr{} ({} corrupt line(s) skipped)",
+            report.loaded,
+            if report.loaded == 1 { "y" } else { "ies" },
+            report.skipped
+        );
+    }
+    let summary = if let Some(addr) = tcp {
+        let listener = std::net::TcpListener::bind(&addr)
+            .map_err(|e| failed(format!("cannot bind tcp `{addr}`: {e}")))?;
+        eprintln!(
+            "serve: listening on tcp {}",
+            listener.local_addr().map_err(failed)?
+        );
+        server.serve_tcp(listener).map_err(failed)?
+    } else if let Some(path) = unix {
+        let _ = std::fs::remove_file(&path);
+        let listener = std::os::unix::net::UnixListener::bind(&path)
+            .map_err(|e| failed(format!("cannot bind unix socket `{path}`: {e}")))?;
+        eprintln!("serve: listening on unix {path}");
+        let summary = server.serve_unix(listener).map_err(failed)?;
+        let _ = std::fs::remove_file(&path);
+        summary
+    } else {
+        server
+            .serve(std::io::stdin(), std::io::stdout().lock())
+            .map_err(failed)?
+    };
+    if let Some(path) = &metrics_out {
+        let snap = pdce::metrics::global().snapshot().since(&metrics_base);
+        std::fs::write(path, snap.prometheus())
+            .map_err(|e| failed(format!("cannot write metrics `{path}`: {e}")))?;
+        eprintln!("metrics: wrote {} series to {path}", snap.series.len());
+    }
+    eprintln!(
+        "serve: {} request(s) ({} ok, {} bad, {} internal), cache {} hit(s) / {} miss(es), {}",
+        summary.requests,
+        summary.ok,
+        summary.bad_input,
+        summary.internal,
+        summary.cache_hits,
+        summary.cache_misses,
+        if summary.shutdown { "shutdown" } else { "eof" }
     );
     Ok(())
 }

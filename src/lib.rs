@@ -12,6 +12,8 @@
 //! * [`pass`] — the unified pass pipeline: registry, spec parser,
 //!   per-pass instrumentation, shared analysis cache
 //! * [`progen`] — random program generators
+//! * [`serve`] — optimization-as-a-service: newline-delimited JSON
+//!   protocol, budget admission control, persistent result cache
 //! * [`trace`] — structured tracing: span/event collector, solver
 //!   telemetry, transformation provenance, Chrome-trace and `--explain`
 //!   exporters
@@ -73,5 +75,6 @@ pub use pdce_metrics as metrics;
 pub use pdce_par as par;
 pub use pdce_pass as pass;
 pub use pdce_progen as progen;
+pub use pdce_serve as serve;
 pub use pdce_ssa as ssa;
 pub use pdce_trace as trace;
