@@ -52,7 +52,16 @@ use std::fmt::Write as _;
 /// the `--wall-ms` admission cap of the run), a `warm_identical` bit
 /// asserting warm-cache responses were byte-identical to cold ones, and
 /// `warm_speedup_pct` (≥ [`MIN_SERVE_WARM_SPEEDUP_PCT`]).
-pub const SCHEMA_VERSION: u64 = 7;
+/// v8: solver stats carry the sparse-solver counters (`sparse_pops` /
+/// `sparse_edge_visits`) and the document gains `sparse` — the
+/// dense-vs-sparse solver A/B on the analysis workload (dead + faint +
+/// delayability cold solves under the dense priority worklist versus
+/// the def-use-chain sparse solver), whose
+/// `sparse_pops_reduction_pct` and `sparse_walltime_reduction_pct`
+/// [`validate`] requires to be ≥ 50% (the ≥2× bars) and whose
+/// `bit_identical` bit asserts both strategies reached the same
+/// fixpoints.
+pub const SCHEMA_VERSION: u64 = 8;
 
 /// The acceptance bar on `pops_reduction_pct`.
 pub const MIN_POPS_REDUCTION_PCT: f64 = 20.0;
@@ -85,6 +94,16 @@ pub const MIN_SERVE_REQ_PER_SEC: f64 = 10_000.0;
 /// from the persistent result cache must save at least this much wall
 /// time over computing it cold.
 pub const MIN_SERVE_WARM_SPEEDUP_PCT: f64 = 30.0;
+
+/// The acceptance bar on `sparse.sparse_pops_reduction_pct`: the sparse
+/// chain solver must pop at least this much less than the dense
+/// priority worklist on the analysis workload — 50% is the ≥2× claim.
+pub const MIN_SPARSE_POPS_REDUCTION_PCT: f64 = 50.0;
+
+/// The acceptance bar on `sparse.sparse_walltime_reduction_pct`: the
+/// sparse chain solver must also be at least 2× faster in wall time on
+/// the same workload.
+pub const MIN_SPARSE_WALLTIME_REDUCTION_PCT: f64 = 50.0;
 
 /// One figure reproduction with its cost.
 #[derive(Debug, Clone)]
@@ -279,6 +298,43 @@ pub struct ServeSection {
     pub warm_speedup_pct: f64,
 }
 
+/// The dense-vs-sparse solver A/B: the analysis workload (cold dead,
+/// faint, and delayability solves) under the dense priority worklist
+/// (`priority_ns` / `priority_pops`) versus the def-use-chain sparse
+/// solver (`sparse_ns` / `sparse_pops`).
+///
+/// Pops compare the strategies' scheduling units — per-node worklist
+/// pops for the dense solver, per-chain propagation tasks for the
+/// sparse one — and both reduction percentages are held against the
+/// ≥2× acceptance bars by [`validate`]. `bit_identical` asserts the
+/// two strategies reached identical fixpoints on every program of the
+/// workload; a sparse solver that wins by computing something else is
+/// a schema violation, not a speedup.
+#[derive(Debug, Clone)]
+pub struct SparseAb {
+    /// What was timed.
+    pub workload: String,
+    /// Best-of-N, dense priority worklist (nanoseconds).
+    pub priority_ns: u128,
+    /// Best-of-N, sparse chain solver (nanoseconds).
+    pub sparse_ns: u128,
+    /// Worklist pops of one dense pass over the workload.
+    pub priority_pops: u64,
+    /// Chain tasks of one sparse pass over the workload.
+    pub sparse_pops: u64,
+    /// `max(0, priority - sparse) / priority` in percent over the pops
+    /// totals — held against [`MIN_SPARSE_POPS_REDUCTION_PCT`].
+    pub sparse_pops_reduction_pct: f64,
+    /// `max(0, priority - sparse) / priority` in percent over the
+    /// best-of-N wall times — held against
+    /// [`MIN_SPARSE_WALLTIME_REDUCTION_PCT`].
+    pub sparse_walltime_reduction_pct: f64,
+    /// Whether every dead/faint/delay fixpoint of the workload was
+    /// bit-identical between the strategies. [`validate`] requires
+    /// `true`.
+    pub bit_identical: bool,
+}
+
 /// Fault-tolerance counters accumulated over the benchmark run
 /// (the driver's `PdceStats` resilience fields, summed).
 #[derive(Debug, Clone, Default)]
@@ -322,6 +378,8 @@ pub struct BenchSummary {
     pub metrics: MetricsSection,
     /// The serving cold-vs-warm A/B.
     pub serve: ServeSection,
+    /// The dense-vs-sparse solver A/B.
+    pub sparse: SparseAb,
     /// Resilience counters accumulated over the run.
     pub resilience: ResilienceTotals,
 }
@@ -354,8 +412,8 @@ fn write_solver(out: &mut String, s: &SolverStats) {
     let _ = write!(
         out,
         "{{\"problems\":{},\"sweeps\":{},\"evaluations\":{},\"revisits\":{},\"word_ops\":{},\
-         \"fifo_pops\":{},\"priority_pops\":{},\"cold_solves\":{},\"warm_solves\":{},\
-         \"seeded_pops\":{}}}",
+         \"fifo_pops\":{},\"priority_pops\":{},\"sparse_pops\":{},\"sparse_edge_visits\":{},\
+         \"cold_solves\":{},\"warm_solves\":{},\"seeded_pops\":{}}}",
         s.problems,
         s.sweeps,
         s.evaluations,
@@ -363,6 +421,8 @@ fn write_solver(out: &mut String, s: &SolverStats) {
         s.word_ops,
         s.fifo_pops,
         s.priority_pops,
+        s.sparse_pops,
+        s.sparse_edge_visits,
         s.cold_solves,
         s.warm_solves,
         s.seeded_pops
@@ -487,6 +547,21 @@ impl BenchSummary {
             sv.warm_identical,
             sv.warm_speedup_pct
         );
+        let sp = &self.sparse;
+        let _ = write!(
+            out,
+            "\n\"sparse\":{{\"workload\":{},\"priority_ns\":{},\"sparse_ns\":{},\
+             \"priority_pops\":{},\"sparse_pops\":{},\"sparse_pops_reduction_pct\":{:.3},\
+             \"sparse_walltime_reduction_pct\":{:.3},\"bit_identical\":{}}},",
+            json::escaped(&sp.workload),
+            sp.priority_ns,
+            sp.sparse_ns,
+            sp.priority_pops,
+            sp.sparse_pops,
+            sp.sparse_pops_reduction_pct,
+            sp.sparse_walltime_reduction_pct,
+            sp.bit_identical
+        );
         let r = &self.resilience;
         let _ = write!(
             out,
@@ -518,6 +593,8 @@ fn check_solver(v: &Value, ctx: &str) -> Result<(), String> {
         "word_ops",
         "fifo_pops",
         "priority_pops",
+        "sparse_pops",
+        "sparse_edge_visits",
         "cold_solves",
         "warm_solves",
         "seeded_pops",
@@ -718,6 +795,38 @@ pub fn validate(text: &str) -> Result<(), String> {
              acceptance bar"
         ));
     }
+    let sparse = require(&doc, "sparse", "document")?;
+    require(sparse, "workload", "sparse")?
+        .as_str()
+        .ok_or("`sparse.workload` is not a string")?;
+    for key in ["priority_ns", "sparse_ns", "priority_pops", "sparse_pops"] {
+        let n = require_num(sparse, key, "sparse")?;
+        if n < 0.0 {
+            return Err(format!("sparse: `{key}` is negative"));
+        }
+    }
+    let sparse_pops = require_num(sparse, "sparse_pops_reduction_pct", "sparse")?;
+    if sparse_pops < MIN_SPARSE_POPS_REDUCTION_PCT {
+        return Err(format!(
+            "sparse_pops_reduction_pct {sparse_pops:.3} below the \
+             {MIN_SPARSE_POPS_REDUCTION_PCT}% (≥2×) acceptance bar"
+        ));
+    }
+    let sparse_wall = require_num(sparse, "sparse_walltime_reduction_pct", "sparse")?;
+    if sparse_wall < MIN_SPARSE_WALLTIME_REDUCTION_PCT {
+        return Err(format!(
+            "sparse_walltime_reduction_pct {sparse_wall:.3} below the \
+             {MIN_SPARSE_WALLTIME_REDUCTION_PCT}% (≥2×) acceptance bar"
+        ));
+    }
+    let sparse_identical = require(sparse, "bit_identical", "sparse")?
+        .as_bool()
+        .ok_or("`sparse.bit_identical` is not a bool")?;
+    if !sparse_identical {
+        return Err(
+            "sparse: dense and sparse fixpoints diverged (`bit_identical` is false)".into(),
+        );
+    }
     let resilience = require(&doc, "resilience", "document")?;
     for key in [
         "rollbacks",
@@ -846,6 +955,16 @@ mod tests {
                 wall_ms_budget: 200,
                 warm_identical: true,
                 warm_speedup_pct: 90.0,
+            },
+            sparse: SparseAb {
+                workload: "dead+faint+delay cold solves over 3 structured programs".into(),
+                priority_ns: 4_000_000,
+                sparse_ns: 1_000_000,
+                priority_pops: 5_000,
+                sparse_pops: 600,
+                sparse_pops_reduction_pct: 88.0,
+                sparse_walltime_reduction_pct: 75.0,
+                bit_identical: true,
             },
             resilience: ResilienceTotals {
                 tv_checks: 6,
@@ -979,6 +1098,31 @@ mod tests {
         assert!(validate(&s.to_json())
             .unwrap_err()
             .contains("warm_speedup_pct"));
+    }
+
+    #[test]
+    fn validation_enforces_sparse_bars() {
+        // A sparse solver that pops as much as the dense one fails the
+        // ≥2× pops bar.
+        let mut s = sample();
+        s.sparse.sparse_pops_reduction_pct = 37.0;
+        assert!(validate(&s.to_json())
+            .unwrap_err()
+            .contains("sparse_pops_reduction_pct"));
+        // ...and one that saves pops but not wall time fails the ≥2×
+        // wall-time bar.
+        let mut s = sample();
+        s.sparse.sparse_walltime_reduction_pct = 12.0;
+        assert!(validate(&s.to_json())
+            .unwrap_err()
+            .contains("sparse_walltime_reduction_pct"));
+        // A sparse fixpoint that diverges from the dense one is a
+        // schema violation regardless of how fast it was.
+        let mut s = sample();
+        s.sparse.bit_identical = false;
+        assert!(validate(&s.to_json())
+            .unwrap_err()
+            .contains("bit_identical"));
     }
 
     #[test]

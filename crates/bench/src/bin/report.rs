@@ -22,7 +22,7 @@ use pdce_baselines::duchain::DuGraph;
 use pdce_baselines::Liveness;
 use pdce_bench::benchjson::{
     self, BenchSummary, CsrAb, FigureRow, MetricsSection, PassLatencyRow, ResilienceTotals,
-    ServeSection, SweepRow, TracingAb, TvAb,
+    ServeSection, SparseAb, SweepRow, TracingAb, TvAb,
 };
 use pdce_bench::{figure_corpus, fit_loglog_slope, measure, verify_figure};
 use pdce_core::driver::{optimize, PdceConfig};
@@ -86,6 +86,7 @@ fn main() {
     let csr = t3_csr_sharing(quick);
     let metrics = t4_metrics_plane(quick);
     let serve = t5_serving(quick);
+    let sparse = t6_sparse_chains(quick);
 
     let summary = BenchSummary {
         quick,
@@ -98,6 +99,7 @@ fn main() {
         csr,
         metrics,
         serve,
+        sparse,
         resilience,
     };
     let text = summary.to_json();
@@ -1017,5 +1019,171 @@ fn t5_serving(quick: bool) -> ServeSection {
         wall_ms_budget,
         warm_identical,
         warm_speedup_pct,
+    }
+}
+
+/// The dense-vs-sparse solver A/B (this PR's headline numbers): the
+/// analysis workload — cold dead, faint, and delayability solves over
+/// the scaling-sweep programs — under the dense priority worklist
+/// versus the def-use-chain sparse solver, interleaved best-of-N.
+///
+/// Pops compare the strategies' scheduling units (per-node worklist
+/// pops vs per-chain propagation tasks), counted over one untimed pass
+/// per strategy; the acceptance bars require the sparse solver to pop
+/// ≥2× less *and* finish ≥2× faster. A final pass cross-checks every
+/// fixpoint bit between the strategies — a sparse win that changes any
+/// answer would invalidate the whole section.
+fn t6_sparse_chains(quick: bool) -> SparseAb {
+    hr("T6: sparse du-chain solver vs dense priority worklist (bars ≥50%)");
+    let sizes: &[usize] = if quick {
+        &[24, 48, 96]
+    } else {
+        &[24, 48, 96, 192, 384]
+    };
+    // Variable counts scale with program size here (one per block, the
+    // realistic shape — bigger functions name more locals), so the bit
+    // rows widen as the programs grow. This is the regime the sparse
+    // formulation targets: the dense solver pays for every
+    // (node, variable) pair per sweep no matter how few bits move,
+    // while the chain solver only walks the occurrences each variable
+    // actually has.
+    let progs: Vec<Program> = sizes
+        .iter()
+        .map(|&n| {
+            structured(&GenConfig {
+                seed: 29,
+                target_blocks: n,
+                num_vars: n,
+                stmts_per_block: (1, 4),
+                out_prob: 0.2,
+                loop_prob: 0.3,
+                max_depth: 12,
+                expr_depth: 2,
+                nondet: true,
+            })
+        })
+        .collect();
+    let views: Vec<CfgView> = progs.iter().map(CfgView::new).collect();
+    // Pattern tables and local predicates feed delayability identically
+    // under both strategies; build them once outside the timed region.
+    let locals: Vec<(PatternTable, LocalInfo)> = progs
+        .iter()
+        .map(|p| {
+            let table = PatternTable::build(p);
+            let local = LocalInfo::compute(p, &table);
+            (table, local)
+        })
+        .collect();
+    let run_all = |strategy: SolverStrategy| {
+        with_strategy(strategy, || {
+            for (i, p) in progs.iter().enumerate() {
+                let view = &views[i];
+                let (table, local) = &locals[i];
+                std::hint::black_box(DeadSolution::compute(p, view));
+                std::hint::black_box(FaintSolution::compute(p, view));
+                std::hint::black_box(DelayInfo::compute(p, view, table, local));
+            }
+        })
+    };
+    // One untimed pass per strategy for the pop counters.
+    let pops_of = |strategy: SolverStrategy| {
+        let before = pdce_trace::solver_totals();
+        run_all(strategy);
+        pdce_trace::solver_totals().since(&before)
+    };
+    let dense_stats = pops_of(SolverStrategy::Priority);
+    let sparse_stats = pops_of(SolverStrategy::Sparse);
+    let (priority_pops, sparse_pops) = (dense_stats.pops(), sparse_stats.pops());
+    let pops_reduction_pct = if priority_pops == 0 {
+        0.0
+    } else {
+        priority_pops.saturating_sub(sparse_pops) as f64 * 100.0 / priority_pops as f64
+    };
+    // Interleaved best-of-N wall times.
+    let time_once = |strategy: SolverStrategy| {
+        let t = Instant::now();
+        run_all(strategy);
+        t.elapsed().as_nanos()
+    };
+    let reps = if quick { 9 } else { 15 };
+    let (mut dense_ns, mut sparse_ns) = (u128::MAX, u128::MAX);
+    for _ in 0..reps {
+        dense_ns = dense_ns.min(time_once(SolverStrategy::Priority));
+        sparse_ns = sparse_ns.min(time_once(SolverStrategy::Sparse));
+    }
+    let wall_reduction_pct = dense_ns.saturating_sub(sparse_ns) as f64 * 100.0 / dense_ns as f64;
+    // Fixpoint cross-check: every bit of every analysis must agree.
+    let mut bit_identical = true;
+    for (i, p) in progs.iter().enumerate() {
+        let view = &views[i];
+        let (table, local) = &locals[i];
+        let solve = |strategy: SolverStrategy| {
+            with_strategy(strategy, || {
+                (
+                    DeadSolution::compute(p, view),
+                    FaintSolution::compute(p, view),
+                    DelayInfo::compute(p, view, table, local),
+                )
+            })
+        };
+        let (dead_d, faint_d, delay_d) = solve(SolverStrategy::Priority);
+        let (dead_s, faint_s, delay_s) = solve(SolverStrategy::Sparse);
+        for n in p.node_ids() {
+            bit_identical &=
+                dead_d.at_entry(n) == dead_s.at_entry(n) && dead_d.at_exit(n) == dead_s.at_exit(n);
+            for v in (0..p.num_vars()).map(pdce_ir::Var::from_index) {
+                bit_identical &= faint_d.faint_at_entry(n, v) == faint_s.faint_at_entry(n, v);
+            }
+        }
+        bit_identical &= delay_d.n_delayed == delay_s.n_delayed
+            && delay_d.x_delayed == delay_s.x_delayed
+            && delay_d.n_insert == delay_s.n_insert
+            && delay_d.x_insert == delay_s.x_insert;
+    }
+
+    println!(
+        "workload: dead+faint+delay cold solves over {} structured programs \
+         (vars scale with blocks), best of {reps}\n",
+        progs.len()
+    );
+    println!(
+        "{:<26} {:>12} {:>12} {:>14}",
+        "series", "best (µs)", "pops", "edge visits"
+    );
+    println!(
+        "{:<26} {:>12.1} {:>12} {:>14}",
+        "dense priority worklist",
+        dense_ns as f64 / 1e3,
+        priority_pops,
+        "-"
+    );
+    println!(
+        "{:<26} {:>12.1} {:>12} {:>14}",
+        "sparse du-chain solver",
+        sparse_ns as f64 / 1e3,
+        sparse_pops,
+        sparse_stats.sparse_edge_visits
+    );
+    println!(
+        "\nsparse pops reduction: {pops_reduction_pct:.1}% (bar ≥{}%); wall-time \
+         reduction: {wall_reduction_pct:.1}% (bar ≥{}%)",
+        benchjson::MIN_SPARSE_POPS_REDUCTION_PCT,
+        benchjson::MIN_SPARSE_WALLTIME_REDUCTION_PCT
+    );
+    println!("fixpoints bit-identical across strategies: {bit_identical}");
+    SparseAb {
+        workload: format!(
+            "dead+faint+delay cold solves over {} structured programs (targets {:?}, \
+             one variable per block), best of {reps}",
+            progs.len(),
+            sizes
+        ),
+        priority_ns: dense_ns,
+        sparse_ns,
+        priority_pops,
+        sparse_pops,
+        sparse_pops_reduction_pct: pops_reduction_pct,
+        sparse_walltime_reduction_pct: wall_reduction_pct,
+        bit_identical,
     }
 }

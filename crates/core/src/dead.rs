@@ -172,14 +172,13 @@ impl DeadSolution {
             Meet::Intersection,
             width,
             &BitVec::ones(width),
-            |node, exit_val| {
+            |node, exit_val, out| {
                 let block = prog.block(node);
-                let mut current = exit_val.clone();
-                apply_term_backward(prog, &block.term, &mut current);
+                out.copy_from(exit_val);
+                apply_term_backward(prog, &block.term, out);
                 for stmt in block.stmts.iter().rev() {
-                    apply_stmt_backward(prog, stmt, &mut current);
+                    apply_stmt_backward(prog, stmt, out);
                 }
-                current
             },
         );
         DeadSolution {

@@ -96,11 +96,15 @@ pub fn eliminate_once_cached(
             removed += apply_removals(prog, &plans);
         }
         Mode::Faint => {
+            // The revision-cached chain graph feeds the faint network:
+            // cold, seeded, and sparse solves all reuse it instead of
+            // re-scanning the program.
+            let du = cache.du(prog);
             let sol = cache.analysis_seeded::<FaintSolution, _>(prog, |p, view, seed| match seed {
                 Some((prev, delta)) => {
-                    FaintSolution::compute_seeded(p, view, prev, delta.dirty_blocks())
+                    FaintSolution::compute_seeded_with_du(p, view, &du, prev, delta.dirty_blocks())
                 }
-                None => FaintSolution::compute(p, view),
+                None => FaintSolution::compute_with_du(p, view, &du),
             });
             let plans: Vec<(pdce_ir::NodeId, Vec<usize>)> = prog
                 .node_ids()

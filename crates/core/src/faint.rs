@@ -20,23 +20,11 @@
 //! of all right-hand-side variables `z` of `ι` are re-queued.
 
 use pdce_dfa::network::{
-    solve_greatest, solve_greatest_prioritized, solve_greatest_seeded, NetworkSolution,
+    solve_greatest, solve_greatest_prioritized, solve_greatest_seeded, solve_greatest_sparse,
+    NetworkSolution,
 };
-use pdce_dfa::{Csr, SolverStrategy};
-use pdce_ir::{CfgView, NodeId, Program, Stmt, Var};
-
-/// One analysed instruction: statements plus one terminator pseudo-
-/// instruction per block (the paper's footnote b to Table 1 notes the
-/// faint analysis must work at the instruction level).
-#[derive(Debug, Clone)]
-enum InstrInfo {
-    /// No effect (skip, goto, nondet, halt).
-    Neutral,
-    /// `lhs := rhs` with the right-hand-side variable set.
-    Assign { lhs: Var, rhs_vars: Vec<Var> },
-    /// Relevant use of variables (out statements and branch conditions).
-    Relevant { used: Vec<Var> },
-}
+use pdce_dfa::{Csr, DuGraph, InstrKind, SolverStrategy};
+use pdce_ir::{CfgView, NodeId, Program, Var};
 
 /// Result of the faint-variable analysis.
 #[derive(Debug)]
@@ -51,126 +39,122 @@ pub struct FaintSolution {
     evaluations: u64,
 }
 
-/// The slot network of one program: instruction layout, per-instruction
-/// facts, and the dependency structure. Building it is a linear scan —
-/// cheap next to solving — so both the cold and the seeded solve
-/// construct it fresh and only the fixpoint values are carried over.
-struct Network {
+/// The slot network of one program, viewed through its def-use chain
+/// graph: the [`DuGraph`] already holds the instruction layout, the
+/// per-instruction kind/def/use facts, and the flow chains, so the
+/// network is a thin slot-arithmetic layer over it. The dense
+/// dependency CSR is materialized on demand ([`Network::dependents`])
+/// only for the worklist strategies; the sparse strategy walks the
+/// use-def chains lazily instead.
+struct Network<'a> {
     num_vars: usize,
     num_instrs: usize,
     num_slots: usize,
-    offsets: Vec<usize>,
-    infos: Vec<InstrInfo>,
-    next: Csr,
-    dependents: Csr,
+    du: &'a DuGraph,
 }
 
-impl Network {
-    fn build(prog: &Program, view: &CfgView) -> Network {
-        debug_assert!(view.layout_matches(prog), "view layout is stale");
-        let num_vars = prog.num_vars();
-        let nblocks = prog.num_blocks();
-
-        // The view's instruction arena is already block-contiguous:
-        // stmts then terminator, exactly the layout this network needs.
-        let num_instrs = view.num_instrs();
-        let offsets: Vec<usize> = (0..nblocks)
-            .map(|i| view.instr_offsets()[i] as usize)
-            .collect();
-
-        let mut infos: Vec<InstrInfo> = Vec::with_capacity(num_instrs);
-        for n in prog.node_ids() {
-            let block = prog.block(n);
-            for stmt in &block.stmts {
-                infos.push(match *stmt {
-                    Stmt::Skip => InstrInfo::Neutral,
-                    Stmt::Assign { lhs, rhs } => InstrInfo::Assign {
-                        lhs,
-                        rhs_vars: prog.terms().vars_of(rhs).to_vec(),
-                    },
-                    Stmt::Out(t) => InstrInfo::Relevant {
-                        used: prog.terms().vars_of(t).to_vec(),
-                    },
-                });
-            }
-            // Terminator pseudo-instruction.
-            infos.push(match block.term.used_term() {
-                Some(c) => InstrInfo::Relevant {
-                    used: prog.terms().vars_of(c).to_vec(),
-                },
-                None => InstrInfo::Neutral,
-            });
+impl<'a> Network<'a> {
+    fn new(du: &'a DuGraph) -> Network<'a> {
+        let num_vars = du.num_vars();
+        let num_instrs = du.num_instrs();
+        Network {
+            num_vars,
+            num_instrs,
+            num_slots: num_instrs * num_vars,
+            du,
         }
+    }
 
-        // Instruction successors: statements chain to the following
-        // instruction of their block; terminators branch to the first
-        // instruction of each successor block, in branch order.
-        let next = Csr::build(num_instrs, |emit| {
-            for n in prog.node_ids() {
-                let range = view.instr_range(n);
-                for i in range.start..range.end - 1 {
-                    emit(i as u32, i as u32 + 1);
-                }
-                for &m in view.succs(n) {
-                    emit(range.end as u32 - 1, view.first_instr(m) as u32);
-                }
-            }
-        });
-
-        let num_slots = num_instrs * num_vars;
-        let slot = |instr: usize, v: Var| instr * num_vars + v.index();
-
-        // Dependency edges: slot (ν, y) is read by (ι, y) whenever
-        // ν ∈ next(ι); additionally, for assignments, (ν, lhs) is read by
-        // (ι, z) for every right-hand-side variable z. Emission order is
-        // the worklist scheduling order; it must not change.
-        let dependents = Csr::build(num_slots, |emit| {
-            for (i, info) in infos.iter().enumerate() {
-                for &nu in next.neighbors(i) {
+    /// Dense dependency edges, for the Fifo/Priority/seeded solvers:
+    /// slot (ν, y) is read by (ι, y) whenever ν ∈ next(ι); additionally,
+    /// for assignments, (ν, lhs) is read by (ι, z) for every
+    /// right-hand-side variable z. Emission order is the worklist
+    /// scheduling order; it must not change.
+    fn dependents(&self) -> Csr {
+        let num_vars = self.num_vars;
+        Csr::build(self.num_slots, |emit| {
+            for i in 0..self.num_instrs {
+                for &nu in self.du.next_of(i) {
                     let nu = nu as usize;
                     for v in 0..num_vars {
                         emit((nu * num_vars + v) as u32, (i * num_vars + v) as u32);
                     }
-                    if let InstrInfo::Assign { lhs, rhs_vars } = info {
-                        for &z in rhs_vars {
-                            if z != *lhs {
-                                emit(slot(nu, *lhs) as u32, slot(i, z) as u32);
+                    if self.du.kind(i) == InstrKind::Assign {
+                        let lhs = self.du.def_of(i).expect("assignment defines").index();
+                        for &z in self.du.uses_of(i) {
+                            if z as usize != lhs {
+                                emit(
+                                    (nu * num_vars + lhs) as u32,
+                                    (i * num_vars + z as usize) as u32,
+                                );
                             }
                         }
                     }
                 }
             }
-        });
+        })
+    }
 
-        Network {
-            num_vars,
-            num_instrs,
-            num_slots,
-            offsets,
-            infos,
-            next,
-            dependents,
+    /// The constant-false slots under the all-true start value: Table 1
+    /// makes exactly the `RELV-USED` slots false unconditionally, so the
+    /// sparse falsity closure seeds from the relevant instructions' used
+    /// variables — every other equation is true while its inputs are.
+    fn false_seeds(&self) -> Vec<u32> {
+        let mut seeds = Vec::new();
+        for i in 0..self.num_instrs {
+            if self.du.kind(i) == InstrKind::Relevant {
+                for &u in self.du.uses_of(i) {
+                    seeds.push((i * self.num_vars + u as usize) as u32);
+                }
+            }
+        }
+        seeds
+    }
+
+    /// Lazy dependents of slot `s` for the sparse solver, walking the
+    /// use-def chains: the same edges [`Network::dependents`] emits,
+    /// enumerated from the target side via `prev`.
+    fn sparse_dependents_of(&self, s: usize, out: &mut Vec<u32>) {
+        let nu = s / self.num_vars;
+        let y = (s % self.num_vars) as u32;
+        for &i in self.du.prev_of(nu) {
+            let i = i as usize;
+            out.push((i * self.num_vars) as u32 + y);
+            if self.du.kind(i) == InstrKind::Assign {
+                let lhs = self.du.def_of(i).expect("assignment defines").index() as u32;
+                if lhs == y {
+                    for &z in self.du.uses_of(i) {
+                        if z != y {
+                            out.push((i * self.num_vars + z as usize) as u32);
+                        }
+                    }
+                }
+            }
         }
     }
 
     /// Table 1's `X-FAINT`: conjunction over successor instructions.
-    fn x_faint(&self, values: &pdce_dfa::BitVec, instr: usize, v: Var) -> bool {
-        self.next
-            .neighbors(instr)
+    fn x_faint(&self, values: &pdce_dfa::BitVec, instr: usize, v: usize) -> bool {
+        self.du
+            .next_of(instr)
             .iter()
-            .all(|&nu| values.get(nu as usize * self.num_vars + v.index()))
+            .all(|&nu| values.get(nu as usize * self.num_vars + v))
     }
 
     /// Table 1's `N-FAINT` right-hand side for one slot.
     fn eval(&self, s: usize, values: &pdce_dfa::BitVec) -> bool {
         let instr = s / self.num_vars;
-        let x = Var::from_index(s % self.num_vars);
-        match &self.infos[instr] {
-            InstrInfo::Neutral => self.x_faint(values, instr, x),
-            InstrInfo::Relevant { used } => !used.contains(&x) && self.x_faint(values, instr, x),
-            InstrInfo::Assign { lhs, rhs_vars } => {
-                (self.x_faint(values, instr, x) || x == *lhs)
-                    && (self.x_faint(values, instr, *lhs) || !rhs_vars.contains(&x))
+        let x = s % self.num_vars;
+        match self.du.kind(instr) {
+            InstrKind::Neutral => self.x_faint(values, instr, x),
+            InstrKind::Relevant => {
+                !self.du.uses_of(instr).contains(&(x as u32)) && self.x_faint(values, instr, x)
+            }
+            InstrKind::Assign => {
+                let lhs = self.du.def_of(instr).expect("assignment defines").index();
+                (self.x_faint(values, instr, x) || x == lhs)
+                    && (self.x_faint(values, instr, lhs)
+                        || !self.du.uses_of(instr).contains(&(x as u32)))
             }
         }
     }
@@ -185,8 +169,9 @@ impl Network {
 
     /// Number of instructions of block `n` in this layout.
     fn instr_count(&self, n: usize) -> usize {
-        let end = self.offsets.get(n + 1).copied().unwrap_or(self.num_instrs);
-        end - self.offsets[n]
+        let offsets = self.du.block_offsets();
+        let end = offsets.get(n + 1).copied().unwrap_or(self.num_instrs);
+        end - offsets[n]
     }
 }
 
@@ -211,27 +196,49 @@ impl FaintSolution {
     /// # Ok::<(), pdce_ir::ParseError>(())
     /// ```
     pub fn compute(prog: &Program, view: &CfgView) -> FaintSolution {
-        let net = Network::build(prog, view);
+        let du = DuGraph::build(prog, view);
+        FaintSolution::compute_with_du(prog, view, &du)
+    }
+
+    /// Runs the analysis against an already-built def-use chain graph
+    /// (typically the revision-cached one from `AnalysisCache::du`,
+    /// avoiding the program re-scan). `du` must describe `prog` under
+    /// `view`'s layout.
+    pub fn compute_with_du(prog: &Program, view: &CfgView, du: &DuGraph) -> FaintSolution {
+        debug_assert!(view.layout_matches(prog), "view layout is stale");
+        debug_assert_eq!(du.num_instrs(), view.num_instrs(), "du graph is stale");
+        let net = Network::new(du);
         let eval = |s: usize, values: &pdce_dfa::BitVec| net.eval(s, values);
         let NetworkSolution {
             values,
             evaluations,
         } = match pdce_dfa::current_strategy() {
-            SolverStrategy::Fifo => solve_greatest(net.num_slots, &net.dependents, eval),
+            SolverStrategy::Fifo => solve_greatest(net.num_slots, &net.dependents(), eval),
             SolverStrategy::Priority => {
                 // Falsity flows backward along `next`, so evaluate deep
                 // instructions first: priority = instruction-graph
                 // postorder index (exit-most instructions finish first).
                 let priority = net.priorities(view);
-                solve_greatest_prioritized(net.num_slots, &net.dependents, &priority, eval)
+                solve_greatest_prioritized(net.num_slots, &net.dependents(), &priority, eval)
+            }
+            SolverStrategy::Sparse => {
+                // No dense dependency CSR at all: seed the closed-form
+                // false slots and chase falsity along the use-def chains.
+                let seeds = net.false_seeds();
+                solve_greatest_sparse(
+                    net.num_slots,
+                    &seeds,
+                    |s, out| net.sparse_dependents_of(s, out),
+                    eval,
+                )
             }
         };
 
         FaintSolution {
             num_vars: net.num_vars,
-            offsets: net.offsets,
+            offsets: du.block_offsets().to_vec(),
             values,
-            next: net.next,
+            next: du.next().clone(),
             evaluations,
         }
     }
@@ -254,10 +261,24 @@ impl FaintSolution {
         prev: &FaintSolution,
         dirty: &[NodeId],
     ) -> FaintSolution {
-        let net = Network::build(prog, view);
+        let du = DuGraph::build(prog, view);
+        FaintSolution::compute_seeded_with_du(prog, view, &du, prev, dirty)
+    }
+
+    /// [`FaintSolution::compute_seeded`] against an already-built chain
+    /// graph (see [`FaintSolution::compute_with_du`]).
+    pub fn compute_seeded_with_du(
+        prog: &Program,
+        view: &CfgView,
+        du: &DuGraph,
+        prev: &FaintSolution,
+        dirty: &[NodeId],
+    ) -> FaintSolution {
+        debug_assert_eq!(du.num_instrs(), view.num_instrs(), "du graph is stale");
+        let net = Network::new(du);
         let nblocks = prog.num_blocks();
         if net.num_vars != prev.num_vars || prev.offsets.len() != nblocks {
-            return FaintSolution::compute(prog, view);
+            return FaintSolution::compute_with_du(prog, view, du);
         }
         let mut is_dirty = vec![false; nblocks];
         for &d in dirty {
@@ -272,17 +293,18 @@ impl FaintSolution {
         // the per-block value remapping below is meaningless.
         for (n, &block_dirty) in is_dirty.iter().enumerate() {
             if !block_dirty && net.instr_count(n) != prev_instr_count(n) {
-                return FaintSolution::compute(prog, view);
+                return FaintSolution::compute_with_du(prog, view, du);
             }
         }
 
         // Seed: all-true (the lattice top, what dirty slots reset to),
         // with every clean block's segment copied from the previous
         // fixpoint under the new instruction numbering.
+        let offsets = du.block_offsets();
         let mut seed = pdce_dfa::BitVec::ones(net.num_slots);
         let mut dirty_slots: Vec<u32> = Vec::new();
         for (n, &block_dirty) in is_dirty.iter().enumerate() {
-            let base = net.offsets[n] * net.num_vars;
+            let base = offsets[n] * net.num_vars;
             let count = net.instr_count(n) * net.num_vars;
             if block_dirty {
                 dirty_slots.extend((base..base + count).map(|s| s as u32));
@@ -301,7 +323,7 @@ impl FaintSolution {
             evaluations,
         } = solve_greatest_seeded(
             net.num_slots,
-            &net.dependents,
+            &net.dependents(),
             &priority,
             &seed,
             &dirty_slots,
@@ -310,9 +332,9 @@ impl FaintSolution {
 
         FaintSolution {
             num_vars: net.num_vars,
-            offsets: net.offsets,
+            offsets: offsets.to_vec(),
             values,
-            next: net.next,
+            next: du.next().clone(),
             evaluations,
         }
     }
@@ -353,6 +375,7 @@ impl FaintSolution {
 mod tests {
     use super::*;
     use pdce_ir::parser::parse;
+    use pdce_ir::Stmt;
 
     fn var(p: &Program, name: &str) -> Var {
         p.vars().lookup(name).unwrap()
@@ -517,7 +540,10 @@ mod tests {
         let prio = pdce_dfa::with_strategy(SolverStrategy::Priority, || {
             FaintSolution::compute(&p, &view)
         });
+        let sparse =
+            pdce_dfa::with_strategy(SolverStrategy::Sparse, || FaintSolution::compute(&p, &view));
         assert_eq!(fifo.values, prio.values);
+        assert_eq!(fifo.values, sparse.values);
         assert!(prio.evaluations <= fifo.evaluations);
     }
 

@@ -124,7 +124,12 @@ fn single_eliminations(
         Mode::Faint => None,
     };
     let faint = match mode {
-        Mode::Faint => Some(cache.analysis::<FaintSolution, _>(prog, FaintSolution::compute)),
+        Mode::Faint => {
+            let du = cache.du(prog);
+            Some(cache.analysis::<FaintSolution, _>(prog, |p, v| {
+                FaintSolution::compute_with_du(p, v, &du)
+            }))
+        }
         Mode::Dead => None,
     };
     for n in prog.node_ids() {

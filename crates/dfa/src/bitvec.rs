@@ -106,6 +106,17 @@ impl BitVec {
         self.blocks.iter().map(|b| b.count_ones() as usize).sum()
     }
 
+    /// Overwrites `self` with `other`'s bits without reallocating —
+    /// the scratch-buffer reuse primitive of the solver hot loops.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn copy_from(&mut self, other: &BitVec) {
+        self.check_len(other);
+        self.blocks.copy_from_slice(&other.blocks);
+    }
+
     /// `self |= other`.
     ///
     /// # Panics

@@ -49,6 +49,21 @@ impl Csr {
         })
     }
 
+    /// Builds a CSR from already-computed offset and edge arrays —
+    /// the single-pass splicing path `DuGraph::patch` uses to reuse
+    /// clean-block segments without a repeatable emission closure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `off` is empty, not monotone, or its last entry does
+    /// not equal `edges.len()`.
+    pub fn from_parts(off: Vec<u32>, edges: Vec<u32>) -> Csr {
+        assert!(!off.is_empty(), "offset array needs a leading 0");
+        debug_assert!(off.windows(2).all(|w| w[0] <= w[1]), "offsets not sorted");
+        assert_eq!(*off.last().unwrap() as usize, edges.len(), "edge count");
+        Csr { off, edges }
+    }
+
     /// Number of nodes.
     pub fn num_nodes(&self) -> usize {
         self.off.len().saturating_sub(1)

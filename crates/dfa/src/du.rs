@@ -1,0 +1,380 @@
+//! The def-use chain graph the sparse solver family propagates over.
+//!
+//! [`DuGraph`] is an instruction-level CSR snapshot of everything the
+//! sparse formulations of dead, faint, and delay read: per-instruction
+//! kind/def/use facts, the instruction successor relation (statements
+//! chain within a block, terminators branch along the `CfgView` edges),
+//! its inverse, and the per-variable occurrence sets — each variable's
+//! own sparse node set, the instructions that define or use it. The
+//! graph is revision-cached in `AnalysisCache` next to the `CfgView`
+//! and, after statement-local edits reported by the mutation log,
+//! patched by splicing clean-block segments instead of re-scanning the
+//! whole program (DESIGN.md §15).
+//!
+//! The scan mirrors the faint network's instruction walk exactly —
+//! statements plus one terminator pseudo-instruction per block, in the
+//! view's arena numbering — so the faint analysis can rebuild its
+//! boolean implication network from these chains without touching the
+//! program again.
+
+use pdce_ir::{CfgView, NodeId, Program, Stmt, Var};
+
+use crate::csr::Csr;
+
+/// What an instruction does, as far as the chain graph cares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InstrKind {
+    /// No variable effect (skip, goto, nondet, halt).
+    Neutral,
+    /// An assignment: defines [`DuGraph::def_of`], uses
+    /// [`DuGraph::uses_of`] (the right-hand-side variables).
+    Assign,
+    /// A relevant use of [`DuGraph::uses_of`] (out statements and branch
+    /// conditions) — the only instructions that pin variables live.
+    Relevant,
+}
+
+/// Instruction-level def-use/use-def chains of one program, in CSR form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DuGraph {
+    num_vars: usize,
+    num_instrs: usize,
+    /// First instruction index of each block (the view's arena layout).
+    offsets: Vec<usize>,
+    /// Per-instruction kind.
+    kinds: Vec<InstrKind>,
+    /// Per-instruction defined variable index; `u32::MAX` if none.
+    defs: Vec<u32>,
+    /// Per-instruction used variable indices (right-hand-side variables
+    /// for assignments, used variables for relevant instructions).
+    uses: Csr,
+    /// Instruction successors: statements chain to the next instruction
+    /// of their block, terminators branch to the first instruction of
+    /// each successor block, in branch order.
+    next: Csr,
+    /// Inverse of `next` (use-def direction).
+    prev: Csr,
+    /// Per-variable occurrence sets: the instructions that define or
+    /// use the variable, in arena order, one entry per role (an
+    /// instruction both defining and using a variable appears twice).
+    occ: Csr,
+}
+
+/// Walks one block's instructions (statements, then the terminator
+/// pseudo-instruction), reporting each one's kind, defined-variable
+/// index (`u32::MAX` if none), and used variables.
+fn scan_block(prog: &Program, n: NodeId, mut f: impl FnMut(InstrKind, u32, &[Var])) {
+    let block = prog.block(n);
+    for stmt in &block.stmts {
+        match *stmt {
+            Stmt::Skip => f(InstrKind::Neutral, u32::MAX, &[]),
+            Stmt::Assign { lhs, rhs } => f(
+                InstrKind::Assign,
+                lhs.index() as u32,
+                prog.terms().vars_of(rhs),
+            ),
+            Stmt::Out(t) => f(InstrKind::Relevant, u32::MAX, prog.terms().vars_of(t)),
+        }
+    }
+    match block.term.used_term() {
+        Some(c) => f(InstrKind::Relevant, u32::MAX, prog.terms().vars_of(c)),
+        None => f(InstrKind::Neutral, u32::MAX, &[]),
+    }
+}
+
+impl DuGraph {
+    /// Builds the chain graph for `prog` from scratch.
+    pub fn build(prog: &Program, view: &CfgView) -> DuGraph {
+        debug_assert!(view.layout_matches(prog), "view layout is stale");
+        let num_instrs = view.num_instrs();
+        let nblocks = prog.num_blocks();
+        let offsets: Vec<usize> = (0..nblocks)
+            .map(|i| view.instr_offsets()[i] as usize)
+            .collect();
+
+        let mut kinds = Vec::with_capacity(num_instrs);
+        let mut defs = Vec::with_capacity(num_instrs);
+        let mut use_off = Vec::with_capacity(num_instrs + 1);
+        use_off.push(0u32);
+        let mut use_edges: Vec<u32> = Vec::new();
+        for n in prog.node_ids() {
+            scan_block(prog, n, |kind, def, uses| {
+                kinds.push(kind);
+                defs.push(def);
+                use_edges.extend(uses.iter().map(|v| v.index() as u32));
+                use_off.push(use_edges.len() as u32);
+            });
+        }
+        let uses = Csr::from_parts(use_off, use_edges);
+
+        DuGraph::assemble(
+            prog.num_vars(),
+            num_instrs,
+            offsets,
+            kinds,
+            defs,
+            uses,
+            view,
+        )
+    }
+
+    /// Splices `prev` into the chain graph of the current `prog`:
+    /// clean-block fact segments are copied over, only the `dirty`
+    /// blocks are re-scanned, and the flow/occurrence CSRs are rebuilt
+    /// from the (cheap) spliced arrays. Falls back to a cold
+    /// [`DuGraph::build`] when the shapes do not line up — the variable
+    /// universe moved, the block set changed, or a supposedly-clean
+    /// block changed length. Identical to a cold build either way; the
+    /// property test in `tests/` drives random mutation sequences
+    /// through both paths and compares the graphs structurally.
+    pub fn patch(prog: &Program, view: &CfgView, prev: &DuGraph, dirty: &[NodeId]) -> DuGraph {
+        let nblocks = prog.num_blocks();
+        if prog.num_vars() != prev.num_vars || prev.offsets.len() != nblocks {
+            return DuGraph::build(prog, view);
+        }
+        debug_assert!(view.layout_matches(prog), "view layout is stale");
+        let num_instrs = view.num_instrs();
+        let offsets: Vec<usize> = (0..nblocks)
+            .map(|i| view.instr_offsets()[i] as usize)
+            .collect();
+        let mut is_dirty = vec![false; nblocks];
+        for &d in dirty {
+            is_dirty[d.index()] = true;
+        }
+        let prev_count = |n: usize| {
+            let end = prev.offsets.get(n + 1).copied().unwrap_or(prev.num_instrs);
+            end - prev.offsets[n]
+        };
+        let count = |n: usize| {
+            let end = offsets.get(n + 1).copied().unwrap_or(num_instrs);
+            end - offsets[n]
+        };
+        for (n, &block_dirty) in is_dirty.iter().enumerate() {
+            if !block_dirty && count(n) != prev_count(n) {
+                return DuGraph::build(prog, view);
+            }
+        }
+
+        let mut kinds = Vec::with_capacity(num_instrs);
+        let mut defs = Vec::with_capacity(num_instrs);
+        let mut use_off = Vec::with_capacity(num_instrs + 1);
+        use_off.push(0u32);
+        let mut use_edges: Vec<u32> = Vec::new();
+        for n in prog.node_ids() {
+            let i = n.index();
+            if is_dirty[i] {
+                scan_block(prog, n, |kind, def, uses| {
+                    kinds.push(kind);
+                    defs.push(def);
+                    use_edges.extend(uses.iter().map(|v| v.index() as u32));
+                    use_off.push(use_edges.len() as u32);
+                });
+            } else {
+                let base = prev.offsets[i];
+                for k in base..base + prev_count(i) {
+                    kinds.push(prev.kinds[k]);
+                    defs.push(prev.defs[k]);
+                    use_edges.extend_from_slice(prev.uses.neighbors(k));
+                    use_off.push(use_edges.len() as u32);
+                }
+            }
+        }
+        let uses = Csr::from_parts(use_off, use_edges);
+
+        DuGraph::assemble(
+            prog.num_vars(),
+            num_instrs,
+            offsets,
+            kinds,
+            defs,
+            uses,
+            view,
+        )
+    }
+
+    /// Shared tail of [`DuGraph::build`] and [`DuGraph::patch`]: derives
+    /// the flow CSRs from the view and the occurrence CSR from the fact
+    /// arrays.
+    fn assemble(
+        num_vars: usize,
+        num_instrs: usize,
+        offsets: Vec<usize>,
+        kinds: Vec<InstrKind>,
+        defs: Vec<u32>,
+        uses: Csr,
+        view: &CfgView,
+    ) -> DuGraph {
+        let next = Csr::build(num_instrs, |emit| {
+            for i in 0..offsets.len() {
+                let n = NodeId::from_index(i);
+                let range = view.instr_range(n);
+                for k in range.start..range.end - 1 {
+                    emit(k as u32, k as u32 + 1);
+                }
+                for &m in view.succs(n) {
+                    emit(range.end as u32 - 1, view.first_instr(m) as u32);
+                }
+            }
+        });
+        let prev = Csr::build(num_instrs, |emit| {
+            for i in 0..num_instrs {
+                for &nu in next.neighbors(i) {
+                    emit(nu, i as u32);
+                }
+            }
+        });
+        let occ = Csr::build(num_vars, |emit| {
+            for (i, &d) in defs.iter().enumerate() {
+                if d != u32::MAX {
+                    emit(d, i as u32);
+                }
+                for &v in uses.neighbors(i) {
+                    emit(v, i as u32);
+                }
+            }
+        });
+        DuGraph {
+            num_vars,
+            num_instrs,
+            offsets,
+            kinds,
+            defs,
+            uses,
+            next,
+            prev,
+            occ,
+        }
+    }
+
+    /// Number of variables of the underlying program.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of instructions (statements plus one terminator
+    /// pseudo-instruction per block).
+    pub fn num_instrs(&self) -> usize {
+        self.num_instrs
+    }
+
+    /// First instruction index of each block.
+    pub fn block_offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// Kind of instruction `i`.
+    pub fn kind(&self, i: usize) -> InstrKind {
+        self.kinds[i]
+    }
+
+    /// Variable defined by instruction `i`, if any.
+    pub fn def_of(&self, i: usize) -> Option<Var> {
+        (self.defs[i] != u32::MAX).then(|| Var::from_index(self.defs[i] as usize))
+    }
+
+    /// Variable indices used by instruction `i`.
+    pub fn uses_of(&self, i: usize) -> &[u32] {
+        self.uses.neighbors(i)
+    }
+
+    /// Successor instructions of `i`, in flow order.
+    pub fn next_of(&self, i: usize) -> &[u32] {
+        self.next.neighbors(i)
+    }
+
+    /// Predecessor instructions of `i` (the use-def direction).
+    pub fn prev_of(&self, i: usize) -> &[u32] {
+        self.prev.neighbors(i)
+    }
+
+    /// The instruction successor CSR itself.
+    pub fn next(&self) -> &Csr {
+        &self.next
+    }
+
+    /// The occurrence set of variable `v`: every instruction that
+    /// defines or uses it, in arena order.
+    pub fn occurrences(&self, v: Var) -> &[u32] {
+        self.occ.neighbors(v.index())
+    }
+
+    /// Total def-use chain edge count (flow edges plus occurrence
+    /// entries) — the denominator of the sparse solver's `O(affected
+    /// edges)` bound.
+    pub fn num_edges(&self) -> usize {
+        self.next.num_edges() + self.occ.num_edges()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdce_ir::parser::parse;
+
+    #[test]
+    fn build_records_kinds_defs_uses_and_chains() {
+        let prog = parse(
+            "prog {
+               block s { x := 1; y := x + z; out(y); if x < 2 then t else e }
+               block t { goto e }
+               block e { halt }
+             }",
+        )
+        .unwrap();
+        let view = CfgView::new(&prog);
+        let du = DuGraph::build(&prog, &view);
+        let x = prog.vars().lookup("x").unwrap();
+        let y = prog.vars().lookup("y").unwrap();
+        assert_eq!(du.num_instrs(), view.num_instrs());
+        // Instruction 0 is `x := 1`, 1 is `y := x + z`, 2 is `out(y)`,
+        // 3 is the branch on x.
+        assert_eq!(du.kind(0), InstrKind::Assign);
+        assert_eq!(du.def_of(0), Some(x));
+        assert_eq!(du.uses_of(0), &[] as &[u32]);
+        assert_eq!(du.kind(1), InstrKind::Assign);
+        assert_eq!(du.def_of(1), Some(y));
+        assert!(du.uses_of(1).contains(&(x.index() as u32)));
+        assert_eq!(du.kind(2), InstrKind::Relevant);
+        assert_eq!(du.uses_of(2), &[y.index() as u32]);
+        assert_eq!(du.kind(3), InstrKind::Relevant);
+        // x occurs as a def (0), a use (1), and the branch use (3).
+        assert_eq!(du.occurrences(x), &[0, 1, 3]);
+        // Statements chain; the branch fans out to both targets.
+        assert_eq!(du.next_of(0), &[1]);
+        assert_eq!(du.next_of(3).len(), 2);
+        assert_eq!(du.prev_of(1), &[0]);
+    }
+
+    #[test]
+    fn patch_equals_cold_build_after_stmt_edit() {
+        let mut prog = parse(
+            "prog {
+               block s { x := 1; y := x + 1; goto m }
+               block m { out(y); goto e }
+               block e { halt }
+             }",
+        )
+        .unwrap();
+        let prev = DuGraph::build(&prog, &CfgView::new(&prog));
+        let m = prog.block_by_name("m").unwrap();
+        prog.stmts_mut(m).pop();
+        let view = CfgView::new(&prog);
+        let cold = DuGraph::build(&prog, &view);
+        let patched = DuGraph::patch(&prog, &view, &prev, &[m]);
+        assert_eq!(cold, patched);
+    }
+
+    #[test]
+    fn patch_with_incompatible_shape_falls_back_to_cold() {
+        let mut prog = parse("prog { block s { x := 1; goto e } block e { halt } }").unwrap();
+        let prev = DuGraph::build(&prog, &CfgView::new(&prog));
+        let y = prog.var("freshvar");
+        let one = prog.terms_mut().constant(1);
+        let s = prog.entry();
+        prog.stmts_mut(s).push(Stmt::Assign { lhs: y, rhs: one });
+        let view = CfgView::new(&prog);
+        let cold = DuGraph::build(&prog, &view);
+        let patched = DuGraph::patch(&prog, &view, &prev, &[s]);
+        assert_eq!(cold, patched);
+    }
+}

@@ -49,6 +49,20 @@ impl GenKill {
         out
     }
 
+    /// Applies the transfer to `input`, writing the result into `out`
+    /// (fully overwritten). Allocation-free variant of
+    /// [`GenKill::apply`] for the solver hot loops, which reuse one
+    /// scratch vector across evaluations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` or `input` width differs from the transfer's.
+    pub fn apply_into(&self, input: &BitVec, out: &mut BitVec) {
+        out.copy_from(input);
+        out.difference_with(&self.kill);
+        out.union_with(&self.gen);
+    }
+
     /// Returns `h` with `h(X) = self(inner(X))` — `inner` runs first.
     ///
     /// For a *forward* analysis over a statement sequence `s₁; s₂`,

@@ -11,6 +11,11 @@
 //! * [`network`] — a slotwise greatest-fixpoint solver for monotone
 //!   boolean networks, needed for the faint-variable analysis which is
 //!   not expressible as a bit-vector problem (Section 5.2/6.1.2);
+//! * [`du`](mod@du) + [`sparse`](mod@sparse) — the def-use chain graph
+//!   and the sparse solver family built on it: per-bit forced-value
+//!   closures that touch O(affected edges) nodes instead of sweeping
+//!   dense rows, selectable as [`SolverStrategy::Sparse`] with the
+//!   dense strategies as differential oracle (DESIGN.md §15);
 //! * [`pass`](mod@pass) — the pass-manager framework: the [`Pass`] trait every
 //!   transform in the workspace implements, and the revision-keyed
 //!   [`AnalysisCache`] that shares `CfgView`s, dominators, and solver
@@ -29,19 +34,24 @@
 
 pub mod bitvec;
 pub mod csr;
+pub mod du;
 pub mod genkill;
 pub mod network;
 pub mod pass;
 pub mod solve;
+pub mod sparse;
 
 pub use bitvec::BitVec;
 pub use csr::Csr;
+pub use du::{DuGraph, InstrKind};
 pub use genkill::GenKill;
 pub use network::{
-    solve_greatest, solve_greatest_prioritized, solve_greatest_seeded, NetworkSolution,
+    solve_greatest, solve_greatest_prioritized, solve_greatest_seeded, solve_greatest_sparse,
+    NetworkSolution,
 };
 pub use pass::{run_until_stable, AnalysisCache, CacheStats, Pass, PassOutcome, Preserves};
 pub use solve::{
     affected_closure, current_strategy, incremental_enabled, solve, solve_fn, solve_seeded,
     with_incremental, with_strategy, BitProblem, Direction, Meet, Solution, SolverStrategy,
 };
+pub use sparse::solve_sparse;

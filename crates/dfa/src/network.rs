@@ -99,6 +99,8 @@ pub fn solve_greatest(
         cold_solves: 1,
         warm_solves: 0,
         seeded_pops: 0,
+        sparse_pops: 0,
+        sparse_edge_visits: 0,
     });
     trace_span.finish_with(if pdce_trace::enabled() {
         vec![("pops", pops.into()), ("evaluations", evaluations.into())]
@@ -185,6 +187,8 @@ pub fn solve_greatest_prioritized(
         cold_solves: 1,
         warm_solves: 0,
         seeded_pops: 0,
+        sparse_pops: 0,
+        sparse_edge_visits: 0,
     });
     trace_span.finish_with(if pdce_trace::enabled() {
         vec![("pops", pops.into()), ("evaluations", evaluations.into())]
@@ -304,6 +308,98 @@ pub fn solve_greatest_seeded(
     });
     trace_span.finish_with(if pdce_trace::enabled() {
         vec![("pops", pops.into()), ("evaluations", evaluations.into())]
+    } else {
+        Vec::new()
+    });
+    NetworkSolution {
+        values,
+        evaluations,
+    }
+}
+
+/// Sparse variant of [`solve_greatest`]: instead of seeding the worklist
+/// with *every* slot and walking a prebuilt dense dependents CSR, the
+/// caller hands over only the slots whose equations are constant-false
+/// under the all-true start (`false_seeds`) and a lazy edge enumerator
+/// (`dependents_of`), which appends the dependents of a slot to the
+/// scratch vector. Slots never named by either stay true without ever
+/// being evaluated — for the faint network that is the overwhelming
+/// majority, and the dense dependents CSR (instructions × variables
+/// edges) is never materialized at all (DESIGN.md §15).
+///
+/// `dependents_of` must enumerate exactly the edges the dense CSR would
+/// hold (duplicates are harmless), and `eval` the same monotone
+/// equations, so the greatest fixpoint is bit-identical to
+/// [`solve_greatest`]'s — the differential oracle checks that.
+///
+/// Each seed is one outer-worklist pop (`SolverStats::sparse_pops`);
+/// falsity then spreads by plain closure, every traversed edge counted
+/// in `sparse_edge_visits`. A slot flips at most once, so total work is
+/// `O(#seeds + #edges touched by falsity)`.
+pub fn solve_greatest_sparse(
+    num_slots: usize,
+    false_seeds: &[u32],
+    mut dependents_of: impl FnMut(usize, &mut Vec<u32>),
+    mut eval: impl FnMut(usize, &BitVec) -> bool,
+) -> NetworkSolution {
+    pdce_trace::fault::fire("solve");
+    let trace_span = pdce_trace::span_with(
+        "solver",
+        "network-solve-sparse",
+        if pdce_trace::enabled() {
+            vec![
+                ("slots", num_slots.into()),
+                ("seeds", false_seeds.len().into()),
+            ]
+        } else {
+            Vec::new()
+        },
+    );
+    let mut values = BitVec::ones(num_slots);
+    let mut stack: Vec<u32> = Vec::new();
+    let mut evaluations: u64 = 0;
+    let mut edge_visits: u64 = 0;
+    for &s in false_seeds {
+        pdce_trace::budget::charge_pops(1);
+        let s = s as usize;
+        if values.get(s) {
+            evaluations += 1;
+            if !eval(s, &values) {
+                values.set(s, false);
+                stack.push(s as u32);
+            }
+        }
+    }
+    let mut deps: Vec<u32> = Vec::new();
+    while let Some(s) = stack.pop() {
+        deps.clear();
+        dependents_of(s as usize, &mut deps);
+        for &dep in &deps {
+            edge_visits += 1;
+            let d = dep as usize;
+            if values.get(d) {
+                evaluations += 1;
+                if !eval(d, &values) {
+                    values.set(d, false);
+                    stack.push(d as u32);
+                }
+            }
+        }
+    }
+    pdce_trace::record_solver(pdce_trace::SolverStats {
+        problems: 1,
+        evaluations,
+        sparse_pops: false_seeds.len() as u64,
+        sparse_edge_visits: edge_visits,
+        cold_solves: 1,
+        ..pdce_trace::SolverStats::ZERO
+    });
+    trace_span.finish_with(if pdce_trace::enabled() {
+        vec![
+            ("seeds", false_seeds.len().into()),
+            ("evaluations", evaluations.into()),
+            ("edge_visits", edge_visits.into()),
+        ]
     } else {
         Vec::new()
     });
@@ -459,6 +555,37 @@ mod tests {
         });
         assert_eq!(warm.values, prev.values);
         assert_eq!(warm.evaluations, 0);
+    }
+
+    #[test]
+    fn sparse_matches_dense_and_skips_untouched_slots() {
+        // Chain with falsity entering at the end: the lazy-edge sparse
+        // solve must reach the identical fixpoint from the single seed.
+        let n = 10;
+        let mut dependents = vec![Vec::new(); n];
+        for i in 0..n - 1 {
+            dependents[i + 1].push(i as u32);
+        }
+        let csr = Csr::from_lists(&dependents);
+        let eval = |s: usize, vals: &BitVec| if s == n - 1 { false } else { vals.get(s + 1) };
+        let dense = solve_greatest(n, &csr, eval);
+        let sparse = solve_greatest_sparse(
+            n,
+            &[(n - 1) as u32],
+            |s, out| out.extend_from_slice(csr.neighbors(s)),
+            eval,
+        );
+        assert_eq!(dense.values, sparse.values);
+        // A self-supporting cycle has no constant-false seed: nothing is
+        // evaluated and everything stays true.
+        let sol = solve_greatest_sparse(
+            3,
+            &[],
+            |_, _| unreachable!("no falsity, no edges walked"),
+            |_, _| unreachable!("no seeds, no evaluations"),
+        );
+        assert_eq!(sol.values.count_ones(), 3);
+        assert_eq!(sol.evaluations, 0);
     }
 
     #[test]

@@ -27,6 +27,7 @@ use std::rc::Rc;
 
 use pdce_ir::{CfgView, ChangeSet, NodeId, Program};
 
+use crate::du::DuGraph;
 use crate::solve::incremental_enabled;
 
 /// Registry handles for the cache counter family
@@ -54,6 +55,9 @@ mod cache_metrics {
     pub static DOM_MISS: LazyLock<Arc<Counter>> = LazyLock::new(|| event("dom_miss"));
     pub static ANALYSIS_HIT: LazyLock<Arc<Counter>> = LazyLock::new(|| event("analysis_hit"));
     pub static ANALYSIS_MISS: LazyLock<Arc<Counter>> = LazyLock::new(|| event("analysis_miss"));
+    pub static DU_HIT: LazyLock<Arc<Counter>> = LazyLock::new(|| event("du_hit"));
+    pub static DU_MISS: LazyLock<Arc<Counter>> = LazyLock::new(|| event("du_miss"));
+    pub static DU_PATCH: LazyLock<Arc<Counter>> = LazyLock::new(|| event("du_patch"));
 }
 
 /// What a pass guarantees about cached analyses after it ran.
@@ -148,17 +152,25 @@ pub struct CacheStats {
     /// rebuilt ([`CfgView::relayout`]) — cheaper than a full rebuild,
     /// counted separately from both hits and misses.
     pub cfg_relayouts: u64,
+    /// [`DuGraph`] requests served from cache.
+    pub du_hits: u64,
+    /// [`DuGraph`] requests that had to rebuild (patched or cold).
+    pub du_misses: u64,
+    /// [`DuGraph`] misses served by splicing the demoted previous graph
+    /// ([`DuGraph::patch`]) instead of a cold re-scan — a subset of
+    /// `du_misses`, counted separately like `cfg_relayouts`.
+    pub du_patches: u64,
 }
 
 impl CacheStats {
     /// Total hits over all entry kinds.
     pub fn hits(&self) -> u64 {
-        self.cfg_hits + self.dom_hits + self.analysis_hits
+        self.cfg_hits + self.dom_hits + self.analysis_hits + self.du_hits
     }
 
     /// Total misses over all entry kinds.
     pub fn misses(&self) -> u64 {
-        self.cfg_misses + self.dom_misses + self.analysis_misses
+        self.cfg_misses + self.dom_misses + self.analysis_misses + self.du_misses
     }
 
     /// The counter delta since an `earlier` snapshot of the same cache
@@ -172,6 +184,9 @@ impl CacheStats {
             analysis_hits: self.analysis_hits - earlier.analysis_hits,
             analysis_misses: self.analysis_misses - earlier.analysis_misses,
             cfg_relayouts: self.cfg_relayouts - earlier.cfg_relayouts,
+            du_hits: self.du_hits - earlier.du_hits,
+            du_misses: self.du_misses - earlier.du_misses,
+            du_patches: self.du_patches - earlier.du_patches,
         }
     }
 }
@@ -209,6 +224,13 @@ pub struct AnalysisCache {
     revision: Option<u64>,
     cfg: Option<Rc<CfgView>>,
     doms: Option<Rc<Vec<Option<NodeId>>>>,
+    /// The def-use chain graph the sparse solvers propagate over,
+    /// revision-cached like the view (DESIGN.md §15).
+    du: Option<Rc<DuGraph>>,
+    /// Demoted chain graph with the revision it was valid for, kept so
+    /// [`AnalysisCache::du`] can splice it ([`DuGraph::patch`]) when the
+    /// mutation log proves the delta was statement-local.
+    du_stale: Option<(u64, Rc<DuGraph>)>,
     analyses: HashMap<TypeId, Rc<dyn Any>>,
     /// Demoted analysis solutions: the last value of each type together
     /// with the revision it was valid for. Never served as a hit —
@@ -256,6 +278,7 @@ impl AnalysisCache {
             self.doms = None;
         }
         self.demote_analyses();
+        self.demote_du();
         self.revision = Some(cur);
     }
 
@@ -287,6 +310,14 @@ impl AnalysisCache {
         }
     }
 
+    /// Demotes the fresh chain graph to a patch seed, stamped with the
+    /// revision it was valid for (dropped when that is unknown).
+    fn demote_du(&mut self) {
+        if let (Some(rev), Some(du)) = (self.revision, self.du.take()) {
+            self.du_stale = Some((rev, du));
+        }
+    }
+
     /// The memoized [`CfgView`] of `prog`.
     pub fn cfg(&mut self, prog: &Program) -> Rc<CfgView> {
         self.sync(prog);
@@ -309,6 +340,56 @@ impl AnalysisCache {
                 view
             }
         }
+    }
+
+    /// The memoized [`DuGraph`] of `prog` — the def-use chain graph the
+    /// sparse solver family propagates over.
+    ///
+    /// On a miss with a demoted previous graph, the mutation log decides
+    /// how to rebuild: a provably statement-local delta splices the old
+    /// graph's clean-block segments ([`DuGraph::patch`], counted in
+    /// [`CacheStats::du_patches`]); structural or unexplained deltas —
+    /// or incremental solving disabled via [`incremental_enabled`] —
+    /// re-scan cold. Either way the result equals a cold build
+    /// bit-for-bit, which the `DuGraph` property test checks under
+    /// random mutation sequences.
+    pub fn du(&mut self, prog: &Program) -> Rc<DuGraph> {
+        self.sync(prog);
+        if let Some(du) = &self.du {
+            self.stats.du_hits += 1;
+            cache_metrics::DU_HIT.inc();
+            return Rc::clone(du);
+        }
+        self.stats.du_misses += 1;
+        cache_metrics::DU_MISS.inc();
+        let view = self.cfg(prog);
+        let patched = if incremental_enabled() {
+            self.du_stale.as_ref().and_then(|(rev, prev)| {
+                let delta = prog.changes_since(*rev)?;
+                if delta.structural() {
+                    return None;
+                }
+                Some(Rc::new(DuGraph::patch(
+                    prog,
+                    &view,
+                    prev,
+                    delta.dirty_blocks(),
+                )))
+            })
+        } else {
+            None
+        };
+        let du = match patched {
+            Some(du) => {
+                self.stats.du_patches += 1;
+                cache_metrics::DU_PATCH.inc();
+                du
+            }
+            None => Rc::new(DuGraph::build(prog, &view)),
+        };
+        self.du_stale = None;
+        self.du = Some(Rc::clone(&du));
+        du
     }
 
     /// The memoized immediate-dominator vector of `prog`.
@@ -409,6 +490,8 @@ impl AnalysisCache {
                 // are not even shape-compatible, so stale seeds go too.
                 self.cfg = None;
                 self.doms = None;
+                self.du = None;
+                self.du_stale = None;
                 self.analyses.clear();
                 self.stale.clear();
                 self.revision = Some(prog.revision());
@@ -420,6 +503,7 @@ impl AnalysisCache {
                 // edits), so re-derive it from the surviving topology.
                 self.refresh_cfg_layout(prog);
                 self.demote_analyses();
+                self.demote_du();
                 self.revision = Some(prog.revision());
             }
             Preserves::All => {
@@ -433,6 +517,8 @@ impl AnalysisCache {
         self.revision = None;
         self.cfg = None;
         self.doms = None;
+        self.du = None;
+        self.du_stale = None;
         self.analyses.clear();
         self.stale.clear();
     }
@@ -644,6 +730,51 @@ mod tests {
             Count(p.num_stmts())
         });
         assert_eq!(rebuilt.0, 1);
+    }
+
+    #[test]
+    fn du_graph_is_cached_and_patched_after_stmt_edit() {
+        let mut p = prog();
+        let mut cache = AnalysisCache::new();
+        let a = cache.du(&p);
+        let b = cache.du(&p);
+        assert!(Rc::ptr_eq(&a, &b));
+        assert_eq!(cache.stats().du_hits, 1);
+        assert_eq!(cache.stats().du_misses, 1);
+        assert_eq!(cache.stats().du_patches, 0);
+        // Statement-local edit: the next request splices the demoted
+        // graph instead of re-scanning, and must equal a cold build.
+        let entry = p.entry();
+        p.stmts_mut(entry).push(pdce_ir::Stmt::Skip);
+        let c = crate::solve::with_incremental(true, || cache.du(&p));
+        assert_eq!(cache.stats().du_misses, 2);
+        assert_eq!(cache.stats().du_patches, 1);
+        assert_eq!(*c, DuGraph::build(&p, &CfgView::new(&p)));
+    }
+
+    #[test]
+    fn du_graph_rebuilds_cold_on_structural_change_or_disabled() {
+        let mut p = prog();
+        let mut cache = AnalysisCache::new();
+        cache.du(&p);
+        let exit = p.exit();
+        p.add_block(pdce_ir::Block::new(
+            "fresh",
+            pdce_ir::Terminator::Goto(exit),
+        ))
+        .unwrap();
+        let c = cache.du(&p);
+        assert_eq!(cache.stats().du_patches, 0, "structural delta: no patch");
+        assert_eq!(*c, DuGraph::build(&p, &CfgView::new(&p)));
+        // Statement edit with incremental disabled: cold as well.
+        let entry = p.entry();
+        p.stmts_mut(entry).pop();
+        crate::solve::with_incremental(false, || cache.du(&p));
+        assert_eq!(cache.stats().du_patches, 0);
+        // retain(Nothing) drops both the fresh graph and the patch seed.
+        cache.retain(&p, Preserves::Nothing);
+        cache.du(&p);
+        assert_eq!(cache.stats().du_patches, 0);
     }
 
     #[test]

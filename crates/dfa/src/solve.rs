@@ -39,6 +39,13 @@ pub enum SolverStrategy {
     /// argument). Uses sparse word-skipping meets.
     #[default]
     Priority,
+    /// Sparse propagation over the def-use chain graph: each bit gets
+    /// its own worklist task seeded from the nodes that force it, and
+    /// the forced value is closed through identity-transfer nodes along
+    /// flow edges. Work is O(affected edges) per bit rather than a
+    /// dense sweep of every node's full row; the dense strategies
+    /// remain the differential oracle (DESIGN.md §15).
+    Sparse,
 }
 
 impl SolverStrategy {
@@ -48,6 +55,7 @@ impl SolverStrategy {
         match s {
             "fifo" => Some(SolverStrategy::Fifo),
             "priority" => Some(SolverStrategy::Priority),
+            "sparse" => Some(SolverStrategy::Sparse),
             _ => None,
         }
     }
@@ -57,6 +65,7 @@ impl SolverStrategy {
         match self {
             SolverStrategy::Fifo => "fifo",
             SolverStrategy::Priority => "priority",
+            SolverStrategy::Sparse => "sparse",
         }
     }
 }
@@ -80,7 +89,8 @@ fn env_strategy() -> Option<SolverStrategy> {
 
 /// The strategy solvers on this thread currently use: the innermost
 /// [`with_strategy`] scope if any, else the `SOLVER` environment
-/// variable (`fifo` / `priority`), else [`SolverStrategy::Priority`].
+/// variable (`fifo` / `priority` / `sparse`), else
+/// [`SolverStrategy::Priority`].
 pub fn current_strategy() -> SolverStrategy {
     STRATEGY
         .with(|s| s.get())
@@ -236,13 +246,16 @@ pub fn solve(view: &CfgView, problem: &BitProblem) -> Solution {
     for t in &problem.transfer {
         assert_eq!(t.width(), problem.width, "transfer width mismatch");
     }
+    if current_strategy() == SolverStrategy::Sparse {
+        return crate::sparse::solve_sparse(view, problem);
+    }
     solve_fn(
         view,
         problem.direction,
         problem.meet,
         problem.width,
         &problem.boundary,
-        |node, input| problem.transfer[node.index()].apply(input),
+        |node, input, out| problem.transfer[node.index()].apply_into(input, out),
     )
 }
 
@@ -251,7 +264,10 @@ pub fn solve(view: &CfgView, problem: &BitProblem) -> Solution {
 /// [`solve`] uses pre-composed gen/kill block summaries; this entry
 /// point lets a client apply per-instruction transfers on every
 /// evaluation instead (the ablation benchmarked in `pdce-bench`), or
-/// use transfers that are not of gen/kill shape at all.
+/// use transfers that are not of gen/kill shape at all. The transfer
+/// writes its result into the provided scratch vector (fully
+/// overwriting it) so the hot loop reuses one buffer across all
+/// evaluations instead of allocating per call.
 ///
 /// # Panics
 ///
@@ -262,12 +278,20 @@ pub fn solve_fn(
     meet: Meet,
     width: usize,
     boundary: &BitVec,
-    mut transfer: impl FnMut(NodeId, &BitVec) -> BitVec,
+    mut transfer: impl FnMut(NodeId, &BitVec, &mut BitVec),
 ) -> Solution {
     let n = view.num_nodes();
     assert_eq!(boundary.len(), width, "boundary width mismatch");
     pdce_trace::fault::fire("solve");
-    let strategy = current_strategy();
+    // The sparse strategy needs gen/kill-shaped transfers and is
+    // dispatched in [`solve`] before this generalized entry point; a
+    // caller handing us an opaque closure under `sparse` (the
+    // per-instruction ablation) runs the priority discipline instead
+    // and records its pops as such.
+    let strategy = match current_strategy() {
+        SolverStrategy::Sparse => SolverStrategy::Priority,
+        s => s,
+    };
     let trace_span = pdce_trace::span_with(
         "solver",
         "bitvec-solve",
@@ -325,6 +349,11 @@ pub fn solve_fn(
     let mut evaluations: u64 = 0;
     let mut sweeps: u64 = 0;
     let mut word_ops: u64 = 0;
+    // Scratch vectors reused across every evaluation: the meet
+    // accumulator swaps into `input` (taking the old row as the next
+    // round's buffer) and the transfer result swaps into `output`.
+    let mut acc = interior_init.clone();
+    let mut new_out = interior_init.clone();
     match strategy {
         SolverStrategy::Fifo => {
             // Initial sweep computes outputs; subsequent sweeps propagate.
@@ -344,22 +373,22 @@ pub fn solve_fn(
                         if !sources.is_empty() {
                             // One copy plus one meet per further source.
                             word_ops += words * sources.len() as u64;
-                            let mut acc = output[sources[0].index()].clone();
+                            acc.copy_from(&output[sources[0].index()]);
                             for &src in &sources[1..] {
                                 match meet {
                                     Meet::Intersection => acc.intersect_with(&output[src.index()]),
                                     Meet::Union => acc.union_with(&output[src.index()]),
                                 }
                             }
-                            input[node.index()] = acc;
+                            std::mem::swap(&mut input[node.index()], &mut acc);
                         }
                     }
                     // Gen/kill transfer (&!kill then |gen) plus the
                     // convergence compare.
                     word_ops += words * 3;
-                    let new_out = transfer(node, &input[node.index()]);
+                    transfer(node, &input[node.index()], &mut new_out);
                     if new_out != output[node.index()] {
-                        output[node.index()] = new_out;
+                        std::mem::swap(&mut output[node.index()], &mut new_out);
                         changed = true;
                     }
                 }
@@ -391,20 +420,20 @@ pub fn solve_fn(
                         // One copy, then sparse word-skipping meets that
                         // only touch (and only count) non-identity words.
                         word_ops += words;
-                        let mut acc = output[sources[0].index()].clone();
+                        acc.copy_from(&output[sources[0].index()]);
                         for &src in &sources[1..] {
                             word_ops += match meet {
                                 Meet::Intersection => acc.intersect_with_skip(&output[src.index()]),
                                 Meet::Union => acc.union_with_skip(&output[src.index()]),
                             };
                         }
-                        input[node.index()] = acc;
+                        std::mem::swap(&mut input[node.index()], &mut acc);
                     }
                 }
                 word_ops += words * 3;
-                let new_out = transfer(node, &input[node.index()]);
+                transfer(node, &input[node.index()], &mut new_out);
                 if new_out != output[node.index()] {
-                    output[node.index()] = new_out;
+                    std::mem::swap(&mut output[node.index()], &mut new_out);
                     // Re-queue flow-successors whose meet reads this
                     // node's output.
                     let dependents: &[NodeId] = match direction {
@@ -421,6 +450,7 @@ pub fn solve_fn(
                 }
             }
         }
+        SolverStrategy::Sparse => unreachable!("sparse is mapped to the priority discipline above"),
     }
 
     // Every evaluation is one worklist pop: explicit for the priority
@@ -433,11 +463,11 @@ pub fn solve_fn(
         word_ops,
         fifo_pops: match strategy {
             SolverStrategy::Fifo => evaluations,
-            SolverStrategy::Priority => 0,
+            _ => 0,
         },
         priority_pops: match strategy {
-            SolverStrategy::Fifo => 0,
             SolverStrategy::Priority => evaluations,
+            _ => 0,
         },
         cold_solves: 1,
         ..pdce_trace::SolverStats::ZERO
@@ -744,8 +774,12 @@ pub fn solve_seeded(
     let seeded: u64 = heap.len() as u64;
 
     // Damped repair: descending (toward-fixpoint) chaotic iteration
-    // from the elevated seed, chasing actual value changes only.
+    // from the elevated seed, chasing actual value changes only. The
+    // meet accumulator and transfer result are scratch vectors reused
+    // (via swap) across all pops.
     let mut evaluations: u64 = 0;
+    let mut acc = BitVec::zeros(width);
+    let mut new_out = BitVec::zeros(width);
     while let Some(Reverse(pos)) = heap.pop() {
         queued.set(pos as usize, false);
         let node = order[pos as usize];
@@ -758,20 +792,20 @@ pub fn solve_seeded(
             };
             if !sources.is_empty() {
                 word_ops += words;
-                let mut acc = output[sources[0].index()].clone();
+                acc.copy_from(&output[sources[0].index()]);
                 for &src in &sources[1..] {
                     word_ops += match meet {
                         Meet::Intersection => acc.intersect_with_skip(&output[src.index()]),
                         Meet::Union => acc.union_with_skip(&output[src.index()]),
                     };
                 }
-                input[node.index()] = acc;
+                std::mem::swap(&mut input[node.index()], &mut acc);
             }
         }
         word_ops += words * 3;
-        let new_out = problem.transfer[node.index()].apply(&input[node.index()]);
+        problem.transfer[node.index()].apply_into(&input[node.index()], &mut new_out);
         if new_out != output[node.index()] {
-            output[node.index()] = new_out;
+            std::mem::swap(&mut output[node.index()], &mut new_out);
             for &d in flow_succs(node) {
                 enqueue(d.index(), &mut heap, &mut queued);
             }
@@ -957,7 +991,11 @@ mod tests {
 
     #[test]
     fn strategy_parse_and_names_roundtrip() {
-        for s in [SolverStrategy::Fifo, SolverStrategy::Priority] {
+        for s in [
+            SolverStrategy::Fifo,
+            SolverStrategy::Priority,
+            SolverStrategy::Sparse,
+        ] {
             assert_eq!(SolverStrategy::parse(s.name()), Some(s));
         }
         assert_eq!(SolverStrategy::parse("zap"), None);
@@ -999,8 +1037,14 @@ mod tests {
                 let prob = problem_for(&p, direction, meet, &["b1", "x"], &["b2"]);
                 let fifo = with_strategy(SolverStrategy::Fifo, || solve(&view, &prob));
                 let prio = with_strategy(SolverStrategy::Priority, || solve(&view, &prob));
+                let sparse = with_strategy(SolverStrategy::Sparse, || solve(&view, &prob));
                 assert_eq!(fifo.entry, prio.entry, "{direction:?}/{meet:?} entry");
                 assert_eq!(fifo.exit, prio.exit, "{direction:?}/{meet:?} exit");
+                assert_eq!(
+                    fifo.entry, sparse.entry,
+                    "{direction:?}/{meet:?} sparse entry"
+                );
+                assert_eq!(fifo.exit, sparse.exit, "{direction:?}/{meet:?} sparse exit");
                 assert!(
                     prio.evaluations <= fifo.evaluations,
                     "priority must not evaluate more than the sweep"
@@ -1132,5 +1176,10 @@ mod tests {
         let after_both = pdce_trace::solver_totals().since(&before);
         assert!(after_both.priority_pops > 0);
         assert_eq!(after_both.fifo_pops, after_fifo.fifo_pops);
+        with_strategy(SolverStrategy::Sparse, || solve(&view, &prob));
+        let after_sparse = pdce_trace::solver_totals().since(&before);
+        assert_eq!(after_sparse.sparse_pops, prob.width as u64);
+        assert!(after_sparse.sparse_edge_visits > 0);
+        assert_eq!(after_sparse.priority_pops, after_both.priority_pops);
     }
 }

@@ -1,0 +1,291 @@
+//! Sparse bit-vector solver over per-bit forced-value closures.
+//!
+//! The dense strategies in [`crate::solve`] iterate whole bit rows until
+//! a sweep (or heap drain) changes nothing. This module exploits the
+//! gen/kill shape of every transfer instead: for a fixed bit `b`, each
+//! node's transfer is one of three functions — constant 1 (`gen`),
+//! constant 0 (`kill` without `gen`), or the identity. Under either meet
+//! the fixpoint for bit `b` is then *forced*:
+//!
+//! * meet = ∩ (greatest fixpoint from all-ones): a bit is 0 exactly on
+//!   the closure of the constant-0 nodes (and a 0 boundary bit) through
+//!   identity-transfer nodes along flow edges; everything else stays 1.
+//! * meet = ∪ (least fixpoint from all-zeros): dually, a bit is 1
+//!   exactly on the closure of the constant-1 nodes (and a 1 boundary
+//!   bit) through identity nodes.
+//!
+//! So one uniform marking pass per bit — seed the forced nodes, close
+//! through identity nodes — computes the identical fixpoint the dense
+//! worklists converge to, touching only the nodes the bit actually
+//! reaches: the def-use chain of that pattern/variable projected onto
+//! block granularity. Nothing is ever re-popped: the per-bit *task* is
+//! popped once (counted in `SolverStats::sparse_pops`) and the chain
+//! traversal it performs is counted in `sparse_edge_visits`, the
+//! `O(affected edges)` quantity of the formulation (DESIGN.md §15).
+//!
+//! Dense-equivalence subtleties the marking pass replicates exactly:
+//! nodes outside the iteration order (unreachable from entry) are never
+//! evaluated, so both their input and output rows keep the meet
+//! identity; the boundary node's input is pinned to the boundary value
+//! and never overwritten by propagation; and sourceless reachable nodes
+//! keep the identity input. The differential oracle in `tests/` checks
+//! all of this bit-for-bit against the dense strategies.
+
+use pdce_ir::{CfgView, NodeId};
+
+use crate::bitvec::BitVec;
+use crate::solve::{BitProblem, Direction, Meet, Solution};
+
+/// Solves `problem` by per-bit forced-value closure over the def-use
+/// chains. Produces the same [`Solution`] values as the dense
+/// strategies; `sweeps` is 0 (there are none) and `evaluations` counts
+/// output-bit flips.
+pub fn solve_sparse(view: &CfgView, problem: &BitProblem) -> Solution {
+    let n = view.num_nodes();
+    let width = problem.width;
+    pdce_trace::fault::fire("solve");
+    let trace_span = pdce_trace::span_with(
+        "solver",
+        "bitvec-solve",
+        if pdce_trace::enabled() {
+            vec![
+                (
+                    "direction",
+                    match problem.direction {
+                        Direction::Forward => "forward",
+                        Direction::Backward => "backward",
+                    }
+                    .into(),
+                ),
+                (
+                    "meet",
+                    match problem.meet {
+                        Meet::Intersection => "intersection",
+                        Meet::Union => "union",
+                    }
+                    .into(),
+                ),
+                ("strategy", "sparse".into()),
+                ("width", width.into()),
+                ("nodes", n.into()),
+            ]
+        } else {
+            Vec::new()
+        },
+    );
+
+    // The value propagation spreads: 1 under ∪, 0 under ∩. Rows start
+    // at the meet identity (= the non-active value everywhere).
+    let active = matches!(problem.meet, Meet::Union);
+    let interior_init = match problem.meet {
+        Meet::Intersection => BitVec::ones(width),
+        Meet::Union => BitVec::zeros(width),
+    };
+    let mut input = vec![interior_init.clone(); n];
+    let mut output = vec![interior_init; n];
+
+    let boundary_node = match problem.direction {
+        Direction::Forward => view.entry(),
+        Direction::Backward => view.exit(),
+    };
+    input[boundary_node.index()] = problem.boundary.clone();
+
+    let order: &[NodeId] = match problem.direction {
+        Direction::Forward => view.rpo(),
+        Direction::Backward => view.postorder(),
+    };
+    let mut in_order = BitVec::zeros(n);
+    for &v in order {
+        in_order.set(v.index(), true);
+    }
+
+    // One seed bucket per bit: the reachable non-boundary nodes whose
+    // transfer forces the active value on that bit. `gen` wins over
+    // `kill` in `GenKill::apply`, so under ∩ the constant-0 nodes are
+    // `kill ∧ ¬gen`; under ∪ the constant-1 nodes are simply `gen`.
+    // Built in one pass over the set bits, not a per-bit node scan.
+    let mut seeds: Vec<Vec<u32>> = vec![Vec::new(); width];
+    for &v in order {
+        if v == boundary_node {
+            continue;
+        }
+        let t = &problem.transfer[v.index()];
+        match problem.meet {
+            Meet::Intersection => {
+                for b in t.kill.iter_ones() {
+                    if !t.gen.get(b) {
+                        seeds[b].push(v.index() as u32);
+                    }
+                }
+            }
+            Meet::Union => {
+                for b in t.gen.iter_ones() {
+                    seeds[b].push(v.index() as u32);
+                }
+            }
+        }
+    }
+
+    let boundary_reachable = in_order.get(boundary_node.index());
+    let mut evaluations: u64 = 0;
+    let mut edge_visits: u64 = 0;
+    let mut stack: Vec<NodeId> = Vec::new();
+    for (b, bucket) in seeds.iter().enumerate() {
+        // One outer-worklist task per bit; the closure below is plain
+        // reachability, so nothing inside it is ever popped twice.
+        pdce_trace::budget::charge_pops(1);
+
+        for &v in bucket {
+            let vi = v as usize;
+            if output[vi].get(b) != active {
+                output[vi].set(b, active);
+                evaluations += 1;
+                stack.push(NodeId::from_index(vi));
+            }
+        }
+        if boundary_reachable {
+            // The boundary node's input is pinned, so its output bit is
+            // fully determined here: gen forces 1, kill forces 0, and
+            // the identity passes the boundary bit through.
+            let bi = boundary_node.index();
+            let t = &problem.transfer[bi];
+            let obit = if t.gen.get(b) {
+                true
+            } else if t.kill.get(b) {
+                false
+            } else {
+                problem.boundary.get(b)
+            };
+            if obit == active && output[bi].get(b) != active {
+                output[bi].set(b, active);
+                evaluations += 1;
+                stack.push(boundary_node);
+            }
+        }
+
+        while let Some(v) = stack.pop() {
+            let dsts: &[NodeId] = match problem.direction {
+                Direction::Forward => view.succs(v),
+                Direction::Backward => view.preds(v),
+            };
+            for &m in dsts {
+                edge_visits += 1;
+                let mi = m.index();
+                // Unreachable nodes are never evaluated by the dense
+                // solvers and the boundary input is pinned — skip both.
+                if m == boundary_node || !in_order.get(mi) {
+                    continue;
+                }
+                input[mi].set(b, active);
+                let t = &problem.transfer[mi];
+                if !t.gen.get(b) && !t.kill.get(b) && output[mi].get(b) != active {
+                    output[mi].set(b, active);
+                    evaluations += 1;
+                    stack.push(m);
+                }
+            }
+        }
+    }
+
+    pdce_trace::record_solver(pdce_trace::SolverStats {
+        problems: 1,
+        evaluations,
+        // Bit writes and edge tests both cost O(1); the chain traversal
+        // count is the honest work unit here.
+        word_ops: edge_visits,
+        sparse_pops: width as u64,
+        sparse_edge_visits: edge_visits,
+        cold_solves: 1,
+        ..pdce_trace::SolverStats::ZERO
+    });
+    trace_span.finish_with(if pdce_trace::enabled() {
+        vec![
+            ("tasks", (width as u64).into()),
+            ("evaluations", evaluations.into()),
+            ("edge_visits", edge_visits.into()),
+        ]
+    } else {
+        Vec::new()
+    });
+
+    match problem.direction {
+        Direction::Forward => Solution {
+            entry: input,
+            exit: output,
+            evaluations,
+            sweeps: 0,
+            word_ops: edge_visits,
+        },
+        Direction::Backward => Solution {
+            entry: output,
+            exit: input,
+            evaluations,
+            sweeps: 0,
+            word_ops: edge_visits,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::genkill::GenKill;
+    use crate::solve::{solve, with_strategy, SolverStrategy};
+    use pdce_ir::parser::parse;
+
+    /// Diamond with a back edge, exercised over every direction × meet ×
+    /// boundary combination: sparse must match the dense solvers
+    /// bit-for-bit.
+    #[test]
+    fn sparse_matches_dense_on_all_quadrants() {
+        let prog = parse(
+            "prog {
+               block s { nondet a b }
+               block a { goto j }
+               block b { goto j }
+               block j { nondet a e }
+               block e { halt }
+             }",
+        )
+        .unwrap();
+        let view = CfgView::new(&prog);
+        let width = 3;
+        let mk = |gen: &[usize], kill: &[usize]| {
+            let mut g = BitVec::zeros(width);
+            let mut k = BitVec::zeros(width);
+            for &b in gen {
+                g.set(b, true);
+            }
+            for &b in kill {
+                k.set(b, true);
+            }
+            GenKill::new(g, k)
+        };
+        // Indexed by declaration order s, a, b, j, e: a gen, a kill, an
+        // identity, a gen-beats-kill node, and a kill at the exit.
+        let transfer = vec![
+            mk(&[0], &[]),
+            mk(&[], &[1]),
+            mk(&[], &[]),
+            mk(&[2], &[2]),
+            mk(&[], &[0]),
+        ];
+        for direction in [Direction::Forward, Direction::Backward] {
+            for meet in [Meet::Intersection, Meet::Union] {
+                for boundary in [BitVec::zeros(width), BitVec::ones(width)] {
+                    let problem = BitProblem {
+                        direction,
+                        meet,
+                        width,
+                        transfer: transfer.clone(),
+                        boundary,
+                    };
+                    let dense = with_strategy(SolverStrategy::Priority, || solve(&view, &problem));
+                    let sparse = with_strategy(SolverStrategy::Sparse, || solve(&view, &problem));
+                    assert_eq!(dense.entry, sparse.entry, "{direction:?} {meet:?} entry");
+                    assert_eq!(dense.exit, sparse.exit, "{direction:?} {meet:?} exit");
+                }
+            }
+        }
+    }
+}

@@ -4,9 +4,11 @@
 //! answers it in O(lookup): the cache key is a 128-bit FNV-1a hash of
 //! the *canonically printed* input program (formatting-insensitive)
 //! plus every semantics-affecting option (mode, effective budgets,
-//! validation), and the value is the full deterministic response
-//! payload. Solver strategy and incrementality are deliberately not
-//! keyed — the differential oracles prove they never change the output.
+//! validation, and the effective solver tag), and the value is the full
+//! deterministic response payload. The differential oracles prove the
+//! solver strategies never change the output, but the tag is keyed
+//! anyway so every cached byte is attributable to one exact
+//! configuration; incrementality alone remains deliberately unkeyed.
 //!
 //! A second, unpersisted memo ([`PersistentCache::get_raw_alias`]) maps
 //! the hash of the program text *as sent* to its canonical key, so a

@@ -26,6 +26,7 @@
 
 use std::fmt::Write as _;
 
+use pdce_dfa::SolverStrategy;
 use pdce_trace::json::{self, Value};
 
 /// Per-request status, mirroring the CLI exit-code contract.
@@ -81,6 +82,9 @@ pub struct Request {
     pub wall_ms: Option<u64>,
     /// Translation-validation vectors per round (0 = off).
     pub validate: Option<u32>,
+    /// Explicit solver strategy for this request; `None` defers to the
+    /// server's `--solver` (and, failing that, the ambient selection).
+    pub solver: Option<SolverStrategy>,
     /// Bypass the result cache for this request (both lookup and fill).
     pub no_cache: bool,
 }
@@ -174,6 +178,13 @@ impl Request {
             Some(v) if v > u32::MAX as u64 => return Err("`validate` is out of range".to_string()),
             v => v.map(|v| v as u32),
         };
+        let solver = match str_field(&doc, "solver")? {
+            None => None,
+            Some(s) => Some(
+                SolverStrategy::parse(&s)
+                    .ok_or_else(|| format!("unknown solver `{s}` (fifo|priority|sparse)"))?,
+            ),
+        };
         Ok(Request {
             id,
             op,
@@ -183,6 +194,7 @@ impl Request {
             max_pops: u64_field(&doc, "max_pops")?,
             wall_ms: u64_field(&doc, "wall_ms")?,
             validate,
+            solver,
             no_cache: bool_field(&doc, "no_cache")?,
         })
     }

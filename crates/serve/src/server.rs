@@ -373,18 +373,28 @@ impl Server {
         }
     }
 
+    /// The solver this request runs under: its own `solver` option if
+    /// given, else the server-wide `--solver`, else the ambient
+    /// selection (`None`).
+    fn effective_solver(&self, req: &Request) -> Option<pdce_dfa::SolverStrategy> {
+        req.solver.or(self.opts.strategy)
+    }
+
     /// The canonical option string keyed alongside the program text.
-    /// Solver strategy and incrementality are excluded on purpose: the
-    /// differential oracles prove they never change the output.
+    /// The solver tag is part of the key — the differential oracles
+    /// prove the strategies agree on the output, but keying them apart
+    /// keeps every cached byte attributable to one exact configuration.
+    /// Incrementality remains excluded on purpose.
     fn canonical_options(&self, req: &Request, admitted: &AdmittedBudget) -> String {
         let opt = |v: Option<u64>| v.map_or_else(|| "-".to_string(), |v| v.to_string());
         format!(
-            "mode={};rounds={};pops={};wall={};validate={}",
+            "mode={};rounds={};pops={};wall={};validate={};solver={}",
             req.mode.label(),
             opt(admitted.rounds),
             opt(admitted.pops),
             opt(admitted.wall_ms),
             opt(admitted.validate.map(u64::from)),
+            self.effective_solver(req).map_or("ambient", |s| s.name()),
         )
     }
 
@@ -470,7 +480,7 @@ impl Server {
         let outcome = pdce_trace::sandbox::catch(|| {
             let prog = &mut prog;
             let mut run = move || optimize_resilient(prog, &config);
-            let run = move || match self.opts.strategy {
+            let run = move || match self.effective_solver(req) {
                 Some(s) => pdce_dfa::with_strategy(s, run),
                 None => run(),
             };

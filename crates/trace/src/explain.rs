@@ -18,6 +18,13 @@ pub fn render_with_solver(records: &[ProvenanceRecord], solver: &crate::SolverSt
         "analyses: {} cold solve(s), {} warm solve(s), {} seeded pop(s)",
         solver.cold_solves, solver.warm_solves, solver.seeded_pops
     );
+    if solver.sparse_pops > 0 {
+        let _ = writeln!(
+            out,
+            "sparse: {} chain task(s), {} edge visit(s)",
+            solver.sparse_pops, solver.sparse_edge_visits
+        );
+    }
     out
 }
 
@@ -92,6 +99,14 @@ mod tests {
         };
         let text = render_with_solver(&[rec(ProvAction::Eliminated, "dce", 1, "x := 1")], &solver);
         assert!(text.contains("analyses: 2 cold solve(s), 5 warm solve(s), 37 seeded pop(s)"));
+        assert!(!text.contains("sparse:"), "no sparse line when unused");
+        let sparse = crate::SolverStats {
+            sparse_pops: 4,
+            sparse_edge_visits: 19,
+            ..solver
+        };
+        let text = render_with_solver(&[rec(ProvAction::Eliminated, "dce", 1, "x := 1")], &sparse);
+        assert!(text.contains("sparse: 4 chain task(s), 19 edge visit(s)"));
     }
 
     #[test]

@@ -573,6 +573,16 @@ pub struct SolverStats {
     /// Worklist pops performed inside warm (seeded) solver runs. Always
     /// priority-scheduled; disjoint from `fifo_pops`/`priority_pops`.
     pub seeded_pops: u64,
+    /// Worklist pops performed under the sparse (def-use chain)
+    /// scheduling strategy. The sparse solvers pop one task per
+    /// pattern/variable (bit-vector solves) or per constant-false seed
+    /// slot (the faint network); the chain traversal each task performs
+    /// is counted separately in `sparse_edge_visits`.
+    pub sparse_pops: u64,
+    /// Def-use chain edges traversed by the sparse solvers while
+    /// propagating a popped task's value through its occurrence set —
+    /// the `O(affected edges)` quantity of the sparse formulation.
+    pub sparse_edge_visits: u64,
 }
 
 impl SolverStats {
@@ -588,6 +598,8 @@ impl SolverStats {
         cold_solves: 0,
         warm_solves: 0,
         seeded_pops: 0,
+        sparse_pops: 0,
+        sparse_edge_visits: 0,
     };
 
     /// Adds `other` into `self`.
@@ -602,6 +614,8 @@ impl SolverStats {
         self.cold_solves += other.cold_solves;
         self.warm_solves += other.warm_solves;
         self.seeded_pops += other.seeded_pops;
+        self.sparse_pops += other.sparse_pops;
+        self.sparse_edge_visits += other.sparse_edge_visits;
     }
 
     /// The counter delta since an `earlier` snapshot (counters only
@@ -618,13 +632,15 @@ impl SolverStats {
             cold_solves: self.cold_solves - earlier.cold_solves,
             warm_solves: self.warm_solves - earlier.warm_solves,
             seeded_pops: self.seeded_pops - earlier.seeded_pops,
+            sparse_pops: self.sparse_pops - earlier.sparse_pops,
+            sparse_edge_visits: self.sparse_edge_visits - earlier.sparse_edge_visits,
         }
     }
 
     /// Total worklist pops across all scheduling strategies, including
     /// pops inside warm (seeded) solver runs.
     pub fn pops(&self) -> u64 {
-        self.fifo_pops + self.priority_pops + self.seeded_pops
+        self.fifo_pops + self.priority_pops + self.seeded_pops + self.sparse_pops
     }
 
     /// The standard key/value rendering used by span args and exporters.
@@ -640,6 +656,8 @@ impl SolverStats {
             ("cold_solves", ArgValue::U64(self.cold_solves)),
             ("warm_solves", ArgValue::U64(self.warm_solves)),
             ("seeded_pops", ArgValue::U64(self.seeded_pops)),
+            ("sparse_pops", ArgValue::U64(self.sparse_pops)),
+            ("sparse_edge_visits", ArgValue::U64(self.sparse_edge_visits)),
         ]
     }
 }
@@ -714,6 +732,22 @@ mod solver_metrics {
             &[("strategy", "priority")],
         )
     });
+    pub static SPARSE_POPS: LazyLock<Arc<Counter>> = LazyLock::new(|| {
+        global().counter(
+            "pdce_solver_pops_total",
+            "Worklist pops by solver strategy",
+            Stability::Deterministic,
+            &[("strategy", "sparse")],
+        )
+    });
+    pub static SPARSE_EDGE_VISITS: LazyLock<Arc<Counter>> = LazyLock::new(|| {
+        global().counter(
+            "pdce_solver_edge_visits_total",
+            "Def-use chain edges traversed by the sparse solvers",
+            Stability::Deterministic,
+            &[],
+        )
+    });
     pub static SEEDED_POPS: LazyLock<Arc<Counter>> = LazyLock::new(|| {
         global().counter(
             "pdce_solver_seeded_pops_total",
@@ -759,6 +793,8 @@ pub fn record_solver(delta: SolverStats) {
     });
     solver_metrics::FIFO_POPS.add(delta.fifo_pops);
     solver_metrics::PRIORITY_POPS.add(delta.priority_pops);
+    solver_metrics::SPARSE_POPS.add(delta.sparse_pops);
+    solver_metrics::SPARSE_EDGE_VISITS.add(delta.sparse_edge_visits);
     solver_metrics::SEEDED_POPS.add(delta.seeded_pops);
     solver_metrics::WORD_OPS.add(delta.word_ops);
     solver_metrics::COLD_SOLVES.add(delta.cold_solves);
@@ -882,22 +918,32 @@ mod tests {
             cold_solves: 1,
             warm_solves: 0,
             seeded_pops: 0,
+            sparse_pops: 0,
+            sparse_edge_visits: 0,
         });
         record_solver(SolverStats {
             problems: 1,
             priority_pops: 6,
             ..SolverStats::ZERO
         });
+        record_solver(SolverStats {
+            problems: 1,
+            sparse_pops: 4,
+            sparse_edge_visits: 25,
+            ..SolverStats::ZERO
+        });
         let delta = solver_totals().since(&before);
-        assert_eq!(delta.problems, 2);
+        assert_eq!(delta.problems, 3);
         assert_eq!(delta.sweeps, 2);
         assert_eq!(delta.evaluations, 10);
         assert_eq!(delta.word_ops, 40);
         assert_eq!(delta.fifo_pops, 10);
         assert_eq!(delta.priority_pops, 6);
-        assert_eq!(delta.pops(), 16);
+        assert_eq!(delta.sparse_pops, 4);
+        assert_eq!(delta.sparse_edge_visits, 25);
+        assert_eq!(delta.pops(), 20);
         assert_eq!(delta.cold_solves, 1);
-        assert_eq!(delta.args().len(), 10);
+        assert_eq!(delta.args().len(), 12);
     }
 
     #[test]

@@ -50,7 +50,7 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   pdce opt     [--mode pde|pfe|dce|fce | --passes SPEC] [--region a,b,c]
-               [--max-rounds N] [--solver fifo|priority] [--jobs N]
+               [--max-rounds N] [--solver fifo|priority|sparse] [--jobs N]
                [--simplify] [--stats] [--verify] [--no-incremental]
                [--validate-semantics[=K]] [--max-pops N] [--wall-ms N]
                [--trace FILE.json] [--explain] [--metrics]
@@ -82,7 +82,8 @@ const USAGE: &str = "usage:
                snapshot at exit; --events-out writes a structured JSONL
                event log (run id, per-file and per-pass attribution)
                whose bytes are independent of --jobs
-  pdce serve   [--tcp ADDR | --unix PATH] [--jobs N] [--solver fifo|priority]
+  pdce serve   [--tcp ADDR | --unix PATH] [--jobs N]
+               [--solver fifo|priority|sparse]
                [--no-incremental] [--max-rounds N] [--max-pops N] [--wall-ms N]
                [--validate-semantics[=K]] [--cache FILE] [--cache-bytes N]
                [--no-cache] [--max-request-bytes N] [--metrics-out FILE.prom]
@@ -410,7 +411,7 @@ fn cmd_opt(args: &[String]) -> Result<(), CliError> {
             "solver" => {
                 strategy = Some(SolverStrategy::parse(value).ok_or_else(|| {
                     usage(format!(
-                        "unknown solver `{value}` (expected fifo or priority)"
+                        "unknown solver `{value}` (expected fifo, priority, or sparse)"
                     ))
                 })?);
             }
@@ -593,8 +594,12 @@ fn cmd_opt(args: &[String]) -> Result<(), CliError> {
                     stats.solver.problems, stats.solver.evaluations, stats.solver.word_ops
                 );
                 eprintln!(
-                    "pops:        {} fifo, {} priority, {} seeded",
-                    stats.solver.fifo_pops, stats.solver.priority_pops, stats.solver.seeded_pops
+                    "pops:        {} fifo, {} priority, {} seeded, {} sparse ({} edge visit(s))",
+                    stats.solver.fifo_pops,
+                    stats.solver.priority_pops,
+                    stats.solver.seeded_pops,
+                    stats.solver.sparse_pops,
+                    stats.solver.sparse_edge_visits
                 );
                 eprintln!(
                     "solves:      {} cold, {} warm",
@@ -776,12 +781,13 @@ fn cmd_opt_batch(opts: &BatchOptions) -> Result<(), CliError> {
     if opts.want_stats {
         eprintln!(
             "total:       {} file(s), {} eliminated, {} solver problem(s), \
-             {} fifo pop(s), {} priority pop(s)",
+             {} fifo pop(s), {} priority pop(s), {} sparse pop(s)",
             opts.files.len() - errors,
             total_eliminated,
             totals.problems,
             totals.fifo_pops,
-            totals.priority_pops
+            totals.priority_pops,
+            totals.sparse_pops
         );
     }
     // One event per file, in argument order — the same merge rule as
@@ -1142,7 +1148,7 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
             "solver" => {
                 opts.strategy = Some(SolverStrategy::parse(value).ok_or_else(|| {
                     usage(format!(
-                        "unknown solver `{value}` (expected fifo or priority)"
+                        "unknown solver `{value}` (expected fifo, priority, or sparse)"
                     ))
                 })?);
             }

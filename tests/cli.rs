@@ -207,7 +207,7 @@ fn unreachable_exit_is_a_clean_diagnostic() {
 
 #[test]
 fn solver_flag_selects_strategy_and_rejects_garbage() {
-    for solver in ["fifo", "priority"] {
+    for solver in ["fifo", "priority", "sparse"] {
         let (stdout, stderr, ok) = pdce(&["opt", "--solver", solver, "--stats"], FIG1);
         assert!(ok, "--solver {solver} stderr: {stderr}");
         pdce::ir::parser::parse(&stdout).expect("output parses");
@@ -216,6 +216,11 @@ fn solver_flag_selects_strategy_and_rejects_garbage() {
         let line = stderr.lines().find(|l| l.contains("pops:")).unwrap();
         match solver {
             "fifo" => assert!(line.contains("0 priority"), "line: {line}"),
+            "sparse" => {
+                assert!(line.contains("0 fifo"), "line: {line}");
+                assert!(line.contains("0 priority"), "line: {line}");
+                assert!(!line.contains("0 sparse"), "line: {line}");
+            }
             _ => assert!(line.contains("0 fifo"), "line: {line}"),
         }
     }

@@ -75,7 +75,7 @@ fn corpus_optimized_snapshots() {
     }
 }
 
-/// The snapshots hold under *both* solver strategies: goldens are a
+/// The snapshots hold under *every* solver strategy: goldens are a
 /// property of the fixpoint, not of the worklist order used to reach it.
 #[test]
 fn snapshots_are_strategy_independent() {
@@ -83,7 +83,11 @@ fn snapshots_are_strategy_independent() {
         let stem = file.file_stem().unwrap().to_string_lossy().into_owned();
         let src = std::fs::read_to_string(&file).expect("corpus file readable");
         for (label, config) in [("pde", PdceConfig::pde()), ("pfe", PdceConfig::pfe())] {
-            for strategy in [SolverStrategy::Fifo, SolverStrategy::Priority] {
+            for strategy in [
+                SolverStrategy::Fifo,
+                SolverStrategy::Priority,
+                SolverStrategy::Sparse,
+            ] {
                 let mut prog = parse(&src).expect("corpus parses");
                 with_strategy(strategy, || optimize(&mut prog, &config)).unwrap();
                 check_golden(&format!("{stem}.{label}.golden"), &canonical_string(&prog));

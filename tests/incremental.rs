@@ -79,12 +79,16 @@ fn mutate_stmts(p: &mut Program, rng: &mut Rng) -> Option<NodeId> {
 
 /// Full pde/pfe runs with warm-start seeding enabled and disabled emit
 /// byte-identical programs on 200 generator-seeded CFGs (every fourth
-/// one irreducible), under both solver strategies. Rounds past the
+/// one irreducible), under all three solver strategies. Rounds past the
 /// first warm-start every analysis, so this exercises seeding across
 /// all rounds of real optimizer runs.
 #[test]
 fn incremental_and_cold_optimizers_agree_on_200_cfgs() {
-    const STRATEGIES: [SolverStrategy; 2] = [SolverStrategy::Fifo, SolverStrategy::Priority];
+    const STRATEGIES: [SolverStrategy; 3] = [
+        SolverStrategy::Fifo,
+        SolverStrategy::Priority,
+        SolverStrategy::Sparse,
+    ];
 
     let mut rng = Rng::new(0x9a9e_50de);
     for case in 0..200usize {
@@ -213,6 +217,36 @@ fn changeset_closure_covers_all_fixpoint_changes() {
                     p.block(n).name
                 );
             }
+        }
+    }
+}
+
+/// The def-use chain graph's incremental patch is indistinguishable
+/// from a cold rebuild: after every mutation of a random statement-list
+/// mutation sequence, `DuGraph::patch` over the dirty block equals
+/// `DuGraph::build` of the mutated program, structurally — kinds, defs,
+/// uses, flow chains, and occurrence sets alike. The patched graph
+/// feeds the next step, so splicing errors would compound and surface.
+#[test]
+fn patched_du_graph_matches_cold_rebuild_after_random_mutations() {
+    use pdce::dfa::DuGraph;
+    for (case, seed) in seeds(4).into_iter().enumerate() {
+        let mut rng = Rng::new(seed ^ 0x00d1);
+        let mut p = if case % 4 == 3 {
+            tangled(&small_config(seed, true), 6)
+        } else {
+            structured(&small_config(seed, case % 2 == 0))
+        };
+        let mut prev = DuGraph::build(&p, &CfgView::new(&p));
+        for step in 0..6 {
+            let Some(dirty) = mutate_stmts(&mut p, &mut rng) else {
+                break;
+            };
+            let view = CfgView::new(&p);
+            let cold = DuGraph::build(&p, &view);
+            let patched = DuGraph::patch(&p, &view, &prev, &[dirty]);
+            assert_eq!(cold, patched, "case {case} step {step}");
+            prev = patched;
         }
     }
 }

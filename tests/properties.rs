@@ -368,16 +368,22 @@ fn pde_plus_simplify_preserves_semantics() {
 // any mismatch is a scheduling bug, not a numerical tolerance. The
 // oracle therefore demands bit-identical results, not approximate ones.
 
-/// FIFO and priority worklists compute the same fixpoint on 200
+/// FIFO, priority, and sparse solvers compute the same fixpoint on 200
 /// generator-seeded CFGs, for all three analyses the optimizers rely
 /// on: dead (backward ∩), faint (boolean network), and delayability
-/// (forward ∩). Every fourth case is irreducible (`tangled`).
+/// (forward ∩). Every fourth case is irreducible (`tangled`). The two
+/// dense worklists are the differential oracle for the sparse
+/// chain-propagation family.
 #[test]
 fn fifo_and_priority_solvers_agree_on_200_cfgs() {
     use pdce::core::{DeadSolution, DelayInfo, FaintSolution, LocalInfo, PatternTable};
     use pdce::dfa::{with_strategy, SolverStrategy};
     use pdce::ir::{CfgView, Var};
-    const STRATEGIES: [SolverStrategy; 2] = [SolverStrategy::Fifo, SolverStrategy::Priority];
+    const STRATEGIES: [SolverStrategy; 3] = [
+        SolverStrategy::Fifo,
+        SolverStrategy::Priority,
+        SolverStrategy::Sparse,
+    ];
 
     let mut rng = Rng::new(0x9a9e_50de);
     for case in 0..200usize {
@@ -390,31 +396,35 @@ fn fifo_and_priority_solvers_agree_on_200_cfgs() {
         let view = CfgView::new(&p);
 
         let dead = STRATEGIES.map(|s| with_strategy(s, || DeadSolution::compute(&p, &view)));
-        for n in p.node_ids() {
-            assert_eq!(
-                dead[0].after_each_stmt(&p, n),
-                dead[1].after_each_stmt(&p, n),
-                "dead diverged in {} (case {case})",
-                p.block(n).name
-            );
+        for d in &dead[1..] {
+            for n in p.node_ids() {
+                assert_eq!(
+                    dead[0].after_each_stmt(&p, n),
+                    d.after_each_stmt(&p, n),
+                    "dead diverged in {} (case {case})",
+                    p.block(n).name
+                );
+            }
         }
 
         let faint = STRATEGIES.map(|s| with_strategy(s, || FaintSolution::compute(&p, &view)));
-        for n in p.node_ids() {
-            for v in (0..p.num_vars()).map(Var::from_index) {
-                assert_eq!(
-                    faint[0].faint_at_entry(n, v),
-                    faint[1].faint_at_entry(n, v),
-                    "faint entry diverged in {} (case {case})",
-                    p.block(n).name
-                );
-                for k in 0..p.block(n).stmts.len() {
+        for f in &faint[1..] {
+            for n in p.node_ids() {
+                for v in (0..p.num_vars()).map(Var::from_index) {
                     assert_eq!(
-                        faint[0].faint_after(n, k, v),
-                        faint[1].faint_after(n, k, v),
-                        "faint diverged in {}[{k}] (case {case})",
+                        faint[0].faint_at_entry(n, v),
+                        f.faint_at_entry(n, v),
+                        "faint entry diverged in {} (case {case})",
                         p.block(n).name
                     );
+                    for k in 0..p.block(n).stmts.len() {
+                        assert_eq!(
+                            faint[0].faint_after(n, k, v),
+                            f.faint_after(n, k, v),
+                            "faint diverged in {}[{k}] (case {case})",
+                            p.block(n).name
+                        );
+                    }
                 }
             }
         }
@@ -423,10 +433,12 @@ fn fifo_and_priority_solvers_agree_on_200_cfgs() {
         let local = LocalInfo::compute(&p, &table);
         let delay =
             STRATEGIES.map(|s| with_strategy(s, || DelayInfo::compute(&p, &view, &table, &local)));
-        assert_eq!(delay[0].n_delayed, delay[1].n_delayed, "case {case}");
-        assert_eq!(delay[0].x_delayed, delay[1].x_delayed, "case {case}");
-        assert_eq!(delay[0].n_insert, delay[1].n_insert, "case {case}");
-        assert_eq!(delay[0].x_insert, delay[1].x_insert, "case {case}");
+        for d in &delay[1..] {
+            assert_eq!(delay[0].n_delayed, d.n_delayed, "case {case}");
+            assert_eq!(delay[0].x_delayed, d.x_delayed, "case {case}");
+            assert_eq!(delay[0].n_insert, d.n_insert, "case {case}");
+            assert_eq!(delay[0].x_insert, d.x_insert, "case {case}");
+        }
     }
 }
 
@@ -440,12 +452,18 @@ fn solver_strategy_never_changes_optimizer_output() {
     for seed in seeds(19) {
         let p = structured(&small_config(seed, true));
         for config in [PdceConfig::pde(), PdceConfig::pfe()] {
-            let printed = [SolverStrategy::Fifo, SolverStrategy::Priority].map(|s| {
+            let printed = [
+                SolverStrategy::Fifo,
+                SolverStrategy::Priority,
+                SolverStrategy::Sparse,
+            ]
+            .map(|s| {
                 let mut q = p.clone();
                 with_strategy(s, || optimize(&mut q, &config)).unwrap();
                 canonical_string(&q)
             });
             assert_eq!(printed[0], printed[1], "strategies disagree (seed {seed})");
+            assert_eq!(printed[0], printed[2], "sparse disagrees (seed {seed})");
         }
     }
 }
