@@ -61,7 +61,17 @@ use std::fmt::Write as _;
 /// [`validate`] requires to be ≥ 50% (the ≥2× bars) and whose
 /// `bit_identical` bit asserts both strategies reached the same
 /// fixpoints.
-pub const SCHEMA_VERSION: u64 = 8;
+/// v9: the document gains `recovery` — the self-healing serving
+/// section: a WAL-off vs WAL-on cold-replay A/B (whose
+/// `wal_overhead_pct` [`validate`] requires to stay under
+/// [`MAX_WAL_OVERHEAD_PCT`]), plus a simulated-crash drill: the corpus
+/// is served with the write-ahead log as the *only* persistence (no
+/// clean save), the server is dropped as a crash would leave it, and a
+/// recovered server replays the corpus — `requests_lost` must be 0 and
+/// `warm_identical_after_crash` must be `true` (recovery may cost
+/// cache misses, never a changed answer). [`validate`] also now
+/// reports *every* violated acceptance bar, not just the first.
+pub const SCHEMA_VERSION: u64 = 9;
 
 /// The acceptance bar on `pops_reduction_pct`.
 pub const MIN_POPS_REDUCTION_PCT: f64 = 20.0;
@@ -104,6 +114,11 @@ pub const MIN_SPARSE_POPS_REDUCTION_PCT: f64 = 50.0;
 /// sparse chain solver must also be at least 2× faster in wall time on
 /// the same workload.
 pub const MIN_SPARSE_WALLTIME_REDUCTION_PCT: f64 = 50.0;
+
+/// The acceptance bar on `recovery.wal_overhead_pct`: journaling every
+/// cache insert through the checksummed write-ahead log must cost less
+/// than this much wall time over the same cold replay without it.
+pub const MAX_WAL_OVERHEAD_PCT: f64 = 5.0;
 
 /// One figure reproduction with its cost.
 #[derive(Debug, Clone)]
@@ -335,6 +350,43 @@ pub struct SparseAb {
     pub bit_identical: bool,
 }
 
+/// The self-healing serving section: the WAL overhead A/B and the
+/// simulated-crash recovery drill.
+///
+/// The A/B cold-replays the same corpus with the persistent cache held
+/// purely in memory (`wal_off_ns`) and with every insert journaled
+/// through the checksummed write-ahead log (`wal_on_ns`). The drill
+/// then serves the corpus with the log as the *only* persistence, drops
+/// the server without a clean save — exactly the state a `kill -9`
+/// leaves on disk — and replays the corpus on a recovered server:
+/// recovery may cost cache misses (recomputed answers), but never a
+/// lost request or a changed byte.
+#[derive(Debug, Clone)]
+pub struct RecoverySection {
+    /// What was served.
+    pub workload: String,
+    /// Requests in the corpus (one replay's worth).
+    pub requests: u64,
+    /// Requests whose post-recovery answer was missing or diverged from
+    /// the pre-crash one. [`validate`] requires exactly 0.
+    pub requests_lost: u64,
+    /// Whether every post-recovery response was byte-identical to its
+    /// pre-crash counterpart. [`validate`] requires `true`.
+    pub warm_identical_after_crash: bool,
+    /// Best-of-N cold replay, cache in memory only (nanoseconds).
+    pub wal_off_ns: u128,
+    /// Best-of-N cold replay, inserts journaled to the WAL
+    /// (nanoseconds).
+    pub wal_on_ns: u128,
+    /// `max(0, on - off) / off` in percent — held against
+    /// [`MAX_WAL_OVERHEAD_PCT`] by [`validate`].
+    pub wal_overhead_pct: f64,
+    /// Log lines appended during the pre-crash replay.
+    pub wal_appends: u64,
+    /// Cache entries recovered from the log by the post-crash load.
+    pub wal_recovered: u64,
+}
+
 /// Fault-tolerance counters accumulated over the benchmark run
 /// (the driver's `PdceStats` resilience fields, summed).
 #[derive(Debug, Clone, Default)]
@@ -380,6 +432,8 @@ pub struct BenchSummary {
     pub serve: ServeSection,
     /// The dense-vs-sparse solver A/B.
     pub sparse: SparseAb,
+    /// The self-healing serving section (WAL overhead + crash drill).
+    pub recovery: RecoverySection,
     /// Resilience counters accumulated over the run.
     pub resilience: ResilienceTotals,
 }
@@ -562,6 +616,22 @@ impl BenchSummary {
             sp.sparse_walltime_reduction_pct,
             sp.bit_identical
         );
+        let rc = &self.recovery;
+        let _ = write!(
+            out,
+            "\n\"recovery\":{{\"workload\":{},\"requests\":{},\"requests_lost\":{},\
+             \"warm_identical_after_crash\":{},\"wal_off_ns\":{},\"wal_on_ns\":{},\
+             \"wal_overhead_pct\":{:.3},\"wal_appends\":{},\"wal_recovered\":{}}},",
+            json::escaped(&rc.workload),
+            rc.requests,
+            rc.requests_lost,
+            rc.warm_identical_after_crash,
+            rc.wal_off_ns,
+            rc.wal_on_ns,
+            rc.wal_overhead_pct,
+            rc.wal_appends,
+            rc.wal_recovered
+        );
         let r = &self.resilience;
         let _ = write!(
             out,
@@ -613,7 +683,10 @@ fn check_solver(v: &Value, ctx: &str) -> Result<(), String> {
 ///
 /// # Errors
 ///
-/// A human-readable description of the first violation.
+/// Structural problems (malformed JSON, missing or mistyped keys) fail
+/// fast with the first violation — nothing after them can be trusted.
+/// Acceptance-*bar* violations are collected and reported together, so
+/// one regressed number never masks another.
 pub fn validate(text: &str) -> Result<(), String> {
     let doc = json::parse(text)?;
     let version = require_num(&doc, "schema_version", "document")?;
@@ -623,6 +696,7 @@ pub fn validate(text: &str) -> Result<(), String> {
     require(&doc, "quick", "document")?
         .as_bool()
         .ok_or("`quick` is not a bool")?;
+    let mut bars: Vec<String> = Vec::new();
     let figures = require(&doc, "figures", "document")?
         .as_arr()
         .ok_or("`figures` is not an array")?;
@@ -638,7 +712,7 @@ pub fn validate(text: &str) -> Result<(), String> {
             .as_bool()
             .ok_or_else(|| format!("{ctx}: `reproduced` is not a bool"))?;
         if !reproduced {
-            return Err(format!("{ctx}: figure not reproduced"));
+            bars.push(format!("{ctx}: figure not reproduced"));
         }
         for key in ["rounds", "eliminated", "time_ns"] {
             require_num(f, key, &ctx)?;
@@ -659,13 +733,13 @@ pub fn validate(text: &str) -> Result<(), String> {
     }
     let reduction = require_num(&doc, "pops_reduction_pct", "document")?;
     if !sweep.is_empty() && reduction < MIN_POPS_REDUCTION_PCT {
-        return Err(format!(
+        bars.push(format!(
             "pops_reduction_pct {reduction:.3} below the {MIN_POPS_REDUCTION_PCT}% acceptance bar"
         ));
     }
     let incr = require_num(&doc, "incremental_pops_reduction_pct", "document")?;
     if !sweep.is_empty() && incr < MIN_INCREMENTAL_POPS_REDUCTION_PCT {
-        return Err(format!(
+        bars.push(format!(
             "incremental_pops_reduction_pct {incr:.3} below the \
              {MIN_INCREMENTAL_POPS_REDUCTION_PCT}% acceptance bar"
         ));
@@ -692,7 +766,7 @@ pub fn validate(text: &str) -> Result<(), String> {
     }
     let tv_overhead = require_num(tv, "tv_overhead_pct", "tv")?;
     if tv_overhead >= MAX_TV_OVERHEAD_PCT {
-        return Err(format!(
+        bars.push(format!(
             "tv_overhead_pct {tv_overhead:.3} breaks the <{MAX_TV_OVERHEAD_PCT}% acceptance bar"
         ));
     }
@@ -705,7 +779,7 @@ pub fn validate(text: &str) -> Result<(), String> {
     }
     let csr_reduction = require_num(csr, "csr_walltime_reduction_pct", "csr")?;
     if csr_reduction < MIN_CSR_WALLTIME_REDUCTION_PCT {
-        return Err(format!(
+        bars.push(format!(
             "csr_walltime_reduction_pct {csr_reduction:.3} below the \
              {MIN_CSR_WALLTIME_REDUCTION_PCT}% acceptance bar"
         ));
@@ -719,7 +793,7 @@ pub fn validate(text: &str) -> Result<(), String> {
     }
     let metrics_overhead = require_num(metrics, "metrics_overhead_pct", "metrics")?;
     if metrics_overhead >= MAX_METRICS_OVERHEAD_PCT {
-        return Err(format!(
+        bars.push(format!(
             "metrics_overhead_pct {metrics_overhead:.3} breaks the \
              <{MAX_METRICS_OVERHEAD_PCT}% acceptance bar"
         ));
@@ -728,7 +802,7 @@ pub fn validate(text: &str) -> Result<(), String> {
         .as_bool()
         .ok_or("`metrics.snapshot_stable` is not a bool")?;
     if !stable {
-        return Err(
+        bars.push(
             "metrics: deterministic snapshot differed between jobs=1 and jobs=4 \
              (`snapshot_stable` is false)"
                 .into(),
@@ -764,7 +838,7 @@ pub fn validate(text: &str) -> Result<(), String> {
     }
     let req_per_sec = require_num(serve, "req_per_sec", "serve")?;
     if req_per_sec < MIN_SERVE_REQ_PER_SEC {
-        return Err(format!(
+        bars.push(format!(
             "serve.req_per_sec {req_per_sec:.1} below the {MIN_SERVE_REQ_PER_SEC} req/s \
              acceptance bar"
         ));
@@ -775,7 +849,7 @@ pub fn validate(text: &str) -> Result<(), String> {
         return Err("serve: `wall_ms_budget` is not positive".into());
     }
     if p99 > wall_budget * 1_000_000.0 {
-        return Err(format!(
+        bars.push(format!(
             "serve.p99_ns {p99:.0} exceeds the --wall-ms admission cap of {wall_budget:.0} ms"
         ));
     }
@@ -783,14 +857,14 @@ pub fn validate(text: &str) -> Result<(), String> {
         .as_bool()
         .ok_or("`serve.warm_identical` is not a bool")?;
     if !identical {
-        return Err(
+        bars.push(
             "serve: warm-cache responses differed from cold ones (`warm_identical` is false)"
                 .into(),
         );
     }
     let speedup = require_num(serve, "warm_speedup_pct", "serve")?;
     if speedup < MIN_SERVE_WARM_SPEEDUP_PCT {
-        return Err(format!(
+        bars.push(format!(
             "serve.warm_speedup_pct {speedup:.3} below the {MIN_SERVE_WARM_SPEEDUP_PCT}% \
              acceptance bar"
         ));
@@ -807,14 +881,14 @@ pub fn validate(text: &str) -> Result<(), String> {
     }
     let sparse_pops = require_num(sparse, "sparse_pops_reduction_pct", "sparse")?;
     if sparse_pops < MIN_SPARSE_POPS_REDUCTION_PCT {
-        return Err(format!(
+        bars.push(format!(
             "sparse_pops_reduction_pct {sparse_pops:.3} below the \
              {MIN_SPARSE_POPS_REDUCTION_PCT}% (≥2×) acceptance bar"
         ));
     }
     let sparse_wall = require_num(sparse, "sparse_walltime_reduction_pct", "sparse")?;
     if sparse_wall < MIN_SPARSE_WALLTIME_REDUCTION_PCT {
-        return Err(format!(
+        bars.push(format!(
             "sparse_walltime_reduction_pct {sparse_wall:.3} below the \
              {MIN_SPARSE_WALLTIME_REDUCTION_PCT}% (≥2×) acceptance bar"
         ));
@@ -823,9 +897,46 @@ pub fn validate(text: &str) -> Result<(), String> {
         .as_bool()
         .ok_or("`sparse.bit_identical` is not a bool")?;
     if !sparse_identical {
-        return Err(
-            "sparse: dense and sparse fixpoints diverged (`bit_identical` is false)".into(),
+        bars.push("sparse: dense and sparse fixpoints diverged (`bit_identical` is false)".into());
+    }
+    let recovery = require(&doc, "recovery", "document")?;
+    require(recovery, "workload", "recovery")?
+        .as_str()
+        .ok_or("`recovery.workload` is not a string")?;
+    for key in [
+        "requests",
+        "wal_off_ns",
+        "wal_on_ns",
+        "wal_appends",
+        "wal_recovered",
+    ] {
+        let n = require_num(recovery, key, "recovery")?;
+        if n < 0.0 {
+            return Err(format!("recovery: `{key}` is negative"));
+        }
+    }
+    let lost = require_num(recovery, "requests_lost", "recovery")?;
+    if lost != 0.0 {
+        bars.push(format!(
+            "recovery.requests_lost is {lost:.0} (the crash drill must lose nothing)"
+        ));
+    }
+    let crash_identical = require(recovery, "warm_identical_after_crash", "recovery")?
+        .as_bool()
+        .ok_or("`recovery.warm_identical_after_crash` is not a bool")?;
+    if !crash_identical {
+        bars.push(
+            "recovery: post-crash responses differed from pre-crash ones \
+             (`warm_identical_after_crash` is false)"
+                .into(),
         );
+    }
+    let wal_overhead = require_num(recovery, "wal_overhead_pct", "recovery")?;
+    if wal_overhead >= MAX_WAL_OVERHEAD_PCT {
+        bars.push(format!(
+            "recovery.wal_overhead_pct {wal_overhead:.3} breaks the \
+             <{MAX_WAL_OVERHEAD_PCT}% acceptance bar"
+        ));
     }
     let resilience = require(&doc, "resilience", "document")?;
     for key in [
@@ -844,9 +955,16 @@ pub fn validate(text: &str) -> Result<(), String> {
     // TV overhead number.
     let checks = require_num(resilience, "tv_checks", "resilience")?;
     if checks == 0.0 {
-        return Err("resilience: `tv_checks` is zero but a `tv` A/B is present".into());
+        bars.push("resilience: `tv_checks` is zero but a `tv` A/B is present".into());
     }
-    Ok(())
+    match bars.len() {
+        0 => Ok(()),
+        1 => Err(bars.remove(0)),
+        n => Err(format!(
+            "{n} acceptance bars failed:\n  - {}",
+            bars.join("\n  - ")
+        )),
+    }
 }
 
 #[cfg(test)]
@@ -965,6 +1083,17 @@ mod tests {
                 sparse_pops_reduction_pct: 88.0,
                 sparse_walltime_reduction_pct: 75.0,
                 bit_identical: true,
+            },
+            recovery: RecoverySection {
+                workload: "60 structured programs, kill -9 drill".into(),
+                requests: 60,
+                requests_lost: 0,
+                warm_identical_after_crash: true,
+                wal_off_ns: 10_000_000,
+                wal_on_ns: 10_200_000,
+                wal_overhead_pct: 2.0,
+                wal_appends: 60,
+                wal_recovered: 60,
             },
             resilience: ResilienceTotals {
                 tv_checks: 6,
@@ -1130,6 +1259,42 @@ mod tests {
         let mut s = sample();
         s.resilience.tv_checks = 0;
         assert!(validate(&s.to_json()).unwrap_err().contains("tv_checks"));
+    }
+
+    #[test]
+    fn validation_enforces_recovery_bars() {
+        // The crash drill may recompute, but must never lose a request.
+        let mut s = sample();
+        s.recovery.requests_lost = 3;
+        assert!(validate(&s.to_json())
+            .unwrap_err()
+            .contains("requests_lost"));
+        // Post-crash answers must match pre-crash answers byte for byte.
+        let mut s = sample();
+        s.recovery.warm_identical_after_crash = false;
+        assert!(validate(&s.to_json())
+            .unwrap_err()
+            .contains("warm_identical_after_crash"));
+        // Journaling that costs real throughput fails the <5% bar;
+        // exactly at the bar still fails (the contract is strictly under).
+        let mut s = sample();
+        s.recovery.wal_overhead_pct = MAX_WAL_OVERHEAD_PCT;
+        assert!(validate(&s.to_json())
+            .unwrap_err()
+            .contains("wal_overhead_pct"));
+    }
+
+    #[test]
+    fn validation_reports_every_violated_bar_at_once() {
+        let mut s = sample();
+        s.recovery.requests_lost = 1;
+        s.recovery.warm_identical_after_crash = false;
+        s.serve.warm_speedup_pct = 0.0;
+        let err = validate(&s.to_json()).unwrap_err();
+        assert!(err.contains("3 acceptance bars failed"), "{err}");
+        assert!(err.contains("requests_lost"), "{err}");
+        assert!(err.contains("warm_identical_after_crash"), "{err}");
+        assert!(err.contains("warm_speedup_pct"), "{err}");
     }
 
     #[test]

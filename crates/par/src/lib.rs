@@ -20,6 +20,10 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
+pub mod supervised;
+
+pub use supervised::{supervised_map, ItemOutcome, SupervisorOptions};
+
 /// Registry handles for pool telemetry: items processed, and the
 /// queue-wait histogram — how long each item sat between batch start and
 /// a worker claiming it. Queue wait is the `--jobs` lever the future

@@ -1,0 +1,398 @@
+//! Watchdog-supervised dispatch: deadlines that hold even when a
+//! worker wedges inside a solver.
+//!
+//! [`crate::try_map_indexed`] sandboxes *panics*, but a worker stuck in
+//! a non-terminating (or fault-stalled) solve never returns to the
+//! sandbox at all — and scoped threads would pin the whole batch to the
+//! lifetime of its slowest hostage. This module runs workers on
+//! *detached* threads under a supervisor that enforces two deadlines
+//! per item:
+//!
+//! - **Soft**: the item's cooperative cancellation token
+//!   ([`pdce_trace::budget::CancelToken`]) is raised; every budget
+//!   checkpoint in the solvers turns that into a typed unwind, so a
+//!   cooperating worker frees itself within one checkpoint interval.
+//! - **Hard**: the worker is presumed wedged (sleeping in foreign code,
+//!   ignoring cancellation). Its item is marked
+//!   [`ItemOutcome::Wedged`], a replacement worker is spawned so the
+//!   rest of the batch keeps full parallelism, and whatever the
+//!   hostage thread eventually produces is discarded — each slot is
+//!   decided exactly once.
+//!
+//! Results still come back in item order, and with no deadlines
+//! configured the call degenerates to the scoped pool.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use pdce_trace::budget::{install_cancel, CancelToken};
+
+use crate::ItemPanic;
+
+mod watchdog_metrics {
+    use pdce_metrics::{global, Counter, Stability};
+    use std::sync::{Arc, LazyLock};
+
+    pub static CANCELLED: LazyLock<Arc<Counter>> = LazyLock::new(|| {
+        global().counter(
+            "pdce_par_soft_cancels_total",
+            "Items whose cooperative cancellation flag was raised by the watchdog",
+            Stability::Timing,
+            &[],
+        )
+    });
+    pub static WEDGED: LazyLock<Arc<Counter>> = LazyLock::new(|| {
+        global().counter(
+            "pdce_par_wedged_items_total",
+            "Items abandoned at the hard watchdog deadline (worker replaced)",
+            Stability::Timing,
+            &[],
+        )
+    });
+}
+
+/// Watchdog configuration for one supervised batch.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SupervisorOptions {
+    /// Worker threads (clamped to `1..=items.len()`).
+    pub jobs: usize,
+    /// Per-item wall deadline after which the item's cancellation
+    /// token is raised. `None` disables the soft phase.
+    pub soft_deadline: Option<Duration>,
+    /// Per-item wall deadline after which the worker is abandoned and
+    /// replaced. `None` disables the hard phase (the supervisor then
+    /// waits for cancellation to work).
+    pub hard_deadline: Option<Duration>,
+}
+
+/// One item's fate under supervision.
+#[derive(Debug)]
+pub enum ItemOutcome<R> {
+    Done(R),
+    /// The item panicked (or tripped a budget) and was sandboxed.
+    Panicked(ItemPanic),
+    /// The worker ignored cancellation past the hard deadline; the
+    /// item was abandoned and the worker replaced.
+    Wedged,
+}
+
+/// A worker's registration while its item is in flight.
+struct InFlight {
+    start: Instant,
+    token: CancelToken,
+    cancelled: bool,
+}
+
+/// Shared state between the supervisor and its (detached) workers.
+struct Shared<T, R, F> {
+    items: Vec<T>,
+    f: F,
+    next: AtomicUsize,
+    inflight: Mutex<HashMap<usize, InFlight>>,
+    /// Indices the supervisor gave up on; their hostage workers exit
+    /// instead of claiming more (a replacement already took over).
+    abandoned: Mutex<HashSet<usize>>,
+    tx: mpsc::Sender<(usize, Result<R, ItemPanic>)>,
+}
+
+/// Applies `f` to every item under watchdog supervision (see the
+/// module docs). Results are in item order; a panicking item comes
+/// back as [`ItemOutcome::Panicked`], one that outlives the hard
+/// deadline as [`ItemOutcome::Wedged`] — the batch always completes.
+///
+/// With neither deadline set this is [`crate::try_map_indexed`] with
+/// its scoped (non-leaking) pool; deadlines require detached workers,
+/// since a wedged scoped thread would block the scope forever.
+pub fn supervised_map<T, R, F>(opts: SupervisorOptions, items: Vec<T>, f: F) -> Vec<ItemOutcome<R>>
+where
+    T: Send + Sync + 'static,
+    R: Send + 'static,
+    F: Fn(usize, &T) -> R + Send + Sync + 'static,
+{
+    if opts.soft_deadline.is_none() && opts.hard_deadline.is_none() {
+        return crate::try_map_indexed(opts.jobs, &items, f)
+            .into_iter()
+            .map(|r| match r {
+                Ok(v) => ItemOutcome::Done(v),
+                Err(p) => ItemOutcome::Panicked(p),
+            })
+            .collect();
+    }
+    let total = items.len();
+    if total == 0 {
+        return Vec::new();
+    }
+    let jobs = opts.jobs.max(1).min(total);
+    let (tx, rx) = mpsc::channel();
+    let shared = Arc::new(Shared {
+        items,
+        f,
+        next: AtomicUsize::new(0),
+        inflight: Mutex::new(HashMap::new()),
+        abandoned: Mutex::new(HashSet::new()),
+        tx,
+    });
+    for _ in 0..jobs {
+        spawn_worker(Arc::clone(&shared));
+    }
+    let mut slots: Vec<Option<ItemOutcome<R>>> = (0..total).map(|_| None).collect();
+    let mut pending = total;
+    while pending > 0 {
+        let timeout = next_event_in(&shared.inflight, &opts);
+        match rx.recv_timeout(timeout) {
+            Ok((i, result)) => {
+                if slots[i].is_none() {
+                    slots[i] = Some(match result {
+                        Ok(v) => ItemOutcome::Done(v),
+                        Err(p) => ItemOutcome::Panicked(p),
+                    });
+                    pending -= 1;
+                }
+                // A filled slot means the worker raced the hard
+                // deadline and lost: the late result is discarded.
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                pending -= enforce_deadlines(&shared, &opts, &mut slots);
+            }
+            // Unreachable while the supervisor holds `shared` (and its
+            // sender); kept as a defensive drain.
+            Err(mpsc::RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every slot is decided exactly once"))
+        .collect()
+}
+
+/// How long the supervisor may sleep before the nearest soft/hard
+/// deadline among in-flight items (bounded so new registrations are
+/// noticed promptly).
+fn next_event_in(inflight: &Mutex<HashMap<usize, InFlight>>, opts: &SupervisorOptions) -> Duration {
+    const IDLE_POLL: Duration = Duration::from_millis(25);
+    let now = Instant::now();
+    let mut nearest: Option<Duration> = None;
+    let inflight = inflight.lock().expect("inflight lock");
+    for entry in inflight.values() {
+        let elapsed = now.saturating_duration_since(entry.start);
+        let mut consider = |deadline: Option<Duration>| {
+            if let Some(d) = deadline {
+                let left = d.saturating_sub(elapsed);
+                nearest = Some(nearest.map_or(left, |n: Duration| n.min(left)));
+            }
+        };
+        if !entry.cancelled {
+            consider(opts.soft_deadline);
+        }
+        consider(opts.hard_deadline);
+    }
+    nearest.map_or(IDLE_POLL, |n| n.clamp(Duration::from_millis(1), IDLE_POLL))
+}
+
+/// Raises cancellation at soft deadlines and abandons workers at hard
+/// deadlines, spawning replacements. Returns how many slots were
+/// decided (as wedged).
+fn enforce_deadlines<T, R, F>(
+    shared: &Arc<Shared<T, R, F>>,
+    opts: &SupervisorOptions,
+    slots: &mut [Option<ItemOutcome<R>>],
+) -> usize
+where
+    T: Send + Sync + 'static,
+    R: Send + 'static,
+    F: Fn(usize, &T) -> R + Send + Sync + 'static,
+{
+    let now = Instant::now();
+    let mut wedged: Vec<usize> = Vec::new();
+    {
+        let mut inflight = shared.inflight.lock().expect("inflight lock");
+        for (&i, entry) in inflight.iter_mut() {
+            let elapsed = now.saturating_duration_since(entry.start);
+            if let Some(soft) = opts.soft_deadline {
+                if !entry.cancelled && elapsed >= soft {
+                    entry.token.cancel();
+                    entry.cancelled = true;
+                    watchdog_metrics::CANCELLED.inc();
+                }
+            }
+            if let Some(hard) = opts.hard_deadline {
+                if elapsed >= hard {
+                    wedged.push(i);
+                }
+            }
+        }
+        if !wedged.is_empty() {
+            let mut abandoned = shared.abandoned.lock().expect("abandoned lock");
+            for &i in &wedged {
+                inflight.remove(&i);
+                abandoned.insert(i);
+            }
+        }
+    }
+    let mut decided = 0;
+    for i in wedged {
+        if slots[i].is_none() {
+            slots[i] = Some(ItemOutcome::Wedged);
+            decided += 1;
+            watchdog_metrics::WEDGED.inc();
+            // The hostage thread is lost to its sleep; restore the
+            // batch's parallelism with a fresh worker.
+            spawn_worker(Arc::clone(shared));
+        }
+    }
+    decided
+}
+
+fn spawn_worker<T, R, F>(shared: Arc<Shared<T, R, F>>)
+where
+    T: Send + Sync + 'static,
+    R: Send + 'static,
+    F: Fn(usize, &T) -> R + Send + Sync + 'static,
+{
+    std::thread::spawn(move || loop {
+        let i = shared.next.fetch_add(1, Ordering::Relaxed);
+        if i >= shared.items.len() {
+            break;
+        }
+        let token = CancelToken::new();
+        shared.inflight.lock().expect("inflight lock").insert(
+            i,
+            InFlight {
+                start: Instant::now(),
+                token: token.clone(),
+                cancelled: false,
+            },
+        );
+        let result = {
+            let _cancel = install_cancel(token);
+            pdce_trace::sandbox::catch(|| (shared.f)(i, &shared.items[i])).map_err(|e| ItemPanic {
+                index: i,
+                message: e.to_string(),
+            })
+        };
+        shared.inflight.lock().expect("inflight lock").remove(&i);
+        // If the supervisor already gave up on this item, a
+        // replacement worker owns the claim loop now — deliver
+        // nothing and retire this thread.
+        if shared.abandoned.lock().expect("abandoned lock").remove(&i) {
+            break;
+        }
+        if shared.tx.send((i, result)).is_err() {
+            break;
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts(jobs: usize, soft_ms: u64, hard_ms: u64) -> SupervisorOptions {
+        SupervisorOptions {
+            jobs,
+            soft_deadline: Some(Duration::from_millis(soft_ms)),
+            hard_deadline: Some(Duration::from_millis(hard_ms)),
+        }
+    }
+
+    #[test]
+    fn well_behaved_batches_complete_in_order() {
+        let items: Vec<u32> = (0..40).collect();
+        let out = supervised_map(opts(4, 5_000, 10_000), items, |i, &x| {
+            assert_eq!(i as u32, x);
+            x * 3
+        });
+        assert_eq!(out.len(), 40);
+        for (i, o) in out.iter().enumerate() {
+            match o {
+                ItemOutcome::Done(v) => assert_eq!(*v, i as u32 * 3),
+                other => panic!("item {i}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn panics_are_sandboxed_per_item() {
+        let out = supervised_map(opts(2, 5_000, 10_000), vec![1u32, 2, 3], |_, &x| {
+            if x == 2 {
+                panic!("boom {x}");
+            }
+            x
+        });
+        assert!(matches!(out[0], ItemOutcome::Done(1)));
+        match &out[1] {
+            ItemOutcome::Panicked(p) => {
+                assert_eq!(p.index, 1);
+                assert!(p.message.contains("boom 2"));
+            }
+            other => panic!("expected panic, got {other:?}"),
+        }
+        assert!(matches!(out[2], ItemOutcome::Done(3)));
+    }
+
+    #[test]
+    fn soft_deadline_frees_a_cooperative_staller() {
+        // The item loops forever but polls the cancellation flag, as
+        // the solvers do at every budget checkpoint.
+        let started = Instant::now();
+        let out = supervised_map(opts(1, 30, 5_000), vec![()], |_, ()| loop {
+            std::thread::sleep(Duration::from_millis(1));
+            pdce_trace::budget::check_cancelled();
+        });
+        match &out[0] {
+            ItemOutcome::Panicked(p) => {
+                assert!(p.message.contains("cancelled"), "got: {}", p.message)
+            }
+            other => panic!("expected cancellation, got {other:?}"),
+        }
+        assert!(
+            started.elapsed() < Duration::from_secs(4),
+            "freed by the soft deadline, not the hard one"
+        );
+    }
+
+    #[test]
+    fn hard_deadline_abandons_a_wedged_worker_and_batch_completes() {
+        // Item 0 ignores cancellation entirely; items 1..N must still
+        // be served, and the batch must return before item 0 wakes.
+        let wedge = Duration::from_secs(3);
+        let started = Instant::now();
+        let items: Vec<u32> = (0..12).collect();
+        let out = supervised_map(opts(2, 20, 120), items, move |_, &x| {
+            if x == 0 {
+                std::thread::sleep(wedge);
+            }
+            x + 1
+        });
+        assert!(
+            started.elapsed() < wedge,
+            "supervisor must not wait out the hostage"
+        );
+        assert!(matches!(out[0], ItemOutcome::Wedged), "got {:?}", out[0]);
+        for (i, o) in out.iter().enumerate().skip(1) {
+            match o {
+                ItemOutcome::Done(v) => assert_eq!(*v, i as u32 + 1),
+                other => panic!("item {i} lost to the hostage: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn no_deadlines_degrades_to_the_scoped_pool() {
+        let out = supervised_map(
+            SupervisorOptions {
+                jobs: 3,
+                ..SupervisorOptions::default()
+            },
+            (0..10u32).collect(),
+            |_, &x| x,
+        );
+        assert_eq!(out.len(), 10);
+        assert!(out
+            .iter()
+            .enumerate()
+            .all(|(i, o)| matches!(o, ItemOutcome::Done(v) if *v == i as u32)));
+    }
+}

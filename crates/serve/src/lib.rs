@@ -35,8 +35,11 @@
 
 pub mod cache;
 pub mod protocol;
+pub mod quarantine;
 pub mod server;
+pub mod wal;
 
 pub use cache::{CacheKey, LoadReport, PersistentCache};
 pub use protocol::{Mode, Op, Request, ResultPayload, Status};
+pub use quarantine::{Breaker, BreakerState, Quarantine};
 pub use server::{ServeOptions, ServeSummary, Server};

@@ -16,6 +16,8 @@
 //!    "eliminated":1,"sunk":1,"inserted":1,"rung":"none"}
 //! → {"op":"ping"}
 //! ← {"status":0,"pong":true}
+//! → {"op":"health"}
+//! ← {"status":0,"health":true,"requests":12,"wal_appends":9,...}
 //! → {"op":"shutdown"}
 //! ← {"status":0,"shutdown":true}
 //! ```
@@ -59,6 +61,9 @@ pub enum Op {
     Optimize,
     /// Liveness probe: answered with `"pong":true`, no program needed.
     Ping,
+    /// Self-healing introspection: request/cache/WAL/quarantine/breaker
+    /// counters as one flat JSON object, no program needed.
+    Health,
     /// Drain everything already read, answer, and stop this connection
     /// (and, for the daemon, the process).
     Shutdown,
@@ -158,6 +163,7 @@ impl Request {
         let op = match str_field(&doc, "op")?.as_deref() {
             None | Some("optimize") => Op::Optimize,
             Some("ping") => Op::Ping,
+            Some("health") => Op::Health,
             Some("shutdown") => Op::Shutdown,
             Some(other) => return Err(format!("unknown op `{other}`")),
         };
@@ -172,7 +178,7 @@ impl Request {
                 Some(p) if !p.trim().is_empty() => p,
                 _ => return Err("missing `program`".to_string()),
             },
-            Op::Ping | Op::Shutdown => String::new(),
+            Op::Ping | Op::Health | Op::Shutdown => String::new(),
         };
         let validate = match u64_field(&doc, "validate")? {
             Some(v) if v > u32::MAX as u64 => return Err("`validate` is out of range".to_string()),
@@ -268,6 +274,20 @@ pub fn render_pong(id: &Option<String>) -> String {
     out
 }
 
+/// Renders the `health` introspection response. Each field value must
+/// already be a valid JSON token (a number, `true`, or a quoted
+/// string); the server composes them from its counters.
+pub fn render_health(id: &Option<String>, fields: &[(&'static str, String)]) -> String {
+    let mut out = String::with_capacity(fields.len() * 24 + 32);
+    push_id(&mut out, id);
+    let _ = write!(out, "\"status\":{},\"health\":true", Status::Ok.code());
+    for (key, value) in fields {
+        let _ = write!(out, ",\"{key}\":{value}");
+    }
+    out.push('}');
+    out
+}
+
 /// Renders the `shutdown` acknowledgement.
 pub fn render_shutdown(id: &Option<String>) -> String {
     let mut out = String::new();
@@ -341,9 +361,30 @@ mod tests {
     fn ops_need_no_program() {
         assert_eq!(Request::decode(r#"{"op":"ping"}"#).unwrap().op, Op::Ping);
         assert_eq!(
+            Request::decode(r#"{"op":"health"}"#).unwrap().op,
+            Op::Health
+        );
+        assert_eq!(
             Request::decode(r#"{"op":"shutdown","id":"x"}"#).unwrap().op,
             Op::Shutdown
         );
+    }
+
+    #[test]
+    fn health_responses_are_valid_json() {
+        let line = render_health(
+            &Some("h".into()),
+            &[
+                ("requests", "7".to_string()),
+                ("breaker_state", "\"closed\"".to_string()),
+            ],
+        );
+        let doc = json::parse(&line).unwrap();
+        assert_eq!(doc.get("id").unwrap().as_str(), Some("h"));
+        assert_eq!(doc.get("status").unwrap().as_num(), Some(0.0));
+        assert_eq!(doc.get("health").unwrap().as_bool(), Some(true));
+        assert_eq!(doc.get("requests").unwrap().as_num(), Some(7.0));
+        assert_eq!(doc.get("breaker_state").unwrap().as_str(), Some("closed"));
     }
 
     #[test]

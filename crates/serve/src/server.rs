@@ -17,6 +17,18 @@
 //! resilience ladder (the answer is still served, labelled with its
 //! rung) instead of stalling the fleet. A worker panic is sandboxed by
 //! the pool and answered as a structured `status` 2 error.
+//!
+//! The self-healing layer sits on top of admission: an optimization
+//! attempt that escapes the resilience ladder is retried on
+//! progressively lower rungs with capped exponential backoff; a
+//! program hash that keeps failing is quarantined (persisted next to
+//! the cache) and short-circuited to an identity answer; a rolling
+//! window of failures trips a circuit breaker that degrades *all*
+//! admission to the identity rung until half-open probes succeed; and
+//! batches are dispatched under a watchdog (`pdce_par::supervised_map`)
+//! whose soft deadline raises the cooperative cancellation flag and
+//! whose hard deadline abandons a wedged worker, so one hostage request
+//! never stalls its batch.
 
 use std::io::{BufRead, Read, Write};
 use std::path::PathBuf;
@@ -31,17 +43,20 @@ use pdce_ir::parser::parse;
 use pdce_ir::printer::print_program;
 use pdce_trace::budget::Budget;
 
+use pdce_par::{supervised_map, ItemOutcome, SupervisorOptions};
+
 use crate::cache::{CacheKey, PersistentCache};
 use crate::protocol::{
-    render_error, render_pong, render_result, render_shutdown, Mode, Op, Request, ResultPayload,
-    Status,
+    render_error, render_health, render_pong, render_result, render_shutdown, Mode, Op, Request,
+    ResultPayload, Status,
 };
+use crate::quarantine::{Breaker, BreakerConfig, Quarantine};
 
 /// Registry handles for the serving plane. Request/cache counters are
 /// deterministic for a fixed request sequence; latency and batch-size
 /// families are timing-dependent and registered as such.
 mod serve_metrics {
-    use pdce_metrics::{global, Counter, Histogram, Stability};
+    use pdce_metrics::{global, Counter, Gauge, Histogram, Stability};
     use std::sync::{Arc, LazyLock};
 
     pub fn requests(status: &'static str) -> Arc<Counter> {
@@ -55,6 +70,13 @@ mod serve_metrics {
 
     fn counter(name: &'static str, help: &'static str) -> Arc<Counter> {
         global().counter(name, help, Stability::Deterministic, &[])
+    }
+
+    /// Failure-path counters are timing-tainted: wall-budget trips (and
+    /// therefore strikes, breaker samples, and retries) depend on the
+    /// clock, so they are excluded from byte-stability checks.
+    fn timing_counter(name: &'static str, help: &'static str) -> Arc<Counter> {
+        global().counter(name, help, Stability::Timing, &[])
     }
 
     pub static CACHE_HITS: LazyLock<Arc<Counter>> = LazyLock::new(|| {
@@ -81,6 +103,38 @@ mod serve_metrics {
         global().histogram(
             "pdce_serve_batch_items",
             "Requests per adaptive dispatcher batch",
+            Stability::Timing,
+            &[],
+        )
+    });
+    pub static QUARANTINE_HITS: LazyLock<Arc<Counter>> = LazyLock::new(|| {
+        timing_counter(
+            "pdce_serve_quarantine_hits_total",
+            "Requests short-circuited by the poison-request quarantine",
+        )
+    });
+    pub static RETRIES: LazyLock<Arc<Counter>> = LazyLock::new(|| {
+        timing_counter(
+            "pdce_serve_retries_total",
+            "Optimization attempts re-run on a lower rung after an escaped failure",
+        )
+    });
+    pub static WATCHDOG_TIMEOUTS: LazyLock<Arc<Counter>> = LazyLock::new(|| {
+        timing_counter(
+            "pdce_serve_watchdog_timeouts_total",
+            "Requests abandoned past the hard watchdog deadline and answered as identity",
+        )
+    });
+    pub static IDLE_WAKEUPS: LazyLock<Arc<Counter>> = LazyLock::new(|| {
+        timing_counter(
+            "pdce_serve_idle_wakeups_total",
+            "Poll-loop wakeups that found no pending input (bounded by idle backoff)",
+        )
+    });
+    pub static BREAKER_STATE: LazyLock<Arc<Gauge>> = LazyLock::new(|| {
+        global().gauge(
+            "pdce_serve_breaker_state",
+            "Circuit-breaker position: 0 closed, 1 half-open, 2 open",
             Stability::Timing,
             &[],
         )
@@ -117,6 +171,23 @@ pub struct ServeOptions {
     pub cache_path: Option<PathBuf>,
     /// Master switch for the result cache.
     pub cache: bool,
+    /// WAL appends between fsyncs (1 = every append; a crash loses at
+    /// most the unfsynced tail, never a synced record).
+    pub wal_fsync_every: u64,
+    /// Failed attempts before a program hash is quarantined (0
+    /// disables the quarantine entirely).
+    pub max_strikes: u32,
+    /// Base of the capped exponential backoff between retry attempts,
+    /// in milliseconds.
+    pub retry_backoff_ms: u64,
+    /// Soft watchdog deadline per batched request: past it, the
+    /// worker's cancellation flag is raised so a cooperative staller
+    /// degrades to an in-band answer. `None` derives `2 * wall_ms`.
+    pub watchdog_soft_ms: Option<u64>,
+    /// Hard watchdog deadline: past it, the wedged worker is abandoned
+    /// and the request answered as identity (`"watchdog-timeout"`
+    /// rung). `None` derives soft + 1000 ms.
+    pub watchdog_hard_ms: Option<u64>,
 }
 
 impl Default for ServeOptions {
@@ -133,6 +204,11 @@ impl Default for ServeOptions {
             cache_bytes: 64 << 20,
             cache_path: None,
             cache: true,
+            wal_fsync_every: crate::cache::DEFAULT_FSYNC_EVERY,
+            max_strikes: 3,
+            retry_backoff_ms: 2,
+            watchdog_soft_ms: None,
+            watchdog_hard_ms: None,
         }
     }
 }
@@ -157,37 +233,73 @@ enum Incoming {
     BadUtf8,
 }
 
-/// A rendered response plus the shutdown signal it may carry.
+/// A rendered response plus the shutdown signal it may carry and the
+/// quarantine/breaker verdict of a *computed* answer (cache hits and
+/// short-circuits carry none). Verdicts are settled by the dispatcher
+/// (or `respond_line`), never by the worker itself, so an abandoned
+/// zombie worker can never double-count its item.
 struct Reply {
     line: String,
     shutdown: bool,
+    verdict: Option<Verdict>,
+}
+
+/// What a computed answer means for the self-healing state machines.
+#[derive(Clone, Copy)]
+struct Verdict {
+    key: CacheKey,
+    /// Degraded (any non-`none` rung) or retried: a strike and a
+    /// breaker failure sample. Clean answers absolve the hash.
+    failed: bool,
+}
+
+/// The quarantine file lives next to the cache file.
+fn quarantine_path(cache_path: &std::path::Path) -> PathBuf {
+    let mut os = cache_path.as_os_str().to_owned();
+    os.push(".quarantine");
+    PathBuf::from(os)
 }
 
 /// The optimization-as-a-service engine.
 pub struct Server {
     opts: ServeOptions,
     cache: Mutex<PersistentCache>,
+    quarantine: Mutex<Quarantine>,
+    breaker: Mutex<Breaker>,
     requests: AtomicU64,
     ok: AtomicU64,
     bad_input: AtomicU64,
     internal: AtomicU64,
+    retries: AtomicU64,
+    wedged: AtomicU64,
     stop: AtomicBool,
 }
 
 impl Server {
-    /// Builds a server, loading the persistent cache when configured.
+    /// Builds a server, loading the persistent cache and quarantine
+    /// set when configured.
     pub fn new(opts: ServeOptions) -> Server {
         let cache = match (&opts.cache_path, opts.cache) {
-            (Some(path), true) => PersistentCache::load(path, opts.cache_bytes),
+            (Some(path), true) => {
+                PersistentCache::load_with_fsync(path, opts.cache_bytes, opts.wal_fsync_every)
+            }
             _ => PersistentCache::in_memory(opts.cache_bytes),
+        };
+        let quarantine = match &opts.cache_path {
+            Some(path) => Quarantine::load(&quarantine_path(path), opts.max_strikes),
+            None => Quarantine::in_memory(opts.max_strikes),
         };
         Server {
             opts,
             cache: Mutex::new(cache),
+            quarantine: Mutex::new(quarantine),
+            breaker: Mutex::new(Breaker::new(BreakerConfig::default())),
             requests: AtomicU64::new(0),
             ok: AtomicU64::new(0),
             bad_input: AtomicU64::new(0),
             internal: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            wedged: AtomicU64::new(0),
             stop: AtomicBool::new(false),
         }
     }
@@ -230,18 +342,21 @@ impl Server {
     /// bench harness and the oracle tests drive directly. `None` for
     /// blank lines (which produce no response).
     pub fn respond_line(&self, line: &str) -> Option<String> {
-        self.respond(&Incoming::Line(line.to_string()))
-            .map(|r| r.line)
+        let reply = self.respond(&Incoming::Line(line.to_string()))?;
+        if let Some(verdict) = &reply.verdict {
+            self.settle(verdict);
+        }
+        Some(reply.line)
     }
 
     /// Shards `lines` across the worker pool and returns the responses
     /// in request order (blank lines yield empty strings).
-    pub fn respond_batch(&self, jobs: usize, lines: &[String]) -> Vec<String> {
+    pub fn respond_batch(self: &Arc<Server>, jobs: usize, lines: &[String]) -> Vec<String> {
         let incoming: Vec<Incoming> = lines
             .iter()
             .map(|l| self.classify(l.clone(), l.len()))
             .collect();
-        self.process_batch(jobs, &incoming)
+        self.process_batch(jobs, incoming)
             .into_iter()
             .map(|r| r.map(|r| r.line).unwrap_or_default())
             .collect()
@@ -256,15 +371,55 @@ impl Server {
         }
     }
 
-    /// Runs one batch through the pool; panicking items come back as
-    /// structured internal errors instead of poisoning the batch.
-    fn process_batch(&self, jobs: usize, batch: &[Incoming]) -> Vec<Option<Reply>> {
+    /// The per-item watchdog deadlines: explicit knobs win, otherwise
+    /// the soft phase is twice the admitted wall budget (the ladder
+    /// should have degraded long before) and the hard phase one second
+    /// past that.
+    fn watchdog(&self) -> (Option<Duration>, Option<Duration>) {
+        let soft_ms = self
+            .opts
+            .watchdog_soft_ms
+            .or(self.opts.wall_ms.map(|w| w.saturating_mul(2).max(50)));
+        let hard_ms = self
+            .opts
+            .watchdog_hard_ms
+            .or(soft_ms.map(|s| s.saturating_add(1_000)));
+        (
+            soft_ms.map(Duration::from_millis),
+            hard_ms.map(Duration::from_millis),
+        )
+    }
+
+    /// Runs one batch through the supervised pool. Panicking items come
+    /// back as structured internal errors instead of poisoning the
+    /// batch; a wedged item (hard watchdog deadline) is abandoned and
+    /// answered as an identity-rung response while its siblings finish
+    /// on a replacement worker.
+    fn process_batch(self: &Arc<Server>, jobs: usize, batch: Vec<Incoming>) -> Vec<Option<Reply>> {
         serve_metrics::BATCH_ITEMS.observe(batch.len() as u64);
-        pdce_par::try_map_indexed(jobs, batch, |_, inc| self.respond(inc))
+        let items: Vec<Arc<Incoming>> = batch.into_iter().map(Arc::new).collect();
+        let originals = items.clone();
+        let (soft_deadline, hard_deadline) = self.watchdog();
+        let worker = {
+            let server = Arc::clone(self);
+            move |_: usize, inc: &Arc<Incoming>| server.respond(inc)
+        };
+        let opts = SupervisorOptions {
+            jobs,
+            soft_deadline,
+            hard_deadline,
+        };
+        supervised_map(opts, items, worker)
             .into_iter()
-            .map(|item| match item {
-                Ok(reply) => reply,
-                Err(p) => {
+            .enumerate()
+            .map(|(i, outcome)| match outcome {
+                ItemOutcome::Done(reply) => {
+                    if let Some(verdict) = reply.as_ref().and_then(|r| r.verdict.as_ref()) {
+                        self.settle(verdict);
+                    }
+                    reply
+                }
+                ItemOutcome::Panicked(p) => {
                     self.count(Status::Internal);
                     Some(Reply {
                         line: render_error(
@@ -273,10 +428,77 @@ impl Server {
                             &format!("internal error: worker panicked: {}", p.message),
                         ),
                         shutdown: false,
+                        verdict: None,
                     })
                 }
+                ItemOutcome::Wedged => Some(self.wedged_reply(&originals[i])),
             })
             .collect()
+    }
+
+    /// Applies a computed answer's verdict to the quarantine and the
+    /// breaker. Runs on the dispatcher (exactly once per answered
+    /// item), so zombie workers abandoned by the watchdog never settle.
+    fn settle(&self, verdict: &Verdict) {
+        {
+            let mut quarantine = self.quarantine.lock().expect("quarantine lock");
+            if verdict.failed {
+                quarantine.strike(verdict.key);
+            } else {
+                quarantine.absolve(verdict.key);
+            }
+        }
+        let mut breaker = self.breaker.lock().expect("breaker lock");
+        breaker.record(verdict.failed);
+        serve_metrics::BREAKER_STATE.set(breaker.state().gauge());
+    }
+
+    /// Synthesizes the answer for a request whose worker blew the hard
+    /// watchdog deadline: the program comes back unchanged at the
+    /// `"watchdog-timeout"` rung, the hash is struck, and the breaker
+    /// records a failure — a repeat offender is quarantined before it
+    /// can hold another batch hostage.
+    fn wedged_reply(&self, incoming: &Incoming) -> Reply {
+        self.wedged.fetch_add(1, Ordering::Relaxed);
+        serve_metrics::WATCHDOG_TIMEOUTS.inc();
+        if let Incoming::Line(line) = incoming {
+            if let Ok(req) = Request::decode(line) {
+                if let Ok(parsed) = parse(&req.program) {
+                    let canonical = print_program(&parsed);
+                    let admitted = self.admit(&req);
+                    let options = self.canonical_options(&req, &admitted);
+                    let key = CacheKey::compute(&canonical, &options);
+                    self.settle(&Verdict { key, failed: true });
+                    self.count(Status::Ok);
+                    let payload = identity_payload(canonical, "watchdog-timeout");
+                    return Reply {
+                        line: render_result(&req.id, &payload),
+                        shutdown: false,
+                        verdict: None,
+                    };
+                }
+                self.count(Status::Internal);
+                return Reply {
+                    line: render_error(
+                        &req.id,
+                        Status::Internal,
+                        "internal error: request abandoned past the hard watchdog deadline",
+                    ),
+                    shutdown: false,
+                    verdict: None,
+                };
+            }
+        }
+        self.count(Status::Internal);
+        Reply {
+            line: render_error(
+                &None,
+                Status::Internal,
+                "internal error: request abandoned past the hard watchdog deadline",
+            ),
+            shutdown: false,
+            verdict: None,
+        }
     }
 
     fn count(&self, status: Status) {
@@ -305,6 +527,7 @@ impl Server {
                         ),
                     ),
                     shutdown: false,
+                    verdict: None,
                 })
             }
             Incoming::BadUtf8 => {
@@ -312,6 +535,7 @@ impl Server {
                 Some(Reply {
                     line: render_error(&None, Status::BadInput, "request is not valid UTF-8"),
                     shutdown: false,
+                    verdict: None,
                 })
             }
             Incoming::Line(line) => {
@@ -333,6 +557,7 @@ impl Server {
                 return Reply {
                     line: render_error(&None, Status::BadInput, &msg),
                     shutdown: false,
+                    verdict: None,
                 };
             }
         };
@@ -342,6 +567,15 @@ impl Server {
                 Reply {
                     line: render_pong(&req.id),
                     shutdown: false,
+                    verdict: None,
+                }
+            }
+            Op::Health => {
+                self.count(Status::Ok);
+                Reply {
+                    line: self.health_reply(&req.id),
+                    shutdown: false,
+                    verdict: None,
                 }
             }
             Op::Shutdown => {
@@ -350,17 +584,77 @@ impl Server {
                 Reply {
                     line: render_shutdown(&req.id),
                     shutdown: true,
+                    verdict: None,
                 }
             }
             Op::Optimize => {
-                let (line, status) = self.optimize_request(&req);
+                let (line, status, verdict) = self.optimize_request(&req);
                 self.count(status);
                 Reply {
                     line,
                     shutdown: false,
+                    verdict,
                 }
             }
         }
+    }
+
+    /// Renders the `health` introspection answer: every self-healing
+    /// counter as one flat JSON object.
+    fn health_reply(&self, id: &Option<String>) -> String {
+        let (cache_entries, cache_bytes, cache_hits, cache_misses, wal_stats, wal_errors, report) = {
+            let cache = self.cache.lock().expect("cache lock");
+            (
+                cache.len() as u64,
+                cache.bytes(),
+                cache.hits,
+                cache.misses,
+                cache.wal_stats(),
+                cache.wal_errors,
+                cache.load_report,
+            )
+        };
+        let (wal_appends, wal_fsyncs, wal_compactions) = wal_stats;
+        let (quarantine_size, quarantine_hits) = {
+            let quarantine = self.quarantine.lock().expect("quarantine lock");
+            (quarantine.len() as u64, quarantine.hits)
+        };
+        let (breaker_state, breaker_trips) = {
+            let breaker = self.breaker.lock().expect("breaker lock");
+            (breaker.state(), breaker.trips)
+        };
+        let fields: Vec<(&'static str, String)> = vec![
+            (
+                "requests",
+                self.requests.load(Ordering::Relaxed).to_string(),
+            ),
+            ("ok", self.ok.load(Ordering::Relaxed).to_string()),
+            (
+                "bad_input",
+                self.bad_input.load(Ordering::Relaxed).to_string(),
+            ),
+            (
+                "internal",
+                self.internal.load(Ordering::Relaxed).to_string(),
+            ),
+            ("cache_entries", cache_entries.to_string()),
+            ("cache_bytes", cache_bytes.to_string()),
+            ("cache_hits", cache_hits.to_string()),
+            ("cache_misses", cache_misses.to_string()),
+            ("wal_appends", wal_appends.to_string()),
+            ("wal_fsyncs", wal_fsyncs.to_string()),
+            ("wal_compactions", wal_compactions.to_string()),
+            ("wal_recovered", (report.loaded as u64).to_string()),
+            ("wal_discarded", (report.skipped as u64).to_string()),
+            ("wal_errors", wal_errors.to_string()),
+            ("quarantine_size", quarantine_size.to_string()),
+            ("quarantine_hits", quarantine_hits.to_string()),
+            ("breaker_state", format!("\"{}\"", breaker_state.label())),
+            ("breaker_trips", breaker_trips.to_string()),
+            ("retries", self.retries.load(Ordering::Relaxed).to_string()),
+            ("wedged", self.wedged.load(Ordering::Relaxed).to_string()),
+        ];
+        render_health(id, &fields)
     }
 
     /// Caps a requested budget by the server-wide bound: a request may
@@ -429,7 +723,7 @@ impl Server {
         }
     }
 
-    fn optimize_request(&self, req: &Request) -> (String, Status) {
+    fn optimize_request(&self, req: &Request) -> (String, Status, Option<Verdict>) {
         let admitted = self.admit(req);
         let options = self.canonical_options(req, &admitted);
         let use_cache = self.opts.cache && !req.no_cache;
@@ -444,7 +738,7 @@ impl Server {
                 .get_raw_alias(raw_key);
             if let Some(payload) = hit {
                 serve_metrics::CACHE_HITS.inc();
-                return (render_result(&req.id, &payload), Status::Ok);
+                return (render_result(&req.id, &payload), Status::Ok, None);
             }
         }
         let parsed = match parse(&req.program) {
@@ -458,6 +752,7 @@ impl Server {
                 return (
                     render_error(&req.id, Status::BadInput, &msg),
                     Status::BadInput,
+                    None,
                 );
             }
         };
@@ -471,51 +766,131 @@ impl Server {
             if let Some(payload) = cache.get(key) {
                 drop(cache);
                 serve_metrics::CACHE_HITS.inc();
-                return (render_result(&req.id, &payload), Status::Ok);
+                return (render_result(&req.id, &payload), Status::Ok, None);
             }
             serve_metrics::CACHE_MISSES.inc();
         }
-        let config = self.config_for(req.mode, &admitted);
-        let mut prog = parsed;
-        let outcome = pdce_trace::sandbox::catch(|| {
-            let prog = &mut prog;
-            let mut run = move || optimize_resilient(prog, &config);
-            let run = move || match self.effective_solver(req) {
-                Some(s) => pdce_dfa::with_strategy(s, run),
-                None => run(),
-            };
-            if self.opts.incremental {
-                run()
-            } else {
-                pdce_dfa::with_incremental(false, run)
+        // Quarantine short-circuit: a hash with a strike record is not
+        // allowed near the solvers again — it gets a structured
+        // identity answer instead of a fourth chance to take a worker
+        // hostage.
+        if self.opts.max_strikes > 0 {
+            let quarantined = self.quarantine.lock().expect("quarantine lock").check(key);
+            if quarantined {
+                serve_metrics::QUARANTINE_HITS.inc();
+                let payload = identity_payload(canonical, "quarantined");
+                return (render_result(&req.id, &payload), Status::Ok, None);
             }
-        });
-        let stats = match outcome {
-            Ok(stats) => stats,
-            // optimize_resilient is total down to the identity rung;
-            // anything escaping it is our bug, answered as status 2.
-            Err(e) => {
-                return (
-                    render_error(&req.id, Status::Internal, &format!("internal error: {e}")),
-                    Status::Internal,
-                )
-            }
+        }
+        // Circuit breaker: when the rolling failure rate has tripped
+        // it, admission degrades batch-wide to the identity rung until
+        // half-open probes succeed. Denied requests are not breaker
+        // samples (no verdict).
+        let admit_full = {
+            let mut breaker = self.breaker.lock().expect("breaker lock");
+            let admit = breaker.admit();
+            serve_metrics::BREAKER_STATE.set(breaker.state().gauge());
+            admit
         };
-        let payload = ResultPayload {
-            program: print_program(&prog),
-            rounds: stats.rounds,
-            eliminated: stats.eliminated_assignments,
-            sunk: stats.sunk_assignments,
-            inserted: stats.inserted_assignments,
-            rung: stats.degraded.map_or("none", |m| m.label()).to_string(),
-        };
-        if use_cache {
+        if !admit_full {
+            let payload = identity_payload(canonical, "breaker-open");
+            return (render_result(&req.id, &payload), Status::Ok, None);
+        }
+        let (payload, failed) = self.attempt_with_retries(req, &admitted, &canonical, parsed);
+        // Only clean, un-retried answers are cached: a transient
+        // degradation must not pin a worse answer for every warm
+        // replay that follows.
+        if use_cache && !failed {
             self.cache
                 .lock()
                 .expect("cache lock")
                 .insert(key, payload.clone());
         }
-        (render_result(&req.id, &payload), Status::Ok)
+        (
+            render_result(&req.id, &payload),
+            Status::Ok,
+            Some(Verdict { key, failed }),
+        )
+    }
+
+    /// Runs the optimization with the retry ladder wrapped around the
+    /// resilience ladder: an attempt that *escapes*
+    /// [`optimize_resilient`] (our bug, or an injected `serve`-site
+    /// fault) is retried after a capped exponential backoff on a
+    /// progressively lower configuration — full, then one reduced
+    /// round, then elimination-only — before giving up and answering
+    /// identity. Returns the payload plus whether the answer counts as
+    /// a failure (degraded rung or any retry).
+    fn attempt_with_retries(
+        &self,
+        req: &Request,
+        admitted: &AdmittedBudget,
+        canonical: &str,
+        parsed: pdce_ir::Program,
+    ) -> (ResultPayload, bool) {
+        const MAX_ATTEMPTS: u32 = 3;
+        const BACKOFF_CAP_MS: u64 = 100;
+        let mut prog_slot = Some(parsed);
+        let mut attempt = 0u32;
+        loop {
+            let reduced = AdmittedBudget {
+                rounds: Some(1),
+                validate: None,
+                ..*admitted
+            };
+            let config = match attempt {
+                0 => self.config_for(req.mode, admitted),
+                1 => self.config_for(req.mode, &reduced),
+                _ => self.config_for(Mode::Dce, &reduced),
+            };
+            let mut prog = match prog_slot.take().or_else(|| parse(canonical).ok()) {
+                Some(p) => p,
+                None => return (identity_payload(canonical.to_string(), "identity"), true),
+            };
+            let outcome = pdce_trace::sandbox::catch(|| {
+                pdce_trace::fault::fire("serve");
+                let prog = &mut prog;
+                let mut run = move || optimize_resilient(prog, &config);
+                let run = move || match self.effective_solver(req) {
+                    Some(s) => pdce_dfa::with_strategy(s, run),
+                    None => run(),
+                };
+                if self.opts.incremental {
+                    run()
+                } else {
+                    pdce_dfa::with_incremental(false, run)
+                }
+            });
+            match outcome {
+                Ok(stats) => {
+                    let payload = ResultPayload {
+                        program: print_program(&prog),
+                        rounds: stats.rounds,
+                        eliminated: stats.eliminated_assignments,
+                        sunk: stats.sunk_assignments,
+                        inserted: stats.inserted_assignments,
+                        rung: stats.degraded.map_or("none", |m| m.label()).to_string(),
+                    };
+                    return (payload, stats.degraded.is_some() || attempt > 0);
+                }
+                Err(_) => {
+                    attempt += 1;
+                    self.retries.fetch_add(1, Ordering::Relaxed);
+                    serve_metrics::RETRIES.inc();
+                    if attempt >= MAX_ATTEMPTS {
+                        return (identity_payload(canonical.to_string(), "identity"), true);
+                    }
+                    let backoff = self
+                        .opts
+                        .retry_backoff_ms
+                        .saturating_mul(1 << (attempt - 1))
+                        .min(BACKOFF_CAP_MS);
+                    if backoff > 0 {
+                        std::thread::sleep(Duration::from_millis(backoff));
+                    }
+                }
+            }
+        }
     }
 
     /// Serves one connection: `reader` → batched requests → `writer`.
@@ -574,14 +949,14 @@ impl Server {
                     Err(_) => break,
                 }
             }
-            stopping = self.write_batch(jobs, &batch, &mut writer)?;
+            stopping = self.write_batch(jobs, batch, &mut writer)?;
         }
         // Drain guarantee: everything the reader had already queued
         // before shutdown still gets an answer.
         if stopping {
             let rest: Vec<Incoming> = rx.try_iter().collect();
             if !rest.is_empty() {
-                self.write_batch(jobs, &rest, &mut writer)?;
+                self.write_batch(jobs, rest, &mut writer)?;
             }
         }
         self.save_cache()?;
@@ -591,9 +966,9 @@ impl Server {
     /// Processes one batch and writes the responses in request order.
     /// Returns whether a shutdown request was in the batch.
     fn write_batch<W: Write>(
-        &self,
+        self: &Arc<Server>,
         jobs: usize,
-        batch: &[Incoming],
+        batch: Vec<Incoming>,
         writer: &mut W,
     ) -> std::io::Result<bool> {
         let mut stopping = false;
@@ -620,12 +995,14 @@ impl Server {
     ) -> std::io::Result<ServeSummary> {
         listener.set_nonblocking(true)?;
         std::thread::scope(|scope| -> std::io::Result<()> {
+            let mut idle = IdleBackoff::new();
             loop {
                 if self.stop.load(Ordering::Relaxed) {
                     return Ok(());
                 }
                 match listener.accept() {
                     Ok((stream, _addr)) => {
+                        idle.reset();
                         stream.set_nonblocking(false)?;
                         // A finite read timeout lets idle connections
                         // notice a fleet-wide shutdown promptly.
@@ -637,7 +1014,7 @@ impl Server {
                         });
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(Duration::from_millis(20));
+                        std::thread::sleep(idle.next());
                     }
                     Err(e) => return Err(e),
                 }
@@ -659,12 +1036,14 @@ impl Server {
     ) -> std::io::Result<ServeSummary> {
         listener.set_nonblocking(true)?;
         std::thread::scope(|scope| -> std::io::Result<()> {
+            let mut idle = IdleBackoff::new();
             loop {
                 if self.stop.load(Ordering::Relaxed) {
                     return Ok(());
                 }
                 match listener.accept() {
                     Ok((stream, _addr)) => {
+                        idle.reset();
                         stream.set_nonblocking(false)?;
                         stream.set_read_timeout(Some(Duration::from_millis(50)))?;
                         let server = Arc::clone(self);
@@ -674,7 +1053,7 @@ impl Server {
                         });
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(Duration::from_millis(20));
+                        std::thread::sleep(idle.next());
                     }
                     Err(e) => return Err(e),
                 }
@@ -686,11 +1065,60 @@ impl Server {
 }
 
 /// Effective (post-admission) per-request budgets.
+#[derive(Clone, Copy)]
 struct AdmittedBudget {
     rounds: Option<u64>,
     pops: Option<u64>,
     wall_ms: Option<u64>,
     validate: Option<u32>,
+}
+
+/// The unchanged-program answer used by every short-circuit: the
+/// quarantine, the open breaker, watchdog timeouts, and exhausted
+/// retries. Always correct (the identity transformation), always
+/// cheap, never cached.
+fn identity_payload(program: String, rung: &str) -> ResultPayload {
+    ResultPayload {
+        program,
+        rounds: 0,
+        eliminated: 0,
+        sunk: 0,
+        inserted: 0,
+        rung: rung.to_string(),
+    }
+}
+
+/// Exponential idle backoff for the polling loops (connection reads
+/// and transport accepts): consecutive empty polls sleep 1, 2, 4, …
+/// 250 ms instead of spinning at a fixed period, so an idle daemon
+/// wakes a handful of times per second instead of fifty, while the
+/// first byte after an idle stretch still lands within one capped
+/// interval. Reset on any progress.
+struct IdleBackoff {
+    wait: Duration,
+}
+
+const IDLE_BACKOFF_START: Duration = Duration::from_millis(1);
+const IDLE_BACKOFF_CAP: Duration = Duration::from_millis(250);
+
+impl IdleBackoff {
+    fn new() -> IdleBackoff {
+        IdleBackoff {
+            wait: IDLE_BACKOFF_START,
+        }
+    }
+
+    fn reset(&mut self) {
+        self.wait = IDLE_BACKOFF_START;
+    }
+
+    /// The sleep for this empty poll; doubles (to the cap) for the next.
+    fn next(&mut self) -> Duration {
+        serve_metrics::IDLE_WAKEUPS.inc();
+        let wait = self.wait;
+        self.wait = (self.wait * 2).min(IDLE_BACKOFF_CAP);
+        wait
+    }
 }
 
 /// Reads one `\n`-terminated line without ever buffering more than
@@ -699,7 +1127,9 @@ struct AdmittedBudget {
 /// balloon the daemon's memory. `None` at EOF (a final unterminated
 /// fragment still counts as a line). On a read timeout (socket
 /// transports set one so shutdown can propagate across idle
-/// connections) the read is retried until `stop` is raised.
+/// connections) the read is retried until `stop` is raised, with
+/// exponential idle backoff between empty polls so an idle connection
+/// costs a handful of wakeups per second, not a 50 ms-period spin.
 fn read_bounded_line<R: BufRead>(
     reader: &mut R,
     max_bytes: usize,
@@ -708,6 +1138,7 @@ fn read_bounded_line<R: BufRead>(
     let mut buf: Vec<u8> = Vec::new();
     let mut seen: usize = 0;
     let mut overflowed = false;
+    let mut idle = IdleBackoff::new();
     loop {
         let chunk = match reader.fill_buf() {
             Ok([]) => {
@@ -729,10 +1160,12 @@ fn read_bounded_line<R: BufRead>(
                 if stop.load(Ordering::Relaxed) {
                     return None;
                 }
+                std::thread::sleep(idle.next());
                 continue;
             }
             Err(_) => return None,
         };
+        idle.reset();
         let (line_part, ate, done) = match chunk.iter().position(|&b| b == b'\n') {
             Some(nl) => (&chunk[..nl], nl + 1, true),
             None => (chunk, chunk.len(), false),
@@ -912,6 +1345,173 @@ mod tests {
         assert_eq!(Server::admitted(None, Some(3)), Some(3));
         assert_eq!(Server::admitted(Some(9), None), Some(9));
         assert_eq!(Server::admitted(None, None), None);
+    }
+
+    /// A request that deterministically degrades down the full ladder:
+    /// a zero pop budget fails every solving rung, so the answer comes
+    /// from the identity rung with a failure verdict.
+    fn poison_request(program: &str) -> String {
+        let mut escaped = String::new();
+        pdce_trace::json::write_escaped(&mut escaped, program);
+        format!("{{\"id\":\"p\",\"program\":{escaped},\"max_pops\":0,\"no_cache\":true}}")
+    }
+
+    fn rung_of(line: &str) -> String {
+        pdce_trace::json::parse(line)
+            .unwrap()
+            .get("rung")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .to_string()
+    }
+
+    #[test]
+    fn health_op_reports_the_self_healing_counters() {
+        let s = server();
+        s.respond_line(&request(FIG1)).unwrap();
+        let line = s.respond_line(r#"{"op":"health","id":"h"}"#).unwrap();
+        let doc = pdce_trace::json::parse(&line).unwrap();
+        assert_eq!(doc.get("status").unwrap().as_num(), Some(0.0));
+        assert_eq!(doc.get("health").unwrap().as_bool(), Some(true));
+        // The health request itself is counted before it renders.
+        assert_eq!(doc.get("requests").unwrap().as_num(), Some(2.0));
+        assert_eq!(doc.get("breaker_state").unwrap().as_str(), Some("closed"));
+        for key in [
+            "cache_entries",
+            "wal_appends",
+            "wal_recovered",
+            "quarantine_size",
+            "quarantine_hits",
+            "breaker_trips",
+            "retries",
+            "wedged",
+        ] {
+            assert!(
+                doc.get(key).is_some(),
+                "health field `{key}` missing: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn repeated_failures_quarantine_the_program_hash() {
+        let s = Arc::new(Server::new(ServeOptions {
+            max_strikes: 2,
+            ..ServeOptions::default()
+        }));
+        let line = poison_request(FIG1);
+        for i in 0..2 {
+            let response = s.respond_line(&line).unwrap();
+            assert_eq!(
+                rung_of(&response),
+                "identity",
+                "strike {i} still runs the ladder"
+            );
+        }
+        // Third offense: short-circuited by the quarantine, never near
+        // the solvers again.
+        let response = s.respond_line(&line).unwrap();
+        assert_eq!(rung_of(&response), "quarantined");
+        let health = s.respond_line(r#"{"op":"health"}"#).unwrap();
+        let doc = pdce_trace::json::parse(&health).unwrap();
+        assert_eq!(doc.get("quarantine_size").unwrap().as_num(), Some(1.0));
+        assert_eq!(doc.get("quarantine_hits").unwrap().as_num(), Some(1.0));
+        // A different (clean) program is unaffected.
+        let clean = s
+            .respond_line(&request("prog { block e { halt } }"))
+            .unwrap();
+        assert_eq!(rung_of(&clean), "none");
+    }
+
+    #[test]
+    fn a_failing_window_trips_the_breaker_to_identity_admission() {
+        let s = Arc::new(Server::new(ServeOptions {
+            max_strikes: 0, // isolate the breaker from the quarantine
+            ..ServeOptions::default()
+        }));
+        // 16 distinct failing programs fill the rolling window.
+        for i in 0..16 {
+            let program = format!(
+                "prog {{ block s {{ v{i} := {i}; out(v{i}); goto e }} block e {{ halt }} }}"
+            );
+            let response = s.respond_line(&poison_request(&program)).unwrap();
+            assert_eq!(rung_of(&response), "identity");
+        }
+        // Tripped: even a clean request is served at the identity rung.
+        let denied = s.respond_line(&request(FIG1)).unwrap();
+        assert_eq!(rung_of(&denied), "breaker-open");
+        let health = s.respond_line(r#"{"op":"health"}"#).unwrap();
+        let doc = pdce_trace::json::parse(&health).unwrap();
+        assert_eq!(doc.get("breaker_state").unwrap().as_str(), Some("open"));
+        assert_eq!(doc.get("breaker_trips").unwrap().as_num(), Some(1.0));
+    }
+
+    #[test]
+    fn escaped_failures_retry_on_a_lower_rung_with_backoff() {
+        let s = Arc::new(Server::new(ServeOptions {
+            retry_backoff_ms: 1,
+            ..ServeOptions::default()
+        }));
+        // The first attempt panics at the serve site; the retry (second
+        // occurrence) runs clean on the reduced configuration.
+        let response = pdce_trace::fault::with_faults("panic:serve:1", || {
+            s.respond_line(&request(FIG1)).unwrap()
+        });
+        assert_eq!(status_of_line(&response), 0.0);
+        assert_eq!(rung_of(&response), "none");
+        let health = s.respond_line(r#"{"op":"health"}"#).unwrap();
+        let doc = pdce_trace::json::parse(&health).unwrap();
+        assert_eq!(doc.get("retries").unwrap().as_num(), Some(1.0));
+        // A persistent escape exhausts the ladder and answers identity.
+        let always = pdce_trace::fault::with_faults("panic:serve:*", || {
+            s.respond_line(&poison_request(FIG1)).unwrap()
+        });
+        assert_eq!(status_of_line(&always), 0.0);
+        assert_eq!(rung_of(&always), "identity");
+    }
+
+    fn status_of_line(line: &str) -> f64 {
+        pdce_trace::json::parse(line)
+            .unwrap()
+            .get("status")
+            .unwrap()
+            .as_num()
+            .unwrap()
+    }
+
+    #[test]
+    fn retried_answers_are_not_cached() {
+        let s = Arc::new(Server::new(ServeOptions {
+            retry_backoff_ms: 0,
+            ..ServeOptions::default()
+        }));
+        // The retried answer ran a reduced configuration; caching it
+        // would pin the worse answer for every warm replay.
+        let retried = pdce_trace::fault::with_faults("panic:serve:1", || {
+            s.respond_line(&request(FIG1)).unwrap()
+        });
+        let clean = s.respond_line(&request(FIG1)).unwrap();
+        assert_eq!(status_of_line(&retried), 0.0);
+        assert_eq!(status_of_line(&clean), 0.0);
+        assert_eq!(s.summary().cache_hits, 0, "retried answer was cached");
+    }
+
+    #[test]
+    fn idle_backoff_doubles_to_a_cap_and_resets() {
+        let mut b = IdleBackoff::new();
+        let mut total = Duration::ZERO;
+        let mut wakeups = 0u32;
+        while total < Duration::from_secs(10) {
+            total += b.next();
+            wakeups += 1;
+        }
+        // The old fixed 20 ms poll would wake 500 times over the same
+        // stretch; the capped exponential schedule wakes ~47 times.
+        assert!(wakeups < 60, "idle schedule woke {wakeups} times in 10 s");
+        assert_eq!(b.next(), IDLE_BACKOFF_CAP, "schedule saturates at the cap");
+        b.reset();
+        assert_eq!(b.next(), IDLE_BACKOFF_START, "progress resets the schedule");
     }
 
     #[test]

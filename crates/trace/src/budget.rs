@@ -74,6 +74,85 @@ struct BudgetState {
 thread_local! {
     static ACTIVE: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
     static STATE: RefCell<Option<BudgetState>> = const { RefCell::new(None) };
+    static CANCEL_ACTIVE: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+    static CANCEL: RefCell<Option<CancelToken>> = const { RefCell::new(None) };
+}
+
+/// A cooperative cancellation flag, shared between a supervisor (which
+/// raises it) and a worker thread (which observes it at every budget
+/// checkpoint). Deliberately *not* a field of [`Budget`] — budgets are
+/// `Copy` snapshots of limits, while a token is live shared state — so
+/// cancellation also works for workers running with an unlimited
+/// budget.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(std::sync::Arc<std::sync::atomic::AtomicBool>);
+
+impl CancelToken {
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Raises the flag. Idempotent; visible to every clone.
+    pub fn cancel(&self) {
+        self.0.store(true, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+/// Installs `token` on this thread for the guard's lifetime (shadowing
+/// any outer token). While installed, [`check_cancelled`] — and through
+/// it every budget checkpoint — aborts the in-flight work by panicking
+/// with a typed [`BudgetExhausted`] payload (`resource: "cancelled"`)
+/// once the token is raised, so the sandbox catches it like any other
+/// budget trip and the resilience ladder takes over.
+pub fn install_cancel(token: CancelToken) -> CancelGuard {
+    let prev = CANCEL.with(|c| c.borrow_mut().replace(token));
+    let prev_active = CANCEL_ACTIVE.with(|a| a.replace(true));
+    CancelGuard { prev, prev_active }
+}
+
+/// RAII guard from [`install_cancel`]; restores the previous token.
+pub struct CancelGuard {
+    prev: Option<CancelToken>,
+    prev_active: bool,
+}
+
+impl Drop for CancelGuard {
+    fn drop(&mut self) {
+        CANCEL.with(|c| *c.borrow_mut() = self.prev.take());
+        CANCEL_ACTIVE.with(|a| a.set(self.prev_active));
+    }
+}
+
+/// Aborts the in-flight attempt if this thread's installed
+/// [`CancelToken`] has been raised. One thread-local read and a branch
+/// when no token is installed; called from every budget checkpoint and
+/// safe to call from any long-running loop.
+///
+/// # Panics
+/// Panics with a [`BudgetExhausted`] payload (`resource: "cancelled"`)
+/// when cancellation was requested.
+#[inline]
+pub fn check_cancelled() {
+    if !CANCEL_ACTIVE.with(|a| a.get()) {
+        return;
+    }
+    check_cancelled_slow();
+}
+
+#[cold]
+fn check_cancelled_slow() {
+    let cancelled = CANCEL.with(|c| c.borrow().as_ref().is_some_and(CancelToken::is_cancelled));
+    if cancelled {
+        std::panic::panic_any(BudgetExhausted {
+            resource: "cancelled",
+            limit: 0,
+            spent: 0,
+        });
+    }
 }
 
 /// Installs `budget` on this thread for the guard's lifetime, shadowing
@@ -127,6 +206,7 @@ const WALL_CHECK_MASK: u64 = 0xFF;
 /// so the solve must unwind to the sandbox.
 #[inline]
 pub fn charge_pops(n: u64) {
+    check_cancelled();
     if !active() {
         return;
     }
@@ -173,6 +253,7 @@ fn charge_pops_slow(n: u64) {
 /// round and wall-time limits. Called between rounds, where the
 /// program is consistent, so exhaustion is an `Err`, not an unwind.
 pub fn charge_round() -> Result<(), BudgetExhausted> {
+    check_cancelled();
     if !active() {
         return Ok(());
     }
@@ -253,6 +334,37 @@ mod tests {
         });
         std::thread::sleep(Duration::from_millis(2));
         assert_eq!(charge_round().unwrap_err().resource, "wall_time");
+    }
+
+    #[test]
+    fn cancellation_aborts_at_budget_checkpoints() {
+        let token = CancelToken::new();
+        let _g = install_cancel(token.clone());
+        // Not yet raised: checkpoints pass, even with no budget.
+        check_cancelled();
+        charge_pops(1_000);
+        assert!(charge_round().is_ok());
+        token.cancel();
+        let err = std::panic::catch_unwind(|| charge_pops(1)).unwrap_err();
+        let e = err
+            .downcast_ref::<BudgetExhausted>()
+            .expect("typed payload");
+        assert_eq!(e.resource, "cancelled");
+        assert!(std::panic::catch_unwind(|| charge_round().ok()).is_err());
+    }
+
+    #[test]
+    fn cancel_guard_restores_outer_token() {
+        let outer = CancelToken::new();
+        let g = install_cancel(outer.clone());
+        {
+            let _inner = install_cancel(CancelToken::new());
+            outer.cancel();
+            check_cancelled(); // inner token not raised: no abort
+        }
+        assert!(std::panic::catch_unwind(check_cancelled).is_err());
+        drop(g);
+        check_cancelled(); // no token installed: free
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! ```text
 //! FAULT_INJECT = directive ("," directive)*
 //! directive    = kind ":" site ":" nth
-//! kind         = "panic" | "budget" | "bitflip"
+//! kind         = "panic" | "budget" | "bitflip" | "stall" | "wedge"
 //! site         = a named instrumentation point ("dce", "sink", "solve",
 //!                "dead", pass names, ...)
 //! nth          = 1-based occurrence number, or "*" for every occurrence
@@ -23,6 +23,11 @@
 //! `FAULT_INJECT=budget:solve:*` makes every solver invocation report
 //! budget exhaustion; `FAULT_INJECT=bitflip:dead:1` corrupts the first
 //! dead-variables solution (so translation validation must catch it).
+//! The watchdog-oriented kinds hold a site hostage: `stall` sleeps
+//! *cooperatively* (checking the cancellation flag, so a supervisor's
+//! soft deadline frees it), while `wedge` sleeps through cancellation
+//! entirely (only a hard deadline's re-dispatch gets the batch moving
+//! again).
 //! Directives are independent; occurrence counters are per-directive
 //! and process-global (atomic), so injection behaves identically under
 //! `--jobs N`.
@@ -44,7 +49,21 @@ pub enum FaultKind {
     /// Tell the site to corrupt its own data — [`flip`] returns `true`
     /// (exercises translation validation).
     Bitflip,
+    /// Sleep at the site while polling the cooperative cancellation
+    /// flag (exercises the watchdog's soft deadline).
+    Stall,
+    /// Sleep at the site ignoring cancellation (exercises the
+    /// watchdog's hard deadline and batch re-dispatch).
+    Wedge,
 }
+
+/// How long the watchdog fault kinds hold their site. `stall` aborts
+/// as soon as it is cancelled; `wedge` always serves the full term.
+/// Both are far past any test watchdog deadline yet bounded, so an
+/// unsupervised run still terminates.
+const STALL_MAX: std::time::Duration = std::time::Duration::from_secs(10);
+const STALL_SLICE: std::time::Duration = std::time::Duration::from_millis(2);
+const WEDGE_TERM: std::time::Duration = std::time::Duration::from_millis(1_500);
 
 /// One parsed `kind:site:nth` directive.
 #[derive(Debug)]
@@ -76,10 +95,12 @@ fn parse_spec(spec: &str) -> Result<Vec<Directive>, String> {
             "panic" => FaultKind::Panic,
             "budget" => FaultKind::Budget,
             "bitflip" => FaultKind::Bitflip,
+            "stall" => FaultKind::Stall,
+            "wedge" => FaultKind::Wedge,
             other => {
                 return Err(format!(
                     "fault directive `{raw}`: unknown kind `{other}` \
-                     (expected panic|budget|bitflip)"
+                     (expected panic|budget|bitflip|stall|wedge)"
                 ))
             }
         };
@@ -188,8 +209,8 @@ fn consult(site: &str) -> Option<FaultKind> {
         for d in dirs {
             if matches(d, site) {
                 match d.kind {
-                    FaultKind::Panic | FaultKind::Budget => return Some(d.kind),
                     FaultKind::Bitflip => fired = Some(FaultKind::Bitflip),
+                    _ => return Some(d.kind),
                 }
             }
         }
@@ -220,6 +241,16 @@ pub fn fire(site: &str) {
             limit: 0,
             spent: 0,
         }),
+        Some(FaultKind::Stall) => {
+            let start = std::time::Instant::now();
+            while start.elapsed() < STALL_MAX {
+                std::thread::sleep(STALL_SLICE);
+                // A raised cancellation flag aborts the stall by
+                // panicking with the typed budget payload.
+                crate::budget::check_cancelled();
+            }
+        }
+        Some(FaultKind::Wedge) => std::thread::sleep(WEDGE_TERM),
         _ => {}
     }
 }
@@ -274,6 +305,23 @@ mod tests {
             assert!(flip("dead"));
             assert!(!flip("dead"));
             assert!(std::panic::catch_unwind(|| fire("sink")).is_err());
+        });
+    }
+
+    #[test]
+    fn stall_is_freed_by_cancellation() {
+        let token = crate::budget::CancelToken::new();
+        token.cancel();
+        let _g = crate::budget::install_cancel(token);
+        with_faults("stall:solve:1", || {
+            let start = std::time::Instant::now();
+            let err = std::panic::catch_unwind(|| fire("solve")).unwrap_err();
+            assert!(
+                err.downcast_ref::<BudgetExhausted>()
+                    .is_some_and(|e| e.resource == "cancelled"),
+                "stall aborts via the cancellation payload"
+            );
+            assert!(start.elapsed() < STALL_MAX, "freed well before the cap");
         });
     }
 

@@ -86,6 +86,8 @@ const USAGE: &str = "usage:
                [--solver fifo|priority|sparse]
                [--no-incremental] [--max-rounds N] [--max-pops N] [--wall-ms N]
                [--validate-semantics[=K]] [--cache FILE] [--cache-bytes N]
+               [--fsync-every N] [--max-strikes K] [--retry-backoff-ms N]
+               [--watchdog-soft-ms N] [--watchdog-hard-ms N]
                [--no-cache] [--max-request-bytes N] [--metrics-out FILE.prom]
                long-lived optimization service: newline-delimited JSON
                requests on stdin (responses on stdout), or on a TCP/Unix
@@ -96,9 +98,19 @@ const USAGE: &str = "usage:
                internal). --max-rounds/--max-pops/--wall-ms are admission
                caps: requests may lower them, never raise them. --cache
                persists the content-hash-keyed result cache across
-               restarts; --cache-bytes bounds it (LRU). The loop exits on
-               stdin EOF or an {\"op\":\"shutdown\"} request, after
-               draining every request already read.
+               restarts; --cache-bytes bounds it (LRU). Inserts are
+               journaled to a checksummed write-ahead log beside the
+               cache file and fsynced every --fsync-every appends, so a
+               crash loses at most the unsynced tail. Requests that
+               panic or blow their budget are retried on lower rungs
+               with --retry-backoff-ms exponential backoff; after
+               --max-strikes failures a program hash is quarantined
+               (0 disables). --watchdog-soft-ms/--watchdog-hard-ms
+               bound wall time per request even for wedged workers.
+               {\"op\":\"health\"} returns a one-line self-healing
+               snapshot (WAL, quarantine, breaker, retry counters).
+               The loop exits on stdin EOF or an {\"op\":\"shutdown\"}
+               request, after draining every request already read.
   pdce run     [--in name=value]... [--seed N] [--fuel N] [FILE]
   pdce analyze [FILE]
   pdce universe [--mode pde|pfe] [--max N] [FILE]
@@ -1115,6 +1127,11 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
             "wall-ms",
             "cache",
             "cache-bytes",
+            "fsync-every",
+            "max-strikes",
+            "retry-backoff-ms",
+            "watchdog-soft-ms",
+            "watchdog-hard-ms",
             "max-request-bytes",
             "metrics-out",
         ],
@@ -1166,6 +1183,14 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
             }
             "cache" => opts.cache_path = Some(value.into()),
             "cache-bytes" => opts.cache_bytes = parse_u64(name, value)?,
+            "fsync-every" => opts.wal_fsync_every = parse_u64(name, value)?,
+            "max-strikes" => {
+                opts.max_strikes = u32::try_from(parse_u64(name, value)?)
+                    .map_err(|_| usage(format!("bad --max-strikes `{value}`")))?;
+            }
+            "retry-backoff-ms" => opts.retry_backoff_ms = parse_u64(name, value)?,
+            "watchdog-soft-ms" => opts.watchdog_soft_ms = Some(parse_u64(name, value)?),
+            "watchdog-hard-ms" => opts.watchdog_hard_ms = Some(parse_u64(name, value)?),
             "max-request-bytes" => {
                 opts.max_request_bytes = parse_u64(name, value)? as usize;
             }
@@ -1197,7 +1222,22 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
         );
         server.serve_tcp(listener).map_err(failed)?
     } else if let Some(path) = unix {
-        let _ = std::fs::remove_file(&path);
+        // A leftover socket file from a crashed server must be cleared
+        // before bind, but blindly unlinking would silently evict a
+        // *live* server. Probe with a connect: refused/absent means the
+        // file is stale and safe to remove.
+        if std::fs::symlink_metadata(&path).is_ok() {
+            match std::os::unix::net::UnixStream::connect(&path) {
+                Ok(_) => {
+                    return Err(failed(format!(
+                        "unix socket `{path}` is in use by a live server"
+                    )));
+                }
+                Err(_) => {
+                    let _ = std::fs::remove_file(&path);
+                }
+            }
+        }
         let listener = std::os::unix::net::UnixListener::bind(&path)
             .map_err(|e| failed(format!("cannot bind unix socket `{path}`: {e}")))?;
         eprintln!("serve: listening on unix {path}");

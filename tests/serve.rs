@@ -215,10 +215,10 @@ fn concurrent_clients_match_sequential_replay_bytes() {
 fn jobs_and_cache_temperature_never_change_response_bytes() {
     let requests = corpus_requests();
     let run = |jobs: usize, replays: usize| -> Vec<Vec<String>> {
-        let server = Server::new(ServeOptions {
+        let server = Arc::new(Server::new(ServeOptions {
             jobs,
             ..ServeOptions::default()
-        });
+        }));
         (0..replays)
             .map(|_| server.respond_batch(jobs, &requests))
             .collect()
@@ -416,6 +416,67 @@ fn corrupted_cache_file_degrades_to_misses_not_crashes() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+#[test]
+fn poisoned_alias_entries_self_heal_to_canonical_misses() {
+    let mut cache = PersistentCache::in_memory(1 << 20);
+    let raw = CacheKey::compute("prog { block e { halt } }", "mode=pde");
+    // Poison the memo: an alias whose canonical entry does not exist.
+    // An evicted target and a corrupted mapping look identical here —
+    // either way the fast path must miss, never answer wrongly.
+    cache.record_alias(raw, CacheKey(0xDEAD_BEEF_DEAD_BEEF_DEAD_BEEF));
+    assert_eq!(cache.alias_len(), 1);
+    assert!(
+        cache.get_raw_alias(raw).is_none(),
+        "a poisoned alias must degrade to a miss"
+    );
+    assert_eq!(
+        cache.alias_len(),
+        0,
+        "the poisoned entry is dropped on first touch"
+    );
+    // Healed: once the canonical entry exists the same raw key hits.
+    let canonical = CacheKey::compute("canonical text", "mode=pde");
+    let payload = ResultPayload {
+        program: "prog { block e { halt } }\n".into(),
+        rounds: 1,
+        eliminated: 0,
+        sunk: 0,
+        inserted: 0,
+        rung: "none".into(),
+    };
+    cache.insert(canonical, payload.clone());
+    cache.record_alias(raw, canonical);
+    assert_eq!(cache.get_raw_alias(raw).unwrap(), payload);
+}
+
+#[test]
+fn alias_memo_cap_clears_deterministically() {
+    use pdce::serve::cache::MAX_ALIASES;
+    let mut cache = PersistentCache::in_memory(1 << 20);
+    let canonical = CacheKey::compute("prog { block e { halt } }", "mode=pde");
+    cache.insert(
+        canonical,
+        ResultPayload {
+            program: "prog { block e { halt } }\n".into(),
+            rounds: 1,
+            eliminated: 0,
+            sunk: 0,
+            inserted: 0,
+            rung: "none".into(),
+        },
+    );
+    for i in 0..MAX_ALIASES as u128 {
+        cache.record_alias(CacheKey(i + 1), canonical);
+    }
+    assert_eq!(cache.alias_len(), MAX_ALIASES, "the memo fills to its cap");
+    // The insert that would overflow clears the whole memo first: the
+    // post-insert size is exactly one, regardless of what was inside.
+    let overflow = CacheKey(u128::MAX);
+    cache.record_alias(overflow, canonical);
+    assert_eq!(cache.alias_len(), 1, "cap eviction clears then records");
+    assert!(cache.get_raw_alias(overflow).is_some());
+}
+
 // ---------------------------------------------------------------------
 // Transports and the real binary
 // ---------------------------------------------------------------------
@@ -556,9 +617,18 @@ fn soak_under(fault: &str, expect_rungs: &[&str]) {
 
 #[test]
 fn soak_survives_persistent_sink_panics() {
+    // Under a persistent fault every answer degrades, so the rolling
+    // failure window trips the circuit breaker partway through: later
+    // requests are served at the `breaker-open` identity rung.
     soak_under(
         "panic:sink:*",
-        &["cold-solve", "fifo-solver", "elimination-only", "identity"],
+        &[
+            "cold-solve",
+            "fifo-solver",
+            "elimination-only",
+            "identity",
+            "breaker-open",
+        ],
     );
 }
 
@@ -566,6 +636,123 @@ fn soak_survives_persistent_sink_panics() {
 fn soak_survives_persistent_solver_budget_exhaustion() {
     soak_under(
         "budget:solve:*",
-        &["cold-solve", "fifo-solver", "elimination-only", "identity"],
+        &[
+            "cold-solve",
+            "fifo-solver",
+            "elimination-only",
+            "identity",
+            "breaker-open",
+        ],
     );
+}
+
+// ---------------------------------------------------------------------
+// Unix sockets: stale-file hygiene and idle cost
+// ---------------------------------------------------------------------
+
+/// Spawns the real binary listening on a Unix socket; streams are
+/// discarded (the test talks over the socket, not stdio).
+fn spawn_unix_server(sock: &std::path::Path, extra: &[&str]) -> std::process::Child {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_pdce"));
+    cmd.arg("serve").arg("--unix").arg(sock).args(extra);
+    cmd.env_remove("FAULT_INJECT").env_remove("TV");
+    cmd.stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::null());
+    cmd.spawn().expect("binary spawns")
+}
+
+/// Polls until the server accepts a connection (or ten seconds pass).
+fn wait_for_socket(sock: &std::path::Path) -> std::os::unix::net::UnixStream {
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    loop {
+        if let Ok(stream) = std::os::unix::net::UnixStream::connect(sock) {
+            return stream;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "server never came up on {}",
+            sock.display()
+        );
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn cli_serve_unix_probes_live_sockets_and_clears_stale_ones() {
+    use std::io::{BufRead, BufReader};
+    let dir = std::env::temp_dir().join(format!("pdce-serve-unix-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let sock = dir.join("pdce.sock");
+    // Leave a stale socket file behind: bind a listener and drop it
+    // without unlinking, exactly what a crashed server leaves on disk.
+    drop(std::os::unix::net::UnixListener::bind(&sock).unwrap());
+    assert!(sock.exists(), "the stale socket file is left on disk");
+    // The server probes it, finds nobody listening, unlinks, and binds.
+    let mut live = spawn_unix_server(&sock, &[]);
+    let mut stream = wait_for_socket(&sock);
+    // A second server on the same path must refuse to evict the live
+    // one rather than silently stealing its socket.
+    let out = Command::new(env!("CARGO_BIN_EXE_pdce"))
+        .arg("serve")
+        .arg("--unix")
+        .arg(&sock)
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "second bind must fail");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("in use by a live server"),
+        "stderr names the live conflict: {stderr}"
+    );
+    // The live server is unharmed by the probe connection: it still
+    // answers, then drains on shutdown.
+    stream
+        .write_all(b"{\"op\":\"ping\",\"id\":\"alive\"}\n{\"op\":\"shutdown\"}\n")
+        .unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.contains("\"pong\":true"), "live server wedged: {line}");
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.contains("\"shutdown\":true"), "got: {line}");
+    assert!(live.wait().unwrap().success());
+    assert!(!sock.exists(), "shutdown removes the socket file");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn idle_unix_daemon_burns_near_zero_cpu() {
+    let dir = std::env::temp_dir().join(format!("pdce-serve-idle-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let sock = dir.join("idle.sock");
+    let mut live = spawn_unix_server(&sock, &[]);
+    // Hold an idle connection open so both the accept loop and a
+    // per-connection read loop sit in their backoff waits.
+    let mut stream = wait_for_socket(&sock);
+    let cpu_ticks = |pid: u32| -> u64 {
+        let stat = std::fs::read_to_string(format!("/proc/{pid}/stat")).unwrap();
+        // Fields after the parenthesized comm: state is field 3, so
+        // utime (field 14) and stime (15) are at indexes 11 and 12.
+        let rest = stat.rsplit(") ").next().unwrap();
+        let fields: Vec<&str> = rest.split_whitespace().collect();
+        fields[11].parse::<u64>().unwrap() + fields[12].parse::<u64>().unwrap()
+    };
+    // Let startup settle, then measure two idle seconds.
+    std::thread::sleep(std::time::Duration::from_millis(300));
+    let before = cpu_ticks(live.id());
+    std::thread::sleep(std::time::Duration::from_secs(2));
+    let ticks = cpu_ticks(live.id()) - before;
+    // With exponential idle backoff the daemon wakes a handful of times
+    // per second; a busy-polling regression burns an order of magnitude
+    // more. 15 ticks is 0.15s of CPU over 2s idle — far above the
+    // healthy cost, far below a spin.
+    assert!(
+        ticks <= 15,
+        "idle daemon burned {ticks} cpu tick(s) over 2s (busy-loop regression?)"
+    );
+    stream.write_all(b"{\"op\":\"shutdown\"}\n").unwrap();
+    let _ = live.wait();
+    let _ = std::fs::remove_dir_all(&dir);
 }
